@@ -1,0 +1,65 @@
+// Ablation — contention hotspots (the paper's Sec. 1 lineage: Reuter's
+// high-traffic data elements, escrow [25]/[26]): the same collection
+// workload with the key distribution skewed toward a hot prefix of the
+// list.  Hotspots squeeze optimistic concurrency: classic transactions
+// collapse first, the elastic/snapshot mix degrades more gracefully, and
+// the lazy lock-based list shrugs (its writers only lock two nodes).
+#include <iostream>
+
+#include "bench/fig_common.hpp"
+#include "ds/tx_list.hpp"
+#include "sync/lazy_list.hpp"
+
+using namespace demotx;
+using namespace demotx::bench;
+
+int main() {
+  harness::banner(std::cout, "Ablation — key-distribution hotspots");
+  FigureConfig base = FigureConfig::from_env();
+  base.threads = {32};  // fixed parallelism; the sweep is over skew
+
+  const std::vector<Series> series{
+      {"classic-tx", [] {
+         return std::make_unique<ds::TxList>(ds::TxList::Options{
+             stm::Semantics::kClassic, stm::Semantics::kClassic});
+       }},
+      {"mixed(el+snap)", [] {
+         return std::make_unique<ds::TxList>(ds::TxList::Options{
+             stm::Semantics::kElastic, stm::Semantics::kSnapshot});
+       }},
+      {"lazy-list", [] { return std::make_unique<sync::LazyList>(); }},
+  };
+
+  std::vector<std::string> headers{"skew"};
+  for (const Series& s : series) headers.push_back(s.name);
+  harness::Table speed(headers);
+  harness::Table aborts(headers);
+
+  for (double skew : {0.0, 0.25, 0.5, 1.0}) {
+    FigureConfig cfg = base;
+    cfg.workload.skew = skew;
+    const double seq = sequential_baseline(cfg);
+    const auto r = run_sweep(cfg, series, seq);
+    std::vector<std::string> srow{harness::Table::num(skew, 2)};
+    std::vector<std::string> arow = srow;
+    for (std::size_t s = 0; s < series.size(); ++s) {
+      srow.push_back(harness::Table::num(r[s][0].speedup, 2));
+      arow.push_back(harness::Table::num(r[s][0].raw.stm.abort_ratio(), 3));
+    }
+    speed.add_row(srow);
+    aborts.add_row(arow);
+  }
+
+  std::cout << "speedup over the (equally skewed) sequential list at 32 "
+               "threads:\n";
+  speed.print(std::cout);
+  speed.print_csv(std::cout, "ablation_hotspot");
+  std::cout << "\nabort ratio:\n";
+  aborts.print(std::cout);
+  std::cout << "\n(skew s concentrates accesses near the list head with "
+               "density ~ u^(1+4s);\n note: hot keys sit early in the "
+               "list, so ops also get shorter — all speedups are\n "
+               "relative to the equally-skewed sequential run; classic "
+               "degrades the most)\n";
+  return 0;
+}

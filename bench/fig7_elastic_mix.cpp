@@ -1,0 +1,64 @@
+// Figure 7 — "Throughput (normalized over the sequential one) of elastic
+// and classic transactions, the classic transactions alone and the
+// existing concurrent collection."
+//
+// Paper setup: as Fig. 5, but contains/add/remove run as ELASTIC
+// transactions while size stays CLASSIC (the atomic snapshot of the
+// count).  Paper result: the combination peaks 3.5x above classic alone
+// and 1.6x above the collection, but degrades between 32 and 64 threads
+// because the classic size keeps aborting against concurrent updates
+// (the "toxic transaction" effect the paper conjectures).
+#include <algorithm>
+#include <iostream>
+
+#include "bench/fig_common.hpp"
+#include "ds/tx_list.hpp"
+#include "sync/cow_array_set.hpp"
+
+using namespace demotx;
+using namespace demotx::bench;
+
+int main() {
+  harness::banner(std::cout,
+                  "Fig. 7 — elastic+classic mix vs. classic vs. collection");
+  const FigureConfig cfg = FigureConfig::from_env();
+  print_workload_banner(cfg);
+
+  const std::vector<Series> series{
+      {"elastic+classic", [] {
+         return std::make_unique<ds::TxList>(ds::TxList::Options{
+             stm::Semantics::kElastic, stm::Semantics::kClassic});
+       }},
+      {"classic-tx", [] {
+         return std::make_unique<ds::TxList>(ds::TxList::Options{
+             stm::Semantics::kClassic, stm::Semantics::kClassic});
+       }},
+      {"collection(cow)", [] { return std::make_unique<sync::CowArraySet>(); }},
+  };
+
+  const double seq = sequential_baseline(cfg);
+  const auto results = run_sweep(cfg, series, seq);
+  print_speedup_table("fig7", cfg, series, results);
+  print_abort_table(cfg, series, results);
+
+  double best_mix = 0, best_classic = 0, best_cow = 0;
+  for (std::size_t ti = 0; ti < cfg.threads.size(); ++ti) {
+    best_mix = std::max(best_mix, results[0][ti].speedup);
+    best_classic = std::max(best_classic, results[1][ti].speedup);
+    best_cow = std::max(best_cow, results[2][ti].speedup);
+  }
+  std::cout << "\nbest elastic+classic / best classic = "
+            << harness::Table::num(best_mix / std::max(best_classic, 1e-9), 2)
+            << "x   (paper: 3.5x)\n"
+            << "best elastic+classic / best collection = "
+            << harness::Table::num(best_mix / std::max(best_cow, 1e-9), 2)
+            << "x   (paper: 1.6x)\n";
+  const std::size_t last = cfg.threads.size() - 1;
+  if (cfg.threads.size() >= 2 &&
+      results[0][last].speedup < results[0][last - 1].speedup) {
+    std::cout << "elastic+classic degrades at " << cfg.threads[last]
+              << " threads (paper: slow-down between 32 and 64 from "
+                 "repeatedly aborting classic size operations)\n";
+  }
+  return 0;
+}

@@ -1,0 +1,153 @@
+// Shared machinery for the figure benchmarks (Figs. 5, 7, 9 and the
+// ablations): build each competitor, run the paper's Collection workload
+// under the virtual-time simulator across a thread sweep, and print
+// throughput normalized over the sequential baseline — the exact y-axis
+// of the paper's figures.
+//
+// Environment knobs (all optional):
+//   DEMOTX_LIST_SIZE   initial elements (default 512; paper used 4096)
+//   DEMOTX_CYCLES      virtual duration per data point (default 300000)
+//   DEMOTX_MAX_THREADS highest thread count in the sweep (default 64)
+#pragma once
+
+#include <cstdlib>
+#include <functional>
+#include <iostream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "harness/driver.hpp"
+#include "harness/report.hpp"
+#include "harness/workload.hpp"
+#include "mem/epoch.hpp"
+#include "stm/runtime.hpp"
+#include "sync/seq_list.hpp"
+#include "sync/set_interface.hpp"
+
+namespace demotx::bench {
+
+inline long env_long(const char* name, long fallback) {
+  const char* v = std::getenv(name);
+  return v != nullptr ? std::atol(v) : fallback;
+}
+
+struct Series {
+  std::string name;
+  std::function<std::unique_ptr<ISet>()> make;
+};
+
+struct FigureConfig {
+  harness::WorkloadConfig workload;
+  std::uint64_t duration_cycles = 300'000;
+  std::vector<int> threads = {1, 2, 4, 8, 16, 32, 64};
+
+  static FigureConfig from_env() {
+    FigureConfig cfg;
+    const long n = env_long("DEMOTX_LIST_SIZE", 512);
+    cfg.workload.initial_size = n;
+    cfg.workload.key_range = 2 * n;
+    cfg.duration_cycles =
+        static_cast<std::uint64_t>(env_long("DEMOTX_CYCLES", 300'000));
+    const long mt = env_long("DEMOTX_MAX_THREADS", 64);
+    std::vector<int> ts;
+    for (int t : cfg.threads)
+      if (t <= mt) ts.push_back(t);
+    cfg.threads = ts.empty() ? std::vector<int>{1} : ts;
+    return cfg;
+  }
+};
+
+// Throughput of the unsynchronized sequential list at one thread: the
+// normalization denominator of every figure.
+inline double sequential_baseline(const FigureConfig& cfg) {
+  sync::SeqList seq;
+  harness::prefill(seq, cfg.workload);
+  harness::SimOptions opts;
+  opts.duration_cycles = cfg.duration_cycles;
+  return harness::run_sim_workload(seq, cfg.workload, 1, opts).throughput;
+}
+
+struct CellResult {
+  double speedup = 0.0;
+  harness::DriverResult raw;
+};
+
+// Runs every series at every thread count; returns results[series][thread].
+inline std::vector<std::vector<CellResult>> run_sweep(
+    const FigureConfig& cfg, const std::vector<Series>& series,
+    double seq_throughput) {
+  std::vector<std::vector<CellResult>> results(series.size());
+  for (std::size_t s = 0; s < series.size(); ++s) {
+    for (int threads : cfg.threads) {
+      auto set = series[s].make();
+      harness::prefill(*set, cfg.workload);
+      harness::SimOptions opts;
+      opts.duration_cycles = cfg.duration_cycles;
+      harness::DriverResult r =
+          harness::run_sim_workload(*set, cfg.workload, threads, opts);
+      // Post-run consistency check: the workload must leave the structure
+      // coherent, or the numbers are meaningless.
+      const long expect = cfg.workload.initial_size + r.net_adds;
+      if (set->unsafe_size() != expect) {
+        std::cerr << "CONSISTENCY FAILURE: " << series[s].name << " @"
+                  << threads << " threads: size " << set->unsafe_size()
+                  << " != " << expect << "\n";
+        std::exit(1);
+      }
+      CellResult cell;
+      cell.speedup = seq_throughput > 0 ? r.throughput / seq_throughput : 0;
+      cell.raw = r;
+      results[s].push_back(cell);
+      mem::EpochManager::instance().drain();
+    }
+  }
+  return results;
+}
+
+inline void print_speedup_table(const std::string& tag,
+                                const FigureConfig& cfg,
+                                const std::vector<Series>& series,
+                                const std::vector<std::vector<CellResult>>& r) {
+  std::vector<std::string> headers{"threads"};
+  for (const Series& s : series) headers.push_back(s.name);
+  harness::Table t(headers);
+  for (std::size_t ti = 0; ti < cfg.threads.size(); ++ti) {
+    std::vector<std::string> row{std::to_string(cfg.threads[ti])};
+    for (std::size_t s = 0; s < series.size(); ++s)
+      row.push_back(harness::Table::num(r[s][ti].speedup, 2));
+    t.add_row(row);
+  }
+  std::cout << "throughput normalized over sequential (speedup):\n";
+  t.print(std::cout);
+  t.print_csv(std::cout, tag);
+}
+
+inline void print_abort_table(const FigureConfig& cfg,
+                              const std::vector<Series>& series,
+                              const std::vector<std::vector<CellResult>>& r) {
+  std::vector<std::string> headers{"threads"};
+  for (const Series& s : series) headers.push_back(s.name);
+  harness::Table t(headers);
+  for (std::size_t ti = 0; ti < cfg.threads.size(); ++ti) {
+    std::vector<std::string> row{std::to_string(cfg.threads[ti])};
+    for (std::size_t s = 0; s < series.size(); ++s)
+      row.push_back(harness::Table::num(r[s][ti].raw.stm.abort_ratio(), 3));
+    t.add_row(row);
+  }
+  std::cout << "\nSTM abort ratio (aborts / attempts; 0 for non-STM):\n";
+  t.print(std::cout);
+}
+
+inline void print_workload_banner(const FigureConfig& cfg) {
+  std::cout << "collection workload: " << cfg.workload.initial_size
+            << " initial elements, key range " << cfg.workload.key_range
+            << ", " << cfg.workload.contains_pct << "% contains, "
+            << cfg.workload.add_pct + cfg.workload.remove_pct << "% updates, "
+            << cfg.workload.size_pct << "% size; "
+            << cfg.duration_cycles << " virtual cycles per point\n"
+            << "(simulator: ideal N-way machine, one shared access per "
+               "cycle per thread — see DESIGN.md)\n\n";
+}
+
+}  // namespace demotx::bench

@@ -1,0 +1,131 @@
+// Microbenchmarks (google-benchmark, real time): the raw cost of the STM
+// primitives on this machine — transaction begin/commit, reads and writes
+// under each semantics, contention-manager-free single-thread paths, and
+// the reclamation primitives.  These are the constants behind the
+// simulator's cost model (DESIGN.md).
+#include <benchmark/benchmark.h>
+
+#include "ds/tx_list.hpp"
+#include "mem/epoch.hpp"
+#include "mem/hazard.hpp"
+#include "stm/stm.hpp"
+
+using namespace demotx;
+using stm::Semantics;
+
+namespace {
+
+void BM_EmptyTransaction(benchmark::State& state) {
+  for (auto _ : state) {
+    stm::atomically([](stm::Tx&) {});
+  }
+}
+BENCHMARK(BM_EmptyTransaction);
+
+void BM_ReadOnlyTx(benchmark::State& state) {
+  stm::TVar<long> v[8];
+  const auto n = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    long sum = stm::atomically([&](stm::Tx& tx) {
+      long s = 0;
+      for (std::size_t i = 0; i < n; ++i) s += v[i].get(tx);
+      return s;
+    });
+    benchmark::DoNotOptimize(sum);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_ReadOnlyTx)->Arg(1)->Arg(4)->Arg(8);
+
+void BM_ElasticReadOnlyTx(benchmark::State& state) {
+  stm::TVar<long> v[8];
+  const auto n = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    long sum = stm::atomically(Semantics::kElastic, [&](stm::Tx& tx) {
+      long s = 0;
+      for (std::size_t i = 0; i < n; ++i) s += v[i].get(tx);
+      return s;
+    });
+    benchmark::DoNotOptimize(sum);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_ElasticReadOnlyTx)->Arg(1)->Arg(4)->Arg(8);
+
+void BM_SnapshotReadOnlyTx(benchmark::State& state) {
+  stm::TVar<long> v[8];
+  const auto n = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    long sum = stm::atomically(Semantics::kSnapshot, [&](stm::Tx& tx) {
+      long s = 0;
+      for (std::size_t i = 0; i < n; ++i) s += v[i].get(tx);
+      return s;
+    });
+    benchmark::DoNotOptimize(sum);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_SnapshotReadOnlyTx)->Arg(1)->Arg(4)->Arg(8);
+
+void BM_UpdateTx(benchmark::State& state) {
+  stm::TVar<long> v[8];
+  const auto n = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    stm::atomically([&](stm::Tx& tx) {
+      for (std::size_t i = 0; i < n; ++i) v[i].set(tx, v[i].get(tx) + 1);
+    });
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_UpdateTx)->Arg(1)->Arg(4)->Arg(8);
+
+void BM_ListContains(benchmark::State& state) {
+  ds::TxList list(ds::TxList::Options{Semantics::kElastic,
+                                      Semantics::kSnapshot});
+  const long n = state.range(0);
+  for (long k = 0; k < n; ++k) list.add(k);
+  long key = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(list.contains(key));
+    key = (key + 7) % n;
+  }
+}
+BENCHMARK(BM_ListContains)->Arg(64)->Arg(512);
+
+void BM_ListSnapshotSize(benchmark::State& state) {
+  ds::TxList list(ds::TxList::Options{Semantics::kElastic,
+                                      Semantics::kSnapshot});
+  for (long k = 0; k < state.range(0); ++k) list.add(k);
+  for (auto _ : state) benchmark::DoNotOptimize(list.size());
+}
+BENCHMARK(BM_ListSnapshotSize)->Arg(64)->Arg(512);
+
+void BM_EpochGuard(benchmark::State& state) {
+  for (auto _ : state) {
+    mem::EpochManager::Guard g;
+    benchmark::ClobberMemory();
+  }
+}
+BENCHMARK(BM_EpochGuard);
+
+void BM_EpochRetire(benchmark::State& state) {
+  auto& mgr = mem::EpochManager::instance();
+  for (auto _ : state) mgr.retire(new long(1));
+  mgr.drain();
+}
+BENCHMARK(BM_EpochRetire);
+
+void BM_HazardProtect(benchmark::State& state) {
+  std::atomic<long*> src{new long(7)};
+  auto& dom = mem::HazardDomain::instance();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dom.protect(0, src));
+    dom.clear(0);
+  }
+  delete src.load();
+}
+BENCHMARK(BM_HazardProtect);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,94 @@
+// The paper's Fig. 3: Bob composes Alice's operations.
+//
+// A directory maps names to files.  Alice ships `remove` and `create`
+// (elastic transactions inside).  Bob — without reading a line of Alice's
+// synchronization, without a lock-ordering document like the Google File
+// System's, without the 50-line locking comment of mm/filemap.c — builds
+// an atomic `rename` by wrapping the two calls in a transaction.
+//
+// The demo runs the adversarial scenario from the paper: two concurrent
+// renames moving a file between directories d1 and d2 in opposite
+// directions.  With locks this is the textbook deadlock; here one
+// transaction simply aborts and retries, and the file ends up in exactly
+// one directory.
+#include <atomic>
+#include <iostream>
+
+#include "ds/tx_list.hpp"
+#include "stm/stm.hpp"
+#include "vt/scheduler.hpp"
+
+using namespace demotx;
+
+namespace {
+
+// ---- Alice's component (library author) -------------------------------
+class Directory {
+ public:
+  // Alice picked elastic internally: parses of the name index cut instead
+  // of conflicting.  Her choice is invisible to callers.
+  Directory()
+      : names_(ds::TxList::Options{stm::Semantics::kElastic,
+                                   stm::Semantics::kSnapshot}) {}
+
+  bool create(long name) { return names_.add(name); }
+  bool remove(long name) { return names_.remove(name); }
+  bool lookup(long name) { return names_.contains(name); }
+  long count() { return names_.size(); }
+
+ private:
+  ds::TxList names_;
+};
+
+// ---- Bob's composite (application author) ------------------------------
+bool rename_file(Directory& from, Directory& to, long name) {
+  // One transaction around two component calls: atomicity and deadlock-
+  // freedom are inherited, not engineered.
+  return stm::atomically([&](stm::Tx&) {
+    if (!from.remove(name)) return false;
+    to.create(name);
+    return true;
+  });
+}
+
+}  // namespace
+
+int main() {
+  Directory d1;
+  Directory d2;
+  d1.create(7001);  // "report.txt"
+
+  std::cout << "initial: d1 has the file, d2 empty  (d1=" << d1.count()
+            << ", d2=" << d2.count() << ")\n\n";
+
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    // Reset: make sure the file starts in d1.
+    rename_file(d2, d1, 7001);
+
+    std::atomic<int> succeeded{0};
+    vt::Scheduler::Options opts;
+    opts.policy = vt::Scheduler::Policy::kRandom;  // adversarial interleaving
+    opts.seed = seed;
+    vt::Scheduler sched(opts);
+    sched.spawn([&](int) {
+      if (rename_file(d1, d2, 7001)) ++succeeded;  // d1 -> d2
+    });
+    sched.spawn([&](int) {
+      if (rename_file(d2, d1, 7001)) ++succeeded;  // d2 -> d1 (reverse!)
+    });
+    sched.run();
+
+    const long total = d1.count() + d2.count();
+    std::cout << "schedule " << seed << ": " << succeeded
+              << " rename(s) committed, file lives in "
+              << (d1.lookup(7001) ? "d1" : "d2")
+              << ", total copies = " << total
+              << (total == 1 ? "  [atomic]" : "  [BROKEN]") << "\n";
+  }
+
+  std::cout << "\nwith per-directory locks this pattern deadlocks unless "
+               "every caller agrees on a\nglobal lock order (the paper cites "
+               "GFS and mm/filemap.c); with transactions the\nconflict is "
+               "detected and one rename retries.\n";
+  return 0;
+}

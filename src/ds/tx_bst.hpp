@@ -1,0 +1,199 @@
+// Transactional external (leaf-oriented) binary search tree.
+//
+// Internal nodes route (left if key < node.key, right otherwise); leaves
+// hold the elements (Ellen et al.'s shape, transactional instead of CAS
+// based).  Operations follow the same recipe as the other search
+// structures: an ELASTIC descent (the sliding window rides down the
+// branch), then a nested CLASSIC phase that re-reads the splice-point
+// links and the deletion marks under full validation before mutating.
+// size() walks the leaves in a snapshot transaction.
+#pragma once
+
+#include <climits>
+#include <vector>
+
+#include "stm/stm.hpp"
+#include "sync/set_interface.hpp"
+
+namespace demotx::ds {
+
+class TxBst final : public ISet {
+ public:
+  struct Options {
+    stm::Semantics parse = stm::Semantics::kElastic;
+    stm::Semantics size_sem = stm::Semantics::kSnapshot;
+  };
+
+  TxBst() : TxBst(Options{}) {}
+  explicit TxBst(Options opts) : opts_(opts) {
+    // The tree always contains the sentinel leaf LONG_MAX, so descents
+    // never hit an empty root and user keys (< LONG_MAX) never match it.
+    root_.unsafe_store(new Node(LONG_MAX, nullptr, nullptr));
+  }
+
+  ~TxBst() override { destroy(root_.unsafe_load()); }
+
+  TxBst(const TxBst&) = delete;
+  TxBst& operator=(const TxBst&) = delete;
+
+  bool contains(long key) override {
+    return stm::atomically(opts_.parse, [&](stm::Tx& tx) {
+      Node* n = root_.get(tx);
+      while (!is_leaf(tx, n)) n = child_for(tx, n, key);
+      return n->key == key;
+    });
+  }
+
+  bool add(long key) override {
+    return stm::atomically(opts_.parse, [&](stm::Tx& tx) {
+      // Elastic descent to the candidate parent/leaf (hints).
+      Node* parent = nullptr;
+      Node* leaf = root_.get(tx);
+      while (!is_leaf(tx, leaf)) {
+        parent = leaf;
+        leaf = child_for(tx, leaf, key);
+      }
+      if (leaf->key == key) return false;
+      // Classic splice: revalidate the hint chain, then link.
+      return stm::atomically(stm::Semantics::kClassic, [&](stm::Tx& ctx) {
+        stm::TVar<Node*>* slot = &root_;
+        if (parent != nullptr) {
+          if (parent->marked.get(ctx) != 0) ctx.abort_self();  // stale hint
+          slot = child_slot(ctx, parent, key);
+        }
+        Node* curr = slot->get(ctx);
+        // The subtree may have changed: keep descending classically.
+        while (!is_leaf(ctx, curr)) {
+          if (curr->marked.get(ctx) != 0) ctx.abort_self();
+          slot = child_slot(ctx, curr, key);
+          curr = slot->get(ctx);
+        }
+        if (curr->key == key) return false;
+        Node* new_leaf = ctx.alloc<Node>(key, nullptr, nullptr);
+        Node* small = key < curr->key ? new_leaf : curr;
+        Node* big = key < curr->key ? curr : new_leaf;
+        Node* internal = ctx.alloc<Node>(big->key, small, big);
+        slot->set(ctx, internal);
+        return true;
+      });
+    });
+  }
+
+  bool remove(long key) override {
+    return stm::atomically(opts_.parse, [&](stm::Tx& tx) {
+      // Elastic descent remembering grandparent and parent hints.
+      Node* gparent = nullptr;
+      Node* parent = nullptr;
+      Node* leaf = root_.get(tx);
+      while (!is_leaf(tx, leaf)) {
+        gparent = parent;
+        parent = leaf;
+        leaf = child_for(tx, leaf, key);
+      }
+      if (leaf->key != key) return false;
+      (void)gparent;
+      return stm::atomically(stm::Semantics::kClassic, [&](stm::Tx& ctx) {
+        // Re-descend classically from the root: hints under deletion are
+        // cheap to rebuild and the classic read set validates the path we
+        // actually splice.  (Depth is O(log n); only this final descent
+        // pays classic validation.)
+        stm::TVar<Node*>* gslot = &root_;
+        Node* p = gslot->get(ctx);
+        if (is_leaf(ctx, p)) return false;  // only the sentinel left
+        stm::TVar<Node*>* pslot = child_slot(ctx, p, key);
+        Node* l = pslot->get(ctx);
+        while (!is_leaf(ctx, l)) {
+          gslot = pslot;
+          p = l;
+          pslot = child_slot(ctx, p, key);
+          l = pslot->get(ctx);
+        }
+        if (l->key != key) return false;
+        if (p->marked.get(ctx) != 0) ctx.abort_self();
+        // Splice p out: the grandparent slot adopts l's sibling.
+        Node* sibling = (pslot == &p->left) ? p->right.get(ctx)
+                                            : p->left.get(ctx);
+        p->marked.set(ctx, 1);  // conflicts with every stale-hint writer
+        gslot->set(ctx, sibling);
+        ctx.retire(p);
+        ctx.retire(l);
+        return true;
+      });
+    });
+  }
+
+  long size() override {
+    return stm::atomically(opts_.size_sem, [&](stm::Tx& tx) {
+      // Iterative leaf walk (explicit stack): count all leaves except the
+      // sentinel.
+      long n = 0;
+      std::vector<Node*> stack{root_.get(tx)};
+      while (!stack.empty()) {
+        Node* node = stack.back();
+        stack.pop_back();
+        Node* l = node->left.get(tx);
+        Node* r = node->right.get(tx);
+        if (l == nullptr && r == nullptr) {
+          if (node->key != LONG_MAX) ++n;
+        } else {
+          stack.push_back(l);
+          stack.push_back(r);
+        }
+      }
+      return n;
+    });
+  }
+
+  long unsafe_size() override {
+    long n = 0;
+    std::vector<Node*> stack{root_.unsafe_load()};
+    while (!stack.empty()) {
+      Node* node = stack.back();
+      stack.pop_back();
+      Node* l = node->left.unsafe_load();
+      Node* r = node->right.unsafe_load();
+      if (l == nullptr && r == nullptr) {
+        if (node->key != LONG_MAX) ++n;
+      } else {
+        stack.push_back(l);
+        stack.push_back(r);
+      }
+    }
+    return n;
+  }
+
+  [[nodiscard]] const char* name() const override { return "tx-bst"; }
+
+ private:
+  struct Node {
+    const long key;
+    stm::TVar<Node*> left;
+    stm::TVar<Node*> right;
+    stm::TVar<long> marked{0};  // set when an internal node is spliced out
+    Node(long k, Node* l, Node* r) : key(k), left(l), right(r) {}
+  };
+
+  static bool is_leaf(stm::Tx& tx, Node* n) {
+    return n->left.get(tx) == nullptr;
+  }
+
+  static Node* child_for(stm::Tx& tx, Node* n, long key) {
+    return key < n->key ? n->left.get(tx) : n->right.get(tx);
+  }
+
+  static stm::TVar<Node*>* child_slot(stm::Tx&, Node* n, long key) {
+    return key < n->key ? &n->left : &n->right;
+  }
+
+  void destroy(Node* n) {
+    if (n == nullptr) return;
+    destroy(n->left.unsafe_load());
+    destroy(n->right.unsafe_load());
+    delete n;
+  }
+
+  Options opts_;
+  stm::TVar<Node*> root_;
+};
+
+}  // namespace demotx::ds

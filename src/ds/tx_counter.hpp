@@ -1,0 +1,31 @@
+// Transactional counter / register utilities.
+#pragma once
+
+#include "stm/stm.hpp"
+
+namespace demotx::ds {
+
+// A shared counter whose reads can be taken as part of a snapshot (so a
+// consistent multi-counter sum never blocks updates) — the pattern the
+// TxHashSet uses for its O(buckets) size.
+class TxCounter {
+ public:
+  explicit TxCounter(long v = 0) : v_(v) {}
+
+  void add(stm::Tx& tx, long delta) { v_.set(tx, v_.get(tx) + delta); }
+  [[nodiscard]] long get(stm::Tx& tx) const { return v_.get(tx); }
+  [[nodiscard]] long unsafe_get() const { return v_.unsafe_load(); }
+
+  long increment_atomically(long delta = 1) {
+    return stm::atomically([&](stm::Tx& tx) {
+      const long nv = v_.get(tx) + delta;
+      v_.set(tx, nv);
+      return nv;
+    });
+  }
+
+ private:
+  stm::TVar<long> v_;
+};
+
+}  // namespace demotx::ds

@@ -1,0 +1,140 @@
+// Transactional hash set: fixed bucket array of transactional sorted
+// lists plus per-bucket element counters.
+//
+// Demonstrates mixing semantics beyond the flat list: bucket operations
+// parse elastically (short chains, false conflicts still possible under
+// collisions), the counter update rides in the same transaction (the
+// first write ends the elastic phase), and size() sums all counters in a
+// snapshot transaction — an O(buckets) atomic size that never aborts
+// updates.
+#pragma once
+
+#include <climits>
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+#include "ds/tx_counter.hpp"
+#include "stm/stm.hpp"
+#include "sync/set_interface.hpp"
+
+namespace demotx::ds {
+
+class TxHashSet final : public ISet {
+ public:
+  struct Options {
+    std::size_t buckets = 64;
+    stm::Semantics parse = stm::Semantics::kElastic;
+    stm::Semantics size_sem = stm::Semantics::kSnapshot;
+  };
+
+  TxHashSet() : TxHashSet(Options{}) {}
+  explicit TxHashSet(Options opts) : opts_(opts), buckets_(opts.buckets) {
+    for (auto& b : buckets_) {
+      b.tail = new Node(LONG_MAX, nullptr);
+      b.head = new Node(LONG_MIN, b.tail);
+    }
+  }
+
+  ~TxHashSet() override {
+    for (auto& b : buckets_) {
+      Node* n = b.head;
+      while (n != nullptr) {
+        Node* next = n->next.unsafe_load();
+        delete n;
+        n = next;
+      }
+    }
+  }
+
+  TxHashSet(const TxHashSet&) = delete;
+  TxHashSet& operator=(const TxHashSet&) = delete;
+
+  bool contains(long key) override {
+    Bucket& b = bucket_for(key);
+    return stm::atomically(opts_.parse, [&](stm::Tx& tx) {
+      return parse(tx, b, key).curr->key == key;
+    });
+  }
+
+  bool add(long key) override {
+    Bucket& b = bucket_for(key);
+    return stm::atomically(opts_.parse, [&](stm::Tx& tx) {
+      const Position p = parse(tx, b, key);
+      if (p.curr->key == key) return false;
+      p.prev->next.set(tx, tx.alloc<Node>(key, p.curr));
+      b.count.add(tx, 1);
+      return true;
+    });
+  }
+
+  bool remove(long key) override {
+    Bucket& b = bucket_for(key);
+    return stm::atomically(opts_.parse, [&](stm::Tx& tx) {
+      const Position p = parse(tx, b, key);
+      if (p.curr->key != key) return false;
+      Node* succ = p.curr->next.get(tx);
+      // Version-bump the victim's link so cut-away elastic windows of
+      // concurrent updaters conflict on it (see TxList::remove).
+      p.curr->next.set(tx, succ);
+      p.prev->next.set(tx, succ);
+      b.count.add(tx, -1);
+      tx.retire(p.curr);
+      return true;
+    });
+  }
+
+  long size() override {
+    return stm::atomically(opts_.size_sem, [&](stm::Tx& tx) {
+      long n = 0;
+      for (Bucket& b : buckets_) n += b.count.get(tx);
+      return n;
+    });
+  }
+
+  long unsafe_size() override {
+    long n = 0;
+    for (Bucket& b : buckets_) n += b.count.unsafe_get();
+    return n;
+  }
+
+  [[nodiscard]] const char* name() const override { return "tx-hashset"; }
+
+ private:
+  struct Node {
+    const long key;
+    stm::TVar<Node*> next;
+    Node(long k, Node* n) : key(k), next(n) {}
+  };
+
+  struct Bucket {
+    Node* head = nullptr;
+    Node* tail = nullptr;
+    TxCounter count;
+  };
+
+  struct Position {
+    Node* prev;
+    Node* curr;
+  };
+
+  Bucket& bucket_for(long key) {
+    auto h = static_cast<std::uint64_t>(key) * 0x9e3779b97f4a7c15ULL;
+    return buckets_[static_cast<std::size_t>(h >> 32) % buckets_.size()];
+  }
+
+  static Position parse(stm::Tx& tx, Bucket& b, long key) {
+    Node* prev = b.head;
+    Node* curr = prev->next.get(tx);
+    while (curr->key < key) {
+      prev = curr;
+      curr = curr->next.get(tx);
+    }
+    return {prev, curr};
+  }
+
+  Options opts_;
+  std::vector<Bucket> buckets_;
+};
+
+}  // namespace demotx::ds

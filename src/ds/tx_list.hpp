@@ -1,0 +1,146 @@
+// Transactional sorted linked-list set — the paper's running example.
+//
+// The implementation *is* the sequential algorithm: the parse loop below
+// is Algorithm 1/4 of the paper and the node (a key plus one TVar link) is
+// Algorithm 2 (left) — "the existing data organization appears unchanged";
+// all synchronization lives behind atomically().  Which semantics each
+// operation runs under is a per-instance choice, giving exactly the
+// paper's three configurations:
+//
+//   Fig. 5  classic parse + classic size      (TL2 alone)
+//   Fig. 7  elastic parse + classic size
+//   Fig. 9  elastic parse + snapshot size     (the full mix)
+#pragma once
+
+#include <climits>
+
+#include "stm/stm.hpp"
+#include "sync/set_interface.hpp"
+
+namespace demotx::ds {
+
+class TxList final : public ISet {
+ public:
+  struct Options {
+    stm::Semantics parse = stm::Semantics::kElastic;
+    stm::Semantics size_sem = stm::Semantics::kSnapshot;
+  };
+
+  TxList() : TxList(Options{}) {}
+  explicit TxList(Options opts) : opts_(opts) {
+    tail_ = new Node(LONG_MAX, nullptr);
+    head_ = new Node(LONG_MIN, tail_);
+  }
+
+  ~TxList() override {  // quiescent teardown
+    Node* n = head_;
+    while (n != nullptr) {
+      Node* next = n->next.unsafe_load();
+      delete n;
+      n = next;
+    }
+  }
+
+  TxList(const TxList&) = delete;
+  TxList& operator=(const TxList&) = delete;
+
+  bool contains(long key) override {
+    return stm::atomically(opts_.parse, [&](stm::Tx& tx) {
+      return parse(tx, key).curr->key == key;
+    });
+  }
+
+  bool add(long key) override {
+    return stm::atomically(opts_.parse, [&](stm::Tx& tx) {
+      const Position p = parse(tx, key);
+      if (p.curr->key == key) return false;
+      Node* n = tx.alloc<Node>(key, p.curr);
+      p.prev->next.set(tx, n);
+      return true;
+    });
+  }
+
+  bool remove(long key) override {
+    return stm::atomically(opts_.parse, [&](stm::Tx& tx) {
+      const Position p = parse(tx, key);
+      if (p.curr->key != key) return false;
+      Node* succ = p.curr->next.get(tx);
+      // Self-write the victim's link (same value): its version bump is
+      // what makes any elastic transaction whose window still holds
+      // curr->next — e.g. a concurrent remove of succ, whose cut dropped
+      // the shared path prefix — fail validation instead of updating an
+      // already-unlinked node.  Classic transactions don't need this (their
+      // full read set covers the path), elastic ones do.
+      p.curr->next.set(tx, succ);
+      p.prev->next.set(tx, succ);
+      tx.retire(p.curr);
+      return true;
+    });
+  }
+
+  // Atomic snapshot of the number of elements (paper Algorithm 5).
+  long size() override {
+    return stm::atomically(opts_.size_sem, [&](stm::Tx& tx) {
+      long n = 0;
+      for (Node* curr = head_->next.get(tx); curr != tail_;
+           curr = curr->next.get(tx))
+        ++n;
+      return n;
+    });
+  }
+
+  // Atomic whole-structure iteration — the paper's Java-Iterator use case
+  // for snapshot semantics (Sec. 5.1): the returned elements are exactly
+  // the set's content at one instant, while updaters keep committing.
+  std::vector<long> to_vector() {
+    return stm::atomically(opts_.size_sem, [&](stm::Tx& tx) {
+      std::vector<long> out;
+      for (Node* curr = head_->next.get(tx); curr != tail_;
+           curr = curr->next.get(tx))
+        out.push_back(curr->key);
+      return out;
+    });
+  }
+
+  long unsafe_size() override {
+    long n = 0;
+    for (Node* c = head_->next.unsafe_load(); c != tail_;
+         c = c->next.unsafe_load())
+      ++n;
+    return n;
+  }
+
+  [[nodiscard]] const char* name() const override { return "tx-list"; }
+  [[nodiscard]] const Options& options() const { return opts_; }
+
+ private:
+  struct Node {
+    const long key;
+    stm::TVar<Node*> next;
+    Node(long k, Node* n) : key(k), next(n) {}
+  };
+
+  struct Position {
+    Node* prev;
+    Node* curr;
+  };
+
+  // The sequential search loop, unchanged (sentinels make it branch-free
+  // on nullptr).  Under elastic semantics the two live links (prev->next,
+  // curr->next) are exactly the sliding window.
+  Position parse(stm::Tx& tx, long key) const {
+    Node* prev = head_;
+    Node* curr = prev->next.get(tx);
+    while (curr->key < key) {
+      prev = curr;
+      curr = curr->next.get(tx);
+    }
+    return {prev, curr};
+  }
+
+  Options opts_;
+  Node* head_;
+  Node* tail_;
+};
+
+}  // namespace demotx::ds

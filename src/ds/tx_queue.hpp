@@ -1,0 +1,103 @@
+// Transactional FIFO queue (dummy-node linked queue, classic semantics).
+//
+// Queues are inherently contention hotspots — head and tail are written by
+// every operation — so relaxing them buys nothing and the classic default
+// is the right semantics (the paper's point cuts both ways: semantics per
+// role).  Used by tests, the bank example, and the structure ablation.
+#pragma once
+
+#include <optional>
+
+#include "stm/stm.hpp"
+
+namespace demotx::ds {
+
+class TxQueue {
+ public:
+  TxQueue() {
+    auto* dummy = new Node(0, nullptr);
+    head_.unsafe_store(dummy);
+    tail_.unsafe_store(dummy);
+  }
+
+  ~TxQueue() {
+    Node* n = head_.unsafe_load();
+    while (n != nullptr) {
+      Node* next = n->next.unsafe_load();
+      delete n;
+      n = next;
+    }
+  }
+
+  TxQueue(const TxQueue&) = delete;
+  TxQueue& operator=(const TxQueue&) = delete;
+
+  // Composable pieces (call within an enclosing transaction)...
+  void enqueue(stm::Tx& tx, long v) {
+    Node* n = tx.alloc<Node>(v, nullptr);
+    Node* t = tail_.get(tx);
+    t->next.set(tx, n);
+    tail_.set(tx, n);
+  }
+
+  std::optional<long> dequeue(stm::Tx& tx) {
+    Node* h = head_.get(tx);
+    Node* first = h->next.get(tx);
+    if (first == nullptr) return std::nullopt;
+    head_.set(tx, first);
+    const long v = first->value;
+    tx.retire(h);
+    return v;
+  }
+
+  // Blocking variant: parks the enclosing transaction until an element is
+  // available (composable condition synchronization via stm::retry).
+  long dequeue_or_retry(stm::Tx& tx) {
+    auto v = dequeue(tx);
+    if (!v) stm::retry(tx);
+    return *v;
+  }
+
+  // ...and standalone operations.
+  void enqueue(long v) {
+    stm::atomically([&](stm::Tx& tx) { enqueue(tx, v); });
+  }
+  std::optional<long> dequeue() {
+    return stm::atomically([&](stm::Tx& tx) { return dequeue(tx); });
+  }
+
+  [[nodiscard]] long size(stm::Tx& tx) const {
+    long n = 0;
+    for (Node* c = head_.get(tx)->next.get(tx); c != nullptr;
+         c = c->next.get(tx))
+      ++n;
+    return n;
+  }
+
+  // Atomic snapshot length that commits against concurrent producers and
+  // consumers.
+  long snapshot_size() {
+    return stm::atomically(stm::Semantics::kSnapshot,
+                           [&](stm::Tx& tx) { return size(tx); });
+  }
+
+  [[nodiscard]] long unsafe_size() const {
+    long n = 0;
+    for (Node* c = head_.unsafe_load()->next.unsafe_load(); c != nullptr;
+         c = c->next.unsafe_load())
+      ++n;
+    return n;
+  }
+
+ private:
+  struct Node {
+    const long value;
+    stm::TVar<Node*> next;
+    Node(long v, Node* n) : value(v), next(n) {}
+  };
+
+  stm::TVar<Node*> head_;
+  stm::TVar<Node*> tail_;
+};
+
+}  // namespace demotx::ds

@@ -1,0 +1,199 @@
+// Transactional skip-list set.
+//
+// Shows how the elastic/classic composition rule carries past flat lists:
+// the descent runs elastically (a sliding window over the search path),
+// and the update phase opens a *nested classic* transaction — the nesting
+// join strengthens the enclosing elastic transaction (runtime.hpp), so
+// every predecessor link is re-read under full validation right before it
+// is written.  Cuts make the long descent abort-free; opacity protects the
+// multi-level splice.
+#pragma once
+
+#include <climits>
+#include <cstdint>
+
+#include "stm/stm.hpp"
+#include "sync/set_interface.hpp"
+
+namespace demotx::ds {
+
+class TxSkipList final : public ISet {
+ public:
+  static constexpr int kMaxLevel = 16;
+
+  struct Options {
+    stm::Semantics parse = stm::Semantics::kElastic;
+    stm::Semantics size_sem = stm::Semantics::kSnapshot;
+  };
+
+  TxSkipList() : TxSkipList(Options{}) {}
+  explicit TxSkipList(Options opts) : opts_(opts) {
+    tail_ = new Node(LONG_MAX, kMaxLevel);
+    head_ = new Node(LONG_MIN, kMaxLevel);
+    for (int i = 0; i < kMaxLevel; ++i) head_->next[i].unsafe_store(tail_);
+  }
+
+  ~TxSkipList() override {
+    Node* n = head_;
+    while (n != nullptr) {
+      Node* next = n->next[0].unsafe_load();
+      delete n;
+      n = next;
+    }
+  }
+
+  TxSkipList(const TxSkipList&) = delete;
+  TxSkipList& operator=(const TxSkipList&) = delete;
+
+  bool contains(long key) override {
+    return stm::atomically(opts_.parse, [&](stm::Tx& tx) {
+      Node* pred = head_;
+      for (int i = kMaxLevel - 1; i >= 0; --i) {
+        Node* curr = pred->next[i].get(tx);
+        while (curr->key < key) {
+          pred = curr;
+          curr = pred->next[i].get(tx);
+        }
+        if (curr->key == key) return true;
+      }
+      return false;
+    });
+  }
+
+  bool add(long key) override {
+    const int top = random_level();
+    return stm::atomically(opts_.parse, [&](stm::Tx& tx) {
+      Node* preds[kMaxLevel];
+      if (descend(tx, key, preds)) return false;  // already present (hint)
+      // Update phase: nested classic strengthens the transaction, so the
+      // link re-reads below are fully validated at commit.
+      return stm::atomically(stm::Semantics::kClassic, [&](stm::Tx& ctx) {
+        Node* node = nullptr;
+        for (int i = 0; i < top; ++i) {
+          Node* pred = preds[i];
+          Node* succ = pred->next[i].get(ctx);
+          while (succ->key < key) {  // the elastic hint may be stale
+            pred = succ;
+            succ = pred->next[i].get(ctx);
+          }
+          // The elastic descent's hint may name a node that has since been
+          // (or is being) removed; writing through it would link into an
+          // unlinked chain.  Reading `marked` puts it in the read set, so
+          // a later removal of pred also aborts us at commit.
+          if (pred != head_ && pred->marked.get(ctx) != 0) ctx.abort_self();
+          if (succ->key == key) {
+            // A marked duplicate is mid-removal through a stale chain:
+            // retry and re-descend.  An unmarked one is a committed
+            // duplicate: give up cleanly (nothing linked yet at i == 0).
+            if (succ->marked.get(ctx) != 0) ctx.abort_self();
+            if (i == 0) return false;
+            ctx.abort_self();  // linked above but not at level 0: stale view
+          }
+          if (node == nullptr) node = ctx.alloc<Node>(key, top);
+          node->next[i].unsafe_store(succ);  // private until we commit
+          pred->next[i].set(ctx, node);
+        }
+        return true;
+      });
+    });
+  }
+
+  bool remove(long key) override {
+    return stm::atomically(opts_.parse, [&](stm::Tx& tx) {
+      Node* preds[kMaxLevel];
+      if (!descend(tx, key, preds)) return false;  // absent (hint)
+      return stm::atomically(stm::Semantics::kClassic, [&](stm::Tx& ctx) {
+        Node* victim = nullptr;
+        for (int i = kMaxLevel - 1; i >= 0; --i) {
+          Node* pred = preds[i];
+          Node* succ = pred->next[i].get(ctx);
+          while (succ->key < key) {
+            pred = succ;
+            succ = pred->next[i].get(ctx);
+          }
+          if (succ->key != key) continue;  // not linked at this level
+          if (pred != head_ && pred->marked.get(ctx) != 0)
+            ctx.abort_self();  // stale hint chain: retry and re-descend
+          if (victim == nullptr) {
+            victim = succ;
+            if (victim->marked.get(ctx) != 0) return false;  // already gone
+            victim->marked.set(ctx, 1);  // logical deletion, conflicts with
+                                         // every stale-hint writer
+          } else if (succ != victim) {
+            ctx.abort_self();  // two same-key nodes: inconsistent hints
+          }
+          pred->next[i].set(ctx, succ->next[i].get(ctx));
+        }
+        if (victim == nullptr) return false;  // raced with another remove
+        ctx.retire(victim);
+        return true;
+      });
+    });
+  }
+
+  long size() override {
+    return stm::atomically(opts_.size_sem, [&](stm::Tx& tx) {
+      long n = 0;
+      for (Node* c = head_->next[0].get(tx); c != tail_;
+           c = c->next[0].get(tx))
+        ++n;
+      return n;
+    });
+  }
+
+  long unsafe_size() override {
+    long n = 0;
+    for (Node* c = head_->next[0].unsafe_load(); c != tail_;
+         c = c->next[0].unsafe_load())
+      ++n;
+    return n;
+  }
+
+  [[nodiscard]] const char* name() const override { return "tx-skiplist"; }
+
+ private:
+  struct Node {
+    const long key;
+    const int level;
+    stm::TVar<long> marked{0};  // logical-deletion flag (see remove)
+    stm::TVar<Node*> next[kMaxLevel];
+    Node(long k, int lvl) : key(k), level(lvl) {}
+  };
+
+  // Elastic descent; fills preds[] with per-level predecessor hints and
+  // reports whether the key was seen.
+  bool descend(stm::Tx& tx, long key, Node** preds) const {
+    bool found = false;
+    Node* pred = head_;
+    for (int i = kMaxLevel - 1; i >= 0; --i) {
+      Node* curr = pred->next[i].get(tx);
+      while (curr->key < key) {
+        pred = curr;
+        curr = pred->next[i].get(tx);
+      }
+      if (curr->key == key) found = true;
+      preds[i] = pred;
+    }
+    return found;
+  }
+
+  static int random_level() {
+    static thread_local std::uint64_t seed = 0x853c49e6748fea9bULL;
+    seed ^= seed << 13;
+    seed ^= seed >> 7;
+    seed ^= seed << 17;
+    int lvl = 1;
+    std::uint64_t bits = seed;
+    while ((bits & 1) != 0 && lvl < kMaxLevel) {
+      ++lvl;
+      bits >>= 1;
+    }
+    return lvl;
+  }
+
+  Options opts_;
+  Node* head_;
+  Node* tail_;
+};
+
+}  // namespace demotx::ds

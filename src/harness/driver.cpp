@@ -1,0 +1,104 @@
+#include "harness/driver.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <vector>
+
+#include "mem/epoch.hpp"
+#include "stm/runtime.hpp"
+#include "vt/scheduler.hpp"
+
+namespace demotx::harness {
+
+namespace {
+
+void fold_outcomes(DriverResult& r, const std::vector<ThreadOutcome>& outs) {
+  bool first_size = true;
+  for (const ThreadOutcome& o : outs) {
+    r.total_ops += o.ops;
+    r.net_adds += o.net_adds;
+    r.sizes_observed += o.sizes_observed;
+    if (o.sizes_observed == 0) continue;
+    if (first_size) {
+      r.min_size_seen = o.min_size_seen;
+      r.max_size_seen = o.max_size_seen;
+      first_size = false;
+    } else {
+      r.min_size_seen = std::min(r.min_size_seen, o.min_size_seen);
+      r.max_size_seen = std::max(r.max_size_seen, o.max_size_seen);
+    }
+  }
+}
+
+}  // namespace
+
+DriverResult run_sim_workload(ISet& set, const WorkloadConfig& cfg,
+                              int threads, const SimOptions& opts) {
+  stm::Runtime::instance().reset_stats();
+  std::vector<ThreadOutcome> outcomes(static_cast<std::size_t>(threads));
+
+  vt::Scheduler::Options sopts;
+  sopts.policy = vt::Scheduler::Policy::kRoundRobin;
+  sopts.seed = opts.scheduler_seed;
+  // Deadlock brake far beyond the duration; fibers stop themselves.
+  sopts.max_cycles = opts.duration_cycles * 64 + 10'000'000;
+  vt::Scheduler sched(sopts);
+
+  for (int t = 0; t < threads; ++t) {
+    sched.spawn([&, t](int id) {
+      OpGenerator gen(cfg, id);
+      ThreadOutcome& out = outcomes[static_cast<std::size_t>(t)];
+      while (sched.cycles() < opts.duration_cycles) run_op(set, gen, out);
+    });
+  }
+  sched.run();
+
+  DriverResult r;
+  r.threads = threads;
+  r.duration = sched.cycles();
+  fold_outcomes(r, outcomes);
+  r.throughput = r.duration == 0 ? 0.0
+                                 : static_cast<double>(r.total_ops) * 1000.0 /
+                                       static_cast<double>(r.duration);
+  r.stm = stm::Runtime::instance().aggregate_stats();
+  mem::EpochManager::instance().drain();  // quiescent between runs
+  return r;
+}
+
+DriverResult run_real_workload(ISet& set, const WorkloadConfig& cfg,
+                               int threads, const RealOptions& opts) {
+  stm::Runtime::instance().reset_stats();
+  std::vector<ThreadOutcome> outcomes(static_cast<std::size_t>(threads));
+  std::atomic<bool> stop{false};
+
+  const auto t0 = std::chrono::steady_clock::now();
+  vt::run_threads(threads, [&](int id) {
+    OpGenerator gen(cfg, id);
+    ThreadOutcome& out = outcomes[static_cast<std::size_t>(id)];
+    while (!stop.load(std::memory_order_relaxed)) {
+      run_op(set, gen, out);
+      if ((out.ops & 63u) == 0) {
+        const auto now = std::chrono::steady_clock::now();
+        if (std::chrono::duration_cast<std::chrono::milliseconds>(now - t0)
+                .count() >= static_cast<long>(opts.duration_ms))
+          stop.store(true, std::memory_order_relaxed);
+      }
+    }
+  });
+  const auto t1 = std::chrono::steady_clock::now();
+
+  DriverResult r;
+  r.threads = threads;
+  r.duration = static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0).count());
+  fold_outcomes(r, outcomes);
+  r.throughput = r.duration == 0 ? 0.0
+                                 : static_cast<double>(r.total_ops) * 1000.0 /
+                                       static_cast<double>(r.duration);
+  r.stm = stm::Runtime::instance().aggregate_stats();
+  mem::EpochManager::instance().drain();
+  return r;
+}
+
+}  // namespace demotx::harness

@@ -1,0 +1,47 @@
+// Workload drivers.
+//
+// run_sim_workload — the figure-bench driver: N logical threads on the
+// virtual-time scheduler run the Collection workload for a fixed virtual
+// duration; throughput is committed operations per kilocycle.  With the
+// round-robin policy this models an ideal N-way machine (DESIGN.md).
+//
+// run_real_workload — the same loop on real OS threads against the wall
+// clock, for machines that do have cores to scale on.
+#pragma once
+
+#include <cstdint>
+
+#include "harness/workload.hpp"
+#include "stm/stats.hpp"
+#include "sync/set_interface.hpp"
+
+namespace demotx::harness {
+
+struct DriverResult {
+  int threads = 0;
+  std::uint64_t total_ops = 0;
+  std::uint64_t duration = 0;    // virtual cycles (sim) or nanoseconds (real)
+  double throughput = 0.0;       // ops per kilocycle (sim) or ops/µs (real)
+  long net_adds = 0;             // sum over threads (for consistency checks)
+  long min_size_seen = 0;
+  long max_size_seen = 0;
+  std::uint64_t sizes_observed = 0;
+  demotx::stm::TxStats stm;      // aggregated STM counters (zero if non-STM)
+};
+
+struct SimOptions {
+  std::uint64_t duration_cycles = 200'000;
+  std::uint64_t scheduler_seed = 1;
+};
+
+DriverResult run_sim_workload(ISet& set, const WorkloadConfig& cfg,
+                              int threads, const SimOptions& opts = {});
+
+struct RealOptions {
+  std::uint64_t duration_ms = 200;
+};
+
+DriverResult run_real_workload(ISet& set, const WorkloadConfig& cfg,
+                               int threads, const RealOptions& opts = {});
+
+}  // namespace demotx::harness

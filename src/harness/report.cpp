@@ -1,0 +1,68 @@
+#include "harness/report.hpp"
+
+#include <cstdint>
+#include <cstdio>
+#include <ostream>
+
+namespace demotx::harness {
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {}
+
+Table& Table::add_row(std::vector<std::string> cells) {
+  cells.resize(headers_.size());
+  rows_.push_back(std::move(cells));
+  return *this;
+}
+
+std::string Table::num(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", precision, v);
+  return buf;
+}
+
+std::string Table::num(std::uint64_t v) { return std::to_string(v); }
+std::string Table::num(long v) { return std::to_string(v); }
+std::string Table::num(int v) { return std::to_string(v); }
+
+void Table::print(std::ostream& os) const {
+  std::vector<std::size_t> width(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c)
+    width[c] = headers_[c].size();
+  for (const auto& row : rows_)
+    for (std::size_t c = 0; c < row.size(); ++c)
+      if (row[c].size() > width[c]) width[c] = row[c].size();
+
+  auto emit = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      os << "  ";
+      os << cells[c];
+      for (std::size_t pad = cells[c].size(); pad < width[c]; ++pad) os << ' ';
+    }
+    os << '\n';
+  };
+  emit(headers_);
+  std::string rule;
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    rule += "  ";
+    rule.append(width[c], '-');
+  }
+  os << rule << '\n';
+  for (const auto& row : rows_) emit(row);
+}
+
+void Table::print_csv(std::ostream& os, const std::string& tag) const {
+  os << "CSV," << tag;
+  for (const auto& h : headers_) os << ',' << h;
+  os << '\n';
+  for (const auto& row : rows_) {
+    os << "CSV," << tag;
+    for (const auto& cell : row) os << ',' << cell;
+    os << '\n';
+  }
+}
+
+void banner(std::ostream& os, const std::string& title) {
+  os << '\n' << "== " << title << " ==\n\n";
+}
+
+}  // namespace demotx::harness

@@ -1,0 +1,35 @@
+// Tabular reporting for the figure benches: aligned console tables plus
+// machine-readable CSV lines (prefixed "CSV,") so results can be plotted.
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace demotx::harness {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  Table& add_row(std::vector<std::string> cells);
+
+  // Convenience formatting helpers.
+  static std::string num(double v, int precision = 2);
+  static std::string num(std::uint64_t v);
+  static std::string num(long v);
+  static std::string num(int v);
+
+  void print(std::ostream& os) const;
+  void print_csv(std::ostream& os, const std::string& tag) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+// Section banner for bench output.
+void banner(std::ostream& os, const std::string& title);
+
+}  // namespace demotx::harness

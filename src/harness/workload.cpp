@@ -1,0 +1,41 @@
+#include "harness/workload.hpp"
+
+#include <algorithm>
+
+namespace demotx::harness {
+
+void prefill(ISet& set, const WorkloadConfig& cfg) {
+  OpGenerator gen(cfg, /*thread_id=*/-7);  // off the worker seed path
+  long added = 0;
+  while (added < cfg.initial_size) {
+    if (set.add(gen.next_key())) ++added;
+  }
+}
+
+void run_op(ISet& set, OpGenerator& gen, ThreadOutcome& out) {
+  switch (gen.next_kind()) {
+    case OpKind::kContains:
+      set.contains(gen.next_key());
+      break;
+    case OpKind::kAdd:
+      if (set.add(gen.next_key())) ++out.net_adds;
+      break;
+    case OpKind::kRemove:
+      if (set.remove(gen.next_key())) --out.net_adds;
+      break;
+    case OpKind::kSize: {
+      const long s = set.size();
+      if (out.sizes_observed == 0) {
+        out.min_size_seen = out.max_size_seen = s;
+      } else {
+        out.min_size_seen = std::min(out.min_size_seen, s);
+        out.max_size_seen = std::max(out.max_size_seen, s);
+      }
+      ++out.sizes_observed;
+      break;
+    }
+  }
+  ++out.ops;
+}
+
+}  // namespace demotx::harness

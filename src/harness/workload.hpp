@@ -1,0 +1,96 @@
+// The paper's Collection workload: contains / add / remove / size over an
+// integer set, with "an update and a size ratio of 10% each" (Sec. 3.3).
+//
+// Updates split evenly between add and remove and the key range is twice
+// the initial size, so the set stays near its initial size in steady
+// state.  Generation is xorshift-based and seeded per logical thread:
+// identical streams in simulation and real mode, fully reproducible.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+
+#include "sync/set_interface.hpp"
+
+namespace demotx::harness {
+
+struct WorkloadConfig {
+  long initial_size = 512;  // paper: 2^12; simulator default 2^9 (DESIGN.md)
+  long key_range = 1024;    // 2 * initial_size keeps ~50% occupancy
+  int contains_pct = 80;
+  int add_pct = 5;
+  int remove_pct = 5;
+  int size_pct = 10;
+  // Key skew: 0 = uniform; s > 0 concentrates accesses near key 0 with
+  // density ~ u^(1+4s) (a bounded-Pareto-style hotspot — the "high-traffic
+  // data elements" of the paper's citation [25]).
+  double skew = 0.0;
+  std::uint64_t seed = 42;
+
+  [[nodiscard]] bool valid() const {
+    return contains_pct + add_pct + remove_pct + size_pct == 100 &&
+           initial_size <= key_range;
+  }
+};
+
+enum class OpKind : std::uint8_t { kContains, kAdd, kRemove, kSize };
+
+class OpGenerator {
+ public:
+  OpGenerator(const WorkloadConfig& cfg, int thread_id)
+      : cfg_(cfg),
+        state_(cfg.seed * 0x9e3779b97f4a7c15ULL +
+               static_cast<std::uint64_t>(thread_id + 1) * 0xbf58476d1ce4e5b9ULL) {
+    if (state_ == 0) state_ = 1;
+  }
+
+  OpKind next_kind() {
+    const auto r = static_cast<int>(next() % 100);
+    if (r < cfg_.contains_pct) return OpKind::kContains;
+    if (r < cfg_.contains_pct + cfg_.add_pct) return OpKind::kAdd;
+    if (r < cfg_.contains_pct + cfg_.add_pct + cfg_.remove_pct)
+      return OpKind::kRemove;
+    return OpKind::kSize;
+  }
+
+  long next_key() {
+    if (cfg_.skew <= 0.0) {
+      return static_cast<long>(next() %
+                               static_cast<std::uint64_t>(cfg_.key_range));
+    }
+    // u in (0,1]; exponent > 1 pushes mass toward small keys.
+    const double u =
+        (static_cast<double>(next() >> 11) + 1.0) / 9007199254740993.0;
+    const double x = std::pow(u, 1.0 + 4.0 * cfg_.skew);
+    auto key = static_cast<long>(x * static_cast<double>(cfg_.key_range));
+    return key >= cfg_.key_range ? cfg_.key_range - 1 : key;
+  }
+
+ private:
+  std::uint64_t next() {
+    state_ ^= state_ << 13;
+    state_ ^= state_ >> 7;
+    state_ ^= state_ << 17;
+    return state_;
+  }
+
+  WorkloadConfig cfg_;
+  std::uint64_t state_;
+};
+
+// Deterministically populates the set with cfg.initial_size distinct keys.
+void prefill(ISet& set, const WorkloadConfig& cfg);
+
+// Per-thread result of one run, used for post-run consistency checks.
+struct ThreadOutcome {
+  std::uint64_t ops = 0;
+  long net_adds = 0;  // successful adds minus successful removes
+  std::uint64_t sizes_observed = 0;
+  long min_size_seen = 0;
+  long max_size_seen = 0;
+};
+
+// Executes one operation against the set, updating the outcome.
+void run_op(ISet& set, OpGenerator& gen, ThreadOutcome& out);
+
+}  // namespace demotx::harness

@@ -1,0 +1,92 @@
+#include "mem/epoch.hpp"
+
+#include <algorithm>
+#include <limits>
+
+namespace demotx::mem {
+
+EpochManager& EpochManager::instance() {
+  static EpochManager mgr;
+  return mgr;
+}
+
+EpochManager::EpochManager() = default;
+
+EpochManager::~EpochManager() { drain(); }
+
+void EpochManager::enter() {
+  Slot& s = slots_[vt::thread_id()];
+  if (s.nest++ > 0) return;
+  vt::access();
+  s.active.store(true, std::memory_order_seq_cst);
+  // Announce the freshest epoch; seq_cst keeps the announce visible before
+  // any subsequent optimistic read.
+  s.epoch.store(global_epoch_.load(std::memory_order_seq_cst),
+                std::memory_order_seq_cst);
+}
+
+void EpochManager::exit() {
+  Slot& s = slots_[vt::thread_id()];
+  if (--s.nest > 0) return;
+  vt::access();
+  s.active.store(false, std::memory_order_release);
+}
+
+void EpochManager::retire(void* p, void (*deleter)(void*)) {
+  Slot& s = slots_[vt::thread_id()];
+  vt::access();
+  s.limbo.push_back(
+      Retired{p, deleter, global_epoch_.load(std::memory_order_acquire)});
+  retired_total_.fetch_add(1, std::memory_order_relaxed);
+  if (++s.retire_since_scan >= kScanInterval) {
+    s.retire_since_scan = 0;
+    scan(s);
+  }
+}
+
+void EpochManager::scan(Slot& self) {
+  const std::uint64_t e = global_epoch_.load(std::memory_order_seq_cst);
+  std::uint64_t min_active = std::numeric_limits<std::uint64_t>::max();
+  bool all_current = true;
+  for (auto& s : slots_) {
+    vt::access();
+    if (!s.active.load(std::memory_order_seq_cst)) continue;
+    const std::uint64_t se = s.epoch.load(std::memory_order_seq_cst);
+    min_active = std::min(min_active, se);
+    if (se != e) all_current = false;
+  }
+  // Advance the global epoch once every active reader caught up, so the
+  // reclamation horizon keeps moving even under constant read load.
+  if (all_current) {
+    std::uint64_t expected = e;
+    global_epoch_.compare_exchange_strong(expected, e + 1,
+                                          std::memory_order_seq_cst);
+    vt::access();
+  }
+  // Free everything retired strictly before the oldest active reader's
+  // announcement: such readers entered after those nodes were unlinked.
+  auto& limbo = self.limbo;
+  std::size_t kept = 0;
+  for (std::size_t i = 0; i < limbo.size(); ++i) {
+    if (limbo[i].epoch < min_active) {
+      limbo[i].deleter(limbo[i].ptr);
+      freed_total_.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      limbo[kept++] = limbo[i];
+    }
+  }
+  limbo.resize(kept);
+}
+
+void EpochManager::drain() {
+  for (auto& s : slots_) {
+    for (const Retired& r : s.limbo) {
+      r.deleter(r.ptr);
+      freed_total_.fetch_add(1, std::memory_order_relaxed);
+    }
+    s.limbo.clear();
+    s.retire_since_scan = 0;
+  }
+}
+
+}  // namespace demotx::mem

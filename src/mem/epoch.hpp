@@ -1,0 +1,103 @@
+// Epoch-based memory reclamation (EBR), the garbage-collector substitute.
+//
+// The paper's prototype ran on the JVM, where optimistic readers (STM
+// parses, lazy/lock-free list traversals, snapshot transactions reading
+// superseded values) can hold references to unlinked nodes and the GC keeps
+// them alive.  In C++ we provide the same guarantee with epochs: readers
+// enter a critical section via an RAII Guard that announces the current
+// global epoch; unlinked nodes are retired with the epoch at retirement
+// and freed only once every active reader has announced a strictly later
+// epoch.  Any reader that could still hold a reference to a node entered
+// (and hence announced) no later than the node's retirement epoch, so the
+// predicate `retire_epoch < min(active announcements)` is safe.
+//
+// Threads are identified by vt::thread_id(); the scheme works identically
+// under real threads and under the virtual-time simulator.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+#include "vt/context.hpp"
+
+namespace demotx::mem {
+
+class EpochManager {
+ public:
+  // Process-wide domain: all demotx structures share it, so one Guard
+  // covers every structure a transaction touches.
+  static EpochManager& instance();
+
+  EpochManager();
+  ~EpochManager();
+  EpochManager(const EpochManager&) = delete;
+  EpochManager& operator=(const EpochManager&) = delete;
+
+  // Marks the calling logical thread as inside a read-side critical
+  // section.  Reentrant; cheap (two shared accesses).
+  class Guard {
+   public:
+    Guard() : mgr_(EpochManager::instance()) { mgr_.enter(); }
+    explicit Guard(EpochManager& m) : mgr_(m) { mgr_.enter(); }
+    ~Guard() { mgr_.exit(); }
+    Guard(const Guard&) = delete;
+    Guard& operator=(const Guard&) = delete;
+
+   private:
+    EpochManager& mgr_;
+  };
+
+  void enter();
+  void exit();
+
+  // Hands the object to the reclaimer; it is deleted once no reader can
+  // hold a reference.  Callable with or without an active Guard.
+  void retire(void* p, void (*deleter)(void*));
+
+  template <typename T>
+  void retire(T* p) {
+    retire(p, [](void* q) { delete static_cast<T*>(q); });
+  }
+
+  // Frees everything immediately.  Only valid when no Guard is active on
+  // any thread (quiescence); used at test/benchmark teardown.
+  void drain();
+
+  [[nodiscard]] std::uint64_t retired_count() const {
+    return retired_total_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t freed_count() const {
+    return freed_total_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t epoch() const {
+    return global_epoch_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct Retired {
+    void* ptr;
+    void (*deleter)(void*);
+    std::uint64_t epoch;
+  };
+
+  struct alignas(64) Slot {
+    std::atomic<std::uint64_t> epoch{0};
+    std::atomic<bool> active{false};
+    int nest = 0;                  // owner-thread only
+    std::vector<Retired> limbo;    // owner-thread only
+    std::uint64_t retire_since_scan = 0;
+  };
+
+  void scan(Slot& self);
+
+  std::atomic<std::uint64_t> global_epoch_{1};
+  std::atomic<std::uint64_t> retired_total_{0};
+  std::atomic<std::uint64_t> freed_total_{0};
+  Slot slots_[vt::kMaxThreads];
+
+  // How many retires between reclamation scans.
+  static constexpr std::uint64_t kScanInterval = 64;
+};
+
+}  // namespace demotx::mem

@@ -1,0 +1,66 @@
+#include "mem/hazard.hpp"
+
+#include <algorithm>
+
+namespace demotx::mem {
+
+HazardDomain& HazardDomain::instance() {
+  static HazardDomain dom;
+  return dom;
+}
+
+HazardDomain::HazardDomain() {
+  for (auto& t : hp_)
+    for (auto& s : t.slot) s.store(nullptr, std::memory_order_relaxed);
+}
+
+HazardDomain::~HazardDomain() { drain(); }
+
+void HazardDomain::clear_all() {
+  ThreadHp& t = hp_[vt::thread_id()];
+  vt::access();
+  for (auto& s : t.slot) s.store(nullptr, std::memory_order_release);
+}
+
+void HazardDomain::retire(void* p, void (*deleter)(void*)) {
+  ThreadRetired& r = retired_[vt::thread_id()];
+  vt::access();
+  r.list.push_back(Retired{p, deleter});
+  retired_total_.fetch_add(1, std::memory_order_relaxed);
+  if (r.list.size() >= kScanThreshold) scan(r);
+}
+
+void HazardDomain::scan(ThreadRetired& self) {
+  // Snapshot every published hazard pointer.
+  std::vector<void*> protected_ptrs;
+  protected_ptrs.reserve(vt::kMaxThreads * kSlotsPerThread);
+  for (auto& t : hp_) {
+    vt::access();
+    for (auto& s : t.slot) {
+      void* p = s.load(std::memory_order_seq_cst);
+      if (p != nullptr) protected_ptrs.push_back(p);
+    }
+  }
+  std::sort(protected_ptrs.begin(), protected_ptrs.end());
+  std::size_t kept = 0;
+  auto& list = self.list;
+  for (std::size_t i = 0; i < list.size(); ++i) {
+    if (std::binary_search(protected_ptrs.begin(), protected_ptrs.end(),
+                           list[i].ptr)) {
+      list[kept++] = list[i];
+    } else {
+      list[i].deleter(list[i].ptr);
+      freed_total_.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+  list.resize(kept);
+}
+
+void HazardDomain::drain() {
+  for (auto& r : retired_) {
+    if (!r.list.empty()) scan(r);
+    // At teardown quiescence no slot is published, so scan freed all.
+  }
+}
+
+}  // namespace demotx::mem

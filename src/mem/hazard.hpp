@@ -1,0 +1,120 @@
+// Hazard pointers (Michael, 2002) — the second reclamation policy.
+//
+// Provided as an alternative to epochs for the Harris-Michael lock-free
+// list baseline: a traversal publishes the nodes it is about to
+// dereference in per-thread hazard slots and re-validates the source
+// pointer after publication; reclamation frees a retired node only when no
+// slot holds it.  Unlike epochs, a stalled reader delays only the nodes it
+// actually protects.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+#include "vt/context.hpp"
+
+namespace demotx::mem {
+
+class HazardDomain {
+ public:
+  // Hazard slots per logical thread; list traversal needs prev/curr/next.
+  static constexpr int kSlotsPerThread = 4;
+
+  static HazardDomain& instance();
+
+  HazardDomain();
+  ~HazardDomain();
+  HazardDomain(const HazardDomain&) = delete;
+  HazardDomain& operator=(const HazardDomain&) = delete;
+
+  // Publishes the current value of src in hazard slot `slot` of the
+  // calling thread and re-validates until stable.  Returns the protected
+  // pointer (may be nullptr, which needs no protection).
+  template <typename T>
+  T* protect(int slot, const std::atomic<T*>& src) {
+    T* p = src.load(std::memory_order_acquire);
+    for (;;) {
+      vt::access();
+      publish(slot, p);
+      T* q = src.load(std::memory_order_seq_cst);
+      if (q == p) return p;
+      p = q;
+    }
+  }
+
+  // Publishes an already-loaded pointer; caller must re-validate that the
+  // pointer is still reachable afterwards (raw building block).
+  void publish(int slot, const void* p) {
+    hp_[vt::thread_id()].slot[slot].store(const_cast<void*>(p),
+                                          std::memory_order_seq_cst);
+  }
+
+  void clear(int slot) {
+    vt::access();
+    hp_[vt::thread_id()].slot[slot].store(nullptr, std::memory_order_release);
+  }
+
+  void clear_all();
+
+  void retire(void* p, void (*deleter)(void*));
+
+  template <typename T>
+  void retire(T* p) {
+    retire(p, [](void* q) { delete static_cast<T*>(q); });
+  }
+
+  // Frees all retired nodes not currently protected; then, if quiescent,
+  // everything.  Test/bench teardown helper.
+  void drain();
+
+  [[nodiscard]] std::uint64_t retired_count() const {
+    return retired_total_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t freed_count() const {
+    return freed_total_.load(std::memory_order_relaxed);
+  }
+
+  // RAII: clears this thread's hazard slots on scope exit.
+  class Holder {
+   public:
+    Holder() : dom_(HazardDomain::instance()) {}
+    explicit Holder(HazardDomain& d) : dom_(d) {}
+    ~Holder() { dom_.clear_all(); }
+    Holder(const Holder&) = delete;
+    Holder& operator=(const Holder&) = delete;
+
+    template <typename T>
+    T* protect(int slot, const std::atomic<T*>& src) {
+      return dom_.protect(slot, src);
+    }
+
+   private:
+    HazardDomain& dom_;
+  };
+
+ private:
+  struct Retired {
+    void* ptr;
+    void (*deleter)(void*);
+  };
+
+  struct alignas(64) ThreadHp {
+    std::atomic<void*> slot[kSlotsPerThread];
+  };
+
+  struct alignas(64) ThreadRetired {
+    std::vector<Retired> list;
+  };
+
+  void scan(ThreadRetired& self);
+
+  ThreadHp hp_[vt::kMaxThreads];
+  ThreadRetired retired_[vt::kMaxThreads];
+  std::atomic<std::uint64_t> retired_total_{0};
+  std::atomic<std::uint64_t> freed_total_{0};
+
+  static constexpr std::size_t kScanThreshold = 64;
+};
+
+}  // namespace demotx::mem

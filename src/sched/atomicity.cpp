@@ -1,0 +1,112 @@
+#include "sched/atomicity.hpp"
+
+#include <algorithm>
+#include <functional>
+#include <iterator>
+
+namespace demotx::sched {
+
+std::vector<std::size_t> access_events(const Program& p) {
+  std::vector<std::size_t> out;
+  for (std::size_t i = 0; i < p.size(); ++i)
+    if (p[i].op == Op::kRead || p[i].op == Op::kWrite) out.push_back(i);
+  return out;
+}
+
+AtomicityRelation lock_atomicity(const Program& p) {
+  const std::vector<std::size_t> acc = access_events(p);
+  // Collect held-lock intervals [lock_i, unlock_i] per location.
+  struct Interval {
+    int loc;
+    std::size_t from;
+    std::size_t to;
+  };
+  std::vector<Interval> intervals;
+  std::vector<std::pair<int, std::size_t>> open;  // (loc, lock index)
+  for (std::size_t i = 0; i < p.size(); ++i) {
+    if (p[i].op == Op::kLock) {
+      open.emplace_back(p[i].loc, i);
+    } else if (p[i].op == Op::kUnlock) {
+      for (auto it = open.rbegin(); it != open.rend(); ++it) {
+        if (it->first == p[i].loc) {
+          intervals.push_back({p[i].loc, it->second, i});
+          open.erase(std::next(it).base());
+          break;
+        }
+      }
+    }
+  }
+  // Locks never released are held to the end.
+  for (auto [loc, from] : open) intervals.push_back({loc, from, p.size()});
+
+  AtomicityRelation rel;
+  for (std::size_t a = 0; a < acc.size(); ++a) {
+    for (std::size_t b = a + 1; b < acc.size(); ++b) {
+      for (const Interval& iv : intervals) {
+        const bool covers = acc[a] > iv.from && acc[a] < iv.to &&
+                            acc[b] > iv.from && acc[b] < iv.to;
+        if (!covers) continue;
+        // The interval's lock must protect a location one of the two
+        // accesses actually touches (the paper: the process "accesses x"
+        // within the interval it locks x).
+        if (p[acc[a]].loc == iv.loc || p[acc[b]].loc == iv.loc) {
+          rel.insert({a, b});
+          break;
+        }
+      }
+    }
+  }
+  return rel;
+}
+
+AtomicityRelation transaction_atomicity(const Program& p) {
+  const std::size_t n = access_events(p).size();
+  AtomicityRelation rel;
+  for (std::size_t a = 0; a < n; ++a)
+    for (std::size_t b = a + 1; b < n; ++b) rel.insert({a, b});
+  return rel;
+}
+
+AtomicityRelation transitive_closure(const AtomicityRelation& r,
+                                     std::size_t num_accesses) {
+  // Atomicity is symmetric; its closure is the union of connected
+  // components' complete graphs.
+  std::vector<std::size_t> parent(num_accesses);
+  for (std::size_t i = 0; i < num_accesses; ++i) parent[i] = i;
+  std::function<std::size_t(std::size_t)> find = [&](std::size_t x) {
+    while (parent[x] != x) x = parent[x] = parent[parent[x]];
+    return x;
+  };
+  for (const AccessPair& pr : r) parent[find(pr.first)] = find(pr.second);
+  AtomicityRelation out;
+  for (std::size_t a = 0; a < num_accesses; ++a)
+    for (std::size_t b = a + 1; b < num_accesses; ++b)
+      if (find(a) == find(b)) out.insert({a, b});
+  return out;
+}
+
+bool is_transitively_closed(const AtomicityRelation& r,
+                            std::size_t num_accesses) {
+  return transitive_closure(r, num_accesses) == r;
+}
+
+std::string to_string(const AtomicityRelation& r, const Program& p,
+                      const std::vector<std::string>* loc_names) {
+  const std::vector<std::size_t> acc = access_events(p);
+  auto label = [&](std::size_t a) {
+    History one{p[acc[a]]};
+    std::string s = sched::to_string(one, loc_names);
+    return s.substr(0, s.find_last_not_of("0123456789") + 1);
+  };
+  std::string out = "{";
+  bool first = true;
+  for (const AccessPair& pr : r) {
+    if (!first) out += ", ";
+    first = false;
+    out += "(" + label(pr.first) + "," + label(pr.second) + ")";
+  }
+  out += "}";
+  return out;
+}
+
+}  // namespace demotx::sched

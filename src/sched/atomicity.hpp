@@ -1,0 +1,54 @@
+// The atomicity-relation analyzer of Sec. 3.1.
+//
+// The paper defines atomicity(π, π') over two accesses of one process and
+// shows the key expressiveness gap:
+//
+//   * a lock-based program guarantees atomicity between two accesses iff
+//     some held-lock interval covers both (and the interval's lock
+//     protects a location one of them accesses) — a relation that is NOT
+//     transitively closed (hand-over-hand: (rx,ry) and (ry,rz) but not
+//     (rx,rz));
+//   * a transaction block guarantees ALL pairs — the transitive closure —
+//     and its open/close syntax cannot express anything weaker.
+//
+// This module computes both relations from a Program so tests and the
+// Fig. 4 bench can exhibit the gap mechanically.
+#pragma once
+
+#include <cstddef>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "sched/history.hpp"
+
+namespace demotx::sched {
+
+// Unordered pair of access indices (positions among the program's
+// read/write events, in program order), stored with first < second.
+using AccessPair = std::pair<std::size_t, std::size_t>;
+using AtomicityRelation = std::set<AccessPair>;
+
+// Indices (into the program) of the read/write events, in order.
+std::vector<std::size_t> access_events(const Program& p);
+
+// Atomicity guaranteed by the program's explicit lock/unlock events.
+AtomicityRelation lock_atomicity(const Program& p);
+
+// Atomicity guaranteed by wrapping all accesses in one transaction: every
+// pair.
+AtomicityRelation transaction_atomicity(const Program& p);
+
+// Transitive closure of a relation over the given number of accesses.
+AtomicityRelation transitive_closure(const AtomicityRelation& r,
+                                     std::size_t num_accesses);
+
+bool is_transitively_closed(const AtomicityRelation& r,
+                            std::size_t num_accesses);
+
+// "{(r(x),r(y)), ...}" using the program's access events for labels.
+std::string to_string(const AtomicityRelation& r, const Program& p,
+                      const std::vector<std::string>* loc_names = nullptr);
+
+}  // namespace demotx::sched

@@ -1,0 +1,378 @@
+#include "sched/checkers.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+namespace demotx::sched {
+
+namespace {
+
+// Simple dense digraph with DFS cycle detection.
+class Digraph {
+ public:
+  explicit Digraph(int n) : n_(n), adj_(static_cast<std::size_t>(n) *
+                                        static_cast<std::size_t>(n)) {}
+
+  void add_edge(int a, int b) {
+    if (a != b) adj_[idx(a, b)] = true;
+  }
+
+  [[nodiscard]] bool has_cycle() const {
+    std::vector<int> color(static_cast<std::size_t>(n_), 0);
+    for (int v = 0; v < n_; ++v)
+      if (color[static_cast<std::size_t>(v)] == 0 && dfs(v, color)) return true;
+    return false;
+  }
+
+ private:
+  [[nodiscard]] std::size_t idx(int a, int b) const {
+    return static_cast<std::size_t>(a) * static_cast<std::size_t>(n_) +
+           static_cast<std::size_t>(b);
+  }
+
+  bool dfs(int v, std::vector<int>& color) const {
+    color[static_cast<std::size_t>(v)] = 1;
+    for (int w = 0; w < n_; ++w) {
+      if (!adj_[idx(v, w)]) continue;
+      if (color[static_cast<std::size_t>(w)] == 1) return true;
+      if (color[static_cast<std::size_t>(w)] == 0 && dfs(w, color)) return true;
+    }
+    color[static_cast<std::size_t>(v)] = 2;
+    return false;
+  }
+
+  int n_;
+  std::vector<bool> adj_;
+};
+
+void add_conflict_edges(const History& h, Digraph& g) {
+  for (std::size_t i = 0; i < h.size(); ++i) {
+    for (std::size_t j = i + 1; j < h.size(); ++j) {
+      const Event& a = h[i];
+      const Event& b = h[j];
+      if (a.tx == b.tx || a.loc != b.loc) continue;
+      if (a.op == Op::kWrite || b.op == Op::kWrite) g.add_edge(a.tx, b.tx);
+    }
+  }
+}
+
+// Real-time precedence: a's last event before b's first event.
+void add_realtime_edges(const History& h, int n, Digraph& g) {
+  std::vector<std::size_t> first(static_cast<std::size_t>(n), h.size());
+  std::vector<std::size_t> last(static_cast<std::size_t>(n), 0);
+  for (std::size_t i = 0; i < h.size(); ++i) {
+    auto t = static_cast<std::size_t>(h[i].tx);
+    first[t] = std::min(first[t], i);
+    last[t] = std::max(last[t], i);
+  }
+  for (int a = 0; a < n; ++a)
+    for (int b = 0; b < n; ++b)
+      if (a != b && last[static_cast<std::size_t>(a)] <
+                        first[static_cast<std::size_t>(b)])
+        g.add_edge(a, b);
+}
+
+}  // namespace
+
+bool conflict_serializable(const History& h) {
+  const int n = num_txs(h);
+  if (n <= 1) return true;
+  Digraph g(n);
+  add_conflict_edges(h, g);
+  return !g.has_cycle();
+}
+
+bool conflict_opaque(const History& h) {
+  const int n = num_txs(h);
+  if (n <= 1) return true;
+  Digraph g(n);
+  add_conflict_edges(h, g);
+  add_realtime_edges(h, n, g);
+  return !g.has_cycle();
+}
+
+bool view_strictly_serializable(const History& h, WriteVisibility vis) {
+  const int n = num_txs(h);
+  if (n <= 1) return true;
+
+  // Reads-from in H: for each read event, the tx whose write it observes
+  // (-1 = initial value), and the final writer per location.  Under
+  // kAtEvent a write is visible from its event on; under kAtCommit other
+  // transactions see it only after the writer's last event (buffered
+  // writes), while the writer itself always sees its own earlier writes.
+  const int locs = num_locs(h);
+  struct ReadObs {
+    std::size_t event;
+    int from;
+  };
+  std::vector<ReadObs> observations;
+  std::vector<int> final_writer(static_cast<std::size_t>(locs), -1);
+
+  if (vis == WriteVisibility::kAtEvent) {
+    std::vector<int> writer(static_cast<std::size_t>(locs), -1);
+    for (std::size_t i = 0; i < h.size(); ++i) {
+      const Event& e = h[i];
+      if (e.op == Op::kRead) {
+        observations.push_back({i, writer[static_cast<std::size_t>(e.loc)]});
+      } else if (e.op == Op::kWrite) {
+        writer[static_cast<std::size_t>(e.loc)] = e.tx;
+      }
+    }
+    final_writer = writer;
+  } else {
+    std::vector<std::size_t> commit_at(static_cast<std::size_t>(n), 0);
+    for (std::size_t i = 0; i < h.size(); ++i)
+      commit_at[static_cast<std::size_t>(h[i].tx)] = i;
+    // writes_before[t][l]: smallest event index at which tx t wrote l.
+    std::vector<std::vector<std::size_t>> first_write(
+        static_cast<std::size_t>(n),
+        std::vector<std::size_t>(static_cast<std::size_t>(locs), h.size()));
+    for (std::size_t i = 0; i < h.size(); ++i) {
+      const Event& e = h[i];
+      if (e.op == Op::kWrite) {
+        auto& fw = first_write[static_cast<std::size_t>(e.tx)]
+                              [static_cast<std::size_t>(e.loc)];
+        fw = std::min(fw, i);
+      }
+    }
+    for (std::size_t i = 0; i < h.size(); ++i) {
+      const Event& e = h[i];
+      if (e.op != Op::kRead) continue;
+      const auto l = static_cast<std::size_t>(e.loc);
+      int from = -1;
+      if (first_write[static_cast<std::size_t>(e.tx)][l] < i) {
+        from = e.tx;  // read-own-write
+      } else {
+        std::size_t best = 0;
+        bool found = false;
+        for (int u = 0; u < n; ++u) {
+          if (u == e.tx) continue;
+          const auto uu = static_cast<std::size_t>(u);
+          if (first_write[uu][l] == h.size()) continue;  // never writes l
+          if (commit_at[uu] < i && (!found || commit_at[uu] > best)) {
+            best = commit_at[uu];
+            from = u;
+            found = true;
+          }
+        }
+      }
+      observations.push_back({i, from});
+    }
+    for (int l = 0; l < locs; ++l) {
+      std::size_t best = 0;
+      for (int u = 0; u < n; ++u) {
+        const auto uu = static_cast<std::size_t>(u);
+        if (first_write[uu][static_cast<std::size_t>(l)] == h.size()) continue;
+        if (final_writer[static_cast<std::size_t>(l)] == -1 ||
+            commit_at[uu] > best) {
+          best = commit_at[uu];
+          final_writer[static_cast<std::size_t>(l)] = u;
+        }
+      }
+    }
+  }
+
+  // Real-time constraints.
+  std::vector<std::size_t> first(static_cast<std::size_t>(n), h.size());
+  std::vector<std::size_t> last(static_cast<std::size_t>(n), 0);
+  for (std::size_t i = 0; i < h.size(); ++i) {
+    auto t = static_cast<std::size_t>(h[i].tx);
+    first[t] = std::min(first[t], i);
+    last[t] = std::max(last[t], i);
+  }
+
+  // Group each transaction's observations in program order.
+  std::vector<std::vector<ReadObs>> per_tx(static_cast<std::size_t>(n));
+  for (const ReadObs& o : observations)
+    per_tx[static_cast<std::size_t>(h[o.event].tx)].push_back(o);
+
+  std::vector<int> perm(static_cast<std::size_t>(n));
+  std::iota(perm.begin(), perm.end(), 0);
+  do {
+    std::vector<int> pos(static_cast<std::size_t>(n));
+    for (int i = 0; i < n; ++i)
+      pos[static_cast<std::size_t>(perm[static_cast<std::size_t>(i)])] = i;
+    // Real-time order must be respected.
+    bool ok = true;
+    for (int a = 0; a < n && ok; ++a)
+      for (int b = 0; b < n && ok; ++b)
+        if (a != b &&
+            last[static_cast<std::size_t>(a)] <
+                first[static_cast<std::size_t>(b)] &&
+            pos[static_cast<std::size_t>(a)] > pos[static_cast<std::size_t>(b)])
+          ok = false;
+    if (!ok) continue;
+    // Replay serially; every read must see the same writer as in H, and
+    // the final writer of each location must match.
+    std::vector<int> w(static_cast<std::size_t>(locs), -1);
+    std::vector<std::size_t> cursor(static_cast<std::size_t>(n), 0);
+    for (int p = 0; p < n && ok; ++p) {
+      const int t = perm[static_cast<std::size_t>(p)];
+      for (const Event& e : h) {
+        if (e.tx != t) continue;
+        if (e.op == Op::kRead) {
+          const ReadObs& o = per_tx[static_cast<std::size_t>(t)]
+                                   [cursor[static_cast<std::size_t>(t)]++];
+          if (w[static_cast<std::size_t>(e.loc)] != o.from) {
+            ok = false;
+            break;
+          }
+        } else if (e.op == Op::kWrite) {
+          w[static_cast<std::size_t>(e.loc)] = t;
+        }
+      }
+    }
+    if (ok) {
+      for (int l = 0; l < locs; ++l)
+        if (w[static_cast<std::size_t>(l)] !=
+            final_writer[static_cast<std::size_t>(l)])
+          ok = false;
+    }
+    if (ok) return true;
+  } while (std::next_permutation(perm.begin(), perm.end()));
+  return false;
+}
+
+// ---------------------------------------------------------------------
+// Operational replay of the demotx protocol (input acceptance).
+// ---------------------------------------------------------------------
+
+ProtocolResult protocol_accepts(const History& h, const ProtocolOptions& opts) {
+  const int n = num_txs(h);
+  const int locs = num_locs(h);
+  ProtocolResult res;
+
+  auto sem_of = [&](int t) {
+    return t < static_cast<int>(opts.semantics.size())
+               ? opts.semantics[static_cast<std::size_t>(t)]
+               : stm::Semantics::kClassic;
+  };
+
+  struct TxState {
+    bool started = false;
+    std::uint64_t rv = 0;
+    bool elastic_phase = false;
+    std::vector<std::pair<int, std::uint64_t>> window;  // (loc, version)
+    std::vector<std::pair<int, std::uint64_t>> reads;
+    std::vector<int> writes;
+  };
+
+  std::vector<TxState> st(static_cast<std::size_t>(n));
+  std::vector<std::uint64_t> ver(static_cast<std::size_t>(locs), 0);
+  std::vector<std::uint64_t> prev_ver(static_cast<std::size_t>(locs), 0);
+  std::uint64_t clock = 0;
+
+  std::vector<std::size_t> last(static_cast<std::size_t>(n), 0);
+  for (std::size_t i = 0; i < h.size(); ++i)
+    last[static_cast<std::size_t>(h[i].tx)] = i;
+
+  auto fail = [&](int t, stm::AbortReason r) {
+    res.accepted = false;
+    res.aborted_tx = t;
+    res.reason = r;
+  };
+
+  auto validate_reads = [&](const TxState& s) {
+    for (auto [loc, v] : s.reads)
+      if (ver[static_cast<std::size_t>(loc)] != v) return false;
+    return true;
+  };
+  auto validate_window = [&](const TxState& s) {
+    for (auto [loc, v] : s.window)
+      if (ver[static_cast<std::size_t>(loc)] != v) return false;
+    return true;
+  };
+
+  for (std::size_t i = 0; i < h.size(); ++i) {
+    const Event& e = h[i];
+    const int t = e.tx;
+    TxState& s = st[static_cast<std::size_t>(t)];
+    const stm::Semantics sem = sem_of(t);
+    if (!s.started) {
+      s.started = true;
+      s.rv = clock;
+      s.elastic_phase = (sem == stm::Semantics::kElastic);
+    }
+    const auto l = static_cast<std::size_t>(e.loc);
+
+    switch (e.op) {
+      case Op::kRead: {
+        const bool own_write =
+            std::find(s.writes.begin(), s.writes.end(), e.loc) !=
+            s.writes.end();
+        if (own_write) break;
+        if (sem == stm::Semantics::kSnapshot) {
+          if (ver[l] <= s.rv) break;
+          if (prev_ver[l] <= s.rv) break;
+          fail(t, stm::AbortReason::kSnapshotTooOld);
+          return res;
+        }
+        if (s.elastic_phase) {
+          while (s.window.size() >= opts.elastic_window) {
+            s.window.erase(s.window.begin());
+            ++res.total_cuts;
+          }
+          if (!validate_window(s)) {
+            fail(t, stm::AbortReason::kWindowInvalid);
+            return res;
+          }
+          s.window.emplace_back(e.loc, ver[l]);
+          break;
+        }
+        // classic-mode read
+        if (ver[l] > s.rv) {
+          if (opts.enable_extension && validate_reads(s)) {
+            s.rv = clock;
+          } else {
+            fail(t, stm::AbortReason::kReadValidation);
+            return res;
+          }
+        }
+        s.reads.emplace_back(e.loc, ver[l]);
+        break;
+      }
+      case Op::kWrite: {
+        if (sem == stm::Semantics::kSnapshot) {
+          fail(t, stm::AbortReason::kExplicit);  // read-only semantics
+          return res;
+        }
+        if (s.elastic_phase) {
+          if (!validate_window(s)) {
+            fail(t, stm::AbortReason::kWindowInvalid);
+            return res;
+          }
+          s.rv = clock;
+          for (auto& w : s.window) s.reads.push_back(w);
+          s.window.clear();
+          s.elastic_phase = false;
+        }
+        if (std::find(s.writes.begin(), s.writes.end(), e.loc) ==
+            s.writes.end())
+          s.writes.push_back(e.loc);
+        break;
+      }
+      case Op::kLock:
+      case Op::kUnlock:
+        break;  // not part of the transactional protocol
+    }
+
+    // Commit at the transaction's last event.
+    if (i == last[static_cast<std::size_t>(t)]) {
+      if (!s.writes.empty()) {
+        if (!validate_reads(s)) {
+          fail(t, stm::AbortReason::kCommitValidation);
+          return res;
+        }
+        ++clock;
+        for (int loc : s.writes) {
+          prev_ver[static_cast<std::size_t>(loc)] =
+              ver[static_cast<std::size_t>(loc)];
+          ver[static_cast<std::size_t>(loc)] = clock;
+        }
+      }
+    }
+  }
+  return res;
+}
+
+}  // namespace demotx::sched

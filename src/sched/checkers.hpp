@@ -1,0 +1,66 @@
+// History checkers: the acceptance criteria behind Fig. 4 and Sec. 4.2.
+//
+// Three semantic checkers plus an operational protocol-replay checker:
+//
+//  * conflict_serializable       — classic conflict-graph acyclicity.
+//                                  This is "correct" for the paper's
+//                                  Fig. 4 counting: all 20 interleavings
+//                                  of Pt, P1, P2 pass.
+//  * view_strictly_serializable  — exact strict serializability: some
+//                                  permutation of the committed
+//                                  transactions preserves every read's
+//                                  writer and the real-time order.
+//  * conflict_opaque             — order-preserving conflict
+//                                  serializability (conflict edges +
+//                                  real-time edges acyclic): what classic
+//                                  opaque TMs guarantee and therefore the
+//                                  upper bound of what they can accept.
+//                                  Fig. 4's "precluded" schedules are
+//                                  exactly those that fail here.
+//  * protocol_accepts            — replays demotx's own mixed-semantics
+//                                  protocol (TL2 reads, elastic window,
+//                                  snapshot bounds) over the interleaving
+//                                  and reports whether every transaction
+//                                  commits — the *input acceptance* of the
+//                                  implementation (paper citation [35]).
+#pragma once
+
+#include <vector>
+
+#include "sched/history.hpp"
+#include "stm/semantics.hpp"
+
+namespace demotx::sched {
+
+bool conflict_serializable(const History& h);
+
+// When do a transaction's writes become visible to other readers?
+//   kAtEvent  — immediately (the paper's formal histories, Sec. 3/4.2);
+//   kAtCommit — at the transaction's last event (lazy-versioning STMs
+//               like demotx buffer writes until commit).  Used by the
+//               protocol-soundness property tests.
+enum class WriteVisibility { kAtEvent, kAtCommit };
+
+bool view_strictly_serializable(
+    const History& h, WriteVisibility vis = WriteVisibility::kAtEvent);
+
+bool conflict_opaque(const History& h);
+
+struct ProtocolOptions {
+  // Semantics per transaction id; transactions beyond the vector default
+  // to classic.
+  std::vector<stm::Semantics> semantics;
+  std::size_t elastic_window = 2;
+  bool enable_extension = false;  // plain TL2 acceptance by default
+};
+
+struct ProtocolResult {
+  bool accepted = true;
+  int aborted_tx = -1;
+  stm::AbortReason reason = stm::AbortReason::kExplicit;
+  int total_cuts = 0;  // elastic cuts performed during the replay
+};
+
+ProtocolResult protocol_accepts(const History& h, const ProtocolOptions& opts);
+
+}  // namespace demotx::sched

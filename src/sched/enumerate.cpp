@@ -1,0 +1,58 @@
+#include "sched/enumerate.hpp"
+
+namespace demotx::sched {
+
+namespace {
+
+void recurse(const std::vector<Program>& programs, std::vector<std::size_t>& at,
+             History& prefix, const std::function<void(const History&)>& fn) {
+  bool done = true;
+  for (std::size_t p = 0; p < programs.size(); ++p) {
+    if (at[p] < programs[p].size()) {
+      done = false;
+      prefix.push_back(programs[p][at[p]]);
+      ++at[p];
+      recurse(programs, at, prefix, fn);
+      --at[p];
+      prefix.pop_back();
+    }
+  }
+  if (done) fn(prefix);
+}
+
+}  // namespace
+
+void for_each_interleaving(const std::vector<Program>& programs,
+                           const std::function<void(const History&)>& fn) {
+  std::vector<std::size_t> at(programs.size(), 0);
+  History prefix;
+  std::size_t total = 0;
+  for (const Program& p : programs) total += p.size();
+  prefix.reserve(total);
+  recurse(programs, at, prefix, fn);
+}
+
+std::vector<History> all_interleavings(const std::vector<Program>& programs) {
+  std::vector<History> out;
+  for_each_interleaving(programs, [&](const History& h) { out.push_back(h); });
+  return out;
+}
+
+std::uint64_t interleaving_count(const std::vector<Program>& programs) {
+  // multinomial(sum; n1, n2, ...) computed incrementally as
+  // prod over programs of C(running_total, ni).
+  auto choose = [](std::uint64_t n, std::uint64_t k) {
+    std::uint64_t r = 1;
+    for (std::uint64_t i = 1; i <= k; ++i) r = r * (n - k + i) / i;
+    return r;
+  };
+  std::uint64_t total = 0;
+  std::uint64_t count = 1;
+  for (const Program& p : programs) {
+    total += p.size();
+    count *= choose(total, p.size());
+  }
+  return count;
+}
+
+}  // namespace demotx::sched

@@ -1,0 +1,24 @@
+// Interleaving enumeration for Fig. 4: all ways to shuffle the programs
+// of several transactions while preserving each program's order.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "sched/history.hpp"
+
+namespace demotx::sched {
+
+// Invokes fn on every interleaving.  The number of interleavings is the
+// multinomial coefficient (sum |Pi|)! / prod |Pi|!.
+void for_each_interleaving(const std::vector<Program>& programs,
+                           const std::function<void(const History&)>& fn);
+
+// Materializes all interleavings (use only for small inputs).
+std::vector<History> all_interleavings(const std::vector<Program>& programs);
+
+// The multinomial count, computed without enumeration.
+std::uint64_t interleaving_count(const std::vector<Program>& programs);
+
+}  // namespace demotx::sched

@@ -1,0 +1,55 @@
+#include "sched/history.hpp"
+
+#include <algorithm>
+
+namespace demotx::sched {
+
+int num_txs(const History& h) {
+  int m = -1;
+  for (const Event& e : h) m = std::max(m, e.tx);
+  return m + 1;
+}
+
+int num_locs(const History& h) {
+  int m = -1;
+  for (const Event& e : h) m = std::max(m, e.loc);
+  return m + 1;
+}
+
+std::string to_string(const History& h,
+                      const std::vector<std::string>* loc_names) {
+  static const char* kDefault[] = {"x", "y", "z", "u", "v", "w",
+                                   "h", "n", "t", "a", "b", "c"};
+  std::string out;
+  for (std::size_t i = 0; i < h.size(); ++i) {
+    const Event& e = h[i];
+    if (i != 0) out += ' ';
+    switch (e.op) {
+      case Op::kRead:
+        out += 'r';
+        break;
+      case Op::kWrite:
+        out += 'w';
+        break;
+      case Op::kLock:
+        out += "lock";
+        break;
+      case Op::kUnlock:
+        out += "unlock";
+        break;
+    }
+    out += '(';
+    if (loc_names != nullptr && e.loc < static_cast<int>(loc_names->size())) {
+      out += (*loc_names)[static_cast<std::size_t>(e.loc)];
+    } else if (e.loc < 12) {
+      out += kDefault[e.loc];
+    } else {
+      out += 'l' + std::to_string(e.loc);
+    }
+    out += ')';
+    out += std::to_string(e.tx);
+  }
+  return out;
+}
+
+}  // namespace demotx::sched

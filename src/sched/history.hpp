@@ -1,0 +1,54 @@
+// Histories: the formal objects of the paper's Sections 3.1–3.2 and 4.2.
+//
+// A History is a totally ordered sequence of shared-memory events (reads,
+// writes, lock/unlock) tagged with the transaction (or process) that
+// issued them, e.g. the paper's
+//
+//   H = r(h)i r(n)i  r(h)j r(n)j w(h)j  r(t)i w(n)i.
+//
+// The checkers (checkers.hpp), the interleaving enumerator
+// (enumerate.hpp) and the atomicity-relation analyzer (atomicity.hpp)
+// all operate on this representation.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace demotx::sched {
+
+enum class Op : std::uint8_t { kRead, kWrite, kLock, kUnlock };
+
+struct Event {
+  int tx;   // transaction / process id (dense, 0-based)
+  Op op;
+  int loc;  // location id (dense, 0-based)
+
+  friend bool operator==(const Event&, const Event&) = default;
+};
+
+// Events of one transaction in program order.
+using Program = std::vector<Event>;
+
+// A totally ordered interleaving of several programs.
+using History = std::vector<Event>;
+
+// Builders: r(0, "x") style via location ids; the pretty-printer maps ids
+// to names.
+inline Event rd(int tx, int loc) { return {tx, Op::kRead, loc}; }
+inline Event wr(int tx, int loc) { return {tx, Op::kWrite, loc}; }
+inline Event lk(int tx, int loc) { return {tx, Op::kLock, loc}; }
+inline Event ul(int tx, int loc) { return {tx, Op::kUnlock, loc}; }
+
+// Number of distinct transactions (max tx id + 1).
+int num_txs(const History& h);
+
+// Number of distinct locations (max loc id + 1).
+int num_locs(const History& h);
+
+// "r(x)0 w(x)1 ..." — loc_names may be null (then x,y,z,w,u,v,... are
+// generated).
+std::string to_string(const History& h,
+                      const std::vector<std::string>* loc_names = nullptr);
+
+}  // namespace demotx::sched

@@ -1,0 +1,62 @@
+// The versioned memory cell: one transactional machine word plus the
+// metadata the three semantics share.
+//
+//   vlock       — versioned lock word.  Unlocked: (version << 1).  Locked
+//                 (held by a committing writer): (owner_slot << 1) | 1.
+//   value       — current 64-bit payload, valid at version_of(vlock).
+//   old_value / old_version
+//               — the previous (value, version) pair, saved by every
+//                 committing writer before overwriting.  This is the
+//                 paper's "two versions were maintained at each location":
+//                 it is what lets snapshot transactions read past a
+//                 concurrent update instead of aborting.
+//
+// Readers use a seqlock pattern: read vlock, read the payload, re-read
+// vlock; equal unlocked words bracket a consistent payload.  Writers only
+// mutate the payload while holding the lock bit.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+namespace demotx::stm {
+
+namespace lockword {
+
+inline constexpr bool locked(std::uint64_t w) { return (w & 1) != 0; }
+inline constexpr std::uint64_t version_of(std::uint64_t w) { return w >> 1; }
+inline constexpr int owner_of(std::uint64_t w) {
+  return static_cast<int>(w >> 1);
+}
+inline constexpr std::uint64_t make_version(std::uint64_t v) { return v << 1; }
+inline constexpr std::uint64_t make_locked(int owner_slot) {
+  return (static_cast<std::uint64_t>(owner_slot) << 1) | 1;
+}
+
+}  // namespace lockword
+
+struct alignas(64) Cell {
+  std::atomic<std::uint64_t> vlock{lockword::make_version(0)};
+  std::atomic<std::uint64_t> value{0};
+  std::atomic<std::uint64_t> old_value{0};
+  std::atomic<std::uint64_t> old_version{0};
+
+  Cell() = default;
+  explicit Cell(std::uint64_t v) : value(v) {}
+  Cell(const Cell&) = delete;
+  Cell& operator=(const Cell&) = delete;
+
+  // Unsynchronized accessors for initialization and quiescent inspection
+  // (tests, post-run verification).  Not for concurrent use.
+  [[nodiscard]] std::uint64_t unsafe_value() const {
+    return value.load(std::memory_order_relaxed);
+  }
+  void unsafe_store(std::uint64_t v) {
+    value.store(v, std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t unsafe_version() const {
+    return lockword::version_of(vlock.load(std::memory_order_relaxed));
+  }
+};
+
+}  // namespace demotx::stm

@@ -1,0 +1,45 @@
+// Classic (opaque) read path — TL2-style timestamp validation.
+//
+// Invariant: every value returned to the transaction body belongs to the
+// snapshot at rv (or at the extended rv).  Together with commit-time
+// read-set validation this yields opacity: even doomed transactions never
+// observe an inconsistent state.
+#include "stm/cm/manager.hpp"
+#include "stm/runtime.hpp"
+#include "stm/txdesc.hpp"
+
+namespace demotx::stm {
+
+std::uint64_t Tx::read_classic(Cell& c) {
+  if (!writes_.empty()) {
+    if (const WriteEntry* e = writes_.find(&c)) return e->value;  // own write
+  }
+  for (;;) {
+    const CellSnap s = snap(c, /*want_old=*/false);
+    if (lockword::locked(s.word)) {
+      if (irrevocable()) continue;  // the holder drains; we cannot abort
+      const int owner = lockword::owner_of(s.word);
+      if (!cm_->on_conflict(*this, owner, /*writing=*/false))
+        throw_abort(AbortReason::kLockedByOther);
+      check_killed();
+      continue;  // the committer released (or we were told to retry)
+    }
+    const std::uint64_t ver = lockword::version_of(s.word);
+    if (ver > rv_) {
+      // The location changed after our snapshot point.  Either slide the
+      // snapshot forward (timebase extension, revalidating everything
+      // read so far) or abort.  An irrevocable transaction always
+      // extends: nothing can commit while it holds the token, so
+      // revalidation cannot fail.
+      const bool may_extend =
+          irrevocable() || Runtime::instance().config.enable_extension;
+      if (!may_extend || !try_extend())
+        throw_abort(AbortReason::kReadValidation);
+      continue;  // re-read under the extended rv
+    }
+    reads_.add(&c, ver);
+    return s.value;
+  }
+}
+
+}  // namespace demotx::stm

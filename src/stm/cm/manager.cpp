@@ -1,0 +1,179 @@
+#include "stm/cm/manager.hpp"
+
+#include <algorithm>
+
+#include "stm/runtime.hpp"
+#include "stm/txdesc.hpp"
+#include "vt/context.hpp"
+#include "vt/sync.hpp"
+
+namespace demotx::stm {
+
+namespace {
+
+// Deterministic per-thread jitter.  Two symmetric transactions that
+// conflict, abort and back off by identical amounts re-collide forever
+// under a fair lock-step schedule (the classic synchronized-backoff
+// orbit); on real hardware timing noise breaks the symmetry, and in the
+// simulator this slot/attempt hash stands in for that noise.
+unsigned jitter(const Tx& self, unsigned attempt) {
+  std::uint64_t h = static_cast<std::uint64_t>(self.slot()) * 0x9e3779b97f4a7c15ULL +
+                    attempt * 0xbf58476d1ce4e5b9ULL;
+  h ^= h >> 29;
+  return static_cast<unsigned>(h & 7u);
+}
+
+// Burn `n` cycles of virtual (or real) time waiting.
+void stall(unsigned n) {
+  if (vt::in_sim()) {
+    vt::access(n);
+  } else {
+    for (unsigned i = 0; i < n; ++i) vt::cpu_relax();
+  }
+}
+
+// Abort self on every conflict, retry immediately.  The simplest
+// livelock-prone strategy; the baseline the others improve on.
+class Suicide final : public ContentionManager {
+ public:
+  bool on_conflict(Tx&, int, bool) override { return false; }
+  void on_abort(Tx& self, unsigned attempt) override {
+    // Pure suicide (zero-delay retry) deterministically livelocks
+    // symmetric conflicts under lock-step schedules; the 0-7 cycle
+    // jitter models real-world retry skew without adding backoff.
+    stall(1 + jitter(self, attempt));
+  }
+};
+
+// Abort self, back off exponentially in the attempt number before
+// retrying.  Robust default (used by TL2-like systems).
+class BackoffCm final : public ContentionManager {
+ public:
+  bool on_conflict(Tx&, int, bool) override { return false; }
+  void on_abort(Tx& self, unsigned attempt) override {
+    stall((1u << std::min(attempt, 10u)) + jitter(self, attempt));
+  }
+};
+
+// Spin politely (growing bound) hoping the enemy commits, then abort.
+class Polite final : public ContentionManager {
+ public:
+  bool on_conflict(Tx&, int, bool) override {
+    if (spins_ >= kMaxSpins) return false;
+    stall(1u << std::min(spins_, 6u));
+    ++spins_;
+    return true;
+  }
+  void on_begin(Tx&, unsigned) override { spins_ = 0; }
+  void on_abort(Tx& self, unsigned attempt) override {
+    stall(1 + jitter(self, attempt));
+  }
+
+ private:
+  static constexpr unsigned kMaxSpins = 10;
+  unsigned spins_ = 0;
+};
+
+// Greedy (timestamp): the transaction with the older first-begin ticket
+// wins; it kills the younger enemy and retries.  The younger waits
+// briefly for the older, then aborts itself.
+class Greedy final : public ContentionManager {
+ public:
+  bool on_conflict(Tx& self, int owner_slot, bool) override {
+    Tx* other = Runtime::instance().peek_slot(owner_slot);
+    if (other == nullptr) return true;  // transient: owner gone already
+    if (self.cm_stamp < other->cm_stamp) {
+      const std::uint64_t w = other->status_word();
+      if ((w & 3u) == kStatusActive && other->try_kill(w))
+        ++self.stats().kills_issued;
+      stall(1);
+      return true;  // the dying enemy will release its locks
+    }
+    if (waits_ < kMaxWaits) {
+      ++waits_;
+      stall(2);
+      return true;
+    }
+    return false;
+  }
+  void on_begin(Tx&, unsigned) override { waits_ = 0; }
+  void on_abort(Tx& self, unsigned attempt) override {
+    // Killed victims back off before retrying; without this, under a
+    // fair lock-step schedule the re-acquiring victims win the lock race
+    // against the older transaction's probe forever.
+    stall((2u << std::min(attempt, 8u)) + jitter(self, attempt));
+  }
+
+ private:
+  static constexpr unsigned kMaxWaits = 32;
+  unsigned waits_ = 0;
+};
+
+// Karma: priority is the work (reads) invested, accumulated across the
+// retries of the same operation so long transactions eventually win over
+// a stream of short ones.
+class Karma final : public ContentionManager {
+ public:
+  bool on_conflict(Tx& self, int owner_slot, bool) override {
+    Tx* other = Runtime::instance().peek_slot(owner_slot);
+    if (other == nullptr) return true;
+    // Priority is the karma banked across this operation's aborted
+    // attempts.  The comparison must be symmetric — counting our own
+    // in-flight reads but not the enemy's makes every lock holder look
+    // poorer than its challengers and the whole system livelocks — so
+    // in-flight work is excluded on both sides and ties fall back to age
+    // (unique tickets).
+    const std::uint64_t mine = self.cm_karma;
+    if (mine > other->cm_karma ||
+        (mine == other->cm_karma && self.cm_stamp < other->cm_stamp)) {
+      const std::uint64_t w = other->status_word();
+      if ((w & 3u) == kStatusActive && other->try_kill(w))
+        ++self.stats().kills_issued;
+      stall(1);
+      return true;
+    }
+    if (waits_ < kMaxWaits) {
+      ++waits_;
+      stall(2);
+      return true;
+    }
+    return false;
+  }
+  void on_begin(Tx& self, unsigned attempt) override {
+    waits_ = 0;
+    reads_at_begin_ = self.stats().reads;
+    if (attempt == 0) self.cm_karma = 0;  // new operation: karma resets
+  }
+  void on_abort(Tx& self, unsigned attempt) override {
+    self.cm_karma += self.stats().reads - reads_at_begin_;
+    // Victim backoff, as in Greedy: desynchronizes the retry storm so the
+    // winner's lock acquisition gets a window under fair schedules.
+    stall((2u << std::min(attempt, 8u)) + jitter(self, attempt));
+  }
+  void on_commit(Tx& self) override { self.cm_karma = 0; }
+
+ private:
+  static constexpr unsigned kMaxWaits = 32;
+  unsigned waits_ = 0;
+  std::uint64_t reads_at_begin_ = 0;
+};
+
+}  // namespace
+
+std::unique_ptr<ContentionManager> ContentionManager::make(CmPolicy policy) {
+  switch (policy) {
+    case CmPolicy::kSuicide:
+      return std::make_unique<Suicide>();
+    case CmPolicy::kBackoff:
+      return std::make_unique<BackoffCm>();
+    case CmPolicy::kPolite:
+      return std::make_unique<Polite>();
+    case CmPolicy::kGreedy:
+      return std::make_unique<Greedy>();
+    case CmPolicy::kKarma:
+      return std::make_unique<Karma>();
+  }
+  return std::make_unique<BackoffCm>();
+}
+
+}  // namespace demotx::stm

@@ -1,0 +1,74 @@
+// Contention management (paper Sec. 2.2: "Deciding upon the conflict
+// resolution strategy is the task of a dedicated service, called a
+// contention manager").
+//
+// A CM instance is per logical thread.  It is consulted when the thread's
+// transaction finds a location locked by a committing enemy, and between
+// retry attempts.  Policies (Scherer & Scott, PODC'05 lineage):
+//
+//   kSuicide — abort self immediately on any conflict.
+//   kBackoff — abort self, exponential backoff before retrying.
+//   kPolite  — spin politely for a bounded, growing number of cycles
+//              hoping the enemy finishes, then abort self.
+//   kGreedy  — timestamp priority: the older transaction wins; a younger
+//              enemy is killed (its status word is CASed to aborted), an
+//              older one is waited on briefly before self-abort.
+//   kKarma   — priority = work invested (reads+writes accumulated across
+//              retries); higher karma kills lower.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+namespace demotx::stm {
+
+class Tx;
+
+enum class CmPolicy : std::uint8_t {
+  kSuicide = 0,
+  kBackoff = 1,
+  kPolite = 2,
+  kGreedy = 3,
+  kKarma = 4,
+};
+
+constexpr const char* to_string(CmPolicy p) {
+  switch (p) {
+    case CmPolicy::kSuicide:
+      return "suicide";
+    case CmPolicy::kBackoff:
+      return "backoff";
+    case CmPolicy::kPolite:
+      return "polite";
+    case CmPolicy::kGreedy:
+      return "greedy";
+    case CmPolicy::kKarma:
+      return "karma";
+  }
+  return "?";
+}
+
+class ContentionManager {
+ public:
+  virtual ~ContentionManager() = default;
+
+  // `self` hit a cell locked by the transaction currently in slot
+  // `owner_slot` (writing=true when acquiring a commit lock, false on a
+  // read).  Return true to retry the access, false to abort self.
+  virtual bool on_conflict(Tx& self, int owner_slot, bool writing) = 0;
+
+  // Hooks around the transaction lifecycle.
+  virtual void on_begin(Tx& self, unsigned attempt) {
+    (void)self;
+    (void)attempt;
+  }
+  virtual void on_abort(Tx& self, unsigned attempt) {
+    (void)self;
+    (void)attempt;
+  }
+  virtual void on_commit(Tx& self) { (void)self; }
+
+  static std::unique_ptr<ContentionManager> make(CmPolicy policy);
+};
+
+}  // namespace demotx::stm

@@ -1,0 +1,43 @@
+// Elastic read path (E-STM, Felber–Gramoli–Guerraoui DISC'09).
+//
+// While in its elastic phase the transaction keeps only a bounded sliding
+// window of its most recent reads.  Reading a new location first makes
+// room by evicting the oldest entries — each eviction is a *cut*: the
+// transaction formally ends one sub-transaction and starts the next, so
+// the evicted read no longer constrains later serialization — and then
+// verifies that the entries remaining in the window are unchanged, which
+// makes the new read atomic with them (hand-over-hand atomicity, exactly
+// the lock-coupling guarantee of the paper's Algorithm 3, but obtained
+// dynamically and composably).
+//
+// Order matters: evict *before* validating.  In the paper's history
+//   H = r(h)i r(n)i  r(h)j r(n)j w(h)j  r(t)i w(n)i
+// transaction i's read of t must first cut h away (h was overwritten by
+// j, but h left the window, so that is allowed) and then validate only n.
+#include "stm/runtime.hpp"
+#include "stm/txdesc.hpp"
+
+namespace demotx::stm {
+
+std::uint64_t Tx::read_elastic(Cell& c) {
+  // In the elastic phase there are no buffered writes (the first write
+  // ends the phase), so no own-write lookup is needed.
+  for (;;) {
+    const CellSnap s = snap(c, /*want_old=*/false);
+    if (lockword::locked(s.word)) {
+      const int owner = lockword::owner_of(s.word);
+      if (!cm_->on_conflict(*this, owner, /*writing=*/false))
+        throw_abort(AbortReason::kLockedByOther);
+      check_killed();
+      continue;
+    }
+    stats_.elastic_cuts += window_.evict_for_push();
+    // The remaining window plus the new read must form one consistent
+    // piece: every remaining entry must still hold its observed version.
+    validate_window_or_abort();
+    window_.push(&c, lockword::version_of(s.word));
+    return s.value;
+  }
+}
+
+}  // namespace demotx::stm

@@ -1,0 +1,135 @@
+// Read set and elastic read window.
+//
+// A classic transaction logs every read in the ReadSet and revalidates it
+// at commit (and on timebase extension).  An elastic transaction instead
+// keeps only a small sliding window of its most recent reads — entries
+// evicted from the window are *cuts*: the transaction gives up the right
+// to have those reads stay atomic with later ones, which is precisely the
+// hand-over-hand behaviour of Algorithm 3 in the paper.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace demotx::stm {
+
+struct Cell;
+
+struct ReadEntry {
+  Cell* cell;
+  std::uint64_t version;  // version observed at read time
+};
+
+class ReadSet {
+ public:
+  ReadSet() { entries_.reserve(64); }
+
+  void add(Cell* c, std::uint64_t version) { entries_.push_back({c, version}); }
+
+  // Early release (paper Sec. 4.1): drop every logged read of this cell.
+  // Returns how many entries were dropped.
+  std::size_t release(const Cell* c) {
+    std::size_t kept = 0, dropped = 0;
+    for (std::size_t i = 0; i < entries_.size(); ++i) {
+      if (entries_[i].cell == c) {
+        ++dropped;
+      } else {
+        entries_[kept++] = entries_[i];
+      }
+    }
+    entries_.resize(kept);
+    return dropped;
+  }
+
+  // Drops every entry at index >= n (orElse branch rollback).
+  void truncate(std::size_t n) {
+    if (n < entries_.size()) entries_.resize(n);
+  }
+
+  void clear() { entries_.clear(); }
+  [[nodiscard]] bool empty() const { return entries_.empty(); }
+  [[nodiscard]] std::size_t size() const { return entries_.size(); }
+  [[nodiscard]] const ReadEntry* begin() const { return entries_.data(); }
+  [[nodiscard]] const ReadEntry* end() const {
+    return entries_.data() + entries_.size();
+  }
+  // Mutable iteration for extension (updating recorded versions is not
+  // needed — versions are immutable once logged — so only const access).
+
+ private:
+  std::vector<ReadEntry> entries_;
+};
+
+// Bounded FIFO of the most recent elastic reads.  Default capacity 2
+// matches the prev/curr pair a sorted-list parse keeps live (Algorithm 4).
+class ElasticWindow {
+ public:
+  static constexpr std::size_t kMaxCapacity = 8;
+
+  explicit ElasticWindow(std::size_t capacity = 2)
+      : capacity_(capacity < 1 ? 1 : (capacity > kMaxCapacity ? kMaxCapacity
+                                                              : capacity)) {}
+
+  void set_capacity(std::size_t capacity) {
+    capacity_ = capacity < 1
+                    ? 1
+                    : (capacity > kMaxCapacity ? kMaxCapacity : capacity);
+  }
+  [[nodiscard]] std::size_t capacity() const { return capacity_; }
+
+  // Makes room for one more entry, discarding oldest entries.  Each
+  // discarded entry is a cut.  Returns the number of cuts.
+  std::size_t evict_for_push() {
+    std::size_t cuts = 0;
+    while (size_ >= capacity_) {
+      head_ = (head_ + 1) % kMaxCapacity;
+      --size_;
+      ++cuts;
+    }
+    return cuts;
+  }
+
+  void push(Cell* c, std::uint64_t version) {
+    ring_[(head_ + size_) % kMaxCapacity] = {c, version};
+    ++size_;
+  }
+
+  [[nodiscard]] std::size_t size() const { return size_; }
+  [[nodiscard]] bool empty() const { return size_ == 0; }
+
+  [[nodiscard]] const ReadEntry& at(std::size_t i) const {
+    return ring_[(head_ + i) % kMaxCapacity];
+  }
+
+  // Early release from the window.
+  std::size_t release(const Cell* c) {
+    std::size_t dropped = 0;
+    ReadEntry tmp[kMaxCapacity];
+    std::size_t n = 0;
+    for (std::size_t i = 0; i < size_; ++i) {
+      if (at(i).cell == c) {
+        ++dropped;
+      } else {
+        tmp[n++] = at(i);
+      }
+    }
+    head_ = 0;
+    size_ = n;
+    for (std::size_t i = 0; i < n; ++i) ring_[i] = tmp[i];
+    return dropped;
+  }
+
+  void clear() {
+    head_ = 0;
+    size_ = 0;
+  }
+
+ private:
+  ReadEntry ring_[kMaxCapacity] = {};
+  std::size_t head_ = 0;
+  std::size_t size_ = 0;
+  std::size_t capacity_;
+};
+
+}  // namespace demotx::stm

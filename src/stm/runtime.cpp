@@ -1,0 +1,53 @@
+#include "stm/runtime.hpp"
+
+namespace demotx::stm {
+
+Runtime& Runtime::instance() {
+  static Runtime rt;
+  return rt;
+}
+
+Runtime::Runtime() = default;
+
+Runtime::~Runtime() {
+  for (Slot& s : slots_) {
+    delete s.tx.load(std::memory_order_relaxed);
+    s.tx.store(nullptr, std::memory_order_relaxed);
+  }
+}
+
+Tx& Runtime::tx_for_slot(int slot) {
+  Slot& s = slots_[slot];
+  Tx* t = s.tx.load(std::memory_order_acquire);
+  if (t == nullptr) {
+    t = new Tx(slot);
+    s.tx.store(t, std::memory_order_release);
+  }
+  return *t;
+}
+
+ContentionManager& Runtime::cm_for_slot(int slot) {
+  Slot& s = slots_[slot];
+  if (!s.cm_built || s.cm_policy != config.cm) {
+    s.cm = ContentionManager::make(config.cm);
+    s.cm_policy = config.cm;
+    s.cm_built = true;
+  }
+  return *s.cm;
+}
+
+TxStats Runtime::aggregate_stats() {
+  TxStats total;
+  for (Slot& s : slots_) {
+    if (Tx* t = s.tx.load(std::memory_order_acquire)) total.merge(t->stats());
+  }
+  return total;
+}
+
+void Runtime::reset_stats() {
+  for (Slot& s : slots_) {
+    if (Tx* t = s.tx.load(std::memory_order_acquire)) t->stats() = TxStats{};
+  }
+}
+
+}  // namespace demotx::stm

@@ -1,0 +1,407 @@
+// The mixed-semantics STM runtime: global version clock, per-thread
+// descriptor slots, configuration, and the atomically() entry point.
+//
+// Usage (see examples/quickstart.cpp):
+//
+//   stm::TVar<long> x{0};
+//   stm::atomically([&](stm::Tx& tx) { x.set(tx, x.get(tx) + 1); });
+//
+//   long n = stm::atomically(stm::Semantics::kSnapshot,
+//                            [&](stm::Tx& tx) { return x.get(tx); });
+//
+// Nesting is flat and semantics-joining: a transactional operation called
+// from inside another transaction joins the enclosing one, so Bob composes
+// Alice's operations (paper Fig. 3) without knowing how they synchronize.
+// A classic body nested inside an elastic transaction strengthens the
+// enclosing transaction from that point on (no more cuts), preserving the
+// inner body's atomicity expectations.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <type_traits>
+#include <utility>
+
+#include "stm/cm/manager.hpp"
+#include "stm/semantics.hpp"
+#include "stm/stats.hpp"
+#include "stm/txdesc.hpp"
+#include "vt/context.hpp"
+
+namespace demotx::stm {
+
+struct Config {
+  CmPolicy cm = CmPolicy::kBackoff;
+  // Timebase extension: on a too-new read, revalidate and slide rv forward
+  // instead of aborting (LSA-style).  Off by default: the paper's classic
+  // baseline is plain TL2, whose reads abort on any newer version — that
+  // behaviour is what Figs. 5/7 measure.  Ablatable (bench/ablation_stm).
+  bool enable_extension = false;
+  // Elastic sliding-window capacity (paper's parse keeps prev/curr: 2).
+  std::size_t elastic_window = 2;
+  // Maintain the one-deep version history on commit.  Turning this off
+  // (1-version ablation) starves snapshot transactions.
+  bool maintain_old_versions = true;
+  // Eager (encounter-time) writes: acquire the lock and write in place at
+  // the first write to a location, undo on abort (TinySTM write-through)
+  // instead of buffering until commit (TL2 write-back, the default).
+  // Detects write conflicts earlier at the price of longer lock holds.
+  // Limitation: or_else() is unavailable in eager mode (in-place branch
+  // rollback would need lock-aware undo scopes).
+  bool eager_writes = false;
+  // Modeled best-effort HTM (atomically_hybrid): how many distinct
+  // locations a hardware transaction can track before a capacity abort
+  // (think cache-resident read/write sets), and how many hardware
+  // attempts to make before falling back to software.
+  std::size_t htm_capacity = 128;
+  unsigned htm_retries = 3;
+};
+
+class Runtime {
+ public:
+  static Runtime& instance();
+
+  Runtime();
+  ~Runtime();
+  Runtime(const Runtime&) = delete;
+  Runtime& operator=(const Runtime&) = delete;
+
+  Config config;  // adjust only while no transaction runs
+
+  // ---- global version clock (GV1) ----
+  std::uint64_t clock_read() {
+    vt::access();
+    return clock_.load(std::memory_order_acquire);
+  }
+  std::uint64_t clock_advance() {
+    vt::access();
+    return clock_.fetch_add(1, std::memory_order_acq_rel) + 1;
+  }
+  [[nodiscard]] std::uint64_t clock_peek() const {
+    return clock_.load(std::memory_order_relaxed);
+  }
+
+  // Greedy-CM ticket source.
+  std::uint64_t next_cm_stamp() {
+    return cm_ticket_.fetch_add(1, std::memory_order_relaxed) + 1;
+  }
+
+  // ---- serial irrevocability (inevitability) ----
+  //
+  // One transaction at a time may hold the irrevocability token.  While
+  // it is held, every other UPDATE transaction parks before its commit
+  // point (read-only commits proceed: they invalidate nothing), so the
+  // token holder's reads can never be invalidated and it is guaranteed to
+  // commit on its first attempt — the standard answer for transactions
+  // that must not roll back (I/O, side effects).
+
+  // Blocks until the token is ours and all in-flight committers drained.
+  void acquire_irrevocability(int slot) {
+    int expected = -1;
+    while (!irrevocable_owner_.compare_exchange_weak(
+        expected, slot, std::memory_order_acq_rel)) {
+      expected = -1;
+      vt::access();
+      vt::cpu_relax();
+    }
+    // Wait out commits that passed the gate before we took the token.
+    while (committers_.load(std::memory_order_acquire) != 0) vt::access();
+  }
+
+  void release_irrevocability(int slot) {
+    int expected = slot;
+    irrevocable_owner_.compare_exchange_strong(expected, -1,
+                                               std::memory_order_acq_rel);
+  }
+
+  // Update-commit gate: registers the caller as an in-flight committer,
+  // waiting while someone else holds the token.
+  void enter_commit_gate(int slot) {
+    vt::access();  // one shared RMW on the uncontended path
+    for (;;) {
+      committers_.fetch_add(1, std::memory_order_acq_rel);
+      const int owner = irrevocable_owner_.load(std::memory_order_acquire);
+      if (owner == -1 || owner == slot) return;
+      committers_.fetch_sub(1, std::memory_order_acq_rel);
+      vt::access();
+      vt::cpu_relax();
+    }
+  }
+
+  void leave_commit_gate() {
+    vt::access();
+    committers_.fetch_sub(1, std::memory_order_acq_rel);
+  }
+
+  [[nodiscard]] int irrevocable_owner() const {
+    return irrevocable_owner_.load(std::memory_order_acquire);
+  }
+
+  // The calling logical thread's descriptor (created on first use).
+  Tx& tx_for_current_thread() { return tx_for_slot(vt::thread_id()); }
+  Tx& tx_for_slot(int slot);
+
+  // Descriptor of another slot, or nullptr if that thread never ran a
+  // transaction.  Used by contention managers to kill enemies.
+  Tx* peek_slot(int slot) {
+    return slots_[slot].tx.load(std::memory_order_acquire);
+  }
+
+  ContentionManager& cm_for_slot(int slot);
+
+  // ---- statistics ----
+  TxStats aggregate_stats();
+  void reset_stats();
+
+ private:
+  struct Slot {
+    std::atomic<Tx*> tx{nullptr};
+    std::unique_ptr<ContentionManager> cm;
+    CmPolicy cm_policy = CmPolicy::kSuicide;
+    bool cm_built = false;
+  };
+
+  std::atomic<std::uint64_t> clock_{0};
+  std::atomic<std::uint64_t> cm_ticket_{0};
+  std::atomic<int> irrevocable_owner_{-1};
+  std::atomic<int> committers_{0};
+  Slot slots_[vt::kMaxThreads];
+};
+
+// The transaction currently running on this logical thread, or nullptr.
+inline Tx* current_tx() {
+  Tx* t = Runtime::instance().peek_slot(vt::thread_id());
+  return (t != nullptr && t->active()) ? t : nullptr;
+}
+
+namespace detail {
+
+// Joins an already-running transaction (flat nesting).
+inline void adapt_nested_semantics(Tx& tx, Semantics inner) {
+  // Elastic phase + an inner body demanding full atomicity (classic):
+  // strengthen so the inner body's reads stay atomic to the end.
+  if (inner == Semantics::kClassic && tx.semantics() == Semantics::kElastic &&
+      tx.in_elastic_phase()) {
+    tx.strengthen_to_classic();
+  }
+  // Everything else needs no adjustment: classic is already strongest;
+  // elastic-in-classic runs classically; snapshot-in-X reads through X's
+  // (at-least-as-strong) read path; writes inside a snapshot transaction
+  // raise TxUsageError in write_word.
+}
+
+}  // namespace detail
+
+// Runs fn(tx) as a transaction of the given semantics, retrying on
+// conflict until it commits.  Returns fn's result.  Exceptions thrown by
+// fn abort the transaction and propagate.
+template <typename F>
+auto atomically(Semantics sem, F&& fn) -> std::invoke_result_t<F&, Tx&> {
+  using R = std::invoke_result_t<F&, Tx&>;
+  Runtime& rt = Runtime::instance();
+  Tx& tx = rt.tx_for_current_thread();
+
+  if (tx.active()) {  // nested: join the enclosing transaction
+    detail::adapt_nested_semantics(tx, sem);
+    ++tx.depth_;
+    struct DepthGuard {
+      Tx& t;
+      ~DepthGuard() { --t.depth_; }
+    } guard{tx};
+    return fn(tx);
+  }
+
+  ContentionManager& cm = rt.cm_for_slot(tx.slot());
+  for (unsigned attempt = 0;; ++attempt) {
+    tx.begin(sem, attempt);
+    tx.depth_ = 1;
+    try {
+      if constexpr (std::is_void_v<R>) {
+        fn(tx);
+        tx.commit();
+        tx.depth_ = 0;
+        return;
+      } else {
+        R result = fn(tx);
+        tx.commit();
+        tx.depth_ = 0;
+        return result;
+      }
+    } catch (const AbortTx& a) {
+      tx.depth_ = 0;
+      if (a.reason == AbortReason::kRetry) {
+        // stm::retry(): park until one of the locations this attempt read
+        // (including rolled-back orElse branches) changes, then re-run.
+        const std::vector<ReadEntry> watch = tx.watch_set();
+        tx.rollback(a.reason);
+        Tx::wait_for_change(watch);
+        continue;
+      }
+      tx.rollback(a.reason);
+      cm.on_abort(tx, attempt);
+    } catch (...) {
+      tx.depth_ = 0;
+      tx.rollback(AbortReason::kUserException);
+      throw;
+    }
+  }
+}
+
+// Default semantics: classic — the novice-safe choice (paper Sec. 5).
+template <typename F>
+auto atomically(F&& fn) -> std::invoke_result_t<F&, Tx&> {
+  return atomically(Semantics::kClassic, std::forward<F>(fn));
+}
+
+// Best-effort hardware/software hybrid (the paper's Sec. 1: industry
+// moved to "a best-effort hardware component that needs to be
+// complemented by software transactions" [10-13]).  The body first runs
+// as a modeled HARDWARE transaction — reads and writes carry no software
+// instrumentation cost, but the footprint is bounded by
+// Config::htm_capacity and any conflict aborts it — for up to
+// Config::htm_retries attempts; then it falls back to the software
+// semantics given (classic by default).  Returns fn's result.
+template <typename F>
+auto atomically_hybrid(F&& fn, Semantics fallback = Semantics::kClassic)
+    -> std::invoke_result_t<F&, Tx&> {
+  using R = std::invoke_result_t<F&, Tx&>;
+  Runtime& rt = Runtime::instance();
+  Tx& tx = rt.tx_for_current_thread();
+  if (tx.active()) {  // nested: join whatever is running
+    ++tx.depth_;
+    struct DepthGuard {
+      Tx& t;
+      ~DepthGuard() { --t.depth_; }
+    } guard{tx};
+    return fn(tx);
+  }
+  ContentionManager& cm = rt.cm_for_slot(tx.slot());
+  for (unsigned attempt = 0; attempt < rt.config.htm_retries; ++attempt) {
+    tx.begin(Semantics::kClassic, attempt);
+    tx.set_htm_mode(true);
+    tx.depth_ = 1;
+    try {
+      if constexpr (std::is_void_v<R>) {
+        fn(tx);
+        tx.commit();
+        tx.depth_ = 0;
+        return;
+      } else {
+        R result = fn(tx);
+        tx.commit();
+        tx.depth_ = 0;
+        return result;
+      }
+    } catch (const AbortTx& a) {
+      tx.depth_ = 0;
+      tx.rollback(a.reason);
+      if (a.reason == AbortReason::kRetry) {
+        throw TxUsageError(
+            "demotx: retry() is not available inside a hardware attempt; "
+            "use plain atomically() for blocking bodies");
+      }
+      if (a.reason == AbortReason::kHtmCapacity) break;  // hopeless in HW
+      cm.on_abort(tx, attempt);
+    } catch (...) {
+      tx.depth_ = 0;
+      tx.rollback(AbortReason::kUserException);
+      throw;
+    }
+  }
+  tx.stats().htm_fallbacks += 1;
+  return atomically(fallback, std::forward<F>(fn));
+}
+
+// Runs fn(tx) as an IRREVOCABLE classic transaction: it acquires the
+// global irrevocability token, so no other update transaction can commit
+// while it runs and it is guaranteed to commit on this one attempt —
+// suitable for bodies with side effects that must not re-execute.
+// Serializes against all other updaters: use sparingly.  Cannot nest
+// inside another transaction; retry()/abort_self() inside it are usage
+// errors (there is nothing safe to do with an aborted irrevocable body).
+template <typename F>
+auto atomically_irrevocable(F&& fn) -> std::invoke_result_t<F&, Tx&> {
+  using R = std::invoke_result_t<F&, Tx&>;
+  Runtime& rt = Runtime::instance();
+  Tx& tx = rt.tx_for_current_thread();
+  if (tx.active()) {
+    throw TxUsageError(
+        "demotx: atomically_irrevocable cannot run inside another "
+        "transaction (the enclosing one could still abort)");
+  }
+  tx.begin(Semantics::kClassic, 0, /*irrevocable=*/true);
+  tx.depth_ = 1;
+  try {
+    if constexpr (std::is_void_v<R>) {
+      fn(tx);
+      tx.commit();
+      tx.depth_ = 0;
+      return;
+    } else {
+      R result = fn(tx);
+      tx.commit();
+      tx.depth_ = 0;
+      return result;
+    }
+  } catch (const AbortTx& a) {
+    tx.depth_ = 0;
+    tx.rollback(a.reason);
+    throw TxUsageError(
+        std::string("demotx: irrevocable transaction tried to abort (") +
+        to_string(a.reason) +
+        "); retry()/abort_self() are not allowed here and protocol aborts "
+        "cannot happen while the token is held");
+  } catch (...) {
+    tx.depth_ = 0;
+    tx.rollback(AbortReason::kUserException);
+    throw;
+  }
+}
+
+// ---- Composable blocking (Harris, Marlow, Peyton-Jones, Herlihy — the
+// paper's citation [30] for why transactions compose) -------------------
+
+// Blocks the transaction until one of the locations it has read changes,
+// then re-executes it from scratch.  The caller expresses a *condition*
+// ("queue non-empty") simply by reading state and retrying when it does
+// not hold; no condition variables, no lost wake-ups.
+//
+// Semantics note: the watch set is the transaction's read set (plus the
+// elastic window and any rolled-back orElse branches).  In an ELASTIC
+// transaction, reads cut out of the window are — by the semantics the
+// caller chose — no longer the transaction's reads, so they are not
+// watched; a blocking condition that depends on a long elastic parse can
+// therefore miss its wake-up.  Use classic semantics for blocking bodies
+// whose condition spans more locations than the window.
+[[noreturn]] inline void retry(Tx&) { throw AbortTx{AbortReason::kRetry}; }
+
+// Runs f; if f calls retry(), undoes f's effects (buffered writes,
+// allocations, read set) and runs g instead.  If both branches retry, the
+// whole transaction waits on the union of both branches' reads.
+// Composable alternatives — e.g. "pop from q1, else pop from q2, else
+// block" — fall out of nesting or_else.
+template <typename F, typename G>
+auto or_else(Tx& tx, F&& f, G&& g) -> std::invoke_result_t<F&, Tx&> {
+  static_assert(std::is_same_v<std::invoke_result_t<F&, Tx&>,
+                               std::invoke_result_t<G&, Tx&>>,
+                "orElse branches must return the same type");
+  const Tx::Checkpoint cp = tx.checkpoint();
+  try {
+    if constexpr (std::is_void_v<std::invoke_result_t<F&, Tx&>>) {
+      f(tx);
+      tx.commit_checkpoint(cp);
+      return;
+    } else {
+      auto result = f(tx);
+      tx.commit_checkpoint(cp);
+      return result;
+    }
+  } catch (const AbortTx& a) {
+    if (a.reason != AbortReason::kRetry) throw;  // real abort: whole tx
+    tx.restore(cp);
+    return g(tx);
+  }
+}
+
+}  // namespace demotx::stm

@@ -1,0 +1,103 @@
+// Transaction semantics and abort machinery.
+//
+// The paper's central thesis ("democratization") is that one application
+// should mix transactions of *different* semantics over the same data:
+//
+//   kClassic  — the default, safe-for-novices semantics: opacity /
+//               single-global-lock atomicity (TL2-style).  All reads form
+//               one consistent snapshot and writes commit atomically.
+//   kElastic  — the expert semantics for search structures (Felber,
+//               Gramoli, Guerraoui, DISC'09): the runtime may *cut* the
+//               transaction into consecutive pieces when that preserves
+//               correctness, ignoring the false conflicts that make a
+//               classic parse abort.  Sequential code and composition are
+//               preserved: an elastic body nested inside a classic
+//               transaction simply runs classically.
+//   kSnapshot — read-only multiversion semantics: reads return the values
+//               current at the transaction's start, drawing on one backup
+//               version per location, so whole-structure operations
+//               (size, iterators) commit against concurrent updates.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+
+namespace demotx::stm {
+
+enum class Semantics : std::uint8_t { kClassic = 0, kElastic = 1, kSnapshot = 2 };
+
+inline constexpr int kNumSemantics = 3;
+
+constexpr const char* to_string(Semantics s) {
+  switch (s) {
+    case Semantics::kClassic:
+      return "classic";
+    case Semantics::kElastic:
+      return "elastic";
+    case Semantics::kSnapshot:
+      return "snapshot";
+  }
+  return "?";
+}
+
+enum class AbortReason : std::uint8_t {
+  kReadValidation = 0,  // classic read observed a version newer than rv
+  kLockedByOther = 1,   // gave up on a location locked by a committer
+  kWindowInvalid = 2,   // elastic window entry changed (inconsistent cut)
+  kSnapshotTooOld = 3,  // both stored versions are newer than the bound
+  kCommitValidation = 4,  // commit-time read-set validation failed
+  kWriteLockTimeout = 5,  // could not acquire write locks
+  kKilled = 6,            // aborted by another transaction's CM
+  kExplicit = 7,          // user called Tx::abort()
+  kUserException = 8,     // an exception escaped the transaction body
+  kRetry = 9,             // stm::retry(): block until a read location changes
+  kHtmCapacity = 10,      // modeled HTM: transactional footprint overflowed
+  kCount = 11
+};
+
+inline constexpr int kNumAbortReasons = static_cast<int>(AbortReason::kCount);
+
+constexpr const char* to_string(AbortReason r) {
+  switch (r) {
+    case AbortReason::kReadValidation:
+      return "read-validation";
+    case AbortReason::kLockedByOther:
+      return "locked-by-other";
+    case AbortReason::kWindowInvalid:
+      return "window-invalid";
+    case AbortReason::kSnapshotTooOld:
+      return "snapshot-too-old";
+    case AbortReason::kCommitValidation:
+      return "commit-validation";
+    case AbortReason::kWriteLockTimeout:
+      return "write-lock-timeout";
+    case AbortReason::kKilled:
+      return "killed";
+    case AbortReason::kExplicit:
+      return "explicit";
+    case AbortReason::kUserException:
+      return "user-exception";
+    case AbortReason::kRetry:
+      return "retry-wait";
+    case AbortReason::kHtmCapacity:
+      return "htm-capacity";
+    case AbortReason::kCount:
+      break;
+  }
+  return "?";
+}
+
+// Internal control-flow exception: unwinds the transaction body back to
+// the retry loop in atomically().  Never escapes the library.
+struct AbortTx {
+  AbortReason reason;
+};
+
+// Misuse of the API (e.g. writing inside a snapshot transaction).  Unlike
+// AbortTx this is a real error and propagates to the caller.
+class TxUsageError : public std::logic_error {
+ public:
+  using std::logic_error::logic_error;
+};
+
+}  // namespace demotx::stm

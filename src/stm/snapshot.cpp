@@ -1,0 +1,39 @@
+// Snapshot read path — read-only multiversion reads (paper Sec. 5.1).
+//
+// The transaction fixes an upper bound ub = global clock at start (rv_).
+// A read returns the most recent value of the location with version <= ub:
+// the current value when the location was not overwritten since, otherwise
+// the one-deep backup kept by every committing writer.  Because committed
+// versions are exactly the clock values, the set of values returned is the
+// committed state at instant ub — an atomic snapshot — with no read set,
+// no validation and no commit-time work, so a size() or an iterator
+// commits regardless of concurrent updates.  If a location was overwritten
+// twice since ub the two kept versions are both too new and the
+// transaction aborts (the paper: "the snapshot transaction may have to
+// abort if the older version is still too recent as no transactions keep
+// track of more than two versions here").
+#include "stm/runtime.hpp"
+#include "stm/txdesc.hpp"
+
+namespace demotx::stm {
+
+std::uint64_t Tx::read_snapshot(Cell& c) {
+  for (;;) {
+    const CellSnap s = snap(c, /*want_old=*/true);
+    if (lockword::locked(s.word)) {
+      // A committer is writing back; it will release shortly and the
+      // backup it installs is exactly the value we may need.  Spin (one
+      // virtual cycle per probe) rather than consult the CM: snapshot
+      // transactions hold nothing anyone could wait on.
+      continue;
+    }
+    if (lockword::version_of(s.word) <= rv_) return s.value;
+    if (s.old_version <= rv_) {
+      ++stats_.snapshot_old_reads;
+      return s.old_value;
+    }
+    throw_abort(AbortReason::kSnapshotTooOld);
+  }
+}
+
+}  // namespace demotx::stm

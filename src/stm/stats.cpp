@@ -1,0 +1,45 @@
+#include "stm/stats.hpp"
+
+#include <cstdio>
+
+namespace demotx::stm {
+
+std::string TxStats::summary() const {
+  char buf[1024];
+  std::string out;
+  std::snprintf(buf, sizeof buf,
+                "tx: %llu starts, %llu commits, %llu aborts (ratio %.3f)\n",
+                static_cast<unsigned long long>(starts),
+                static_cast<unsigned long long>(commits),
+                static_cast<unsigned long long>(aborts), abort_ratio());
+  out += buf;
+  for (int i = 0; i < kNumSemantics; ++i) {
+    if (commits_by_sem[i] == 0 && aborts_by_sem[i] == 0) continue;
+    std::snprintf(buf, sizeof buf, "  %-8s : %llu commits, %llu aborts\n",
+                  to_string(static_cast<Semantics>(i)),
+                  static_cast<unsigned long long>(commits_by_sem[i]),
+                  static_cast<unsigned long long>(aborts_by_sem[i]));
+    out += buf;
+  }
+  for (int i = 0; i < kNumAbortReasons; ++i) {
+    if (aborts_by_reason[i] == 0) continue;
+    std::snprintf(buf, sizeof buf, "  abort[%s] = %llu\n",
+                  to_string(static_cast<AbortReason>(i)),
+                  static_cast<unsigned long long>(aborts_by_reason[i]));
+    out += buf;
+  }
+  std::snprintf(buf, sizeof buf,
+                "  reads %llu, writes %llu, cuts %llu, old-reads %llu, "
+                "extensions %llu, kills %llu, releases %llu\n",
+                static_cast<unsigned long long>(reads),
+                static_cast<unsigned long long>(writes),
+                static_cast<unsigned long long>(elastic_cuts),
+                static_cast<unsigned long long>(snapshot_old_reads),
+                static_cast<unsigned long long>(extensions),
+                static_cast<unsigned long long>(kills_issued),
+                static_cast<unsigned long long>(early_releases));
+  out += buf;
+  return out;
+}
+
+}  // namespace demotx::stm

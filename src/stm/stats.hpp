@@ -1,0 +1,65 @@
+// Per-thread transaction statistics.
+//
+// Every figure in the paper is explained by *why* transactions abort (the
+// classic `size` aborting repeatedly is the Fig. 7 slowdown; snapshot
+// old-version reads are the Fig. 9 rescue), so the runtime counts
+// everything per logical thread and the harness aggregates.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "stm/semantics.hpp"
+
+namespace demotx::stm {
+
+struct TxStats {
+  std::uint64_t starts = 0;
+  std::uint64_t commits = 0;
+  std::uint64_t aborts = 0;
+  std::uint64_t commits_by_sem[kNumSemantics] = {};
+  std::uint64_t aborts_by_sem[kNumSemantics] = {};
+  std::uint64_t aborts_by_reason[kNumAbortReasons] = {};
+  std::uint64_t reads = 0;
+  std::uint64_t writes = 0;
+  std::uint64_t elastic_cuts = 0;        // window evictions
+  std::uint64_t snapshot_old_reads = 0;  // reads served from the backup
+  std::uint64_t extensions = 0;          // successful timebase extensions
+  std::uint64_t kills_issued = 0;        // CM killed an enemy
+  std::uint64_t early_releases = 0;
+  std::uint64_t htm_commits = 0;    // commits in modeled-HTM mode
+  std::uint64_t htm_fallbacks = 0;  // hybrid gave up on HTM, ran software
+
+  void merge(const TxStats& o) {
+    starts += o.starts;
+    commits += o.commits;
+    aborts += o.aborts;
+    for (int i = 0; i < kNumSemantics; ++i) {
+      commits_by_sem[i] += o.commits_by_sem[i];
+      aborts_by_sem[i] += o.aborts_by_sem[i];
+    }
+    for (int i = 0; i < kNumAbortReasons; ++i)
+      aborts_by_reason[i] += o.aborts_by_reason[i];
+    reads += o.reads;
+    writes += o.writes;
+    elastic_cuts += o.elastic_cuts;
+    snapshot_old_reads += o.snapshot_old_reads;
+    extensions += o.extensions;
+    kills_issued += o.kills_issued;
+    early_releases += o.early_releases;
+    htm_commits += o.htm_commits;
+    htm_fallbacks += o.htm_fallbacks;
+  }
+
+  [[nodiscard]] double abort_ratio() const {
+    const std::uint64_t attempts = commits + aborts;
+    return attempts == 0 ? 0.0
+                         : static_cast<double>(aborts) /
+                               static_cast<double>(attempts);
+  }
+
+  // Multi-line human-readable summary.
+  [[nodiscard]] std::string summary() const;
+};
+
+}  // namespace demotx::stm

@@ -1,0 +1,25 @@
+// Umbrella header: the public API of the demotx mixed-semantics STM.
+//
+//   #include "stm/stm.hpp"
+//
+//   using namespace demotx;
+//   stm::TVar<long> balance{100};
+//
+//   stm::atomically([&](stm::Tx& tx) {                 // classic (default)
+//     balance.set(tx, balance.get(tx) - 10);
+//   });
+//
+//   stm::atomically(stm::Semantics::kElastic, ...);    // search-structure ops
+//   stm::atomically(stm::Semantics::kSnapshot, ...);   // read-only snapshots
+//
+// See README.md for the full tour and DESIGN.md for how each piece maps to
+// the paper.
+#pragma once
+
+#include "stm/cell.hpp"        // IWYU pragma: export
+#include "stm/cm/manager.hpp"  // IWYU pragma: export
+#include "stm/runtime.hpp"     // IWYU pragma: export
+#include "stm/semantics.hpp"   // IWYU pragma: export
+#include "stm/stats.hpp"       // IWYU pragma: export
+#include "stm/tvar.hpp"        // IWYU pragma: export
+#include "stm/txdesc.hpp"      // IWYU pragma: export

@@ -1,0 +1,57 @@
+// TVar<T>: a typed transactional variable over one versioned cell.
+//
+// T must be trivially copyable and at most 8 bytes (a machine word):
+// integers, enums, pointers, small PODs.  Larger state is built by
+// composing TVars (as the data structures in src/ds/ do), which is also
+// what gives the STM its per-location conflict granularity.
+#pragma once
+
+#include <cstring>
+#include <type_traits>
+
+#include "stm/cell.hpp"
+#include "stm/txdesc.hpp"
+
+namespace demotx::stm {
+
+template <typename T>
+concept WordSized = std::is_trivially_copyable_v<T> && sizeof(T) <= 8;
+
+template <WordSized T>
+class TVar {
+ public:
+  TVar() : TVar(T{}) {}
+  explicit TVar(T v) { cell_.value.store(encode(v), std::memory_order_relaxed); }
+
+  TVar(const TVar&) = delete;
+  TVar& operator=(const TVar&) = delete;
+
+  // Transactional access.
+  T get(Tx& tx) const { return decode(tx.read_word(cell_)); }
+  void set(Tx& tx, T v) { tx.write_word(cell_, encode(v)); }
+
+  // Early release of this variable from tx's read set (expert API).
+  void release(Tx& tx) const { tx.release(cell_); }
+
+  // Unsynchronized access for initialization and quiescent inspection.
+  [[nodiscard]] T unsafe_load() const { return decode(cell_.unsafe_value()); }
+  void unsafe_store(T v) { cell_.unsafe_store(encode(v)); }
+
+  [[nodiscard]] Cell& cell() const { return cell_; }
+
+  static std::uint64_t encode(T v) {
+    std::uint64_t u = 0;
+    std::memcpy(&u, &v, sizeof(T));
+    return u;
+  }
+  static T decode(std::uint64_t u) {
+    T v;
+    std::memcpy(&v, &u, sizeof(T));
+    return v;
+  }
+
+ private:
+  mutable Cell cell_;
+};
+
+}  // namespace demotx::stm

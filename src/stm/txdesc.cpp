@@ -1,0 +1,519 @@
+#include "stm/txdesc.hpp"
+
+#include <atomic>
+
+#include "mem/epoch.hpp"
+#include "stm/cm/manager.hpp"
+#include "stm/runtime.hpp"
+#include "vt/context.hpp"
+
+namespace demotx::stm {
+
+Tx::Tx(int slot) : slot_(slot) {}
+
+// ---------------------------------------------------------------------
+// Lifecycle
+// ---------------------------------------------------------------------
+
+void Tx::begin(Semantics sem, unsigned attempt, bool irrevocable) {
+  Runtime& rt = Runtime::instance();
+  sem_ = sem;
+  elastic_phase_ = (sem == Semantics::kElastic);
+  window_.set_capacity(rt.config.elastic_window);
+  reads_.clear();
+  writes_.clear();
+  window_.clear();
+  allocs_.clear();
+  retires_.clear();
+  overwrite_undo_.clear();
+  checkpoint_depth_ = 0;
+  retry_watch_.clear();
+  killed_poll_ = 0;
+
+  ++serial_;
+  status_.store((serial_ << 2) | kStatusActive, std::memory_order_release);
+
+  cm_ = &rt.cm_for_slot(slot_);
+  if (attempt == 0) cm_stamp = rt.next_cm_stamp();
+  cm_->on_begin(*this, attempt);
+
+  // Optimistic reads may chase pointers to logically deleted nodes until
+  // validation catches the change; the epoch guard keeps them allocated.
+  mem::EpochManager::instance().enter();
+
+  eager_ = rt.config.eager_writes;
+  htm_ = false;  // armed per-attempt by atomically_hybrid after begin()
+  in_commit_gate_ = false;
+  irrevocable_.store(irrevocable, std::memory_order_release);
+  if (irrevocable) {
+    // Take the global token and drain in-flight committers BEFORE
+    // sampling rv: afterwards nothing can commit, so no read of ours can
+    // ever be invalidated and commit cannot fail.
+    rt.acquire_irrevocability(slot_);
+  }
+
+  rv_ = rt.clock_read();
+  ++stats_.starts;
+}
+
+void Tx::commit() {
+  check_killed();
+  if (!writes_.empty()) {
+    commit_update();
+  } else {
+    // Read-only: every semantics validated its reads at read time
+    // (classic against rv, elastic against the window, snapshot against
+    // the bound), so the commit point needs no further work.
+    std::uint64_t expected = (serial_ << 2) | kStatusActive;
+    if (!status_.compare_exchange_strong(expected,
+                                         (serial_ << 2) | kStatusCommitted,
+                                         std::memory_order_acq_rel)) {
+      throw_abort(AbortReason::kKilled);
+    }
+  }
+
+  // Ownership of allocations passes to the data structure; logical frees
+  // become reclaimer retirements now that they are committed.
+  allocs_.clear();
+  auto& epoch = mem::EpochManager::instance();
+  for (const Owned& o : retires_) epoch.retire(o.ptr, o.deleter);
+  retires_.clear();
+  epoch.exit();
+
+  if (in_commit_gate_) {
+    Runtime::instance().leave_commit_gate();
+    in_commit_gate_ = false;
+  }
+  ++stats_.commits;
+  ++stats_.commits_by_sem[static_cast<int>(sem_)];
+  if (htm_) ++stats_.htm_commits;
+  if (irrevocable_.load(std::memory_order_acquire)) {
+    irrevocable_.store(false, std::memory_order_release);
+    Runtime::instance().release_irrevocability(slot_);
+  }
+  cm_->on_commit(*this);
+}
+
+void Tx::rollback(AbortReason why) {
+  release_write_locks_aborting();
+  if (in_commit_gate_) {
+    Runtime::instance().leave_commit_gate();
+    in_commit_gate_ = false;
+  }
+  if (irrevocable_.load(std::memory_order_acquire)) {
+    irrevocable_.store(false, std::memory_order_release);
+    Runtime::instance().release_irrevocability(slot_);
+  }
+  for (const Owned& o : allocs_) o.deleter(o.ptr);
+  allocs_.clear();
+  retires_.clear();
+  status_.store((serial_ << 2) | kStatusAborted, std::memory_order_release);
+  mem::EpochManager::instance().exit();
+  ++stats_.aborts;
+  ++stats_.aborts_by_sem[static_cast<int>(sem_)];
+  ++stats_.aborts_by_reason[static_cast<int>(why)];
+}
+
+void Tx::throw_abort(AbortReason why) { throw AbortTx{why}; }
+
+void Tx::check_killed() {
+  // Poll the status word every few steps; an enemy CM may have CASed it
+  // to aborted.  Snapshot transactions take no locks and are never
+  // killed, so they skip the poll.
+  if (sem_ == Semantics::kSnapshot) return;
+  if ((++killed_poll_ & 7u) != 0) return;
+  const std::uint64_t w = status_.load(std::memory_order_acquire);
+  if ((w & 3u) == kStatusAborted && (w >> 2) == serial_)
+    throw_abort(AbortReason::kKilled);
+}
+
+bool Tx::try_kill(std::uint64_t observed_word) {
+  if (irrevocable_.load(std::memory_order_acquire)) return false;
+  if ((observed_word & 3u) != kStatusActive) return false;
+  std::uint64_t expected = observed_word;
+  return status_.compare_exchange_strong(
+      expected, (observed_word & ~std::uint64_t{3}) | kStatusAborted,
+      std::memory_order_acq_rel);
+}
+
+// ---------------------------------------------------------------------
+// Reads and writes
+// ---------------------------------------------------------------------
+
+Tx::CellSnap Tx::snap(Cell& c, bool want_old) {
+  for (;;) {
+    vt::access();
+    const std::uint64_t w1 = c.vlock.load(std::memory_order_acquire);
+    if (lockword::locked(w1)) return CellSnap{w1, 0, 0, 0};
+    const std::uint64_t v = c.value.load(std::memory_order_relaxed);
+    std::uint64_t ov = 0, over = 0;
+    if (want_old) {
+      ov = c.old_value.load(std::memory_order_relaxed);
+      over = c.old_version.load(std::memory_order_relaxed);
+    }
+    std::atomic_thread_fence(std::memory_order_acquire);
+    const std::uint64_t w2 = c.vlock.load(std::memory_order_relaxed);
+    if (w1 == w2) return CellSnap{w1, v, ov, over};
+    // Torn by a committing writer; retry (costs another cycle).
+  }
+}
+
+std::uint64_t Tx::read_word(Cell& c) {
+  check_killed();
+  // Cost model: an instrumented STM read costs ~3x a plain load (lock-word
+  // load + fenced value load + re-validation + read-set/window bookkeeping
+  // — the single-thread overhead Sec. 3.3 of the paper calls out).  snap()
+  // charges one cycle per attempt; the other two land here.  Modeled HTM
+  // reads are hardware-tracked: no surcharge, but a bounded footprint.
+  if (htm_) {
+    if (reads_.size() + writes_.size() >=
+        Runtime::instance().config.htm_capacity)
+      throw_abort(AbortReason::kHtmCapacity);
+  } else {
+    vt::access(2);
+  }
+  switch (sem_) {
+    case Semantics::kSnapshot:
+      ++stats_.reads;
+      return read_snapshot(c);
+    case Semantics::kElastic:
+      if (elastic_phase_) {
+        ++stats_.reads;
+        return read_elastic(c);
+      }
+      [[fallthrough]];
+    case Semantics::kClassic:
+      break;
+  }
+  ++stats_.reads;
+  return read_classic(c);
+}
+
+void Tx::write_word(Cell& c, std::uint64_t v) {
+  check_killed();
+  if (sem_ == Semantics::kSnapshot) {
+    throw TxUsageError(
+        "demotx: snapshot transactions are read-only; use classic or "
+        "elastic semantics for updates");
+  }
+  if (sem_ == Semantics::kElastic && elastic_phase_) {
+    // First write: the elastic phase ends.  The current window becomes
+    // the read set of the final piece and the rest of the transaction
+    // runs classically (E-STM).
+    strengthen_to_classic();
+  }
+  if (htm_) {
+    if (reads_.size() + writes_.size() >=
+        Runtime::instance().config.htm_capacity)
+      throw_abort(AbortReason::kHtmCapacity);
+  } else {
+    vt::access(2);  // write-set hashing and buffering overhead
+  }
+  if (eager_) {
+    eager_acquire_and_store(c, v);
+    ++stats_.writes;
+    return;
+  }
+  const WriteSet::PutResult pr = writes_.put(&c, v);
+  if (pr.overwrote && checkpoint_depth_ > 0)
+    overwrite_undo_.emplace_back(&c, pr.old_value);
+  ++stats_.writes;
+}
+
+// Encounter-time locking (eager mode): take the cell's lock at the first
+// write, stash the pre-transaction value/version as both the undo record
+// and the snapshot backup, and write through.  Readers treat the held
+// lock as a conflict, so in-place values never leak before commit.
+void Tx::eager_acquire_and_store(Cell& c, std::uint64_t v) {
+  if (WriteEntry* e = writes_.find(&c)) {
+    // Already ours: just write through again.
+    vt::access();
+    c.value.store(v, std::memory_order_relaxed);
+    e->value = v;
+    return;
+  }
+  Runtime& rt = Runtime::instance();
+  if (!in_commit_gate_) {
+    // Enter the irrevocability gate before the first lock: an eager
+    // writer parked at the gate must not already hold locks the token
+    // holder could be spinning on.
+    rt.enter_commit_gate(slot_);
+    in_commit_gate_ = true;
+  }
+  for (;;) {
+    check_killed();
+    vt::access();
+    const std::uint64_t w = c.vlock.load(std::memory_order_acquire);
+    if (lockword::locked(w)) {
+      const int owner = lockword::owner_of(w);
+      if (!cm_->on_conflict(*this, owner, /*writing=*/true))
+        throw_abort(AbortReason::kWriteLockTimeout);
+      continue;
+    }
+    std::uint64_t expected = w;
+    if (c.vlock.compare_exchange_strong(expected, lockword::make_locked(slot_),
+                                        std::memory_order_acq_rel)) {
+      const std::uint64_t old = c.value.load(std::memory_order_relaxed);
+      vt::access();
+      if (rt.config.maintain_old_versions) {
+        c.old_value.store(old, std::memory_order_relaxed);
+        c.old_version.store(lockword::version_of(w),
+                            std::memory_order_relaxed);
+      }
+      c.value.store(v, std::memory_order_relaxed);
+      WriteSet::PutResult pr = writes_.put(&c, v);
+      (void)pr;
+      WriteEntry* e = writes_.find(&c);
+      e->saved_version = lockword::version_of(w);
+      e->locked = true;
+      e->in_place = true;
+      e->undo_value = old;
+      return;
+    }
+  }
+}
+
+void Tx::release(Cell& c) {
+  std::size_t dropped = reads_.release(&c) + window_.release(&c);
+  stats_.early_releases += dropped;
+  // Releasing a cell we also wrote would be meaningless; writes stay.
+}
+
+void Tx::strengthen_to_classic() {
+  if (sem_ != Semantics::kElastic || !elastic_phase_) return;
+  // Anchor the final piece: re-sample rv, then verify the window is an
+  // unbroken snapshot at this instant; its entries join the read set and
+  // must now stay valid through commit.
+  rv_ = Runtime::instance().clock_read();
+  validate_window_or_abort();
+  for (std::size_t i = 0; i < window_.size(); ++i) {
+    const ReadEntry& e = window_.at(i);
+    reads_.add(e.cell, e.version);
+  }
+  window_.clear();
+  elastic_phase_ = false;
+}
+
+void Tx::validate_window_or_abort() {
+  // Cost model: no vt::access() here.  The window holds the lock words of
+  // the last couple of cells this transaction just read — cache-resident
+  // lines — so the validation loads ride on the access cycle already
+  // charged by the read (or transition) that triggered the validation.
+  // This matches E-STM's reported single-thread overhead parity with TL2.
+  for (std::size_t i = 0; i < window_.size(); ++i) {
+    const ReadEntry& e = window_.at(i);
+    const std::uint64_t w = e.cell->vlock.load(std::memory_order_acquire);
+    if (lockword::locked(w) || lockword::version_of(w) != e.version)
+      throw_abort(AbortReason::kWindowInvalid);
+  }
+}
+
+// ---------------------------------------------------------------------
+// Commit path for updating transactions (classic, or elastic after its
+// first write)
+// ---------------------------------------------------------------------
+
+void Tx::acquire_write_locks() {
+  for (WriteEntry& e : writes_) {
+    for (;;) {
+      check_killed();
+      vt::access();
+      const std::uint64_t w = e.cell->vlock.load(std::memory_order_acquire);
+      if (lockword::locked(w)) {
+        const int owner = lockword::owner_of(w);
+        if (owner == slot_) break;  // cannot happen: write set is deduped
+        if (!cm_->on_conflict(*this, owner, /*writing=*/true)) {
+          throw_abort(AbortReason::kWriteLockTimeout);
+        }
+        continue;
+      }
+      std::uint64_t expected = w;
+      if (e.cell->vlock.compare_exchange_strong(
+              expected, lockword::make_locked(slot_),
+              std::memory_order_acq_rel)) {
+        e.saved_version = lockword::version_of(w);
+        e.locked = true;
+        break;
+      }
+    }
+  }
+}
+
+void Tx::release_write_locks_aborting() {
+  for (WriteEntry& e : writes_) {
+    if (!e.locked) continue;
+    vt::access();
+    if (e.in_place) {
+      // Undo the write-through before the unlock makes the cell readable.
+      e.cell->value.store(e.undo_value, std::memory_order_relaxed);
+      vt::access();
+    }
+    e.cell->vlock.store(lockword::make_version(e.saved_version),
+                        std::memory_order_release);
+    e.locked = false;
+  }
+}
+
+bool Tx::validate_read_set() {
+  for (const ReadEntry& e : reads_) {
+    vt::access();
+    const std::uint64_t w = e.cell->vlock.load(std::memory_order_acquire);
+    if (lockword::locked(w)) {
+      if (lockword::owner_of(w) != slot_) return false;
+      const WriteEntry* we = writes_.find(e.cell);
+      if (we == nullptr || we->saved_version != e.version) return false;
+    } else if (lockword::version_of(w) != e.version) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool Tx::try_extend() {
+  const std::uint64_t new_rv = Runtime::instance().clock_read();
+  for (const ReadEntry& e : reads_) {
+    vt::access();
+    const std::uint64_t w = e.cell->vlock.load(std::memory_order_acquire);
+    if (lockword::locked(w) || lockword::version_of(w) != e.version)
+      return false;
+  }
+  rv_ = new_rv;
+  ++stats_.extensions;
+  return true;
+}
+
+Tx::Checkpoint Tx::checkpoint() {
+  if (eager_) {
+    throw TxUsageError(
+        "demotx: or_else() is not supported with eager_writes — in-place "
+        "branch rollback would require lock-aware undo scopes");
+  }
+  Checkpoint cp;
+  cp.reads_n = reads_.size();
+  cp.writes_n = writes_.size();
+  cp.allocs_n = allocs_.size();
+  cp.retires_n = retires_.size();
+  cp.undo_base = overwrite_undo_.size();
+  cp.window = window_;
+  cp.elastic_phase = elastic_phase_;
+  cp.rv = rv_;
+  ++checkpoint_depth_;
+  return cp;
+}
+
+void Tx::restore(const Checkpoint& cp) {
+  // Keep the branch's reads alive for retry(): a transaction that ends up
+  // retrying must wake when ANY branch's input changes.
+  for (std::size_t i = cp.reads_n; i < reads_.size(); ++i)
+    retry_watch_.push_back(reads_.begin()[i]);
+  for (std::size_t i = 0; i < window_.size(); ++i)
+    retry_watch_.push_back(window_.at(i));
+  reads_.truncate(cp.reads_n);
+  // Undo in-place overwrites of pre-branch buffered writes, newest first.
+  while (overwrite_undo_.size() > cp.undo_base) {
+    auto [cell, old] = overwrite_undo_.back();
+    overwrite_undo_.pop_back();
+    if (WriteEntry* e = writes_.find(cell)) e->value = old;
+  }
+  writes_.truncate(cp.writes_n);
+  // Branch-private allocations never escaped: delete them.
+  while (allocs_.size() > cp.allocs_n) {
+    allocs_.back().deleter(allocs_.back().ptr);
+    allocs_.pop_back();
+  }
+  retires_.resize(cp.retires_n);
+  window_ = cp.window;
+  elastic_phase_ = cp.elastic_phase;
+  rv_ = cp.rv;
+  --checkpoint_depth_;
+  if (checkpoint_depth_ == 0) overwrite_undo_.clear();
+}
+
+void Tx::commit_checkpoint(const Checkpoint&) {
+  // Branch kept: its undo entries stay (an enclosing checkpoint may still
+  // need them); the log dies with the last scope or at begin().
+  --checkpoint_depth_;
+  if (checkpoint_depth_ == 0) overwrite_undo_.clear();
+}
+
+std::vector<ReadEntry> Tx::watch_set() const {
+  std::vector<ReadEntry> watch(reads_.begin(), reads_.end());
+  for (std::size_t i = 0; i < window_.size(); ++i)
+    watch.push_back(window_.at(i));
+  watch.insert(watch.end(), retry_watch_.begin(), retry_watch_.end());
+  return watch;
+}
+
+void Tx::wait_for_change(const std::vector<ReadEntry>& watch) {
+  if (watch.empty()) {
+    throw TxUsageError(
+        "demotx: retry() with an empty read set would block forever "
+        "(snapshot transactions record no reads)");
+  }
+  unsigned delay = 1;
+  for (;;) {
+    for (const ReadEntry& e : watch) {
+      vt::access();
+      const std::uint64_t w = e.cell->vlock.load(std::memory_order_acquire);
+      // Changed version — or a writer mid-commit on it — wakes us.
+      if (w != lockword::make_version(e.version)) return;
+    }
+    if (vt::in_sim()) {
+      vt::access(delay);
+    } else {
+      for (unsigned i = 0; i < delay; ++i) vt::cpu_relax();
+    }
+    if (delay < 4096) delay *= 2;
+  }
+}
+
+void Tx::commit_update() {
+  Runtime& rt = Runtime::instance();
+  // Irrevocability gate: update commits park while another transaction
+  // holds the token (the owner itself passes straight through).  Eager
+  // transactions registered at their first write.
+  if (!in_commit_gate_) {
+    rt.enter_commit_gate(slot_);
+    in_commit_gate_ = true;
+  }
+  acquire_write_locks();
+  const std::uint64_t wv = rt.clock_advance();
+  // If nobody committed since we started, our reads cannot have changed.
+  if (rv_ + 1 != wv && !validate_read_set()) {
+    throw_abort(AbortReason::kCommitValidation);
+  }
+  // Decision point: after this CAS nothing can abort us.
+  std::uint64_t expected = (serial_ << 2) | kStatusActive;
+  if (!status_.compare_exchange_strong(expected,
+                                       (serial_ << 2) | kStatusCommitted,
+                                       std::memory_order_acq_rel)) {
+    throw_abort(AbortReason::kKilled);
+  }
+  const bool keep_old = rt.config.maintain_old_versions;
+  for (WriteEntry& e : writes_) {
+    vt::access();
+    Cell& c = *e.cell;
+    if (e.in_place) {
+      // Eager: the value and the backup pair were installed at acquire
+      // time; publishing is just the versioned unlock.
+      c.vlock.store(lockword::make_version(wv), std::memory_order_release);
+      e.locked = false;
+      continue;
+    }
+    if (keep_old) {
+      c.old_value.store(c.value.load(std::memory_order_relaxed),
+                        std::memory_order_relaxed);
+      c.old_version.store(e.saved_version, std::memory_order_relaxed);
+    } else {
+      // 1-version ablation: poison the backup so snapshot readers abort
+      // rather than return a stale bootstrap value.
+      c.old_version.store(wv, std::memory_order_relaxed);
+    }
+    c.value.store(e.value, std::memory_order_relaxed);
+    vt::access();
+    c.vlock.store(lockword::make_version(wv), std::memory_order_release);
+    e.locked = false;
+  }
+}
+
+}  // namespace demotx::stm

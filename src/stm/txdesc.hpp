@@ -1,0 +1,224 @@
+// The transaction descriptor: one long-lived object per logical thread,
+// re-armed by begin() for every attempt.  It implements the word-level
+// transactional API; the three semantics share the descriptor and differ
+// only in the read path and in what commit has to validate:
+//
+//            read path                      commit
+//  classic   validate version <= rv         lock writes, validate read set
+//  elastic   validate sliding window,       (after first write: classic
+//            evictions = cuts               over the reads since the cut)
+//  snapshot  current-or-backup version      nothing (read-only)
+//            <= start bound
+//
+// Typed access goes through TVar<T> (tvar.hpp); atomically() lives in
+// runtime.hpp.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+#include "stm/cell.hpp"
+#include "stm/readset.hpp"
+#include "stm/semantics.hpp"
+#include "stm/stats.hpp"
+#include "stm/writeset.hpp"
+
+namespace demotx::stm {
+
+class ContentionManager;
+
+// Status-word states; the word is (serial << 2) | state, where the serial
+// increments every begin() so an enemy's kill CAS cannot touch a later
+// incarnation of the descriptor.
+enum : std::uint64_t {
+  kStatusActive = 0,
+  kStatusCommitted = 1,
+  kStatusAborted = 2,
+};
+
+class Tx {
+ public:
+  explicit Tx(int slot);
+  Tx(const Tx&) = delete;
+  Tx& operator=(const Tx&) = delete;
+
+  // ---- word-level transactional API ----------------------------------
+
+  std::uint64_t read_word(Cell& c);
+  void write_word(Cell& c, std::uint64_t v);
+
+  // Early release (paper Sec. 4.1): forget this transaction's reads of
+  // `c`; later conflicts on it no longer abort us.  Expert-only — breaks
+  // composition, as tests/examples demonstrate.
+  void release(Cell& c);
+
+  // User-requested abort: the transaction retries from scratch.
+  [[noreturn]] void abort_self() { throw_abort(AbortReason::kExplicit); }
+
+  // ---- transactional lifetime management ------------------------------
+
+  // Allocates an object owned by the transaction: deleted if the
+  // transaction aborts, handed to the caller on commit.
+  template <typename T, typename... Args>
+  T* alloc(Args&&... args) {
+    T* p = new T(static_cast<Args&&>(args)...);
+    allocs_.push_back({p, [](void* q) { delete static_cast<T*>(q); }});
+    return p;
+  }
+
+  // Logically frees an object at commit: it is retired to epoch-based
+  // reclamation (concurrent optimistic readers stay safe).  No-op if the
+  // transaction aborts.
+  template <typename T>
+  void retire(T* p) {
+    retires_.push_back({p, [](void* q) { delete static_cast<T*>(q); }});
+  }
+
+  // ---- introspection ---------------------------------------------------
+
+  [[nodiscard]] Semantics semantics() const { return sem_; }
+  [[nodiscard]] bool in_elastic_phase() const { return elastic_phase_; }
+  [[nodiscard]] int slot() const { return slot_; }
+  [[nodiscard]] std::uint64_t start_version() const { return rv_; }
+  [[nodiscard]] bool active() const { return depth_ > 0; }
+  [[nodiscard]] TxStats& stats() { return stats_; }
+
+  // ---- internals used by the runtime and contention managers ---------
+  // (in a production split these would be module-private; they are public
+  // here because runtime.hpp's atomically() template drives them.)
+
+  void begin(Semantics sem, unsigned attempt, bool irrevocable = false);
+
+  // Modeled best-effort HTM (see runtime.hpp atomically_hybrid): reads and
+  // writes are hardware-instrumented (no software surcharge) but the
+  // transaction aborts with kHtmCapacity when its footprint exceeds the
+  // configured capacity.
+  void set_htm_mode(bool on) {
+    htm_ = on;
+    if (on) eager_ = false;  // hardware attempts buffer in cache
+  }
+  [[nodiscard]] bool htm_mode() const { return htm_; }
+  void commit();
+  void rollback(AbortReason why);
+
+  // True while this transaction holds the global irrevocability token:
+  // no other update transaction can commit, so this one can never be
+  // invalidated or killed (see Runtime::acquire_irrevocability).
+  [[nodiscard]] bool irrevocable() const {
+    return irrevocable_.load(std::memory_order_acquire);
+  }
+
+  // Promotes an elastic transaction in its elastic phase to classic mode:
+  // the window is revalidated, anchored into the read set, and rv is
+  // re-sampled.  Used at the first write and when a classic body nests
+  // inside an elastic transaction.
+  void strengthen_to_classic();
+
+  // ---- composable blocking (Harris et al., the paper's citation [30]) --
+
+  // State snapshot for orElse branch rollback.
+  struct Checkpoint {
+    std::size_t reads_n;
+    std::size_t writes_n;
+    std::size_t allocs_n;
+    std::size_t retires_n;
+    std::size_t undo_base;
+    ElasticWindow window;
+    bool elastic_phase;
+    std::uint64_t rv;
+  };
+
+  Checkpoint checkpoint();
+  // Undoes everything since the checkpoint (reads beyond it are kept in
+  // the retry watch so a propagated retry() waits on BOTH branches).
+  void restore(const Checkpoint& cp);
+  // Keeps the branch's effects; just closes the checkpoint scope.
+  void commit_checkpoint(const Checkpoint& cp);
+
+  // The locations a retrying transaction must watch: read set + elastic
+  // window + reads of rolled-back orElse branches.
+  [[nodiscard]] std::vector<ReadEntry> watch_set() const;
+
+  // Polls the watch set until some location changes (the wake-up condition
+  // of stm::retry()).  Throws TxUsageError on an empty watch set.
+  static void wait_for_change(const std::vector<ReadEntry>& watch);
+
+  // Attempt to kill the transaction occupying this descriptor, given a
+  // previously observed status word.  Returns true if the kill landed.
+  bool try_kill(std::uint64_t observed_word);
+
+  [[nodiscard]] std::uint64_t status_word() const {
+    return status_.load(std::memory_order_acquire);
+  }
+
+  // CM priority state (see cm/manager.hpp).
+  std::uint64_t cm_stamp = 0;  // Greedy: ticket from first attempt
+  std::uint64_t cm_karma = 0;  // Karma: work accumulated across retries
+
+  int depth_ = 0;  // flat-nesting depth, managed by atomically()
+
+  [[noreturn]] void throw_abort(AbortReason why);
+
+ private:
+  friend class Runtime;
+
+  struct Owned {
+    void* ptr;
+    void (*deleter)(void*);
+  };
+
+  // A consistent (word,value,old pair) snapshot of a cell, or a word with
+  // the lock bit set (payload unspecified).
+  struct CellSnap {
+    std::uint64_t word;
+    std::uint64_t value;
+    std::uint64_t old_value;
+    std::uint64_t old_version;
+  };
+  static CellSnap snap(Cell& c, bool want_old);
+
+  std::uint64_t read_classic(Cell& c);
+  std::uint64_t read_elastic(Cell& c);
+  std::uint64_t read_snapshot(Cell& c);
+
+  void commit_update();
+  void eager_acquire_and_store(Cell& c, std::uint64_t v);
+  void acquire_write_locks();
+  void release_write_locks_aborting();
+  [[nodiscard]] bool validate_read_set();
+  // Tries to advance rv_ to the current clock after revalidating all
+  // reads; returns false (leaving rv_ unchanged) on any change.
+  [[nodiscard]] bool try_extend();
+  void validate_window_or_abort();
+  void check_killed();
+
+  int slot_;
+  Semantics sem_ = Semantics::kClassic;
+  bool elastic_phase_ = false;
+  bool eager_ = false;          // encounter-time locking for this attempt
+  bool htm_ = false;             // modeled-HTM execution (atomically_hybrid)
+  bool in_commit_gate_ = false;  // registered in the irrevocability gate
+  std::uint64_t rv_ = 0;  // start timestamp (classic) / bound ub (snapshot)
+  std::uint64_t serial_ = 0;
+  std::atomic<bool> irrevocable_{false};
+  std::atomic<std::uint64_t> status_{kStatusCommitted};
+  unsigned killed_poll_ = 0;
+
+  ReadSet reads_;
+  WriteSet writes_;
+  ElasticWindow window_;
+  std::vector<Owned> allocs_;
+  std::vector<Owned> retires_;
+  ContentionManager* cm_ = nullptr;  // owned by the runtime slot
+
+  // orElse support: overwrite undo log (active while a checkpoint is
+  // open) and the reads of rolled-back branches (watched by retry()).
+  std::vector<std::pair<Cell*, std::uint64_t>> overwrite_undo_;
+  int checkpoint_depth_ = 0;
+  std::vector<ReadEntry> retry_watch_;
+
+  TxStats stats_;
+};
+
+}  // namespace demotx::stm

@@ -1,0 +1,114 @@
+// Lazy-versioning write set: buffered writes applied at commit.
+//
+// Insertion-ordered entries (lock acquisition iterates in order) with an
+// open-addressing index for the O(1) lookup every read performs to see its
+// own writes.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace demotx::stm {
+
+struct Cell;
+
+struct WriteEntry {
+  Cell* cell;
+  std::uint64_t value;          // buffered new value (lazy) / last written
+  std::uint64_t saved_version;  // cell version when we locked it
+  bool locked;                  // lock currently held by this transaction
+  bool in_place;                // eager mode: value already stored in cell
+  std::uint64_t undo_value;     // eager mode: pre-transaction value
+};
+
+class WriteSet {
+ public:
+  WriteSet() { rebuild(64); }
+
+  [[nodiscard]] bool empty() const { return entries_.empty(); }
+  [[nodiscard]] std::size_t size() const { return entries_.size(); }
+
+  WriteEntry* find(const Cell* c) {
+    const std::size_t idx = probe(c);
+    return table_[idx] == kEmpty ? nullptr : &entries_[table_[idx]];
+  }
+
+  struct PutResult {
+    bool overwrote;            // an earlier buffered value existed
+    std::uint64_t old_value;   // that earlier value (for orElse undo logs)
+  };
+
+  // Inserts or overwrites the buffered value for `c`.
+  PutResult put(Cell* c, std::uint64_t value) {
+    const std::size_t idx = probe(c);
+    if (table_[idx] != kEmpty) {
+      WriteEntry& e = entries_[table_[idx]];
+      const std::uint64_t old = e.value;
+      e.value = value;
+      return {true, old};
+    }
+    table_[idx] = static_cast<std::uint32_t>(entries_.size());
+    entries_.push_back(WriteEntry{c, value, 0, false, false, 0});
+    if (entries_.size() * 2 > table_.size()) rebuild(table_.size() * 2);
+    return {false, 0};
+  }
+
+  // Drops every entry at index >= n (orElse branch rollback).  Only valid
+  // while no locks are held (i.e. before commit).
+  void truncate(std::size_t n) {
+    if (n >= entries_.size()) return;
+    entries_.resize(n);
+    std::fill(table_.begin(), table_.end(), kEmpty);
+    for (std::size_t i = 0; i < entries_.size(); ++i)
+      table_[probe(entries_[i].cell)] = static_cast<std::uint32_t>(i);
+  }
+
+  void clear() {
+    entries_.clear();
+    if (table_.size() > 1024) {
+      rebuild(64);
+    } else {
+      std::fill(table_.begin(), table_.end(), kEmpty);
+    }
+  }
+
+  [[nodiscard]] WriteEntry* begin() { return entries_.data(); }
+  [[nodiscard]] WriteEntry* end() { return entries_.data() + entries_.size(); }
+  [[nodiscard]] const WriteEntry* begin() const { return entries_.data(); }
+  [[nodiscard]] const WriteEntry* end() const {
+    return entries_.data() + entries_.size();
+  }
+
+ private:
+  static constexpr std::uint32_t kEmpty = 0xffffffffu;
+
+  static std::size_t hash(const Cell* c) {
+    auto x = reinterpret_cast<std::uintptr_t>(c) >> 6;  // cells are 64B
+    x *= 0x9e3779b97f4a7c15ULL;
+    return static_cast<std::size_t>(x >> 32 ^ x);
+  }
+
+  // Returns the slot holding `c`, or the empty slot where it would go.
+  std::size_t probe(const Cell* c) const {
+    const std::size_t mask = table_.size() - 1;
+    std::size_t idx = hash(c) & mask;
+    while (table_[idx] != kEmpty && entries_[table_[idx]].cell != c)
+      idx = (idx + 1) & mask;
+    return idx;
+  }
+
+  void rebuild(std::size_t buckets) {
+    table_.assign(buckets, kEmpty);
+    for (std::size_t i = 0; i < entries_.size(); ++i) {
+      const std::size_t idx = probe(entries_[i].cell);
+      table_[idx] = static_cast<std::uint32_t>(i);
+    }
+  }
+
+  std::vector<WriteEntry> entries_;
+  std::vector<std::uint32_t> table_;  // power-of-two open addressing
+};
+
+}  // namespace demotx::stm

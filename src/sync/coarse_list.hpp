@@ -1,0 +1,99 @@
+// Coarse-grained locking: one lock around the whole sequential list.
+// The simplest correct concurrent set — and a serialization bottleneck
+// that every other competitor is trying to beat.
+#pragma once
+
+#include <climits>
+#include <mutex>
+
+#include "sync/set_interface.hpp"
+#include "vt/context.hpp"
+#include "vt/sync.hpp"
+
+namespace demotx::sync {
+
+class CoarseList final : public ISet {
+ public:
+  CoarseList() {
+    tail_ = new Node{LONG_MAX, nullptr};
+    head_ = new Node{LONG_MIN, tail_};
+  }
+
+  ~CoarseList() override {
+    Node* n = head_;
+    while (n != nullptr) {
+      Node* next = n->next;
+      delete n;
+      n = next;
+    }
+  }
+
+  CoarseList(const CoarseList&) = delete;
+  CoarseList& operator=(const CoarseList&) = delete;
+
+  bool contains(long key) override {
+    std::lock_guard<vt::SpinLock> g(lock_);
+    Node* curr = visit(head_);
+    while (curr->key < key) curr = visit(curr);
+    return curr->key == key;
+  }
+
+  bool add(long key) override {
+    std::lock_guard<vt::SpinLock> g(lock_);
+    auto [prev, curr] = locate(key);
+    if (curr->key == key) return false;
+    prev->next = new Node{key, curr};
+    vt::access();
+    ++count_;
+    return true;
+  }
+
+  bool remove(long key) override {
+    std::lock_guard<vt::SpinLock> g(lock_);
+    auto [prev, curr] = locate(key);
+    if (curr->key != key) return false;
+    prev->next = curr->next;
+    vt::access();
+    delete curr;
+    --count_;
+    return true;
+  }
+
+  long size() override {  // atomic: O(1) under the lock
+    std::lock_guard<vt::SpinLock> g(lock_);
+    vt::access();
+    return count_;
+  }
+
+  long unsafe_size() override { return count_; }
+
+  [[nodiscard]] const char* name() const override { return "coarse-lock"; }
+
+ private:
+  struct Node {
+    long key;
+    Node* next;
+  };
+
+  static Node* visit(Node* n) {
+    vt::access();
+    return n->next;
+  }
+
+  std::pair<Node*, Node*> locate(long key) {
+    Node* prev = head_;
+    Node* curr = visit(prev);
+    while (curr->key < key) {
+      prev = curr;
+      curr = visit(curr);
+    }
+    return {prev, curr};
+  }
+
+  vt::SpinLock lock_;
+  Node* head_;
+  Node* tail_;
+  long count_ = 0;
+};
+
+}  // namespace demotx::sync

@@ -1,0 +1,131 @@
+// Copy-on-write array set — the C++ twin of java.util.concurrent's
+// CopyOnWriteArraySet, which the paper used as "the existing concurrent
+// collection" in Figs. 5/7/9 because it is the workaround the Java
+// concurrency book recommends when an atomic size()/iterator is required
+// ([37]): reads and size() run on an immutable array snapshot (size is
+// O(1) and trivially atomic), while updates copy the whole array under a
+// writer lock.
+//
+// Faithful to the OpenJDK class:
+//   * the array is unsorted; contains() is a linear scan over a lock-free
+//     snapshot;
+//   * add()/remove() first scan the snapshot WITHOUT the lock and return
+//     false lock-free when there is nothing to do (addIfAbsent/remove
+//     fast path) — on a half-full key range that removes half the update
+//     traffic from the writer lock;
+//   * only mutating updates take the lock, re-scan the current array and
+//     publish a copy.
+//
+// Cost model: scans charge one cycle per element (reference-chasing
+// compares, like a list parse); the copy itself charges one cycle per 8
+// elements (System.arraycopy-style streaming of one cache line of
+// references at a time).
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "sync/set_interface.hpp"
+#include "vt/context.hpp"
+#include "vt/sync.hpp"
+
+namespace demotx::sync {
+
+class CowArraySet final : public ISet {
+ public:
+  CowArraySet() : snapshot_(std::make_shared<const Array>()) {}
+
+  CowArraySet(const CowArraySet&) = delete;
+  CowArraySet& operator=(const CowArraySet&) = delete;
+
+  bool contains(long key) override {
+    vt::access();  // snapshot pointer load
+    const std::shared_ptr<const Array> snap =
+        snapshot_.load(std::memory_order_acquire);
+    return scan(*snap, key);
+  }
+
+  bool add(long key) override {
+    {  // addIfAbsent fast path: present in the snapshot → lock-free false
+      vt::access();
+      const std::shared_ptr<const Array> snap =
+          snapshot_.load(std::memory_order_acquire);
+      if (scan(*snap, key)) return false;
+    }
+    std::lock_guard<vt::SpinLock> g(write_lock_);
+    vt::access();
+    const std::shared_ptr<const Array> curr =
+        snapshot_.load(std::memory_order_acquire);
+    if (scan(*curr, key)) return false;  // raced with another add
+    auto next = std::make_shared<Array>();
+    next->reserve(curr->size() + 1);
+    copy_into(*curr, *next, /*skip_key=*/-1);
+    next->push_back(key);
+    vt::access();
+    snapshot_.store(std::move(next), std::memory_order_release);
+    return true;
+  }
+
+  bool remove(long key) override {
+    {  // fast path: absent in the snapshot → lock-free false
+      vt::access();
+      const std::shared_ptr<const Array> snap =
+          snapshot_.load(std::memory_order_acquire);
+      if (!scan(*snap, key)) return false;
+    }
+    std::lock_guard<vt::SpinLock> g(write_lock_);
+    vt::access();
+    const std::shared_ptr<const Array> curr =
+        snapshot_.load(std::memory_order_acquire);
+    if (!scan(*curr, key)) return false;  // raced with another remove
+    auto next = std::make_shared<Array>();
+    next->reserve(curr->size());
+    copy_into(*curr, *next, key);
+    vt::access();
+    snapshot_.store(std::move(next), std::memory_order_release);
+    return true;
+  }
+
+  // O(1) and atomic: the snapshot array's length.
+  long size() override {
+    vt::access();
+    return static_cast<long>(
+        snapshot_.load(std::memory_order_acquire)->size());
+  }
+
+  long unsafe_size() override {
+    return static_cast<long>(
+        snapshot_.load(std::memory_order_relaxed)->size());
+  }
+
+  [[nodiscard]] const char* name() const override { return "cow-array"; }
+
+ private:
+  using Array = std::vector<long>;
+
+  static bool scan(const Array& a, long key) {
+    for (long v : a) {
+      vt::access();  // one cycle per element visited, like a list parse
+      if (v == key) return true;
+    }
+    return false;
+  }
+
+  static void copy_into(const Array& from, Array& to, long skip_key) {
+    unsigned batch = 0;
+    for (long v : from) {
+      if (v == skip_key) continue;
+      if (++batch == 8) {  // streaming copy: one cycle per cache line
+        vt::access();
+        batch = 0;
+      }
+      to.push_back(v);
+    }
+    if (batch != 0) vt::access();
+  }
+
+  std::atomic<std::shared_ptr<const Array>> snapshot_;
+  vt::SpinLock write_lock_;
+};
+
+}  // namespace demotx::sync

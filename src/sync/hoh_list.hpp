@@ -1,0 +1,137 @@
+// Hand-over-hand (lock-coupling) list — the paper's Algorithm 3.
+//
+// This is the expert lock-based program whose atomicity relation the paper
+// analyzes in Sec. 3.1: at any instant only the chain pair (prev, curr) is
+// protected, so earlier parts of the parse may change concurrently — the
+// exact guarantee elastic transactions recover without exposing locks.
+// Note what the paper's Algorithm 2 (right) points out: the programmer had
+// to change the node layout to embed a lock and manage it explicitly.
+#pragma once
+
+#include <climits>
+
+#include "sync/set_interface.hpp"
+#include "vt/context.hpp"
+#include "vt/sync.hpp"
+
+namespace demotx::sync {
+
+class HohList final : public ISet {
+ public:
+  HohList() {
+    tail_ = new Node(LONG_MAX, nullptr);
+    head_ = new Node(LONG_MIN, tail_);
+  }
+
+  ~HohList() override {
+    Node* n = head_;
+    while (n != nullptr) {
+      Node* next = n->next;
+      delete n;
+      n = next;
+    }
+  }
+
+  HohList(const HohList&) = delete;
+  HohList& operator=(const HohList&) = delete;
+
+  bool contains(long key) override {
+    auto [prev, curr] = locate(key);
+    const bool found = curr->key == key;
+    curr->lock.unlock();
+    prev->lock.unlock();
+    return found;
+  }
+
+  bool add(long key) override {
+    auto [prev, curr] = locate(key);
+    bool added = false;
+    if (curr->key != key) {
+      prev->next = new Node(key, curr);
+      vt::access();
+      added = true;
+    }
+    curr->lock.unlock();
+    prev->lock.unlock();
+    return added;
+  }
+
+  bool remove(long key) override {
+    auto [prev, curr] = locate(key);
+    if (curr->key != key) {
+      curr->lock.unlock();
+      prev->lock.unlock();
+      return false;
+    }
+    prev->next = curr->next;
+    vt::access();
+    // With both locks held nobody can be positioned at curr or be waiting
+    // on its lock (they would need prev's lock first), so direct deletion
+    // is safe — the one luxury lock-coupling buys over optimistic schemes.
+    curr->lock.unlock();
+    delete curr;
+    prev->lock.unlock();
+    return true;
+  }
+
+  // Best-effort traversal count; NOT atomic (concurrent updates behind the
+  // crawl are missed) — the limitation that made the paper reach for
+  // copyOnWriteArraySet as the comparable collection.
+  long size() override {
+    long n = 0;
+    head_->lock.lock();
+    Node* prev = head_;
+    vt::access();
+    Node* curr = prev->next;
+    curr->lock.lock();
+    while (curr != tail_) {
+      ++n;
+      prev->lock.unlock();
+      prev = curr;
+      vt::access();
+      curr = prev->next;
+      curr->lock.lock();
+    }
+    curr->lock.unlock();
+    prev->lock.unlock();
+    return n;
+  }
+
+  long unsafe_size() override {
+    long n = 0;
+    for (Node* c = head_->next; c != tail_; c = c->next) ++n;
+    return n;
+  }
+
+  [[nodiscard]] const char* name() const override { return "hand-over-hand"; }
+
+ private:
+  struct Node {
+    long key;
+    Node* next;
+    vt::SpinLock lock;
+    Node(long k, Node* n) : key(k), next(n) {}
+  };
+
+  // Returns (prev, curr) with both locks held and curr->key >= key.
+  std::pair<Node*, Node*> locate(long key) {
+    head_->lock.lock();
+    Node* prev = head_;
+    vt::access();
+    Node* curr = prev->next;
+    curr->lock.lock();
+    while (curr->key < key) {
+      prev->lock.unlock();
+      prev = curr;
+      vt::access();
+      curr = prev->next;
+      curr->lock.lock();
+    }
+    return {prev, curr};
+  }
+
+  Node* head_;
+  Node* tail_;
+};
+
+}  // namespace demotx::sync

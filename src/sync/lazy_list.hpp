@@ -1,0 +1,135 @@
+// Lazy list (Heller, Herlihy, Luchangco, Moir, Scherer, Shavit,
+// OPODIS'05) — the paper's citation [29] for what lock-based experts must
+// do to get a scalable set: wait-free unsynchronized traversal, logical
+// deletion marks, per-node locks, and an explicit post-lock validation
+// phase.  Unlinked nodes are retired to epoch-based reclamation because
+// readers traverse without locks.
+#pragma once
+
+#include <atomic>
+#include <climits>
+
+#include "mem/epoch.hpp"
+#include "sync/set_interface.hpp"
+#include "vt/context.hpp"
+#include "vt/sync.hpp"
+
+namespace demotx::sync {
+
+class LazyList final : public ISet {
+ public:
+  LazyList() {
+    tail_ = new Node(LONG_MAX, nullptr);
+    head_ = new Node(LONG_MIN, tail_);
+  }
+
+  ~LazyList() override {
+    Node* n = head_;
+    while (n != nullptr) {
+      Node* next = n->next.load(std::memory_order_relaxed);
+      delete n;
+      n = next;
+    }
+  }
+
+  LazyList(const LazyList&) = delete;
+  LazyList& operator=(const LazyList&) = delete;
+
+  bool contains(long key) override {
+    mem::EpochManager::Guard g;
+    Node* curr = head_;
+    while (curr->key < key) curr = visit(curr);
+    vt::access();
+    return curr->key == key && !curr->marked.load(std::memory_order_acquire);
+  }
+
+  bool add(long key) override {
+    mem::EpochManager::Guard g;
+    for (;;) {
+      auto [prev, curr] = locate(key);
+      std::lock_guard<vt::SpinLock> lp(prev->lock);
+      std::lock_guard<vt::SpinLock> lc(curr->lock);
+      if (!validate(prev, curr)) continue;
+      if (curr->key == key) return false;
+      auto* n = new Node(key, curr);
+      vt::access();
+      prev->next.store(n, std::memory_order_release);
+      return true;
+    }
+  }
+
+  bool remove(long key) override {
+    mem::EpochManager::Guard g;
+    for (;;) {
+      auto [prev, curr] = locate(key);
+      std::lock_guard<vt::SpinLock> lp(prev->lock);
+      std::lock_guard<vt::SpinLock> lc(curr->lock);
+      if (!validate(prev, curr)) continue;
+      if (curr->key != key) return false;
+      vt::access();
+      curr->marked.store(true, std::memory_order_release);  // logical
+      vt::access();
+      prev->next.store(curr->next.load(std::memory_order_relaxed),
+                       std::memory_order_release);  // physical
+      mem::EpochManager::instance().retire(curr);
+      return true;
+    }
+  }
+
+  // Best-effort traversal count; NOT atomic.
+  long size() override {
+    mem::EpochManager::Guard g;
+    long n = 0;
+    for (Node* c = visit(head_); c != tail_; c = visit(c)) {
+      vt::access();
+      if (!c->marked.load(std::memory_order_acquire)) ++n;
+    }
+    return n;
+  }
+
+  long unsafe_size() override {
+    long n = 0;
+    for (Node* c = head_->next.load(std::memory_order_relaxed); c != tail_;
+         c = c->next.load(std::memory_order_relaxed))
+      ++n;
+    return n;
+  }
+
+  [[nodiscard]] const char* name() const override { return "lazy-list"; }
+
+ private:
+  struct Node {
+    long key;
+    std::atomic<Node*> next;
+    std::atomic<bool> marked{false};
+    vt::SpinLock lock;
+    Node(long k, Node* n) : key(k), next(n) {}
+  };
+
+  static Node* visit(Node* n) {
+    vt::access();
+    return n->next.load(std::memory_order_acquire);
+  }
+
+  std::pair<Node*, Node*> locate(long key) {
+    Node* prev = head_;
+    Node* curr = visit(prev);
+    while (curr->key < key) {
+      prev = curr;
+      curr = visit(curr);
+    }
+    return {prev, curr};
+  }
+
+  static bool validate(Node* prev, Node* curr) {
+    vt::access();
+    return !prev->marked.load(std::memory_order_acquire) &&
+           !curr->marked.load(std::memory_order_acquire) &&
+           prev->next.load(std::memory_order_acquire) == curr;
+  }
+
+  Node* head_;
+  Node* tail_;
+};
+
+}  // namespace demotx::sync

@@ -1,0 +1,227 @@
+// Harris–Michael lock-free sorted list (paper citations [36], [28]) with a
+// pluggable reclamation policy: epoch-based (default) or hazard pointers
+// (Michael's original scheme, including the publish/re-validate dance).
+//
+// This is the paper's Exhibit A for "lock-free techniques require subtle
+// mechanisms, like logical deletion, to prevent inconsistent memory
+// deallocations" (Sec. 2.1): the deletion mark lives in bit 0 of the next
+// pointer, traversals help unlink marked nodes, and every dereference must
+// be covered by a reclamation protocol.
+#pragma once
+
+#include <atomic>
+#include <climits>
+#include <cstdint>
+
+#include "mem/epoch.hpp"
+#include "mem/hazard.hpp"
+#include "sync/set_interface.hpp"
+#include "vt/context.hpp"
+
+namespace demotx::sync {
+
+namespace lf {
+
+// Reclamation policy: EBR — a Guard covers the whole operation, no
+// per-pointer work.
+struct EbrPolicy {
+  static constexpr const char* kName = "lock-free(ebr)";
+  struct Guard {
+    mem::EpochManager::Guard g;
+    void publish(int /*slot*/, const void* /*p*/) {}
+    template <typename T>
+    void retire(T* p) {
+      mem::EpochManager::instance().retire(p);
+    }
+  };
+};
+
+// Reclamation policy: hazard pointers — publication before dereference;
+// the caller re-validates reachability after publish() (the list's
+// `prev->next == curr` recheck), per Michael 2002.
+struct HpPolicy {
+  static constexpr const char* kName = "lock-free(hp)";
+  struct Guard {
+    mem::HazardDomain::Holder h;
+    void publish(int slot, const void* p) {
+      mem::HazardDomain::instance().publish(slot, p);
+    }
+    template <typename T>
+    void retire(T* p) {
+      mem::HazardDomain::instance().retire(p);
+    }
+  };
+};
+
+}  // namespace lf
+
+template <typename Reclaimer>
+class LockFreeListT final : public ISet {
+ public:
+  LockFreeListT() {
+    tail_ = new Node{LONG_MAX, {}};
+    head_ = new Node{LONG_MIN, {}};
+    tail_->next.store(pack(nullptr, false), std::memory_order_relaxed);
+    head_->next.store(pack(tail_, false), std::memory_order_relaxed);
+  }
+
+  ~LockFreeListT() override {
+    Node* n = head_;
+    while (n != nullptr) {
+      Node* next = ptr_of(n->next.load(std::memory_order_relaxed));
+      delete n;
+      n = next;
+    }
+  }
+
+  LockFreeListT(const LockFreeListT&) = delete;
+  LockFreeListT& operator=(const LockFreeListT&) = delete;
+
+  bool contains(long key) override {
+    typename Reclaimer::Guard g;
+    Position p = find(g, key);
+    return p.found;
+  }
+
+  bool add(long key) override {
+    typename Reclaimer::Guard g;
+    for (;;) {
+      Position p = find(g, key);
+      if (p.found) return false;
+      auto* n = new Node{key, {}};
+      n->next.store(pack(p.curr, false), std::memory_order_relaxed);
+      std::uintptr_t expected = pack(p.curr, false);
+      vt::access();
+      if (p.prev->compare_exchange_strong(expected, pack(n, false),
+                                          std::memory_order_acq_rel)) {
+        return true;
+      }
+      delete n;  // never published
+    }
+  }
+
+  bool remove(long key) override {
+    typename Reclaimer::Guard g;
+    for (;;) {
+      Position p = find(g, key);
+      if (!p.found) return false;
+      const std::uintptr_t succ = p.curr->next.load(std::memory_order_acquire);
+      vt::access();
+      if (marked(succ)) continue;  // someone else is deleting it
+      // Logical deletion: mark curr's next.
+      std::uintptr_t expected = succ;
+      vt::access();
+      if (!p.curr->next.compare_exchange_strong(expected, succ | 1u,
+                                                std::memory_order_acq_rel)) {
+        continue;
+      }
+      // Physical unlink (best effort; find() helps if we fail).
+      expected = pack(p.curr, false);
+      vt::access();
+      if (p.prev->compare_exchange_strong(expected, succ & ~std::uintptr_t{1},
+                                          std::memory_order_acq_rel)) {
+        g.retire(p.curr);
+      } else {
+        find(g, key);  // cleanup pass unlinks and retires
+      }
+      return true;
+    }
+  }
+
+  // Best-effort traversal count; NOT atomic.
+  long size() override {
+    typename Reclaimer::Guard g;
+    long n = 0;
+    g.publish(2, head_);
+    std::uintptr_t raw = head_->next.load(std::memory_order_acquire);
+    vt::access();
+    Node* curr = ptr_of(raw);
+    while (curr != tail_) {
+      g.publish(1, curr);
+      const std::uintptr_t next = curr->next.load(std::memory_order_acquire);
+      vt::access();
+      if (!marked(next)) ++n;
+      curr = ptr_of(next);
+    }
+    return n;
+  }
+
+  long unsafe_size() override {
+    long n = 0;
+    for (Node* c = ptr_of(head_->next.load(std::memory_order_relaxed));
+         c != tail_; c = ptr_of(c->next.load(std::memory_order_relaxed)))
+      ++n;
+    return n;
+  }
+
+  [[nodiscard]] const char* name() const override { return Reclaimer::kName; }
+
+ private:
+  struct Node {
+    long key;
+    std::atomic<std::uintptr_t> next;  // bit 0: this node is deleted
+  };
+
+  struct Position {
+    std::atomic<std::uintptr_t>* prev;  // link that pointed at curr
+    Node* curr;                         // first node with key >= target
+    bool found;
+  };
+
+  static std::uintptr_t pack(Node* p, bool mark) {
+    return reinterpret_cast<std::uintptr_t>(p) | (mark ? 1u : 0u);
+  }
+  static Node* ptr_of(std::uintptr_t w) {
+    return reinterpret_cast<Node*>(w & ~std::uintptr_t{1});
+  }
+  static bool marked(std::uintptr_t w) { return (w & 1u) != 0; }
+
+  // Michael's find: returns with hazard slots 1 (curr) and 2 (prev node)
+  // published; unlinks marked nodes on the way.
+  Position find(typename Reclaimer::Guard& g, long key) {
+  retry:
+    Node* prev_node = head_;
+    g.publish(2, prev_node);
+    std::atomic<std::uintptr_t>* prev = &head_->next;
+    vt::access();
+    std::uintptr_t curr_raw = prev->load(std::memory_order_acquire);
+    Node* curr = ptr_of(curr_raw);
+    for (;;) {
+      g.publish(1, curr);
+      // Re-validate after publication: prev must still point at curr,
+      // unmarked (covers both HP safety and Michael's consistency check).
+      vt::access();
+      if (prev->load(std::memory_order_acquire) != pack(curr, false))
+        goto retry;
+      if (curr == tail_) return {prev, curr, false};
+      vt::access();
+      const std::uintptr_t next_raw = curr->next.load(std::memory_order_acquire);
+      Node* next = ptr_of(next_raw);
+      if (marked(next_raw)) {
+        // curr is logically deleted: unlink it.
+        std::uintptr_t expected = pack(curr, false);
+        vt::access();
+        if (!prev->compare_exchange_strong(expected, pack(next, false),
+                                           std::memory_order_acq_rel)) {
+          goto retry;
+        }
+        g.retire(curr);
+        curr = next;
+        continue;
+      }
+      if (curr->key >= key) return {prev, curr, curr->key == key};
+      prev_node = curr;
+      g.publish(2, prev_node);
+      prev = &curr->next;
+      curr = next;
+    }
+  }
+
+  Node* head_;
+  Node* tail_;
+};
+
+using LockFreeList = LockFreeListT<lf::EbrPolicy>;
+using LockFreeListHp = LockFreeListT<lf::HpPolicy>;
+
+}  // namespace demotx::sync

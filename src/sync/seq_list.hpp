@@ -1,0 +1,95 @@
+// Sequential sorted linked-list set: the normalization baseline.
+//
+// No synchronization whatsoever — this is "the sequential code" every
+// figure normalizes throughput against.  It still charges one vt::access()
+// per visited node so that simulated cycle counts are comparable across
+// all implementations (see set_interface.hpp).
+#pragma once
+
+#include <climits>
+
+#include "sync/set_interface.hpp"
+#include "vt/context.hpp"
+
+namespace demotx::sync {
+
+class SeqList final : public ISet {
+ public:
+  SeqList() {
+    tail_ = new Node{LONG_MAX, nullptr};
+    head_ = new Node{LONG_MIN, tail_};
+  }
+
+  ~SeqList() override {
+    Node* n = head_;
+    while (n != nullptr) {
+      Node* next = n->next;
+      delete n;
+      n = next;
+    }
+  }
+
+  SeqList(const SeqList&) = delete;
+  SeqList& operator=(const SeqList&) = delete;
+
+  bool contains(long key) override {
+    Node* curr = visit(head_);
+    while (curr->key < key) curr = visit(curr);
+    return curr->key == key;
+  }
+
+  bool add(long key) override {
+    Node* prev = head_;
+    Node* curr = visit(prev);
+    while (curr->key < key) {
+      prev = curr;
+      curr = visit(curr);
+    }
+    if (curr->key == key) return false;
+    prev->next = new Node{key, curr};
+    vt::access();
+    ++count_;
+    return true;
+  }
+
+  bool remove(long key) override {
+    Node* prev = head_;
+    Node* curr = visit(prev);
+    while (curr->key < key) {
+      prev = curr;
+      curr = visit(curr);
+    }
+    if (curr->key != key) return false;
+    prev->next = curr->next;
+    vt::access();
+    delete curr;
+    --count_;
+    return true;
+  }
+
+  long size() override {
+    vt::access();
+    return count_;
+  }
+
+  long unsafe_size() override { return count_; }
+
+  [[nodiscard]] const char* name() const override { return "sequential"; }
+
+ private:
+  struct Node {
+    long key;
+    Node* next;
+  };
+
+  static Node* visit(Node* n) {
+    vt::access();  // one cycle per node visited: the common cost model
+    return n->next;
+  }
+
+  Node* head_;
+  Node* tail_;
+  long count_ = 0;
+};
+
+}  // namespace demotx::sync

@@ -1,0 +1,34 @@
+// The integer-set interface all competitors implement: the paper's
+// Collection benchmark surface (contains / add / remove / size).
+//
+// Cost-model convention shared by every implementation (see DESIGN.md):
+// visiting a node (reading its key and link) charges one vt::access()
+// cycle; every synchronization action (lock word, CAS, version check,
+// clock read, ...) charges its own cycles through the primitive that
+// performs it.  Sequential code thus pays exactly one cycle per node and
+// every synchronized variant pays its true overhead on top.
+#pragma once
+
+namespace demotx {
+
+class ISet {
+ public:
+  virtual ~ISet() = default;
+
+  virtual bool contains(long key) = 0;
+  virtual bool add(long key) = 0;
+  virtual bool remove(long key) = 0;
+
+  // Number of elements.  Implementations document whether this is atomic
+  // (STM classic/snapshot, COW, coarse) or a best-effort traversal
+  // (hand-over-hand, lazy, lock-free — the very limitation that forced
+  // the paper to benchmark against copyOnWriteArraySet).
+  virtual long size() = 0;
+
+  [[nodiscard]] virtual const char* name() const = 0;
+
+  // Quiescent (single-threaded) element count for post-run verification.
+  virtual long unsafe_size() = 0;
+};
+
+}  // namespace demotx

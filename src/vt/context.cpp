@@ -1,0 +1,51 @@
+#include "vt/context.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "vt/scheduler.hpp"
+
+namespace demotx::vt {
+
+namespace {
+thread_local Context* tls_current = nullptr;
+}
+
+Context* current() { return tls_current; }
+
+Context& ctx() {
+  if (tls_current == nullptr) {
+    std::fputs("demotx::vt: no logical-thread context registered\n", stderr);
+    std::abort();
+  }
+  return *tls_current;
+}
+
+int thread_id() { return tls_current != nullptr ? tls_current->id : 0; }
+
+bool in_sim() { return tls_current != nullptr && tls_current->sched != nullptr; }
+
+void access(unsigned weight) {
+  Context* c = tls_current;
+  if (c != nullptr && c->sched != nullptr) c->sched->on_access(*c, weight);
+}
+
+std::uint64_t sim_now() {
+  Context* c = tls_current;
+  return (c != nullptr && c->sched != nullptr) ? c->sched->cycles() : 0;
+}
+
+void set_current(Context* c) { tls_current = c; }
+
+ThreadRegistration::ThreadRegistration(int id) {
+  if (tls_current != nullptr) {
+    std::fputs("demotx::vt: thread registered twice\n", stderr);
+    std::abort();
+  }
+  ctx_.id = id;
+  tls_current = &ctx_;
+}
+
+ThreadRegistration::~ThreadRegistration() { tls_current = nullptr; }
+
+}  // namespace demotx::vt

@@ -1,0 +1,76 @@
+// Logical-thread execution contexts.
+//
+// All concurrent code in demotx (the STM, the lock-based and lock-free
+// baselines, the benchmark drivers) runs on *logical threads*.  A logical
+// thread is either a plain OS thread (real mode) or a fiber driven by the
+// virtual-time Scheduler (simulation mode).  Code identifies itself with
+// vt::thread_id() and marks every shared-memory access with vt::access(),
+// which is a no-op in real mode and a one-cycle yield point in simulation
+// mode.  This lets the exact same synchronization code run under real
+// preemption and under deterministic simulated interleavings.
+#pragma once
+
+#include <cstdint>
+
+namespace demotx::vt {
+
+class Scheduler;
+class Fiber;
+
+// Upper bound on concurrently registered logical threads; sized for the
+// paper's 64-way testbed with headroom.
+inline constexpr int kMaxThreads = 192;
+
+struct Context {
+  int id = -1;                  // logical thread id, 0-based
+  Scheduler* sched = nullptr;   // non-null iff running under simulation
+  Fiber* fiber = nullptr;       // non-null iff running on a fiber
+  bool stopping = false;        // scheduler asked this fiber to unwind
+};
+
+// The context of the current logical thread, or nullptr if the calling OS
+// thread never registered (e.g. main() before any driver runs).
+Context* current();
+
+// As current(), but aborts if unregistered.
+Context& ctx();
+
+// Logical thread id of the caller; 0 if unregistered (so single-threaded
+// test and example code can use the library without ceremony).
+int thread_id();
+
+// True when the caller runs under the virtual-time scheduler.
+bool in_sim();
+
+// Marks `weight` shared-memory access steps.  Under simulation this
+// charges virtual time and yields to the scheduler; in real mode it is
+// free.  Every load/store of shared data in the STM and the baselines
+// passes through here — this is what makes simulated contention faithful.
+void access(unsigned weight = 1);
+
+// Virtual cycles elapsed in the current simulation; 0 in real mode.
+std::uint64_t sim_now();
+
+// RAII registration of a plain OS thread as a logical thread (real mode).
+// The simulator registers its fibers itself.
+class ThreadRegistration {
+ public:
+  explicit ThreadRegistration(int id);
+  ~ThreadRegistration();
+  ThreadRegistration(const ThreadRegistration&) = delete;
+  ThreadRegistration& operator=(const ThreadRegistration&) = delete;
+
+ private:
+  Context ctx_;
+};
+
+// Used by the scheduler when switching fibers.
+void set_current(Context* c);
+
+inline void cpu_relax() {
+#if defined(__x86_64__) || defined(__i386__)
+  __builtin_ia32_pause();
+#endif
+}
+
+}  // namespace demotx::vt

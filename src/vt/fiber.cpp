@@ -1,0 +1,96 @@
+#include "vt/fiber.hpp"
+
+#ifndef DEMOTX_USE_UCONTEXT
+
+#include <sys/mman.h>
+#include <unistd.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <exception>
+#include <new>
+#include <utility>
+
+extern "C" void demotx_fiber_switch(void** save_sp, void* load_sp);
+
+namespace demotx::vt {
+
+namespace {
+
+thread_local Fiber* tls_running = nullptr;
+
+[[noreturn]] void die(const char* msg) {
+  std::fputs(msg, stderr);
+  std::fputc('\n', stderr);
+  std::abort();
+}
+
+std::size_t page_size() {
+  static const std::size_t ps = static_cast<std::size_t>(sysconf(_SC_PAGESIZE));
+  return ps;
+}
+
+}  // namespace
+
+Fiber* Fiber::running() { return tls_running; }
+
+Fiber::Fiber(Fn fn, std::size_t stack_bytes) : fn_(std::move(fn)) {
+  const std::size_t ps = page_size();
+  const std::size_t usable = (stack_bytes + ps - 1) / ps * ps;
+  map_bytes_ = usable + ps;  // one guard page below the stack
+  void* mem = mmap(nullptr, map_bytes_, PROT_READ | PROT_WRITE,
+                   MAP_PRIVATE | MAP_ANONYMOUS, -1, 0);
+  if (mem == MAP_FAILED) throw std::bad_alloc{};
+  if (mprotect(mem, ps, PROT_NONE) != 0) {
+    munmap(mem, map_bytes_);
+    throw std::bad_alloc{};
+  }
+  stack_base_ = mem;
+
+  // Craft an initial frame so that the first resume() "returns" into
+  // Fiber::entry.  Layout, ascending from sp_: r15 r14 r13 r12 rbx rbp
+  // [return address = entry] [16-byte alignment filler].
+  auto top = reinterpret_cast<std::uintptr_t>(mem) + map_bytes_;
+  top &= ~std::uintptr_t{15};
+  auto* slots = reinterpret_cast<void**>(top) - 8;
+  for (int i = 0; i < 6; ++i) slots[i] = nullptr;
+  slots[6] = reinterpret_cast<void*>(&Fiber::entry);
+  slots[7] = nullptr;  // never used: entry() does not return
+  sp_ = slots;
+}
+
+Fiber::~Fiber() {
+  if (stack_base_ != nullptr) munmap(stack_base_, map_bytes_);
+}
+
+void Fiber::resume() {
+  if (finished_) die("demotx::vt::Fiber: resume() on a finished fiber");
+  Fiber* prev = tls_running;
+  tls_running = this;
+  demotx_fiber_switch(&caller_sp_, sp_);
+  tls_running = prev;
+}
+
+void Fiber::yield() {
+  if (tls_running != this) die("demotx::vt::Fiber: yield() outside the fiber");
+  demotx_fiber_switch(&sp_, caller_sp_);
+}
+
+void Fiber::entry() {
+  Fiber* self = tls_running;
+  try {
+    self->fn_();
+  } catch (const FiberStopped&) {
+    // Cooperative early termination requested by the scheduler.
+  } catch (...) {
+    die("demotx::vt::Fiber: uncaught exception escaped a fiber");
+  }
+  self->finished_ = true;
+  self->yield();
+  die("demotx::vt::Fiber: finished fiber resumed");
+}
+
+}  // namespace demotx::vt
+
+#endif  // !DEMOTX_USE_UCONTEXT

@@ -1,0 +1,68 @@
+// Cooperative fibers (stackful coroutines) used by the virtual-time
+// concurrency simulator.  Each logical thread of a simulated machine runs
+// on its own fiber; the scheduler (scheduler.hpp) resumes fibers one
+// shared-memory access step at a time.
+//
+// Two implementations are provided:
+//   * a ~20ns hand-rolled x86-64 stack switch (fiber_switch_x86_64.S), the
+//     default, fast enough for hundreds of millions of switches per bench;
+//   * a portable ucontext fallback (-DDEMOTX_USE_UCONTEXT=ON).
+#pragma once
+
+#include <cstddef>
+#include <functional>
+
+#ifdef DEMOTX_USE_UCONTEXT
+#include <ucontext.h>
+#endif
+
+namespace demotx::vt {
+
+inline constexpr std::size_t kDefaultFiberStack = 256 * 1024;
+
+// Thrown into a fiber (from its next yield point) when the scheduler wants
+// it to unwind and terminate early; RAII cleanup on the fiber stack runs.
+struct FiberStopped {};
+
+class Fiber {
+ public:
+  using Fn = std::function<void()>;
+
+  explicit Fiber(Fn fn, std::size_t stack_bytes = kDefaultFiberStack);
+  ~Fiber();
+
+  Fiber(const Fiber&) = delete;
+  Fiber& operator=(const Fiber&) = delete;
+
+  // Switches from the calling context into the fiber.  Returns when the
+  // fiber calls yield() or its function returns.  Must not be called on a
+  // finished fiber.
+  void resume();
+
+  // Called from inside the fiber: switches back to whoever resumed it.
+  void yield();
+
+  [[nodiscard]] bool finished() const { return finished_; }
+
+  // The fiber currently executing on this OS thread, or nullptr when
+  // running on the thread's native stack.
+  static Fiber* running();
+
+ private:
+  static void entry();
+
+  Fn fn_;
+  bool finished_ = false;
+  void* stack_base_ = nullptr;  // mmap'ed region including guard page
+  std::size_t map_bytes_ = 0;
+
+#ifdef DEMOTX_USE_UCONTEXT
+  ucontext_t self_{};
+  ucontext_t caller_{};
+#else
+  void* sp_ = nullptr;         // fiber's saved stack pointer
+  void* caller_sp_ = nullptr;  // resumer's saved stack pointer
+#endif
+};
+
+}  // namespace demotx::vt

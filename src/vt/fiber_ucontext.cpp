@@ -1,0 +1,91 @@
+// Portable ucontext-based fiber implementation, selected with
+// -DDEMOTX_USE_UCONTEXT=ON.  Slower than the asm switch (swapcontext
+// performs a sigprocmask syscall) but works on any POSIX platform.
+#include "vt/fiber.hpp"
+
+#ifdef DEMOTX_USE_UCONTEXT
+
+#include <sys/mman.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <new>
+#include <utility>
+
+namespace demotx::vt {
+
+namespace {
+
+thread_local Fiber* tls_running = nullptr;
+
+[[noreturn]] void die(const char* msg) {
+  std::fputs(msg, stderr);
+  std::fputc('\n', stderr);
+  std::abort();
+}
+
+std::size_t page_size() {
+  static const std::size_t ps = static_cast<std::size_t>(sysconf(_SC_PAGESIZE));
+  return ps;
+}
+
+}  // namespace
+
+Fiber* Fiber::running() { return tls_running; }
+
+Fiber::Fiber(Fn fn, std::size_t stack_bytes) : fn_(std::move(fn)) {
+  const std::size_t ps = page_size();
+  const std::size_t usable = (stack_bytes + ps - 1) / ps * ps;
+  map_bytes_ = usable + ps;
+  void* mem = mmap(nullptr, map_bytes_, PROT_READ | PROT_WRITE,
+                   MAP_PRIVATE | MAP_ANONYMOUS, -1, 0);
+  if (mem == MAP_FAILED) throw std::bad_alloc{};
+  if (mprotect(mem, ps, PROT_NONE) != 0) {
+    munmap(mem, map_bytes_);
+    throw std::bad_alloc{};
+  }
+  stack_base_ = mem;
+
+  if (getcontext(&self_) != 0) die("demotx::vt::Fiber: getcontext failed");
+  self_.uc_stack.ss_sp = static_cast<char*>(mem) + ps;
+  self_.uc_stack.ss_size = usable;
+  self_.uc_link = nullptr;
+  makecontext(&self_, reinterpret_cast<void (*)()>(&Fiber::entry), 0);
+}
+
+Fiber::~Fiber() {
+  if (stack_base_ != nullptr) munmap(stack_base_, map_bytes_);
+}
+
+void Fiber::resume() {
+  if (finished_) die("demotx::vt::Fiber: resume() on a finished fiber");
+  Fiber* prev = tls_running;
+  tls_running = this;
+  if (swapcontext(&caller_, &self_) != 0)
+    die("demotx::vt::Fiber: swapcontext failed");
+  tls_running = prev;
+}
+
+void Fiber::yield() {
+  if (tls_running != this) die("demotx::vt::Fiber: yield() outside the fiber");
+  if (swapcontext(&self_, &caller_) != 0)
+    die("demotx::vt::Fiber: swapcontext failed");
+}
+
+void Fiber::entry() {
+  Fiber* self = tls_running;
+  try {
+    self->fn_();
+  } catch (const FiberStopped&) {
+  } catch (...) {
+    die("demotx::vt::Fiber: uncaught exception escaped a fiber");
+  }
+  self->finished_ = true;
+  self->yield();
+  die("demotx::vt::Fiber: finished fiber resumed");
+}
+
+}  // namespace demotx::vt
+
+#endif  // DEMOTX_USE_UCONTEXT

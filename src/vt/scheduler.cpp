@@ -1,0 +1,152 @@
+#include "vt/scheduler.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <thread>
+#include <utility>
+
+namespace demotx::vt {
+
+namespace {
+
+[[noreturn]] void die(const char* msg) {
+  std::fputs(msg, stderr);
+  std::fputc('\n', stderr);
+  std::abort();
+}
+
+std::uint64_t xorshift64(std::uint64_t& s) {
+  s ^= s << 13;
+  s ^= s >> 7;
+  s ^= s << 17;
+  return s;
+}
+
+}  // namespace
+
+Scheduler::Scheduler(Options opts) : opts_(std::move(opts)) {
+  rng_ = opts_.seed != 0 ? opts_.seed : 0x9e3779b97f4a7c15ULL;
+}
+
+Scheduler::~Scheduler() {
+  // Fibers must not outlive in a suspended state with live RAII frames;
+  // run() unwinds them.  If run() was never called there is nothing to do.
+}
+
+int Scheduler::spawn(std::function<void(int)> fn) {
+  if (running_) die("demotx::vt::Scheduler: spawn() during run()");
+  const int id = static_cast<int>(tasks_.size());
+  if (id >= kMaxThreads) die("demotx::vt::Scheduler: too many logical threads");
+  auto task = std::make_unique<Task>();
+  task->ctx.id = id;
+  task->ctx.sched = this;
+  Task* t = task.get();
+  task->fiber = std::make_unique<Fiber>(
+      [fn = std::move(fn), id] { fn(id); }, opts_.stack_bytes);
+  task->ctx.fiber = task->fiber.get();
+  tasks_.push_back(std::move(task));
+  heap_.emplace(t->due, id);
+  ++live_;
+  return id;
+}
+
+void Scheduler::on_access(Context& c, unsigned weight) {
+  if (c.stopping) return;  // unwinding: don't throw from destructors
+  if (stop_) {
+    c.stopping = true;
+    throw FiberStopped{};
+  }
+  Task& t = *tasks_[static_cast<std::size_t>(c.id)];
+  t.due += weight;
+  c.fiber->yield();
+}
+
+int Scheduler::pick_next() {
+  switch (opts_.policy) {
+    case Policy::kScripted:
+      while (script_pos_ < opts_.script.size()) {
+        const int id = opts_.script[script_pos_++];
+        if (id >= 0 && static_cast<std::size_t>(id) < tasks_.size() &&
+            !tasks_[static_cast<std::size_t>(id)]->finished)
+          return id;
+      }
+      [[fallthrough]];  // script exhausted: finish round-robin
+    case Policy::kRoundRobin: {
+      while (!heap_.empty()) {
+        auto [due, id] = heap_.top();
+        heap_.pop();
+        Task& t = *tasks_[static_cast<std::size_t>(id)];
+        if (t.finished || t.due != due) continue;  // stale entry
+        return id;
+      }
+      return -1;
+    }
+    case Policy::kRandom: {
+      // Collect runnable ids; fine for test-scale thread counts.
+      int runnable[kMaxThreads];
+      int n = 0;
+      for (const auto& t : tasks_)
+        if (!t->finished) runnable[n++] = t->ctx.id;
+      if (n == 0) return -1;
+      return runnable[xorshift64(rng_) % static_cast<std::uint64_t>(n)];
+    }
+  }
+  return -1;
+}
+
+void Scheduler::resume_task(int id) {
+  Task& t = *tasks_[static_cast<std::size_t>(id)];
+  cycles_ = std::max(cycles_, t.due);
+  Context* prev = current();
+  set_current(&t.ctx);
+  t.fiber->resume();
+  set_current(prev);
+  if (t.fiber->finished()) {
+    t.finished = true;
+    --live_;
+  } else if (opts_.policy != Policy::kRandom) {
+    heap_.emplace(t.due, id);
+  }
+}
+
+void Scheduler::run() {
+  if (Fiber::running() != nullptr)
+    die("demotx::vt::Scheduler: run() called from inside a fiber");
+  running_ = true;
+  while (live_ > 0) {
+    if (!stop_ && cycles_ >= opts_.max_cycles) {
+      hit_limit_ = true;
+      stop_ = true;
+    }
+    const int id = pick_next();
+    if (id < 0) {
+      if (live_ > 0)
+        die("demotx::vt::Scheduler: no runnable fiber but tasks remain");
+      break;
+    }
+    resume_task(id);
+  }
+  running_ = false;
+}
+
+std::uint64_t run_sim(int threads, std::function<void(int)> fn,
+                      Scheduler::Options opts) {
+  Scheduler sched(std::move(opts));
+  for (int i = 0; i < threads; ++i) sched.spawn(fn);
+  sched.run();
+  return sched.cycles();
+}
+
+void run_threads(int threads, const std::function<void(int)>& fn) {
+  std::vector<std::thread> ts;
+  ts.reserve(static_cast<std::size_t>(threads));
+  for (int i = 0; i < threads; ++i) {
+    ts.emplace_back([&fn, i] {
+      ThreadRegistration reg(i);
+      fn(i);
+    });
+  }
+  for (auto& t : ts) t.join();
+}
+
+}  // namespace demotx::vt

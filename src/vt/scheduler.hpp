@@ -1,0 +1,110 @@
+// Virtual-time scheduler: the testbed substitute.
+//
+// The paper's evaluation ran on a 64-way Niagara 2.  This container has a
+// single core, so wall-clock scalability is unmeasurable; instead the
+// scheduler executes N logical threads (fibers) under a deterministic
+// interleaving where each shared-memory access costs one virtual cycle and
+// all runnable threads advance in parallel in virtual time (round-robin =
+// an ideal N-way machine with uniform memory cost).  Throughput at N
+// threads is committed-operations / virtual-cycles.  Because the real STM
+// and lock code runs under a faithful access-granularity interleaving,
+// aborts, elastic cuts, snapshot fallbacks and lock hand-overs arise
+// exactly as they would under true concurrency.
+//
+// Policies:
+//   RoundRobin — every runnable fiber advances one access per cycle;
+//                used by all figure benchmarks.
+//   Random     — uniformly random runnable fiber each step (seeded);
+//                used by property tests as a deterministic adversary.
+//   Scripted   — an explicit sequence of logical-thread steps, falling
+//                back to RoundRobin when exhausted; used by tests that
+//                need one exact interleaving (e.g. the paper's history H).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <vector>
+
+#include "vt/context.hpp"
+#include "vt/fiber.hpp"
+
+namespace demotx::vt {
+
+class Scheduler {
+ public:
+  enum class Policy { kRoundRobin, kRandom, kScripted };
+
+  struct Options {
+    Policy policy = Policy::kRoundRobin;
+    std::uint64_t seed = 1;                  // for kRandom
+    std::uint64_t max_cycles = UINT64_MAX;   // safety stop (deadlock brake)
+    std::vector<int> script;                 // for kScripted
+    std::size_t stack_bytes = kDefaultFiberStack;
+  };
+
+  Scheduler() : Scheduler(Options{}) {}
+  explicit Scheduler(Options opts);
+  ~Scheduler();
+
+  Scheduler(const Scheduler&) = delete;
+  Scheduler& operator=(const Scheduler&) = delete;
+
+  // Adds a logical thread running fn(id).  Must be called before run().
+  // Returns the logical thread id (0-based, dense).
+  int spawn(std::function<void(int)> fn);
+
+  // Runs all fibers to completion (or to max_cycles, after which fibers
+  // are unwound via FiberStopped at their next access).
+  void run();
+
+  // Current virtual time.  Callable from inside fibers (e.g. by a
+  // benchmark loop deciding when to stop) and from outside after run().
+  [[nodiscard]] std::uint64_t cycles() const { return cycles_; }
+
+  // True if run() hit max_cycles before all fibers finished.
+  [[nodiscard]] bool hit_cycle_limit() const { return hit_limit_; }
+
+  // Asks all fibers to unwind at their next access.  Callable from inside
+  // a fiber.
+  void request_stop() { stop_ = true; }
+
+  // Called by vt::access() from fibers; charges virtual time and yields.
+  void on_access(Context& c, unsigned weight);
+
+ private:
+  struct Task {
+    std::unique_ptr<Fiber> fiber;
+    Context ctx;
+    std::uint64_t due = 0;  // virtual time at which this task runs next
+    bool finished = false;
+  };
+
+  int pick_next();  // -1 when nothing runnable
+  void resume_task(int id);
+
+  Options opts_;
+  std::vector<std::unique_ptr<Task>> tasks_;
+  // Min-heap of (due, id); rebuilt incrementally as tasks yield.
+  using HeapEntry = std::pair<std::uint64_t, int>;
+  std::priority_queue<HeapEntry, std::vector<HeapEntry>, std::greater<>> heap_;
+  std::size_t script_pos_ = 0;
+  std::uint64_t rng_ = 1;
+  std::uint64_t cycles_ = 0;
+  std::size_t live_ = 0;
+  bool running_ = false;
+  bool stop_ = false;
+  bool hit_limit_ = false;
+};
+
+// Convenience: run `threads` logical threads over fn(id) under the given
+// scheduler options; returns total virtual cycles.
+std::uint64_t run_sim(int threads, std::function<void(int)> fn,
+                      Scheduler::Options opts = {});
+
+// Real-mode counterpart: spawns OS threads, each registered as a logical
+// thread, and joins them.
+void run_threads(int threads, const std::function<void(int)>& fn);
+
+}  // namespace demotx::vt

@@ -1,0 +1,69 @@
+// Simulation-aware synchronization primitives.
+//
+// Baseline data structures must not block the cooperative fiber scheduler,
+// so all locking here is spin-based with a vt::access() yield in every
+// retry — under simulation a waiter burns virtual cycles (as a real waiter
+// burns real ones) while the holder keeps making progress; in real mode the
+// yield is free and the spin uses the pause instruction.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+#include "vt/context.hpp"
+
+namespace demotx::vt {
+
+// Test-and-set spin lock; one access-cycle per attempt, one per unlock.
+class SpinLock {
+ public:
+  void lock() {
+    for (;;) {
+      access();
+      if (!flag_.exchange(true, std::memory_order_acquire)) return;
+      cpu_relax();
+    }
+  }
+
+  bool try_lock() {
+    access();
+    return !flag_.exchange(true, std::memory_order_acquire);
+  }
+
+  void unlock() {
+    access();
+    flag_.store(false, std::memory_order_release);
+  }
+
+ private:
+  std::atomic<bool> flag_{false};
+};
+
+// Exponential backoff.  In simulation a backoff step charges virtual
+// cycles (the thread is stalled, not parallel); in real mode it spins on
+// pause.  Deterministic: no randomness, callers inject per-thread jitter
+// via the seed if they need it.
+class Backoff {
+ public:
+  explicit Backoff(unsigned min_delay = 1, unsigned max_delay = 1024)
+      : delay_(min_delay), max_(max_delay) {}
+
+  void wait() {
+    if (in_sim()) {
+      access(delay_);
+    } else {
+      for (unsigned i = 0; i < delay_; ++i) cpu_relax();
+    }
+    if (delay_ < max_) delay_ *= 2;
+  }
+
+  void reset(unsigned min_delay = 1) { delay_ = min_delay; }
+
+  [[nodiscard]] unsigned current_delay() const { return delay_; }
+
+ private:
+  unsigned delay_;
+  unsigned max_;
+};
+
+}  // namespace demotx::vt

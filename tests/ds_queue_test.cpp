@@ -1,0 +1,128 @@
+// Transactional queue: FIFO order, composability, snapshot length, and
+// no lost/duplicated elements under concurrent producers/consumers.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+
+#include "ds/tx_queue.hpp"
+#include "test_util.hpp"
+
+using namespace demotx;
+
+TEST(TxQueue, FifoSingleThread) {
+  ds::TxQueue q;
+  EXPECT_EQ(q.dequeue(), std::nullopt);
+  q.enqueue(1);
+  q.enqueue(2);
+  q.enqueue(3);
+  EXPECT_EQ(q.snapshot_size(), 3);
+  EXPECT_EQ(q.dequeue(), 1);
+  EXPECT_EQ(q.dequeue(), 2);
+  q.enqueue(4);
+  EXPECT_EQ(q.dequeue(), 3);
+  EXPECT_EQ(q.dequeue(), 4);
+  EXPECT_EQ(q.dequeue(), std::nullopt);
+  test::drain_memory();
+}
+
+TEST(TxQueue, ComposedMoveBetweenQueuesIsAtomic) {
+  ds::TxQueue a;
+  ds::TxQueue b;
+  a.enqueue(42);
+  // Move the head of a to b atomically (composition).
+  const bool moved = stm::atomically([&](stm::Tx& tx) {
+    auto v = a.dequeue(tx);
+    if (!v) return false;
+    b.enqueue(tx, *v);
+    return true;
+  });
+  EXPECT_TRUE(moved);
+  EXPECT_EQ(a.unsafe_size(), 0);
+  EXPECT_EQ(b.dequeue(), 42);
+  test::drain_memory();
+}
+
+TEST(TxQueue, ConcurrentProducersConsumersLoseNothing) {
+  for (std::uint64_t seed : {61u, 62u, 63u}) {
+    auto q = std::make_unique<ds::TxQueue>();
+    constexpr int kProducers = 3;
+    constexpr int kPerProducer = 40;
+    std::atomic<long> consumed_sum{0};
+    std::atomic<long> consumed_count{0};
+
+    test::run_random_sim(kProducers + 2, seed, [&](int id) {
+      if (id < kProducers) {
+        for (int i = 0; i < kPerProducer; ++i)
+          q->enqueue(id * 1000 + i);
+      } else {
+        for (int i = 0; i < 70; ++i) {
+          if (auto v = q->dequeue()) {
+            consumed_sum += *v;
+            ++consumed_count;
+          }
+        }
+      }
+    });
+    // Drain the rest single-threaded.
+    long total_sum = consumed_sum.load();
+    long total_count = consumed_count.load();
+    while (auto v = q->dequeue()) {
+      total_sum += *v;
+      ++total_count;
+    }
+    long expect_sum = 0;
+    for (int id = 0; id < kProducers; ++id)
+      for (int i = 0; i < kPerProducer; ++i) expect_sum += id * 1000 + i;
+    EXPECT_EQ(total_count, kProducers * kPerProducer) << "seed " << seed;
+    EXPECT_EQ(total_sum, expect_sum) << "seed " << seed;
+    test::drain_memory();
+  }
+}
+
+TEST(TxQueue, PerProducerOrderPreserved) {
+  // FIFO per producer: a consumer must see each producer's items in
+  // increasing order.
+  auto q = std::make_unique<ds::TxQueue>();
+  std::vector<long> seen;
+  test::run_random_sim(3, /*seed=*/9, [&](int id) {
+    if (id < 2) {
+      for (int i = 0; i < 30; ++i) q->enqueue(id * 1000 + i);
+    } else {
+      for (int i = 0; i < 70; ++i) {
+        if (auto v = q->dequeue()) seen.push_back(*v);
+      }
+    }
+  });
+  while (auto v = q->dequeue()) seen.push_back(*v);
+  long last0 = -1, last1 = -1;
+  for (long v : seen) {
+    if (v < 1000) {
+      EXPECT_GT(v, last0);
+      last0 = v;
+    } else {
+      EXPECT_GT(v, last1);
+      last1 = v;
+    }
+  }
+  EXPECT_EQ(seen.size(), 60u);
+  test::drain_memory();
+}
+
+TEST(TxQueue, SnapshotSizeRunsAgainstProducers) {
+  auto q = std::make_unique<ds::TxQueue>();
+  for (int i = 0; i < 10; ++i) q->enqueue(i);
+  std::atomic<bool> bad{false};
+  test::run_rr_sim(3, [&](int id) {
+    if (id == 0) {
+      for (int i = 0; i < 20; ++i) {
+        const long s = q->snapshot_size();
+        if (s < 10 || s > 10 + 2 * 30) bad.store(true);
+      }
+    } else {
+      for (int i = 0; i < 30; ++i) q->enqueue(100 + i);
+    }
+  });
+  EXPECT_FALSE(bad.load());
+  test::drain_memory();
+}

@@ -1,0 +1,159 @@
+// Sequential and concurrent correctness of every set implementation —
+// transactional structures and all baselines — through one parameterized
+// suite, plus per-key accounting properties under the random adversary.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <map>
+
+#include "test_util.hpp"
+
+using namespace demotx;
+using test::SetFactory;
+
+class SetSuite : public ::testing::TestWithParam<SetFactory> {
+ protected:
+  void TearDown() override { test::drain_memory(); }
+};
+
+TEST_P(SetSuite, SequentialSemantics) {
+  auto set = GetParam().make();
+  EXPECT_EQ(set->size(), 0);
+  EXPECT_FALSE(set->contains(5));
+  EXPECT_TRUE(set->add(5));
+  EXPECT_FALSE(set->add(5)) << "duplicate add must fail";
+  EXPECT_TRUE(set->contains(5));
+  EXPECT_TRUE(set->add(3));
+  EXPECT_TRUE(set->add(9));
+  EXPECT_EQ(set->size(), 3);
+  EXPECT_FALSE(set->remove(4));
+  EXPECT_TRUE(set->remove(5));
+  EXPECT_FALSE(set->remove(5)) << "double remove must fail";
+  EXPECT_FALSE(set->contains(5));
+  EXPECT_EQ(set->size(), 2);
+  EXPECT_EQ(set->unsafe_size(), 2);
+}
+
+TEST_P(SetSuite, ModelEquivalenceSingleThread) {
+  auto set = GetParam().make();
+  std::map<long, bool> model;
+  std::uint64_t rng = 0xabcdefULL;
+  auto next = [&rng] {
+    rng ^= rng << 13;
+    rng ^= rng >> 7;
+    rng ^= rng << 17;
+    return rng;
+  };
+  for (int i = 0; i < 600; ++i) {
+    const long k = static_cast<long>(next() % 50);
+    switch (next() % 4) {
+      case 0:
+        EXPECT_EQ(set->add(k), !model[k]) << "op " << i;
+        model[k] = true;
+        break;
+      case 1:
+        EXPECT_EQ(set->remove(k), model[k]) << "op " << i;
+        model[k] = false;
+        break;
+      case 2:
+        EXPECT_EQ(set->contains(k), model[k]) << "op " << i;
+        break;
+      default: {
+        long expect = 0;
+        for (auto& [key, present] : model) expect += present ? 1 : 0;
+        EXPECT_EQ(set->size(), expect) << "op " << i;
+      }
+    }
+  }
+}
+
+TEST_P(SetSuite, BoundaryKeys) {
+  auto set = GetParam().make();
+  EXPECT_TRUE(set->add(0));
+  EXPECT_TRUE(set->add(1L << 40));
+  EXPECT_TRUE(set->add(12345));
+  EXPECT_TRUE(set->contains(0));
+  EXPECT_TRUE(set->contains(1L << 40));
+  EXPECT_EQ(set->size(), 3);
+  EXPECT_TRUE(set->remove(0));
+  EXPECT_TRUE(set->remove(1L << 40));
+  EXPECT_EQ(set->size(), 1);
+}
+
+TEST_P(SetSuite, ConcurrentPerKeyAccounting) {
+  if (GetParam().label == "seq") GTEST_SKIP() << "not thread-safe";
+  constexpr long kRange = 24;
+  constexpr int kThreads = 4;
+  std::atomic<long> adds[kRange];
+  std::atomic<long> removes[kRange];
+  for (auto& a : adds) a = 0;
+  for (auto& r : removes) r = 0;
+
+  auto set = GetParam().make();
+  test::run_random_sim(kThreads, /*seed=*/1234, [&](int id) {
+    std::uint64_t rng = 55 + static_cast<std::uint64_t>(id) * 10007;
+    auto next = [&rng] {
+      rng ^= rng << 13;
+      rng ^= rng >> 7;
+      rng ^= rng << 17;
+      return rng;
+    };
+    for (int i = 0; i < 80; ++i) {
+      const long k = static_cast<long>(next() % kRange);
+      switch (next() % 3) {
+        case 0:
+          if (set->add(k)) ++adds[k];
+          break;
+        case 1:
+          if (set->remove(k)) ++removes[k];
+          break;
+        default:
+          set->contains(k);
+      }
+    }
+  });
+
+  long expect_size = 0;
+  for (long k = 0; k < kRange; ++k) {
+    const long net = adds[k].load() - removes[k].load();
+    ASSERT_GE(net, 0) << GetParam().label << " key " << k;
+    ASSERT_LE(net, 1) << GetParam().label << " key " << k;
+    EXPECT_EQ(set->contains(k), net == 1) << GetParam().label << " key " << k;
+    expect_size += net;
+  }
+  EXPECT_EQ(set->unsafe_size(), expect_size) << GetParam().label;
+}
+
+TEST_P(SetSuite, ConcurrentChurnOnFewKeysStaysSound) {
+  if (GetParam().label == "seq") GTEST_SKIP() << "not thread-safe";
+  // All threads fight over three keys — maximal conflict density.
+  auto set = GetParam().make();
+  std::atomic<long> net{0};
+  test::run_random_sim(6, /*seed=*/777, [&](int id) {
+    std::uint64_t rng = 3 + static_cast<std::uint64_t>(id);
+    auto next = [&rng] {
+      rng ^= rng << 13;
+      rng ^= rng >> 7;
+      rng ^= rng << 17;
+      return rng;
+    };
+    for (int i = 0; i < 60; ++i) {
+      const long k = static_cast<long>(next() % 3);
+      if ((next() & 1) != 0) {
+        if (set->add(k)) ++net;
+      } else {
+        if (set->remove(k)) --net;
+      }
+    }
+  });
+  EXPECT_EQ(set->unsafe_size(), net.load()) << GetParam().label;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllSets, SetSuite,
+                         ::testing::ValuesIn(test::all_set_factories()),
+                         [](const auto& info) {
+                           std::string n = info.param.label;
+                           for (char& c : n)
+                             if (c == '-') c = '_';
+                           return n;
+                         });

@@ -1,0 +1,180 @@
+// Harness: workload generation (mix, determinism), prefill, and the
+// simulated/real drivers, including the consistency of reported results.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "ds/tx_list.hpp"
+#include "harness/driver.hpp"
+#include "harness/report.hpp"
+#include "harness/workload.hpp"
+#include "sync/coarse_list.hpp"
+#include "sync/seq_list.hpp"
+#include "test_util.hpp"
+
+using namespace demotx;
+using namespace demotx::harness;
+
+TEST(Workload, MixMatchesConfiguredPercentages) {
+  WorkloadConfig cfg;
+  cfg.contains_pct = 80;
+  cfg.add_pct = 5;
+  cfg.remove_pct = 5;
+  cfg.size_pct = 10;
+  ASSERT_TRUE(cfg.valid());
+  OpGenerator gen(cfg, 0);
+  int counts[4] = {};
+  constexpr int kN = 100'000;
+  for (int i = 0; i < kN; ++i) ++counts[static_cast<int>(gen.next_kind())];
+  EXPECT_NEAR(counts[0] / double(kN), 0.80, 0.02);
+  EXPECT_NEAR(counts[1] / double(kN), 0.05, 0.01);
+  EXPECT_NEAR(counts[2] / double(kN), 0.05, 0.01);
+  EXPECT_NEAR(counts[3] / double(kN), 0.10, 0.01);
+}
+
+TEST(Workload, KeysStayInRange) {
+  WorkloadConfig cfg;
+  cfg.key_range = 64;
+  OpGenerator gen(cfg, 3);
+  for (int i = 0; i < 10'000; ++i) {
+    const long k = gen.next_key();
+    EXPECT_GE(k, 0);
+    EXPECT_LT(k, 64);
+  }
+}
+
+TEST(Workload, SkewConcentratesKeys) {
+  WorkloadConfig uniform;
+  uniform.key_range = 1000;
+  WorkloadConfig hot = uniform;
+  hot.skew = 1.0;
+  OpGenerator gu(uniform, 1);
+  OpGenerator gh(hot, 1);
+  int low_u = 0, low_h = 0;
+  constexpr int kN = 20'000;
+  for (int i = 0; i < kN; ++i) {
+    if (gu.next_key() < 100) ++low_u;
+    const long k = gh.next_key();
+    ASSERT_GE(k, 0);
+    ASSERT_LT(k, 1000);
+    if (k < 100) ++low_h;
+  }
+  EXPECT_NEAR(low_u / double(kN), 0.10, 0.02);
+  // With exponent 5, P(key < 10% of range) = 0.1^(1/5) ~ 0.63.
+  EXPECT_GT(low_h / double(kN), 0.5);
+}
+
+TEST(Workload, GeneratorsAreDeterministicAndPerThread) {
+  WorkloadConfig cfg;
+  OpGenerator a1(cfg, 1);
+  OpGenerator a2(cfg, 1);
+  OpGenerator b(cfg, 2);
+  bool differs = false;
+  for (int i = 0; i < 100; ++i) {
+    const long k1 = a1.next_key();
+    EXPECT_EQ(k1, a2.next_key());
+    if (k1 != b.next_key()) differs = true;
+  }
+  EXPECT_TRUE(differs) << "different threads must see different streams";
+}
+
+TEST(Workload, PrefillReachesExactInitialSize) {
+  WorkloadConfig cfg;
+  cfg.initial_size = 100;
+  cfg.key_range = 200;
+  sync::SeqList set;
+  prefill(set, cfg);
+  EXPECT_EQ(set.unsafe_size(), 100);
+}
+
+TEST(Driver, SimWorkloadIsDeterministic) {
+  WorkloadConfig cfg;
+  cfg.initial_size = 32;
+  cfg.key_range = 64;
+  SimOptions opts;
+  opts.duration_cycles = 20'000;
+
+  auto run_once = [&] {
+    sync::CoarseList set;
+    prefill(set, cfg);
+    return run_sim_workload(set, cfg, 3, opts);
+  };
+  const DriverResult a = run_once();
+  const DriverResult b = run_once();
+  EXPECT_EQ(a.total_ops, b.total_ops);
+  EXPECT_EQ(a.duration, b.duration);
+  EXPECT_EQ(a.net_adds, b.net_adds);
+  EXPECT_GT(a.total_ops, 0u);
+}
+
+TEST(Driver, NetAddsMatchFinalSize) {
+  WorkloadConfig cfg;
+  cfg.initial_size = 32;
+  cfg.key_range = 64;
+  SimOptions opts;
+  opts.duration_cycles = 30'000;
+
+  for (int threads : {1, 2, 4}) {
+    auto set = std::make_unique<ds::TxList>(ds::TxList::Options{
+        stm::Semantics::kElastic, stm::Semantics::kSnapshot});
+    prefill(*set, cfg);
+    const DriverResult r = run_sim_workload(*set, cfg, threads, opts);
+    EXPECT_EQ(set->unsafe_size(), cfg.initial_size + r.net_adds)
+        << threads << " threads";
+    EXPECT_GT(r.total_ops, 0u);
+    if (r.sizes_observed > 0) {
+      EXPECT_GE(r.min_size_seen, 0);
+      EXPECT_LE(r.max_size_seen, cfg.key_range);
+    }
+    test::drain_memory();
+  }
+}
+
+TEST(Driver, StmStatsAreCollected) {
+  WorkloadConfig cfg;
+  cfg.initial_size = 16;
+  cfg.key_range = 32;
+  SimOptions opts;
+  opts.duration_cycles = 15'000;
+  auto set = std::make_unique<ds::TxList>(ds::TxList::Options{
+      stm::Semantics::kElastic, stm::Semantics::kSnapshot});
+  prefill(*set, cfg);
+  const DriverResult r = run_sim_workload(*set, cfg, 2, opts);
+  EXPECT_GE(r.stm.commits, r.total_ops);
+  test::drain_memory();
+}
+
+TEST(Driver, RealThreadsRunTheWorkloadToo) {
+  WorkloadConfig cfg;
+  cfg.initial_size = 16;
+  cfg.key_range = 32;
+  RealOptions opts;
+  opts.duration_ms = 30;
+  auto set = std::make_unique<ds::TxList>(ds::TxList::Options{
+      stm::Semantics::kElastic, stm::Semantics::kSnapshot});
+  prefill(*set, cfg);
+  const DriverResult r = run_real_workload(*set, cfg, 2, opts);
+  EXPECT_GT(r.total_ops, 0u);
+  EXPECT_EQ(set->unsafe_size(), cfg.initial_size + r.net_adds);
+  test::drain_memory();
+}
+
+TEST(Report, TableAlignsAndEmitsCsv) {
+  Table t({"threads", "throughput"});
+  t.add_row({"1", "10.5"});
+  t.add_row({"64", "123.45"});
+  std::ostringstream text;
+  t.print(text);
+  EXPECT_NE(text.str().find("threads"), std::string::npos);
+  EXPECT_NE(text.str().find("123.45"), std::string::npos);
+  std::ostringstream csv;
+  t.print_csv(csv, "fig5");
+  EXPECT_NE(csv.str().find("CSV,fig5,threads,throughput"), std::string::npos);
+  EXPECT_NE(csv.str().find("CSV,fig5,64,123.45"), std::string::npos);
+}
+
+TEST(Report, NumberFormatting) {
+  EXPECT_EQ(Table::num(3.14159, 2), "3.14");
+  EXPECT_EQ(Table::num(std::uint64_t{42}), "42");
+  EXPECT_EQ(Table::num(7L), "7");
+}

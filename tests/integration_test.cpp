@@ -1,0 +1,128 @@
+// End-to-end integration: the paper's Collection benchmark run across all
+// competitors under the simulator with full consistency checking — the
+// same pipeline the figure benches use, at a smaller scale — plus shape
+// assertions on the benchmark's own mechanics (abort profile of the
+// classic configuration, old-version reads of the mixed one).
+#include <gtest/gtest.h>
+
+#include "harness/driver.hpp"
+#include "harness/workload.hpp"
+#include "test_util.hpp"
+
+using namespace demotx;
+using namespace demotx::harness;
+
+namespace {
+
+WorkloadConfig small_cfg() {
+  WorkloadConfig cfg;
+  cfg.initial_size = 48;
+  cfg.key_range = 96;
+  return cfg;
+}
+
+}  // namespace
+
+class CollectionIntegration : public ::testing::TestWithParam<test::SetFactory> {
+ protected:
+  void TearDown() override { test::drain_memory(); }
+};
+
+TEST_P(CollectionIntegration, WorkloadLeavesTheSetConsistent) {
+  if (GetParam().label == "seq") GTEST_SKIP() << "not thread-safe";
+  const WorkloadConfig cfg = small_cfg();
+  SimOptions opts;
+  opts.duration_cycles = 40'000;
+
+  for (int threads : {2, 4}) {
+    auto set = GetParam().make();
+    prefill(*set, cfg);
+    ASSERT_EQ(set->unsafe_size(), cfg.initial_size);
+    const DriverResult r = run_sim_workload(*set, cfg, threads, opts);
+    EXPECT_GT(r.total_ops, 0u) << GetParam().label;
+    EXPECT_EQ(set->unsafe_size(), cfg.initial_size + r.net_adds)
+        << GetParam().label << " @" << threads;
+    test::drain_memory();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllSets, CollectionIntegration,
+                         ::testing::ValuesIn(test::concurrent_set_factories()),
+                         [](const auto& info) {
+                           std::string n = info.param.label;
+                           for (char& c : n)
+                             if (c == '-') c = '_';
+                           return n;
+                         });
+
+TEST(CollectionShapes, ClassicSizeAbortsMixedSizeCommits) {
+  // The mechanism behind Figs. 7 and 9: with updaters running, classic
+  // whole-list size transactions suffer validation aborts, while snapshot
+  // sizes commit using old versions.
+  // The paper's effect needs parallelism: at 16 simulated threads the
+  // classic configuration wastes a growing share of its work on aborted
+  // size/parse transactions while the mix keeps committing.
+  WorkloadConfig cfg = small_cfg();
+  cfg.initial_size = 128;
+  cfg.key_range = 256;
+  SimOptions opts;
+  opts.duration_cycles = 120'000;
+  constexpr int kThreads = 16;
+
+  auto classic = std::make_unique<ds::TxList>(ds::TxList::Options{
+      stm::Semantics::kClassic, stm::Semantics::kClassic});
+  prefill(*classic, cfg);
+  const DriverResult rc = run_sim_workload(*classic, cfg, kThreads, opts);
+  test::drain_memory();
+
+  auto mixed = std::make_unique<ds::TxList>(ds::TxList::Options{
+      stm::Semantics::kElastic, stm::Semantics::kSnapshot});
+  prefill(*mixed, cfg);
+  const DriverResult rm = run_sim_workload(*mixed, cfg, kThreads, opts);
+
+  EXPECT_GT(rc.stm.aborts, 0u) << "classic config must contend";
+  EXPECT_GT(rm.stm.snapshot_old_reads, 0u)
+      << "snapshot sizes must exploit old versions";
+  EXPECT_LT(rm.stm.abort_ratio(), rc.stm.abort_ratio())
+      << "the mixed configuration aborts less (the paper's whole point)";
+  EXPECT_GT(rm.throughput, rc.throughput)
+      << "mixed beats classic on the collection workload at 16 threads";
+  test::drain_memory();
+}
+
+TEST(CollectionShapes, MixedScalesWithThreads) {
+  // Throughput of the full mix must grow with simulated parallelism
+  // (Fig. 9's scaling claim, in miniature).
+  const WorkloadConfig cfg = small_cfg();
+  SimOptions opts;
+  opts.duration_cycles = 60'000;
+
+  double tp1 = 0, tp8 = 0;
+  {
+    auto set = std::make_unique<ds::TxList>(ds::TxList::Options{
+        stm::Semantics::kElastic, stm::Semantics::kSnapshot});
+    prefill(*set, cfg);
+    tp1 = run_sim_workload(*set, cfg, 1, opts).throughput;
+    test::drain_memory();
+  }
+  {
+    auto set = std::make_unique<ds::TxList>(ds::TxList::Options{
+        stm::Semantics::kElastic, stm::Semantics::kSnapshot});
+    prefill(*set, cfg);
+    tp8 = run_sim_workload(*set, cfg, 8, opts).throughput;
+    test::drain_memory();
+  }
+  EXPECT_GT(tp8, tp1 * 2.0) << "expected clear scaling from 1 to 8 threads";
+}
+
+TEST(CollectionShapes, ElasticCutsHappenOnTheParseWorkload) {
+  const WorkloadConfig cfg = small_cfg();
+  SimOptions opts;
+  opts.duration_cycles = 30'000;
+  auto set = std::make_unique<ds::TxList>(ds::TxList::Options{
+      stm::Semantics::kElastic, stm::Semantics::kClassic});
+  prefill(*set, cfg);
+  const DriverResult r = run_sim_workload(*set, cfg, 4, opts);
+  EXPECT_GT(r.stm.elastic_cuts, 0u);
+  test::drain_memory();
+}

@@ -1,0 +1,127 @@
+// Epoch-based reclamation: guards delay frees, quiescence allows them,
+// and a use-after-free canary survives an adversarial simulated workload.
+#include "mem/epoch.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <vector>
+
+#include "vt/scheduler.hpp"
+
+using namespace demotx;
+
+namespace {
+
+struct Canary {
+  explicit Canary(long v) : value(v) {}
+  ~Canary() { value = kDead; }
+  static constexpr long kDead = 0xdeadbeefL;
+  long value;
+};
+
+}  // namespace
+
+TEST(Epoch, DrainFreesEverythingAtQuiescence) {
+  auto& mgr = mem::EpochManager::instance();
+  const auto freed0 = mgr.freed_count();
+  for (int i = 0; i < 10; ++i) mgr.retire(new Canary(i));
+  mgr.drain();
+  EXPECT_EQ(mgr.freed_count() - freed0, 10u);
+}
+
+TEST(Epoch, GuardIsReentrant) {
+  auto& mgr = mem::EpochManager::instance();
+  {
+    mem::EpochManager::Guard a;
+    {
+      mem::EpochManager::Guard b;
+      mgr.retire(new Canary(1));
+    }
+    // Inner guard exit must not end the critical section.
+    mgr.retire(new Canary(2));
+  }
+  mgr.drain();
+}
+
+TEST(Epoch, ActiveReaderBlocksReclamationOfVisibleNodes) {
+  // Single-threaded variant of the EBR contract: a node retired while a
+  // guard is active (the reader entered before the retire) must survive
+  // scans until the guard exits.
+  auto& mgr = mem::EpochManager::instance();
+  mgr.drain();
+  auto* c = new Canary(42);
+  {
+    mem::EpochManager::Guard g;
+    mgr.retire(c);
+    // Force many scan attempts; our own announcement pins min_active.
+    for (int i = 0; i < 1000; ++i) mgr.retire(new Canary(i));
+    EXPECT_EQ(c->value, 42) << "node freed under an active guard";
+  }
+  mgr.drain();
+}
+
+TEST(Epoch, ConcurrentReadersNeverSeeFreedNodes) {
+  // A writer repeatedly swaps a shared pointer and retires the old node;
+  // readers hold guards while dereferencing.  Under the random-adversary
+  // scheduler any unsafe reclamation shows up as the canary value.
+  for (std::uint64_t seed : {1u, 2u, 3u, 4u, 5u}) {
+    std::atomic<Canary*> shared{new Canary(0)};
+    std::atomic<bool> bad{false};
+    vt::Scheduler::Options opts;
+    opts.policy = vt::Scheduler::Policy::kRandom;
+    opts.seed = seed;
+    vt::Scheduler sched(opts);
+    // Writer.
+    sched.spawn([&](int) {
+      for (long i = 1; i <= 300; ++i) {
+        auto* fresh = new Canary(i);
+        vt::access();
+        Canary* old = shared.exchange(fresh, std::memory_order_acq_rel);
+        mem::EpochManager::instance().retire(old);
+      }
+    });
+    // Readers.
+    for (int r = 0; r < 3; ++r) {
+      sched.spawn([&](int) {
+        for (int i = 0; i < 400; ++i) {
+          mem::EpochManager::Guard g;
+          vt::access();
+          Canary* c = shared.load(std::memory_order_acquire);
+          vt::access();
+          if (c->value == Canary::kDead) bad.store(true);
+        }
+      });
+    }
+    sched.run();
+    EXPECT_FALSE(bad.load()) << "seed " << seed;
+    delete shared.load();
+    mem::EpochManager::instance().drain();
+  }
+}
+
+TEST(Epoch, EpochAdvancesUnderChurn) {
+  auto& mgr = mem::EpochManager::instance();
+  const auto e0 = mgr.epoch();
+  vt::Scheduler sched;
+  sched.spawn([&](int) {
+    for (int i = 0; i < 500; ++i) {
+      mem::EpochManager::Guard g;
+      mgr.retire(new Canary(i));
+    }
+  });
+  sched.run();
+  mgr.drain();
+  EXPECT_GT(mgr.epoch(), e0);
+}
+
+TEST(Epoch, StatsCountRetiredAndFreed) {
+  auto& mgr = mem::EpochManager::instance();
+  mgr.drain();
+  const auto r0 = mgr.retired_count();
+  const auto f0 = mgr.freed_count();
+  for (int i = 0; i < 17; ++i) mgr.retire(new Canary(i));
+  EXPECT_EQ(mgr.retired_count() - r0, 17u);
+  mgr.drain();
+  EXPECT_EQ(mgr.freed_count() - f0, 17u);
+}

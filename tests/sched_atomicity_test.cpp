@@ -1,0 +1,96 @@
+// The Sec. 3.1 expressiveness argument, mechanized: the hand-over-hand
+// lock program P guarantees atomicity(rx,ry) and atomicity(ry,rz) but not
+// atomicity(rx,rz); the transaction Pt guarantees the transitive closure
+// and cannot express less.
+#include <gtest/gtest.h>
+
+#include "sched/atomicity.hpp"
+
+using namespace demotx::sched;
+
+namespace {
+
+// P = lock(x) r(x) lock(y) r(y) unlock(x) lock(z) r(z) unlock(y) unlock(z)
+Program paper_program_p() {
+  return {lk(0, 0), rd(0, 0), lk(0, 1), rd(0, 1), ul(0, 0),
+          lk(0, 2), rd(0, 2), ul(0, 1), ul(0, 2)};
+}
+
+}  // namespace
+
+TEST(Atomicity, LockProgramGuaranteesChainOnly) {
+  const Program p = paper_program_p();
+  const AtomicityRelation rel = lock_atomicity(p);
+  // Accesses: 0 = r(x), 1 = r(y), 2 = r(z).
+  EXPECT_TRUE(rel.count({0, 1})) << "atomicity(r(x), r(y))";
+  EXPECT_TRUE(rel.count({1, 2})) << "atomicity(r(y), r(z))";
+  EXPECT_FALSE(rel.count({0, 2})) << "NOT atomicity(r(x), r(z))";
+}
+
+TEST(Atomicity, LockRelationIsNotTransitivelyClosed) {
+  const Program p = paper_program_p();
+  const AtomicityRelation rel = lock_atomicity(p);
+  EXPECT_FALSE(is_transitively_closed(rel, access_events(p).size()));
+}
+
+TEST(Atomicity, TransactionGuaranteesTheClosure) {
+  const Program p = paper_program_p();
+  const AtomicityRelation lock_rel = lock_atomicity(p);
+  const AtomicityRelation tx_rel = transaction_atomicity(p);
+  EXPECT_EQ(tx_rel, transitive_closure(lock_rel, access_events(p).size()))
+      << "the transaction's guarantee is exactly the closure of the "
+         "lock program's";
+  EXPECT_TRUE(is_transitively_closed(tx_rel, access_events(p).size()));
+  EXPECT_TRUE(tx_rel.count({0, 2}));
+}
+
+TEST(Atomicity, SingleLockGuaranteesOnlyPairsInvolvingItsLocation) {
+  // lock(x) r(x) r(y) r(z) unlock(x): under the paper's definition the
+  // held lock on x makes every access in the interval atomic *with the
+  // access to x* — but (r(y), r(z)) is not guaranteed: another process
+  // may write y between them, x's lock does not protect y or z.
+  const Program p = {lk(0, 0), rd(0, 0), rd(0, 1), rd(0, 2), ul(0, 0)};
+  const AtomicityRelation rel = lock_atomicity(p);
+  EXPECT_TRUE(rel.count({0, 1}));
+  EXPECT_TRUE(rel.count({0, 2}));
+  EXPECT_FALSE(rel.count({1, 2}));
+}
+
+TEST(Atomicity, LockingEveryLocationGuaranteesEverything) {
+  // Holding x, y and z across all three reads is the lock-based
+  // equivalent of the transaction block.
+  const Program p = {lk(0, 0), lk(0, 1), lk(0, 2), rd(0, 0), rd(0, 1),
+                     rd(0, 2), ul(0, 0), ul(0, 1), ul(0, 2)};
+  const AtomicityRelation rel = lock_atomicity(p);
+  EXPECT_EQ(rel, transaction_atomicity(p));
+}
+
+TEST(Atomicity, DisjointLocksGuaranteeNothingAcross) {
+  // lock(x) r(x) unlock(x) lock(y) r(y) unlock(y)
+  const Program p = {lk(0, 0), rd(0, 0), ul(0, 0),
+                     lk(0, 1), rd(0, 1), ul(0, 1)};
+  const AtomicityRelation rel = lock_atomicity(p);
+  EXPECT_TRUE(rel.empty());
+}
+
+TEST(Atomicity, UnreleasedLockExtendsToProgramEnd) {
+  // lock(x) r(x) ... r(y): interval open to the end covers both.
+  const Program p = {lk(0, 0), rd(0, 0), rd(0, 1)};
+  const AtomicityRelation rel = lock_atomicity(p);
+  EXPECT_TRUE(rel.count({0, 1}));
+}
+
+TEST(Atomicity, IntervalMustProtectATouchedLocation) {
+  // lock(u) r(x) r(y) unlock(u): the held lock protects an unrelated
+  // location, so it guarantees nothing about x and y.
+  const Program p = {lk(0, 9), rd(0, 0), rd(0, 1), ul(0, 9)};
+  const AtomicityRelation rel = lock_atomicity(p);
+  EXPECT_TRUE(rel.empty());
+}
+
+TEST(Atomicity, ToStringLabelsAccesses) {
+  const Program p = paper_program_p();
+  const std::string s = to_string(lock_atomicity(p), p);
+  EXPECT_NE(s.find("r(x)"), std::string::npos);
+  EXPECT_NE(s.find("r(y)"), std::string::npos);
+}

@@ -1,0 +1,228 @@
+// Differential and soundness testing on random histories:
+//
+//  1. model vs implementation — drive the REAL transaction descriptors
+//     through a random interleaving, event by event, and require the
+//     outcome (accept / which transaction aborts / why) to match the
+//     protocol_accepts() replay model exactly;
+//  2. soundness — whenever the classic protocol accepts a history, that
+//     history must be view-strictly-serializable (opacity for committed
+//     histories); with timebase extension too;
+//  3. checker lattice — conflict_opaque ⇒ view_strict ⇒ conflict_serializable.
+#include <gtest/gtest.h>
+
+#include <optional>
+
+#include "sched/checkers.hpp"
+#include "sched/history.hpp"
+#include "stm/stm.hpp"
+#include "test_util.hpp"
+
+using namespace demotx;
+using namespace demotx::sched;
+using stm::Semantics;
+
+namespace {
+
+struct Rng {
+  std::uint64_t s;
+  std::uint64_t next() {
+    s ^= s << 13;
+    s ^= s >> 7;
+    s ^= s << 17;
+    return s;
+  }
+  std::uint64_t below(std::uint64_t n) { return next() % n; }
+};
+
+// Random history: 2-4 transactions, 2-4 locations, 1-5 events each,
+// randomly interleaved.
+History random_history(Rng& rng, int* out_ntx, int* out_nlocs) {
+  const int ntx = 2 + static_cast<int>(rng.below(3));
+  const int nlocs = 2 + static_cast<int>(rng.below(3));
+  std::vector<Program> programs;
+  for (int t = 0; t < ntx; ++t) {
+    Program p;
+    const int len = 1 + static_cast<int>(rng.below(5));
+    for (int i = 0; i < len; ++i) {
+      const int loc = static_cast<int>(rng.below(nlocs));
+      p.push_back(rng.below(100) < 65 ? rd(t, loc) : wr(t, loc));
+    }
+    programs.push_back(std::move(p));
+  }
+  // Random interleave.
+  History h;
+  std::vector<std::size_t> at(programs.size(), 0);
+  for (;;) {
+    std::vector<int> live;
+    for (int t = 0; t < ntx; ++t)
+      if (at[static_cast<std::size_t>(t)] <
+          programs[static_cast<std::size_t>(t)].size())
+        live.push_back(t);
+    if (live.empty()) break;
+    const int t = live[rng.below(live.size())];
+    h.push_back(programs[static_cast<std::size_t>(t)]
+                        [at[static_cast<std::size_t>(t)]++]);
+  }
+  *out_ntx = ntx;
+  *out_nlocs = nlocs;
+  return h;
+}
+
+// Assigns semantics: variant 0 = all classic; 1 = tx0 elastic; 2 = every
+// read-only tx runs as snapshot (writers classic).
+std::vector<Semantics> assign_semantics(const History& h, int ntx,
+                                        int variant) {
+  std::vector<Semantics> sems(static_cast<std::size_t>(ntx),
+                              Semantics::kClassic);
+  if (variant == 1) sems[0] = Semantics::kElastic;
+  if (variant == 2) {
+    std::vector<bool> writes(static_cast<std::size_t>(ntx), false);
+    for (const Event& e : h)
+      if (e.op == Op::kWrite) writes[static_cast<std::size_t>(e.tx)] = true;
+    for (int t = 0; t < ntx; ++t)
+      if (!writes[static_cast<std::size_t>(t)])
+        sems[static_cast<std::size_t>(t)] = Semantics::kSnapshot;
+  }
+  return sems;
+}
+
+struct LiveOutcome {
+  bool accepted = true;
+  int aborted_tx = -1;
+  stm::AbortReason reason = stm::AbortReason::kExplicit;
+};
+
+// Drives the real STM descriptors through the interleaving; stops at the
+// first abort (mirroring the replay model).
+LiveOutcome drive_live(const History& h, int ntx, int nlocs,
+                       const std::vector<Semantics>& sems) {
+  auto& rt = stm::Runtime::instance();
+  std::vector<std::unique_ptr<stm::Cell>> cells;
+  for (int l = 0; l < nlocs; ++l) cells.push_back(std::make_unique<stm::Cell>());
+
+  std::vector<stm::Tx*> txs;
+  std::vector<bool> started(static_cast<std::size_t>(ntx), false);
+  for (int t = 0; t < ntx; ++t) txs.push_back(&rt.tx_for_slot(100 + t));
+
+  std::vector<std::size_t> last(static_cast<std::size_t>(ntx), 0);
+  for (std::size_t i = 0; i < h.size(); ++i)
+    last[static_cast<std::size_t>(h[i].tx)] = i;
+
+  LiveOutcome out;
+  auto cleanup = [&](int except) {
+    for (int t = 0; t < ntx; ++t)
+      if (t != except && started[static_cast<std::size_t>(t)] &&
+          txs[static_cast<std::size_t>(t)]->active())
+        txs[static_cast<std::size_t>(t)]->rollback(
+            stm::AbortReason::kExplicit);
+  };
+
+  for (std::size_t i = 0; i < h.size(); ++i) {
+    const Event& e = h[i];
+    const auto t = static_cast<std::size_t>(e.tx);
+    stm::Tx& tx = *txs[t];
+    try {
+      if (!started[t]) {
+        tx.begin(sems[t], 0);
+        tx.depth_ = 1;  // mark active for cleanup bookkeeping
+        started[t] = true;
+      }
+      if (e.op == Op::kRead) {
+        (void)tx.read_word(*cells[static_cast<std::size_t>(e.loc)]);
+      } else {
+        tx.write_word(*cells[static_cast<std::size_t>(e.loc)], 1000 + i);
+      }
+      if (i == last[t]) {
+        tx.commit();
+        tx.depth_ = 0;
+      }
+    } catch (const stm::AbortTx& a) {
+      out.accepted = false;
+      out.aborted_tx = e.tx;
+      out.reason = a.reason;
+      tx.depth_ = 0;
+      tx.rollback(a.reason);
+      cleanup(e.tx);
+      return out;
+    }
+  }
+  cleanup(-1);
+  return out;
+}
+
+}  // namespace
+
+class ProtocolDiff : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ProtocolDiff, LiveStmMatchesTheReplayModel) {
+  Rng rng{GetParam() * 0x9e3779b97f4a7c15ULL + 1};
+  for (int iter = 0; iter < 120; ++iter) {
+    int ntx = 0, nlocs = 0;
+    const History h = random_history(rng, &ntx, &nlocs);
+    for (int variant = 0; variant < 3; ++variant) {
+      const auto sems = assign_semantics(h, ntx, variant);
+      // Snapshot transactions must be read-only; variant 2 guarantees it.
+      ProtocolOptions opts;
+      opts.semantics = sems;
+      const ProtocolResult model = protocol_accepts(h, opts);
+      const LiveOutcome live = drive_live(h, ntx, nlocs, sems);
+      ASSERT_EQ(live.accepted, model.accepted)
+          << "variant " << variant << " history: " << to_string(h);
+      if (!model.accepted) {
+        ASSERT_EQ(live.aborted_tx, model.aborted_tx)
+            << "variant " << variant << " history: " << to_string(h);
+        ASSERT_EQ(live.reason, model.reason)
+            << "variant " << variant << " history: " << to_string(h);
+      }
+    }
+  }
+}
+
+TEST_P(ProtocolDiff, ClassicAcceptanceImpliesStrictSerializability) {
+  Rng rng{GetParam() * 0xbf58476d1ce4e5b9ULL + 7};
+  int accepted = 0;
+  for (int iter = 0; iter < 150; ++iter) {
+    int ntx = 0, nlocs = 0;
+    const History h = random_history(rng, &ntx, &nlocs);
+    ProtocolOptions plain;
+    ProtocolOptions extended;
+    extended.enable_extension = true;
+    // demotx buffers writes until commit, so soundness is judged under
+    // commit-time write visibility.
+    if (protocol_accepts(h, plain).accepted) {
+      ++accepted;
+      EXPECT_TRUE(
+          view_strictly_serializable(h, WriteVisibility::kAtCommit))
+          << to_string(h);
+    }
+    if (protocol_accepts(h, extended).accepted) {
+      EXPECT_TRUE(
+          view_strictly_serializable(h, WriteVisibility::kAtCommit))
+          << to_string(h);
+    }
+  }
+  EXPECT_GT(accepted, 0) << "generator never produced an acceptable history";
+}
+
+TEST_P(ProtocolDiff, CheckerLatticeHolds) {
+  Rng rng{GetParam() * 0x2545f4914f6cdd1dULL + 3};
+  for (int iter = 0; iter < 150; ++iter) {
+    int ntx = 0, nlocs = 0;
+    const History h = random_history(rng, &ntx, &nlocs);
+    if (conflict_opaque(h)) {
+      EXPECT_TRUE(view_strictly_serializable(h)) << to_string(h);
+    }
+    if (view_strictly_serializable(h)) {
+      // View-strict implies plain serializability in spirit; our
+      // conflict-based checker can be stricter than view equivalence, so
+      // only the conflict_opaque ⇒ view_strict edge is a theorem here.
+      SUCCEED();
+    }
+    if (!conflict_serializable(h)) {
+      EXPECT_FALSE(conflict_opaque(h)) << to_string(h);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ProtocolDiff,
+                         ::testing::Values(1, 2, 3, 4, 5, 6));

@@ -1,0 +1,21 @@
+#include <gtest/gtest.h>
+#include "stm/stm.hpp"
+#include "vt/scheduler.hpp"
+
+using namespace demotx;
+
+TEST(Smoke, SingleThreadIncrement) {
+  stm::TVar<long> x{0};
+  for (int i = 0; i < 10; ++i)
+    stm::atomically([&](stm::Tx& tx) { x.set(tx, x.get(tx) + 1); });
+  EXPECT_EQ(x.unsafe_load(), 10);
+}
+
+TEST(Smoke, SimTwoThreads) {
+  auto x = std::make_unique<stm::TVar<long>>(0);
+  vt::run_sim(2, [&](int) {
+    for (int i = 0; i < 100; ++i)
+      stm::atomically([&](stm::Tx& tx) { x->set(tx, x->get(tx) + 1); });
+  });
+  EXPECT_EQ(x->unsafe_load(), 200);
+}

@@ -1,0 +1,244 @@
+// Classic (opaque) semantics: conflict detection, commit validation,
+// timebase extension, and opacity/atomicity properties under adversarial
+// simulated interleavings.
+//
+// Protocol-level tests drive two transaction descriptors directly from one
+// thread, which gives exact control over the interleaving of their reads,
+// writes and commits.
+#include <gtest/gtest.h>
+
+#include "stm/stm.hpp"
+#include "test_util.hpp"
+
+using namespace demotx;
+using stm::AbortReason;
+using stm::AbortTx;
+using stm::Semantics;
+
+namespace {
+
+struct ConfigGuard {
+  stm::Config saved = stm::Runtime::instance().config;
+  ~ConfigGuard() { stm::Runtime::instance().config = saved; }
+};
+
+// Runs `body(tx)` expecting an abort; rolls the descriptor back and
+// returns the reason.
+template <typename F>
+AbortReason expect_abort(stm::Tx& tx, F&& body) {
+  try {
+    body(tx);
+  } catch (const AbortTx& a) {
+    tx.rollback(a.reason);
+    return a.reason;
+  }
+  ADD_FAILURE() << "expected the transaction to abort";
+  tx.rollback(AbortReason::kExplicit);
+  return AbortReason::kExplicit;
+}
+
+}  // namespace
+
+TEST(StmClassic, ReadValidationAbortsOnNewerVersion) {
+  ConfigGuard cfg;
+  stm::Runtime::instance().config.enable_extension = false;
+
+  stm::TVar<long> x{1};
+  stm::TVar<long> y{2};
+  auto& rt = stm::Runtime::instance();
+  stm::Tx& t1 = rt.tx_for_slot(40);
+
+  t1.begin(Semantics::kClassic, 0);
+  EXPECT_EQ(x.get(t1), 1);
+
+  // A competing transaction commits a write to y.
+  stm::Tx& t2 = rt.tx_for_slot(41);
+  t2.begin(Semantics::kClassic, 0);
+  y.set(t2, 20);
+  t2.commit();
+
+  // t1 now reads y: its version is newer than t1's snapshot → abort.
+  const AbortReason r = expect_abort(t1, [&](stm::Tx& tx) { (void)y.get(tx); });
+  EXPECT_EQ(r, AbortReason::kReadValidation);
+}
+
+TEST(StmClassic, TimebaseExtensionSlidesTheSnapshot) {
+  ConfigGuard cfg;
+  stm::Runtime::instance().config.enable_extension = true;
+
+  stm::TVar<long> x{1};
+  stm::TVar<long> y{2};
+  auto& rt = stm::Runtime::instance();
+  stm::Tx& t1 = rt.tx_for_slot(40);
+  stm::Tx& t2 = rt.tx_for_slot(41);
+
+  t1.begin(Semantics::kClassic, 0);
+  EXPECT_EQ(x.get(t1), 1);
+
+  t2.begin(Semantics::kClassic, 0);
+  y.set(t2, 20);
+  t2.commit();
+
+  // x is unchanged, so revalidation succeeds and rv slides forward: the
+  // read returns the *new* value of y and the transaction commits.
+  EXPECT_EQ(y.get(t1), 20);
+  t1.commit();
+  EXPECT_GE(rt.aggregate_stats().extensions, 1u);
+}
+
+TEST(StmClassic, ExtensionFailsWhenOwnReadChanged) {
+  ConfigGuard cfg;
+  stm::Runtime::instance().config.enable_extension = true;
+
+  stm::TVar<long> x{1};
+  stm::TVar<long> y{2};
+  auto& rt = stm::Runtime::instance();
+  stm::Tx& t1 = rt.tx_for_slot(40);
+  stm::Tx& t2 = rt.tx_for_slot(41);
+
+  t1.begin(Semantics::kClassic, 0);
+  EXPECT_EQ(x.get(t1), 1);
+
+  t2.begin(Semantics::kClassic, 0);
+  x.set(t2, 10);  // invalidates t1's read
+  y.set(t2, 20);
+  t2.commit();
+
+  const AbortReason r = expect_abort(t1, [&](stm::Tx& tx) { (void)y.get(tx); });
+  EXPECT_EQ(r, AbortReason::kReadValidation);
+}
+
+TEST(StmClassic, CommitValidationCatchesWriteAfterRead) {
+  stm::TVar<long> x{1};
+  stm::TVar<long> y{2};
+  auto& rt = stm::Runtime::instance();
+  stm::Tx& t1 = rt.tx_for_slot(40);
+  stm::Tx& t2 = rt.tx_for_slot(41);
+
+  t1.begin(Semantics::kClassic, 0);
+  EXPECT_EQ(x.get(t1), 1);
+  y.set(t1, 99);  // t1 is an updater: must validate reads at commit
+
+  t2.begin(Semantics::kClassic, 0);
+  x.set(t2, 10);
+  t2.commit();
+
+  const AbortReason r = expect_abort(t1, [&](stm::Tx& tx) { tx.commit(); });
+  EXPECT_EQ(r, AbortReason::kCommitValidation);
+  EXPECT_EQ(y.unsafe_load(), 2) << "aborted writes must not reach memory";
+}
+
+TEST(StmClassic, DisjointWritersBothCommit) {
+  stm::TVar<long> x{1};
+  stm::TVar<long> y{2};
+  auto& rt = stm::Runtime::instance();
+  stm::Tx& t1 = rt.tx_for_slot(40);
+  stm::Tx& t2 = rt.tx_for_slot(41);
+
+  t1.begin(Semantics::kClassic, 0);
+  x.set(t1, 10);
+  t2.begin(Semantics::kClassic, 0);
+  y.set(t2, 20);
+  t2.commit();
+  t1.commit();
+  EXPECT_EQ(x.unsafe_load(), 10);
+  EXPECT_EQ(y.unsafe_load(), 20);
+}
+
+TEST(StmClassic, LostUpdatePrevented) {
+  // Classic read-modify-write on one counter from many simulated threads;
+  // every increment must survive.
+  for (std::uint64_t seed : {1u, 2u, 3u}) {
+    auto x = std::make_unique<stm::TVar<long>>(0);
+    test::run_random_sim(6, seed, [&](int) {
+      for (int i = 0; i < 50; ++i)
+        stm::atomically([&](stm::Tx& tx) { x->set(tx, x->get(tx) + 1); });
+    });
+    EXPECT_EQ(x->unsafe_load(), 6 * 50) << "seed " << seed;
+  }
+}
+
+TEST(StmClassic, OpacityInvariantUnderTransfers) {
+  // Bank property: transfers between accounts keep the total constant;
+  // classic readers must always observe the invariant — including inside
+  // the transaction body (opacity: no zombie observations).
+  constexpr int kAccounts = 8;
+  constexpr long kTotal = 8000;
+  for (std::uint64_t seed : {5u, 6u, 7u, 8u}) {
+    std::vector<std::unique_ptr<stm::TVar<long>>> acct;
+    for (int i = 0; i < kAccounts; ++i)
+      acct.push_back(std::make_unique<stm::TVar<long>>(kTotal / kAccounts));
+    std::atomic<bool> violated{false};
+
+    test::run_random_sim(6, seed, [&](int id) {
+      std::uint64_t rng = seed * 977 + static_cast<std::uint64_t>(id) + 1;
+      auto next = [&rng] {
+        rng ^= rng << 13;
+        rng ^= rng >> 7;
+        rng ^= rng << 17;
+        return rng;
+      };
+      for (int i = 0; i < 60; ++i) {
+        if (id % 2 == 0) {  // transfer
+          const int a = static_cast<int>(next() % kAccounts);
+          const int b = static_cast<int>(next() % kAccounts);
+          const long amt = static_cast<long>(next() % 20);
+          stm::atomically([&](stm::Tx& tx) {
+            acct[a]->set(tx, acct[a]->get(tx) - amt);
+            acct[b]->set(tx, acct[b]->get(tx) + amt);
+          });
+        } else {  // audit
+          stm::atomically([&](stm::Tx& tx) {
+            long sum = 0;
+            for (auto& v : acct) sum += v->get(tx);
+            if (sum != kTotal) violated.store(true);
+          });
+        }
+      }
+    });
+    EXPECT_FALSE(violated.load()) << "seed " << seed;
+    long sum = 0;
+    for (auto& v : acct) sum += v->unsafe_load();
+    EXPECT_EQ(sum, kTotal);
+  }
+}
+
+TEST(StmClassic, ReadOnlyTransactionsNeverValidateAtCommit) {
+  // A read-only classic transaction's reads are validated at read time;
+  // its commit must succeed even if the world changed afterwards.
+  stm::TVar<long> x{1};
+  auto& rt = stm::Runtime::instance();
+  stm::Tx& t1 = rt.tx_for_slot(40);
+  stm::Tx& t2 = rt.tx_for_slot(41);
+
+  t1.begin(Semantics::kClassic, 0);
+  EXPECT_EQ(x.get(t1), 1);
+
+  t2.begin(Semantics::kClassic, 0);
+  x.set(t2, 2);
+  t2.commit();
+
+  t1.commit();  // still fine: serialization point at its reads
+}
+
+TEST(StmClassic, EarlyReleaseSkipsValidation) {
+  // After release(x), a conflicting write to x no longer aborts us.
+  stm::TVar<long> x{1};
+  stm::TVar<long> y{2};
+  auto& rt = stm::Runtime::instance();
+  stm::Tx& t1 = rt.tx_for_slot(40);
+  stm::Tx& t2 = rt.tx_for_slot(41);
+
+  t1.begin(Semantics::kClassic, 0);
+  EXPECT_EQ(x.get(t1), 1);
+  x.release(t1);  // expert move (paper Sec. 4.1)
+  y.set(t1, 99);
+
+  t2.begin(Semantics::kClassic, 0);
+  x.set(t2, 10);
+  t2.commit();
+
+  t1.commit();  // x's change is ignored by design
+  EXPECT_EQ(y.unsafe_load(), 99);
+  EXPECT_GE(rt.aggregate_stats().early_releases, 1u);
+}

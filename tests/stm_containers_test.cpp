@@ -1,0 +1,198 @@
+// Unit tests for the STM's internal containers and encodings: lock words,
+// write set (hashing, overwrite, truncation), read set, elastic window,
+// TVar encode/decode, and the snapshot iterator built on top of them.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "ds/tx_list.hpp"
+#include "stm/stm.hpp"
+#include "test_util.hpp"
+
+using namespace demotx;
+using namespace demotx::stm;
+
+TEST(LockWord, EncodingRoundTrips) {
+  const std::uint64_t v = lockword::make_version(12345);
+  EXPECT_FALSE(lockword::locked(v));
+  EXPECT_EQ(lockword::version_of(v), 12345u);
+
+  const std::uint64_t l = lockword::make_locked(42);
+  EXPECT_TRUE(lockword::locked(l));
+  EXPECT_EQ(lockword::owner_of(l), 42);
+
+  // Huge versions survive the shift encoding.
+  const std::uint64_t big = lockword::make_version(1ULL << 60);
+  EXPECT_EQ(lockword::version_of(big), 1ULL << 60);
+}
+
+TEST(WriteSetUnit, PutFindOverwrite) {
+  WriteSet ws;
+  Cell a, b;
+  EXPECT_TRUE(ws.empty());
+  EXPECT_EQ(ws.find(&a), nullptr);
+
+  auto r1 = ws.put(&a, 10);
+  EXPECT_FALSE(r1.overwrote);
+  ASSERT_NE(ws.find(&a), nullptr);
+  EXPECT_EQ(ws.find(&a)->value, 10u);
+
+  auto r2 = ws.put(&a, 20);
+  EXPECT_TRUE(r2.overwrote);
+  EXPECT_EQ(r2.old_value, 10u);
+  EXPECT_EQ(ws.find(&a)->value, 20u);
+  EXPECT_EQ(ws.size(), 1u);
+
+  ws.put(&b, 30);
+  EXPECT_EQ(ws.size(), 2u);
+  EXPECT_EQ(ws.find(&b)->value, 30u);
+}
+
+TEST(WriteSetUnit, GrowsPastInitialCapacity) {
+  WriteSet ws;
+  std::vector<std::unique_ptr<Cell>> cells;
+  for (int i = 0; i < 500; ++i) {
+    cells.push_back(std::make_unique<Cell>());
+    ws.put(cells.back().get(), static_cast<std::uint64_t>(i));
+  }
+  EXPECT_EQ(ws.size(), 500u);
+  for (int i = 0; i < 500; ++i) {
+    ASSERT_NE(ws.find(cells[static_cast<std::size_t>(i)].get()), nullptr);
+    EXPECT_EQ(ws.find(cells[static_cast<std::size_t>(i)].get())->value,
+              static_cast<std::uint64_t>(i));
+  }
+}
+
+TEST(WriteSetUnit, TruncateDropsTail) {
+  WriteSet ws;
+  Cell a, b, c;
+  ws.put(&a, 1);
+  ws.put(&b, 2);
+  ws.put(&c, 3);
+  ws.truncate(1);
+  EXPECT_EQ(ws.size(), 1u);
+  EXPECT_NE(ws.find(&a), nullptr);
+  EXPECT_EQ(ws.find(&b), nullptr);
+  EXPECT_EQ(ws.find(&c), nullptr);
+  // Re-inserting a truncated cell works.
+  ws.put(&b, 22);
+  EXPECT_EQ(ws.find(&b)->value, 22u);
+}
+
+TEST(WriteSetUnit, ClearResets) {
+  WriteSet ws;
+  Cell a;
+  ws.put(&a, 1);
+  ws.clear();
+  EXPECT_TRUE(ws.empty());
+  EXPECT_EQ(ws.find(&a), nullptr);
+}
+
+TEST(ReadSetUnit, AddReleaseTruncate) {
+  ReadSet rs;
+  Cell a, b;
+  rs.add(&a, 1);
+  rs.add(&b, 2);
+  rs.add(&a, 3);  // duplicates allowed
+  EXPECT_EQ(rs.size(), 3u);
+  EXPECT_EQ(rs.release(&a), 2u);
+  EXPECT_EQ(rs.size(), 1u);
+  rs.add(&a, 4);
+  rs.truncate(1);
+  EXPECT_EQ(rs.size(), 1u);
+  EXPECT_EQ(rs.begin()->cell, &b);
+}
+
+TEST(ElasticWindowUnit, EvictionIsFifo) {
+  ElasticWindow w(2);
+  Cell a, b, c;
+  EXPECT_EQ(w.evict_for_push(), 0u);
+  w.push(&a, 1);
+  EXPECT_EQ(w.evict_for_push(), 0u);
+  w.push(&b, 2);
+  EXPECT_EQ(w.evict_for_push(), 1u);  // a evicted (a cut)
+  w.push(&c, 3);
+  ASSERT_EQ(w.size(), 2u);
+  EXPECT_EQ(w.at(0).cell, &b);
+  EXPECT_EQ(w.at(1).cell, &c);
+}
+
+TEST(ElasticWindowUnit, CapacityClampsToBounds) {
+  ElasticWindow w(0);  // clamps to 1
+  EXPECT_EQ(w.capacity(), 1u);
+  w.set_capacity(100);  // clamps to kMaxCapacity
+  EXPECT_EQ(w.capacity(), ElasticWindow::kMaxCapacity);
+}
+
+TEST(ElasticWindowUnit, ReleaseRemovesAllMatches) {
+  ElasticWindow w(4);
+  Cell a, b;
+  w.push(&a, 1);
+  w.push(&b, 2);
+  w.push(&a, 3);
+  EXPECT_EQ(w.release(&a), 2u);
+  ASSERT_EQ(w.size(), 1u);
+  EXPECT_EQ(w.at(0).cell, &b);
+}
+
+TEST(TVarUnit, EncodeDecodeRoundTrips) {
+  EXPECT_EQ(stm::TVar<long>::decode(stm::TVar<long>::encode(-123)), -123);
+  EXPECT_EQ(stm::TVar<bool>::decode(stm::TVar<bool>::encode(true)), true);
+  const double d = 3.25e-9;
+  EXPECT_DOUBLE_EQ(stm::TVar<double>::decode(stm::TVar<double>::encode(d)), d);
+  int dummy = 0;
+  int* p = &dummy;
+  EXPECT_EQ(stm::TVar<int*>::decode(stm::TVar<int*>::encode(p)), p);
+}
+
+TEST(CellUnit, UnsafeAccessors) {
+  Cell c{77};
+  EXPECT_EQ(c.unsafe_value(), 77u);
+  EXPECT_EQ(c.unsafe_version(), 0u);
+  c.unsafe_store(88);
+  EXPECT_EQ(c.unsafe_value(), 88u);
+}
+
+TEST(SnapshotIterator, ToVectorIsSortedAndComplete) {
+  ds::TxList list;
+  for (long k : {5L, 1L, 9L, 3L}) list.add(k);
+  const std::vector<long> v = list.to_vector();
+  EXPECT_EQ(v, (std::vector<long>{1, 3, 5, 9}));
+}
+
+TEST(SnapshotIterator, ConsistentUnderConcurrentPairedUpdates) {
+  // Updaters always add/remove keys in PAIRS within one transaction, so
+  // every consistent snapshot contains an even number of odd keys.
+  auto list = std::make_unique<ds::TxList>();
+  for (long k = 0; k < 30; k += 2) list->add(k);  // 15 even keys
+
+  std::atomic<bool> bad{false};
+  test::run_random_sim(4, /*seed=*/88, [&](int id) {
+    if (id == 0) {
+      for (int i = 0; i < 20; ++i) {
+        const std::vector<long> snap = list->to_vector();
+        long odd = 0;
+        for (long k : snap)
+          if (k % 2 != 0) ++odd;
+        if (odd % 2 != 0) bad.store(true);
+        for (std::size_t j = 1; j < snap.size(); ++j)
+          if (snap[j - 1] >= snap[j]) bad.store(true);
+      }
+    } else {
+      const long base = 101 + id * 50;
+      for (int i = 0; i < 25; ++i) {
+        stm::atomically([&](stm::Tx&) {  // paired add: atomic
+          list->add(base);
+          list->add(base + 2);
+        });
+        stm::atomically([&](stm::Tx&) {  // paired remove: atomic
+          list->remove(base);
+          list->remove(base + 2);
+        });
+      }
+    }
+  });
+  EXPECT_FALSE(bad.load());
+  EXPECT_EQ(list->unsafe_size(), 15);
+  test::drain_memory();
+}

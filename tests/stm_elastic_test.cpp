@@ -1,0 +1,282 @@
+// Elastic semantics (E-STM): the sliding window, cuts, the paper's
+// history H, the transition to classic mode on first write, and
+// correctness of elastic data-structure operations under adversarial
+// schedules.
+#include <gtest/gtest.h>
+
+#include "ds/tx_list.hpp"
+#include "stm/stm.hpp"
+#include "test_util.hpp"
+
+using namespace demotx;
+using stm::AbortReason;
+using stm::AbortTx;
+using stm::Semantics;
+
+namespace {
+
+struct ConfigGuard {
+  stm::Config saved = stm::Runtime::instance().config;
+  ~ConfigGuard() { stm::Runtime::instance().config = saved; }
+};
+
+template <typename F>
+AbortReason expect_abort(stm::Tx& tx, F&& body) {
+  try {
+    body(tx);
+  } catch (const AbortTx& a) {
+    tx.rollback(a.reason);
+    return a.reason;
+  }
+  ADD_FAILURE() << "expected the transaction to abort";
+  tx.rollback(AbortReason::kExplicit);
+  return AbortReason::kExplicit;
+}
+
+}  // namespace
+
+// The paper's Sec. 4.2 history, executed against the real protocol:
+//   H = r(h)i r(n)i  r(h)j r(n)j w(h)j  r(t)i w(n)i
+// H is neither serializable nor opaque, yet with i elastic it must
+// commit: i is cut between r(n)i and r(t)i.
+TEST(StmElastic, PaperHistoryHCommitsWhenIIsElastic) {
+  stm::TVar<long> h{0};
+  stm::TVar<long> n{0};
+  stm::TVar<long> t{0};
+  auto& rt = stm::Runtime::instance();
+  stm::Tx& ti = rt.tx_for_slot(50);
+  stm::Tx& tj = rt.tx_for_slot(51);
+
+  ti.begin(Semantics::kElastic, 0);
+  EXPECT_EQ(h.get(ti), 0);  // r(h)i
+  EXPECT_EQ(n.get(ti), 0);  // r(n)i
+
+  tj.begin(Semantics::kClassic, 0);
+  EXPECT_EQ(h.get(tj), 0);  // r(h)j
+  EXPECT_EQ(n.get(tj), 0);  // r(n)j
+  h.set(tj, 1);             // w(h)j
+  tj.commit();
+
+  EXPECT_EQ(t.get(ti), 0);  // r(t)i — cuts h out of the window
+  n.set(ti, 3);             // w(n)i
+  ti.commit();              // must succeed
+
+  EXPECT_EQ(h.unsafe_load(), 1);
+  EXPECT_EQ(n.unsafe_load(), 3);
+  EXPECT_GE(rt.aggregate_stats().elastic_cuts, 1u);
+}
+
+// The same interleaving with i classic must abort (H is not opaque).
+TEST(StmElastic, PaperHistoryHAbortsWhenIIsClassic) {
+  stm::TVar<long> h{0};
+  stm::TVar<long> n{0};
+  stm::TVar<long> t{0};
+  auto& rt = stm::Runtime::instance();
+  stm::Tx& ti = rt.tx_for_slot(50);
+  stm::Tx& tj = rt.tx_for_slot(51);
+
+  ti.begin(Semantics::kClassic, 0);
+  EXPECT_EQ(h.get(ti), 0);
+  EXPECT_EQ(n.get(ti), 0);
+
+  tj.begin(Semantics::kClassic, 0);
+  EXPECT_EQ(h.get(tj), 0);
+  EXPECT_EQ(n.get(tj), 0);
+  h.set(tj, 1);
+  tj.commit();
+
+  EXPECT_EQ(t.get(ti), 0);  // version of t is still old: read succeeds
+  n.set(ti, 3);
+  const AbortReason r = expect_abort(ti, [&](stm::Tx& tx) { tx.commit(); });
+  EXPECT_EQ(r, AbortReason::kCommitValidation);
+}
+
+// A write *inside* the window (no cut possible) must still abort the
+// elastic transaction: cut consistency is not a free pass.
+TEST(StmElastic, WindowInvalidationAborts) {
+  stm::TVar<long> a{0};
+  stm::TVar<long> b{0};
+  auto& rt = stm::Runtime::instance();
+  stm::Tx& ti = rt.tx_for_slot(50);
+  stm::Tx& tj = rt.tx_for_slot(51);
+
+  ti.begin(Semantics::kElastic, 0);
+  EXPECT_EQ(a.get(ti), 0);  // window: {a}
+
+  tj.begin(Semantics::kClassic, 0);
+  a.set(tj, 1);  // invalidates the window entry
+  tj.commit();
+
+  const AbortReason r = expect_abort(ti, [&](stm::Tx& tx) { (void)b.get(tx); });
+  EXPECT_EQ(r, AbortReason::kWindowInvalid);
+}
+
+// An update to a location already evicted from the window is tolerated
+// (the exact false-conflict of the paper's Sec. 3.2 linked-list example).
+TEST(StmElastic, EvictedEntriesAreCutAndTolerated) {
+  ConfigGuard cfg;
+  stm::Runtime::instance().config.elastic_window = 2;
+
+  stm::TVar<long> v0{0};
+  stm::TVar<long> v1{0};
+  stm::TVar<long> v2{0};
+  stm::TVar<long> v3{0};
+  auto& rt = stm::Runtime::instance();
+  stm::Tx& ti = rt.tx_for_slot(50);
+  stm::Tx& tj = rt.tx_for_slot(51);
+
+  ti.begin(Semantics::kElastic, 0);
+  EXPECT_EQ(v0.get(ti), 0);
+  EXPECT_EQ(v1.get(ti), 0);
+  EXPECT_EQ(v2.get(ti), 0);  // v0 evicted (cut)
+
+  tj.begin(Semantics::kClassic, 0);
+  v0.set(tj, 7);  // touches only the evicted entry
+  tj.commit();
+
+  EXPECT_EQ(v3.get(ti), 0);  // validates {v1, v2}: still fine
+  ti.commit();
+}
+
+TEST(StmElastic, ReadOnlyElasticCommitIsTrivial) {
+  stm::TVar<long> a{1};
+  stm::TVar<long> b{2};
+  auto& rt = stm::Runtime::instance();
+  stm::Tx& ti = rt.tx_for_slot(50);
+  stm::Tx& tj = rt.tx_for_slot(51);
+
+  ti.begin(Semantics::kElastic, 0);
+  EXPECT_EQ(a.get(ti), 1);
+  EXPECT_EQ(b.get(ti), 2);
+
+  tj.begin(Semantics::kClassic, 0);
+  a.set(tj, 10);
+  tj.commit();
+
+  ti.commit();  // nothing to validate: reads were mutually consistent
+}
+
+// After the first write the transaction is classic: a conflicting commit
+// on any location read since the transition must abort it.
+TEST(StmElastic, PostWritePhaseIsClassic) {
+  stm::TVar<long> a{0};
+  stm::TVar<long> b{0};
+  stm::TVar<long> c{0};
+  auto& rt = stm::Runtime::instance();
+  stm::Tx& ti = rt.tx_for_slot(50);
+  stm::Tx& tj = rt.tx_for_slot(51);
+
+  ti.begin(Semantics::kElastic, 0);
+  EXPECT_EQ(a.get(ti), 0);
+  b.set(ti, 1);             // transition: now classic
+  EXPECT_EQ(c.get(ti), 0);  // classic read, in the read set
+
+  tj.begin(Semantics::kClassic, 0);
+  c.set(tj, 9);
+  tj.commit();
+
+  const AbortReason r = expect_abort(ti, [&](stm::Tx& tx) { tx.commit(); });
+  EXPECT_EQ(r, AbortReason::kCommitValidation);
+}
+
+TEST(StmElastic, WindowCapacityIsConfigurable) {
+  ConfigGuard cfg;
+  stm::Runtime::instance().config.elastic_window = 4;
+
+  stm::TVar<long> v[5];
+  auto& rt = stm::Runtime::instance();
+  stm::Tx& ti = rt.tx_for_slot(50);
+  stm::Tx& tj = rt.tx_for_slot(51);
+
+  ti.begin(Semantics::kElastic, 0);
+  for (auto& x : v) EXPECT_EQ(x.get(ti), 0);  // 5 reads, window keeps 4
+
+  tj.begin(Semantics::kClassic, 0);
+  // v[2] survives the next eviction (only v[1], the oldest windowed
+  // entry, is cut when the 6th read arrives), so this write must abort.
+  v[2].set(tj, 1);
+  tj.commit();
+
+  stm::TVar<long> extra{0};
+  const AbortReason r =
+      expect_abort(ti, [&](stm::Tx& tx) { (void)extra.get(tx); });
+  EXPECT_EQ(r, AbortReason::kWindowInvalid);
+}
+
+// Two elastic list adds interleaved as in the paper's Sec. 4.2 closing
+// example commit together even though their low-level accesses do not
+// commute.
+TEST(StmElastic, ConcurrentListAddsBothCommit) {
+  for (std::uint64_t seed : {3u, 4u, 5u, 6u}) {
+    auto list = std::make_unique<ds::TxList>(
+        ds::TxList::Options{Semantics::kElastic, Semantics::kClassic});
+    for (long k : {10L, 20L, 30L, 40L}) ASSERT_TRUE(list->add(k));
+
+    std::atomic<int> ok{0};
+    test::run_random_sim(2, seed, [&](int id) {
+      if (list->add(id == 0 ? 15 : 35)) ++ok;
+    });
+    EXPECT_EQ(ok.load(), 2);
+    EXPECT_TRUE(list->contains(15));
+    EXPECT_TRUE(list->contains(35));
+    EXPECT_EQ(list->unsafe_size(), 6);
+    test::drain_memory();
+  }
+}
+
+// Elastic set operations against a per-key ground truth under the random
+// adversary, across seeds (property test).
+class ElasticListProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ElasticListProperty, MatchesPerKeyAccounting) {
+  const std::uint64_t seed = GetParam();
+  constexpr long kRange = 32;
+  constexpr int kThreads = 4;
+  constexpr int kOpsPerThread = 120;
+
+  auto list = std::make_unique<ds::TxList>(
+      ds::TxList::Options{Semantics::kElastic, Semantics::kClassic});
+  std::atomic<long> adds[kRange];
+  std::atomic<long> removes[kRange];
+  for (long k = 0; k < kRange; ++k) {
+    adds[k] = 0;
+    removes[k] = 0;
+  }
+
+  test::run_random_sim(kThreads, seed, [&](int id) {
+    std::uint64_t rng = seed + static_cast<std::uint64_t>(id) * 131 + 17;
+    auto next = [&rng] {
+      rng ^= rng << 13;
+      rng ^= rng >> 7;
+      rng ^= rng << 17;
+      return rng;
+    };
+    for (int i = 0; i < kOpsPerThread; ++i) {
+      const long k = static_cast<long>(next() % kRange);
+      switch (next() % 3) {
+        case 0:
+          if (list->add(k)) ++adds[k];
+          break;
+        case 1:
+          if (list->remove(k)) ++removes[k];
+          break;
+        default:
+          list->contains(k);
+      }
+    }
+  });
+
+  long expect_size = 0;
+  for (long k = 0; k < kRange; ++k) {
+    const long net = adds[k].load() - removes[k].load();
+    ASSERT_TRUE(net == 0 || net == 1)
+        << "key " << k << ": successful adds/removes must alternate";
+    EXPECT_EQ(list->contains(k), net == 1) << "key " << k;
+    expect_size += net;
+  }
+  EXPECT_EQ(list->unsafe_size(), expect_size);
+  test::drain_memory();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ElasticListProperty,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8, 9, 10));

@@ -1,0 +1,139 @@
+// Irrevocable (inevitable) transactions: guaranteed single-attempt
+// commit, serialization against other updaters, token hygiene, and the
+// usage-error surface.
+#include <gtest/gtest.h>
+
+#include <atomic>
+
+#include "stm/stm.hpp"
+#include "test_util.hpp"
+
+using namespace demotx;
+using stm::Semantics;
+
+TEST(StmIrrevocable, CommitsOnTheFirstAttempt) {
+  stm::TVar<long> x{1};
+  int body_runs = 0;
+  stm::atomically_irrevocable([&](stm::Tx& tx) {
+    ++body_runs;
+    x.set(tx, x.get(tx) + 1);
+  });
+  EXPECT_EQ(body_runs, 1);
+  EXPECT_EQ(x.unsafe_load(), 2);
+  EXPECT_EQ(stm::Runtime::instance().irrevocable_owner(), -1)
+      << "token must be released after commit";
+}
+
+TEST(StmIrrevocable, NeverAbortsUnderHeavyContention) {
+  // One irrevocable thread does long read-modify-write transactions over
+  // all cells while seven classic threads hammer the same cells.  Every
+  // irrevocable body must run exactly once per transaction.
+  constexpr int kCells = 8;
+  std::vector<std::unique_ptr<stm::TVar<long>>> v;
+  for (int i = 0; i < kCells; ++i)
+    v.push_back(std::make_unique<stm::TVar<long>>(0));
+
+  std::atomic<long> body_runs{0};
+  std::atomic<long> irrevocable_commits{0};
+  test::run_rr_sim(8, [&](int id) {
+    if (id == 0) {
+      for (int i = 0; i < 25; ++i) {
+        stm::atomically_irrevocable([&](stm::Tx& tx) {
+          ++body_runs;
+          long sum = 0;
+          for (auto& c : v) sum += c->get(tx);
+          v[0]->set(tx, sum + 1);
+        });
+        ++irrevocable_commits;
+      }
+    } else {
+      for (int i = 0; i < 80; ++i) {
+        stm::atomically([&](stm::Tx& tx) {
+          const int c = (id + i) % kCells;
+          v[c]->set(tx, v[c]->get(tx) + 1);
+        });
+      }
+    }
+  });
+  EXPECT_EQ(body_runs.load(), irrevocable_commits.load())
+      << "an irrevocable body re-executed";
+  EXPECT_EQ(body_runs.load(), 25);
+}
+
+TEST(StmIrrevocable, OtherUpdatersStillMakeProgress) {
+  auto x = std::make_unique<stm::TVar<long>>(0);
+  test::run_rr_sim(4, [&](int id) {
+    for (int i = 0; i < 30; ++i) {
+      if (id == 0) {
+        stm::atomically_irrevocable(
+            [&](stm::Tx& tx) { x->set(tx, x->get(tx) + 1); });
+      } else {
+        stm::atomically([&](stm::Tx& tx) { x->set(tx, x->get(tx) + 1); });
+      }
+    }
+  });
+  EXPECT_EQ(x->unsafe_load(), 4 * 30);
+}
+
+TEST(StmIrrevocable, TwoIrrevocablesSerialize) {
+  auto x = std::make_unique<stm::TVar<long>>(0);
+  std::atomic<bool> overlap{false};
+  std::atomic<int> inside{0};
+  test::run_random_sim(3, /*seed=*/99, [&](int) {
+    for (int i = 0; i < 15; ++i) {
+      stm::atomically_irrevocable([&](stm::Tx& tx) {
+        if (inside.fetch_add(1) != 0) overlap.store(true);
+        x->set(tx, x->get(tx) + 1);
+        vt::access();  // widen the window
+        inside.fetch_sub(1);
+      });
+    }
+  });
+  EXPECT_FALSE(overlap.load());
+  EXPECT_EQ(x->unsafe_load(), 3 * 15);
+}
+
+TEST(StmIrrevocable, CannotNestInsideAnotherTransaction) {
+  stm::TVar<long> x{0};
+  EXPECT_THROW(stm::atomically([&](stm::Tx&) {
+                 stm::atomically_irrevocable(
+                     [&](stm::Tx& tx) { x.set(tx, 1); });
+               }),
+               stm::TxUsageError);
+  EXPECT_EQ(stm::Runtime::instance().irrevocable_owner(), -1);
+}
+
+TEST(StmIrrevocable, RetryInsideIsAUsageError) {
+  stm::TVar<long> x{0};
+  EXPECT_THROW(stm::atomically_irrevocable([&](stm::Tx& tx) {
+                 (void)x.get(tx);
+                 stm::retry(tx);
+               }),
+               stm::TxUsageError);
+  EXPECT_EQ(stm::Runtime::instance().irrevocable_owner(), -1)
+      << "token leaked after the failed retry";
+}
+
+TEST(StmIrrevocable, UserExceptionReleasesTheToken) {
+  stm::TVar<long> x{5};
+  EXPECT_THROW(stm::atomically_irrevocable([&](stm::Tx& tx) {
+                 x.set(tx, 9);
+                 throw std::runtime_error("side effect failed");
+               }),
+               std::runtime_error);
+  EXPECT_EQ(x.unsafe_load(), 5);
+  EXPECT_EQ(stm::Runtime::instance().irrevocable_owner(), -1);
+  // The runtime is still fully usable afterwards.
+  stm::atomically([&](stm::Tx& tx) { x.set(tx, 6); });
+  EXPECT_EQ(x.unsafe_load(), 6);
+}
+
+TEST(StmIrrevocable, CannotBeKilledByContentionManagers) {
+  auto& rt = stm::Runtime::instance();
+  stm::Tx& tx = rt.tx_for_slot(90);
+  tx.begin(Semantics::kClassic, 0, /*irrevocable=*/true);
+  const std::uint64_t w = tx.status_word();
+  EXPECT_FALSE(tx.try_kill(w));
+  tx.commit();
+  EXPECT_EQ(rt.irrevocable_owner(), -1);
+}

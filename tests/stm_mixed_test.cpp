@@ -1,0 +1,252 @@
+// Mixing semantics (paper Sec. 5): transactions of different semantics
+// run concurrently over the same data without breaking each other;
+// composition via nesting; the early-release composition bug the paper
+// warns about (Sec. 4.1), demonstrated mechanically.
+#include <gtest/gtest.h>
+
+#include "ds/tx_list.hpp"
+#include "stm/stm.hpp"
+#include "test_util.hpp"
+
+using namespace demotx;
+using stm::Semantics;
+
+TEST(StmMixed, AllThreeSemanticsConcurrently) {
+  // Elastic updaters + classic transfers + snapshot auditors on shared
+  // data; every semantics' own guarantee must hold simultaneously.
+  constexpr long kTotal = 1000;
+  for (std::uint64_t seed : {31u, 32u, 33u, 34u, 35u}) {
+    auto list = std::make_unique<ds::TxList>(
+        ds::TxList::Options{Semantics::kElastic, Semantics::kSnapshot});
+    auto a = std::make_unique<stm::TVar<long>>(kTotal / 2);
+    auto b = std::make_unique<stm::TVar<long>>(kTotal / 2);
+    for (long k = 0; k < 20; ++k) ASSERT_TRUE(list->add(k * 3));
+
+    std::atomic<bool> bad_sum{false};
+    std::atomic<bool> bad_size{false};
+    test::run_random_sim(6, seed, [&](int id) {
+      std::uint64_t rng = seed * 31 + static_cast<std::uint64_t>(id) + 1;
+      auto next = [&rng] {
+        rng ^= rng << 13;
+        rng ^= rng >> 7;
+        rng ^= rng << 17;
+        return rng;
+      };
+      for (int i = 0; i < 40; ++i) {
+        switch (id % 3) {
+          case 0: {  // elastic set updates
+            const long k = static_cast<long>(next() % 90);
+            if ((next() & 1) != 0) {
+              list->add(k);
+            } else {
+              list->remove(k);
+            }
+            break;
+          }
+          case 1: {  // classic transfer between a and b
+            const long amt = static_cast<long>(next() % 10);
+            stm::atomically([&](stm::Tx& tx) {
+              a->set(tx, a->get(tx) - amt);
+              b->set(tx, b->get(tx) + amt);
+            });
+            break;
+          }
+          default: {  // snapshot audit of everything at once
+            stm::atomically(Semantics::kSnapshot, [&](stm::Tx& tx) {
+              if (a->get(tx) + b->get(tx) != kTotal) bad_sum.store(true);
+            });
+            const long s = list->size();
+            if (s < 0 || s > 90) bad_size.store(true);
+            break;
+          }
+        }
+      }
+    });
+    EXPECT_FALSE(bad_sum.load()) << "seed " << seed;
+    EXPECT_FALSE(bad_size.load()) << "seed " << seed;
+    EXPECT_EQ(a->unsafe_load() + b->unsafe_load(), kTotal);
+    test::drain_memory();
+  }
+}
+
+TEST(StmMixed, ComposedRenameIsAtomic) {
+  // The paper's Fig. 3: Bob composes Alice's remove and add into rename.
+  // Concurrent renames of the same key in opposite directions must never
+  // lose or duplicate the file.
+  for (std::uint64_t seed : {41u, 42u, 43u, 44u}) {
+    auto d1 = std::make_unique<ds::TxList>(
+        ds::TxList::Options{Semantics::kElastic, Semantics::kClassic});
+    auto d2 = std::make_unique<ds::TxList>(
+        ds::TxList::Options{Semantics::kElastic, Semantics::kClassic});
+    ASSERT_TRUE(d1->add(7));
+
+    auto rename = [](ds::TxList& from, ds::TxList& to, long key) {
+      return stm::atomically([&](stm::Tx&) {
+        if (!from.remove(key)) return false;  // nested joins, composable
+        to.add(key);
+        return true;
+      });
+    };
+
+    std::atomic<int> moved{0};
+    test::run_random_sim(2, seed, [&](int id) {
+      const bool ok = (id == 0) ? rename(*d1, *d2, 7) : rename(*d2, *d1, 7);
+      if (ok) ++moved;
+    });
+    // Exactly one rename can win the race on key 7's current home; the
+    // other either moved it back (both succeed, net zero or full cycle)
+    // or found it absent.  In every outcome the key exists exactly once.
+    const int total = static_cast<int>(d1->unsafe_size() + d2->unsafe_size());
+    EXPECT_EQ(total, 1) << "seed " << seed << " lost or duplicated the key";
+    EXPECT_GE(moved.load(), 1);
+    test::drain_memory();
+  }
+}
+
+TEST(StmMixed, AddIfAbsentComposesFromElasticPieces) {
+  // Sec. 4.1/4.2: Bob composes Alice's elastic contains+add into a classic
+  // addIfAbsent(x, y): insert x only if y is absent.  Two concurrent
+  // addIfAbsent(x,y) / addIfAbsent(y,x) must never insert both.
+  for (std::uint64_t seed = 1; seed <= 12; ++seed) {
+    auto list = std::make_unique<ds::TxList>(
+        ds::TxList::Options{Semantics::kElastic, Semantics::kClassic});
+
+    auto add_if_absent = [&](long x, long y) {
+      return stm::atomically(Semantics::kClassic, [&](stm::Tx&) {
+        if (list->contains(y)) return false;  // Alice's elastic contains
+        return list->add(x);                  // Alice's elastic add
+      });
+    };
+
+    test::run_random_sim(2, seed, [&](int id) {
+      if (id == 0) {
+        add_if_absent(10, 20);
+      } else {
+        add_if_absent(20, 10);
+      }
+    });
+    const bool has10 = list->contains(10);
+    const bool has20 = list->contains(20);
+    EXPECT_FALSE(has10 && has20)
+        << "seed " << seed
+        << ": classic composition must forbid inserting both";
+    EXPECT_TRUE(has10 || has20) << "seed " << seed;
+    test::drain_memory();
+  }
+}
+
+TEST(StmMixed, EarlyReleaseBreaksComposition) {
+  // The same addIfAbsent built on *early release* (the transaction
+  // forgets its read of y) is broken: under at least one schedule both
+  // keys get inserted.  This is the paper's argument for elastic
+  // transactions over early release.
+  stm::TVar<long> present10{0};
+  stm::TVar<long> present20{0};
+
+  auto& rt = stm::Runtime::instance();
+  stm::Tx& t1 = rt.tx_for_slot(70);
+  stm::Tx& t2 = rt.tx_for_slot(71);
+
+  // t1: addIfAbsent(10, 20) with early release of the "contains(20)" read.
+  t1.begin(Semantics::kClassic, 0);
+  EXPECT_EQ(present20.get(t1), 0);  // 20 absent
+  present20.release(t1);            // expert "optimization"
+  present10.set(t1, 1);             // insert 10
+
+  // t2: addIfAbsent(20, 10), same trick, interleaved before t1 commits.
+  t2.begin(Semantics::kClassic, 0);
+  EXPECT_EQ(present10.get(t2), 0);
+  present10.release(t2);
+  present20.set(t2, 1);
+
+  t1.commit();
+  t2.commit();  // both commit: the composed operation is NOT atomic
+
+  EXPECT_EQ(present10.unsafe_load(), 1);
+  EXPECT_EQ(present20.unsafe_load(), 1)
+      << "early release was expected to break atomicity here";
+}
+
+TEST(StmMixed, WithoutEarlyReleaseTheSameScheduleIsRejected) {
+  stm::TVar<long> present10{0};
+  stm::TVar<long> present20{0};
+
+  auto& rt = stm::Runtime::instance();
+  stm::Tx& t1 = rt.tx_for_slot(70);
+  stm::Tx& t2 = rt.tx_for_slot(71);
+
+  t1.begin(Semantics::kClassic, 0);
+  EXPECT_EQ(present20.get(t1), 0);
+  present10.set(t1, 1);
+
+  t2.begin(Semantics::kClassic, 0);
+  EXPECT_EQ(present10.get(t2), 0);
+  present20.set(t2, 1);
+
+  t1.commit();
+  bool aborted = false;
+  try {
+    t2.commit();
+  } catch (const stm::AbortTx& a) {
+    aborted = true;
+    t2.rollback(a.reason);
+  }
+  EXPECT_TRUE(aborted) << "classic validation must reject the second commit";
+  EXPECT_EQ(present20.unsafe_load(), 0);
+}
+
+TEST(StmMixed, ClassicNestedInElasticStrengthens) {
+  // An elastic transaction that calls a classic component must stop
+  // cutting: afterwards, its earlier reads stay validated to the end.
+  stm::TVar<long> a{0};
+  stm::TVar<long> b{0};
+  stm::TVar<long> c{0};
+
+  auto& rt = stm::Runtime::instance();
+  stm::Tx& ti = rt.tx_for_slot(70);
+  stm::Tx& tj = rt.tx_for_slot(71);
+
+  ti.begin(Semantics::kElastic, 0);
+  EXPECT_EQ(a.get(ti), 0);
+  ti.strengthen_to_classic();  // what nested atomically(kClassic) triggers
+  EXPECT_FALSE(ti.in_elastic_phase());
+  EXPECT_EQ(b.get(ti), 0);
+
+  tj.begin(Semantics::kClassic, 0);
+  a.set(tj, 5);  // would have been cut away under elastic reads
+  tj.commit();
+
+  EXPECT_EQ(c.get(ti), 0);  // classic read; read set revalidates a → abort?
+  c.set(ti, 1);
+  bool aborted = false;
+  try {
+    ti.commit();
+  } catch (const stm::AbortTx& x) {
+    aborted = true;
+    ti.rollback(x.reason);
+  }
+  EXPECT_TRUE(aborted)
+      << "after strengthening, the early read of a must be validated";
+}
+
+TEST(StmMixed, SnapshotNestedInClassicIsAllowed) {
+  stm::TVar<long> x{3};
+  const long v = stm::atomically([&](stm::Tx&) {
+    return stm::atomically(Semantics::kSnapshot,
+                           [&](stm::Tx& tx) { return x.get(tx); });
+  });
+  EXPECT_EQ(v, 3);
+}
+
+TEST(StmMixed, ElasticNestedInClassicRunsClassically) {
+  stm::TVar<long> x{1};
+  stm::atomically([&](stm::Tx& outer) {
+    EXPECT_EQ(outer.semantics(), Semantics::kClassic);
+    stm::atomically(Semantics::kElastic, [&](stm::Tx& inner) {
+      EXPECT_EQ(&inner, &outer);
+      EXPECT_EQ(inner.semantics(), Semantics::kClassic);
+      x.set(inner, 2);
+    });
+  });
+  EXPECT_EQ(x.unsafe_load(), 2);
+}

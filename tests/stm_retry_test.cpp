@@ -1,0 +1,248 @@
+// Composable blocking: stm::retry() and stm::or_else() (Harris et al.,
+// the paper's citation [30]) — condition synchronization without
+// condition variables, with branch rollback and union-of-reads wake-up.
+#include <gtest/gtest.h>
+
+#include <atomic>
+
+#include "ds/tx_queue.hpp"
+#include "stm/stm.hpp"
+#include "test_util.hpp"
+
+using namespace demotx;
+using stm::Semantics;
+
+TEST(StmRetry, BlocksUntilAWatchedLocationChanges) {
+  auto flag = std::make_unique<stm::TVar<long>>(0);
+  std::atomic<long> observed{-1};
+  std::atomic<int> attempts{0};
+
+  vt::Scheduler sched;
+  sched.spawn([&](int) {  // consumer: waits for the flag
+    const long v = stm::atomically([&](stm::Tx& tx) {
+      ++attempts;
+      const long f = flag->get(tx);
+      if (f == 0) stm::retry(tx);
+      return f;
+    });
+    observed = v;
+  });
+  sched.spawn([&](int) {  // producer: sets it after a while
+    for (int i = 0; i < 200; ++i) vt::access();
+    stm::atomically([&](stm::Tx& tx) { flag->set(tx, 42); });
+  });
+  sched.run();
+
+  EXPECT_EQ(observed.load(), 42);
+  EXPECT_GE(attempts.load(), 2) << "must have parked at least once";
+}
+
+TEST(StmRetry, RetryWithNothingReadIsAUsageError) {
+  EXPECT_THROW(stm::atomically([&](stm::Tx& tx) { stm::retry(tx); }),
+               stm::TxUsageError);
+}
+
+TEST(StmRetry, OrElseTakesTheFirstBranchWhenItSucceeds) {
+  stm::TVar<long> x{7};
+  const long v = stm::atomically([&](stm::Tx& tx) {
+    return stm::or_else(
+        tx, [&](stm::Tx& t) { return x.get(t); },
+        [&](stm::Tx&) { return -1L; });
+  });
+  EXPECT_EQ(v, 7);
+}
+
+TEST(StmRetry, OrElseFallsToTheSecondBranchOnRetry) {
+  stm::TVar<long> empty{0};
+  stm::TVar<long> fallback{99};
+  const long v = stm::atomically([&](stm::Tx& tx) {
+    return stm::or_else(
+        tx,
+        [&](stm::Tx& t) -> long {
+          if (empty.get(t) == 0) stm::retry(t);
+          return empty.get(t);
+        },
+        [&](stm::Tx& t) { return fallback.get(t); });
+  });
+  EXPECT_EQ(v, 99);
+}
+
+TEST(StmRetry, OrElseUndoesTheFirstBranchsWrites) {
+  stm::TVar<long> a{1};
+  stm::TVar<long> b{2};
+  stm::atomically([&](stm::Tx& tx) {
+    stm::or_else(
+        tx,
+        [&](stm::Tx& t) {
+          a.set(t, 100);  // must be rolled back
+          b.set(t, 200);  // must be rolled back
+          stm::retry(t);
+        },
+        [&](stm::Tx& t) { b.set(t, 20); });
+  });
+  EXPECT_EQ(a.unsafe_load(), 1) << "first branch's write leaked";
+  EXPECT_EQ(b.unsafe_load(), 20);
+}
+
+TEST(StmRetry, OrElseUndoesOverwritesOfPreBranchWrites) {
+  stm::TVar<long> x{1};
+  stm::atomically([&](stm::Tx& tx) {
+    x.set(tx, 10);  // pre-branch buffered write
+    stm::or_else(
+        tx,
+        [&](stm::Tx& t) {
+          x.set(t, 999);  // overwrites the buffer; must be undone
+          stm::retry(t);
+        },
+        [&](stm::Tx& t) { EXPECT_EQ(x.get(t), 10); });
+  });
+  EXPECT_EQ(x.unsafe_load(), 10);
+}
+
+namespace {
+struct CountedThing {
+  static inline int live = 0;
+  CountedThing() { ++live; }
+  ~CountedThing() { --live; }
+};
+}  // namespace
+
+TEST(StmRetry, OrElseDeletesBranchAllocations) {
+  stm::TVar<long> dummy{0};
+  const int live0 = CountedThing::live;
+  stm::atomically([&](stm::Tx& tx) {
+    (void)dummy.get(tx);
+    stm::or_else(
+        tx,
+        [&](stm::Tx& t) {
+          t.alloc<CountedThing>();
+          stm::retry(t);
+        },
+        [&](stm::Tx&) {});
+  });
+  EXPECT_EQ(CountedThing::live, live0);
+}
+
+TEST(StmRetry, NestedOrElseComposesAlternatives) {
+  ds::TxQueue q1, q2, q3;
+  q3.enqueue(333);
+  const long v = stm::atomically([&](stm::Tx& tx) {
+    return stm::or_else(
+        tx, [&](stm::Tx& t) { return q1.dequeue_or_retry(t); },
+        [&](stm::Tx& t) {
+          return stm::or_else(
+              t, [&](stm::Tx& t2) { return q2.dequeue_or_retry(t2); },
+              [&](stm::Tx& t2) { return q3.dequeue_or_retry(t2); });
+        });
+  });
+  EXPECT_EQ(v, 333);
+  test::drain_memory();
+}
+
+TEST(StmRetry, BothBranchesRetryWaitsOnTheUnion) {
+  // Both branches block; the producer feeds only the FIRST branch's
+  // source.  If the union of reads were not watched, the consumer would
+  // sleep past the scheduler's brake.
+  auto q1 = std::make_unique<ds::TxQueue>();
+  auto q2 = std::make_unique<ds::TxQueue>();
+  std::atomic<long> got{-1};
+
+  vt::Scheduler::Options opts;
+  opts.max_cycles = 4'000'000;  // brake in case the wake-up is broken
+  vt::Scheduler sched(opts);
+  sched.spawn([&](int) {
+    got = stm::atomically([&](stm::Tx& tx) {
+      return stm::or_else(
+          tx, [&](stm::Tx& t) { return q1->dequeue_or_retry(t); },
+          [&](stm::Tx& t) { return q2->dequeue_or_retry(t); });
+    });
+  });
+  sched.spawn([&](int) {
+    for (int i = 0; i < 300; ++i) vt::access();
+    q1->enqueue(11);
+  });
+  sched.run();
+  EXPECT_FALSE(sched.hit_cycle_limit());
+  EXPECT_EQ(got.load(), 11);
+  test::drain_memory();
+}
+
+TEST(StmRetry, RetryInsideNestedTransactionParksTheWholeFlat) {
+  auto flag = std::make_unique<stm::TVar<long>>(0);
+  std::atomic<long> result{-1};
+  vt::Scheduler sched;
+  sched.spawn([&](int) {
+    result = stm::atomically([&](stm::Tx& tx) {
+      // Nested component that blocks: the flat transaction parks.
+      return stm::atomically([&](stm::Tx& inner) {
+        const long f = flag->get(inner);
+        if (f == 0) stm::retry(inner);
+        return f;
+      });
+    });
+  });
+  sched.spawn([&](int) {
+    for (int i = 0; i < 100; ++i) vt::access();
+    stm::atomically([&](stm::Tx& tx) { flag->set(tx, 5); });
+  });
+  sched.run();
+  EXPECT_EQ(result.load(), 5);
+}
+
+TEST(StmRetry, ElasticTransactionsCanRetryOnTheWindow) {
+  auto flag = std::make_unique<stm::TVar<long>>(0);
+  std::atomic<long> result{-1};
+  vt::Scheduler sched;
+  sched.spawn([&](int) {
+    result = stm::atomically(Semantics::kElastic, [&](stm::Tx& tx) {
+      const long f = flag->get(tx);
+      if (f == 0) stm::retry(tx);  // watch set = the elastic window
+      return f;
+    });
+  });
+  sched.spawn([&](int) {
+    for (int i = 0; i < 100; ++i) vt::access();
+    stm::atomically([&](stm::Tx& tx) { flag->set(tx, 9); });
+  });
+  sched.run();
+  EXPECT_EQ(result.load(), 9);
+}
+
+TEST(StmRetry, ProducerConsumerPipelineLosesNothing) {
+  for (std::uint64_t seed : {71u, 72u, 73u}) {
+    auto q = std::make_unique<ds::TxQueue>();
+    constexpr int kItems = 60;
+    std::atomic<long> sum{0};
+    std::atomic<int> taken{0};
+
+    vt::Scheduler::Options opts;
+    opts.policy = vt::Scheduler::Policy::kRandom;
+    opts.seed = seed;
+    vt::Scheduler sched(opts);
+    for (int p = 0; p < 2; ++p) {
+      sched.spawn([&, p](int) {
+        for (int i = 0; i < kItems / 2; ++i)
+          q->enqueue(p * 1000 + i);
+      });
+    }
+    for (int c = 0; c < 3; ++c) {
+      sched.spawn([&](int) {
+        // Each consumer takes a fixed share; blocking dequeue keeps them
+        // correct even when they outrun the producers.
+        for (int i = 0; i < kItems / 3; ++i) {
+          const long v = stm::atomically(
+              [&](stm::Tx& tx) { return q->dequeue_or_retry(tx); });
+          sum += v;
+          ++taken;
+        }
+      });
+    }
+    sched.run();
+    EXPECT_EQ(taken.load(), kItems) << "seed " << seed;
+    long expect = 0;
+    for (int p = 0; p < 2; ++p)
+      for (int i = 0; i < kItems / 2; ++i) expect += p * 1000 + i;
+    EXPECT_EQ(sum.load(), expect) << "seed " << seed;
+    test::drain_memory();
+  }
+}

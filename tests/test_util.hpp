@@ -1,0 +1,100 @@
+// Shared helpers for the demotx test suite.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ds/tx_hashset.hpp"
+#include "ds/tx_list.hpp"
+#include "ds/tx_bst.hpp"
+#include "ds/tx_skiplist.hpp"
+#include "mem/epoch.hpp"
+#include "stm/stm.hpp"
+#include "sync/coarse_list.hpp"
+#include "sync/cow_array_set.hpp"
+#include "sync/hoh_list.hpp"
+#include "sync/lazy_list.hpp"
+#include "sync/lockfree_list.hpp"
+#include "sync/seq_list.hpp"
+#include "vt/scheduler.hpp"
+
+namespace demotx::test {
+
+// Runs fn on `threads` logical threads under the seeded random-interleaving
+// scheduler — a deterministic concurrency adversary.
+inline std::uint64_t run_random_sim(int threads, std::uint64_t seed,
+                                    std::function<void(int)> fn,
+                                    std::uint64_t max_cycles = 80'000'000) {
+  vt::Scheduler::Options opts;
+  opts.policy = vt::Scheduler::Policy::kRandom;
+  opts.seed = seed;
+  opts.max_cycles = max_cycles;
+  return vt::run_sim(threads, std::move(fn), opts);
+}
+
+// Round-robin (fair) simulation.
+inline std::uint64_t run_rr_sim(int threads, std::function<void(int)> fn,
+                                std::uint64_t max_cycles = 80'000'000) {
+  vt::Scheduler::Options opts;
+  opts.policy = vt::Scheduler::Policy::kRoundRobin;
+  opts.max_cycles = max_cycles;
+  return vt::run_sim(threads, std::move(fn), opts);
+}
+
+// Quiesce reclamation between tests so leak checkers stay happy.
+inline void drain_memory() { mem::EpochManager::instance().drain(); }
+
+// Factory registry covering every set implementation, for parameterized
+// suites that must hold for all of them.
+struct SetFactory {
+  std::string label;
+  std::function<std::unique_ptr<ISet>()> make;
+};
+
+inline std::vector<SetFactory> all_set_factories() {
+  using stm::Semantics;
+  std::vector<SetFactory> f;
+  f.push_back({"seq", [] { return std::make_unique<sync::SeqList>(); }});
+  f.push_back({"coarse", [] { return std::make_unique<sync::CoarseList>(); }});
+  f.push_back({"hoh", [] { return std::make_unique<sync::HohList>(); }});
+  f.push_back({"lazy", [] { return std::make_unique<sync::LazyList>(); }});
+  f.push_back(
+      {"lockfree-ebr", [] { return std::make_unique<sync::LockFreeList>(); }});
+  f.push_back({"lockfree-hp",
+               [] { return std::make_unique<sync::LockFreeListHp>(); }});
+  f.push_back({"cow", [] { return std::make_unique<sync::CowArraySet>(); }});
+  f.push_back({"tx-classic", [] {
+                 return std::make_unique<ds::TxList>(ds::TxList::Options{
+                     Semantics::kClassic, Semantics::kClassic});
+               }});
+  f.push_back({"tx-elastic", [] {
+                 return std::make_unique<ds::TxList>(ds::TxList::Options{
+                     Semantics::kElastic, Semantics::kClassic});
+               }});
+  f.push_back({"tx-mixed", [] {
+                 return std::make_unique<ds::TxList>(ds::TxList::Options{
+                     Semantics::kElastic, Semantics::kSnapshot});
+               }});
+  f.push_back({"tx-hashset", [] {
+                 return std::make_unique<ds::TxHashSet>();
+               }});
+  f.push_back({"tx-skiplist", [] {
+                 return std::make_unique<ds::TxSkipList>();
+               }});
+  f.push_back({"tx-bst", [] { return std::make_unique<ds::TxBst>(); }});
+  return f;
+}
+
+// Concurrent implementations only (sequential list excluded).
+inline std::vector<SetFactory> concurrent_set_factories() {
+  auto f = all_set_factories();
+  f.erase(f.begin());  // "seq"
+  return f;
+}
+
+}  // namespace demotx::test
