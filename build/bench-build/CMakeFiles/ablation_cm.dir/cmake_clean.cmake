@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_cm"
+  "../bench/ablation_cm.pdb"
+  "CMakeFiles/ablation_cm.dir/ablation_cm.cpp.o"
+  "CMakeFiles/ablation_cm.dir/ablation_cm.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_cm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_hotspot"
+  "../bench/ablation_hotspot.pdb"
+  "CMakeFiles/ablation_hotspot.dir/ablation_hotspot.cpp.o"
+  "CMakeFiles/ablation_hotspot.dir/ablation_hotspot.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_hotspot.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

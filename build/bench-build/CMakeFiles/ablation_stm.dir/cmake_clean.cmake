@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_stm"
+  "../bench/ablation_stm.pdb"
+  "CMakeFiles/ablation_stm.dir/ablation_stm.cpp.o"
+  "CMakeFiles/ablation_stm.dir/ablation_stm.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_stm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bank_bench"
+  "../bench/bank_bench.pdb"
+  "CMakeFiles/bank_bench.dir/bank_bench.cpp.o"
+  "CMakeFiles/bank_bench.dir/bank_bench.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bank_bench.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig4_schedules"
+  "../bench/fig4_schedules.pdb"
+  "CMakeFiles/fig4_schedules.dir/fig4_schedules.cpp.o"
+  "CMakeFiles/fig4_schedules.dir/fig4_schedules.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_schedules.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig5_classic_vs_collection"
+  "../bench/fig5_classic_vs_collection.pdb"
+  "CMakeFiles/fig5_classic_vs_collection.dir/fig5_classic_vs_collection.cpp.o"
+  "CMakeFiles/fig5_classic_vs_collection.dir/fig5_classic_vs_collection.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_classic_vs_collection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig5_classic_vs_collection.
+# This may be replaced when dependencies are built.

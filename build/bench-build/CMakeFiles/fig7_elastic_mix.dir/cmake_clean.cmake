@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig7_elastic_mix"
+  "../bench/fig7_elastic_mix.pdb"
+  "CMakeFiles/fig7_elastic_mix.dir/fig7_elastic_mix.cpp.o"
+  "CMakeFiles/fig7_elastic_mix.dir/fig7_elastic_mix.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_elastic_mix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig7_elastic_mix.
+# This may be replaced when dependencies are built.

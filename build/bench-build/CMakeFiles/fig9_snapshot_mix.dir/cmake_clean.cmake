@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig9_snapshot_mix"
+  "../bench/fig9_snapshot_mix.pdb"
+  "CMakeFiles/fig9_snapshot_mix.dir/fig9_snapshot_mix.cpp.o"
+  "CMakeFiles/fig9_snapshot_mix.dir/fig9_snapshot_mix.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_snapshot_mix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/hybrid_htm"
+  "../bench/hybrid_htm.pdb"
+  "CMakeFiles/hybrid_htm.dir/hybrid_htm.cpp.o"
+  "CMakeFiles/hybrid_htm.dir/hybrid_htm.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hybrid_htm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

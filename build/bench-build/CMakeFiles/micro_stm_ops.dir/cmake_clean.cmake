@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/micro_stm_ops"
+  "../bench/micro_stm_ops.pdb"
+  "CMakeFiles/micro_stm_ops.dir/micro_stm_ops.cpp.o"
+  "CMakeFiles/micro_stm_ops.dir/micro_stm_ops.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_stm_ops.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/collection_stats.dir/collection_stats.cpp.o"
+  "CMakeFiles/collection_stats.dir/collection_stats.cpp.o.d"
+  "collection_stats"
+  "collection_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/collection_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

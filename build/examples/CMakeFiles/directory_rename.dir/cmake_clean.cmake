@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/directory_rename.dir/directory_rename.cpp.o"
+  "CMakeFiles/directory_rename.dir/directory_rename.cpp.o.d"
+  "directory_rename"
+  "directory_rename.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/directory_rename.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,48 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  "ASM"
+  )
+# The set of files for implicit dependencies of each language:
+set(CMAKE_DEPENDS_CHECK_ASM
+  "/root/repo/src/vt/fiber_switch_x86_64.S" "/root/repo/build/src/CMakeFiles/demotx.dir/vt/fiber_switch_x86_64.S.o"
+  )
+set(CMAKE_ASM_COMPILER_ID "GNU")
+
+# The include file search paths:
+set(CMAKE_ASM_TARGET_INCLUDE_PATH
+  "/root/repo/src"
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/harness/driver.cpp" "src/CMakeFiles/demotx.dir/harness/driver.cpp.o" "gcc" "src/CMakeFiles/demotx.dir/harness/driver.cpp.o.d"
+  "/root/repo/src/harness/report.cpp" "src/CMakeFiles/demotx.dir/harness/report.cpp.o" "gcc" "src/CMakeFiles/demotx.dir/harness/report.cpp.o.d"
+  "/root/repo/src/harness/workload.cpp" "src/CMakeFiles/demotx.dir/harness/workload.cpp.o" "gcc" "src/CMakeFiles/demotx.dir/harness/workload.cpp.o.d"
+  "/root/repo/src/mem/epoch.cpp" "src/CMakeFiles/demotx.dir/mem/epoch.cpp.o" "gcc" "src/CMakeFiles/demotx.dir/mem/epoch.cpp.o.d"
+  "/root/repo/src/mem/hazard.cpp" "src/CMakeFiles/demotx.dir/mem/hazard.cpp.o" "gcc" "src/CMakeFiles/demotx.dir/mem/hazard.cpp.o.d"
+  "/root/repo/src/sched/atomicity.cpp" "src/CMakeFiles/demotx.dir/sched/atomicity.cpp.o" "gcc" "src/CMakeFiles/demotx.dir/sched/atomicity.cpp.o.d"
+  "/root/repo/src/sched/checkers.cpp" "src/CMakeFiles/demotx.dir/sched/checkers.cpp.o" "gcc" "src/CMakeFiles/demotx.dir/sched/checkers.cpp.o.d"
+  "/root/repo/src/sched/enumerate.cpp" "src/CMakeFiles/demotx.dir/sched/enumerate.cpp.o" "gcc" "src/CMakeFiles/demotx.dir/sched/enumerate.cpp.o.d"
+  "/root/repo/src/sched/history.cpp" "src/CMakeFiles/demotx.dir/sched/history.cpp.o" "gcc" "src/CMakeFiles/demotx.dir/sched/history.cpp.o.d"
+  "/root/repo/src/stm/classic.cpp" "src/CMakeFiles/demotx.dir/stm/classic.cpp.o" "gcc" "src/CMakeFiles/demotx.dir/stm/classic.cpp.o.d"
+  "/root/repo/src/stm/cm/manager.cpp" "src/CMakeFiles/demotx.dir/stm/cm/manager.cpp.o" "gcc" "src/CMakeFiles/demotx.dir/stm/cm/manager.cpp.o.d"
+  "/root/repo/src/stm/elastic.cpp" "src/CMakeFiles/demotx.dir/stm/elastic.cpp.o" "gcc" "src/CMakeFiles/demotx.dir/stm/elastic.cpp.o.d"
+  "/root/repo/src/stm/runtime.cpp" "src/CMakeFiles/demotx.dir/stm/runtime.cpp.o" "gcc" "src/CMakeFiles/demotx.dir/stm/runtime.cpp.o.d"
+  "/root/repo/src/stm/snapshot.cpp" "src/CMakeFiles/demotx.dir/stm/snapshot.cpp.o" "gcc" "src/CMakeFiles/demotx.dir/stm/snapshot.cpp.o.d"
+  "/root/repo/src/stm/stats.cpp" "src/CMakeFiles/demotx.dir/stm/stats.cpp.o" "gcc" "src/CMakeFiles/demotx.dir/stm/stats.cpp.o.d"
+  "/root/repo/src/stm/txdesc.cpp" "src/CMakeFiles/demotx.dir/stm/txdesc.cpp.o" "gcc" "src/CMakeFiles/demotx.dir/stm/txdesc.cpp.o.d"
+  "/root/repo/src/vt/context.cpp" "src/CMakeFiles/demotx.dir/vt/context.cpp.o" "gcc" "src/CMakeFiles/demotx.dir/vt/context.cpp.o.d"
+  "/root/repo/src/vt/fiber.cpp" "src/CMakeFiles/demotx.dir/vt/fiber.cpp.o" "gcc" "src/CMakeFiles/demotx.dir/vt/fiber.cpp.o.d"
+  "/root/repo/src/vt/scheduler.cpp" "src/CMakeFiles/demotx.dir/vt/scheduler.cpp.o" "gcc" "src/CMakeFiles/demotx.dir/vt/scheduler.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

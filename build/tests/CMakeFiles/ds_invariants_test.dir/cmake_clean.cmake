@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ds_invariants_test.dir/ds_invariants_test.cpp.o"
+  "CMakeFiles/ds_invariants_test.dir/ds_invariants_test.cpp.o.d"
+  "ds_invariants_test"
+  "ds_invariants_test.pdb"
+  "ds_invariants_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ds_invariants_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

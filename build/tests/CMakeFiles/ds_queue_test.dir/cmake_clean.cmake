@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ds_queue_test.dir/ds_queue_test.cpp.o"
+  "CMakeFiles/ds_queue_test.dir/ds_queue_test.cpp.o.d"
+  "ds_queue_test"
+  "ds_queue_test.pdb"
+  "ds_queue_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ds_queue_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

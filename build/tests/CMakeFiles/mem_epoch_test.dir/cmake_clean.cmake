@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mem_epoch_test.dir/mem_epoch_test.cpp.o"
+  "CMakeFiles/mem_epoch_test.dir/mem_epoch_test.cpp.o.d"
+  "mem_epoch_test"
+  "mem_epoch_test.pdb"
+  "mem_epoch_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mem_epoch_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mem_hazard_test.dir/mem_hazard_test.cpp.o"
+  "CMakeFiles/mem_hazard_test.dir/mem_hazard_test.cpp.o.d"
+  "mem_hazard_test"
+  "mem_hazard_test.pdb"
+  "mem_hazard_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mem_hazard_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

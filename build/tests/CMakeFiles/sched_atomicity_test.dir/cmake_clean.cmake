@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sched_atomicity_test.dir/sched_atomicity_test.cpp.o"
+  "CMakeFiles/sched_atomicity_test.dir/sched_atomicity_test.cpp.o.d"
+  "sched_atomicity_test"
+  "sched_atomicity_test.pdb"
+  "sched_atomicity_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sched_atomicity_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sched_checkers_test.dir/sched_checkers_test.cpp.o"
+  "CMakeFiles/sched_checkers_test.dir/sched_checkers_test.cpp.o.d"
+  "sched_checkers_test"
+  "sched_checkers_test.pdb"
+  "sched_checkers_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sched_checkers_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

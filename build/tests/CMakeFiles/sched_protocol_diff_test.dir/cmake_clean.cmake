@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sched_protocol_diff_test.dir/sched_protocol_diff_test.cpp.o"
+  "CMakeFiles/sched_protocol_diff_test.dir/sched_protocol_diff_test.cpp.o.d"
+  "sched_protocol_diff_test"
+  "sched_protocol_diff_test.pdb"
+  "sched_protocol_diff_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sched_protocol_diff_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stm_basic_test.dir/stm_basic_test.cpp.o"
+  "CMakeFiles/stm_basic_test.dir/stm_basic_test.cpp.o.d"
+  "stm_basic_test"
+  "stm_basic_test.pdb"
+  "stm_basic_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stm_basic_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stm_classic_test.dir/stm_classic_test.cpp.o"
+  "CMakeFiles/stm_classic_test.dir/stm_classic_test.cpp.o.d"
+  "stm_classic_test"
+  "stm_classic_test.pdb"
+  "stm_classic_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stm_classic_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

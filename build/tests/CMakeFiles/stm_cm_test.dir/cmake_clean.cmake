@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stm_cm_test.dir/stm_cm_test.cpp.o"
+  "CMakeFiles/stm_cm_test.dir/stm_cm_test.cpp.o.d"
+  "stm_cm_test"
+  "stm_cm_test.pdb"
+  "stm_cm_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stm_cm_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

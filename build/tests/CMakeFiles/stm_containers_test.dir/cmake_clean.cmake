@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stm_containers_test.dir/stm_containers_test.cpp.o"
+  "CMakeFiles/stm_containers_test.dir/stm_containers_test.cpp.o.d"
+  "stm_containers_test"
+  "stm_containers_test.pdb"
+  "stm_containers_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stm_containers_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

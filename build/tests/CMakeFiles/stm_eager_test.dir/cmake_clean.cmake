@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stm_eager_test.dir/stm_eager_test.cpp.o"
+  "CMakeFiles/stm_eager_test.dir/stm_eager_test.cpp.o.d"
+  "stm_eager_test"
+  "stm_eager_test.pdb"
+  "stm_eager_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stm_eager_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stm_elastic_test.dir/stm_elastic_test.cpp.o"
+  "CMakeFiles/stm_elastic_test.dir/stm_elastic_test.cpp.o.d"
+  "stm_elastic_test"
+  "stm_elastic_test.pdb"
+  "stm_elastic_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stm_elastic_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stm_hybrid_test.dir/stm_hybrid_test.cpp.o"
+  "CMakeFiles/stm_hybrid_test.dir/stm_hybrid_test.cpp.o.d"
+  "stm_hybrid_test"
+  "stm_hybrid_test.pdb"
+  "stm_hybrid_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stm_hybrid_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

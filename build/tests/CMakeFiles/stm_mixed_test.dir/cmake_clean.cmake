@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stm_mixed_test.dir/stm_mixed_test.cpp.o"
+  "CMakeFiles/stm_mixed_test.dir/stm_mixed_test.cpp.o.d"
+  "stm_mixed_test"
+  "stm_mixed_test.pdb"
+  "stm_mixed_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stm_mixed_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stm_retry_test.dir/stm_retry_test.cpp.o"
+  "CMakeFiles/stm_retry_test.dir/stm_retry_test.cpp.o.d"
+  "stm_retry_test"
+  "stm_retry_test.pdb"
+  "stm_retry_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stm_retry_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stm_snapshot_test.dir/stm_snapshot_test.cpp.o"
+  "CMakeFiles/stm_snapshot_test.dir/stm_snapshot_test.cpp.o.d"
+  "stm_snapshot_test"
+  "stm_snapshot_test.pdb"
+  "stm_snapshot_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stm_snapshot_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

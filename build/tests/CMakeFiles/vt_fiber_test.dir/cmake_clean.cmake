@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vt_fiber_test.dir/vt_fiber_test.cpp.o"
+  "CMakeFiles/vt_fiber_test.dir/vt_fiber_test.cpp.o.d"
+  "vt_fiber_test"
+  "vt_fiber_test.pdb"
+  "vt_fiber_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vt_fiber_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vt_scheduler_test.dir/vt_scheduler_test.cpp.o"
+  "CMakeFiles/vt_scheduler_test.dir/vt_scheduler_test.cpp.o.d"
+  "vt_scheduler_test"
+  "vt_scheduler_test.pdb"
+  "vt_scheduler_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vt_scheduler_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/smoke_test[1]_include.cmake")
+include("/root/repo/build/tests/vt_fiber_test[1]_include.cmake")
+include("/root/repo/build/tests/vt_scheduler_test[1]_include.cmake")
+include("/root/repo/build/tests/mem_epoch_test[1]_include.cmake")
+include("/root/repo/build/tests/mem_hazard_test[1]_include.cmake")
+include("/root/repo/build/tests/stm_basic_test[1]_include.cmake")
+include("/root/repo/build/tests/stm_classic_test[1]_include.cmake")
+include("/root/repo/build/tests/stm_elastic_test[1]_include.cmake")
+include("/root/repo/build/tests/stm_snapshot_test[1]_include.cmake")
+include("/root/repo/build/tests/stm_mixed_test[1]_include.cmake")
+include("/root/repo/build/tests/stm_cm_test[1]_include.cmake")
+include("/root/repo/build/tests/ds_sets_test[1]_include.cmake")
+include("/root/repo/build/tests/ds_queue_test[1]_include.cmake")
+include("/root/repo/build/tests/sched_checkers_test[1]_include.cmake")
+include("/root/repo/build/tests/sched_atomicity_test[1]_include.cmake")
+include("/root/repo/build/tests/harness_test[1]_include.cmake")
+include("/root/repo/build/tests/integration_test[1]_include.cmake")
+include("/root/repo/build/tests/stm_retry_test[1]_include.cmake")
+include("/root/repo/build/tests/sched_protocol_diff_test[1]_include.cmake")
+include("/root/repo/build/tests/stm_containers_test[1]_include.cmake")
+include("/root/repo/build/tests/stm_irrevocable_test[1]_include.cmake")
+include("/root/repo/build/tests/stm_eager_test[1]_include.cmake")
+include("/root/repo/build/tests/ds_invariants_test[1]_include.cmake")
+include("/root/repo/build/tests/stm_hybrid_test[1]_include.cmake")
