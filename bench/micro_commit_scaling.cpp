@@ -1,0 +1,283 @@
+// Commit-path scalability sweep: tiny update transactions, 1..64
+// threads, A/B-ing the four commit-path configurations
+//
+//     {GV1, GV4} clock  x  {counter, distributed} irrevocability gate
+//
+// over two workloads:
+//
+//   disjoint — every thread updates only its own cache-line-padded
+//              cells, so the ONLY shared state a commit touches is the
+//              commit-path globals.  This isolates clock/gate ping-pong,
+//              which is exactly what the distributed gate + GV4 clock
+//              remove.
+//   shared   — all threads update a handful of common cells (real data
+//              conflicts, CM involvement) and one thread periodically
+//              runs an irrevocable transaction, closing the gate.
+//
+// By default the sweep runs under the virtual-time simulator — this
+// container has one core, so wall-clock scalability is unmeasurable
+// (DESIGN.md, Substitutions) — using the simulator's queued hot-line
+// model for the commit-path globals.  DEMOTX_REAL=1 switches to real OS
+// threads against the wall clock for multicore hosts.
+//
+// Output is JSON (stdout, and argv[1] if given) so successive PRs can
+// track commit-path scalability as a trajectory:
+//
+//   { "bench": "micro_commit_scaling", "mode": "sim"|"real",
+//     "threads": [...], "cycles_per_point": N,
+//     "results": [ { "workload": ..., "clock": ..., "gate": ...,
+//                    "points": [ { "threads": T, "commits": C,
+//                                  "aborts": A, "duration": D,
+//                                  "throughput": X, "clock_adopts": N,
+//                                  "gate_waits": N, "wfilter_hits": N,
+//                                  "wfilter_skips": N }, ... ] }, ... ],
+//     "summary": { "disjoint_gv4_distributed_over_gv1_counter_at_max": R } }
+//
+// duration/throughput are virtual cycles and commits per kilocycle in
+// sim mode, nanoseconds and commits per microsecond in real mode.
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "mem/epoch.hpp"
+#include "stm/stm.hpp"
+#include "vt/scheduler.hpp"
+
+using namespace demotx;
+using stm::ClockScheme;
+using stm::GateScheme;
+
+namespace {
+
+long env_long(const char* name, long fallback) {
+  const char* v = std::getenv(name);
+  return v != nullptr ? std::atol(v) : fallback;
+}
+
+struct CommitConfig {
+  const char* clock_name;
+  const char* gate_name;
+  ClockScheme clock;
+  GateScheme gate;
+};
+
+constexpr CommitConfig kConfigs[] = {
+    {"gv1", "counter", ClockScheme::kGv1, GateScheme::kCounter},
+    {"gv1", "distributed", ClockScheme::kGv1, GateScheme::kDistributed},
+    {"gv4", "counter", ClockScheme::kGv4, GateScheme::kCounter},
+    {"gv4", "distributed", ClockScheme::kGv4, GateScheme::kDistributed},
+};
+
+struct Point {
+  int threads = 0;
+  std::uint64_t commits = 0;
+  std::uint64_t duration = 0;  // virtual cycles (sim) / nanoseconds (real)
+  double throughput = 0.0;     // commits/kcycle (sim) / commits/us (real)
+  stm::TxStats stats;
+};
+
+// One transaction of the disjoint workload: increment this thread's own
+// kCellsPerThread cells (each TVar's Cell is alignas(64), so threads
+// share no data line — only the commit-path globals).
+constexpr int kCellsPerThread = 4;
+constexpr int kSharedCells = 4;
+
+class Workload {
+ public:
+  Workload(bool disjoint, int threads)
+      : disjoint_(disjoint), threads_(threads) {
+    const int n = disjoint ? threads * kCellsPerThread : kSharedCells;
+    for (int i = 0; i < n; ++i)
+      cells_.push_back(std::make_unique<stm::TVar<long>>(0));
+  }
+
+  // Runs one transaction for logical thread `id`, iteration `i`.
+  void run_one(int id, long i) {
+    if (disjoint_) {
+      auto* mine = &cells_[static_cast<std::size_t>(id) * kCellsPerThread];
+      stm::atomically([&](stm::Tx& tx) {
+        for (int k = 0; k < kCellsPerThread; ++k)
+          mine[k]->set(tx, mine[k]->get(tx) + 1);
+      });
+      return;
+    }
+    if (id == 0 && (i & 31) == 0) {
+      // Periodically close the gate: the irrevocability drain is the
+      // slow path the distributed layout must keep correct (and cheap
+      // enough) under load.
+      stm::atomically_irrevocable([&](stm::Tx& tx) {
+        cells_[0]->set(tx, cells_[0]->get(tx) + 1);
+      });
+      return;
+    }
+    const std::size_t a = static_cast<std::size_t>(id + i) % kSharedCells;
+    const std::size_t b = (a + 1) % kSharedCells;
+    stm::atomically([&](stm::Tx& tx) {
+      cells_[a]->set(tx, cells_[a]->get(tx) + 1);
+      cells_[b]->set(tx, cells_[b]->get(tx) + 1);
+    });
+  }
+
+ private:
+  bool disjoint_;
+  int threads_;
+  std::vector<std::unique_ptr<stm::TVar<long>>> cells_;
+};
+
+Point run_sim_point(bool disjoint, int threads, std::uint64_t cycles) {
+  auto& rt = stm::Runtime::instance();
+  rt.reset_stats();
+  Workload w(disjoint, threads);
+  std::vector<std::uint64_t> commits(static_cast<std::size_t>(threads), 0);
+
+  vt::Scheduler::Options opts;
+  opts.policy = vt::Scheduler::Policy::kRoundRobin;
+  opts.max_cycles = cycles * 64 + 4'000'000;  // deadlock brake only
+  vt::Scheduler sched(opts);
+  for (int t = 0; t < threads; ++t) {
+    sched.spawn([&w, &commits, cycles](int id) {
+      long i = 0;
+      while (vt::sim_now() < cycles) {
+        w.run_one(id, i++);
+        ++commits[static_cast<std::size_t>(id)];
+      }
+    });
+  }
+  sched.run();
+
+  Point p;
+  p.threads = threads;
+  for (std::uint64_t c : commits) p.commits += c;
+  p.duration = sched.cycles();
+  p.throughput = p.duration == 0 ? 0.0
+                                 : static_cast<double>(p.commits) * 1000.0 /
+                                       static_cast<double>(p.duration);
+  p.stats = rt.aggregate_stats();
+  mem::EpochManager::instance().drain();
+  return p;
+}
+
+Point run_real_point(bool disjoint, int threads, std::uint64_t ms) {
+  auto& rt = stm::Runtime::instance();
+  rt.reset_stats();
+  Workload w(disjoint, threads);
+  std::vector<std::uint64_t> commits(static_cast<std::size_t>(threads), 0);
+  std::atomic<bool> stop{false};
+
+  const auto t0 = std::chrono::steady_clock::now();
+  vt::run_threads(threads, [&](int id) {
+    long i = 0;
+    std::uint64_t n = 0;
+    while (!stop.load(std::memory_order_relaxed)) {
+      w.run_one(id, i++);
+      ++n;
+      if ((n & 63u) == 0) {
+        const auto now = std::chrono::steady_clock::now();
+        if (std::chrono::duration_cast<std::chrono::milliseconds>(now - t0)
+                .count() >= static_cast<long>(ms))
+          stop.store(true, std::memory_order_relaxed);
+      }
+    }
+    commits[static_cast<std::size_t>(id)] = n;
+  });
+  const auto t1 = std::chrono::steady_clock::now();
+
+  Point p;
+  p.threads = threads;
+  for (std::uint64_t c : commits) p.commits += c;
+  p.duration = static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0).count());
+  p.throughput = p.duration == 0 ? 0.0
+                                 : static_cast<double>(p.commits) * 1000.0 /
+                                       static_cast<double>(p.duration);
+  p.stats = rt.aggregate_stats();
+  mem::EpochManager::instance().drain();
+  return p;
+}
+
+void json_point(std::ostream& os, const Point& p) {
+  os << "        {\"threads\": " << p.threads << ", \"commits\": " << p.commits
+     << ", \"aborts\": " << p.stats.aborts << ", \"duration\": " << p.duration
+     << ", \"throughput\": " << p.throughput
+     << ", \"clock_adopts\": " << p.stats.clock_adopts
+     << ", \"gate_waits\": " << p.stats.gate_waits
+     << ", \"wfilter_hits\": " << p.stats.wfilter_hits
+     << ", \"wfilter_skips\": " << p.stats.wfilter_skips << "}";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool real = env_long("DEMOTX_REAL", 0) != 0;
+  const auto cycles =
+      static_cast<std::uint64_t>(env_long("DEMOTX_CYCLES", 150'000));
+  const auto ms = static_cast<std::uint64_t>(env_long("DEMOTX_MS", 50));
+  const long max_threads = env_long("DEMOTX_MAX_THREADS", 64);
+  std::vector<int> threads;
+  for (int t : {1, 2, 4, 8, 16, 32, 64})
+    if (t <= max_threads) threads.push_back(t);
+
+  auto& rt = stm::Runtime::instance();
+  const stm::Config saved = rt.config;
+
+  std::ostringstream out;
+  out << "{\n  \"bench\": \"micro_commit_scaling\",\n  \"mode\": \""
+      << (real ? "real" : "sim") << "\",\n  \"threads\": [";
+  for (std::size_t i = 0; i < threads.size(); ++i)
+    out << (i != 0 ? ", " : "") << threads[i];
+  out << "],\n  \"" << (real ? "ms_per_point" : "cycles_per_point")
+      << "\": " << (real ? ms : cycles) << ",\n  \"results\": [\n";
+
+  // summary input: disjoint throughput at max threads per config
+  double at_max[4] = {0, 0, 0, 0};
+
+  bool first_series = true;
+  for (const bool disjoint : {true, false}) {
+    for (std::size_t c = 0; c < 4; ++c) {
+      const CommitConfig& cc = kConfigs[c];
+      rt.config.clock_scheme = cc.clock;
+      rt.config.gate_scheme = cc.gate;
+      if (!first_series) out << ",\n";
+      first_series = false;
+      out << "    {\"workload\": \"" << (disjoint ? "disjoint" : "shared")
+          << "\", \"clock\": \"" << cc.clock_name << "\", \"gate\": \""
+          << cc.gate_name << "\", \"points\": [\n";
+      for (std::size_t t = 0; t < threads.size(); ++t) {
+        std::cerr << (disjoint ? "disjoint" : "shared") << " "
+                  << cc.clock_name << "+" << cc.gate_name << " @"
+                  << threads[t] << " threads...\n";
+        const Point p = real ? run_real_point(disjoint, threads[t], ms)
+                             : run_sim_point(disjoint, threads[t], cycles);
+        if (t != 0) out << ",\n";
+        json_point(out, p);
+        if (disjoint && t + 1 == threads.size()) at_max[c] = p.throughput;
+      }
+      out << "\n    ]}";
+    }
+  }
+  rt.config = saved;
+
+  // gv4+distributed (index 3) over gv1+counter (index 0), disjoint
+  // workload, highest thread count: the headline commit-path ratio.
+  const double ratio = at_max[0] > 0 ? at_max[3] / at_max[0] : 0.0;
+  out << "\n  ],\n  \"summary\": "
+      << "{\"disjoint_gv4_distributed_over_gv1_counter_at_max\": " << ratio
+      << "}\n}\n";
+
+  std::cout << out.str();
+  if (argc > 1) {
+    std::ofstream f(argv[1]);
+    f << out.str();
+    std::cerr << "wrote " << argv[1] << "\n";
+  }
+  std::cerr << "disjoint @" << threads.back()
+            << " threads: gv4+distributed / gv1+counter = " << ratio << "\n";
+  return 0;
+}

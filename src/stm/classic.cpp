@@ -12,7 +12,15 @@ namespace demotx::stm {
 
 std::uint64_t Tx::read_classic(Cell& c) {
   if (!writes_.empty()) {
-    if (const WriteEntry* e = writes_.find(&c)) return e->value;  // own write
+    // Own-write lookup, gated by the address-summary filter: when the
+    // filter proves the cell was never written, the open-addressing
+    // probe (hash + table walk) is skipped outright.
+    if (writes_.may_contain(&c)) {
+      ++stats_.wfilter_hits;
+      if (const WriteEntry* e = writes_.find(&c)) return e->value;
+    } else {
+      ++stats_.wfilter_skips;
+    }
   }
   for (;;) {
     const CellSnap s = snap(c, /*want_old=*/false);

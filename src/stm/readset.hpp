@@ -47,7 +47,17 @@ class ReadSet {
     if (n < entries_.size()) entries_.resize(n);
   }
 
-  void clear() { entries_.clear(); }
+  void clear() {
+    if (entries_.capacity() > kShrinkEntries) {
+      // Also release the backing storage after a pathologically large
+      // transaction; otherwise one huge read set pins memory in this
+      // slot for the rest of the process.
+      std::vector<ReadEntry>().swap(entries_);
+      entries_.reserve(64);
+    } else {
+      entries_.clear();
+    }
+  }
   [[nodiscard]] bool empty() const { return entries_.empty(); }
   [[nodiscard]] std::size_t size() const { return entries_.size(); }
   [[nodiscard]] const ReadEntry* begin() const { return entries_.data(); }
@@ -58,6 +68,8 @@ class ReadSet {
   // needed — versions are immutable once logged — so only const access).
 
  private:
+  static constexpr std::size_t kShrinkEntries = 1024;
+
   std::vector<ReadEntry> entries_;
 };
 

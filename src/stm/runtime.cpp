@@ -1,5 +1,8 @@
 #include "stm/runtime.hpp"
 
+#include <cstdlib>
+#include <cstring>
+
 namespace demotx::stm {
 
 Runtime& Runtime::instance() {
@@ -7,7 +10,22 @@ Runtime& Runtime::instance() {
   return rt;
 }
 
-Runtime::Runtime() = default;
+// Process-wide scheme overrides, so the whole test suite and every bench
+// can run under either commit-clock / gate layout without recompiling
+// (ctest registers the stm suites a second time with DEMOTX_CLOCK=gv4
+// DEMOTX_GATE=counter).
+Runtime::Runtime() {
+  if (const char* c = std::getenv("DEMOTX_CLOCK")) {
+    if (std::strcmp(c, "gv4") == 0) config.clock_scheme = ClockScheme::kGv4;
+    if (std::strcmp(c, "gv1") == 0) config.clock_scheme = ClockScheme::kGv1;
+  }
+  if (const char* g = std::getenv("DEMOTX_GATE")) {
+    if (std::strcmp(g, "counter") == 0)
+      config.gate_scheme = GateScheme::kCounter;
+    if (std::strcmp(g, "distributed") == 0)
+      config.gate_scheme = GateScheme::kDistributed;
+  }
+}
 
 Runtime::~Runtime() {
   for (Slot& s : slots_) {

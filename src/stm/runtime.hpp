@@ -31,6 +31,32 @@
 
 namespace demotx::stm {
 
+// Commit clock schemes (TL2 — Dice, Shalev, Shavit, DISC'06).
+//
+//   kGv1 — fetch&increment on every update commit.  Simple and strictly
+//          per-commit-unique timestamps; this is what the paper-fidelity
+//          figures model, so it stays the default.
+//   kGv4 — "pass on failure": CAS the clock up by one and, when the CAS
+//          loses, ADOPT the winner's (newer) value as this commit's wv
+//          instead of retrying.  A group of concurrent committers then
+//          shares one clock-line transfer instead of queuing one RMW
+//          each.  Transactions with disjoint write sets may publish the
+//          same wv; per-location version order stays strict (the loser's
+//          clock access happens after the winner's bump, so an adopted
+//          wv is always newer than any version the adopter overwrites).
+enum class ClockScheme : std::uint8_t { kGv1 = 0, kGv4 = 1 };
+
+// Irrevocability-gate layout.
+//
+//   kCounter     — legacy shared `committers` counter: two RMWs on one
+//                  global cache line per update commit.
+//   kDistributed — brlock-style asymmetric gate: each committer publishes
+//                  into its own cache-line-padded slot (one local RMW);
+//                  the rare irrevocability acquisition closes a global
+//                  word and scans/drains all slots.  The uncontended
+//                  commit touches no shared gate line.
+enum class GateScheme : std::uint8_t { kCounter = 0, kDistributed = 1 };
+
 struct Config {
   CmPolicy cm = CmPolicy::kBackoff;
   // Timebase extension: on a too-new read, revalidate and slide rv forward
@@ -56,6 +82,15 @@ struct Config {
   // attempts to make before falling back to software.
   std::size_t htm_capacity = 128;
   unsigned htm_retries = 3;
+  // Commit-path ablations (see enum comments above).  GV1 stays the
+  // default for figure fidelity; the distributed gate is behaviourally
+  // identical to the counter gate, so the faster layout is the default.
+  // Both are overridable at process start via the DEMOTX_CLOCK
+  // (gv1|gv4) and DEMOTX_GATE (counter|distributed) environment
+  // variables, which lets every bench and the whole test suite A/B the
+  // schemes without recompiling.
+  ClockScheme clock_scheme = ClockScheme::kGv1;
+  GateScheme gate_scheme = GateScheme::kDistributed;
 };
 
 class Runtime {
@@ -69,14 +104,29 @@ class Runtime {
 
   Config config;  // adjust only while no transaction runs
 
-  // ---- global version clock (GV1) ----
+  // ---- global version clock (GV1 / GV4) ----
   std::uint64_t clock_read() {
     vt::access();
     return clock_.load(std::memory_order_acquire);
   }
-  std::uint64_t clock_advance() {
-    vt::access();
-    return clock_.fetch_add(1, std::memory_order_acq_rel) + 1;
+  // Advances the clock and returns this commit's write version.  GV1
+  // always bumps; GV4 adopts the winner's value when its CAS loses
+  // ("pass on failure") — the adopted value is strictly newer than the
+  // value this committer observed, hence strictly newer than its rv.
+  std::uint64_t clock_advance(TxStats* st = nullptr) {
+    if (config.clock_scheme == ClockScheme::kGv1) {
+      charge_hot_line_rmw(clock_line_);
+      return clock_.fetch_add(1, std::memory_order_acq_rel) + 1;
+    }
+    std::uint64_t cur = clock_.load(std::memory_order_relaxed);
+    charge_hot_line_rmw(clock_line_);
+    if (clock_.compare_exchange_strong(cur, cur + 1,
+                                       std::memory_order_acq_rel)) {
+      return cur + 1;
+    }
+    // CAS lost: `cur` now holds the winner's strictly newer value.
+    if (st != nullptr) ++st->clock_adopts;
+    return cur;
   }
   [[nodiscard]] std::uint64_t clock_peek() const {
     return clock_.load(std::memory_order_relaxed);
@@ -97,16 +147,26 @@ class Runtime {
   // that must not roll back (I/O, side effects).
 
   // Blocks until the token is ours and all in-flight committers drained.
+  // seq_cst pairs with the committer's publish (exchange / fetch_add):
+  // either the committer sees the closed gate, or the drain scan sees
+  // the committer's publication — the classic Dekker guarantee.
   void acquire_irrevocability(int slot) {
     int expected = -1;
     while (!irrevocable_owner_.compare_exchange_weak(
-        expected, slot, std::memory_order_acq_rel)) {
+        expected, slot, std::memory_order_seq_cst)) {
       expected = -1;
       vt::access();
       vt::cpu_relax();
     }
-    // Wait out commits that passed the gate before we took the token.
-    while (committers_.load(std::memory_order_acquire) != 0) vt::access();
+    // Wait out commits that published before they could see the closed
+    // gate.  Both gate layouts are drained so a (quiescent) scheme
+    // switch can never strand a committer.
+    while (committers_.load(std::memory_order_seq_cst) != 0) vt::access();
+    for (int s = 0; s < vt::kMaxThreads; ++s) {
+      while (commit_slots_[s].in_commit.load(std::memory_order_seq_cst) != 0)
+        vt::access();
+    }
+    vt::access();  // the scan itself is one pass over the slot array
   }
 
   void release_irrevocability(int slot) {
@@ -117,25 +177,66 @@ class Runtime {
 
   // Update-commit gate: registers the caller as an in-flight committer,
   // waiting while someone else holds the token.
-  void enter_commit_gate(int slot) {
-    vt::access();  // one shared RMW on the uncontended path
+  //
+  // kCounter: two RMWs on one global line per commit (the legacy layout,
+  // kept for A/B).  kDistributed: one RMW on the caller's own padded
+  // line — the uncontended commit touches no shared gate line; the
+  // exchange is a full fence on x86 and seq_cst in the C++ model, which
+  // the Dekker race with acquire_irrevocability requires.
+  void enter_commit_gate(int slot, TxStats* st = nullptr) {
+    if (config.gate_scheme == GateScheme::kCounter) {
+      for (;;) {
+        charge_hot_line_rmw(gate_line_);
+        committers_.fetch_add(1, std::memory_order_seq_cst);
+        const int owner = irrevocable_owner_.load(std::memory_order_acquire);
+        if (owner == -1 || owner == slot) return;
+        charge_hot_line_rmw(gate_line_);
+        committers_.fetch_sub(1, std::memory_order_acq_rel);
+        if (st != nullptr) ++st->gate_waits;
+        while (irrevocable_owner_.load(std::memory_order_acquire) != -1) {
+          vt::access();
+          vt::cpu_relax();
+        }
+      }
+    }
     for (;;) {
-      committers_.fetch_add(1, std::memory_order_acq_rel);
-      const int owner = irrevocable_owner_.load(std::memory_order_acquire);
+      vt::access();  // one RMW, but on our own line: never queued
+      commit_slots_[slot].in_commit.exchange(1, std::memory_order_seq_cst);
+      const int owner = irrevocable_owner_.load(std::memory_order_seq_cst);
       if (owner == -1 || owner == slot) return;
-      committers_.fetch_sub(1, std::memory_order_acq_rel);
-      vt::access();
-      vt::cpu_relax();
+      commit_slots_[slot].in_commit.store(0, std::memory_order_release);
+      if (st != nullptr) ++st->gate_waits;
+      while (irrevocable_owner_.load(std::memory_order_acquire) != -1) {
+        vt::access();
+        vt::cpu_relax();
+      }
     }
   }
 
-  void leave_commit_gate() {
+  void leave_commit_gate(int slot) {
+    if (config.gate_scheme == GateScheme::kCounter) {
+      charge_hot_line_rmw(gate_line_);
+      committers_.fetch_sub(1, std::memory_order_acq_rel);
+      return;
+    }
     vt::access();
-    committers_.fetch_sub(1, std::memory_order_acq_rel);
+    commit_slots_[slot].in_commit.store(0, std::memory_order_release);
   }
 
   [[nodiscard]] int irrevocable_owner() const {
     return irrevocable_owner_.load(std::memory_order_acquire);
+  }
+
+  // True when no committer is registered in either gate layout and the
+  // token is free — used by tests to assert gate hygiene after a run.
+  [[nodiscard]] bool gate_quiescent() const {
+    if (irrevocable_owner_.load(std::memory_order_acquire) != -1) return false;
+    if (committers_.load(std::memory_order_acquire) != 0) return false;
+    for (int s = 0; s < vt::kMaxThreads; ++s) {
+      if (commit_slots_[s].in_commit.load(std::memory_order_acquire) != 0)
+        return false;
+    }
+    return true;
   }
 
   // The calling logical thread's descriptor (created on first use).
@@ -155,17 +256,56 @@ class Runtime {
   void reset_stats();
 
  private:
-  struct Slot {
+  // Padded to a cache line: peek_slot kill-polling and descriptor lookup
+  // by one thread must not false-share with its neighbours' slots.
+  struct alignas(64) Slot {
     std::atomic<Tx*> tx{nullptr};
     std::unique_ptr<ContentionManager> cm;
     CmPolicy cm_policy = CmPolicy::kSuicide;
     bool cm_built = false;
   };
 
+  // One committer-publication word per logical thread, each on its own
+  // line (the distributed gate's whole point).
+  struct alignas(64) CommitSlot {
+    std::atomic<std::uint64_t> in_commit{0};
+  };
+
+  // ---- simulated coherence cost of the commit-path global lines ------
+  //
+  // The virtual-time cost model charges one cycle per shared access
+  // (DESIGN.md): adequate for locations spread across the heap, but it
+  // hides the defining cost of a single hot line that EVERY committer
+  // RMWs — on hardware those RMWs serialize through one line transfer at
+  // a time, which is exactly the clock/gate ping-pong this commit path
+  // is built to avoid.  So the two commit-path globals (version clock,
+  // gate counter) are modelled as a queued resource: an RMW issued while
+  // the line is busy waits for its turn.  Uncontended behaviour is
+  // unchanged (one cycle, as before), so single-thread figures do not
+  // move.  State is plain (not atomic): the simulator runs all fibers on
+  // one OS thread, and real mode never touches it.
+  struct HotLine {
+    std::uint64_t free_at = 0;  // virtual time the line next becomes free
+  };
+
+  void charge_hot_line_rmw(HotLine& line) {
+    if (!vt::in_sim()) return;
+    const std::uint64_t now = vt::sim_now();
+    // Self-heal across simulator runs (virtual time restarts at 0): a
+    // legitimate queue can never exceed one service per logical thread.
+    if (line.free_at > now + vt::kMaxThreads) line.free_at = now;
+    const std::uint64_t done = (line.free_at > now ? line.free_at : now) + 1;
+    line.free_at = done;
+    vt::access(static_cast<unsigned>(done - now));
+  }
+
   std::atomic<std::uint64_t> clock_{0};
   std::atomic<std::uint64_t> cm_ticket_{0};
   std::atomic<int> irrevocable_owner_{-1};
   std::atomic<int> committers_{0};
+  HotLine clock_line_;
+  HotLine gate_line_;
+  CommitSlot commit_slots_[vt::kMaxThreads];
   Slot slots_[vt::kMaxThreads];
 };
 

@@ -39,6 +39,17 @@ std::string TxStats::summary() const {
                 static_cast<unsigned long long>(kills_issued),
                 static_cast<unsigned long long>(early_releases));
   out += buf;
+  if (clock_adopts != 0 || gate_waits != 0 || wfilter_hits != 0 ||
+      wfilter_skips != 0) {
+    std::snprintf(buf, sizeof buf,
+                  "  commit path: %llu adopted wv, %llu gate waits, "
+                  "write-filter %llu hits / %llu skips\n",
+                  static_cast<unsigned long long>(clock_adopts),
+                  static_cast<unsigned long long>(gate_waits),
+                  static_cast<unsigned long long>(wfilter_hits),
+                  static_cast<unsigned long long>(wfilter_skips));
+    out += buf;
+  }
   return out;
 }
 

@@ -29,6 +29,11 @@ struct TxStats {
   std::uint64_t early_releases = 0;
   std::uint64_t htm_commits = 0;    // commits in modeled-HTM mode
   std::uint64_t htm_fallbacks = 0;  // hybrid gave up on HTM, ran software
+  // Commit fast path (GV4 clock, irrevocability gate, write-set filter).
+  std::uint64_t clock_adopts = 0;   // GV4: lost the clock CAS, adopted wv
+  std::uint64_t gate_waits = 0;     // commit parked behind a closed gate
+  std::uint64_t wfilter_hits = 0;   // address filter said "maybe ours"
+  std::uint64_t wfilter_skips = 0;  // filter proved absence, probe skipped
 
   void merge(const TxStats& o) {
     starts += o.starts;
@@ -49,6 +54,10 @@ struct TxStats {
     early_releases += o.early_releases;
     htm_commits += o.htm_commits;
     htm_fallbacks += o.htm_fallbacks;
+    clock_adopts += o.clock_adopts;
+    gate_waits += o.gate_waits;
+    wfilter_hits += o.wfilter_hits;
+    wfilter_skips += o.wfilter_skips;
   }
 
   [[nodiscard]] double abort_ratio() const {

@@ -81,7 +81,7 @@ void Tx::commit() {
   epoch.exit();
 
   if (in_commit_gate_) {
-    Runtime::instance().leave_commit_gate();
+    Runtime::instance().leave_commit_gate(slot_);
     in_commit_gate_ = false;
   }
   ++stats_.commits;
@@ -97,7 +97,7 @@ void Tx::commit() {
 void Tx::rollback(AbortReason why) {
   release_write_locks_aborting();
   if (in_commit_gate_) {
-    Runtime::instance().leave_commit_gate();
+    Runtime::instance().leave_commit_gate(slot_);
     in_commit_gate_ = false;
   }
   if (irrevocable_.load(std::memory_order_acquire)) {
@@ -237,7 +237,7 @@ void Tx::eager_acquire_and_store(Cell& c, std::uint64_t v) {
     // Enter the irrevocability gate before the first lock: an eager
     // writer parked at the gate must not already hold locks the token
     // holder could be spinning on.
-    rt.enter_commit_gate(slot_);
+    rt.enter_commit_gate(slot_, &stats_);
     in_commit_gate_ = true;
   }
   for (;;) {
@@ -473,11 +473,12 @@ void Tx::commit_update() {
   // holds the token (the owner itself passes straight through).  Eager
   // transactions registered at their first write.
   if (!in_commit_gate_) {
-    rt.enter_commit_gate(slot_);
+    rt.enter_commit_gate(slot_, &stats_);
     in_commit_gate_ = true;
   }
   acquire_write_locks();
-  const std::uint64_t wv = rt.clock_advance();
+  const std::uint64_t wv = rt.clock_advance(&stats_);
+  last_wv_ = wv;
   // If nobody committed since we started, our reads cannot have changed.
   if (rv_ + 1 != wv && !validate_read_set()) {
     throw_abort(AbortReason::kCommitValidation);

@@ -30,6 +30,14 @@ class WriteSet {
   [[nodiscard]] bool empty() const { return entries_.empty(); }
   [[nodiscard]] std::size_t size() const { return entries_.size(); }
 
+  // 64-bit address-summary filter: a cleared bit proves the cell is NOT
+  // in the set, so the read fast path can skip the open-addressing probe
+  // entirely for the (overwhelmingly common) read of a never-written
+  // location.  A set bit means "maybe": fall through to find().
+  [[nodiscard]] bool may_contain(const Cell* c) const {
+    return (filter_ & filter_bit(c)) != 0;
+  }
+
   WriteEntry* find(const Cell* c) {
     const std::size_t idx = probe(c);
     return table_[idx] == kEmpty ? nullptr : &entries_[table_[idx]];
@@ -49,6 +57,7 @@ class WriteSet {
       e.value = value;
       return {true, old};
     }
+    filter_ |= filter_bit(c);
     table_[idx] = static_cast<std::uint32_t>(entries_.size());
     entries_.push_back(WriteEntry{c, value, 0, false, false, 0});
     if (entries_.size() * 2 > table_.size()) rebuild(table_.size() * 2);
@@ -61,12 +70,23 @@ class WriteSet {
     if (n >= entries_.size()) return;
     entries_.resize(n);
     std::fill(table_.begin(), table_.end(), kEmpty);
-    for (std::size_t i = 0; i < entries_.size(); ++i)
+    filter_ = 0;
+    for (std::size_t i = 0; i < entries_.size(); ++i) {
       table_[probe(entries_[i].cell)] = static_cast<std::uint32_t>(i);
+      filter_ |= filter_bit(entries_[i].cell);
+    }
   }
 
   void clear() {
-    entries_.clear();
+    filter_ = 0;
+    if (entries_.capacity() > kShrinkEntries) {
+      // Release the backing storage too: one pathologically large
+      // transaction must not pin megabytes in this slot forever.
+      std::vector<WriteEntry>().swap(entries_);
+      entries_.reserve(64);
+    } else {
+      entries_.clear();
+    }
     if (table_.size() > 1024) {
       rebuild(64);
     } else {
@@ -83,6 +103,11 @@ class WriteSet {
 
  private:
   static constexpr std::uint32_t kEmpty = 0xffffffffu;
+  static constexpr std::size_t kShrinkEntries = 1024;
+
+  static std::uint64_t filter_bit(const Cell* c) {
+    return std::uint64_t{1} << (hash(c) & 63u);
+  }
 
   static std::size_t hash(const Cell* c) {
     auto x = reinterpret_cast<std::uintptr_t>(c) >> 6;  // cells are 64B
@@ -109,6 +134,7 @@ class WriteSet {
 
   std::vector<WriteEntry> entries_;
   std::vector<std::uint32_t> table_;  // power-of-two open addressing
+  std::uint64_t filter_ = 0;          // address summary over entries_
 };
 
 }  // namespace demotx::stm

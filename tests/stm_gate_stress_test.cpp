@@ -1,0 +1,138 @@
+// Irrevocability-gate stress, run against BOTH gate layouts (legacy
+// shared counter and the distributed per-slot array): irrevocable
+// transactions interleave with eager and lazy updaters across >= 8
+// logical threads.  The properties under test:
+//
+//   * the token holder always commits on its first attempt (its body
+//     never re-executes),
+//   * no updater commits while the gate is closed — observed from inside
+//     the token holder, whose re-reads must see unchanged values,
+//   * the gate is quiescent after the run (no leaked committer
+//     registration in either layout),
+//   * updaters parked at a closed gate are counted (gate_waits).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <vector>
+
+#include "stm/stm.hpp"
+#include "test_util.hpp"
+
+using namespace demotx;
+using stm::GateScheme;
+
+namespace {
+
+struct ConfigGuard {
+  stm::Config saved = stm::Runtime::instance().config;
+  ~ConfigGuard() { stm::Runtime::instance().config = saved; }
+};
+
+void gate_stress(GateScheme gate, bool eager_updaters) {
+  ConfigGuard guard;
+  auto& rt = stm::Runtime::instance();
+  rt.config.gate_scheme = gate;
+  rt.config.eager_writes = eager_updaters;
+  rt.reset_stats();
+
+  constexpr int kThreads = 9;  // 1 irrevocable + 8 updaters
+  constexpr int kCells = 8;
+  constexpr int kIrrevocableTxs = 20;
+  constexpr int kUpdaterTxs = 60;
+  std::vector<std::unique_ptr<stm::TVar<long>>> v;
+  for (int i = 0; i < kCells; ++i)
+    v.push_back(std::make_unique<stm::TVar<long>>(0));
+
+  std::atomic<long> body_runs{0};
+  long irrevocable_commits = 0;
+  test::run_rr_sim(kThreads, [&](int id) {
+    if (id == 0) {
+      for (int i = 0; i < kIrrevocableTxs; ++i) {
+        stm::atomically_irrevocable([&](stm::Tx& tx) {
+          ++body_runs;
+          long before[kCells];
+          for (int k = 0; k < kCells; ++k) before[k] = v[k]->get(tx);
+          vt::access(16);  // widen the closed-gate window
+          // The token is held: nothing else may commit, so a re-read
+          // observes exactly the values read before the window.
+          for (int k = 0; k < kCells; ++k) {
+            EXPECT_EQ(v[k]->get(tx), before[k])
+                << "an updater committed while the gate was closed";
+          }
+          v[0]->set(tx, before[0] + 1);
+        });
+        ++irrevocable_commits;
+      }
+    } else {
+      for (int i = 0; i < kUpdaterTxs; ++i) {
+        stm::atomically([&](stm::Tx& tx) {
+          const int c = (id + i) % kCells;
+          v[c]->set(tx, v[c]->get(tx) + 1);
+        });
+      }
+    }
+  });
+
+  EXPECT_EQ(body_runs.load(), irrevocable_commits)
+      << "an irrevocable body re-executed (not a first-attempt commit)";
+  EXPECT_EQ(body_runs.load(), kIrrevocableTxs);
+  EXPECT_TRUE(rt.gate_quiescent()) << "a committer registration leaked";
+  EXPECT_EQ(rt.irrevocable_owner(), -1);
+
+  long total = 0;
+  for (const auto& c : v) total += c->unsafe_load();
+  EXPECT_EQ(total, kIrrevocableTxs + (kThreads - 1) * kUpdaterTxs);
+
+  const stm::TxStats agg = rt.aggregate_stats();
+  EXPECT_GT(agg.gate_waits, 0u)
+      << "no updater ever parked behind the closed gate under stress";
+  test::drain_memory();
+}
+
+}  // namespace
+
+TEST(StmGateStress, DistributedGateLazyUpdaters) {
+  gate_stress(GateScheme::kDistributed, /*eager_updaters=*/false);
+}
+
+TEST(StmGateStress, DistributedGateEagerUpdaters) {
+  gate_stress(GateScheme::kDistributed, /*eager_updaters=*/true);
+}
+
+TEST(StmGateStress, CounterGateLazyUpdaters) {
+  gate_stress(GateScheme::kCounter, /*eager_updaters=*/false);
+}
+
+TEST(StmGateStress, CounterGateEagerUpdaters) {
+  gate_stress(GateScheme::kCounter, /*eager_updaters=*/true);
+}
+
+// A random-interleaving adversary over the distributed gate with two
+// irrevocable threads competing for the token plus mixed updaters.
+TEST(StmGateStress, TwoTokenHoldersUnderRandomScheduling) {
+  ConfigGuard guard;
+  auto& rt = stm::Runtime::instance();
+  rt.config.gate_scheme = GateScheme::kDistributed;
+
+  auto x = std::make_unique<stm::TVar<long>>(0);
+  std::atomic<long> body_runs{0};
+  std::atomic<long> irrevocable_commits{0};
+  test::run_random_sim(8, /*seed=*/1234, [&](int id) {
+    for (int i = 0; i < 20; ++i) {
+      if (id < 2) {
+        stm::atomically_irrevocable([&](stm::Tx& tx) {
+          ++body_runs;
+          x->set(tx, x->get(tx) + 1);
+        });
+        ++irrevocable_commits;
+      } else {
+        stm::atomically([&](stm::Tx& tx) { x->set(tx, x->get(tx) + 1); });
+      }
+    }
+  });
+  EXPECT_EQ(body_runs.load(), irrevocable_commits.load());
+  EXPECT_EQ(x->unsafe_load(), 8 * 20);
+  EXPECT_TRUE(rt.gate_quiescent());
+  test::drain_memory();
+}
