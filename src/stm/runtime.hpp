@@ -113,7 +113,13 @@ class Runtime {
   // always bumps; GV4 adopts the winner's value when its CAS loses
   // ("pass on failure") — the adopted value is strictly newer than the
   // value this committer observed, hence strictly newer than its rv.
-  std::uint64_t clock_advance(TxStats* st = nullptr) {
+  // `advanced` reports whether this committer actually bumped the clock
+  // (GV1 always does): an adopted timestamp is NOT unique to us, so the
+  // caller must not use the "wv == rv+1 ⇒ nothing committed in between"
+  // shortcut — two adopters with disjoint write sets could both see it.
+  std::uint64_t clock_advance(TxStats* st = nullptr,
+                              bool* advanced = nullptr) {
+    if (advanced != nullptr) *advanced = true;
     if (config.clock_scheme == ClockScheme::kGv1) {
       charge_hot_line_rmw(clock_line_);
       return clock_.fetch_add(1, std::memory_order_acq_rel) + 1;
@@ -125,6 +131,7 @@ class Runtime {
       return cur + 1;
     }
     // CAS lost: `cur` now holds the winner's strictly newer value.
+    if (advanced != nullptr) *advanced = false;
     if (st != nullptr) ++st->clock_adopts;
     return cur;
   }
@@ -188,7 +195,7 @@ class Runtime {
       for (;;) {
         charge_hot_line_rmw(gate_line_);
         committers_.fetch_add(1, std::memory_order_seq_cst);
-        const int owner = irrevocable_owner_.load(std::memory_order_acquire);
+        const int owner = irrevocable_owner_.load(std::memory_order_seq_cst);
         if (owner == -1 || owner == slot) return;
         charge_hot_line_rmw(gate_line_);
         committers_.fetch_sub(1, std::memory_order_acq_rel);

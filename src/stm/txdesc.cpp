@@ -477,10 +477,14 @@ void Tx::commit_update() {
     in_commit_gate_ = true;
   }
   acquire_write_locks();
-  const std::uint64_t wv = rt.clock_advance(&stats_);
-  last_wv_ = wv;
+  bool clock_advanced = false;
+  const std::uint64_t wv = rt.clock_advance(&stats_, &clock_advanced);
   // If nobody committed since we started, our reads cannot have changed.
-  if (rv_ + 1 != wv && !validate_read_set()) {
+  // The shortcut is only sound when we bumped the clock ourselves: a GV4
+  // adopter shares its wv with the winner, so wv == rv+1 does not prove
+  // exclusivity — two adopters with disjoint write sets could both see it
+  // and skip the validation that would have caught a write-skew.
+  if ((!clock_advanced || rv_ + 1 != wv) && !validate_read_set()) {
     throw_abort(AbortReason::kCommitValidation);
   }
   // Decision point: after this CAS nothing can abort us.
@@ -490,6 +494,7 @@ void Tx::commit_update() {
                                        std::memory_order_acq_rel)) {
     throw_abort(AbortReason::kKilled);
   }
+  last_wv_ = wv;
   const bool keep_old = rt.config.maintain_old_versions;
   for (WriteEntry& e : writes_) {
     vt::access();
