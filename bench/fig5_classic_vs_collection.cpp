@@ -39,6 +39,7 @@ int main() {
   const auto results = run_sweep(cfg, series, seq);
   print_speedup_table("fig5", cfg, series, results);
   print_abort_table(cfg, series, results);
+  print_validation_table(cfg, series, results);
 
   const std::size_t last = cfg.threads.size() - 1;
   const double ratio = results[1][last].speedup /

@@ -40,6 +40,7 @@ int main() {
   const auto results = run_sweep(cfg, series, seq);
   print_speedup_table("fig7", cfg, series, results);
   print_abort_table(cfg, series, results);
+  print_validation_table(cfg, series, results);
 
   double best_mix = 0, best_classic = 0, best_cow = 0;
   for (std::size_t ti = 0; ti < cfg.threads.size(); ++ti) {

@@ -41,6 +41,7 @@ int main() {
   const auto results = run_sweep(cfg, series, seq);
   print_speedup_table("fig9", cfg, series, results);
   print_abort_table(cfg, series, results);
+  print_validation_table(cfg, series, results);
 
   const std::size_t last = cfg.threads.size() - 1;
   const double vs_classic = results[0][last].speedup /

@@ -139,6 +139,33 @@ inline void print_abort_table(const FigureConfig& cfg,
   t.print(std::cout);
 }
 
+// Commit/validation fast-path counters per series at the highest thread
+// count of the sweep (where the fast paths matter): timebase extensions,
+// the summary-ring outcomes, read-set dedups, and PR 1's clock/gate
+// counters — so a figure run shows validation behaviour per semantics
+// next to its speedup numbers.
+inline void print_validation_table(
+    const FigureConfig& cfg, const std::vector<Series>& series,
+    const std::vector<std::vector<CellResult>>& r) {
+  harness::Table t({"series", "extensions", "summary_skips",
+                    "summary_fallbacks", "ring_overflows", "readset_dedups",
+                    "clock_adopts", "gate_waits"});
+  const std::size_t ti = cfg.threads.size() - 1;
+  for (std::size_t s = 0; s < series.size(); ++s) {
+    const auto& st = r[s][ti].raw.stm;
+    t.add_row({series[s].name, std::to_string(st.extensions),
+               std::to_string(st.summary_skips),
+               std::to_string(st.summary_fallbacks),
+               std::to_string(st.ring_overflows),
+               std::to_string(st.readset_dedups),
+               std::to_string(st.clock_adopts),
+               std::to_string(st.gate_waits)});
+  }
+  std::cout << "\ncommit/validation fast-path counters at "
+            << cfg.threads[ti] << " threads (0 for non-STM):\n";
+  t.print(std::cout);
+}
+
 inline void print_workload_banner(const FigureConfig& cfg) {
   std::cout << "collection workload: " << cfg.workload.initial_size
             << " initial elements, key range " << cfg.workload.key_range

@@ -1,0 +1,330 @@
+// Validation-path scalability sweep: long readers, 1..64 reader threads,
+// A/B-ing the two validation schemes
+//
+//     {scan, summary}  x  {extension off, extension on}
+//
+// over read-set sizes {16, 64, 256, 1024}.
+//
+// The workload isolates what the commit write-summary ring is for: the
+// O(read-set) revalidation that a TL2-style STM pays on every timebase
+// extension (and every update-commit validation).  Each READER runs a
+// read-only transaction over its own cache-line-padded cells, pausing a
+// few times to read the most recently bumped cell of a shared trigger
+// pool; the trigger's fresh version forces an extension, whose
+// revalidation is the measured cost:
+//
+//   scan    — every extension rescans the whole read set so far
+//             (batched + prefetched, but still O(read set) cell lines),
+//   summary — the ring answers from O(commits-since-rv) slot reads; an
+//             intersecting union degrades to the filter-gated probe of
+//             only the entries the range's commits may have written.
+//
+// Two WRITER threads supply the clock traffic and ring contents: a
+// stream of small transactions over 4 hot cells, plus the rotating
+// trigger bumps.  Trigger cells are bumped once per full rotation of a
+// 64-cell pool, so a logged trigger is never invalidated mid-run —
+// extensions are exercised, conflicts are not (the abort-path A/B lives
+// in the fig benches and ablation_stm).
+//
+// By default the sweep runs under the virtual-time simulator (this
+// container has one core; see DESIGN.md, Substitutions), where a shared
+// access costs one cycle, a private read-set line costs 1/4 cycle, and
+// the ring line is a queued resource.  DEMOTX_REAL=1 switches to real OS
+// threads against the wall clock.
+//
+// Output is JSON (stdout, and argv[1] if given):
+//
+//   { "bench": "micro_validation_scaling", "mode": "sim"|"real",
+//     "readers": [...], "readset_sizes": [...], "cycles_per_point": N,
+//     "results": [ { "scheme": ..., "extension": ..., "readset": R,
+//                    "points": [ { "readers": T, "commits": C,
+//                                  "aborts": A, "duration": D,
+//                                  "throughput": X, "extensions": N,
+//                                  "summary_skips": N,
+//                                  "summary_fallbacks": N,
+//                                  "ring_overflows": N,
+//                                  "readset_dedups": N }, ... ] }, ... ],
+//     "summary": { "summary_over_scan_ext_on_rss256_at_max": R,
+//                  "summary_over_scan_ext_on_rss1024_at_max": R } }
+//
+// throughput counts READER commits only — per kilocycle (sim) or per
+// microsecond (real); writer commits are load, not output.
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "mem/epoch.hpp"
+#include "stm/stm.hpp"
+#include "vt/scheduler.hpp"
+
+using namespace demotx;
+using stm::ValidationScheme;
+
+namespace {
+
+long env_long(const char* name, long fallback) {
+  const char* v = std::getenv(name);
+  return v != nullptr ? std::atol(v) : fallback;
+}
+
+constexpr int kWriters = 2;
+constexpr int kHotCells = 4;
+constexpr int kTriggerPool = 64;
+constexpr int kTriggerReads = 6;  // extension opportunities per reader tx
+
+struct Point {
+  int readers = 0;
+  std::uint64_t commits = 0;   // reader commits only
+  std::uint64_t duration = 0;  // virtual cycles (sim) / nanoseconds (real)
+  double throughput = 0.0;     // commits/kcycle (sim) / commits/us (real)
+  stm::TxStats stats;
+};
+
+class Workload {
+ public:
+  Workload(int readers, int readset)
+      : readers_(readers), readset_(readset) {
+    for (int i = 0; i < kHotCells; ++i)
+      hot_.push_back(std::make_unique<stm::TVar<long>>(0));
+    for (int i = 0; i < kTriggerPool; ++i)
+      triggers_.push_back(std::make_unique<stm::TVar<long>>(0));
+    for (int i = 0; i < readers * readset; ++i)
+      cells_.push_back(std::make_unique<stm::TVar<long>>(1));
+    // One trigger bump per ~readset/32 writer commits keeps the bump
+    // interval (bump_every * ~35-cycle writer txs / kWriters) near a
+    // sixth of a reader's lifetime (~3.3 cycles per read), so most
+    // trigger reads find a fresh version and extend — while a full
+    // 64-bump pool rotation far outlives any reader, so a logged trigger
+    // is never invalidated.
+    bump_every_ = readset / 32;
+    if (bump_every_ < 1) bump_every_ = 1;
+  }
+
+  // One read-only reader transaction: the private scan, interrupted by
+  // kTriggerReads reads of the freshest trigger cell.
+  long run_reader(int id) {
+    auto* mine = &cells_[static_cast<std::size_t>(id) * readset_];
+    const int stride = readset_ / kTriggerReads;
+    return stm::atomically([&](stm::Tx& tx) {
+      long sum = 0;
+      for (int i = 0; i < readset_; ++i) {
+        sum += mine[i]->get(tx);
+        if (stride > 0 && i % stride == stride - 1) {
+          vt::access();  // shared read of the trigger cursor
+          const int t = wpos_.load(std::memory_order_acquire);
+          sum += triggers_[static_cast<std::size_t>(t)]->get(tx);
+        }
+      }
+      return sum;
+    });
+  }
+
+  // One writer iteration: a small hot-cell transaction, plus the rotating
+  // trigger bump every bump_every_ commits.
+  void run_writer(int id, long i) {
+    const std::size_t a = static_cast<std::size_t>(id + i) % kHotCells;
+    const std::size_t b = (a + 2) % kHotCells;
+    stm::atomically([&](stm::Tx& tx) {
+      hot_[a]->set(tx, hot_[a]->get(tx) + 1);
+      hot_[b]->set(tx, hot_[b]->get(tx) + 1);
+    });
+    if (i % bump_every_ == 0) {
+      vt::access();
+      const int next =
+          (wpos_.load(std::memory_order_relaxed) + 1) % kTriggerPool;
+      stm::atomically([&](stm::Tx& tx) {
+        auto& c = triggers_[static_cast<std::size_t>(next)];
+        c->set(tx, c->get(tx) + 1);
+      });
+      vt::access();
+      wpos_.store(next, std::memory_order_release);
+    }
+  }
+
+ private:
+  int readers_;
+  int readset_;
+  long bump_every_;
+  std::atomic<int> wpos_{0};
+  std::vector<std::unique_ptr<stm::TVar<long>>> hot_;
+  std::vector<std::unique_ptr<stm::TVar<long>>> triggers_;
+  std::vector<std::unique_ptr<stm::TVar<long>>> cells_;
+};
+
+Point run_sim_point(int readers, int readset, std::uint64_t cycles) {
+  auto& rt = stm::Runtime::instance();
+  rt.reset_stats();
+  Workload w(readers, readset);
+  std::vector<std::uint64_t> commits(static_cast<std::size_t>(readers), 0);
+
+  vt::Scheduler::Options opts;
+  opts.policy = vt::Scheduler::Policy::kRoundRobin;
+  opts.max_cycles = cycles * 64 + 4'000'000;  // deadlock brake only
+  vt::Scheduler sched(opts);
+  for (int t = 0; t < readers + kWriters; ++t) {
+    sched.spawn([&w, &commits, cycles, readers](int id) {
+      if (id < readers) {
+        while (vt::sim_now() < cycles) {
+          (void)w.run_reader(id);
+          ++commits[static_cast<std::size_t>(id)];
+        }
+      } else {
+        long i = 0;
+        while (vt::sim_now() < cycles) w.run_writer(id, i++);
+      }
+    });
+  }
+  sched.run();
+
+  Point p;
+  p.readers = readers;
+  for (std::uint64_t c : commits) p.commits += c;
+  p.duration = sched.cycles();
+  p.throughput = p.duration == 0 ? 0.0
+                                 : static_cast<double>(p.commits) * 1000.0 /
+                                       static_cast<double>(p.duration);
+  p.stats = rt.aggregate_stats();
+  mem::EpochManager::instance().drain();
+  return p;
+}
+
+Point run_real_point(int readers, int readset, std::uint64_t ms) {
+  auto& rt = stm::Runtime::instance();
+  rt.reset_stats();
+  Workload w(readers, readset);
+  std::vector<std::uint64_t> commits(static_cast<std::size_t>(readers), 0);
+  std::atomic<bool> stop{false};
+
+  const auto t0 = std::chrono::steady_clock::now();
+  vt::run_threads(readers + kWriters, [&](int id) {
+    long i = 0;
+    std::uint64_t n = 0;
+    while (!stop.load(std::memory_order_relaxed)) {
+      if (id < readers) {
+        (void)w.run_reader(id);
+        ++n;
+      } else {
+        w.run_writer(id, i++);
+      }
+      if ((++i & 63) == 0) {
+        const auto now = std::chrono::steady_clock::now();
+        if (std::chrono::duration_cast<std::chrono::milliseconds>(now - t0)
+                .count() >= static_cast<long>(ms))
+          stop.store(true, std::memory_order_relaxed);
+      }
+    }
+    if (id < readers) commits[static_cast<std::size_t>(id)] = n;
+  });
+  const auto t1 = std::chrono::steady_clock::now();
+
+  Point p;
+  p.readers = readers;
+  for (std::uint64_t c : commits) p.commits += c;
+  p.duration = static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0).count());
+  p.throughput = p.duration == 0 ? 0.0
+                                 : static_cast<double>(p.commits) * 1000.0 /
+                                       static_cast<double>(p.duration);
+  p.stats = rt.aggregate_stats();
+  mem::EpochManager::instance().drain();
+  return p;
+}
+
+void json_point(std::ostream& os, const Point& p) {
+  os << "        {\"readers\": " << p.readers << ", \"commits\": " << p.commits
+     << ", \"aborts\": " << p.stats.aborts << ", \"duration\": " << p.duration
+     << ", \"throughput\": " << p.throughput
+     << ", \"extensions\": " << p.stats.extensions
+     << ", \"summary_skips\": " << p.stats.summary_skips
+     << ", \"summary_fallbacks\": " << p.stats.summary_fallbacks
+     << ", \"ring_overflows\": " << p.stats.ring_overflows
+     << ", \"readset_dedups\": " << p.stats.readset_dedups << "}";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool real = env_long("DEMOTX_REAL", 0) != 0;
+  const auto cycles =
+      static_cast<std::uint64_t>(env_long("DEMOTX_CYCLES", 60'000));
+  const auto ms = static_cast<std::uint64_t>(env_long("DEMOTX_MS", 50));
+  const long max_threads = env_long("DEMOTX_MAX_THREADS", 64);
+  std::vector<int> readers;
+  for (int t : {1, 8, 32, 64})
+    if (t <= max_threads) readers.push_back(t);
+  const std::vector<int> readsets{16, 64, 256, 1024};
+
+  auto& rt = stm::Runtime::instance();
+  const stm::Config saved = rt.config;
+  rt.config.clock_scheme = stm::ClockScheme::kGv1;  // the ring's home turf
+
+  std::ostringstream out;
+  out << "{\n  \"bench\": \"micro_validation_scaling\",\n  \"mode\": \""
+      << (real ? "real" : "sim") << "\",\n  \"readers\": [";
+  for (std::size_t i = 0; i < readers.size(); ++i)
+    out << (i != 0 ? ", " : "") << readers[i];
+  out << "],\n  \"readset_sizes\": [";
+  for (std::size_t i = 0; i < readsets.size(); ++i)
+    out << (i != 0 ? ", " : "") << readsets[i];
+  out << "],\n  \"" << (real ? "ms_per_point" : "cycles_per_point")
+      << "\": " << (real ? ms : cycles) << ",\n  \"results\": [\n";
+
+  // summary input: throughput at max readers, ext on, per (scheme, rss)
+  double at_max[2][4] = {{0}};
+
+  bool first_series = true;
+  for (const bool summary : {false, true}) {
+    for (const bool extension : {false, true}) {
+      for (std::size_t rs = 0; rs < readsets.size(); ++rs) {
+        rt.config.validation_scheme =
+            summary ? ValidationScheme::kSummary : ValidationScheme::kScan;
+        rt.config.enable_extension = extension;
+        if (!first_series) out << ",\n";
+        first_series = false;
+        out << "    {\"scheme\": \"" << (summary ? "summary" : "scan")
+            << "\", \"extension\": " << (extension ? "true" : "false")
+            << ", \"readset\": " << readsets[rs] << ", \"points\": [\n";
+        for (std::size_t t = 0; t < readers.size(); ++t) {
+          std::cerr << (summary ? "summary" : "scan")
+                    << (extension ? "+ext" : "") << " rss=" << readsets[rs]
+                    << " @" << readers[t] << " readers...\n";
+          const Point p = real ? run_real_point(readers[t], readsets[rs], ms)
+                               : run_sim_point(readers[t], readsets[rs], cycles);
+          if (t != 0) out << ",\n";
+          json_point(out, p);
+          if (extension && t + 1 == readers.size())
+            at_max[summary ? 1 : 0][rs] = p.throughput;
+        }
+        out << "\n    ]}";
+      }
+    }
+  }
+  rt.config = saved;
+
+  const double r256 =
+      at_max[0][2] > 0 ? at_max[1][2] / at_max[0][2] : 0.0;
+  const double r1024 =
+      at_max[0][3] > 0 ? at_max[1][3] / at_max[0][3] : 0.0;
+  out << "\n  ],\n  \"summary\": "
+      << "{\"summary_over_scan_ext_on_rss256_at_max\": " << r256
+      << ",\n              \"summary_over_scan_ext_on_rss1024_at_max\": "
+      << r1024 << "}\n}\n";
+
+  std::cout << out.str();
+  if (argc > 1) {
+    std::ofstream f(argv[1]);
+    f << out.str();
+    std::cerr << "wrote " << argv[1] << "\n";
+  }
+  std::cerr << "ext-on @" << readers.back()
+            << " readers: summary/scan = " << r256 << " (rss 256), " << r1024
+            << " (rss 1024)\n";
+  return 0;
+}

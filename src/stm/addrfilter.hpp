@@ -1,0 +1,34 @@
+// Shared 64-bit address-summary hashing for cells.
+//
+// Both per-transaction sets (writeset.hpp, readset.hpp) and the global
+// commit write-summary ring (runtime.hpp) condense a set of cell
+// addresses into one 64-bit word: bit (hash(addr) & 63) is set for every
+// member.  A clear intersection between two summaries PROVES the two
+// address sets are disjoint; a set bit only means "maybe", so every
+// consumer must fall back to an exact check on intersection.  Keeping the
+// hash in one place guarantees the read-set summary, the write-set
+// summary and the ring slots all speak the same bit language — a summary
+// comparison across sets is only meaningful if they hashed identically.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace demotx::stm {
+
+struct Cell;
+
+// Cells are 64-byte aligned, so the low 6 bits carry no information;
+// Fibonacci hashing (golden-ratio multiply) then spreads consecutive
+// heap addresses across the bit range.
+inline std::size_t addr_hash(const Cell* c) {
+  auto x = reinterpret_cast<std::uintptr_t>(c) >> 6;
+  x *= 0x9e3779b97f4a7c15ULL;
+  return static_cast<std::size_t>(x >> 32 ^ x);
+}
+
+inline std::uint64_t addr_filter_bit(const Cell* c) {
+  return std::uint64_t{1} << (addr_hash(c) & 63u);
+}
+
+}  // namespace demotx::stm

@@ -45,7 +45,15 @@ std::uint64_t Tx::read_classic(Cell& c) {
         throw_abort(AbortReason::kReadValidation);
       continue;  // re-read under the extended rv
     }
-    reads_.add(&c, ver);
+    // Log the read; with dedup on, a re-read of a recently logged cell at
+    // the same version is suppressed so hot cells do not inflate every
+    // later validation scan (outcome-neutral: the surviving entry carries
+    // the identical (cell, version) obligation).
+    if (dedup_) {
+      if (reads_.add_deduped(&c, ver)) ++stats_.readset_dedups;
+    } else {
+      reads_.add(&c, ver);
+    }
     return s.value;
   }
 }

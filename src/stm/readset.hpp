@@ -12,9 +12,9 @@
 #include <cstdint>
 #include <vector>
 
-namespace demotx::stm {
+#include "stm/addrfilter.hpp"
 
-struct Cell;
+namespace demotx::stm {
 
 struct ReadEntry {
   Cell* cell;
@@ -23,9 +23,50 @@ struct ReadEntry {
 
 class ReadSet {
  public:
-  ReadSet() { entries_.reserve(64); }
+  ReadSet() {
+    entries_.reserve(64);
+    reset_cache();
+  }
 
-  void add(Cell* c, std::uint64_t version) { entries_.push_back({c, version}); }
+  void add(Cell* c, std::uint64_t version) {
+    entries_.push_back({c, version});
+  }
+
+  // Dedup: a re-read of a recently logged cell at the SAME version is
+  // suppressed instead of appended, so hot-cell re-reads stop inflating
+  // every later validation scan.  A small direct-mapped cache of recent
+  // entry indices is probed; only an exact (cell, version) match against
+  // the LIVE entry suppresses, so the surviving entries validate exactly
+  // like the duplicate-logging baseline (a duplicate at a different
+  // version could never have been logged anyway: read_classic returns one
+  // version per cell per rv).  Because every hit is re-validated, slots
+  // are never reset — stale indices from a previous transaction can only
+  // miss or rediscover a genuine duplicate — and the cache is best-effort:
+  // a slot collision just lets a duplicate through, which is harmless.
+  // Returns true when the read was suppressed as a duplicate.
+  bool add_deduped(Cell* c, std::uint64_t version) {
+    const std::size_t slot = cache_slot(c);
+    const std::uint32_t idx = cache_[slot];
+    if (idx < entries_.size() && entries_[idx].cell == c &&
+        entries_[idx].version == version) {
+      return true;
+    }
+    cache_[slot] = static_cast<std::uint32_t>(entries_.size());
+    entries_.push_back({c, version});
+    return false;
+  }
+
+  // The whole-set address summary (same hash as WriteSet::summary(), see
+  // addrfilter.hpp): used by summary-ring validation to prove commits
+  // with disjoint write sets could not have invalidated any read.  Folded
+  // lazily — entries appended since the last call are OR-ed in here — so
+  // the per-read fast path does no hashing; validation, which is where
+  // the summary is consumed, pays one private O(new entries) walk.
+  [[nodiscard]] std::uint64_t summary() {
+    for (; summarized_ < entries_.size(); ++summarized_)
+      filter_ |= addr_filter_bit(entries_[summarized_].cell);
+    return filter_;
+  }
 
   // Early release (paper Sec. 4.1): drop every logged read of this cell.
   // Returns how many entries were dropped.
@@ -39,12 +80,16 @@ class ReadSet {
       }
     }
     entries_.resize(kept);
+    if (dropped != 0) rebuild_filter();
     return dropped;
   }
 
   // Drops every entry at index >= n (orElse branch rollback).
   void truncate(std::size_t n) {
-    if (n < entries_.size()) entries_.resize(n);
+    if (n < entries_.size()) {
+      entries_.resize(n);
+      rebuild_filter();
+    }
   }
 
   void clear() {
@@ -57,6 +102,11 @@ class ReadSet {
     } else {
       entries_.clear();
     }
+    filter_ = 0;
+    summarized_ = 0;
+    // The dedup cache is deliberately NOT reset: every lookup is
+    // validated against the current entries_, so stale indices are
+    // harmless and clear() stays O(1) on the transaction fast path.
   }
   [[nodiscard]] bool empty() const { return entries_.empty(); }
   [[nodiscard]] std::size_t size() const { return entries_.size(); }
@@ -69,8 +119,46 @@ class ReadSet {
 
  private:
   static constexpr std::size_t kShrinkEntries = 1024;
+  static constexpr std::uint32_t kNoEntry = 0xffffffffu;
+  // Power of two; 16 slots cover the recently-touched working set of a
+  // traversal (the case dedup targets) while the whole cache stays in ONE
+  // cache line.  Size matters beyond hit rate: growing ReadSet shifts
+  // every later Tx member, and (like the descriptor-layout experiments
+  // recorded in txdesc.hpp) a two-line cache measurably slowed the
+  // single-thread read path even with dedup disabled.
+  static constexpr std::size_t kCacheSlots = 16;
+
+  // Cheap slot index for the dedup cache.  Unlike the 64-bit summary this
+  // needs no mixing: cells are 64-byte aligned, so consecutive line
+  // indices spread over the slots, and a collision only costs a missed
+  // suppression (lookups re-validate).  Keeping the multiply-free path
+  // matters — this runs on every summary-mode classic read.
+  static std::size_t cache_slot(const Cell* c) {
+    return (reinterpret_cast<std::uintptr_t>(c) >> 6) & (kCacheSlots - 1);
+  }
+
+  void reset_cache() {
+    for (std::uint32_t& s : cache_) s = kNoEntry;
+  }
+
+  // Recompute the summary after entries were removed (release/truncate):
+  // a stale set bit would be harmless for dedup (lookups re-validate) but
+  // would make the ring validator see phantom intersections.  The cache
+  // is repopulated too while we are walking anyway (rare path).
+  void rebuild_filter() {
+    filter_ = 0;
+    reset_cache();
+    for (std::size_t i = 0; i < entries_.size(); ++i) {
+      filter_ |= addr_filter_bit(entries_[i].cell);
+      cache_[cache_slot(entries_[i].cell)] = static_cast<std::uint32_t>(i);
+    }
+    summarized_ = entries_.size();
+  }
 
   std::vector<ReadEntry> entries_;
+  std::uint64_t filter_ = 0;      // summary over entries_[0, summarized_)
+  std::size_t summarized_ = 0;    // how many entries summary() has folded
+  std::uint32_t cache_[kCacheSlots];  // entry index per address-hash slot
 };
 
 // Bounded FIFO of the most recent elastic reads.  Default capacity 2

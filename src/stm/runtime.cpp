@@ -25,6 +25,12 @@ Runtime::Runtime() {
     if (std::strcmp(g, "distributed") == 0)
       config.gate_scheme = GateScheme::kDistributed;
   }
+  if (const char* v = std::getenv("DEMOTX_VALIDATION")) {
+    if (std::strcmp(v, "summary") == 0)
+      config.validation_scheme = ValidationScheme::kSummary;
+    if (std::strcmp(v, "scan") == 0)
+      config.validation_scheme = ValidationScheme::kScan;
+  }
 }
 
 Runtime::~Runtime() {

@@ -57,6 +57,25 @@ enum class ClockScheme : std::uint8_t { kGv1 = 0, kGv4 = 1 };
 //                  commit touches no shared gate line.
 enum class GateScheme : std::uint8_t { kCounter = 0, kDistributed = 1 };
 
+// Commit-time / extension-time read-set validation scheme.
+//
+//   kScan    — TL2 baseline: revalidate by reloading every read cell's
+//              lock word, O(read set) shared-line loads per validation.
+//              Default, for figure fidelity: the O(n) revalidation cost
+//              is part of what Figs. 5/7/9 measure for classic.
+//   kSummary — commit write-summary ring (RingSTM-flavoured): every
+//              update commit publishes its write set's 64-bit address
+//              summary keyed by wv; a validator ORs the summaries for
+//              (rv, target] and, when the union misses its read-set
+//              summary, succeeds in O(commits-since-rv) ring reads with
+//              zero cell-line touches.  Intersection, a recycled slot or
+//              a range wider than the ring fall back to the full scan, so
+//              the scheme is sound by construction.  Active only under
+//              GV1: a GV4 adopter shares its wv with the winner, so a
+//              fully published slot for timestamp t does not prove all
+//              commits at t have published (summary_validation_active()).
+enum class ValidationScheme : std::uint8_t { kScan = 0, kSummary = 1 };
+
 struct Config {
   CmPolicy cm = CmPolicy::kBackoff;
   // Timebase extension: on a too-new read, revalidate and slide rv forward
@@ -91,6 +110,19 @@ struct Config {
   // schemes without recompiling.
   ClockScheme clock_scheme = ClockScheme::kGv1;
   GateScheme gate_scheme = GateScheme::kDistributed;
+  // Validation-path ablations.  kScan stays the default for figure
+  // fidelity (see enum comment); DEMOTX_VALIDATION (scan|summary)
+  // overrides at process start, and ctest runs the stm suites under both.
+  ValidationScheme validation_scheme = ValidationScheme::kScan;
+  // Suppress duplicate read-set entries for re-reads of the same cell at
+  // the same version (ReadSet::add_deduped).  Outcome-neutral by
+  // construction; ablatable so tests can diff against the
+  // duplicate-logging baseline.  Only active while summary validation is
+  // (kSummary + GV1): dedup is what keeps the fallback scans and the
+  // incremental read summary O(distinct cells), while under plain kScan
+  // the per-read cache probe would be dead weight on re-read-free
+  // workloads, so the scan read path stays byte-for-byte the old one.
+  bool readset_dedup = true;
 };
 
 class Runtime {
@@ -142,6 +174,118 @@ class Runtime {
   // Greedy-CM ticket source.
   std::uint64_t next_cm_stamp() {
     return cm_ticket_.fetch_add(1, std::memory_order_relaxed) + 1;
+  }
+
+  // ---- commit write-summary ring (ValidationScheme::kSummary) ----------
+  //
+  // A fixed ring of (stamp, summary) pairs keyed by commit timestamp:
+  // slot[wv & mask] holds the 64-bit write-set address summary of the
+  // commit that published wv, or an abort marker (summary 0) when the
+  // committer died after taking its timestamp.  Validators only ever
+  // TRUST a slot whose stamp equals the exact timestamp they are asking
+  // about; any other stamp (older epoch not yet overwritten, kStampBusy,
+  // or a later epoch that lapped the ring) yields kUnknown and the caller
+  // falls back to the full scan.  That rule is the soundness anchor: the
+  // ring can drop, delay or recycle publications arbitrarily and only
+  // ever costs performance, never correctness.
+
+  static constexpr std::size_t kSummaryRingSize = 1024;  // power of two
+
+  enum class SummaryCheck : std::uint8_t { kClean, kDirty, kUnknown };
+
+  // True when the ring is in use: summary validation is requested AND the
+  // clock is GV1.  Under GV4 several commits share one wv, so a completed
+  // slot for t cannot prove every commit stamped t has published its
+  // writes — the scheme silently degrades to the scan (see DESIGN.md).
+  [[nodiscard]] bool summary_validation_active() const {
+    return config.validation_scheme == ValidationScheme::kSummary &&
+           config.clock_scheme == ClockScheme::kGv1;
+  }
+
+  // Publishes `summary` for commit timestamp `wv`.  Called after the
+  // commit-point CAS and BEFORE write-back: a validator that later reads
+  // a complete slot for wv learns every cell wv may still be writing, so
+  // non-intersection is conclusive regardless of write-back timing.
+  // Aborting committers publish summary 0 for their wasted timestamp so
+  // it cannot permanently poison validator ranges.
+  void publish_commit_summary(std::uint64_t wv, std::uint64_t summary,
+                              TxStats* st = nullptr) {
+    SummarySlot& s = summary_ring_[wv & (kSummaryRingSize - 1)];
+    // Sim cost model: four 16-byte slots share one 64-byte line, and the
+    // claim CAS is an RMW on a line other committers also hit — charge it
+    // like the other commit-path globals (queued resource).
+    charge_hot_line_rmw(ring_lines_[(wv & (kSummaryRingSize - 1)) / 4]);
+    std::uint64_t cur = s.stamp.load(std::memory_order_relaxed);
+    for (;;) {
+      if (cur == kStampBusy) {
+        // A lapped/lapping publisher owns the slot for a few stores.
+        vt::access();
+        cur = s.stamp.load(std::memory_order_relaxed);
+        continue;
+      }
+      if (cur >= wv) {
+        // The ring already moved past this timestamp (a publisher at
+        // wv + k*kSummaryRingSize got here first).  Validators asking
+        // about wv will see the stamp mismatch and fall back.
+        if (st != nullptr) ++st->ring_overflows;
+        return;
+      }
+      if (s.stamp.compare_exchange_weak(cur, kStampBusy,
+                                        std::memory_order_acq_rel,
+                                        std::memory_order_relaxed)) {
+        break;
+      }
+    }
+    // Seqlock-style publish: summary first, then the stamp with release
+    // order.  A consumer that reads stamp == wv (acquire) therefore sees
+    // this summary — and because overwriting requires passing through
+    // kStampBusy, its stamp re-check detects any concurrent recycling.
+    s.summary.store(summary, std::memory_order_relaxed);
+    s.stamp.store(wv, std::memory_order_release);
+  }
+
+  // ORs the published summaries for timestamps in (lo, hi] and tests the
+  // union against `read_summary`.  kClean proves every commit in the
+  // range wrote only cells disjoint from the reader's set; kDirty means
+  // possible overlap; kUnknown means some slot could not be trusted
+  // (recycled, busy, or the range outran the ring).  Only kClean lets the
+  // caller skip the scan.
+  //
+  // On kClean/kDirty — i.e. whenever every slot in the range was trusted —
+  // *agg_out receives the union of the range's write summaries.  A cell
+  // whose filter bit is absent from that union was written by NO commit
+  // in (lo, hi], so a kDirty caller may revalidate only the entries whose
+  // bits intersect it (O(changed) instead of O(read set)).  On kUnknown
+  // the union is incomplete and *agg_out is left untouched.
+  SummaryCheck check_summaries(std::uint64_t lo, std::uint64_t hi,
+                               std::uint64_t read_summary,
+                               TxStats* st = nullptr,
+                               std::uint64_t* agg_out = nullptr) {
+    if (hi <= lo) {
+      if (agg_out != nullptr) *agg_out = 0;
+      return SummaryCheck::kClean;
+    }
+    if (hi - lo > kSummaryRingSize) {
+      if (st != nullptr) ++st->ring_overflows;
+      return SummaryCheck::kUnknown;
+    }
+    std::uint64_t agg = 0;
+    for (std::uint64_t t = lo + 1; t <= hi; ++t) {
+      vt::access();  // one shared ring-slot load per timestamp
+      const SummarySlot& s = summary_ring_[t & (kSummaryRingSize - 1)];
+      if (s.stamp.load(std::memory_order_acquire) != t)
+        return SummaryCheck::kUnknown;
+      const std::uint64_t sum = s.summary.load(std::memory_order_acquire);
+      // The acquire above orders this re-check after the summary load; a
+      // concurrent recycler must set kStampBusy first, so stamp still
+      // being t proves `sum` is t's published summary, not a torn mix.
+      if (s.stamp.load(std::memory_order_relaxed) != t)
+        return SummaryCheck::kUnknown;
+      agg |= sum;
+    }
+    if (agg_out != nullptr) *agg_out = agg;
+    return (agg & read_summary) != 0 ? SummaryCheck::kDirty
+                                     : SummaryCheck::kClean;
   }
 
   // ---- serial irrevocability (inevitability) ----
@@ -278,6 +422,15 @@ class Runtime {
     std::atomic<std::uint64_t> in_commit{0};
   };
 
+  // One write-summary ring slot.  stamp 0 means "never published" (wv
+  // starts at 1); kStampBusy marks a publisher mid-recycle.
+  struct SummarySlot {
+    std::atomic<std::uint64_t> stamp{0};
+    std::atomic<std::uint64_t> summary{0};
+  };
+
+  static constexpr std::uint64_t kStampBusy = ~std::uint64_t{0};
+
   // ---- simulated coherence cost of the commit-path global lines ------
   //
   // The virtual-time cost model charges one cycle per shared access
@@ -312,6 +465,12 @@ class Runtime {
   std::atomic<int> committers_{0};
   HotLine clock_line_;
   HotLine gate_line_;
+  // Summary-ring coherence model: like the clock, the ring is a shared
+  // structure every committer RMWs — but writes spread over
+  // kSummaryRingSize/4 lines instead of one, so consecutive timestamps
+  // (the common case) land on different lines and barely queue.
+  HotLine ring_lines_[kSummaryRingSize / 4];
+  SummarySlot summary_ring_[kSummaryRingSize];
   CommitSlot commit_slots_[vt::kMaxThreads];
   Slot slots_[vt::kMaxThreads];
 };

@@ -18,13 +18,30 @@
 namespace demotx::stm {
 
 std::uint64_t Tx::read_snapshot(Cell& c) {
+  // How many lock-word probes to tolerate before giving up on a stuck
+  // committer.  Normal write-back holds a lock for a handful of cycles,
+  // so the bound is never hit in a healthy run; a descheduled or wedged
+  // committer must not pin us forever — we abort and retry with a fresh
+  // bound instead.
+  constexpr unsigned kSpinBound = 1024;
+  unsigned spins = 0;
   for (;;) {
     const CellSnap s = snap(c, /*want_old=*/true);
     if (lockword::locked(s.word)) {
       // A committer is writing back; it will release shortly and the
       // backup it installs is exactly the value we may need.  Spin (one
       // virtual cycle per probe) rather than consult the CM: snapshot
-      // transactions hold nothing anyone could wait on.
+      // transactions hold nothing anyone could wait on.  The spin is
+      // bounded, and the kill flag is polled directly (check_killed()
+      // deliberately skips snapshot transactions) so an enemy's kill CAS
+      // cannot leave this loop livelocked against a stalled lock holder.
+      if ((++spins & 7u) == 0) {
+        const std::uint64_t w = status_.load(std::memory_order_acquire);
+        if ((w & 3u) == kStatusAborted && (w >> 2) == serial_)
+          throw_abort(AbortReason::kKilled);
+        if (spins >= kSpinBound) throw_abort(AbortReason::kLockedByOther);
+      }
+      vt::cpu_relax();
       continue;
     }
     if (lockword::version_of(s.word) <= rv_) return s.value;

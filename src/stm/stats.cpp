@@ -50,6 +50,17 @@ std::string TxStats::summary() const {
                   static_cast<unsigned long long>(wfilter_skips));
     out += buf;
   }
+  if (summary_skips != 0 || summary_fallbacks != 0 || ring_overflows != 0 ||
+      readset_dedups != 0) {
+    std::snprintf(buf, sizeof buf,
+                  "  validation: %llu summary skips, %llu fallbacks, "
+                  "%llu ring overflows, %llu read dedups\n",
+                  static_cast<unsigned long long>(summary_skips),
+                  static_cast<unsigned long long>(summary_fallbacks),
+                  static_cast<unsigned long long>(ring_overflows),
+                  static_cast<unsigned long long>(readset_dedups));
+    out += buf;
+  }
   return out;
 }
 

@@ -34,6 +34,11 @@ struct TxStats {
   std::uint64_t gate_waits = 0;     // commit parked behind a closed gate
   std::uint64_t wfilter_hits = 0;   // address filter said "maybe ours"
   std::uint64_t wfilter_skips = 0;  // filter proved absence, probe skipped
+  // Validation fast path (commit write-summary ring, read-set dedup).
+  std::uint64_t summary_skips = 0;      // ring proved disjoint: scan skipped
+  std::uint64_t summary_fallbacks = 0;  // intersection/stale slot: full scan
+  std::uint64_t ring_overflows = 0;     // range outran the ring: full scan
+  std::uint64_t readset_dedups = 0;     // duplicate read suppressed
 
   void merge(const TxStats& o) {
     starts += o.starts;
@@ -58,6 +63,10 @@ struct TxStats {
     gate_waits += o.gate_waits;
     wfilter_hits += o.wfilter_hits;
     wfilter_skips += o.wfilter_skips;
+    summary_skips += o.summary_skips;
+    summary_fallbacks += o.summary_fallbacks;
+    ring_overflows += o.ring_overflows;
+    readset_dedups += o.readset_dedups;
   }
 
   [[nodiscard]] double abort_ratio() const {

@@ -1,5 +1,6 @@
 #include "stm/txdesc.hpp"
 
+#include <algorithm>
 #include <atomic>
 
 #include "mem/epoch.hpp"
@@ -42,6 +43,14 @@ void Tx::begin(Semantics sem, unsigned attempt, bool irrevocable) {
   mem::EpochManager::instance().enter();
 
   eager_ = rt.config.eager_writes;
+  summary_mode_ = rt.summary_validation_active();
+  // Dedup rides with summary validation: suppressing duplicate log
+  // entries is what keeps the fallback scans and the incremental read
+  // summary O(distinct cells).  Under plain scan validation the per-read
+  // cache probe would be pure overhead on workloads without re-reads
+  // (~2ns/read on this machine), so the classic scan path stays exactly
+  // the PR 1 fast path.
+  dedup_ = summary_mode_ && rt.config.readset_dedup;
   htm_ = false;  // armed per-attempt by atomically_hybrid after begin()
   in_commit_gate_ = false;
   irrevocable_.store(irrevocable, std::memory_order_release);
@@ -354,29 +363,106 @@ void Tx::release_write_locks_aborting() {
   }
 }
 
+bool Tx::read_entry_current(const ReadEntry& e) {
+  const std::uint64_t w = e.cell->vlock.load(std::memory_order_acquire);
+  if (!lockword::locked(w)) return lockword::version_of(w) == e.version;
+  if (lockword::owner_of(w) != slot_) return false;
+  const WriteEntry* we = writes_.find(e.cell);
+  return we != nullptr && we->saved_version == e.version;
+}
+
 bool Tx::validate_read_set() {
-  for (const ReadEntry& e : reads_) {
-    vt::access();
-    const std::uint64_t w = e.cell->vlock.load(std::memory_order_acquire);
-    if (lockword::locked(w)) {
-      if (lockword::owner_of(w) != slot_) return false;
-      const WriteEntry* we = writes_.find(e.cell);
-      if (we == nullptr || we->saved_version != e.version) return false;
-    } else if (lockword::version_of(w) != e.version) {
-      return false;
+  // The expected word for an unchanged, unlocked entry is exactly
+  // make_version(e.version), so a whole batch can be checked with XOR/OR
+  // and one branch; the slow path re-examines a failing batch entry by
+  // entry, accepting locks we hold ourselves on cells we wrote (eager
+  // mode).  Prefetching the next batch's lock words overlaps the misses
+  // that dominate large-read-set validation.
+  const ReadEntry* const base = reads_.begin();
+  const std::size_t n = reads_.size();
+  constexpr std::size_t kBatch = 8;
+  std::size_t i = 0;
+  for (; i + kBatch <= n; i += kBatch) {
+    const std::size_t pf_end = std::min(n, i + 2 * kBatch);
+    for (std::size_t j = i + kBatch; j < pf_end; ++j)
+      __builtin_prefetch(&base[j].cell->vlock, 0, 3);
+    std::uint64_t diff = 0;
+    for (std::size_t j = 0; j < kBatch; ++j) {
+      vt::access();
+      diff |= base[i + j].cell->vlock.load(std::memory_order_acquire) ^
+              lockword::make_version(base[i + j].version);
     }
+    if (diff != 0) {
+      for (std::size_t j = 0; j < kBatch; ++j)
+        if (!read_entry_current(base[i + j])) return false;
+    }
+  }
+  for (; i < n; ++i) {
+    vt::access();
+    if (!read_entry_current(base[i])) return false;
+  }
+  return true;
+}
+
+bool Tx::validate_read_set_filtered(std::uint64_t dirty) {
+  // `dirty` is the union of the write summaries of EVERY commit in the
+  // range being validated (check_summaries returned kDirty, so every
+  // slot was trusted).  An entry whose filter bit misses that union was
+  // written by no in-range commit, hence is exactly as we logged it —
+  // including entries under our own eager locks: an interloper between
+  // our read and our lock acquisition would be an in-range commit and
+  // would have put the cell's bit into `dirty`, so a missing bit also
+  // proves saved_version == e.version.  Skipped entries touch no shared
+  // line (the bit comes from the pointer value in the private read-set
+  // array, not from the cell).  The sim model charges shared accesses
+  // only — private sequential memory streams through L1 — so the walk
+  // costs a token cycle per few lines, not one per entry like the scan.
+  const ReadEntry* const base = reads_.begin();
+  const std::size_t n = reads_.size();
+  std::size_t walked = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    if ((addr_filter_bit(base[i].cell) & dirty) == 0) {
+      if ((++walked & 15u) == 0) vt::access();
+      continue;
+    }
+    vt::access();
+    if (!read_entry_current(base[i])) return false;
   }
   return true;
 }
 
 bool Tx::try_extend() {
-  const std::uint64_t new_rv = Runtime::instance().clock_read();
-  for (const ReadEntry& e : reads_) {
-    vt::access();
-    const std::uint64_t w = e.cell->vlock.load(std::memory_order_acquire);
-    if (lockword::locked(w) || lockword::version_of(w) != e.version)
-      return false;
+  Runtime& rt = Runtime::instance();
+  const std::uint64_t new_rv = rt.clock_read();
+  if (summary_mode_ && !reads_.empty()) {
+    // Ring fast path over (rv_, new_rv]: any commit that could have
+    // changed a cell we read finished its clock bump by new_rv (a later
+    // committer's write serializes after new_rv, which the extended
+    // snapshot legitimately predates), so a clean union over the range
+    // proves every read still holds at new_rv without touching a single
+    // cell line.  Intersection or an untrusted slot falls back to the
+    // scan below.
+    std::uint64_t agg = 0;
+    switch (rt.check_summaries(rv_, new_rv, reads_.summary(), &stats_, &agg)) {
+      case Runtime::SummaryCheck::kClean:
+        ++stats_.summary_skips;
+        rv_ = new_rv;
+        ++stats_.extensions;
+        return true;
+      case Runtime::SummaryCheck::kDirty:
+        // The union intersects our summary, but it is trusted and
+        // complete: probe only the entries whose bits it covers.
+        ++stats_.summary_fallbacks;
+        if (!validate_read_set_filtered(agg)) return false;
+        rv_ = new_rv;
+        ++stats_.extensions;
+        return true;
+      case Runtime::SummaryCheck::kUnknown:
+        ++stats_.summary_fallbacks;
+        break;
+    }
   }
+  if (!validate_read_set()) return false;
   rv_ = new_rv;
   ++stats_.extensions;
   return true;
@@ -484,15 +570,60 @@ void Tx::commit_update() {
   // adopter shares its wv with the winner, so wv == rv+1 does not prove
   // exclusivity — two adopters with disjoint write sets could both see it
   // and skip the validation that would have caught a write-skew.
-  if ((!clock_advanced || rv_ + 1 != wv) && !validate_read_set()) {
-    throw_abort(AbortReason::kCommitValidation);
+  if (!clock_advanced || rv_ + 1 != wv) {
+    bool valid;
+    if (summary_mode_ && !reads_.empty()) {
+      // Ring fast path over (rv_, wv-1]: wv is exclusively ours (GV1),
+      // and any commit that could have invalidated a read both happened
+      // after the read (else we'd have logged its version) and acquired
+      // its timestamp before our bump (it held the cell's lock and
+      // finished write-back before we read or locked the cell) — so it
+      // lies inside the range.  A clean union proves the read set intact
+      // with zero cell-line touches.
+      std::uint64_t agg = 0;
+      switch (
+          rt.check_summaries(rv_, wv - 1, reads_.summary(), &stats_, &agg)) {
+        case Runtime::SummaryCheck::kClean:
+          ++stats_.summary_skips;
+          valid = true;
+          break;
+        case Runtime::SummaryCheck::kDirty:
+          // Trusted but intersecting union: O(changed) probe of exactly
+          // the entries whose bits the range's commits may have written.
+          ++stats_.summary_fallbacks;
+          valid = validate_read_set_filtered(agg);
+          break;
+        case Runtime::SummaryCheck::kUnknown:
+        default:
+          ++stats_.summary_fallbacks;
+          valid = validate_read_set();
+          break;
+      }
+    } else {
+      valid = validate_read_set();
+    }
+    if (!valid) {
+      // The timestamp is burnt either way: publish an empty summary so
+      // validators spanning wv are not stuck falling back forever.
+      if (summary_mode_) rt.publish_commit_summary(wv, 0, &stats_);
+      throw_abort(AbortReason::kCommitValidation);
+    }
   }
   // Decision point: after this CAS nothing can abort us.
   std::uint64_t expected = (serial_ << 2) | kStatusActive;
   if (!status_.compare_exchange_strong(expected,
                                        (serial_ << 2) | kStatusCommitted,
                                        std::memory_order_acq_rel)) {
+    if (summary_mode_) rt.publish_commit_summary(wv, 0, &stats_);
     throw_abort(AbortReason::kKilled);
+  }
+  // Publish the write summary BEFORE write-back: a validator that trusts
+  // slot wv learns every cell this commit may still be writing, so a
+  // non-intersecting reader is safe no matter how far write-back got.
+  // (In-place eager values stay invisible behind their locks until the
+  // versioned unlocks below.)
+  if (summary_mode_) {
+    rt.publish_commit_summary(wv, writes_.summary(), &stats_);
   }
   last_wv_ = wv;
   const bool keep_old = rt.config.maintain_old_versions;

@@ -190,9 +190,20 @@ class Tx {
   void eager_acquire_and_store(Cell& c, std::uint64_t v);
   void acquire_write_locks();
   void release_write_locks_aborting();
+  // Full read-set revalidation: batched, software-prefetched scan over
+  // every logged entry.  Accepts locks this transaction itself holds on
+  // cells it wrote (eager mode) when the lock predates any change.
   [[nodiscard]] bool validate_read_set();
-  // Tries to advance rv_ to the current clock after revalidating all
-  // reads; returns false (leaving rv_ unchanged) on any change.
+  // O(changed) revalidation: probes only entries whose filter bit is in
+  // `dirty`, the trusted union of every in-range commit's write summary.
+  // Sound ONLY after check_summaries returned kDirty for the range being
+  // validated (kUnknown means the union is incomplete — full scan).
+  [[nodiscard]] bool validate_read_set_filtered(std::uint64_t dirty);
+  // Slow path for one entry whose fast word-compare failed.
+  [[nodiscard]] bool read_entry_current(const ReadEntry& e);
+  // Tries to advance rv_ to the current clock: first via the commit
+  // write-summary ring (when active), else by revalidating all reads;
+  // returns false (leaving rv_ unchanged) on any invalidated read.
   [[nodiscard]] bool try_extend();
   void validate_window_or_abort();
   void check_killed();
@@ -203,6 +214,8 @@ class Tx {
   bool eager_ = false;          // encounter-time locking for this attempt
   bool htm_ = false;             // modeled-HTM execution (atomically_hybrid)
   bool in_commit_gate_ = false;  // registered in the irrevocability gate
+  bool summary_mode_ = false;    // summary-ring validation for this attempt
+  bool dedup_ = false;           // read-set dedup for this attempt
   std::uint64_t rv_ = 0;  // start timestamp (classic) / bound ub (snapshot)
   std::uint64_t serial_ = 0;
   std::uint64_t last_wv_ = 0;

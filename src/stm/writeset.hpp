@@ -10,9 +10,9 @@
 #include <cstdint>
 #include <vector>
 
-namespace demotx::stm {
+#include "stm/addrfilter.hpp"
 
-struct Cell;
+namespace demotx::stm {
 
 struct WriteEntry {
   Cell* cell;
@@ -35,8 +35,13 @@ class WriteSet {
   // entirely for the (overwhelmingly common) read of a never-written
   // location.  A set bit means "maybe": fall through to find().
   [[nodiscard]] bool may_contain(const Cell* c) const {
-    return (filter_ & filter_bit(c)) != 0;
+    return (filter_ & addr_filter_bit(c)) != 0;
   }
+
+  // The whole-set address summary.  An update commit publishes this word
+  // into the runtime's write-summary ring so later validators can prove
+  // disjointness against their read-set summary without touching cells.
+  [[nodiscard]] std::uint64_t summary() const { return filter_; }
 
   WriteEntry* find(const Cell* c) {
     const std::size_t idx = probe(c);
@@ -57,7 +62,7 @@ class WriteSet {
       e.value = value;
       return {true, old};
     }
-    filter_ |= filter_bit(c);
+    filter_ |= addr_filter_bit(c);
     table_[idx] = static_cast<std::uint32_t>(entries_.size());
     entries_.push_back(WriteEntry{c, value, 0, false, false, 0});
     if (entries_.size() * 2 > table_.size()) rebuild(table_.size() * 2);
@@ -73,7 +78,7 @@ class WriteSet {
     filter_ = 0;
     for (std::size_t i = 0; i < entries_.size(); ++i) {
       table_[probe(entries_[i].cell)] = static_cast<std::uint32_t>(i);
-      filter_ |= filter_bit(entries_[i].cell);
+      filter_ |= addr_filter_bit(entries_[i].cell);
     }
   }
 
@@ -105,20 +110,10 @@ class WriteSet {
   static constexpr std::uint32_t kEmpty = 0xffffffffu;
   static constexpr std::size_t kShrinkEntries = 1024;
 
-  static std::uint64_t filter_bit(const Cell* c) {
-    return std::uint64_t{1} << (hash(c) & 63u);
-  }
-
-  static std::size_t hash(const Cell* c) {
-    auto x = reinterpret_cast<std::uintptr_t>(c) >> 6;  // cells are 64B
-    x *= 0x9e3779b97f4a7c15ULL;
-    return static_cast<std::size_t>(x >> 32 ^ x);
-  }
-
   // Returns the slot holding `c`, or the empty slot where it would go.
   std::size_t probe(const Cell* c) const {
     const std::size_t mask = table_.size() - 1;
-    std::size_t idx = hash(c) & mask;
+    std::size_t idx = addr_hash(c) & mask;
     while (table_[idx] != kEmpty && entries_[table_[idx]].cell != c)
       idx = (idx + 1) & mask;
     return idx;

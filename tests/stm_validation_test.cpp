@@ -1,0 +1,674 @@
+// Validation fast-path properties: the commit write-summary ring, the
+// batched read-set scan, timebase extension, and read-set dedup.
+//
+// The load-bearing invariants, each exercised deterministically below:
+//
+//   * a transaction whose reads are untouched always extends under
+//     concurrent disjoint commits (no spurious read-validation aborts),
+//   * the ring only ever SKIPS work it can prove unnecessary: a summary
+//     false positive (bit collision) falls back to the full scan and a
+//     range that outran the ring falls back via kUnknown — neither path
+//     can wrongly extend or wrongly commit,
+//   * read-set dedup is outcome-neutral: the same aborts and the same
+//     final state as the duplicate-logging baseline,
+//   * extension accepts locks the transaction itself holds in eager mode
+//     (regression: it used to fail on ANY locked word),
+//   * a killed/stalled-committer snapshot read cannot livelock (bounded
+//     spin + direct kill poll),
+//   * under GV4 the ring is gated off (shared timestamps would make a
+//     published slot inconclusive) and everything degrades to the scan.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "stm/addrfilter.hpp"
+#include "stm/stm.hpp"
+#include "test_util.hpp"
+
+using namespace demotx;
+using stm::ClockScheme;
+using stm::Semantics;
+using stm::ValidationScheme;
+
+namespace {
+
+struct ConfigGuard {
+  stm::Config saved = stm::Runtime::instance().config;
+  ~ConfigGuard() { stm::Runtime::instance().config = saved; }
+};
+
+// A growable pool of TVars with helpers to find cells whose filter bits
+// satisfy a predicate — the summary hash depends on heap addresses, so
+// collision/disjointness fixtures are SEARCHED for, not assumed.
+struct CellPool {
+  std::vector<std::unique_ptr<stm::TVar<long>>> vars;
+
+  stm::TVar<long>& at(std::size_t i) { return *vars[i]; }
+  std::uint64_t bit(std::size_t i) const {
+    return stm::addr_filter_bit(&vars[i]->cell());
+  }
+
+  // Returns the index of a pool cell (allocating more as needed) whose
+  // filter bit satisfies pred and whose index is not in `used`.
+  template <typename Pred>
+  std::size_t find(Pred pred, const std::vector<std::size_t>& used = {}) {
+    for (std::size_t i = 0;; ++i) {
+      if (i == vars.size()) {
+        if (vars.size() > 100'000) ADD_FAILURE() << "no matching cell found";
+        vars.push_back(std::make_unique<stm::TVar<long>>(0));
+      }
+      bool taken = false;
+      for (std::size_t u : used) taken |= (u == i);
+      if (!taken && pred(bit(i))) return i;
+    }
+  }
+};
+
+stm::TxStats slot_stats(int slot) {
+  stm::Tx* t = stm::Runtime::instance().peek_slot(slot);
+  return t != nullptr ? t->stats() : stm::TxStats{};
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------
+// Property: untouched reads always extend under concurrent disjoint
+// commits — under both validation schemes.
+// ---------------------------------------------------------------------
+
+TEST(StmValidation, UntouchedReadsAlwaysExtend) {
+  for (ValidationScheme scheme :
+       {ValidationScheme::kScan, ValidationScheme::kSummary}) {
+    ConfigGuard guard;
+    auto& rt = stm::Runtime::instance();
+    rt.config.validation_scheme = scheme;
+    rt.config.clock_scheme = ClockScheme::kGv1;
+    rt.config.enable_extension = true;
+    rt.reset_stats();
+
+    constexpr int kPrivate = 64;
+    constexpr int kTxs = 20;
+    std::vector<std::unique_ptr<stm::TVar<long>>> mine;
+    for (int i = 0; i < kPrivate; ++i)
+      mine.push_back(std::make_unique<stm::TVar<long>>(i));
+    auto victim = std::make_unique<stm::TVar<long>>(0);
+    std::vector<std::unique_ptr<stm::TVar<long>>> wcells;
+    for (int i = 0; i < 3; ++i)
+      wcells.push_back(std::make_unique<stm::TVar<long>>(0));
+    long reader_commits = 0;
+
+    test::run_rr_sim(4, [&](int id) {
+      if (id == 0) {
+        for (int t = 0; t < kTxs; ++t) {
+          stm::atomically([&](stm::Tx& tx) {
+            long sum = 0;
+            for (auto& v : mine) sum += v->get(tx);
+            // The victim is hot: by the time we read it the writers have
+            // usually republished it past our rv, forcing an extension —
+            // whose revalidation covers only our untouched private cells
+            // and must therefore always succeed.
+            sum += victim->get(tx);
+            return sum;
+          });
+          ++reader_commits;
+        }
+      } else {
+        for (int t = 0; t < 3 * kTxs; ++t) {
+          stm::atomically([&](stm::Tx& tx) {
+            victim->set(tx, victim->get(tx) + 1);
+            auto& w = wcells[static_cast<std::size_t>(id - 1)];
+            w->set(tx, w->get(tx) + 1);
+          });
+        }
+      }
+    });
+
+    const stm::TxStats reader = slot_stats(0);
+    EXPECT_EQ(reader_commits, kTxs);
+    EXPECT_GT(reader.extensions, 0u) << "victim was never republished";
+    EXPECT_EQ(reader.aborts_by_reason[static_cast<int>(
+                  stm::AbortReason::kReadValidation)],
+              0u)
+        << "an untouched read set failed extension (scheme "
+        << (scheme == ValidationScheme::kSummary ? "summary" : "scan") << ")";
+    if (scheme == ValidationScheme::kSummary) {
+      EXPECT_GT(reader.summary_skips + reader.summary_fallbacks, 0u)
+          << "ring was never consulted";
+    }
+    test::drain_memory();
+  }
+}
+
+// ---------------------------------------------------------------------
+// Deterministic ring outcomes: clean skip, false-positive fallback,
+// true-conflict abort, overflow fallback.  All use the same handshake
+// shape: the observer opens its transaction (sampling rv) and logs its
+// reads, then a writer fiber commits a known set of transactions, then
+// the observer touches a trigger cell whose new version forces an
+// extension (or commits, forcing commit-time validation).
+// ---------------------------------------------------------------------
+
+namespace {
+
+struct RingFixtureConfig {
+  ConfigGuard guard;
+  RingFixtureConfig() {
+    auto& rt = stm::Runtime::instance();
+    rt.config.validation_scheme = ValidationScheme::kSummary;
+    rt.config.clock_scheme = ClockScheme::kGv1;
+    rt.config.enable_extension = true;
+    rt.reset_stats();
+  }
+};
+
+}  // namespace
+
+TEST(StmValidation, ExtensionSkipsScanWhenRingProvesDisjoint) {
+  RingFixtureConfig fix;
+  CellPool pool;
+  std::vector<std::size_t> rcells;
+  std::uint64_t mask = 0;
+  for (int i = 0; i < 8; ++i) {
+    rcells.push_back(pool.find([](std::uint64_t) { return true; }, rcells));
+    mask |= pool.bit(rcells.back());
+  }
+  // Trigger and writer cells must not collide with the observer's read
+  // summary, so the ring union over the writer's commits stays clean.
+  const std::size_t trig =
+      pool.find([&](std::uint64_t b) { return (b & mask) == 0; }, rcells);
+  std::vector<std::size_t> used = rcells;
+  used.push_back(trig);
+  const std::size_t wcell = pool.find(
+      [&](std::uint64_t b) { return (b & (mask | pool.bit(trig))) == 0; },
+      used);
+
+  std::atomic<int> reads_logged{0};
+  std::atomic<int> writer_done{0};
+  test::run_rr_sim(2, [&](int id) {
+    if (id == 0) {
+      stm::atomically([&](stm::Tx& tx) {
+        long sum = 0;
+        for (std::size_t r : rcells) sum += pool.at(r).get(tx);
+        reads_logged.store(1);
+        while (writer_done.load() == 0) vt::access();
+        // Bumped past rv by the writer: forces an extension whose ring
+        // range is exactly the writer's commits, all bit-disjoint from
+        // our read summary.
+        sum += pool.at(trig).get(tx);
+        return sum;
+      });
+    } else {
+      while (reads_logged.load() == 0) vt::access();
+      for (int i = 0; i < 3; ++i) {
+        stm::atomically(
+            [&](stm::Tx& tx) { pool.at(wcell).set(tx, i); });
+      }
+      stm::atomically([&](stm::Tx& tx) { pool.at(trig).set(tx, 1); });
+      writer_done.store(1);
+    }
+  });
+
+  const stm::TxStats obs = slot_stats(0);
+  EXPECT_EQ(obs.extensions, 1u);
+  EXPECT_EQ(obs.summary_skips, 1u) << "disjoint range should skip the scan";
+  EXPECT_EQ(obs.summary_fallbacks, 0u);
+  EXPECT_EQ(obs.aborts, 0u);
+  test::drain_memory();
+}
+
+TEST(StmValidation, FalsePositiveFallsBackToScanAndStillExtends) {
+  RingFixtureConfig fix;
+  CellPool pool;
+  const std::size_t r0 = pool.find([](std::uint64_t) { return true; });
+  // A DIFFERENT cell whose filter bit collides with the read cell's: the
+  // writer commits it, the ring sees an intersection, and only the full
+  // scan can prove the read survived.
+  const std::size_t collider = pool.find(
+      [&](std::uint64_t b) { return b == pool.bit(r0); }, {r0});
+  const std::size_t trig = pool.find(
+      [&](std::uint64_t b) { return (b & pool.bit(r0)) == 0; }, {r0, collider});
+
+  std::atomic<int> reads_logged{0};
+  std::atomic<int> writer_done{0};
+  test::run_rr_sim(2, [&](int id) {
+    if (id == 0) {
+      stm::atomically([&](stm::Tx& tx) {
+        const long before = pool.at(r0).get(tx);
+        reads_logged.store(1);
+        while (writer_done.load() == 0) vt::access();
+        (void)pool.at(trig).get(tx);  // forces the extension
+        const long after = pool.at(r0).get(tx);
+        EXPECT_EQ(before, after) << "opacity violated after extension";
+      });
+    } else {
+      while (reads_logged.load() == 0) vt::access();
+      stm::atomically([&](stm::Tx& tx) { pool.at(collider).set(tx, 7); });
+      stm::atomically([&](stm::Tx& tx) { pool.at(trig).set(tx, 1); });
+      writer_done.store(1);
+    }
+  });
+
+  const stm::TxStats obs = slot_stats(0);
+  EXPECT_EQ(obs.extensions, 1u);
+  EXPECT_GE(obs.summary_fallbacks, 1u)
+      << "bit collision must force the scan fallback";
+  EXPECT_EQ(obs.aborts, 0u) << "the scan proves the read intact: no abort";
+  test::drain_memory();
+}
+
+TEST(StmValidation, TrueConflictNeverWronglyExtends) {
+  RingFixtureConfig fix;
+  CellPool pool;
+  const std::size_t r0 = pool.find([](std::uint64_t) { return true; });
+  const std::size_t trig = pool.find(
+      [&](std::uint64_t b) { return (b & pool.bit(r0)) == 0; }, {r0});
+
+  std::atomic<int> reads_logged{0};
+  std::atomic<int> writer_done{0};
+  int attempts = 0;
+  long first_committed = -1;
+  test::run_rr_sim(2, [&](int id) {
+    if (id == 0) {
+      first_committed = stm::atomically([&](stm::Tx& tx) {
+        ++attempts;
+        const long before = pool.at(r0).get(tx);
+        reads_logged.store(1);
+        while (writer_done.load() == 0) vt::access();
+        (void)pool.at(trig).get(tx);
+        // Only reachable when the extension succeeded: r0 must not have
+        // changed under us (opacity).
+        EXPECT_EQ(before, pool.at(r0).get(tx));
+        return before;
+      });
+    } else {
+      while (reads_logged.load() == 0) vt::access();
+      // The writer REALLY overwrites the observer's read: the ring union
+      // intersects for a true reason, the fallback scan fails, and the
+      // observer must abort and re-run — never extend past the change.
+      stm::atomically([&](stm::Tx& tx) { pool.at(r0).set(tx, 42); });
+      stm::atomically([&](stm::Tx& tx) { pool.at(trig).set(tx, 1); });
+      writer_done.store(1);
+    }
+  });
+
+  const stm::TxStats obs = slot_stats(0);
+  EXPECT_GE(attempts, 2) << "the overwritten read must abort the attempt";
+  EXPECT_EQ(first_committed, 42) << "the committed run must see the new value";
+  EXPECT_GE(obs.aborts_by_reason[static_cast<int>(
+                stm::AbortReason::kReadValidation)],
+            1u);
+  test::drain_memory();
+}
+
+TEST(StmValidation, RingOverflowFallsBackToScan) {
+  RingFixtureConfig fix;
+  CellPool pool;
+  const std::size_t r0 = pool.find([](std::uint64_t) { return true; });
+  const std::size_t trig = pool.find(
+      [&](std::uint64_t b) { return (b & pool.bit(r0)) == 0; }, {r0});
+  const std::size_t wcell = pool.find(
+      [&](std::uint64_t b) {
+        return (b & (pool.bit(r0) | pool.bit(trig))) == 0;
+      },
+      {r0, trig});
+
+  // More commits than ring slots between rv and the extension target:
+  // the range cannot be answered from the ring no matter what the slots
+  // hold, so the overflow guard must fire and the scan must decide.
+  constexpr int kCommits =
+      static_cast<int>(stm::Runtime::kSummaryRingSize) + 80;
+  std::atomic<int> reads_logged{0};
+  std::atomic<int> writer_done{0};
+  test::run_rr_sim(
+      2,
+      [&](int id) {
+        if (id == 0) {
+          stm::atomically([&](stm::Tx& tx) {
+            const long before = pool.at(r0).get(tx);
+            reads_logged.store(1);
+            while (writer_done.load() == 0) vt::access();
+            (void)pool.at(trig).get(tx);
+            EXPECT_EQ(before, pool.at(r0).get(tx));
+          });
+        } else {
+          while (reads_logged.load() == 0) vt::access();
+          for (int i = 0; i < kCommits; ++i) {
+            stm::atomically([&](stm::Tx& tx) { pool.at(wcell).set(tx, i); });
+          }
+          stm::atomically([&](stm::Tx& tx) { pool.at(trig).set(tx, 1); });
+          writer_done.store(1);
+        }
+      },
+      /*max_cycles=*/200'000'000);
+
+  const stm::TxStats obs = slot_stats(0);
+  EXPECT_EQ(obs.extensions, 1u);
+  EXPECT_GE(obs.ring_overflows, 1u) << "range wider than the ring";
+  EXPECT_GE(obs.summary_fallbacks, 1u);
+  EXPECT_EQ(obs.aborts, 0u);
+  test::drain_memory();
+}
+
+TEST(StmValidation, CommitValidationSkipsScanViaRing) {
+  RingFixtureConfig fix;
+  CellPool pool;
+  std::vector<std::size_t> rcells;
+  std::uint64_t mask = 0;
+  for (int i = 0; i < 8; ++i) {
+    rcells.push_back(pool.find([](std::uint64_t) { return true; }, rcells));
+    mask |= pool.bit(rcells.back());
+  }
+  std::vector<std::size_t> used = rcells;
+  const std::size_t wcell =
+      pool.find([&](std::uint64_t b) { return (b & mask) == 0; }, used);
+  used.push_back(wcell);
+  const std::size_t own =
+      pool.find([](std::uint64_t) { return true; }, used);
+
+  std::atomic<int> reads_logged{0};
+  std::atomic<int> writer_done{0};
+  test::run_rr_sim(2, [&](int id) {
+    if (id == 0) {
+      stm::atomically([&](stm::Tx& tx) {
+        long sum = 0;
+        for (std::size_t r : rcells) sum += pool.at(r).get(tx);
+        reads_logged.store(1);
+        while (writer_done.load() == 0) vt::access();
+        // An update commit after the writer's commits: wv > rv + 1, so
+        // commit-time validation runs — and the ring answers it without
+        // touching any of the 8 read cells.
+        pool.at(own).set(tx, sum);
+      });
+    } else {
+      while (reads_logged.load() == 0) vt::access();
+      for (int i = 0; i < 4; ++i) {
+        stm::atomically([&](stm::Tx& tx) { pool.at(wcell).set(tx, i); });
+      }
+      writer_done.store(1);
+    }
+  });
+
+  const stm::TxStats obs = slot_stats(0);
+  EXPECT_EQ(obs.summary_skips, 1u)
+      << "commit-time validation should be answered by the ring";
+  EXPECT_EQ(obs.aborts, 0u);
+  EXPECT_EQ(pool.at(own).unsafe_load(),
+            static_cast<long>(0));  // 8 zero-initialized cells
+  test::drain_memory();
+}
+
+TEST(StmValidation, Gv4GatesTheRingOff) {
+  ConfigGuard guard;
+  auto& rt = stm::Runtime::instance();
+  rt.config.validation_scheme = ValidationScheme::kSummary;
+  rt.config.clock_scheme = ClockScheme::kGv4;
+  rt.config.enable_extension = true;
+  rt.reset_stats();
+
+  auto x = std::make_unique<stm::TVar<long>>(0);
+  std::vector<std::unique_ptr<stm::TVar<long>>> cells;
+  for (int i = 0; i < 8; ++i)
+    cells.push_back(std::make_unique<stm::TVar<long>>(0));
+
+  test::run_rr_sim(4, [&](int id) {
+    for (int t = 0; t < 50; ++t) {
+      stm::atomically([&](stm::Tx& tx) {
+        long sum = 0;
+        for (auto& c : cells) sum += c->get(tx);
+        x->get(tx);
+        auto& own = cells[static_cast<std::size_t>(id * 2)];
+        own->set(tx, own->get(tx) + 1);
+        return sum;
+      });
+    }
+  });
+
+  const stm::TxStats total = stm::Runtime::instance().aggregate_stats();
+  // Under GV4 a slot stamped t cannot prove all commits at t published
+  // (adopters share wv), so the ring must never be consulted.
+  EXPECT_EQ(total.summary_skips, 0u);
+  EXPECT_EQ(total.summary_fallbacks, 0u);
+  EXPECT_EQ(total.ring_overflows, 0u);
+  test::drain_memory();
+}
+
+// ---------------------------------------------------------------------
+// Read-set dedup: suppression counts and outcome parity with the
+// duplicate-logging baseline.
+// ---------------------------------------------------------------------
+
+TEST(StmValidation, DedupSuppressesRepeatedReads) {
+  ConfigGuard guard;
+  auto& rt = stm::Runtime::instance();
+  auto x = std::make_unique<stm::TVar<long>>(5);
+  auto y = std::make_unique<stm::TVar<long>>(7);
+
+  // Dedup only arms together with summary validation (see Config).
+  rt.config.validation_scheme = stm::ValidationScheme::kSummary;
+  rt.config.clock_scheme = ClockScheme::kGv1;
+  for (bool dedup : {false, true}) {
+    rt.config.readset_dedup = dedup;
+    rt.reset_stats();
+    long got = 0;
+    test::run_rr_sim(1, [&](int) {
+      got = stm::atomically([&](stm::Tx& tx) {
+        long sum = 0;
+        for (int i = 0; i < 100; ++i) sum += x->get(tx) + y->get(tx);
+        return sum;
+      });
+    });
+    EXPECT_EQ(got, 100 * (5 + 7));
+    const stm::TxStats st = slot_stats(0);
+    EXPECT_EQ(st.readset_dedups, dedup ? 198u : 0u)
+        << "dedup=" << dedup
+        << ": 99 re-reads of each of two cells should be suppressed";
+    EXPECT_EQ(st.commits, 1u);
+  }
+  test::drain_memory();
+}
+
+TEST(StmValidation, DedupPreservesConflictOutcomes) {
+  ConfigGuard guard;
+  auto& rt = stm::Runtime::instance();
+
+  // Dedup only arms together with summary validation (see Config).
+  rt.config.validation_scheme = stm::ValidationScheme::kSummary;
+  rt.config.clock_scheme = ClockScheme::kGv1;
+  for (bool dedup : {false, true}) {
+    rt.config.readset_dedup = dedup;
+    rt.reset_stats();
+    auto x = std::make_unique<stm::TVar<long>>(0);
+    auto y = std::make_unique<stm::TVar<long>>(0);
+    std::atomic<int> a_read{0};
+    std::atomic<int> b_wrote{0};
+    int attempts = 0;
+
+    test::run_rr_sim(2, [&](int id) {
+      if (id == 0) {
+        stm::atomically([&](stm::Tx& tx) {
+          ++attempts;
+          // Re-read the same cell so dedup has something to suppress in
+          // the doomed first attempt.
+          long v = x->get(tx);
+          v += x->get(tx) - x->get(tx);
+          a_read.store(1);
+          while (b_wrote.load() == 0) vt::access();
+          y->set(tx, v + 1);
+        });
+      } else {
+        while (a_read.load() == 0) vt::access();
+        stm::atomically([&](stm::Tx& tx) { x->set(tx, x->get(tx) + 10); });
+        b_wrote.store(1);
+      }
+    });
+
+    // Identical outcome either way: the first attempt dies at commit
+    // validation (x changed under it), the retry commits y = x + 1.
+    const stm::TxStats a = slot_stats(0);
+    EXPECT_EQ(attempts, 2) << "dedup=" << dedup;
+    EXPECT_EQ(a.aborts_by_reason[static_cast<int>(
+                  stm::AbortReason::kCommitValidation)],
+              1u)
+        << "dedup=" << dedup;
+    EXPECT_EQ(x->unsafe_load(), 10);
+    EXPECT_EQ(y->unsafe_load(), 11);
+    if (dedup) {
+      EXPECT_GE(a.readset_dedups, 2u);
+    }
+    test::drain_memory();
+  }
+}
+
+// ---------------------------------------------------------------------
+// Regression: extension must accept the transaction's OWN eager locks
+// (validate_read_set always did; try_extend used to fail on any lock).
+// ---------------------------------------------------------------------
+
+TEST(StmValidation, EagerExtensionAcceptsOwnLocks) {
+  ConfigGuard guard;
+  auto& rt = stm::Runtime::instance();
+  rt.config.eager_writes = true;
+  rt.config.enable_extension = true;
+  rt.reset_stats();
+
+  auto x = std::make_unique<stm::TVar<long>>(100);
+  auto t = std::make_unique<stm::TVar<long>>(0);
+  std::atomic<int> locked{0};
+  std::atomic<int> bumped{0};
+
+  test::run_rr_sim(2, [&](int id) {
+    if (id == 0) {
+      stm::atomically([&](stm::Tx& tx) {
+        const long v = x->get(tx);   // logs x in the read set
+        x->set(tx, v + 1);           // eager: takes x's lock NOW
+        locked.store(1);
+        while (bumped.load() == 0) vt::access();
+        // The trigger was republished past rv: the extension's
+        // revalidation covers x — locked by US — and must accept it.
+        (void)t->get(tx);
+      });
+    } else {
+      while (locked.load() == 0) vt::access();
+      stm::atomically([&](stm::Tx& tx) { t->set(tx, 1); });
+      bumped.store(1);
+    }
+  });
+
+  const stm::TxStats a = slot_stats(0);
+  EXPECT_GE(a.extensions, 1u);
+  EXPECT_EQ(a.aborts_by_reason[static_cast<int>(
+                stm::AbortReason::kReadValidation)],
+            0u)
+      << "extension spuriously failed on the transaction's own lock";
+  EXPECT_EQ(a.aborts, 0u);
+  EXPECT_EQ(x->unsafe_load(), 101);
+  test::drain_memory();
+}
+
+// ---------------------------------------------------------------------
+// Regression: a snapshot read spinning on a stalled committer's lock is
+// bounded — it aborts and retries instead of livelocking.
+// ---------------------------------------------------------------------
+
+TEST(StmValidation, SnapshotReadBoundsSpinOnStalledCommitter) {
+  ConfigGuard guard;
+  auto& rt = stm::Runtime::instance();
+  rt.config.eager_writes = true;
+  rt.reset_stats();
+
+  auto x = std::make_unique<stm::TVar<long>>(0);
+  std::atomic<int> locked{0};
+  std::atomic<int> release{0};
+  int snapshot_runs = 0;
+
+  test::run_rr_sim(
+      2,
+      [&](int id) {
+        if (id == 0) {
+          // The stalled committer: eager-locks x and sits on the lock.
+          stm::atomically([&](stm::Tx& tx) {
+            x->set(tx, 1);  // eager: x's lock is held from here on
+            locked.store(1);
+            while (release.load() == 0) vt::access();
+          });
+        } else {
+          while (locked.load() == 0) vt::access();
+          stm::atomically(Semantics::kSnapshot, [&](stm::Tx& tx) {
+            // Re-entered after each bounded-spin abort.  Release the
+            // stalled writer once we have proven at least one retry
+            // happened — an unbounded spin would never reach run 2.
+            if (++snapshot_runs >= 2) release.store(1);
+            return x->get(tx);
+          });
+        }
+      },
+      /*max_cycles=*/4'000'000);
+
+  EXPECT_GE(snapshot_runs, 2) << "the bounded spin never fired";
+  const stm::TxStats snap = slot_stats(1);
+  EXPECT_GE(snap.aborts_by_reason[static_cast<int>(
+                stm::AbortReason::kLockedByOther)],
+            1u);
+  EXPECT_EQ(x->unsafe_load(), 1);
+  test::drain_memory();
+}
+
+// ---------------------------------------------------------------------
+// Real OS threads under the summary scheme: invariant preservation and
+// the TSan target for the ring's publish/consume pair (tsan_smoke runs
+// exactly this test in a -fsanitize=thread build).
+// ---------------------------------------------------------------------
+
+TEST(StmValidation, RealThreadsSummaryInvariants) {
+  ConfigGuard guard;
+  auto& rt = stm::Runtime::instance();
+  rt.config.validation_scheme = ValidationScheme::kSummary;
+  rt.config.clock_scheme = ClockScheme::kGv1;
+  rt.config.enable_extension = true;
+  rt.reset_stats();
+
+  constexpr int kThreads = 4;
+  constexpr int kCells = 32;
+  constexpr int kIters = 2000;
+  std::vector<std::unique_ptr<stm::TVar<long>>> cells;
+  for (int i = 0; i < kCells; ++i)
+    cells.push_back(std::make_unique<stm::TVar<long>>(0));
+
+  vt::run_threads(kThreads, [&](int id) {
+    std::uint64_t rng = 0x9e3779b9u * static_cast<std::uint64_t>(id + 1);
+    auto next = [&rng] {
+      rng ^= rng << 13;
+      rng ^= rng >> 7;
+      rng ^= rng << 17;
+      return rng;
+    };
+    for (int i = 0; i < kIters; ++i) {
+      if (i % 16 == 0) {
+        // Read-only sweep: classic reads of every cell commit only if
+        // they form a consistent snapshot — the transfer invariant must
+        // hold inside the transaction.
+        const long total = stm::atomically([&](stm::Tx& tx) {
+          long sum = 0;
+          for (auto& c : cells) sum += c->get(tx);
+          return sum;
+        });
+        EXPECT_EQ(total, 0);
+      } else {
+        const std::size_t from = next() % kCells;
+        const std::size_t to = next() % kCells;
+        stm::atomically([&](stm::Tx& tx) {
+          cells[from]->set(tx, cells[from]->get(tx) - 1);
+          cells[to]->set(tx, cells[to]->get(tx) + 1);
+        });
+      }
+    }
+  });
+
+  long total = 0;
+  for (auto& c : cells) total += c->unsafe_load();
+  EXPECT_EQ(total, 0);
+  test::drain_memory();
+}
