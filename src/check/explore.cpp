@@ -1,0 +1,357 @@
+#include "check/explore.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <utility>
+
+#include "check/oracles.hpp"
+#include "check/recorder.hpp"
+#include "check/workloads.hpp"
+#include "mem/epoch.hpp"
+
+namespace demotx::check {
+
+namespace {
+
+// splitmix64: decorrelates per-iteration seeds derived from (seed, i).
+std::uint64_t mix(std::uint64_t a, std::uint64_t b) {
+  std::uint64_t z = a + 0x9e3779b97f4a7c15ULL * (b + 1);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  z = z ^ (z >> 31);
+  return z != 0 ? z : 1;
+}
+
+}  // namespace
+
+int baseline_choice(const vt::Scheduler::ChoicePoint& cp) {
+  for (int i = 0; i < cp.n; ++i)
+    if (cp.runnable[i] == cp.last) return cp.last;
+  return cp.runnable[0];  // runnable ids are ascending: lowest id
+}
+
+int baseline_of(const vt::Scheduler::Decision& d) {
+  if (d.last >= 0 && d.last < 64 && ((d.runnable_mask >> d.last) & 1) != 0)
+    return d.last;
+  for (int i = 0; i < 64; ++i)
+    if (((d.runnable_mask >> i) & 1) != 0) return i;
+  return -1;
+}
+
+std::vector<Preemption> trace_from_log(
+    const std::vector<vt::Scheduler::Decision>& log) {
+  std::vector<Preemption> trace;
+  for (std::size_t i = 0; i < log.size(); ++i)
+    if (log[i].chosen != baseline_of(log[i]))
+      trace.push_back({i, log[i].chosen});
+  return trace;
+}
+
+std::string make_token(const std::string& workload,
+                       const std::vector<Preemption>& trace) {
+  std::string s = "demotx:v1:" + workload + ":";
+  if (trace.empty()) {
+    s += "-";
+    return s;
+  }
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    if (i != 0) s += ",";
+    s += std::to_string(trace[i].index) + "@" + std::to_string(trace[i].task);
+  }
+  return s;
+}
+
+bool parse_token(const std::string& token, std::string* workload,
+                 std::vector<Preemption>* trace) {
+  const std::string prefix = "demotx:v1:";
+  if (token.rfind(prefix, 0) != 0) return false;
+  const std::size_t wend = token.find(':', prefix.size());
+  if (wend == std::string::npos) return false;
+  *workload = token.substr(prefix.size(), wend - prefix.size());
+  trace->clear();
+  std::string rest = token.substr(wend + 1);
+  if (rest == "-" || rest.empty()) return true;
+  std::size_t pos = 0;
+  while (pos < rest.size()) {
+    std::size_t comma = rest.find(',', pos);
+    if (comma == std::string::npos) comma = rest.size();
+    const std::string item = rest.substr(pos, comma - pos);
+    const std::size_t at = item.find('@');
+    if (at == std::string::npos || at == 0 || at + 1 >= item.size())
+      return false;
+    char* end = nullptr;
+    const std::uint64_t idx = std::strtoull(item.c_str(), &end, 10);
+    if (end != item.c_str() + at) return false;
+    const long task = std::strtol(item.c_str() + at + 1, &end, 10);
+    if (*end != '\0' || task < 0) return false;
+    trace->push_back({idx, static_cast<int>(task)});
+    pos = comma + 1;
+  }
+  return true;
+}
+
+ScheduleOutcome run_schedule(const std::string& workload,
+                             vt::Scheduler::Options sopts,
+                             bool check_oracles) {
+  ScheduleOutcome out;
+  std::unique_ptr<Workload> w = make_workload(workload);
+  if (w == nullptr) {
+    out.violation = true;
+    out.what = "unknown workload: " + workload;
+    return out;
+  }
+  // Pre-population runs before the recorder attaches, so its commits are
+  // the oracles' baseline versions, not certified history.
+  w->setup();
+
+  Recorder rec;
+  rec.attach();
+  {
+    sopts.decision_log = &out.log;
+    vt::Scheduler sched(std::move(sopts));
+    Workload* wp = w.get();
+    for (int t = 0; t < w->threads(); ++t)
+      sched.spawn([wp](int id) { wp->body(id); });
+    sched.run();
+    out.cycles = sched.cycles();
+    out.hung = sched.hit_cycle_limit();
+  }
+  rec.detach();
+
+  out.attempts = rec.attempts().size();
+  for (const Attempt& a : rec.attempts())
+    if (a.committed()) ++out.commits;
+
+  if (check_oracles) {
+    const OracleResult r = certify(rec.attempts());
+    if (!r.ok) {
+      out.violation = true;
+      out.what = r.what;
+    }
+  }
+  // The quiescent invariant only means something if every body finished.
+  if (!out.violation && !out.hung) {
+    std::string why;
+    if (!w->invariant(&why)) {
+      out.violation = true;
+      out.what = why;
+    }
+  }
+
+  w.reset();                           // quiescent teardown
+  mem::EpochManager::instance().drain();  // free retired nodes eagerly
+  return out;
+}
+
+ScheduleOutcome run_trace(const std::string& workload,
+                          const std::vector<Preemption>& trace,
+                          std::uint64_t max_cycles, bool check_oracles) {
+  vt::Scheduler::Options sopts;
+  sopts.policy = vt::Scheduler::Policy::kChoice;
+  sopts.max_cycles = max_cycles;
+  sopts.choice_fn = [trace](const vt::Scheduler::ChoicePoint& cp) {
+    for (const Preemption& p : trace) {
+      if (p.index != cp.index) continue;
+      for (int i = 0; i < cp.n; ++i)
+        if (cp.runnable[i] == p.task) return p.task;
+      break;  // preempted-to task not runnable here: fall to baseline
+    }
+    return baseline_choice(cp);
+  };
+  return run_schedule(workload, std::move(sopts), check_oracles);
+}
+
+namespace {
+
+void tally(ExploreResult& res, const ScheduleOutcome& out) {
+  ++res.schedules_run;
+  res.attempts_seen += out.attempts;
+  res.commits_seen += out.commits;
+  if (out.hung) ++res.hung;
+}
+
+// Greedy delta debugging: drop one preemption at a time and keep every
+// drop that leaves the schedule failing; repeat until a full pass sticks.
+std::vector<Preemption> minimize_trace(const ExploreOptions& opts,
+                                       std::vector<Preemption> trace,
+                                       std::string* what,
+                                       ExploreResult& res) {
+  bool shrunk = true;
+  while (shrunk && !trace.empty()) {
+    shrunk = false;
+    for (std::size_t i = 0; i < trace.size();) {
+      std::vector<Preemption> cand = trace;
+      cand.erase(cand.begin() + static_cast<std::ptrdiff_t>(i));
+      const ScheduleOutcome out = run_trace(opts.workload, cand,
+                                            opts.max_cycles,
+                                            opts.check_oracles);
+      tally(res, out);
+      if (out.violation) {
+        trace = std::move(cand);
+        *what = out.what;
+        shrunk = true;
+      } else {
+        ++i;
+      }
+    }
+  }
+  return trace;
+}
+
+// A failing schedule was found: turn its decision log into a trace,
+// verify the trace reproduces the failure, minimize, emit the token.
+void report_failure(const ExploreOptions& opts, const ScheduleOutcome& out,
+                    ExploreResult& res) {
+  res.found_violation = true;
+  res.what = out.what;
+  std::vector<Preemption> trace = trace_from_log(out.log);
+  const ScheduleOutcome rep =
+      run_trace(opts.workload, trace, opts.max_cycles, opts.check_oracles);
+  tally(res, rep);
+  if (rep.violation) {
+    res.replay_verified = true;
+    res.what = rep.what;
+    if (opts.minimize)
+      trace = minimize_trace(opts, std::move(trace), &res.what, res);
+  }
+  res.token = make_token(opts.workload, trace);
+}
+
+ExploreResult explore_seeded(const ExploreOptions& opts, bool pct) {
+  ExploreResult res;
+  // Horizon auto-measure: one baseline schedule tells us how long (in
+  // scheduling steps ~ cycles) a run of this workload is, so the PCT
+  // change points are sampled inside the execution rather than past it.
+  std::uint64_t horizon = 2048;
+  if (pct) {
+    const ScheduleOutcome base =
+        run_trace(opts.workload, {}, opts.max_cycles, /*check_oracles=*/false);
+    horizon = std::max<std::uint64_t>(64, base.cycles);
+  }
+  for (std::uint64_t i = 0; i < opts.schedules; ++i) {
+    vt::Scheduler::Options sopts;
+    sopts.policy = pct ? vt::Scheduler::Policy::kPct
+                       : vt::Scheduler::Policy::kRandom;
+    sopts.seed = mix(opts.seed, i);
+    sopts.max_cycles = opts.max_cycles;
+    sopts.pct_change_points = opts.pct_change_points;
+    sopts.pct_horizon = horizon;
+    const ScheduleOutcome out =
+        run_schedule(opts.workload, std::move(sopts), opts.check_oracles);
+    tally(res, out);
+    if (out.violation) {
+      report_failure(opts, out, res);
+      return res;
+    }
+  }
+  return res;
+}
+
+ExploreResult explore_dfs(const ExploreOptions& opts) {
+  ExploreResult res;
+  // A preempted schedule can livelock: the baseline rule keeps running a
+  // spinner that waits on the preempted lock holder forever.  Those
+  // schedules are legal (they count as hung), but at the global brake
+  // they would dominate wall time — so the DFS brake is a multiple of
+  // the baseline schedule's length instead.
+  const ScheduleOutcome base =
+      run_trace(opts.workload, {}, opts.max_cycles, /*check_oracles=*/false);
+  const std::uint64_t brake =
+      std::min<std::uint64_t>(opts.max_cycles, 16 * base.cycles + 4096);
+  std::vector<std::vector<Preemption>> frontier;
+  frontier.push_back({});
+  const auto bound = static_cast<std::size_t>(
+      opts.dfs_preemptions < 0 ? 0 : opts.dfs_preemptions);
+  while (!frontier.empty() && res.schedules_run < opts.schedules) {
+    std::vector<Preemption> trace = std::move(frontier.back());
+    frontier.pop_back();
+    const ScheduleOutcome out =
+        run_trace(opts.workload, trace, brake, opts.check_oracles);
+    tally(res, out);
+    if (out.violation) {
+      res.found_violation = true;
+      res.what = out.what;
+      std::vector<Preemption> final_trace = trace;
+      if (opts.minimize)
+        final_trace = minimize_trace(opts, std::move(final_trace),
+                                     &res.what, res);
+      // DFS schedules are already trace-driven: re-run once to confirm
+      // determinism of the (possibly minimized) token.
+      const ScheduleOutcome rep = run_trace(opts.workload, final_trace,
+                                            opts.max_cycles,
+                                            opts.check_oracles);
+      tally(res, rep);
+      res.replay_verified = rep.violation;
+      res.token = make_token(opts.workload, final_trace);
+      return res;
+    }
+    if (trace.size() >= bound) continue;
+    // Extend only past the last existing preemption so each trace is
+    // generated exactly once, and only within the depth cap.
+    const std::uint64_t first =
+        trace.empty() ? 0 : trace.back().index + 1;
+    const std::uint64_t depth =
+        std::min<std::uint64_t>(out.log.size(), opts.dfs_depth);
+    for (std::uint64_t i = first; i < depth; ++i) {
+      const vt::Scheduler::Decision& d = out.log[i];
+      for (int t = 0; t < 64; ++t) {
+        if (((d.runnable_mask >> t) & 1) == 0 || t == d.chosen) continue;
+        std::vector<Preemption> next = trace;
+        next.push_back({i, t});
+        frontier.push_back(std::move(next));
+      }
+    }
+  }
+  return res;
+}
+
+ExploreResult explore_replay(const ExploreOptions& opts) {
+  ExploreResult res;
+  std::string workload;
+  std::vector<Preemption> trace;
+  if (!parse_token(opts.replay_token, &workload, &trace)) {
+    res.ok = false;
+    res.error = "malformed replay token: " + opts.replay_token;
+    return res;
+  }
+  res.workload = workload;
+  const ScheduleOutcome out =
+      run_trace(workload, trace, opts.max_cycles, opts.check_oracles);
+  tally(res, out);
+  if (out.violation) {
+    res.found_violation = true;
+    res.replay_verified = true;
+    res.what = out.what;
+    res.token = make_token(workload, trace);
+  }
+  return res;
+}
+
+}  // namespace
+
+ExploreResult explore(const ExploreOptions& opts) {
+  if (make_workload(opts.workload) == nullptr &&
+      opts.strategy != "replay") {
+    ExploreResult res;
+    res.ok = false;
+    res.error = "unknown workload: " + opts.workload;
+    return res;
+  }
+  ExploreResult res;
+  if (opts.strategy == "pct") {
+    res = explore_seeded(opts, /*pct=*/true);
+  } else if (opts.strategy == "random") {
+    res = explore_seeded(opts, /*pct=*/false);
+  } else if (opts.strategy == "dfs") {
+    res = explore_dfs(opts);
+  } else if (opts.strategy == "replay") {
+    res = explore_replay(opts);
+  } else {
+    res.ok = false;
+    res.error = "unknown strategy: " + opts.strategy;
+  }
+  if (res.workload.empty()) res.workload = opts.workload;
+  return res;
+}
+
+}  // namespace demotx::check

@@ -1,0 +1,128 @@
+// Systematic concurrency exploration over the vt simulator.
+//
+// A *schedule* is one deterministic run of a workload (workloads.hpp)
+// under a scheduler policy, with the live recorder (recorder.hpp)
+// attached and the per-semantics oracles (oracles.hpp) certifying the
+// observed history afterwards.  Strategies:
+//
+//   pct     — N independent PCT schedules (Scheduler::Policy::kPct), each
+//             with a seed derived from (seed, iteration).  The horizon is
+//             auto-measured from a baseline run so the change points land
+//             inside the execution.
+//   random  — N uniformly random schedules (Policy::kRandom).
+//   dfs     — bounded-exhaustive search (Policy::kChoice): a stateless
+//             replay-based DFS over preemption traces.  The baseline
+//             schedule is "continue the last-run thread, else the lowest
+//             runnable id"; a trace is the set of choice points where the
+//             schedule deviates.  New preemptions are only added after
+//             the last existing one, bounded by --preemptions and a
+//             choice-depth cap, so the frontier is finite and each trace
+//             is visited once.
+//   replay  — re-execute one schedule from a replay token.
+//
+// When a schedule fails an oracle or a workload invariant, the decision
+// log is converted into a preemption trace, greedily minimized (drop one
+// preemption, re-run, keep the drop if the failure survives) and emitted
+// as a replay token:
+//
+//   demotx:v1:<workload>:<idx>@<task>,<idx>@<task>,...      (or ":-")
+//
+// A token replays deterministically in a fresh process: the sim is
+// single-threaded, the workload fixes its own initial state, and the
+// baseline rule pins every non-preempted decision.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "vt/scheduler.hpp"
+
+namespace demotx::check {
+
+// One forced deviation from the baseline schedule: at choice point
+// `index`, run `task` instead of the baseline pick.
+struct Preemption {
+  std::uint64_t index;
+  int task;
+};
+
+// The deterministic default at a choice point: keep running the thread
+// that ran last if it still can, else the lowest runnable id.
+int baseline_choice(const vt::Scheduler::ChoicePoint& cp);
+
+// The baseline pick a Decision record implies (same rule, reconstructed
+// from the logged runnable mask and `last`).
+int baseline_of(const vt::Scheduler::Decision& d);
+
+// The preemption trace equivalent to a recorded decision log: every
+// choice point whose pick differs from the baseline rule.  Replaying the
+// trace under kChoice reproduces the logged schedule exactly.
+std::vector<Preemption> trace_from_log(
+    const std::vector<vt::Scheduler::Decision>& log);
+
+std::string make_token(const std::string& workload,
+                       const std::vector<Preemption>& trace);
+// False on malformed input.
+bool parse_token(const std::string& token, std::string* workload,
+                 std::vector<Preemption>* trace);
+
+// ---- one schedule ----------------------------------------------------
+
+struct ScheduleOutcome {
+  bool violation = false;  // oracle or invariant failure
+  bool hung = false;       // hit the max_cycles brake
+  std::string what;        // first failure message
+  std::uint64_t cycles = 0;
+  std::uint64_t attempts = 0;  // transaction attempts observed
+  std::uint64_t commits = 0;
+  std::vector<vt::Scheduler::Decision> log;
+};
+
+// Runs one schedule of `workload` under `sopts`: fresh workload instance,
+// setup() before the recorder attaches, oracles + invariant after it
+// detaches, epoch drain at teardown.  sopts.decision_log is redirected
+// into the returned outcome.
+ScheduleOutcome run_schedule(const std::string& workload,
+                             vt::Scheduler::Options sopts,
+                             bool check_oracles = true);
+
+// Convenience: one schedule driven by a preemption trace.
+ScheduleOutcome run_trace(const std::string& workload,
+                          const std::vector<Preemption>& trace,
+                          std::uint64_t max_cycles,
+                          bool check_oracles = true);
+
+// ---- the exploration loop --------------------------------------------
+
+struct ExploreOptions {
+  std::string workload = "list-mixed";
+  std::string strategy = "pct";  // pct | random | dfs | replay
+  std::uint64_t seed = 1;
+  std::uint64_t schedules = 1000;  // budget (pct/random) or cap (dfs)
+  int pct_change_points = 2;
+  int dfs_preemptions = 2;      // preemption bound
+  std::uint64_t dfs_depth = 48; // choice-point depth cap for extensions
+  std::uint64_t max_cycles = 1 << 20;  // per-schedule deadlock brake
+  std::string replay_token;     // for strategy == "replay"
+  bool minimize = true;
+  bool check_oracles = true;
+};
+
+struct ExploreResult {
+  bool ok = true;                  // false on usage errors (bad token...)
+  std::string error;
+  std::string workload;            // what actually ran (token may override)
+  std::uint64_t schedules_run = 0;
+  std::uint64_t attempts_seen = 0;
+  std::uint64_t commits_seen = 0;
+  std::uint64_t hung = 0;
+  bool found_violation = false;
+  std::string what;                // the (minimized) failure message
+  std::string token;               // replay token reproducing it
+  bool replay_verified = false;    // token re-ran and failed again
+};
+
+ExploreResult explore(const ExploreOptions& opts);
+
+}  // namespace demotx::check

@@ -1,0 +1,130 @@
+// demotx_explore: the systematic-exploration CLI (see explore.hpp).
+//
+//   demotx_explore --workload bank-skew --strategy pct --schedules 5000
+//   demotx_explore --replay 'demotx:v1:bank-skew:3@1,9@0'
+//
+// Exit code 0 when the run matched expectation (clean by default, or a
+// violation under --expect-violation), 1 on the mismatch, 2 on usage
+// errors.  On a violation the output carries two stable grep anchors:
+//
+//   VIOLATION: <oracle/invariant message>
+//   REPLAY <token>
+//
+// STM configuration comes from the usual DEMOTX_CLOCK / DEMOTX_GATE /
+// DEMOTX_VALIDATION environment variables (plus DEMOTX_CHECK_INJECT for
+// the mutation self-tests); the explorer itself adds no config axis, so
+// one process explores exactly one configuration.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "check/explore.hpp"
+#include "check/workloads.hpp"
+
+namespace {
+
+void usage(const char* argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s [options]\n"
+      "  --workload NAME     scenario to explore (--list to enumerate)\n"
+      "  --strategy S        pct | random | dfs | replay   [pct]\n"
+      "  --seed N            base seed for pct/random      [1]\n"
+      "  --schedules N       budget (pct/random), cap (dfs) [1000]\n"
+      "  --change-points N   PCT priority change points    [2]\n"
+      "  --preemptions N     DFS preemption bound          [2]\n"
+      "  --depth N           DFS choice-depth cap          [48]\n"
+      "  --max-cycles N      per-schedule deadlock brake   [1048576]\n"
+      "  --replay TOKEN      re-execute one schedule (sets --strategy)\n"
+      "  --expect-violation  exit 0 iff a violation IS found\n"
+      "  --no-minimize       keep the raw failing trace\n"
+      "  --no-oracles        invariants only (skip history certification)\n"
+      "  --list              print workload names and exit\n",
+      argv0);
+}
+
+bool parse_u64(const char* s, std::uint64_t* out) {
+  char* end = nullptr;
+  *out = std::strtoull(s, &end, 10);
+  return end != s && *end == '\0';
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  demotx::check::ExploreOptions opts;
+  bool expect_violation = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s: missing value for %s\n", argv[0],
+                     arg.c_str());
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    std::uint64_t n = 0;
+    if (arg == "--list") {
+      for (const std::string& w : demotx::check::workload_names())
+        std::printf("%s\n", w.c_str());
+      return 0;
+    } else if (arg == "--workload") {
+      opts.workload = value();
+    } else if (arg == "--strategy") {
+      opts.strategy = value();
+    } else if (arg == "--seed" && parse_u64(value(), &n)) {
+      opts.seed = n;
+    } else if (arg == "--schedules" && parse_u64(value(), &n)) {
+      opts.schedules = n;
+    } else if (arg == "--change-points" && parse_u64(value(), &n)) {
+      opts.pct_change_points = static_cast<int>(n);
+    } else if (arg == "--preemptions" && parse_u64(value(), &n)) {
+      opts.dfs_preemptions = static_cast<int>(n);
+    } else if (arg == "--depth" && parse_u64(value(), &n)) {
+      opts.dfs_depth = n;
+    } else if (arg == "--max-cycles" && parse_u64(value(), &n)) {
+      opts.max_cycles = n;
+    } else if (arg == "--replay") {
+      opts.replay_token = value();
+      opts.strategy = "replay";
+    } else if (arg == "--expect-violation") {
+      expect_violation = true;
+    } else if (arg == "--no-minimize") {
+      opts.minimize = false;
+    } else if (arg == "--no-oracles") {
+      opts.check_oracles = false;
+    } else if (arg == "--help" || arg == "-h") {
+      usage(argv[0]);
+      return 0;
+    } else {
+      std::fprintf(stderr, "%s: bad option or value: %s\n", argv[0],
+                   arg.c_str());
+      usage(argv[0]);
+      return 2;
+    }
+  }
+
+  const demotx::check::ExploreResult res = demotx::check::explore(opts);
+  if (!res.ok) {
+    std::fprintf(stderr, "%s: %s\n", argv[0], res.error.c_str());
+    return 2;
+  }
+
+  std::printf("workload=%s strategy=%s schedules=%llu attempts=%llu "
+              "commits=%llu hung=%llu\n",
+              res.workload.c_str(), opts.strategy.c_str(),
+              static_cast<unsigned long long>(res.schedules_run),
+              static_cast<unsigned long long>(res.attempts_seen),
+              static_cast<unsigned long long>(res.commits_seen),
+              static_cast<unsigned long long>(res.hung));
+  if (res.found_violation) {
+    std::printf("VIOLATION: %s\n", res.what.c_str());
+    std::printf("REPLAY %s\n", res.token.c_str());
+    std::printf("replay-verified=%s\n", res.replay_verified ? "yes" : "no");
+  } else {
+    std::printf("CLEAN: no oracle or invariant violation found\n");
+  }
+  return res.found_violation == expect_violation ? 0 : 1;
+}

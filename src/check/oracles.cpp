@@ -1,0 +1,290 @@
+#include "check/oracles.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <functional>
+#include <limits>
+#include <map>
+#include <unordered_map>
+
+#include "stm/semantics.hpp"
+
+namespace demotx::check {
+
+namespace {
+
+constexpr std::uint64_t kInf = std::numeric_limits<std::uint64_t>::max();
+
+struct ChainEntry {
+  std::uint64_t value;
+  std::size_t writer;  // index into attempts
+};
+
+// loc -> version -> (value, writer).  Ordered by version so successor
+// lookups are one upper_bound.
+using Chain = std::unordered_map<int, std::map<std::uint64_t, ChainEntry>>;
+
+std::string describe(const Attempt& a, std::size_t idx) {
+  char buf[96];
+  std::snprintf(buf, sizeof(buf), "attempt#%zu slot=%d serial=%llu sem=%d",
+                idx, a.slot, static_cast<unsigned long long>(a.serial),
+                static_cast<int>(a.sem));
+  return buf;
+}
+
+std::string loc_ver(int loc, std::uint64_t v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "loc=%d v=%llu", loc,
+                static_cast<unsigned long long>(v));
+  return buf;
+}
+
+// The feasible serialization interval of one read against the committed
+// chain: [version, next committed version by another writer - 1].  A read
+// of version v is "current" at S iff v <= S and no other commit published
+// a newer version of the location at or before S.
+struct Interval {
+  std::uint64_t lo;
+  std::uint64_t hi;
+};
+
+Interval interval_of(const Chain& chain, const ReadRec& r, std::size_t self) {
+  Interval iv{r.version, kInf};
+  const auto cit = chain.find(r.loc);
+  if (cit == chain.end()) return iv;
+  for (auto it = cit->second.upper_bound(r.version); it != cit->second.end();
+       ++it) {
+    if (it->second.writer == self) continue;  // own write: no constraint
+    iv.hi = it->first - 1;
+    break;
+  }
+  return iv;
+}
+
+}  // namespace
+
+OracleResult certify(const std::vector<Attempt>& attempts) {
+  OracleResult res;
+  auto fail = [&res](std::string what) {
+    if (res.ok) {
+      res.ok = false;
+      res.what = std::move(what);
+    }
+  };
+
+  // ---- version-chain integrity ---------------------------------------
+  Chain chain;
+  for (std::size_t i = 0; i < attempts.size(); ++i) {
+    const Attempt& a = attempts[i];
+    if (!a.committed() || !a.update()) continue;
+    for (const WriteRec& w : a.commit_writes) {
+      auto [it, inserted] = chain[w.loc].try_emplace(a.wv, ChainEntry{w.value, i});
+      if (!inserted) {
+        fail("version-chain violation: two commits published " +
+             loc_ver(w.loc, a.wv) + " (" + describe(attempts[it->second.writer],
+             it->second.writer) + " and " + describe(a, i) +
+             ") — the write lock admitted two owners");
+        return res;
+      }
+    }
+  }
+
+  // ---- read-value certification --------------------------------------
+  // Versions not in the chain are pre-existing state: the first read of
+  // (loc, version) defines its value, later reads must agree.
+  std::unordered_map<int, std::map<std::uint64_t, std::uint64_t>> baseline;
+  for (std::size_t i = 0; i < attempts.size(); ++i) {
+    const Attempt& a = attempts[i];
+    for (const ReadRec& r : a.reads) {
+      const auto cit = chain.find(r.loc);
+      if (cit != chain.end()) {
+        const auto vit = cit->second.find(r.version);
+        if (vit != cit->second.end()) {
+          if (vit->second.value != r.value) {
+            fail("read-value violation: " + describe(a, i) + " read " +
+                 loc_ver(r.loc, r.version) + " as " + std::to_string(r.value) +
+                 " but the committed chain holds " +
+                 std::to_string(vit->second.value));
+            return res;
+          }
+          continue;
+        }
+      }
+      auto [bit, inserted] =
+          baseline[r.loc].try_emplace(r.version, r.value);
+      if (!inserted && bit->second != r.value) {
+        fail("read-value violation: " + describe(a, i) + " read " +
+             loc_ver(r.loc, r.version) + " as " + std::to_string(r.value) +
+             " but an earlier observation of the same version saw " +
+             std::to_string(bit->second) + " — a torn or uncommitted value");
+        return res;
+      }
+    }
+  }
+
+  // Serialization constraints among commits SHARING a write timestamp
+  // (GV4 adoption): edge (x, y) = "x must serialize before y".
+  std::unordered_map<std::uint64_t,
+                     std::vector<std::pair<std::size_t, std::size_t>>>
+      same_wv_edges;
+
+  for (std::size_t i = 0; i < attempts.size(); ++i) {
+    const Attempt& a = attempts[i];
+    if (a.branch_rollback) continue;  // orElse rolled reads back: weakened
+
+    // ---- update certification (committed updates) --------------------
+    if (a.committed() && a.update()) {
+      for (const ReadRec& r : a.reads) {
+        if (!r.in_read_set) continue;
+        const auto cit = chain.find(r.loc);
+        if (cit == chain.end()) continue;
+        for (auto it = cit->second.upper_bound(r.version);
+             it != cit->second.end() && it->first <= a.wv; ++it) {
+          if (it->second.writer == i) continue;
+          if (it->first < a.wv) {
+            // Strictly inside (observed, wv): impossible under sound TL2
+            // validation for ANY clock scheme — the invalidating writer
+            // held the lock or bumped the version past rv.
+            fail("update-certification violation: " + describe(a, i) +
+                 " committed at wv=" + std::to_string(a.wv) +
+                 " while holding a read of " + loc_ver(r.loc, r.version) +
+                 " that " + describe(attempts[it->second.writer],
+                                     it->second.writer) +
+                 " invalidated at v=" + std::to_string(it->first) +
+                 " — commit-time validation was skipped or unsound");
+            return res;
+          }
+          // Equal timestamps (GV4 adoption): legal iff this commit can
+          // serialize BEFORE the same-wv writer.  Record the constraint;
+          // cycles are rejected below.
+          same_wv_edges[a.wv].push_back({i, it->second.writer});
+        }
+        // Reading the same-wv writer's OWN version orders it before us.
+        const auto vit = cit->second.find(r.version);
+        if (r.version == a.wv && vit != cit->second.end() &&
+            vit->second.writer != i) {
+          same_wv_edges[a.wv].push_back({vit->second.writer, i});
+        }
+      }
+    }
+
+    // ---- piece / snapshot consistency ---------------------------------
+    // Replay the attempt's reads: every elastic-window state must be
+    // consistent at a serialization point that never moves backwards; the
+    // final read set must admit one point after all of them.  Classic and
+    // snapshot attempts are the 1-piece special case.
+    std::uint64_t s_prev = 0;
+    std::vector<const ReadRec*> window;
+    auto check_set = [&](const std::vector<const ReadRec*>& set,
+                         const char* kind) -> bool {
+      std::uint64_t lo = s_prev, hi = kInf;
+      for (const ReadRec* r : set) {
+        const Interval iv = interval_of(chain, *r, i);
+        lo = std::max(lo, iv.lo);
+        hi = std::min(hi, iv.hi);
+      }
+      if (lo > hi) {
+        fail(std::string(kind) + " consistency violation: " + describe(a, i) +
+             " observed a read set with no common serialization point "
+             "(needed S in [" + std::to_string(lo) + ", " +
+             (hi == kInf ? std::string("inf") : std::to_string(hi)) + "])");
+        return false;
+      }
+      s_prev = lo;  // smallest feasible point: optimal for monotonicity
+      return true;
+    };
+
+    bool bad = false;
+    std::vector<const ReadRec*> final_set;
+    for (const ReadRec& r : a.reads) {
+      if (r.released) continue;
+      if (r.in_window) {
+        if (r.cut_before != 0) {
+          const std::size_t drop =
+              std::min<std::size_t>(r.cut_before, window.size());
+          window.erase(window.begin(),
+                       window.begin() + static_cast<std::ptrdiff_t>(drop));
+        }
+        window.push_back(&r);
+        if (!check_set(window, "elastic-window")) {
+          bad = true;
+          break;
+        }
+      } else {
+        final_set.push_back(&r);
+      }
+    }
+    if (bad) return res;
+    // Surviving window entries (strengthened or still elastic at the end)
+    // join the final piece.
+    for (const ReadRec* r : window)
+      if (r->in_read_set || !a.strengthened) final_set.push_back(r);
+    if (!final_set.empty() &&
+        !check_set(final_set, a.sem == stm::Semantics::kSnapshot
+                                  ? "snapshot"
+                                  : "final-piece")) {
+      return res;
+    }
+  }
+
+  // ---- same-timestamp serializability (GV4 shared wv) -----------------
+  // Within one wv the write sets are disjoint (version-chain check), so
+  // the only hazard is a read-write cycle: every reader can go before the
+  // writer that invalidated it unless those constraints loop — the GV4
+  // write-skew shape, where two commits each hold a read the other
+  // invalidated at their shared timestamp.
+  for (const auto& [wv, edges] : same_wv_edges) {
+    std::unordered_map<std::size_t, std::vector<std::size_t>> adj;
+    std::unordered_map<std::size_t, int> state;  // 0 new, 1 open, 2 done
+    for (const auto& [x, y] : edges) adj[x].push_back(y);
+    std::function<bool(std::size_t)> has_cycle = [&](std::size_t n) {
+      state[n] = 1;
+      for (std::size_t m : adj[n]) {
+        const int s = state[m];
+        if (s == 1) return true;
+        if (s == 0 && has_cycle(m)) return true;
+      }
+      state[n] = 2;
+      return false;
+    };
+    for (const auto& [x, y] : edges) {
+      (void)y;
+      if (state[x] == 0 && has_cycle(x)) {
+        fail("update-certification violation: commits sharing wv=" +
+             std::to_string(wv) + " (incl. " + describe(attempts[x], x) +
+             ") have cyclic read-write conflicts — no serialization order "
+             "exists at the shared GV4 timestamp");
+        return res;
+      }
+    }
+  }
+
+  return res;
+}
+
+sched::History export_history(const std::vector<Attempt>& attempts) {
+  struct Stamped {
+    std::uint64_t seq;
+    sched::Event ev;
+  };
+  std::vector<Stamped> events;
+  int tx = 0;
+  for (const Attempt& a : attempts) {
+    if (!a.committed()) continue;
+    for (const ReadRec& r : a.reads)
+      events.push_back({r.seq, sched::rd(tx, r.loc)});
+    for (const WriteRec& w : a.commit_writes)
+      events.push_back({a.end_seq, sched::wr(tx, w.loc)});
+    ++tx;
+  }
+  std::stable_sort(events.begin(), events.end(),
+                   [](const Stamped& x, const Stamped& y) {
+                     return x.seq < y.seq;
+                   });
+  sched::History h;
+  h.reserve(events.size());
+  for (const Stamped& s : events) h.push_back(s.ev);
+  return h;
+}
+
+}  // namespace demotx::check

@@ -1,0 +1,52 @@
+// Per-semantics correctness oracles over recorded histories.
+//
+// certify() checks every attempt of a recorded execution against the
+// guarantee its semantics promises (DESIGN.md "Schedule exploration"):
+//
+//  * version-chain integrity — committed writes form one version chain
+//    per location (no two commits publish the same version of a cell:
+//    that would mean the write lock was violated);
+//  * read-value certification — every read (committed OR aborted: opacity
+//    is about what running transactions can observe) returned exactly the
+//    value the committed chain holds for the version it observed;
+//  * update certification (classic, and elastic after strengthening) —
+//    no OTHER transaction committed a write to a read-set location at a
+//    version strictly inside (observed, wv): commit-time validation must
+//    have caught it.  At the upper end, commits SHARING a wv (legal under
+//    GV4 adoption) are ordered by their read-write conflicts and the
+//    constraint graph must be acyclic — a cycle is the GV4 write-skew
+//    shape, where each commit holds a read the other invalidated at the
+//    shared timestamp;
+//  * snapshot / read-only consistency — the reads admit a single
+//    serialization point S: each (loc, version) read is the latest
+//    committed version at S;
+//  * elastic cut-consistency — the window contents after every elastic
+//    read admit serialization points that are NON-DECREASING across
+//    pieces (hand-over-hand atomicity, paper Algorithm 3): each window
+//    snapshot was consistent at some instant, and those instants advance.
+//
+// export_history() bridges recorded executions into sched::History so the
+// offline checkers (sched/checkers.hpp) can cross-examine small runs.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "check/recorder.hpp"
+#include "sched/history.hpp"
+
+namespace demotx::check {
+
+struct OracleResult {
+  bool ok = true;
+  std::string what;  // first violation, human-readable
+};
+
+OracleResult certify(const std::vector<Attempt>& attempts);
+
+// Committed transactions as a sched::History: each read at its recorded
+// position, each committed write at its transaction's commit point (lazy
+// versioning).  Tx ids are indices into the committed subsequence.
+sched::History export_history(const std::vector<Attempt>& attempts);
+
+}  // namespace demotx::check

@@ -1,0 +1,176 @@
+#include "check/recorder.hpp"
+
+#include "stm/cell.hpp"
+
+namespace demotx::check {
+
+namespace {
+Recorder* g_active = nullptr;
+}  // namespace
+
+void recorder_cell_hook(const stm::Cell* c) {
+  // A cell is being destroyed; retire its location id so the allocator
+  // reusing the address cannot alias two logical locations.  The map keeps
+  // no entry for never-observed cells, so most destructions are a miss.
+  if (g_active != nullptr) g_active->locs_.erase(c);
+}
+
+Recorder::~Recorder() { detach(); }
+
+void Recorder::attach() {
+  if (attached_) return;
+  stm::set_tx_observer(this);
+  g_active = this;
+  stm::g_cell_destroy_hook = &recorder_cell_hook;
+  attached_ = true;
+}
+
+void Recorder::detach() {
+  if (!attached_) return;
+  stm::set_tx_observer(nullptr);
+  stm::g_cell_destroy_hook = nullptr;
+  g_active = nullptr;
+  attached_ = false;
+}
+
+void Recorder::reset() {
+  attempts_.clear();
+  open_.clear();
+  locs_.clear();
+  next_loc_ = 0;
+  seq_ = 0;
+}
+
+Recorder::Open* Recorder::open_for(int slot) {
+  auto it = open_.find(slot);
+  return it == open_.end() ? nullptr : &it->second;
+}
+
+int Recorder::loc_of(const stm::Cell* c) {
+  auto [it, inserted] = locs_.try_emplace(c, next_loc_);
+  if (inserted) ++next_loc_;
+  return it->second;
+}
+
+void Recorder::finish(int slot, Attempt::Outcome outcome,
+                      stm::AbortReason why) {
+  Open* o = open_for(slot);
+  if (o == nullptr) return;  // attempt began before attach()
+  o->att.outcome = outcome;
+  o->att.abort_reason = why;
+  o->att.end_seq = seq_;
+  attempts_.push_back(std::move(o->att));
+  open_.erase(slot);
+}
+
+void Recorder::on_begin(int slot, std::uint64_t serial, stm::Semantics sem,
+                        std::uint64_t rv) {
+  ++seq_;
+  // A begin with an attempt still open means the previous one vanished
+  // without commit/rollback (cannot happen via atomically; be safe).
+  open_.erase(slot);
+  Open& o = open_[slot];
+  o.att.slot = slot;
+  o.att.serial = serial;
+  o.att.sem = sem;
+  o.att.rv = rv;
+  o.att.begin_seq = seq_;
+}
+
+void Recorder::on_read(int slot, const stm::Cell* c, std::uint64_t version,
+                       std::uint64_t value, bool in_window) {
+  ++seq_;
+  Open* o = open_for(slot);
+  if (o == nullptr) return;
+  ReadRec r;
+  r.loc = loc_of(c);
+  r.version = version;
+  r.value = value;
+  r.seq = seq_;
+  r.in_window = in_window;
+  r.in_read_set = !in_window && o->att.sem != stm::Semantics::kSnapshot;
+  if (in_window) {
+    r.cut_before = o->cut_pending;
+    o->cut_pending = 0;
+    o->window.push_back(o->att.reads.size());
+  }
+  o->att.reads.push_back(r);
+}
+
+void Recorder::on_elastic_cut(int slot, unsigned evicted) {
+  ++seq_;
+  Open* o = open_for(slot);
+  if (o == nullptr) return;
+  o->cut_pending += evicted;
+  // Cuts evict the oldest window entries.
+  const std::size_t drop =
+      evicted < o->window.size() ? evicted : o->window.size();
+  o->window.erase(o->window.begin(),
+                  o->window.begin() + static_cast<std::ptrdiff_t>(drop));
+}
+
+void Recorder::on_strengthen(int slot, std::uint64_t new_rv) {
+  ++seq_;
+  Open* o = open_for(slot);
+  if (o == nullptr) return;
+  // The surviving window becomes the read set of the final piece.
+  for (const std::size_t i : o->window) o->att.reads[i].in_read_set = true;
+  o->window.clear();
+  o->cut_pending = 0;
+  o->att.strengthened = true;
+  o->att.rv = new_rv;
+}
+
+void Recorder::on_write(int slot, const stm::Cell* c, std::uint64_t value) {
+  // The committed write set arrives via on_commit_write; the per-write
+  // event only advances the global order.
+  ++seq_;
+  (void)slot;
+  (void)c;
+  (void)value;
+}
+
+void Recorder::on_release(int slot, const stm::Cell* c) {
+  ++seq_;
+  Open* o = open_for(slot);
+  if (o == nullptr) return;
+  o->att.used_release = true;
+  const auto it = locs_.find(c);
+  if (it == locs_.end()) return;
+  const int loc = it->second;
+  for (ReadRec& r : o->att.reads) {
+    if (r.loc == loc) {
+      r.released = true;
+      r.in_read_set = false;
+    }
+  }
+  std::size_t kept = 0;
+  for (const std::size_t i : o->window)
+    if (o->att.reads[i].loc != loc) o->window[kept++] = i;
+  o->window.resize(kept);
+}
+
+void Recorder::on_branch_rollback(int slot) {
+  ++seq_;
+  if (Open* o = open_for(slot)) o->att.branch_rollback = true;
+}
+
+void Recorder::on_commit_write(int slot, const stm::Cell* c,
+                               std::uint64_t value) {
+  ++seq_;
+  if (Open* o = open_for(slot))
+    o->att.commit_writes.push_back({loc_of(c), value});
+}
+
+void Recorder::on_commit(int slot, std::uint64_t wv) {
+  ++seq_;
+  if (Open* o = open_for(slot)) o->att.wv = wv;
+  finish(slot, Attempt::Outcome::kCommitted, stm::AbortReason::kExplicit);
+}
+
+void Recorder::on_abort(int slot, stm::AbortReason why) {
+  ++seq_;
+  finish(slot, Attempt::Outcome::kAborted, why);
+}
+
+}  // namespace demotx::check

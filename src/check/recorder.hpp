@@ -1,0 +1,124 @@
+// Live history recorder: turns the stm::TxObserver callback stream of a
+// real (simulated) execution into per-attempt records the oracles in
+// oracles.hpp can certify.
+//
+// One Recorder instance is attached around a run_sim() call (the sim is
+// single-OS-threaded, so no synchronization is needed) and accumulates
+// every transaction attempt: its semantics, start timestamp, each read
+// with the (version, value) it returned, elastic cuts/strengthening, the
+// final write set and wv of committed updates, and the abort reason of
+// failed attempts.  Cell addresses are mapped to dense location ids;
+// a destruction hook retires ids before the allocator can reuse an
+// address, so reclaimed-and-reallocated nodes never alias.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "stm/observer.hpp"
+
+namespace demotx::check {
+
+struct ReadRec {
+  int loc;
+  std::uint64_t version;  // version the read observed
+  std::uint64_t value;    // value it returned to the body
+  std::uint64_t seq = 0;  // global event order (for history export)
+  // Window entries evicted (cuts) immediately before this elastic read.
+  std::uint32_t cut_before = 0;
+  bool in_window = false;   // elastic-phase read (sliding window)
+  bool in_read_set = false; // survives to commit-time validation
+  bool released = false;    // dropped by early release
+};
+
+struct WriteRec {
+  int loc;
+  std::uint64_t value;
+};
+
+struct Attempt {
+  int slot = -1;
+  std::uint64_t serial = 0;
+  stm::Semantics sem = stm::Semantics::kClassic;
+  std::uint64_t rv = 0;  // start timestamp (re-sampled at strengthening)
+  std::uint64_t wv = 0;  // published write version (committed updates)
+
+  enum class Outcome : std::uint8_t { kActive, kCommitted, kAborted };
+  Outcome outcome = Outcome::kActive;
+  stm::AbortReason abort_reason = stm::AbortReason::kExplicit;
+
+  bool strengthened = false;     // elastic phase ended with a write
+  bool used_release = false;     // early release happened (weakens oracles)
+  bool branch_rollback = false;  // orElse rolled a branch back
+
+  std::uint64_t begin_seq = 0;   // global event order stamps
+  std::uint64_t end_seq = 0;
+
+  std::vector<ReadRec> reads;          // program order
+  std::vector<WriteRec> commit_writes; // final write set (committed updates)
+
+  [[nodiscard]] bool committed() const { return outcome == Outcome::kCommitted; }
+  [[nodiscard]] bool update() const { return !commit_writes.empty(); }
+};
+
+class Recorder final : public stm::TxObserver {
+ public:
+  Recorder() = default;
+  ~Recorder() override;
+  Recorder(const Recorder&) = delete;
+  Recorder& operator=(const Recorder&) = delete;
+
+  // Installs/removes this recorder as the process-wide observer (and the
+  // cell-destruction hook).  Single-threaded use only.
+  void attach();
+  void detach();
+
+  // Drops all recorded state (attempts, location map) for the next run.
+  void reset();
+
+  // Finished attempts in completion order.
+  [[nodiscard]] const std::vector<Attempt>& attempts() const {
+    return attempts_;
+  }
+  [[nodiscard]] std::uint64_t events() const { return seq_; }
+  [[nodiscard]] int num_locs() const { return next_loc_; }
+
+  // ---- stm::TxObserver -------------------------------------------------
+  void on_begin(int slot, std::uint64_t serial, stm::Semantics sem,
+                std::uint64_t rv) override;
+  void on_read(int slot, const stm::Cell* c, std::uint64_t version,
+               std::uint64_t value, bool in_window) override;
+  void on_elastic_cut(int slot, unsigned evicted) override;
+  void on_strengthen(int slot, std::uint64_t new_rv) override;
+  void on_write(int slot, const stm::Cell* c, std::uint64_t value) override;
+  void on_release(int slot, const stm::Cell* c) override;
+  void on_branch_rollback(int slot) override;
+  void on_commit_write(int slot, const stm::Cell* c,
+                       std::uint64_t value) override;
+  void on_commit(int slot, std::uint64_t wv) override;
+  void on_abort(int slot, stm::AbortReason why) override;
+
+ private:
+  struct Open {
+    Attempt att;
+    // Mirror of the descriptor's elastic window: indices into att.reads.
+    std::vector<std::size_t> window;
+    std::uint32_t cut_pending = 0;
+  };
+
+  Open* open_for(int slot);
+  int loc_of(const stm::Cell* c);
+  void finish(int slot, Attempt::Outcome outcome, stm::AbortReason why);
+
+  std::vector<Attempt> attempts_;
+  std::unordered_map<int, Open> open_;
+  std::unordered_map<const stm::Cell*, int> locs_;
+  int next_loc_ = 0;
+  std::uint64_t seq_ = 0;
+  bool attached_ = false;
+
+  friend void recorder_cell_hook(const stm::Cell* c);
+};
+
+}  // namespace demotx::check

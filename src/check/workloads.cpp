@@ -1,0 +1,254 @@
+#include "check/workloads.hpp"
+
+#include <algorithm>
+#include <optional>
+#include <sstream>
+
+#include "ds/tx_list.hpp"
+#include "ds/tx_queue.hpp"
+#include "ds/tx_skiplist.hpp"
+#include "stm/stm.hpp"
+
+namespace demotx::check {
+
+namespace {
+
+// The Fig. 7/9 mix over ONE list: elastic updaters, a classic updater
+// (joining via nesting), elastic membership tests and snapshot iteration
+// all composed on the same nodes.  Keys are disjoint per thread, so the
+// final contents are schedule-independent: {2,4,6,8} +5 -4 +3 -6 =
+// {2,3,5,8}.
+class ListMixed final : public Workload {
+ public:
+  [[nodiscard]] int threads() const override { return 4; }
+
+  void setup() override {
+    for (const long k : {2L, 4L, 6L, 8L}) list_.add(k);
+  }
+
+  void body(int tid) override {
+    switch (tid) {
+      case 0:  // elastic updater
+        list_.add(5);
+        list_.remove(4);
+        break;
+      case 1:  // classic updater: the list's elastic ops join a classic tx
+        stm::atomically(stm::Semantics::kClassic,
+                        [&](stm::Tx&) { list_.add(3); });
+        stm::atomically(stm::Semantics::kClassic,
+                        [&](stm::Tx&) { list_.remove(6); });
+        break;
+      case 2:  // elastic readers
+        (void)list_.contains(5);
+        (void)list_.contains(7);
+        break;
+      case 3:  // snapshot readers (atomic size + iteration)
+        (void)list_.size();
+        (void)list_.to_vector();
+        break;
+      default:
+        break;
+    }
+  }
+
+  bool invariant(std::string* why) override {
+    const std::vector<long> got = list_.to_vector();
+    const std::vector<long> want{2, 3, 5, 8};
+    if (got != want) {
+      std::ostringstream os;
+      os << "list-mixed: final contents {";
+      for (const long k : got) os << ' ' << k;
+      os << " } != expected { 2 3 5 8 }";
+      *why = os.str();
+      return false;
+    }
+    return true;
+  }
+
+ private:
+  ds::TxList list_{{stm::Semantics::kElastic, stm::Semantics::kSnapshot}};
+};
+
+// Classic write-skew shape: both transactions read both accounts and each
+// withdraws from its own if the joint balance allows.  Serializably the
+// second withdrawal must see the first and decline, so the only legal
+// quiescent total is 20; a validation hole (e.g. the injected GV4
+// adoption skip) lets both commit at one timestamp and the total goes
+// negative.
+class BankSkew final : public Workload {
+ public:
+  [[nodiscard]] int threads() const override { return 2; }
+
+  void body(int tid) override {
+    stm::atomically(stm::Semantics::kClassic, [&](stm::Tx& tx) {
+      const long x = a_.get(tx);
+      const long y = b_.get(tx);
+      if (x + y >= 100) {
+        if (tid == 0) {
+          a_.set(tx, x - 100);
+        } else {
+          b_.set(tx, y - 100);
+        }
+      }
+    });
+  }
+
+  bool invariant(std::string* why) override {
+    const long total = a_.unsafe_load() + b_.unsafe_load();
+    if (total != 20) {
+      *why = "bank-skew: quiescent total a+b = " + std::to_string(total) +
+             ", expected 20 (both withdrawals committed: write skew)";
+      return false;
+    }
+    return true;
+  }
+
+ private:
+  stm::TVar<long> a_{60};
+  stm::TVar<long> b_{60};
+};
+
+// Summary-ring race shape (needs validation_scheme=summary): a classic
+// reader-updater whose commit validates a read of x through the ring
+// while a writer commits x and a decoy thread burns timestamps so the
+// reader's validation range is never empty.  With the torn-publish
+// injection the reader can trust a slot whose summary has not landed yet
+// and keep an invalidated read.
+class SummaryRace final : public Workload {
+ public:
+  [[nodiscard]] int threads() const override { return 3; }
+
+  void body(int tid) override {
+    switch (tid) {
+      case 0:  // the victim: read x, publish into z, validate at commit
+        stm::atomically([&](stm::Tx& tx) {
+          const long vx = x_.get(tx);
+          z_.set(tx, vx + 1);
+        });
+        break;
+      case 1:  // the conflicting writer
+        stm::atomically([&](stm::Tx& tx) { x_.set(tx, x_.get(tx) + 10); });
+        break;
+      case 2:  // disjoint traffic: keeps the clock moving
+        stm::atomically([&](stm::Tx& tx) { w_.set(tx, w_.get(tx) + 1); });
+        break;
+      default:
+        break;
+    }
+  }
+
+ private:
+  stm::TVar<long> x_{0};
+  stm::TVar<long> z_{0};
+  stm::TVar<long> w_{0};
+};
+
+// FIFO queue: two producers, one draining consumer.  No element may be
+// lost or duplicated, and each producer's elements must come out in its
+// program order.
+class QueuePC final : public Workload {
+ public:
+  [[nodiscard]] int threads() const override { return 3; }
+
+  void body(int tid) override {
+    if (tid < 2) {
+      q_.enqueue(10 * (tid + 1) + 1);
+      q_.enqueue(10 * (tid + 1) + 2);
+    } else {
+      for (int i = 0; i < 4; ++i) {
+        if (std::optional<long> v = q_.dequeue()) popped_.push_back(*v);
+      }
+    }
+  }
+
+  bool invariant(std::string* why) override {
+    std::vector<long> all = popped_;
+    while (std::optional<long> v = q_.dequeue()) all.push_back(*v);
+    std::vector<long> sorted = all;
+    std::sort(sorted.begin(), sorted.end());
+    if (sorted != std::vector<long>{11, 12, 21, 22}) {
+      *why = "queue: drained elements are not exactly {11,12,21,22} "
+             "(lost or duplicated element)";
+      return false;
+    }
+    // Per-producer FIFO order within the popped prefix.
+    for (const long lo : {11L, 21L}) {
+      const auto i1 = std::find(all.begin(), all.end(), lo);
+      const auto i2 = std::find(all.begin(), all.end(), lo + 1);
+      if (i2 < i1) {
+        *why = "queue: " + std::to_string(lo + 1) + " dequeued before " +
+               std::to_string(lo);
+        return false;
+      }
+    }
+    return true;
+  }
+
+ private:
+  ds::TxQueue q_;
+  std::vector<long> popped_;
+};
+
+// Elastic skiplist + snapshot size over the same structure: a second
+// mixed-semantics shape with taller parse paths (more cut boundaries).
+class SkiplistMixed final : public Workload {
+ public:
+  [[nodiscard]] int threads() const override { return 3; }
+
+  void setup() override {
+    for (const long k : {10L, 20L, 30L, 40L}) list_.add(k);
+  }
+
+  void body(int tid) override {
+    switch (tid) {
+      case 0:
+        list_.add(25);
+        list_.remove(20);
+        break;
+      case 1:
+        (void)list_.contains(30);
+        list_.add(35);
+        break;
+      case 2:
+        (void)list_.size();
+        break;
+      default:
+        break;
+    }
+  }
+
+  bool invariant(std::string* why) override {
+    for (const long k : {10L, 25L, 30L, 35L, 40L}) {
+      if (!list_.contains(k)) {
+        *why = "skiplist-mixed: missing key " + std::to_string(k);
+        return false;
+      }
+    }
+    if (list_.contains(20)) {
+      *why = "skiplist-mixed: key 20 should have been removed";
+      return false;
+    }
+    return true;
+  }
+
+ private:
+  ds::TxSkipList list_{{stm::Semantics::kElastic, stm::Semantics::kSnapshot}};
+};
+
+const std::vector<std::string> kNames = {
+    "list-mixed", "bank-skew", "summary-race", "queue", "skiplist-mixed"};
+
+}  // namespace
+
+std::unique_ptr<Workload> make_workload(const std::string& name) {
+  if (name == "list-mixed") return std::make_unique<ListMixed>();
+  if (name == "bank-skew") return std::make_unique<BankSkew>();
+  if (name == "summary-race") return std::make_unique<SummaryRace>();
+  if (name == "queue") return std::make_unique<QueuePC>();
+  if (name == "skiplist-mixed") return std::make_unique<SkiplistMixed>();
+  return nullptr;
+}
+
+const std::vector<std::string>& workload_names() { return kNames; }
+
+}  // namespace demotx::check

@@ -1,0 +1,35 @@
+// Exploration workloads: small fixed scenarios whose every interleaving
+// the explorer drives through the vt scheduler.  Bodies are deliberately
+// tiny (a handful of transactions each) so the schedule space stays dense
+// in interesting commit/validation races, and each scenario carries a
+// sequential-outcome invariant checked at quiescence on top of the
+// recorded-history oracles.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace demotx::check {
+
+class Workload {
+ public:
+  virtual ~Workload() = default;
+  [[nodiscard]] virtual int threads() const = 0;
+  // Builds initial structure state.  Runs on the driver thread BEFORE the
+  // recorder attaches: pre-population commits become baseline versions.
+  virtual void setup() {}
+  // One logical thread's transactions; runs inside the simulator.
+  virtual void body(int tid) = 0;
+  // Quiescent post-run model check (after the recorder detaches).
+  virtual bool invariant(std::string* why) {
+    (void)why;
+    return true;
+  }
+};
+
+// nullptr for an unknown name.
+std::unique_ptr<Workload> make_workload(const std::string& name);
+const std::vector<std::string>& workload_names();
+
+}  // namespace demotx::check

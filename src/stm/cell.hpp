@@ -35,6 +35,14 @@ inline constexpr std::uint64_t make_locked(int owner_slot) {
 
 }  // namespace lockword
 
+struct Cell;
+
+// Destruction hook for the check/ history recorder: a reclaimed node's
+// cells may be reused at the same address, so the recorder must retire
+// the location id before that can happen.  Null (one predictable branch
+// per destruction) outside explorations; written single-threadedly.
+inline void (*g_cell_destroy_hook)(const Cell*) = nullptr;
+
 struct alignas(64) Cell {
   std::atomic<std::uint64_t> vlock{lockword::make_version(0)};
   std::atomic<std::uint64_t> value{0};
@@ -45,6 +53,9 @@ struct alignas(64) Cell {
   explicit Cell(std::uint64_t v) : value(v) {}
   Cell(const Cell&) = delete;
   Cell& operator=(const Cell&) = delete;
+  ~Cell() {
+    if (g_cell_destroy_hook != nullptr) g_cell_destroy_hook(this);
+  }
 
   // Unsynchronized accessors for initialization and quiescent inspection
   // (tests, post-run verification).  Not for concurrent use.

@@ -5,6 +5,7 @@
 // read-set validation this yields opacity: even doomed transactions never
 // observe an inconsistent state.
 #include "stm/cm/manager.hpp"
+#include "stm/observer.hpp"
 #include "stm/runtime.hpp"
 #include "stm/txdesc.hpp"
 
@@ -54,6 +55,8 @@ std::uint64_t Tx::read_classic(Cell& c) {
     } else {
       reads_.add(&c, ver);
     }
+    if (TxObserver* o = tx_observer())
+      o->on_read(slot_, &c, ver, s.value, /*in_window=*/false);
     return s.value;
   }
 }

@@ -14,6 +14,7 @@
 //   H = r(h)i r(n)i  r(h)j r(n)j w(h)j  r(t)i w(n)i
 // transaction i's read of t must first cut h away (h was overwritten by
 // j, but h left the window, so that is allowed) and then validate only n.
+#include "stm/observer.hpp"
 #include "stm/runtime.hpp"
 #include "stm/txdesc.hpp"
 
@@ -31,11 +32,17 @@ std::uint64_t Tx::read_elastic(Cell& c) {
       check_killed();
       continue;
     }
-    stats_.elastic_cuts += window_.evict_for_push();
+    const std::size_t cuts = window_.evict_for_push();
+    stats_.elastic_cuts += cuts;
     // The remaining window plus the new read must form one consistent
     // piece: every remaining entry must still hold its observed version.
     validate_window_or_abort();
     window_.push(&c, lockword::version_of(s.word));
+    if (TxObserver* o = tx_observer()) {
+      if (cuts != 0) o->on_elastic_cut(slot_, static_cast<unsigned>(cuts));
+      o->on_read(slot_, &c, lockword::version_of(s.word), s.value,
+                 /*in_window=*/true);
+    }
     return s.value;
   }
 }

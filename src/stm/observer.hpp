@@ -1,0 +1,67 @@
+// Passive observation hooks for the check/ exploration subsystem.
+//
+// When an observer is attached (sim-mode explorations only — the global
+// is written single-threadedly before fibers start), the descriptor calls
+// out at every semantic step: begin, each read with the (version, value)
+// it returned, each write, elastic cuts and strengthening, commit with
+// the final write set, and abort.  The recorder on the other side turns
+// those callbacks into a history the per-semantics oracles can certify.
+//
+// The hooks are deliberately pull-nothing: the observer never influences
+// the execution, and with no observer attached each hook site is one
+// global load and a predictable branch.
+#pragma once
+
+#include <cstdint>
+
+#include "stm/semantics.hpp"
+
+namespace demotx::stm {
+
+struct Cell;
+
+class TxObserver {
+ public:
+  virtual ~TxObserver() = default;
+
+  // begin() finished arming the descriptor: attempt serial, semantics and
+  // start timestamp rv are final.
+  virtual void on_begin(int slot, std::uint64_t serial, Semantics sem,
+                        std::uint64_t rv) = 0;
+  // A read returned `value`, observed at `version`.  `in_window` is true
+  // for elastic-phase reads (the read lives in the sliding window, not
+  // the read set).  Dedup-suppressed re-reads still report.
+  virtual void on_read(int slot, const Cell* c, std::uint64_t version,
+                       std::uint64_t value, bool in_window) = 0;
+  // An elastic read evicted `evicted` window entries: a cut.
+  virtual void on_elastic_cut(int slot, unsigned evicted) = 0;
+  // The elastic phase ended (first write or nested classic body); the
+  // window was revalidated at the re-sampled rv and joined the read set.
+  virtual void on_strengthen(int slot, std::uint64_t new_rv) = 0;
+  // write_word logged (or eagerly installed) `value` for this cell.
+  virtual void on_write(int slot, const Cell* c, std::uint64_t value) = 0;
+  // Early release dropped this cell's read obligations.
+  virtual void on_release(int slot, const Cell* c) = 0;
+  // An orElse branch rolled back: reads since its checkpoint left the
+  // read set (the oracles treat such attempts conservatively).
+  virtual void on_branch_rollback(int slot) = 0;
+  // One write-set entry of a committing update transaction; a burst of
+  // these immediately precedes on_commit and carries the values that the
+  // commit publishes (last-write-wins already folded in).
+  virtual void on_commit_write(int slot, const Cell* c,
+                               std::uint64_t value) = 0;
+  // The commit point passed.  wv is the published write version for
+  // update transactions, 0 for read-only commits (which serialize at
+  // their rv / snapshot bound).
+  virtual void on_commit(int slot, std::uint64_t wv) = 0;
+  virtual void on_abort(int slot, AbortReason why) = 0;
+};
+
+// Single-threaded attach/detach (the explorer sets it around run_sim; no
+// real-thread test ever writes it, so unsynchronized reads stay clean).
+inline TxObserver* g_tx_observer = nullptr;
+
+inline TxObserver* tx_observer() { return g_tx_observer; }
+inline void set_tx_observer(TxObserver* o) { g_tx_observer = o; }
+
+}  // namespace demotx::stm

@@ -31,6 +31,14 @@ Runtime::Runtime() {
     if (std::strcmp(v, "scan") == 0)
       config.validation_scheme = ValidationScheme::kScan;
   }
+  // Mutation self-test (check/ explorer): plant a known soundness bug so
+  // ctest can assert the exploration actually finds it.  Never set this
+  // outside the check_inject tests.
+  if (const char* m = std::getenv("DEMOTX_CHECK_INJECT")) {
+    if (std::strcmp(m, "gv4-skip") == 0) config.inject_gv4_skip = true;
+    if (std::strcmp(m, "late-summary") == 0)
+      config.inject_late_summary = true;
+  }
 }
 
 Runtime::~Runtime() {

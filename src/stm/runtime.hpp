@@ -123,6 +123,14 @@ struct Config {
   // the per-read cache probe would be dead weight on re-read-free
   // workloads, so the scan read path stays byte-for-byte the old one.
   bool readset_dedup = true;
+  // Planted soundness bugs for the check/ explorer's mutation self-test
+  // (DEMOTX_CHECK_INJECT=gv4-skip|late-summary).  Each resurrects a bug
+  // class the commit path specifically defends against — the GV4-adopter
+  // validation skip and the torn summary-ring publish — so ctest can
+  // assert the exploration finds both within a fixed budget.  Always off
+  // outside those tests.
+  bool inject_gv4_skip = false;
+  bool inject_late_summary = false;
 };
 
 class Runtime {
@@ -240,6 +248,17 @@ class Runtime {
     // order.  A consumer that reads stamp == wv (acquire) therefore sees
     // this summary — and because overwriting requires passing through
     // kStampBusy, its stamp re-check detects any concurrent recycling.
+    // DEMOTX_CHECK_INJECT=late-summary tears the publish (stamp first,
+    // a yield, then the summary): a validator hitting the window trusts
+    // the slot's stale summary and misses the writer's cells — the bug
+    // class this ordering exists to rule out, planted so the explorer's
+    // detection of it stays regression-tested.
+    if (config.inject_late_summary) {
+      s.stamp.store(wv, std::memory_order_release);
+      vt::access();
+      s.summary.store(summary, std::memory_order_relaxed);
+      return;
+    }
     s.summary.store(summary, std::memory_order_relaxed);
     s.stamp.store(wv, std::memory_order_release);
   }

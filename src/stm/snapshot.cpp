@@ -12,6 +12,7 @@
 // transaction aborts (the paper: "the snapshot transaction may have to
 // abort if the older version is still too recent as no transactions keep
 // track of more than two versions here").
+#include "stm/observer.hpp"
 #include "stm/runtime.hpp"
 #include "stm/txdesc.hpp"
 
@@ -44,9 +45,17 @@ std::uint64_t Tx::read_snapshot(Cell& c) {
       vt::cpu_relax();
       continue;
     }
-    if (lockword::version_of(s.word) <= rv_) return s.value;
+    if (lockword::version_of(s.word) <= rv_) {
+      if (TxObserver* o = tx_observer())
+        o->on_read(slot_, &c, lockword::version_of(s.word), s.value,
+                   /*in_window=*/false);
+      return s.value;
+    }
     if (s.old_version <= rv_) {
       ++stats_.snapshot_old_reads;
+      if (TxObserver* o = tx_observer())
+        o->on_read(slot_, &c, s.old_version, s.old_value,
+                   /*in_window=*/false);
       return s.old_value;
     }
     throw_abort(AbortReason::kSnapshotTooOld);

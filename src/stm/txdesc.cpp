@@ -5,6 +5,7 @@
 
 #include "mem/epoch.hpp"
 #include "stm/cm/manager.hpp"
+#include "stm/observer.hpp"
 #include "stm/runtime.hpp"
 #include "vt/context.hpp"
 
@@ -63,13 +64,22 @@ void Tx::begin(Semantics sem, unsigned attempt, bool irrevocable) {
 
   rv_ = rt.clock_read();
   ++stats_.starts;
+  if (TxObserver* o = tx_observer()) o->on_begin(slot_, serial_, sem_, rv_);
 }
 
 void Tx::commit() {
   check_killed();
+  // Once the decision-point CAS succeeds the commit is irreversible: the
+  // simulator's cycle brake (FiberStopped at a vt::access) must not tear
+  // write-back or the alloc/retire handoff below, or rollback would free
+  // nodes a half-applied commit already linked.  The guard is armed right
+  // before the CAS and pins the fiber until commit bookkeeping is done;
+  // everything in the pinned region is wait-free.
+  vt::ScopedCritical crit;
   if (!writes_.empty()) {
-    commit_update();
+    commit_update(crit);
   } else {
+    crit.arm();
     // Read-only: every semantics validated its reads at read time
     // (classic against rv, elastic against the window, snapshot against
     // the bound), so the commit point needs no further work.
@@ -79,6 +89,7 @@ void Tx::commit() {
                                          std::memory_order_acq_rel)) {
       throw_abort(AbortReason::kKilled);
     }
+    if (TxObserver* o = tx_observer()) o->on_commit(slot_, 0);
   }
 
   // Ownership of allocations passes to the data structure; logical frees
@@ -104,6 +115,11 @@ void Tx::commit() {
 }
 
 void Tx::rollback(AbortReason why) {
+  // Pin against the cycle brake: a rollback that starts must finish
+  // (locks released, gates left, allocations freed, epoch exited), or a
+  // brake-hit schedule leaks locks and epoch guards into the next run.
+  // Every step below is wait-free.
+  vt::ScopedCritical crit(/*arm_now=*/true);
   release_write_locks_aborting();
   if (in_commit_gate_) {
     Runtime::instance().leave_commit_gate(slot_);
@@ -121,6 +137,7 @@ void Tx::rollback(AbortReason why) {
   ++stats_.aborts;
   ++stats_.aborts_by_sem[static_cast<int>(sem_)];
   ++stats_.aborts_by_reason[static_cast<int>(why)];
+  if (TxObserver* o = tx_observer()) o->on_abort(slot_, why);
 }
 
 void Tx::throw_abort(AbortReason why) { throw AbortTx{why}; }
@@ -221,12 +238,14 @@ void Tx::write_word(Cell& c, std::uint64_t v) {
   if (eager_) {
     eager_acquire_and_store(c, v);
     ++stats_.writes;
+    if (TxObserver* o = tx_observer()) o->on_write(slot_, &c, v);
     return;
   }
   const WriteSet::PutResult pr = writes_.put(&c, v);
   if (pr.overwrote && checkpoint_depth_ > 0)
     overwrite_undo_.emplace_back(&c, pr.old_value);
   ++stats_.writes;
+  if (TxObserver* o = tx_observer()) o->on_write(slot_, &c, v);
 }
 
 // Encounter-time locking (eager mode): take the cell's lock at the first
@@ -286,6 +305,7 @@ void Tx::release(Cell& c) {
   std::size_t dropped = reads_.release(&c) + window_.release(&c);
   stats_.early_releases += dropped;
   // Releasing a cell we also wrote would be meaningless; writes stay.
+  if (TxObserver* o = tx_observer()) o->on_release(slot_, &c);
 }
 
 void Tx::strengthen_to_classic() {
@@ -301,6 +321,7 @@ void Tx::strengthen_to_classic() {
   }
   window_.clear();
   elastic_phase_ = false;
+  if (TxObserver* o = tx_observer()) o->on_strengthen(slot_, rv_);
 }
 
 void Tx::validate_window_or_abort() {
@@ -513,6 +534,7 @@ void Tx::restore(const Checkpoint& cp) {
   rv_ = cp.rv;
   --checkpoint_depth_;
   if (checkpoint_depth_ == 0) overwrite_undo_.clear();
+  if (TxObserver* o = tx_observer()) o->on_branch_rollback(slot_);
 }
 
 void Tx::commit_checkpoint(const Checkpoint&) {
@@ -553,7 +575,7 @@ void Tx::wait_for_change(const std::vector<ReadEntry>& watch) {
   }
 }
 
-void Tx::commit_update() {
+void Tx::commit_update(vt::ScopedCritical& crit) {
   Runtime& rt = Runtime::instance();
   // Irrevocability gate: update commits park while another transaction
   // holds the token (the owner itself passes straight through).  Eager
@@ -570,7 +592,11 @@ void Tx::commit_update() {
   // adopter shares its wv with the winner, so wv == rv+1 does not prove
   // exclusivity — two adopters with disjoint write sets could both see it
   // and skip the validation that would have caught a write-skew.
-  if (!clock_advanced || rv_ + 1 != wv) {
+  // DEMOTX_CHECK_INJECT=gv4-skip resurrects exactly that hole (adopters
+  // trust the shortcut too) so the explorer's detection of it stays
+  // regression-tested.
+  const bool exclusive_wv = clock_advanced || rt.config.inject_gv4_skip;
+  if (!exclusive_wv || rv_ + 1 != wv) {
     bool valid;
     if (summary_mode_ && !reads_.empty()) {
       // Ring fast path over (rv_, wv-1]: wv is exclusively ours (GV1),
@@ -609,13 +635,19 @@ void Tx::commit_update() {
       throw_abort(AbortReason::kCommitValidation);
     }
   }
-  // Decision point: after this CAS nothing can abort us.
+  // Decision point: after this CAS nothing can abort us — pin the fiber
+  // so the cycle brake cannot tear the write-back below (see commit()).
+  crit.arm();
   std::uint64_t expected = (serial_ << 2) | kStatusActive;
   if (!status_.compare_exchange_strong(expected,
                                        (serial_ << 2) | kStatusCommitted,
                                        std::memory_order_acq_rel)) {
     if (summary_mode_) rt.publish_commit_summary(wv, 0, &stats_);
     throw_abort(AbortReason::kKilled);
+  }
+  if (TxObserver* o = tx_observer()) {
+    for (const WriteEntry& e : writes_) o->on_commit_write(slot_, e.cell, e.value);
+    o->on_commit(slot_, wv);
   }
   // Publish the write summary BEFORE write-back: a validator that trusts
   // slot wv learns every cell this commit may still be writing, so a

@@ -24,6 +24,10 @@
 #include "stm/stats.hpp"
 #include "stm/writeset.hpp"
 
+namespace demotx::vt {
+class ScopedCritical;
+}  // namespace demotx::vt
+
 namespace demotx::stm {
 
 class ContentionManager;
@@ -186,7 +190,9 @@ class Tx {
   std::uint64_t read_elastic(Cell& c);
   std::uint64_t read_snapshot(Cell& c);
 
-  void commit_update();
+  // `crit` is armed at the decision-point CAS: from there the commit is
+  // irreversible and must not be torn by the simulator's cycle brake.
+  void commit_update(vt::ScopedCritical& crit);
   void eager_acquire_and_store(Cell& c, std::uint64_t v);
   void acquire_write_locks();
   void release_write_locks_aborting();

@@ -26,6 +26,7 @@ struct Context {
   Scheduler* sched = nullptr;   // non-null iff running under simulation
   Fiber* fiber = nullptr;       // non-null iff running on a fiber
   bool stopping = false;        // scheduler asked this fiber to unwind
+  int no_unwind = 0;            // >0: defer the cycle-brake unwind
 };
 
 // The context of the current logical thread, or nullptr if the calling OS
@@ -62,6 +63,40 @@ class ThreadRegistration {
 
  private:
   Context ctx_;
+};
+
+// Pins the current fiber against the scheduler's cycle-brake unwind
+// (FiberStopped) for a wait-free critical section that must run to
+// completion once entered — e.g. an STM commit past its decision point,
+// or a rollback — so a brake-interrupted schedule can never leave a
+// half-applied commit or a half-released transaction behind.  The pinned
+// code keeps yielding and charging cycles; it only defers the unwind.
+// arm() may be called late (after construction), so one guard can scope
+// "the rest of this function" from the instruction that makes the work
+// irreversible.  No-op outside the simulator.
+class ScopedCritical {
+ public:
+  ScopedCritical() = default;
+  explicit ScopedCritical(bool arm_now) {
+    if (arm_now) arm();
+  }
+  ~ScopedCritical() { disarm(); }
+  ScopedCritical(const ScopedCritical&) = delete;
+  ScopedCritical& operator=(const ScopedCritical&) = delete;
+
+  void arm() {
+    if (ctx_ != nullptr) return;
+    ctx_ = current();
+    if (ctx_ != nullptr) ++ctx_->no_unwind;
+  }
+  void disarm() {
+    if (ctx_ == nullptr) return;
+    --ctx_->no_unwind;
+    ctx_ = nullptr;
+  }
+
+ private:
+  Context* ctx_ = nullptr;
 };
 
 // Used by the scheduler when switching fibers.

@@ -1,5 +1,6 @@
 #include "vt/scheduler.hpp"
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <thread>
@@ -52,7 +53,7 @@ int Scheduler::spawn(std::function<void(int)> fn) {
 
 void Scheduler::on_access(Context& c, unsigned weight) {
   if (c.stopping) return;  // unwinding: don't throw from destructors
-  if (stop_) {
+  if (stop_ && c.no_unwind == 0) {  // pinned sections finish first
     c.stopping = true;
     throw FiberStopped{};
   }
@@ -88,15 +89,116 @@ int Scheduler::pick_next() {
       for (const auto& t : tasks_)
         if (!t->finished) runnable[n++] = t->ctx.id;
       if (n == 0) return -1;
-      return runnable[xorshift64(rng_) % static_cast<std::uint64_t>(n)];
+      const int id =
+          runnable[xorshift64(rng_) % static_cast<std::uint64_t>(n)];
+      log_decision(runnable, n, id);
+      return id;
+    }
+    case Policy::kPct: {
+      int runnable[kMaxThreads];
+      int n = 0;
+      for (const auto& t : tasks_)
+        if (!t->finished) runnable[n++] = t->ctx.id;
+      if (n == 0) return -1;
+      const int id = pct_pick(runnable, n);
+      log_decision(runnable, n, id);
+      return id;
+    }
+    case Policy::kChoice: {
+      int runnable[kMaxThreads];
+      int n = 0;
+      for (const auto& t : tasks_)
+        if (!t->finished) runnable[n++] = t->ctx.id;
+      if (n == 0) return -1;
+      if (n == 1) return runnable[0];  // forced: consumes no choice index
+      if (!opts_.choice_fn)
+        die("demotx::vt::Scheduler: kChoice policy without choice_fn");
+      ChoicePoint cp{runnable, n, last_ran_, choice_index_};
+      const int id = opts_.choice_fn(cp);
+      bool ok = false;
+      for (int i = 0; i < n; ++i) ok = ok || runnable[i] == id;
+      if (!ok) die("demotx::vt::Scheduler: choice_fn picked a blocked task");
+      ++choice_index_;
+      log_decision(runnable, n, id);
+      return id;
     }
   }
   return -1;
 }
 
+// Lazily assigns the PCT initial priorities and change points: every task
+// gets a distinct priority in [d, d+n) via a seeded Fisher-Yates shuffle,
+// and the d-1 change points get the descending priorities d-1 .. 1 at
+// step numbers drawn uniformly from [1, pct_horizon].
+void Scheduler::pct_init() {
+  const std::size_t n = tasks_.size();
+  const auto d = static_cast<std::uint64_t>(
+      opts_.pct_change_points < 0 ? 0 : opts_.pct_change_points);
+  pct_prio_.resize(n);
+  for (std::size_t i = 0; i < n; ++i)
+    pct_prio_[i] = static_cast<std::int64_t>(d + 1 + i);
+  for (std::size_t i = n; i > 1; --i) {
+    const std::size_t j = xorshift64(rng_) % i;
+    std::swap(pct_prio_[i - 1], pct_prio_[j]);
+  }
+  const std::uint64_t horizon = opts_.pct_horizon == 0 ? 1 : opts_.pct_horizon;
+  pct_change_steps_.clear();
+  for (std::uint64_t k = 0; k < d; ++k)
+    pct_change_steps_.push_back(1 + xorshift64(rng_) % horizon);
+  std::sort(pct_change_steps_.begin(), pct_change_steps_.end());
+  pct_ready_ = true;
+}
+
+int Scheduler::pct_pick(const int* runnable, int n) {
+  if (!pct_ready_) pct_init();
+  auto highest = [&] {
+    int best = runnable[0];
+    for (int i = 1; i < n; ++i)
+      if (pct_prio_[static_cast<std::size_t>(runnable[i])] >
+          pct_prio_[static_cast<std::size_t>(best)])
+        best = runnable[i];
+    return best;
+  };
+  int id = highest();
+  // At a change point, the task about to run is demoted to the change
+  // point's own priority (d-1 for the first, down to 1) and the pick is
+  // redone — this is what lets PCT context-switch at a bug's d-1
+  // in-between points regardless of where they fall.
+  while (!pct_change_steps_.empty() && steps_ >= pct_change_steps_.front()) {
+    pct_change_steps_.erase(pct_change_steps_.begin());
+    pct_prio_[static_cast<std::size_t>(id)] =
+        static_cast<std::int64_t>(pct_change_steps_.size() + 1);
+    id = highest();
+  }
+  // Spin-breaker: a task picked opts_.pct_fair_window times in a row
+  // while others are runnable is busy-waiting on one of them (strict
+  // priorities otherwise livelock on STM retry loops); demote it below
+  // everything so the waited-on task can advance.
+  if (n > 1 && id == pct_streak_task_ &&
+      ++pct_streak_ >= opts_.pct_fair_window) {
+    pct_prio_[static_cast<std::size_t>(id)] = --pct_fair_next_;
+    id = highest();
+  }
+  if (id != pct_streak_task_) {
+    pct_streak_task_ = id;
+    pct_streak_ = 1;
+  }
+  ++steps_;
+  return id;
+}
+
+void Scheduler::log_decision(const int* runnable, int n, int chosen) {
+  if (opts_.decision_log == nullptr || n < 2) return;
+  std::uint64_t mask = 0;
+  for (int i = 0; i < n; ++i)
+    if (runnable[i] < 64) mask |= 1ULL << runnable[i];
+  opts_.decision_log->push_back({mask, chosen, last_ran_});
+}
+
 void Scheduler::resume_task(int id) {
   Task& t = *tasks_[static_cast<std::size_t>(id)];
   cycles_ = std::max(cycles_, t.due);
+  last_ran_ = id;
   Context* prev = current();
   set_current(&t.ctx);
   t.fiber->resume();
@@ -104,7 +206,8 @@ void Scheduler::resume_task(int id) {
   if (t.fiber->finished()) {
     t.finished = true;
     --live_;
-  } else if (opts_.policy != Policy::kRandom) {
+  } else if (opts_.policy == Policy::kRoundRobin ||
+             opts_.policy == Policy::kScripted) {
     heap_.emplace(t.due, id);
   }
 }

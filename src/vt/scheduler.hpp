@@ -19,6 +19,18 @@
 //   Scripted   — an explicit sequence of logical-thread steps, falling
 //                back to RoundRobin when exhausted; used by tests that
 //                need one exact interleaving (e.g. the paper's history H).
+//   Pct        — PCT (probabilistic concurrency testing, Burckhardt et
+//                al., ASPLOS'10): each thread gets a random priority and
+//                the highest-priority runnable thread always runs; at d-1
+//                seeded change points the running thread's priority drops
+//                below everyone's.  Finds any bug of preemption depth d
+//                with probability >= 1/(n * k^(d-1)) per schedule, which
+//                is what makes a fixed-iteration exploration budget
+//                meaningful.  Used by the check/ explorer.
+//   Choice     — every scheduling decision with more than one runnable
+//                thread is delegated to Options::choice_fn.  This is the
+//                hook the check/ explorer builds its bounded-exhaustive
+//                DFS and its deterministic preemption-trace replay on.
 #pragma once
 
 #include <cstdint>
@@ -34,14 +46,50 @@ namespace demotx::vt {
 
 class Scheduler {
  public:
-  enum class Policy { kRoundRobin, kRandom, kScripted };
+  enum class Policy { kRoundRobin, kRandom, kScripted, kPct, kChoice };
+
+  // One scheduling decision at a choice point (>= 2 runnable threads).
+  // Forced steps (exactly one runnable thread) consume no choice index,
+  // so the sequence of Decisions fully determines the schedule and is
+  // stable under replay.
+  struct Decision {
+    std::uint64_t runnable_mask;  // bit i set = logical thread i runnable
+    int chosen;
+    int last;  // thread that ran the previous step (-1 at the first)
+  };
+
+  // Context handed to Options::choice_fn at each choice point.
+  struct ChoicePoint {
+    const int* runnable;    // ascending logical-thread ids
+    int n;                  // >= 2
+    int last;               // thread that ran the previous step (-1 first)
+    std::uint64_t index;    // 0-based choice-point index
+  };
 
   struct Options {
     Policy policy = Policy::kRoundRobin;
-    std::uint64_t seed = 1;                  // for kRandom
+    std::uint64_t seed = 1;                  // for kRandom / kPct
     std::uint64_t max_cycles = UINT64_MAX;   // safety stop (deadlock brake)
     std::vector<int> script;                 // for kScripted
     std::size_t stack_bytes = kDefaultFiberStack;
+    // kPct: number of priority change points (bug depth - 1) and the
+    // horizon (in choice points) the change points are sampled from.
+    int pct_change_points = 2;
+    std::uint64_t pct_horizon = 2048;
+    // kPct spin-breaker: strict priorities livelock when the running task
+    // spins on state only a lower-priority task can change (an STM
+    // abort-retry loop waiting on a preempted lock holder).  After this
+    // many consecutive picks of one task with others runnable, it is
+    // demoted below everyone — PCT's standard treatment of busy-wait
+    // loops as priority-yield points, applied without annotations.  Set
+    // well above any straight-line transaction length so legal schedules
+    // are unaffected.
+    std::uint64_t pct_fair_window = 1000;
+    // kChoice: returns the id to run, one of cp.runnable[0..n).
+    std::function<int(const ChoicePoint& cp)> choice_fn;
+    // When non-null, every choice point is appended (all policies) —
+    // the raw material for replay tokens and DFS frontier expansion.
+    std::vector<Decision>* decision_log = nullptr;
   };
 
   Scheduler() : Scheduler(Options{}) {}
@@ -83,6 +131,9 @@ class Scheduler {
 
   int pick_next();  // -1 when nothing runnable
   void resume_task(int id);
+  void pct_init();
+  int pct_pick(const int* runnable, int n);
+  void log_decision(const int* runnable, int n, int chosen);
 
   Options opts_;
   std::vector<std::unique_ptr<Task>> tasks_;
@@ -96,6 +147,18 @@ class Scheduler {
   bool running_ = false;
   bool stop_ = false;
   bool hit_limit_ = false;
+  // kPct state: per-task priorities (larger runs first; signed so
+  // spin-breaker demotions can always go below everything) and the
+  // sorted step numbers at which the running task's priority is demoted.
+  std::vector<std::int64_t> pct_prio_;
+  std::vector<std::uint64_t> pct_change_steps_;
+  bool pct_ready_ = false;
+  std::int64_t pct_fair_next_ = 0;  // next (ever-lower) demotion priority
+  int pct_streak_task_ = -1;
+  std::uint64_t pct_streak_ = 0;
+  std::uint64_t steps_ = 0;        // scheduling steps taken (all policies)
+  std::uint64_t choice_index_ = 0; // choice points consumed (>=2 runnable)
+  int last_ran_ = -1;
 };
 
 // Convenience: run `threads` logical threads over fn(id) under the given

@@ -1,0 +1,541 @@
+// The exploration subsystem itself: PCT/Choice scheduler policies,
+// decision logs and preemption-trace replay, the live recorder, the
+// per-semantics oracles (including hand-built violating histories), the
+// replay-token format, and the summary+GV4 legality pair.
+#include "check/explore.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "check/oracles.hpp"
+#include "check/recorder.hpp"
+#include "check/workloads.hpp"
+#include "ds/tx_list.hpp"
+#include "stm/stm.hpp"
+#include "vt/scheduler.hpp"
+
+using namespace demotx;
+using check::Attempt;
+using check::Preemption;
+using check::ReadRec;
+
+namespace {
+
+// Scoped override of the process-wide STM config (tests run with no
+// transaction in flight around the override).
+class ConfigOverride {
+ public:
+  ConfigOverride() : saved_(stm::Runtime::instance().config) {}
+  ~ConfigOverride() { stm::Runtime::instance().config = saved_; }
+  stm::Config& config() { return stm::Runtime::instance().config; }
+
+ private:
+  stm::Config saved_;
+};
+
+}  // namespace
+
+// ---------------------------------------------------------------------
+// Scheduler policies
+// ---------------------------------------------------------------------
+
+TEST(PctPolicy, SameSeedSameSchedule) {
+  auto run = [](std::uint64_t seed) {
+    std::vector<vt::Scheduler::Decision> log;
+    vt::Scheduler::Options opts;
+    opts.policy = vt::Scheduler::Policy::kPct;
+    opts.seed = seed;
+    opts.pct_horizon = 64;
+    opts.decision_log = &log;
+    std::vector<int> trace;
+    vt::Scheduler sched(opts);
+    for (int t = 0; t < 3; ++t) {
+      sched.spawn([&trace](int id) {
+        for (int s = 0; s < 6; ++s) {
+          trace.push_back(id);
+          vt::access();
+        }
+      });
+    }
+    sched.run();
+    return std::make_pair(trace, log.size());
+  };
+  const auto a = run(42);
+  const auto b = run(42);
+  EXPECT_EQ(a.first, b.first);
+  EXPECT_GT(a.second, 0u);
+  // Other seeds draw other priority permutations; with 3! orders one
+  // specific pair can collide, but not eight in a row.
+  bool any_different = false;
+  for (std::uint64_t s = 43; s <= 50 && !any_different; ++s)
+    any_different = run(s).first != a.first;
+  EXPECT_TRUE(any_different);
+}
+
+TEST(PctPolicy, StrictPriorityRunsOneThreadToCompletion) {
+  // Without change points PCT runs the top-priority thread until it
+  // finishes: the execution order is a concatenation of whole threads.
+  vt::Scheduler::Options opts;
+  opts.policy = vt::Scheduler::Policy::kPct;
+  opts.seed = 7;
+  opts.pct_change_points = 0;
+  std::vector<int> trace;
+  vt::Scheduler sched(opts);
+  for (int t = 0; t < 3; ++t) {
+    sched.spawn([&trace](int id) {
+      for (int s = 0; s < 5; ++s) {
+        trace.push_back(id);
+        vt::access();
+      }
+    });
+  }
+  sched.run();
+  ASSERT_EQ(trace.size(), 15u);
+  for (std::size_t i = 0; i < trace.size(); i += 5) {
+    for (std::size_t j = 1; j < 5; ++j) EXPECT_EQ(trace[i], trace[i + j]);
+  }
+}
+
+TEST(PctPolicy, SpinBreakerUnblocksPriorityInvertedSpinLoop) {
+  // Thread A spins on a flag only thread B sets.  If A gets the higher
+  // priority, strict PCT would livelock; the fairness demotion must let
+  // B run.  Try several seeds so both priority orders occur.
+  for (std::uint64_t seed = 1; seed <= 4; ++seed) {
+    std::atomic<bool> flag{false};
+    vt::Scheduler::Options opts;
+    opts.policy = vt::Scheduler::Policy::kPct;
+    opts.seed = seed;
+    opts.pct_change_points = 0;
+    opts.max_cycles = 1u << 22;
+    vt::Scheduler sched(opts);
+    sched.spawn([&flag](int) {
+      while (!flag.load(std::memory_order_relaxed)) vt::access();
+    });
+    sched.spawn([&flag](int) {
+      vt::access();
+      flag.store(true, std::memory_order_relaxed);
+    });
+    sched.run();
+    EXPECT_FALSE(sched.hit_cycle_limit()) << "seed " << seed;
+  }
+}
+
+TEST(ChoicePolicy, BaselineContinuesLastThread) {
+  // With no preemptions the baseline rule runs thread 0 to completion,
+  // then thread 1 (fibers spawn runnable in id order).
+  std::vector<int> trace;
+  vt::Scheduler::Options opts;
+  opts.policy = vt::Scheduler::Policy::kChoice;
+  opts.choice_fn = check::baseline_choice;
+  vt::Scheduler sched(opts);
+  for (int t = 0; t < 2; ++t) {
+    sched.spawn([&trace](int id) {
+      for (int s = 0; s < 4; ++s) {
+        trace.push_back(id);
+        vt::access();
+      }
+    });
+  }
+  sched.run();
+  const std::vector<int> expect{0, 0, 0, 0, 1, 1, 1, 1};
+  EXPECT_EQ(trace, expect);
+}
+
+TEST(ChoicePolicy, DecisionLogReplaysExactly) {
+  // Record a random schedule, convert the log to a preemption trace,
+  // replay under kChoice: the decision sequence must match bit for bit.
+  auto body = [](std::vector<int>* trace) {
+    return [trace](int id) {
+      for (int s = 0; s < 5; ++s) {
+        trace->push_back(id);
+        vt::access();
+      }
+    };
+  };
+  std::vector<vt::Scheduler::Decision> log;
+  std::vector<int> original;
+  {
+    vt::Scheduler::Options opts;
+    opts.policy = vt::Scheduler::Policy::kRandom;
+    opts.seed = 99;
+    opts.decision_log = &log;
+    vt::Scheduler sched(opts);
+    for (int t = 0; t < 3; ++t) sched.spawn(body(&original));
+    sched.run();
+  }
+  const std::vector<Preemption> trace = check::trace_from_log(log);
+  std::vector<vt::Scheduler::Decision> replay_log;
+  std::vector<int> replayed;
+  {
+    vt::Scheduler::Options opts;
+    opts.policy = vt::Scheduler::Policy::kChoice;
+    opts.decision_log = &replay_log;
+    opts.choice_fn = [&trace](const vt::Scheduler::ChoicePoint& cp) {
+      for (const Preemption& p : trace)
+        if (p.index == cp.index) return p.task;
+      return check::baseline_choice(cp);
+    };
+    vt::Scheduler sched(opts);
+    for (int t = 0; t < 3; ++t) sched.spawn(body(&replayed));
+    sched.run();
+  }
+  EXPECT_EQ(original, replayed);
+  ASSERT_EQ(log.size(), replay_log.size());
+  for (std::size_t i = 0; i < log.size(); ++i) {
+    EXPECT_EQ(log[i].chosen, replay_log[i].chosen) << "choice " << i;
+    EXPECT_EQ(log[i].runnable_mask, replay_log[i].runnable_mask)
+        << "choice " << i;
+  }
+}
+
+// ---------------------------------------------------------------------
+// Replay tokens
+// ---------------------------------------------------------------------
+
+TEST(ReplayToken, RoundTrips) {
+  const std::vector<Preemption> trace{{3, 1}, {17, 0}, {40, 2}};
+  const std::string tok = check::make_token("bank-skew", trace);
+  EXPECT_EQ(tok, "demotx:v1:bank-skew:3@1,17@0,40@2");
+  std::string workload;
+  std::vector<Preemption> parsed;
+  ASSERT_TRUE(check::parse_token(tok, &workload, &parsed));
+  EXPECT_EQ(workload, "bank-skew");
+  ASSERT_EQ(parsed.size(), trace.size());
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    EXPECT_EQ(parsed[i].index, trace[i].index);
+    EXPECT_EQ(parsed[i].task, trace[i].task);
+  }
+  // Empty trace round-trips through the "-" marker.
+  const std::string empty = check::make_token("queue", {});
+  ASSERT_TRUE(check::parse_token(empty, &workload, &parsed));
+  EXPECT_EQ(workload, "queue");
+  EXPECT_TRUE(parsed.empty());
+}
+
+TEST(ReplayToken, RejectsMalformed) {
+  std::string w;
+  std::vector<Preemption> t;
+  EXPECT_FALSE(check::parse_token("", &w, &t));
+  EXPECT_FALSE(check::parse_token("demotx:v1:", &w, &t));
+  EXPECT_FALSE(check::parse_token("demotx:v1:x:3@", &w, &t));
+  EXPECT_FALSE(check::parse_token("demotx:v1:x:@1", &w, &t));
+  EXPECT_FALSE(check::parse_token("demotx:v1:x:3-1", &w, &t));
+  EXPECT_FALSE(check::parse_token("demotx:v2:x:-", &w, &t));
+}
+
+// ---------------------------------------------------------------------
+// Oracles on hand-built histories
+// ---------------------------------------------------------------------
+
+namespace {
+
+Attempt committed_update(int slot, std::uint64_t rv, std::uint64_t wv,
+                         std::vector<ReadRec> reads,
+                         std::vector<check::WriteRec> writes) {
+  Attempt a;
+  a.slot = slot;
+  a.serial = 1;
+  a.sem = stm::Semantics::kClassic;
+  a.rv = rv;
+  a.wv = wv;
+  a.outcome = Attempt::Outcome::kCommitted;
+  a.reads = std::move(reads);
+  a.commit_writes = std::move(writes);
+  return a;
+}
+
+ReadRec rd(int loc, std::uint64_t ver, std::uint64_t val) {
+  ReadRec r;
+  r.loc = loc;
+  r.version = ver;
+  r.value = val;
+  r.in_read_set = true;
+  return r;
+}
+
+}  // namespace
+
+TEST(Oracles, CleanHistoryCertifies) {
+  // t1 reads x@0 and writes y at wv=1; t2 reads y@1 (sees t1's value) and
+  // writes x at wv=2.  Serializable: t1 then t2.
+  std::vector<Attempt> h;
+  h.push_back(committed_update(0, 0, 1, {rd(0, 0, 10)}, {{1, 77}}));
+  h.push_back(committed_update(1, 1, 2, {rd(1, 1, 77)}, {{0, 11}}));
+  const check::OracleResult r = check::certify(h);
+  EXPECT_TRUE(r.ok) << r.what;
+}
+
+TEST(Oracles, DualPublishViolatesVersionChain) {
+  // Two commits publish version 5 of location 0: the write lock admitted
+  // two owners.
+  std::vector<Attempt> h;
+  h.push_back(committed_update(0, 0, 5, {}, {{0, 1}}));
+  h.push_back(committed_update(1, 0, 5, {}, {{0, 2}}));
+  const check::OracleResult r = check::certify(h);
+  ASSERT_FALSE(r.ok);
+  EXPECT_NE(r.what.find("version-chain"), std::string::npos) << r.what;
+}
+
+TEST(Oracles, TornReadValueDetected) {
+  // Two transactions read location 0 at the same version but saw
+  // different values: a torn or uncommitted read.
+  std::vector<Attempt> h;
+  h.push_back(committed_update(0, 0, 1, {rd(0, 0, 10)}, {{1, 1}}));
+  h.push_back(committed_update(1, 0, 2, {rd(0, 0, 999)}, {{2, 1}}));
+  const check::OracleResult r = check::certify(h);
+  ASSERT_FALSE(r.ok);
+  EXPECT_NE(r.what.find("read-value"), std::string::npos) << r.what;
+}
+
+TEST(Oracles, WriteSkewViolatesUpdateCertification) {
+  // Classic write skew: both read both accounts at version 0, each
+  // writes its own at distinct timestamps; the later committer held a
+  // read the earlier one invalidated at or before its wv.
+  std::vector<Attempt> h;
+  h.push_back(committed_update(0, 0, 1, {rd(0, 0, 60), rd(1, 0, 60)},
+                               {{0, 1}}));
+  h.push_back(committed_update(1, 0, 2, {rd(0, 0, 60), rd(1, 0, 60)},
+                               {{1, 1}}));
+  const check::OracleResult r = check::certify(h);
+  ASSERT_FALSE(r.ok);
+  EXPECT_NE(r.what.find("update-certification"), std::string::npos) << r.what;
+}
+
+TEST(Oracles, Gv4SharedTimestampWriteSkewDetected) {
+  // The GV4 shape: both commits share wv=1 (adopter + winner).  The
+  // update-certification interval is (observed, wv] inclusive, which is
+  // exactly what catches the same-timestamp skew.
+  std::vector<Attempt> h;
+  h.push_back(committed_update(0, 0, 1, {rd(0, 0, 60), rd(1, 0, 60)},
+                               {{0, 1}}));
+  h.push_back(committed_update(1, 0, 1, {rd(0, 0, 60), rd(1, 0, 60)},
+                               {{1, 1}}));
+  const check::OracleResult r = check::certify(h);
+  ASSERT_FALSE(r.ok);
+  EXPECT_NE(r.what.find("update-certification"), std::string::npos) << r.what;
+}
+
+TEST(Oracles, InconsistentSnapshotDetected) {
+  // A read-only attempt observed x at version 0 but y at version 5,
+  // where another commit wrote x at version 3 <= 5: no serialization
+  // point can see both.
+  std::vector<Attempt> h;
+  h.push_back(committed_update(0, 0, 3, {}, {{0, 99}}));   // writes x@3
+  h.push_back(committed_update(1, 2, 5, {}, {{1, 42}}));   // writes y@5
+  Attempt ro;
+  ro.slot = 2;
+  ro.serial = 1;
+  ro.sem = stm::Semantics::kSnapshot;
+  ro.outcome = Attempt::Outcome::kCommitted;
+  ro.reads.push_back(rd(0, 0, 1));  // x before its overwrite at 3
+  ro.reads.push_back(rd(1, 5, 42)); // y after 5
+  h.push_back(ro);
+  const check::OracleResult r = check::certify(h);
+  ASSERT_FALSE(r.ok);
+  EXPECT_NE(r.what.find("consistency violation"), std::string::npos)
+      << r.what;
+}
+
+TEST(Oracles, ElasticWindowMovesForwardAcrossCuts) {
+  // An elastic parse may observe a mutation mid-traversal as long as
+  // each window state is consistent at a monotonically later point: the
+  // cut drops the old link before the newer one enters the window.
+  std::vector<Attempt> h;
+  h.push_back(committed_update(0, 0, 3, {}, {{0, 99}}));  // overwrites loc 0
+  Attempt el;
+  el.slot = 1;
+  el.serial = 1;
+  el.sem = stm::Semantics::kElastic;
+  el.outcome = Attempt::Outcome::kCommitted;
+  ReadRec w1 = rd(0, 0, 1);  // loc 0 before its overwrite
+  w1.in_window = true;
+  w1.in_read_set = false;
+  ReadRec w2 = rd(1, 4, 2);  // loc 1 at a version only valid at S >= 4
+  w2.in_window = true;
+  w2.in_read_set = false;
+  w2.cut_before = 1;  // the cut evicted the loc-0 read first
+  el.reads = {w1, w2};
+  h.push_back(el);
+  EXPECT_TRUE(check::certify(h).ok);
+
+  // Without the cut both reads share a window: no common point exists.
+  h.back().reads[1].cut_before = 0;
+  const check::OracleResult r = check::certify(h);
+  ASSERT_FALSE(r.ok);
+  EXPECT_NE(r.what.find("elastic-window"), std::string::npos) << r.what;
+}
+
+// ---------------------------------------------------------------------
+// Recorder against the live STM
+// ---------------------------------------------------------------------
+
+TEST(Recorder, CapturesCommittedUpdateAttempt) {
+  stm::TVar<long> x{5};
+  stm::TVar<long> y{0};
+  check::Recorder rec;
+  rec.attach();
+  vt::run_sim(1, [&](int) {
+    stm::atomically([&](stm::Tx& tx) {
+      const long v = x.get(tx);
+      y.set(tx, v + 1);
+    });
+  });
+  rec.detach();
+  ASSERT_EQ(rec.attempts().size(), 1u);
+  const Attempt& a = rec.attempts()[0];
+  EXPECT_TRUE(a.committed());
+  EXPECT_TRUE(a.update());
+  EXPECT_GT(a.wv, 0u);
+  ASSERT_EQ(a.reads.size(), 1u);
+  EXPECT_EQ(a.reads[0].value, 5u);
+  ASSERT_EQ(a.commit_writes.size(), 1u);
+  EXPECT_EQ(a.commit_writes[0].value, 6u);
+  EXPECT_TRUE(check::certify(rec.attempts()).ok);
+}
+
+TEST(Recorder, CapturesAbortReasonAndElasticCuts) {
+  // A 3-node elastic traversal with window capacity 2 must cut at least
+  // once; the recorder mirrors the eviction into cut_before.
+  ds::TxList list({stm::Semantics::kElastic, stm::Semantics::kSnapshot});
+  for (long k : {1L, 2L, 3L, 4L, 5L}) list.add(k);
+  check::Recorder rec;
+  rec.attach();
+  vt::run_sim(1, [&](int) { (void)list.contains(5); });
+  rec.detach();
+  ASSERT_EQ(rec.attempts().size(), 1u);
+  const Attempt& a = rec.attempts()[0];
+  EXPECT_TRUE(a.committed());
+  EXPECT_FALSE(a.update());
+  bool saw_cut = false;
+  for (const ReadRec& r : a.reads) {
+    EXPECT_TRUE(r.in_window);
+    if (r.cut_before > 0) saw_cut = true;
+  }
+  EXPECT_TRUE(saw_cut);
+  EXPECT_TRUE(check::certify(rec.attempts()).ok);
+}
+
+// ---------------------------------------------------------------------
+// Exploration end-to-end + the summary/GV4 legality pair
+// ---------------------------------------------------------------------
+
+TEST(Explore, AllWorkloadsCleanUnderSmallPctBudget) {
+  for (const std::string& w : check::workload_names()) {
+    check::ExploreOptions opts;
+    opts.workload = w;
+    opts.strategy = "pct";
+    opts.schedules = 40;
+    opts.seed = 5;
+    const check::ExploreResult res = check::explore(opts);
+    EXPECT_TRUE(res.ok) << res.error;
+    EXPECT_FALSE(res.found_violation) << w << ": " << res.what;
+    EXPECT_EQ(res.schedules_run, 40u);
+  }
+}
+
+TEST(Explore, DfsOnePreemptionCleanOnListMixed) {
+  check::ExploreOptions opts;
+  opts.workload = "list-mixed";
+  opts.strategy = "dfs";
+  opts.dfs_preemptions = 1;
+  opts.dfs_depth = 24;
+  opts.schedules = 400;
+  const check::ExploreResult res = check::explore(opts);
+  EXPECT_TRUE(res.ok) << res.error;
+  EXPECT_FALSE(res.found_violation) << res.what;
+  EXPECT_GT(res.schedules_run, 20u);
+}
+
+TEST(Explore, SummaryValidationIsGatedOffUnderGv4) {
+  // The (summary, gv4) pair is illegal for the ring fast path: an
+  // adopter shares its wv with the winner, so a published slot does not
+  // prove all commits at that timestamp have published.  The runtime
+  // must fall back to scan validation — and exploration stays clean.
+  ConfigOverride ov;
+  ov.config().validation_scheme = stm::ValidationScheme::kSummary;
+  ov.config().clock_scheme = stm::ClockScheme::kGv4;
+  EXPECT_FALSE(stm::Runtime::instance().summary_validation_active());
+
+  for (const char* w : {"bank-skew", "summary-race", "list-mixed"}) {
+    check::ExploreOptions opts;
+    opts.workload = w;
+    opts.strategy = "pct";
+    opts.schedules = 60;
+    opts.seed = 17;
+    const check::ExploreResult res = check::explore(opts);
+    EXPECT_FALSE(res.found_violation) << w << ": " << res.what;
+  }
+}
+
+TEST(Explore, SummaryValidationActiveUnderGv1) {
+  ConfigOverride ov;
+  ov.config().validation_scheme = stm::ValidationScheme::kSummary;
+  ov.config().clock_scheme = stm::ClockScheme::kGv1;
+  EXPECT_TRUE(stm::Runtime::instance().summary_validation_active());
+  check::ExploreOptions opts;
+  opts.workload = "summary-race";
+  opts.strategy = "pct";
+  opts.schedules = 200;
+  opts.seed = 23;
+  const check::ExploreResult res = check::explore(opts);
+  EXPECT_FALSE(res.found_violation) << res.what;
+}
+
+// ---------------------------------------------------------------------
+// Injected mutations (in-process variant of the check_inject ctest rows)
+// ---------------------------------------------------------------------
+
+TEST(Inject, Gv4SkipFoundAndReplaysDeterministically) {
+  ConfigOverride ov;
+  ov.config().clock_scheme = stm::ClockScheme::kGv4;
+  ov.config().inject_gv4_skip = true;
+
+  check::ExploreOptions opts;
+  opts.workload = "bank-skew";
+  opts.strategy = "pct";
+  opts.schedules = 5000;
+  opts.seed = 1;
+  const check::ExploreResult res = check::explore(opts);
+  ASSERT_TRUE(res.found_violation) << "budget exhausted without detection";
+  EXPECT_TRUE(res.replay_verified);
+  ASSERT_FALSE(res.token.empty());
+
+  // Two consecutive in-process replays of the token: same verdict (the
+  // absolute timestamps differ run to run; fresh-process identity is
+  // asserted by the check_inject ctest rows).
+  check::ExploreOptions rep;
+  rep.strategy = "replay";
+  rep.replay_token = res.token;
+  const check::ExploreResult r1 = check::explore(rep);
+  const check::ExploreResult r2 = check::explore(rep);
+  EXPECT_TRUE(r1.found_violation);
+  EXPECT_TRUE(r2.found_violation);
+}
+
+TEST(Inject, LateSummaryFoundBySummaryRaceWorkload) {
+  ConfigOverride ov;
+  ov.config().validation_scheme = stm::ValidationScheme::kSummary;
+  ov.config().clock_scheme = stm::ClockScheme::kGv1;
+  ov.config().inject_late_summary = true;
+
+  check::ExploreOptions opts;
+  opts.workload = "summary-race";
+  opts.strategy = "pct";
+  opts.schedules = 5000;
+  opts.seed = 1;
+  const check::ExploreResult res = check::explore(opts);
+  ASSERT_TRUE(res.found_violation) << "budget exhausted without detection";
+  EXPECT_TRUE(res.replay_verified);
+  ASSERT_FALSE(res.token.empty());
+  const check::ExploreOptions rep = [&] {
+    check::ExploreOptions r;
+    r.strategy = "replay";
+    r.replay_token = res.token;
+    return r;
+  }();
+  EXPECT_TRUE(check::explore(rep).found_violation);
+}

@@ -98,13 +98,21 @@ TEST(StmCm, GreedyKillsTheYoungerEnemy) {
   const std::uint64_t w = younger.status_word();
   EXPECT_TRUE(younger.try_kill(w));
   bool killed = false;
+  int reads = 0;
   try {
-    for (int i = 0; i < 64; ++i) (void)x.get(younger);  // polls its status
+    // check_killed() samples the status word every 8th poll, so a landed
+    // kill MUST surface within one full poll period of reads — a bounded
+    // guarantee, not a tuned spin count.
+    for (int i = 0; i < 8; ++i) {
+      ++reads;
+      (void)x.get(younger);
+    }
   } catch (const stm::AbortTx& a) {
     killed = a.reason == stm::AbortReason::kKilled;
     younger.rollback(a.reason);
   }
   EXPECT_TRUE(killed);
+  EXPECT_LE(reads, 8) << "kill visibility exceeded the poll period";
   older.rollback(stm::AbortReason::kExplicit);
 }
 

@@ -12,23 +12,35 @@
 using namespace demotx;
 using stm::Semantics;
 
+// The blocking tests handshake instead of using tuned vt::access() delay
+// loops: the consumer raises an atomic IN the transaction body right
+// before calling retry(), and the producer waits for it.  The consumer's
+// first attempt therefore provably sees the empty state and takes the
+// park path, whatever the schedule or attempt length — the old magic
+// counts ("200 accesses should outlast the park") encoded the same
+// intent as a silent timing assumption.
+
 TEST(StmRetry, BlocksUntilAWatchedLocationChanges) {
   auto flag = std::make_unique<stm::TVar<long>>(0);
   std::atomic<long> observed{-1};
   std::atomic<int> attempts{0};
+  std::atomic<bool> parking{false};
 
   vt::Scheduler sched;
   sched.spawn([&](int) {  // consumer: waits for the flag
     const long v = stm::atomically([&](stm::Tx& tx) {
       ++attempts;
       const long f = flag->get(tx);
-      if (f == 0) stm::retry(tx);
+      if (f == 0) {
+        parking = true;  // about to park on the watch set
+        stm::retry(tx);
+      }
       return f;
     });
     observed = v;
   });
-  sched.spawn([&](int) {  // producer: sets it after a while
-    for (int i = 0; i < 200; ++i) vt::access();
+  sched.spawn([&](int) {  // producer: fires only once the park is certain
+    while (!parking.load()) vt::access();
     stm::atomically([&](stm::Tx& tx) { flag->set(tx, 42); });
   });
   sched.run();
@@ -146,6 +158,7 @@ TEST(StmRetry, BothBranchesRetryWaitsOnTheUnion) {
   auto q1 = std::make_unique<ds::TxQueue>();
   auto q2 = std::make_unique<ds::TxQueue>();
   std::atomic<long> got{-1};
+  std::atomic<bool> parking{false};
 
   vt::Scheduler::Options opts;
   opts.max_cycles = 4'000'000;  // brake in case the wake-up is broken
@@ -154,11 +167,14 @@ TEST(StmRetry, BothBranchesRetryWaitsOnTheUnion) {
     got = stm::atomically([&](stm::Tx& tx) {
       return stm::or_else(
           tx, [&](stm::Tx& t) { return q1->dequeue_or_retry(t); },
-          [&](stm::Tx& t) { return q2->dequeue_or_retry(t); });
+          [&](stm::Tx& t) {
+            parking = true;  // both branches empty: the union park follows
+            return q2->dequeue_or_retry(t);
+          });
     });
   });
-  sched.spawn([&](int) {
-    for (int i = 0; i < 300; ++i) vt::access();
+  sched.spawn([&](int) {  // fires only after both branches came up empty
+    while (!parking.load()) vt::access();
     q1->enqueue(11);
   });
   sched.run();
@@ -170,19 +186,23 @@ TEST(StmRetry, BothBranchesRetryWaitsOnTheUnion) {
 TEST(StmRetry, RetryInsideNestedTransactionParksTheWholeFlat) {
   auto flag = std::make_unique<stm::TVar<long>>(0);
   std::atomic<long> result{-1};
+  std::atomic<bool> parking{false};
   vt::Scheduler sched;
   sched.spawn([&](int) {
-    result = stm::atomically([&](stm::Tx& tx) {
+    result = stm::atomically([&](stm::Tx&) {
       // Nested component that blocks: the flat transaction parks.
       return stm::atomically([&](stm::Tx& inner) {
         const long f = flag->get(inner);
-        if (f == 0) stm::retry(inner);
+        if (f == 0) {
+          parking = true;
+          stm::retry(inner);
+        }
         return f;
       });
     });
   });
   sched.spawn([&](int) {
-    for (int i = 0; i < 100; ++i) vt::access();
+    while (!parking.load()) vt::access();
     stm::atomically([&](stm::Tx& tx) { flag->set(tx, 5); });
   });
   sched.run();
@@ -192,16 +212,20 @@ TEST(StmRetry, RetryInsideNestedTransactionParksTheWholeFlat) {
 TEST(StmRetry, ElasticTransactionsCanRetryOnTheWindow) {
   auto flag = std::make_unique<stm::TVar<long>>(0);
   std::atomic<long> result{-1};
+  std::atomic<bool> parking{false};
   vt::Scheduler sched;
   sched.spawn([&](int) {
     result = stm::atomically(Semantics::kElastic, [&](stm::Tx& tx) {
       const long f = flag->get(tx);
-      if (f == 0) stm::retry(tx);  // watch set = the elastic window
+      if (f == 0) {
+        parking = true;
+        stm::retry(tx);  // watch set = the elastic window
+      }
       return f;
     });
   });
   sched.spawn([&](int) {
-    for (int i = 0; i < 100; ++i) vt::access();
+    while (!parking.load()) vt::access();
     stm::atomically([&](stm::Tx& tx) { flag->set(tx, 9); });
   });
   sched.run();
