@@ -44,6 +44,16 @@ int main() {
   print_validation_table(cfg, series, results);
 
   const std::size_t last = cfg.threads.size() - 1;
+  // Satellite view of the snapshot path: which reads the version ring
+  // served and why the ones that aborted gave up (distinct AbortReason
+  // per failure mode, not one lumped "snapshot abort").
+  std::vector<std::pair<std::string, const stm::TxStats*>> attr;
+  for (std::size_t s = 0; s < series.size(); ++s)
+    attr.emplace_back(series[s].name, &results[s][last].raw.stm);
+  std::cout << "\nsnapshot ring serves and abort attribution at "
+            << cfg.threads[last] << " threads:\n";
+  harness::snapshot_abort_table(attr).print(std::cout);
+
   const double vs_classic = results[0][last].speedup /
                             std::max(results[1][last].speedup, 1e-9);
   const double vs_cow = results[0][last].speedup /

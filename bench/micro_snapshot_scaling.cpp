@@ -1,0 +1,286 @@
+// Snapshot-path scalability sweep: long read-only snapshot scans under
+// update churn, 1..64 reader threads, A/B-ing the per-cell version ring
+// depth
+//
+//     {2 (paper baseline), 4, 8}  x  {churn on, churn off}.
+//
+// The workload isolates what the deeper ring is for: the Fig. 9 abort
+// storm where a location is overwritten more than depth-1 times between a
+// snapshot reader's start and its arrival at the cell, exhausting the
+// kept history ("the snapshot transaction may have to abort if the older
+// version is still too recent").  Each READER snapshot-sums a shared
+// 256-cell array in index order; two WRITER threads walk a 16-cell hot
+// set at the TAIL of that order, overwriting each hot cell kBurst times
+// in consecutive small commits (each commit pushes one ring generation),
+// then pausing.  The pacing is tuned so a hot cell collects ~2
+// generations during one reader lifetime: the paper's depth 2 keeps one
+// backup and aborts, depth 4 keeps three and is almost always rescued,
+// depth 8 never exhausts.  Churn-off rows are the control: all depths
+// must agree within noise there (the ring costs nothing when idle), which
+// is also the A/B evidence that depth 2 itself did not move.
+//
+// By default the sweep runs under the virtual-time simulator (this
+// container has one core; see DESIGN.md, Substitutions); DEMOTX_REAL=1
+// switches to real OS threads against the wall clock.
+//
+// Output is JSON (stdout, and argv[1] if given):
+//
+//   { "bench": "micro_snapshot_scaling", "mode": "sim"|"real",
+//     "readers": [...], "depths": [2, 4, 8], "cycles_per_point": N,
+//     "results": [ { "depth": D, "churn": true|false,
+//                    "points": [ { "readers": T, "commits": C,
+//                                  "aborts": A, "duration": D,
+//                                  "throughput": X, "ring_serves": N,
+//                                  "deep_serves": N, "too_old": N,
+//                                  "race": N, "locked": N }, ... ] }, ... ],
+//     "summary": { "depth4_over_depth2_at_max": R,
+//                  "depth8_over_depth2_at_max": R,
+//                  "nochurn_depth8_over_depth2_at_max": R } }
+//
+// throughput counts READER commits only — per kilocycle (sim) or per
+// microsecond (real); writer commits are load, not output.
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "mem/epoch.hpp"
+#include "stm/stm.hpp"
+#include "vt/scheduler.hpp"
+
+using namespace demotx;
+
+namespace {
+
+long env_long(const char* name, long fallback) {
+  const char* v = std::getenv(name);
+  return v != nullptr ? std::atol(v) : fallback;
+}
+
+constexpr int kWriters = 2;
+constexpr int kCells = 256;   // snapshot scan length
+constexpr int kHot = 16;      // churned cells, last in scan order
+constexpr int kBurst = 3;     // consecutive overwrites per hot-cell visit
+constexpr int kPause = 448;   // writer cool-down accesses between bursts
+
+struct Point {
+  int readers = 0;
+  std::uint64_t commits = 0;   // reader commits only
+  std::uint64_t duration = 0;  // virtual cycles (sim) / nanoseconds (real)
+  double throughput = 0.0;     // commits/kcycle (sim) / commits/us (real)
+  stm::TxStats stats;
+};
+
+class Workload {
+ public:
+  explicit Workload(bool churn) : churn_(churn) {
+    for (int i = 0; i < kCells; ++i)
+      cells_.push_back(std::make_unique<stm::TVar<long>>(1));
+  }
+
+  // One read-only snapshot transaction over the whole array, in index
+  // order — the hot tail is reached last, maximizing the churn the ring
+  // must bridge.
+  long run_reader() {
+    return stm::atomically(stm::Semantics::kSnapshot, [&](stm::Tx& tx) {
+      long sum = 0;
+      for (auto& c : cells_) sum += c->get(tx);
+      return sum;
+    });
+  }
+
+  // One writer iteration: kBurst single-cell commits on the next hot cell
+  // (each commit pushes one ring generation), then a cool-down so a hot
+  // cell collects about two generations per reader lifetime.
+  void run_writer(int id, long i) {
+    if (!churn_) {
+      vt::access();  // idle control: writers only burn cycles
+      return;
+    }
+    const std::size_t hot = kCells - kHot +
+                            static_cast<std::size_t>(id + i) % kHot;
+    for (int b = 0; b < kBurst; ++b) {
+      stm::atomically([&](stm::Tx& tx) {
+        auto& c = cells_[hot];
+        c->set(tx, c->get(tx) + 1);
+      });
+    }
+    for (int p = 0; p < kPause; ++p) vt::access();
+  }
+
+ private:
+  bool churn_;
+  std::vector<std::unique_ptr<stm::TVar<long>>> cells_;
+};
+
+Point run_sim_point(int readers, bool churn, std::uint64_t cycles) {
+  auto& rt = stm::Runtime::instance();
+  rt.reset_stats();
+  Workload w(churn);
+  std::vector<std::uint64_t> commits(static_cast<std::size_t>(readers), 0);
+
+  vt::Scheduler::Options opts;
+  opts.policy = vt::Scheduler::Policy::kRoundRobin;
+  opts.max_cycles = cycles * 64 + 4'000'000;  // deadlock brake only
+  vt::Scheduler sched(opts);
+  for (int t = 0; t < readers + kWriters; ++t) {
+    sched.spawn([&w, &commits, cycles, readers](int id) {
+      if (id < readers) {
+        while (vt::sim_now() < cycles) {
+          (void)w.run_reader();
+          ++commits[static_cast<std::size_t>(id)];
+        }
+      } else {
+        long i = 0;
+        while (vt::sim_now() < cycles) w.run_writer(id, i++);
+      }
+    });
+  }
+  sched.run();
+
+  Point p;
+  p.readers = readers;
+  for (std::uint64_t c : commits) p.commits += c;
+  p.duration = sched.cycles();
+  p.throughput = p.duration == 0 ? 0.0
+                                 : static_cast<double>(p.commits) * 1000.0 /
+                                       static_cast<double>(p.duration);
+  p.stats = rt.aggregate_stats();
+  mem::EpochManager::instance().drain();
+  return p;
+}
+
+Point run_real_point(int readers, bool churn, std::uint64_t ms) {
+  auto& rt = stm::Runtime::instance();
+  rt.reset_stats();
+  Workload w(churn);
+  std::vector<std::uint64_t> commits(static_cast<std::size_t>(readers), 0);
+  std::atomic<bool> stop{false};
+
+  const auto t0 = std::chrono::steady_clock::now();
+  vt::run_threads(readers + kWriters, [&](int id) {
+    long i = 0;
+    std::uint64_t n = 0;
+    while (!stop.load(std::memory_order_relaxed)) {
+      if (id < readers) {
+        (void)w.run_reader();
+        ++n;
+      } else {
+        w.run_writer(id, i);
+      }
+      if ((++i & 63) == 0) {
+        const auto now = std::chrono::steady_clock::now();
+        if (std::chrono::duration_cast<std::chrono::milliseconds>(now - t0)
+                .count() >= static_cast<long>(ms))
+          stop.store(true, std::memory_order_relaxed);
+      }
+    }
+    if (id < readers) commits[static_cast<std::size_t>(id)] = n;
+  });
+  const auto t1 = std::chrono::steady_clock::now();
+
+  Point p;
+  p.readers = readers;
+  for (std::uint64_t c : commits) p.commits += c;
+  p.duration = static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0).count());
+  p.throughput = p.duration == 0 ? 0.0
+                                 : static_cast<double>(p.commits) * 1000.0 /
+                                       static_cast<double>(p.duration);
+  p.stats = rt.aggregate_stats();
+  mem::EpochManager::instance().drain();
+  return p;
+}
+
+void json_point(std::ostream& os, const Point& p) {
+  auto reason = [&](stm::AbortReason r) {
+    return p.stats.aborts_by_reason[static_cast<int>(r)];
+  };
+  os << "        {\"readers\": " << p.readers << ", \"commits\": " << p.commits
+     << ", \"aborts\": " << p.stats.aborts << ", \"duration\": " << p.duration
+     << ", \"throughput\": " << p.throughput
+     << ", \"ring_serves\": " << p.stats.snapshot_old_reads
+     << ", \"deep_serves\": " << p.stats.snapshot_ring_hits
+     << ", \"too_old\": " << reason(stm::AbortReason::kSnapshotTooOld)
+     << ", \"race\": " << reason(stm::AbortReason::kSnapshotRace)
+     << ", \"locked\": " << reason(stm::AbortReason::kLockedByOther) << "}";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool real = env_long("DEMOTX_REAL", 0) != 0;
+  const auto cycles =
+      static_cast<std::uint64_t>(env_long("DEMOTX_CYCLES", 60'000));
+  const auto ms = static_cast<std::uint64_t>(env_long("DEMOTX_MS", 50));
+  const long max_threads = env_long("DEMOTX_MAX_THREADS", 64);
+  std::vector<int> readers;
+  for (int t : {1, 8, 32, 64})
+    if (t <= max_threads) readers.push_back(t);
+  const std::vector<std::size_t> depths{2, 4, 8};
+
+  auto& rt = stm::Runtime::instance();
+  const stm::Config saved = rt.config;
+
+  std::ostringstream out;
+  out << "{\n  \"bench\": \"micro_snapshot_scaling\",\n  \"mode\": \""
+      << (real ? "real" : "sim") << "\",\n  \"readers\": [";
+  for (std::size_t i = 0; i < readers.size(); ++i)
+    out << (i != 0 ? ", " : "") << readers[i];
+  out << "],\n  \"depths\": [";
+  for (std::size_t i = 0; i < depths.size(); ++i)
+    out << (i != 0 ? ", " : "") << depths[i];
+  out << "],\n  \"" << (real ? "ms_per_point" : "cycles_per_point")
+      << "\": " << (real ? ms : cycles) << ",\n  \"results\": [\n";
+
+  // summary input: throughput at max readers per (depth index, churn)
+  double at_max[3][2] = {{0}};
+
+  bool first_series = true;
+  for (std::size_t d = 0; d < depths.size(); ++d) {
+    for (const bool churn : {true, false}) {
+      rt.config.snapshot_depth = depths[d];
+      if (!first_series) out << ",\n";
+      first_series = false;
+      out << "    {\"depth\": " << depths[d] << ", \"churn\": "
+          << (churn ? "true" : "false") << ", \"points\": [\n";
+      for (std::size_t t = 0; t < readers.size(); ++t) {
+        std::cerr << "depth=" << depths[d] << (churn ? " churn" : " idle")
+                  << " @" << readers[t] << " readers...\n";
+        const Point p = real ? run_real_point(readers[t], churn, ms)
+                             : run_sim_point(readers[t], churn, cycles);
+        if (t != 0) out << ",\n";
+        json_point(out, p);
+        if (t + 1 == readers.size()) at_max[d][churn ? 0 : 1] = p.throughput;
+      }
+      out << "\n    ]}";
+    }
+  }
+  rt.config = saved;
+
+  const double r4 = at_max[0][0] > 0 ? at_max[1][0] / at_max[0][0] : 0.0;
+  const double r8 = at_max[0][0] > 0 ? at_max[2][0] / at_max[0][0] : 0.0;
+  const double rid = at_max[0][1] > 0 ? at_max[2][1] / at_max[0][1] : 0.0;
+  out << "\n  ],\n  \"summary\": "
+      << "{\"depth4_over_depth2_at_max\": " << r4
+      << ",\n              \"depth8_over_depth2_at_max\": " << r8
+      << ",\n              \"nochurn_depth8_over_depth2_at_max\": " << rid
+      << "}\n}\n";
+
+  std::cout << out.str();
+  if (argc > 1) {
+    std::ofstream f(argv[1]);
+    f << out.str();
+    std::cerr << "wrote " << argv[1] << "\n";
+  }
+  std::cerr << "churn @" << readers.back()
+            << " readers: depth4/depth2 = " << r4 << ", depth8/depth2 = " << r8
+            << "; idle depth8/depth2 = " << rid << "\n";
+  return 0;
+}

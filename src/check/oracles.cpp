@@ -225,6 +225,31 @@ OracleResult certify(const std::vector<Attempt>& attempts) {
                                   : "final-piece")) {
       return res;
     }
+
+    // ---- snapshot rv-pinning ------------------------------------------
+    // A snapshot attempt does not merely need *some* common serialization
+    // point: it must read exactly the state current at its start bound,
+    // so every read's validity interval must CONTAIN a.rv.  This is
+    // strictly stronger than the common-point check above and catches a
+    // version-ring walk that returns an entry one generation too old (the
+    // common point would silently slide earlier) or newer than the bound.
+    // Sound for TL2 clocks: any committer with wv <= a.rv either released
+    // its locks before the reader's seqlock bracket (so the read sees its
+    // version) or overlaps it (lock word / head counter force a retry).
+    if (a.sem == stm::Semantics::kSnapshot) {
+      for (const ReadRec* r : final_set) {
+        const Interval iv = interval_of(chain, *r, i);
+        if (a.rv < iv.lo || a.rv > iv.hi) {
+          fail("snapshot rv-pinning violation: " + describe(a, i) +
+               " (rv=" + std::to_string(a.rv) + ") read " +
+               loc_ver(r->loc, r->version) + " valid only in [" +
+               std::to_string(iv.lo) + ", " +
+               (iv.hi == kInf ? std::string("inf") : std::to_string(iv.hi)) +
+               "] — the ring served a version not current at the bound");
+          return res;
+        }
+      }
+    }
   }
 
   // ---- same-timestamp serializability (GV4 shared wv) -----------------

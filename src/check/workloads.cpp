@@ -1,6 +1,8 @@
 #include "check/workloads.hpp"
 
 #include <algorithm>
+#include <array>
+#include <atomic>
 #include <optional>
 #include <sstream>
 
@@ -235,8 +237,64 @@ class SkiplistMixed final : public Workload {
   ds::TxSkipList list_{{stm::Semantics::kElastic, stm::Semantics::kSnapshot}};
 };
 
+// Snapshot-vs-churn: writers repeatedly overwrite EVERY cell inside one
+// transaction (so all cells are equal in each committed state), fast
+// enough that a slow snapshot reader finds the current version beyond its
+// bound and must be served from the per-cell version ring — including
+// after the ring wraps, because each writer commits more generations than
+// the deepest configured ring keeps (9 > kMaxSnapshotBackups).  The
+// workload invariant is that every snapshot sees all cells equal; on top
+// of that the oracle's rv-pinning check certifies each ring-served read
+// is exactly the version current at the reader's bound.
+class SnapshotChurn final : public Workload {
+ public:
+  [[nodiscard]] int threads() const override { return 4; }
+
+  void body(int tid) override {
+    if (tid < 2) {
+      for (long g = 1; g <= 9; ++g) {
+        const long v = tid * 100 + g;
+        stm::atomically([&](stm::Tx& tx) {
+          for (auto& c : cells_) c.set(tx, v);
+        });
+      }
+    } else {
+      for (int it = 0; it < 3; ++it) {
+        const bool equal = stm::atomically(
+            stm::Semantics::kSnapshot, [&](stm::Tx& tx) {
+              const long first = cells_[0].get(tx);
+              for (auto& c : cells_)
+                if (c.get(tx) != first) return false;
+              return true;
+            });
+        if (!equal) torn_.store(true, std::memory_order_relaxed);
+      }
+    }
+  }
+
+  bool invariant(std::string* why) override {
+    if (torn_.load(std::memory_order_relaxed)) {
+      *why = "snapshot-churn: a snapshot observed unequal cells";
+      return false;
+    }
+    const long v0 = cells_[0].unsafe_load();
+    for (auto& c : cells_) {
+      if (c.unsafe_load() != v0) {
+        *why = "snapshot-churn: final cells unequal after quiescence";
+        return false;
+      }
+    }
+    return true;
+  }
+
+ private:
+  std::array<stm::TVar<long>, 4> cells_{};
+  std::atomic<bool> torn_{false};
+};
+
 const std::vector<std::string> kNames = {
-    "list-mixed", "bank-skew", "summary-race", "queue", "skiplist-mixed"};
+    "list-mixed", "bank-skew",      "summary-race",
+    "queue",      "skiplist-mixed", "snapshot-churn"};
 
 }  // namespace
 
@@ -246,6 +304,7 @@ std::unique_ptr<Workload> make_workload(const std::string& name) {
   if (name == "summary-race") return std::make_unique<SummaryRace>();
   if (name == "queue") return std::make_unique<QueuePC>();
   if (name == "skiplist-mixed") return std::make_unique<SkiplistMixed>();
+  if (name == "snapshot-churn") return std::make_unique<SnapshotChurn>();
   return nullptr;
 }
 

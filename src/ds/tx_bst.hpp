@@ -12,6 +12,7 @@
 #include <climits>
 #include <vector>
 
+#include "mem/epoch.hpp"
 #include "stm/stm.hpp"
 #include "sync/set_interface.hpp"
 
@@ -31,7 +32,12 @@ class TxBst final : public ISet {
     root_.unsafe_store(new Node(LONG_MAX, nullptr, nullptr));
   }
 
-  ~TxBst() override { destroy(root_.unsafe_load()); }
+  ~TxBst() override {
+    // Quiescent teardown: free the epoch limbo before the unsafe walk so
+    // retired-but-unreclaimed nodes are not deleted twice.
+    mem::EpochManager::instance().drain();
+    destroy(root_.unsafe_load());
+  }
 
   TxBst(const TxBst&) = delete;
   TxBst& operator=(const TxBst&) = delete;

@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "ds/tx_counter.hpp"
+#include "mem/epoch.hpp"
 #include "stm/stm.hpp"
 #include "sync/set_interface.hpp"
 
@@ -37,6 +38,9 @@ class TxHashSet final : public ISet {
   }
 
   ~TxHashSet() override {
+    // Quiescent teardown: free the epoch limbo before the unsafe walk so
+    // retired-but-unreclaimed nodes are not deleted twice.
+    mem::EpochManager::instance().drain();
     for (auto& b : buckets_) {
       Node* n = b.head;
       while (n != nullptr) {

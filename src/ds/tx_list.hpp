@@ -14,6 +14,7 @@
 
 #include <climits>
 
+#include "mem/epoch.hpp"
 #include "stm/stm.hpp"
 #include "sync/set_interface.hpp"
 
@@ -33,6 +34,11 @@ class TxList final : public ISet {
   }
 
   ~TxList() override {  // quiescent teardown
+    // Teardown contract: callers guarantee no transaction is in flight,
+    // but committed removers may have handed nodes to the epoch limbo
+    // that are not yet freed.  Drain the limbo *first* so the unsafe walk
+    // below never deletes a node the reclaimer still owns (double free).
+    mem::EpochManager::instance().drain();
     Node* n = head_;
     while (n != nullptr) {
       Node* next = n->next.unsafe_load();

@@ -8,6 +8,7 @@
 
 #include <optional>
 
+#include "mem/epoch.hpp"
 #include "stm/stm.hpp"
 
 namespace demotx::ds {
@@ -21,6 +22,9 @@ class TxQueue {
   }
 
   ~TxQueue() {
+    // Quiescent teardown: free the epoch limbo before the unsafe walk so
+    // retired-but-unreclaimed nodes are not deleted twice.
+    mem::EpochManager::instance().drain();
     Node* n = head_.unsafe_load();
     while (n != nullptr) {
       Node* next = n->next.unsafe_load();

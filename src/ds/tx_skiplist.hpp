@@ -12,6 +12,7 @@
 #include <climits>
 #include <cstdint>
 
+#include "mem/epoch.hpp"
 #include "stm/stm.hpp"
 #include "sync/set_interface.hpp"
 
@@ -34,6 +35,9 @@ class TxSkipList final : public ISet {
   }
 
   ~TxSkipList() override {
+    // Quiescent teardown: free the epoch limbo before the unsafe walk so
+    // retired-but-unreclaimed nodes are not deleted twice.
+    mem::EpochManager::instance().drain();
     Node* n = head_;
     while (n != nullptr) {
       Node* next = n->next[0].unsafe_load();

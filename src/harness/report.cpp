@@ -4,6 +4,8 @@
 #include <cstdio>
 #include <ostream>
 
+#include "stm/stats.hpp"
+
 namespace demotx::harness {
 
 Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {}
@@ -63,6 +65,23 @@ void Table::print_csv(std::ostream& os, const std::string& tag) const {
 
 void banner(std::ostream& os, const std::string& title) {
   os << '\n' << "== " << title << " ==\n\n";
+}
+
+Table snapshot_abort_table(
+    const std::vector<std::pair<std::string, const stm::TxStats*>>& rows) {
+  Table t({"series", "ring_serves", "deep_serves", "too_old", "race",
+           "locked"});
+  for (const auto& [label, st] : rows) {
+    auto reason = [&](stm::AbortReason r) {
+      return Table::num(st->aborts_by_reason[static_cast<int>(r)]);
+    };
+    t.add_row({label, Table::num(st->snapshot_old_reads),
+               Table::num(st->snapshot_ring_hits),
+               reason(stm::AbortReason::kSnapshotTooOld),
+               reason(stm::AbortReason::kSnapshotRace),
+               reason(stm::AbortReason::kLockedByOther)});
+  }
+  return t;
 }
 
 }  // namespace demotx::harness

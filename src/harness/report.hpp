@@ -5,7 +5,12 @@
 #include <cstddef>
 #include <iosfwd>
 #include <string>
+#include <utility>
 #include <vector>
+
+namespace demotx::stm {
+struct TxStats;
+}
 
 namespace demotx::harness {
 
@@ -31,5 +36,15 @@ class Table {
 
 // Section banner for bench output.
 void banner(std::ostream& os, const std::string& title);
+
+// Snapshot abort attribution: one row per series, separating the reads
+// the version ring served (and how many only a deeper-than-paper ring
+// could serve) from the three distinct ways a snapshot read gives up —
+// history exhausted (snapshot-too-old), retry budget burnt by committers
+// tearing the seqlock bracket (snapshot-race), and a stuck lock holder
+// (locked-by-other).  Fig. 9's abort storms are diagnosed from this
+// split: too-old scales with churn depth, race/locked with commit rate.
+Table snapshot_abort_table(
+    const std::vector<std::pair<std::string, const stm::TxStats*>>& rows);
 
 }  // namespace demotx::harness

@@ -3,20 +3,41 @@
 //
 //   vlock       — versioned lock word.  Unlocked: (version << 1).  Locked
 //                 (held by a committing writer): (owner_slot << 1) | 1.
-//   value       — current 64-bit payload, valid at version_of(vlock).
-//   old_value / old_version
-//               — the previous (value, version) pair, saved by every
-//                 committing writer before overwriting.  This is the
-//                 paper's "two versions were maintained at each location":
-//                 it is what lets snapshot transactions read past a
-//                 concurrent update instead of aborting.
+//   hist_head   — monotone mutation counter.  Committing writers use it
+//                 to place ring pushes; eager writers bump it right after
+//                 the acquire CAS so an acquire→write-through→abort cycle
+//                 (which restores the OLD vlock word) still changes
+//                 something a reader bracket can observe.  Without it a
+//                 seqlock bracket spanning that whole cycle would accept
+//                 a torn write-through value under an ABA'd lock word.
+//   hist[]      — per-cell version ring: the most recent `backups`
+//                 superseded (version, value) pairs, pushed seqlock-style
+//                 by committing writers.  Depth 2 (one backup) is the
+//                 paper's "two versions were maintained at each location";
+//                 deeper rings (DEMOTX_SNAPSHOT_DEPTH, up to 8 versions =
+//                 7 backups) let long read-only snapshot transactions read
+//                 past bursts of overwrites instead of aborting (the LSA
+//                 lineage).  Slot words are biased — (version << 1) | 1 —
+//                 so word 0 means "empty slot" even for a legitimate
+//                 version-0 initial value.
 //
-// Readers use a seqlock pattern: read vlock, read the payload, re-read
-// vlock; equal unlocked words bracket a consistent payload.  Writers only
-// mutate the payload while holding the lock bit.
+// Readers use a seqlock pattern: read hist_head and vlock, read the
+// payload (and, on the snapshot path, scan the ring), re-read vlock and
+// hist_head.  Equal unlocked lock words AND equal head counters bracket a
+// consistent payload: ring pushes and lazy write-back happen only under a
+// lock released with a bumped version (the w1 == w2 check catches them),
+// and the only lock cycle that can restore its old word — an aborting
+// eager writer — bumped the head first.  The head is read FIRST and LAST:
+// a torn payload read implies the writer's head bump (which precedes every
+// payload store) is visible to the bracket's final head load, so accepting
+// requires the first head load to have seen it too — and then the lock
+// word loaded after it would have exposed the still-locked or already
+// unwound writer.  Writers only mutate the payload while holding the lock
+// bit.
 #pragma once
 
 #include <atomic>
+#include <cstddef>
 #include <cstdint>
 
 namespace demotx::stm {
@@ -35,6 +56,25 @@ inline constexpr std::uint64_t make_locked(int owner_slot) {
 
 }  // namespace lockword
 
+// Biased version words for ring slots: 0 is "never written", anything
+// else carries version (word >> 1).
+namespace histver {
+
+inline constexpr std::uint64_t kEmpty = 0;
+inline constexpr bool present(std::uint64_t w) { return w != 0; }
+inline constexpr std::uint64_t make(std::uint64_t v) { return (v << 1) | 1; }
+inline constexpr std::uint64_t version_of(std::uint64_t w) { return w >> 1; }
+
+}  // namespace histver
+
+// Ring sizing: depth counts VERSIONS (current value + backups), so the
+// paper-faithful default depth 2 keeps one backup and the maximum depth 8
+// keeps 7.  Depth is configured per-run (Config::snapshot_depth /
+// DEMOTX_SNAPSHOT_DEPTH); the storage is always the maximum so the config
+// can change between quiescent phases without reallocation.
+inline constexpr std::size_t kMaxSnapshotDepth = 8;
+inline constexpr std::size_t kMaxSnapshotBackups = kMaxSnapshotDepth - 1;
+
 struct Cell;
 
 // Destruction hook for the check/ history recorder: a reclaimed node's
@@ -46,8 +86,13 @@ inline void (*g_cell_destroy_hook)(const Cell*) = nullptr;
 struct alignas(64) Cell {
   std::atomic<std::uint64_t> vlock{lockword::make_version(0)};
   std::atomic<std::uint64_t> value{0};
-  std::atomic<std::uint64_t> old_value{0};
-  std::atomic<std::uint64_t> old_version{0};
+  std::atomic<std::uint64_t> hist_head{0};
+
+  struct HistSlot {
+    std::atomic<std::uint64_t> ver{histver::kEmpty};
+    std::atomic<std::uint64_t> val{0};
+  };
+  HistSlot hist[kMaxSnapshotBackups];
 
   Cell() = default;
   explicit Cell(std::uint64_t v) : value(v) {}
@@ -55,6 +100,31 @@ struct alignas(64) Cell {
   Cell& operator=(const Cell&) = delete;
   ~Cell() {
     if (g_cell_destroy_hook != nullptr) g_cell_destroy_hook(this);
+  }
+
+  // Pushes the superseded (version, value) pair into the ring.  Call ONLY
+  // while holding the vlock lock bit on a path that releases it with a
+  // NEW version: the reader bracket then discards anything it overlapped,
+  // so the slot stores need no internal ordering.  Plain round-robin
+  // placement — the reader scans all `backups` slots, so order within the
+  // ring does not matter, only that the newest `backups` pairs survive.
+  void push_history(std::uint64_t version, std::uint64_t v,
+                    std::size_t backups) {
+    const std::uint64_t h = hist_head.load(std::memory_order_relaxed);
+    HistSlot& s = hist[h % backups];
+    s.ver.store(histver::make(version), std::memory_order_relaxed);
+    s.val.store(v, std::memory_order_relaxed);
+    hist_head.store(h + 1, std::memory_order_relaxed);
+  }
+
+  // Empties the ring (1-version ablation / depth 1): snapshot readers must
+  // abort rather than treat a stale pair from an earlier configuration as
+  // the newest value under their bound.  Same locking contract as
+  // push_history.
+  void clear_history() {
+    for (HistSlot& s : hist) s.ver.store(histver::kEmpty, std::memory_order_relaxed);
+    hist_head.store(hist_head.load(std::memory_order_relaxed) + 1,
+                    std::memory_order_relaxed);
   }
 
   // Unsynchronized accessors for initialization and quiescent inspection

@@ -24,7 +24,7 @@ std::uint64_t Tx::read_classic(Cell& c) {
     }
   }
   for (;;) {
-    const CellSnap s = snap(c, /*want_old=*/false);
+    const CellSnap s = snap(c);
     if (lockword::locked(s.word)) {
       if (irrevocable()) continue;  // the holder drains; we cannot abort
       const int owner = lockword::owner_of(s.word);

@@ -24,7 +24,7 @@ std::uint64_t Tx::read_elastic(Cell& c) {
   // In the elastic phase there are no buffered writes (the first write
   // ends the phase), so no own-write lookup is needed.
   for (;;) {
-    const CellSnap s = snap(c, /*want_old=*/false);
+    const CellSnap s = snap(c);
     if (lockword::locked(s.word)) {
       const int owner = lockword::owner_of(s.word);
       if (!cm_->on_conflict(*this, owner, /*writing=*/false))

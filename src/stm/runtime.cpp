@@ -25,6 +25,14 @@ Runtime::Runtime() {
     if (std::strcmp(g, "distributed") == 0)
       config.gate_scheme = GateScheme::kDistributed;
   }
+  if (const char* d = std::getenv("DEMOTX_SNAPSHOT_DEPTH")) {
+    const long n = std::atol(d);
+    config.snapshot_depth = static_cast<std::size_t>(
+        n < 1 ? 1
+              : (n > static_cast<long>(kMaxSnapshotDepth)
+                     ? static_cast<long>(kMaxSnapshotDepth)
+                     : n));
+  }
   if (const char* v = std::getenv("DEMOTX_VALIDATION")) {
     if (std::strcmp(v, "summary") == 0)
       config.validation_scheme = ValidationScheme::kSummary;

@@ -85,9 +85,25 @@ struct Config {
   bool enable_extension = false;
   // Elastic sliding-window capacity (paper's parse keeps prev/curr: 2).
   std::size_t elastic_window = 2;
-  // Maintain the one-deep version history on commit.  Turning this off
+  // Maintain the version-ring history on commit.  Turning this off
   // (1-version ablation) starves snapshot transactions.
   bool maintain_old_versions = true;
+  // Versions kept per location, counting the current value: committing
+  // writers maintain snapshot_depth - 1 ring backups (cell.hpp).  The
+  // paper's scheme is depth 2; deeper rings (up to kMaxSnapshotDepth = 8)
+  // keep long snapshot transactions alive under overwrite churn.
+  // Overridable at process start via DEMOTX_SNAPSHOT_DEPTH.
+  std::size_t snapshot_depth = 2;
+  // Clamped backup count actually maintained (0 when depth is 1 — same
+  // starvation behaviour as the ablation, but still ring-hygienic).
+  [[nodiscard]] std::size_t snapshot_backups() const {
+    const std::size_t d =
+        snapshot_depth < 1
+            ? 1
+            : (snapshot_depth > kMaxSnapshotDepth ? kMaxSnapshotDepth
+                                                  : snapshot_depth);
+    return d - 1;
+  }
   // Eager (encounter-time) writes: acquire the lock and write in place at
   // the first write to a location, undo on abort (TinySTM write-through)
   // instead of buffering until commit (TL2 write-back, the default).

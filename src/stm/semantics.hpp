@@ -52,7 +52,8 @@ enum class AbortReason : std::uint8_t {
   kUserException = 8,     // an exception escaped the transaction body
   kRetry = 9,             // stm::retry(): block until a read location changes
   kHtmCapacity = 10,      // modeled HTM: transactional footprint overflowed
-  kCount = 11
+  kSnapshotRace = 11,     // snapshot read: retry budget burnt by committers
+  kCount = 12
 };
 
 inline constexpr int kNumAbortReasons = static_cast<int>(AbortReason::kCount);
@@ -81,6 +82,8 @@ constexpr const char* to_string(AbortReason r) {
       return "retry-wait";
     case AbortReason::kHtmCapacity:
       return "htm-capacity";
+    case AbortReason::kSnapshotRace:
+      return "snapshot-race";
     case AbortReason::kCount:
       break;
   }

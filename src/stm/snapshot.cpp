@@ -3,15 +3,26 @@
 // The transaction fixes an upper bound ub = global clock at start (rv_).
 // A read returns the most recent value of the location with version <= ub:
 // the current value when the location was not overwritten since, otherwise
-// the one-deep backup kept by every committing writer.  Because committed
-// versions are exactly the clock values, the set of values returned is the
-// committed state at instant ub — an atomic snapshot — with no read set,
-// no validation and no commit-time work, so a size() or an iterator
-// commits regardless of concurrent updates.  If a location was overwritten
-// twice since ub the two kept versions are both too new and the
-// transaction aborts (the paper: "the snapshot transaction may have to
-// abort if the older version is still too recent as no transactions keep
-// track of more than two versions here").
+// the newest ring entry under the bound.  Because committed versions are
+// exactly the clock values, the set of values returned is the committed
+// state at instant ub — an atomic snapshot — with no read set, no
+// validation and no commit-time work, so a size() or an iterator commits
+// regardless of concurrent updates.
+//
+// The paper keeps exactly two versions per location, so a location
+// overwritten twice past the bound forces an abort ("the snapshot
+// transaction may have to abort if the older version is still too recent
+// as no transactions keep track of more than two versions here").  The
+// per-cell version ring generalizes that: at the configured snapshot
+// depth d (DEMOTX_SNAPSHOT_DEPTH, default the paper's 2), d-1 superseded
+// pairs survive, and the walk below picks the newest one <= ub — only
+// d-1 overwrites within the transaction's lifetime still abort it.
+//
+// The whole read — lock word, current value, ring walk — sits inside ONE
+// seqlock bracket (head counter + lock word read first and last, see
+// cell.hpp): writers only mutate the ring and the value while holding the
+// lock, and every mutating lock cycle either bumps the version or bumps
+// the head, so a bracket that saw neither change read a frozen cell.
 #include "stm/observer.hpp"
 #include "stm/runtime.hpp"
 #include "stm/txdesc.hpp"
@@ -19,45 +30,91 @@
 namespace demotx::stm {
 
 std::uint64_t Tx::read_snapshot(Cell& c) {
-  // How many lock-word probes to tolerate before giving up on a stuck
-  // committer.  Normal write-back holds a lock for a handful of cycles,
-  // so the bound is never hit in a healthy run; a descheduled or wedged
-  // committer must not pin us forever — we abort and retry with a fresh
-  // bound instead.
+  // How many probes to tolerate before giving up — on a stuck committer
+  // (locked branch) or on a stream of committers tearing every bracket
+  // (torn branch).  Normal write-back holds a lock for a handful of
+  // cycles, so the bound is never hit in a healthy run; a descheduled or
+  // wedged committer must not pin us forever.  Both branches poll the
+  // kill flag directly (check_killed() deliberately skips snapshot
+  // transactions) so an enemy's kill CAS cannot leave the loop livelocked
+  // — the torn branch used to poll nothing, which let a snapshot reader
+  // repeatedly losing the race against fresh committers spin unkillable.
   constexpr unsigned kSpinBound = 1024;
+  const std::size_t backups = hist_backups_;
   unsigned spins = 0;
+  auto bounded_backoff = [&](AbortReason bound_hit) {
+    if ((++spins & 7u) == 0) {
+      const std::uint64_t sw = status_.load(std::memory_order_acquire);
+      if ((sw & 3u) == kStatusAborted && (sw >> 2) == serial_)
+        throw_abort(AbortReason::kKilled);
+      if (spins >= kSpinBound) throw_abort(bound_hit);
+    }
+    vt::cpu_relax();
+  };
   for (;;) {
-    const CellSnap s = snap(c, /*want_old=*/true);
-    if (lockword::locked(s.word)) {
-      // A committer is writing back; it will release shortly and the
-      // backup it installs is exactly the value we may need.  Spin (one
+    vt::access();
+    const std::uint64_t h1 = c.hist_head.load(std::memory_order_relaxed);
+    const std::uint64_t w1 = c.vlock.load(std::memory_order_acquire);
+    if (lockword::locked(w1)) {
+      // A committer is writing back; it will release shortly and the ring
+      // entry it pushes is exactly the value we may need.  Spin (one
       // virtual cycle per probe) rather than consult the CM: snapshot
-      // transactions hold nothing anyone could wait on.  The spin is
-      // bounded, and the kill flag is polled directly (check_killed()
-      // deliberately skips snapshot transactions) so an enemy's kill CAS
-      // cannot leave this loop livelocked against a stalled lock holder.
-      if ((++spins & 7u) == 0) {
-        const std::uint64_t w = status_.load(std::memory_order_acquire);
-        if ((w & 3u) == kStatusAborted && (w >> 2) == serial_)
-          throw_abort(AbortReason::kKilled);
-        if (spins >= kSpinBound) throw_abort(AbortReason::kLockedByOther);
-      }
-      vt::cpu_relax();
+      // transactions hold nothing anyone could wait on.
+      bounded_backoff(AbortReason::kLockedByOther);
       continue;
     }
-    if (lockword::version_of(s.word) <= rv_) {
-      if (TxObserver* o = tx_observer())
-        o->on_read(slot_, &c, lockword::version_of(s.word), s.value,
-                   /*in_window=*/false);
-      return s.value;
+    // Bracket open: everything read below is discarded unless the closing
+    // loads match.
+    std::uint64_t value = 0;
+    std::uint64_t version = 0;
+    bool hit = false;
+    bool from_ring = false;
+    bool deep = false;
+    if (lockword::version_of(w1) <= rv_) {
+      value = c.value.load(std::memory_order_relaxed);
+      version = lockword::version_of(w1);
+      hit = true;
+    } else if (backups > 0) {
+      // Ring walk: the newest entry <= rv_.  Also track the newest entry
+      // present at all, to tell a serve the one-backup baseline could
+      // have made from a deep-ring rescue.
+      std::uint64_t newest_any = 0;
+      for (std::size_t i = 0; i < backups; ++i) {
+        const std::uint64_t hv = c.hist[i].ver.load(std::memory_order_relaxed);
+        if (!histver::present(hv)) continue;
+        const std::uint64_t v = histver::version_of(hv);
+        if (v > newest_any) newest_any = v;
+        if (v <= rv_ && (!hit || v > version)) {
+          version = v;
+          value = c.hist[i].val.load(std::memory_order_relaxed);
+          hit = true;
+        }
+      }
+      from_ring = hit;
+      deep = hit && version < newest_any;
     }
-    if (s.old_version <= rv_) {
-      ++stats_.snapshot_old_reads;
-      if (TxObserver* o = tx_observer())
-        o->on_read(slot_, &c, s.old_version, s.old_value,
-                   /*in_window=*/false);
-      return s.old_value;
+    std::atomic_thread_fence(std::memory_order_acquire);
+    const std::uint64_t w2 = c.vlock.load(std::memory_order_relaxed);
+    const std::uint64_t h2 = c.hist_head.load(std::memory_order_relaxed);
+    if (w1 != w2 || h1 != h2) {
+      // Torn by a committing writer: full-loop retry, same budget.
+      bounded_backoff(AbortReason::kSnapshotRace);
+      continue;
     }
+    if (hit) {
+      if (from_ring) {
+        ++stats_.snapshot_old_reads;
+        // Served an entry OLDER than the newest kept backup: the paper's
+        // depth-2 scheme would have aborted here.
+        if (deep) ++stats_.snapshot_ring_hits;
+      }
+      if (TxObserver* o = tx_observer())
+        o->on_read(slot_, &c, version, value, /*in_window=*/false);
+      return value;
+    }
+    // Every kept version is newer than the bound: the location was
+    // overwritten `backups`+1 times since this transaction started.
+    ++stats_.snapshot_too_recent;
     throw_abort(AbortReason::kSnapshotTooOld);
   }
 }

@@ -39,6 +39,13 @@ std::string TxStats::summary() const {
                 static_cast<unsigned long long>(kills_issued),
                 static_cast<unsigned long long>(early_releases));
   out += buf;
+  if (snapshot_ring_hits != 0 || snapshot_too_recent != 0) {
+    std::snprintf(buf, sizeof buf,
+                  "  snapshot ring: %llu deep hits, %llu too-recent aborts\n",
+                  static_cast<unsigned long long>(snapshot_ring_hits),
+                  static_cast<unsigned long long>(snapshot_too_recent));
+    out += buf;
+  }
   if (clock_adopts != 0 || gate_waits != 0 || wfilter_hits != 0 ||
       wfilter_skips != 0) {
     std::snprintf(buf, sizeof buf,

@@ -23,7 +23,13 @@ struct TxStats {
   std::uint64_t reads = 0;
   std::uint64_t writes = 0;
   std::uint64_t elastic_cuts = 0;        // window evictions
-  std::uint64_t snapshot_old_reads = 0;  // reads served from the backup
+  std::uint64_t snapshot_old_reads = 0;  // reads served from the ring
+  // Snapshot ring attribution: ring_hits are reads served by an entry
+  // DEEPER than the newest kept backup (the paper's depth-2 scheme would
+  // have aborted); too_recent counts history-exhausted aborts (every kept
+  // version newer than the bound) at the moment they throw.
+  std::uint64_t snapshot_ring_hits = 0;
+  std::uint64_t snapshot_too_recent = 0;
   std::uint64_t extensions = 0;          // successful timebase extensions
   std::uint64_t kills_issued = 0;        // CM killed an enemy
   std::uint64_t early_releases = 0;
@@ -54,6 +60,8 @@ struct TxStats {
     writes += o.writes;
     elastic_cuts += o.elastic_cuts;
     snapshot_old_reads += o.snapshot_old_reads;
+    snapshot_ring_hits += o.snapshot_ring_hits;
+    snapshot_too_recent += o.snapshot_too_recent;
     extensions += o.extensions;
     kills_issued += o.kills_issued;
     early_releases += o.early_releases;

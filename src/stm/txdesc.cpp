@@ -21,7 +21,16 @@ void Tx::begin(Semantics sem, unsigned attempt, bool irrevocable) {
   Runtime& rt = Runtime::instance();
   sem_ = sem;
   elastic_phase_ = (sem == Semantics::kElastic);
-  window_.set_capacity(rt.config.elastic_window);
+  // Hand-over-hand parses are only sound when the window spans the whole
+  // traversal pair (prev->next, curr->next — the paper's parse keeps
+  // exactly 2).  With capacity 1 a remove's read of the predecessor link
+  // is cut before strengthening, its commit no longer validates it, and a
+  // concurrent remove of the predecessor can leave the retired node still
+  // linked — reachable AND in the epoch limbo, which a quiescent teardown
+  // then frees twice (ds_teardown_test.cpp reproduces the double-free).
+  window_.set_capacity(std::max<std::size_t>(2, rt.config.elastic_window));
+  hist_backups_ =
+      rt.config.maintain_old_versions ? rt.config.snapshot_backups() : 0;
   reads_.clear();
   writes_.clear();
   window_.clear();
@@ -166,20 +175,20 @@ bool Tx::try_kill(std::uint64_t observed_word) {
 // Reads and writes
 // ---------------------------------------------------------------------
 
-Tx::CellSnap Tx::snap(Cell& c, bool want_old) {
+Tx::CellSnap Tx::snap(Cell& c) {
+  // The head counter is read FIRST and LAST (see cell.hpp): an aborting
+  // eager writer restores its old lock word, so w1 == w2 alone would
+  // accept a write-through value torn by a whole acquire→abort cycle.
   for (;;) {
     vt::access();
+    const std::uint64_t h1 = c.hist_head.load(std::memory_order_relaxed);
     const std::uint64_t w1 = c.vlock.load(std::memory_order_acquire);
-    if (lockword::locked(w1)) return CellSnap{w1, 0, 0, 0};
+    if (lockword::locked(w1)) return CellSnap{w1, 0};
     const std::uint64_t v = c.value.load(std::memory_order_relaxed);
-    std::uint64_t ov = 0, over = 0;
-    if (want_old) {
-      ov = c.old_value.load(std::memory_order_relaxed);
-      over = c.old_version.load(std::memory_order_relaxed);
-    }
     std::atomic_thread_fence(std::memory_order_acquire);
     const std::uint64_t w2 = c.vlock.load(std::memory_order_relaxed);
-    if (w1 == w2) return CellSnap{w1, v, ov, over};
+    const std::uint64_t h2 = c.hist_head.load(std::memory_order_relaxed);
+    if (w1 == w2 && h1 == h2) return CellSnap{w1, v};
     // Torn by a committing writer; retry (costs another cycle).
   }
 }
@@ -281,13 +290,16 @@ void Tx::eager_acquire_and_store(Cell& c, std::uint64_t v) {
     std::uint64_t expected = w;
     if (c.vlock.compare_exchange_strong(expected, lockword::make_locked(slot_),
                                         std::memory_order_acq_rel)) {
+      // Bump the mutation counter BEFORE the write-through: if this
+      // attempt aborts, the unlock restores the OLD lock word, and the
+      // head bump is then the only thing a reader bracket spanning the
+      // whole cycle can catch (see cell.hpp).  The ring itself is not
+      // touched here — pushes happen at commit, under a lock that ends in
+      // a version bump, so an aborted attempt never republishes history.
+      c.hist_head.store(c.hist_head.load(std::memory_order_relaxed) + 1,
+                        std::memory_order_relaxed);
       const std::uint64_t old = c.value.load(std::memory_order_relaxed);
       vt::access();
-      if (rt.config.maintain_old_versions) {
-        c.old_value.store(old, std::memory_order_relaxed);
-        c.old_version.store(lockword::version_of(w),
-                            std::memory_order_relaxed);
-      }
       c.value.store(v, std::memory_order_relaxed);
       WriteSet::PutResult pr = writes_.put(&c, v);
       (void)pr;
@@ -658,25 +670,33 @@ void Tx::commit_update(vt::ScopedCritical& crit) {
     rt.publish_commit_summary(wv, writes_.summary(), &stats_);
   }
   last_wv_ = wv;
-  const bool keep_old = rt.config.maintain_old_versions;
+  // Ring maintenance rides the held lock: every write-back pushes the
+  // superseded (version, value) pair — the value readers saw at
+  // saved_version — before installing the new value, and the versioned
+  // unlock below publishes the whole line at once (any overlapping reader
+  // bracket sees w1 != w2 and retries).  Under the 1-version ablation the
+  // ring is emptied instead, so snapshot readers abort rather than adopt
+  // a stale pair as the newest value under their bound.  No extra
+  // vt::access() beyond the two the loop already charges: the ring slots
+  // share the cell's adjacent lines with the value/lock words.
+  const std::size_t backups = hist_backups_;
   for (WriteEntry& e : writes_) {
     vt::access();
     Cell& c = *e.cell;
+    if (backups > 0) {
+      c.push_history(e.saved_version,
+                     e.in_place ? e.undo_value
+                                : c.value.load(std::memory_order_relaxed),
+                     backups);
+    } else {
+      c.clear_history();
+    }
     if (e.in_place) {
-      // Eager: the value and the backup pair were installed at acquire
-      // time; publishing is just the versioned unlock.
+      // Eager: the value itself was installed at acquire time; publishing
+      // is the ring push above plus the versioned unlock.
       c.vlock.store(lockword::make_version(wv), std::memory_order_release);
       e.locked = false;
       continue;
-    }
-    if (keep_old) {
-      c.old_value.store(c.value.load(std::memory_order_relaxed),
-                        std::memory_order_relaxed);
-      c.old_version.store(e.saved_version, std::memory_order_relaxed);
-    } else {
-      // 1-version ablation: poison the backup so snapshot readers abort
-      // rather than return a stale bootstrap value.
-      c.old_version.store(wv, std::memory_order_relaxed);
     }
     c.value.store(e.value, std::memory_order_relaxed);
     vt::access();

@@ -176,15 +176,14 @@ class Tx {
     void (*deleter)(void*);
   };
 
-  // A consistent (word,value,old pair) snapshot of a cell, or a word with
-  // the lock bit set (payload unspecified).
+  // A consistent (word, value) snapshot of a cell, or a word with the
+  // lock bit set (payload unspecified).  The snapshot read path does not
+  // use this — it runs its own bracket so the ring scan sits inside it.
   struct CellSnap {
     std::uint64_t word;
     std::uint64_t value;
-    std::uint64_t old_value;
-    std::uint64_t old_version;
   };
-  static CellSnap snap(Cell& c, bool want_old);
+  static CellSnap snap(Cell& c);
 
   std::uint64_t read_classic(Cell& c);
   std::uint64_t read_elastic(Cell& c);
@@ -222,6 +221,10 @@ class Tx {
   bool in_commit_gate_ = false;  // registered in the irrevocability gate
   bool summary_mode_ = false;    // summary-ring validation for this attempt
   bool dedup_ = false;           // read-set dedup for this attempt
+  // Ring backups committed writers maintain this attempt: configured
+  // snapshot depth - 1, or 0 under the 1-version ablation (write-back
+  // then EMPTIES the ring instead of pushing).
+  std::size_t hist_backups_ = 1;
   std::uint64_t rv_ = 0;  // start timestamp (classic) / bound ub (snapshot)
   std::uint64_t serial_ = 0;
   std::uint64_t last_wv_ = 0;

@@ -12,6 +12,10 @@
 #include <new>
 #include <utility>
 
+#ifdef DEMOTX_ASAN_FIBERS
+#include <sanitizer/common_interface_defs.h>
+#endif
+
 extern "C" void demotx_fiber_switch(void** save_sp, void* load_sp);
 
 namespace demotx::vt {
@@ -68,17 +72,40 @@ void Fiber::resume() {
   if (finished_) die("demotx::vt::Fiber: resume() on a finished fiber");
   Fiber* prev = tls_running;
   tls_running = this;
+#ifdef DEMOTX_ASAN_FIBERS
+  const std::size_t ps = page_size();
+  __sanitizer_start_switch_fiber(
+      &asan_fake_caller_, static_cast<const char*>(stack_base_) + ps,
+      map_bytes_ - ps);
+#endif
   demotx_fiber_switch(&caller_sp_, sp_);
+#ifdef DEMOTX_ASAN_FIBERS
+  __sanitizer_finish_switch_fiber(asan_fake_caller_, nullptr, nullptr);
+#endif
   tls_running = prev;
 }
 
 void Fiber::yield() {
   if (tls_running != this) die("demotx::vt::Fiber: yield() outside the fiber");
+#ifdef DEMOTX_ASAN_FIBERS
+  // A finished fiber never runs again: pass nullptr so ASan frees its
+  // fake-stack bookkeeping instead of saving it.
+  __sanitizer_start_switch_fiber(finished_ ? nullptr : &asan_fake_self_,
+                                 asan_caller_bottom_, asan_caller_size_);
+#endif
   demotx_fiber_switch(&sp_, caller_sp_);
+#ifdef DEMOTX_ASAN_FIBERS
+  __sanitizer_finish_switch_fiber(asan_fake_self_, &asan_caller_bottom_,
+                                  &asan_caller_size_);
+#endif
 }
 
 void Fiber::entry() {
   Fiber* self = tls_running;
+#ifdef DEMOTX_ASAN_FIBERS
+  __sanitizer_finish_switch_fiber(nullptr, &self->asan_caller_bottom_,
+                                  &self->asan_caller_size_);
+#endif
   try {
     self->fn_();
   } catch (const FiberStopped&) {

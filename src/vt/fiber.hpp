@@ -16,6 +16,17 @@
 #include <ucontext.h>
 #endif
 
+// Under ASan every stack switch must be announced with
+// __sanitizer_start/finish_switch_fiber, or the first exception thrown on
+// a fiber stack makes ASan unpoison the wrong region and crash.
+#if defined(__SANITIZE_ADDRESS__)
+#define DEMOTX_ASAN_FIBERS 1
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer)
+#define DEMOTX_ASAN_FIBERS 1
+#endif
+#endif
+
 namespace demotx::vt {
 
 inline constexpr std::size_t kDefaultFiberStack = 256 * 1024;
@@ -62,6 +73,16 @@ class Fiber {
 #else
   void* sp_ = nullptr;         // fiber's saved stack pointer
   void* caller_sp_ = nullptr;  // resumer's saved stack pointer
+#endif
+
+#ifdef DEMOTX_ASAN_FIBERS
+  // ASan bookkeeping across stack switches: each side's fake-stack handle
+  // is saved when it departs, and the fiber remembers the resumer's stack
+  // bounds so yield() can announce the destination.
+  void* asan_fake_caller_ = nullptr;
+  void* asan_fake_self_ = nullptr;
+  const void* asan_caller_bottom_ = nullptr;
+  std::size_t asan_caller_size_ = 0;
 #endif
 };
 

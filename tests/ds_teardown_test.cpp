@@ -1,0 +1,213 @@
+// Quiescent-teardown regression tests.
+//
+// Two related bugs are pinned here:
+//
+//  1. An elastic window of capacity 1 is unsound for the hand-over-hand
+//     list protocol: a remove must validate *both* live links
+//     (prev->next and curr->next) at commit.  With capacity 1 the
+//     predecessor link is cut away, so two overlapping removes can both
+//     commit while the second writes through a node the first already
+//     retired — leaving a node that is simultaneously reachable from the
+//     head and sitting in the epoch limbo.  Teardown then frees it twice
+//     (ASan: heap-use-after-free / double free).  Tx::begin clamps the
+//     window to >= 2; WindowClampKeepsUnlinkSound drives the exact
+//     interleaving on OS threads and fails if the clamp is reverted.
+//
+//  2. Structure destructors used to walk the nodes with plain `delete`
+//     without quiescing the epoch limbo first, so teardown raced the
+//     reclaimer's deferred frees.  The destructors now drain; the
+//     *DestructorDrainsLimbo tests destroy structures while the limbo is
+//     still hot and assert it is empty afterwards.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <climits>
+#include <functional>
+
+#include "ds/tx_bst.hpp"
+#include "ds/tx_hashset.hpp"
+#include "ds/tx_list.hpp"
+#include "ds/tx_queue.hpp"
+#include "ds/tx_skiplist.hpp"
+#include "mem/epoch.hpp"
+#include "stm/stm.hpp"
+#include "test_util.hpp"
+#include "vt/scheduler.hpp"
+
+using namespace demotx;
+using stm::Semantics;
+
+namespace {
+
+struct ConfigGuard {
+  stm::Config saved = stm::Runtime::instance().config;
+  ~ConfigGuard() { stm::Runtime::instance().config = saved; }
+};
+
+// Minimal replica of the TxList node + remove protocol, so the test can
+// place a handshake *inside* the transaction body (ds::TxList wraps its
+// own atomically() and leaves no hook).
+struct RNode {
+  const long key;
+  stm::TVar<RNode*> next;
+  RNode(long k, RNode* n) : key(k), next(n) {}
+};
+
+}  // namespace
+
+// The ISSUE's double-free mechanism, made deterministic.  List
+// A(0) -> X(1) -> B(2) -> C(3); thread 1 parses remove(B) — its window
+// must retain the predecessor link X.next — then parks; thread 0 removes
+// X and commits; thread 1 resumes, reads B's successor and commits.  With
+// the window clamped to 2 the commit revalidates X.next, sees thread 0's
+// version bump and retries against the new list shape.  With a window of
+// 1 (the config this test *requests*) the X.next read was cut away, both
+// removes commit, and B stays reachable from A while already retired —
+// the destructor walk would then free B twice.
+TEST(DsTeardown, WindowClampKeepsUnlinkSound) {
+  ConfigGuard guard;
+  auto& rt = stm::Runtime::instance();
+  rt.config.elastic_window = 1;  // unsound request; Tx::begin clamps to 2
+
+  RNode* tail = new RNode(LONG_MAX, nullptr);
+  RNode* c = new RNode(3, tail);
+  RNode* b = new RNode(2, c);
+  RNode* x = new RNode(1, b);
+  RNode* a = new RNode(0, x);
+  RNode* head = new RNode(LONG_MIN, a);
+
+  auto remove = [&](long key, const std::function<void()>& after_parse) {
+    return stm::atomically(Semantics::kElastic, [&](stm::Tx& tx) {
+      RNode* prev = head;
+      RNode* curr = prev->next.get(tx);
+      while (curr->key < key) {
+        prev = curr;
+        curr = curr->next.get(tx);
+      }
+      if (curr->key != key) return false;
+      if (after_parse) after_parse();
+      RNode* succ = curr->next.get(tx);
+      curr->next.set(tx, succ);  // victim-link self-write (version poison)
+      prev->next.set(tx, succ);
+      tx.retire(curr);
+      return true;
+    });
+  };
+
+  std::atomic<int> stage{0};
+  bool removed_x = false;
+  bool removed_b = false;
+  vt::run_threads(2, [&](int id) {
+    if (id == 0) {
+      while (stage.load(std::memory_order_acquire) < 1) {
+      }
+      removed_x = remove(1, nullptr);
+      stage.store(2, std::memory_order_release);
+    } else {
+      removed_b = remove(2, [&] {
+        int expected = 0;  // only the first attempt parks (retries skip)
+        stage.compare_exchange_strong(expected, 1,
+                                      std::memory_order_acq_rel);
+        while (stage.load(std::memory_order_acquire) < 2) {
+        }
+      });
+    }
+  });
+
+  EXPECT_TRUE(removed_x);
+  EXPECT_TRUE(removed_b);
+  // Both removes committed: the list must be A -> C with X and B
+  // unlinked.  Under the window-1 bug the second remove writes the dead
+  // X's link instead, leaving A -> B (B retired *and* reachable).
+  EXPECT_EQ(head->next.unsafe_load(), a);
+  EXPECT_EQ(a->next.unsafe_load(), c) << "retired node still reachable";
+  EXPECT_EQ(c->next.unsafe_load(), tail);
+
+  // Mirror the structure destructors: quiesce the limbo (frees X and B),
+  // then walk-and-delete what is still linked.  Pre-fix this walk revisits
+  // the freed B — ASan flags the use-after-free/double-free.
+  test::drain_memory();
+  RNode* n = head;
+  while (n != nullptr) {
+    RNode* next = n->next.unsafe_load();
+    delete n;
+    n = next;
+  }
+}
+
+// Destroying a structure right after committed removes — with no manual
+// drain — must not leave anything in the epoch limbo: the destructor
+// quiesces before its unsafe walk.
+TEST(DsTeardown, ListDestructorDrainsLimbo) {
+  auto& em = mem::EpochManager::instance();
+  const std::uint64_t retired_before = em.retired_count();
+  {
+    ds::TxList list({Semantics::kElastic, Semantics::kSnapshot});
+    test::run_random_sim(4, /*seed=*/808, [&](int id) {
+      std::uint64_t rng = 17 + static_cast<std::uint64_t>(id) * 29;
+      auto next = [&rng] {
+        rng ^= rng << 13;
+        rng ^= rng >> 7;
+        rng ^= rng << 17;
+        return rng;
+      };
+      for (int i = 0; i < 120; ++i) {
+        const long k = static_cast<long>(next() % 24);
+        if ((next() & 1) != 0) {
+          list.add(k);
+        } else {
+          list.remove(k);
+        }
+      }
+    });
+    // NOTE: no test::drain_memory() here — teardown itself must quiesce.
+  }
+  EXPECT_GT(em.retired_count(), retired_before) << "churn retired nothing";
+  EXPECT_EQ(em.retired_count(), em.freed_count())
+      << "destructor left retired nodes in the limbo";
+}
+
+TEST(DsTeardown, AllStructuresDrainOnDestruction) {
+  auto& em = mem::EpochManager::instance();
+  auto churn_and_drop = [&](auto&& make) {
+    {
+      auto s = make();
+      test::run_random_sim(3, /*seed=*/909, [&](int id) {
+        std::uint64_t rng = 41 + static_cast<std::uint64_t>(id) * 13;
+        auto next = [&rng] {
+          rng ^= rng << 13;
+          rng ^= rng >> 7;
+          rng ^= rng << 17;
+          return rng;
+        };
+        for (int i = 0; i < 80; ++i) {
+          const long k = static_cast<long>(next() % 16);
+          if ((next() & 1) != 0) {
+            s->add(k);
+          } else {
+            s->remove(k);
+          }
+        }
+      });
+    }
+    EXPECT_EQ(em.retired_count(), em.freed_count());
+  };
+  churn_and_drop([] { return std::make_unique<ds::TxList>(); });
+  churn_and_drop([] { return std::make_unique<ds::TxSkipList>(); });
+  churn_and_drop([] { return std::make_unique<ds::TxBst>(); });
+  churn_and_drop([] { return std::make_unique<ds::TxHashSet>(); });
+
+  {
+    ds::TxQueue q;
+    test::run_random_sim(3, /*seed=*/910, [&](int id) {
+      for (int i = 0; i < 60; ++i) {
+        if ((i + id) % 3 == 0) {
+          q.enqueue(i);
+        } else {
+          q.dequeue();
+        }
+      }
+    });
+  }
+  EXPECT_EQ(em.retired_count(), em.freed_count());
+}

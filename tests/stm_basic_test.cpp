@@ -105,15 +105,17 @@ struct CountedNode {
 TEST(StmBasic, AbortedAllocationsAreDeleted) {
   const int live0 = CountedNode::live;
   int attempts = 0;
+  CountedNode* kept = nullptr;
   stm::atomically([&](stm::Tx& tx) {
     ++attempts;
-    tx.alloc<CountedNode>();
+    kept = tx.alloc<CountedNode>();
     if (attempts == 1) tx.abort_self();
   });
-  // One node leaked on purpose to the caller (committed attempt), the
-  // aborted attempt's node was deleted.
+  // The committed attempt hands its node to the caller, the aborted
+  // attempt's node was deleted.
   EXPECT_EQ(CountedNode::live, live0 + 1);
   EXPECT_EQ(attempts, 2);
+  delete kept;
 }
 
 TEST(StmBasic, RetiredObjectsFreedAfterCommitAndDrain) {

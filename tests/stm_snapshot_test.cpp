@@ -53,6 +53,9 @@ TEST(StmSnapshot, ReadsValueCurrentAtStart) {
 }
 
 TEST(StmSnapshot, AbortsWhenHistoryTooShallow) {
+  ConfigGuard cfg;
+  stm::Runtime::instance().config.snapshot_depth = 2;  // pin the paper pair
+
   stm::TVar<long> x{1};
   auto& rt = stm::Runtime::instance();
   stm::Tx& snap = rt.tx_for_slot(60);
@@ -86,6 +89,95 @@ TEST(StmSnapshot, OneVersionAblationStarvesSnapshots) {
 
   // Without the backup pair even a single concurrent update aborts the
   // snapshot — the ablation Fig. 9 implicitly argues against.
+  const AbortReason r =
+      expect_abort(snap, [&](stm::Tx& tx) { (void)x.get(tx); });
+  EXPECT_EQ(r, AbortReason::kSnapshotTooOld);
+}
+
+TEST(StmSnapshot, DeepRingRescuesPastDepthTwo) {
+  ConfigGuard cfg;
+  stm::Runtime::instance().config.snapshot_depth = 4;  // three backups
+
+  stm::TVar<long> x{1};
+  auto& rt = stm::Runtime::instance();
+  stm::Tx& snap = rt.tx_for_slot(60);
+  stm::Tx& upd = rt.tx_for_slot(61);
+
+  snap.begin(Semantics::kSnapshot, 0);
+  for (int i = 0; i < 3; ++i) {  // three overwrites: depth 2 would abort
+    upd.begin(Semantics::kClassic, 0);
+    x.set(upd, 10 + i);
+    upd.commit();
+  }
+  const std::uint64_t deep_before = snap.stats().snapshot_ring_hits;
+  EXPECT_EQ(x.get(snap), 1) << "deepest ring entry should hold the bound";
+  snap.commit();
+  // The serve came from an entry older than the newest kept backup — the
+  // one-backup paper scheme could not have made it.
+  EXPECT_GT(snap.stats().snapshot_ring_hits, deep_before);
+}
+
+TEST(StmSnapshot, DeepRingExhaustsAtConfiguredDepth) {
+  ConfigGuard cfg;
+  stm::Runtime::instance().config.snapshot_depth = 4;
+
+  stm::TVar<long> x{1};
+  auto& rt = stm::Runtime::instance();
+  stm::Tx& snap = rt.tx_for_slot(60);
+  stm::Tx& upd = rt.tx_for_slot(61);
+
+  snap.begin(Semantics::kSnapshot, 0);
+  for (int i = 0; i < 4; ++i) {  // one more than the ring keeps
+    upd.begin(Semantics::kClassic, 0);
+    x.set(upd, 10 + i);
+    upd.commit();
+  }
+  const AbortReason r =
+      expect_abort(snap, [&](stm::Tx& tx) { (void)x.get(tx); });
+  EXPECT_EQ(r, AbortReason::kSnapshotTooOld);
+}
+
+TEST(StmSnapshot, RingWraparoundServesNewestBackup) {
+  ConfigGuard cfg;
+  stm::Runtime::instance().config.snapshot_depth = 4;
+
+  stm::TVar<long> x{0};
+  auto& rt = stm::Runtime::instance();
+  stm::Tx& snap = rt.tx_for_slot(60);
+  stm::Tx& upd = rt.tx_for_slot(61);
+
+  // Ten commits wrap the three-slot ring head several times before the
+  // snapshot starts; the walk must still pick the newest surviving entry
+  // under the bound, not whatever sits first in slot order.
+  for (int i = 1; i <= 10; ++i) {
+    upd.begin(Semantics::kClassic, 0);
+    x.set(upd, i);
+    upd.commit();
+  }
+  snap.begin(Semantics::kSnapshot, 0);
+  upd.begin(Semantics::kClassic, 0);
+  x.set(upd, 99);
+  upd.commit();
+  EXPECT_EQ(x.get(snap), 10);
+  snap.commit();
+}
+
+TEST(StmSnapshot, DepthOneKeepsNoHistory) {
+  ConfigGuard cfg;
+  stm::Runtime::instance().config.snapshot_depth = 1;  // zero backups
+
+  stm::TVar<long> x{1};
+  auto& rt = stm::Runtime::instance();
+  stm::Tx& snap = rt.tx_for_slot(60);
+  stm::Tx& upd = rt.tx_for_slot(61);
+
+  snap.begin(Semantics::kSnapshot, 0);
+  upd.begin(Semantics::kClassic, 0);
+  x.set(upd, 2);
+  upd.commit();
+
+  // Depth 1 is the one-version ablation: any concurrent overwrite starves
+  // the snapshot.
   const AbortReason r =
       expect_abort(snap, [&](stm::Tx& tx) { (void)x.get(tx); });
   EXPECT_EQ(r, AbortReason::kSnapshotTooOld);
