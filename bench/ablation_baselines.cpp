@@ -1,3 +1,4 @@
+// demotx:expert-file: benchmark: measures every semantics tier and config ablation by design
 // Ablation — every synchronization technique the paper discusses, on a
 // size-free workload (20% updates, no size operations) so the lock-based
 // and lock-free baselines, which have no atomic size, compete on equal

@@ -1,3 +1,4 @@
+// demotx:expert-file: benchmark: measures every semantics tier and config ablation by design
 // Ablation — contention managers (paper Sec. 2.2: conflict resolution is
 // a pluggable service).  Runs the collection workload on the mixed-
 // semantics list under each CM policy.

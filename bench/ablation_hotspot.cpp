@@ -1,3 +1,4 @@
+// demotx:expert-file: benchmark: measures every semantics tier and config ablation by design
 // Ablation — contention hotspots (the paper's Sec. 1 lineage: Reuter's
 // high-traffic data elements, escrow [25]/[26]): the same collection
 // workload with the key distribution skewed toward a hot prefix of the

@@ -1,3 +1,4 @@
+// demotx:expert-file: benchmark: measures every semantics tier and config ablation by design
 // Ablation — the STM design choices DESIGN.md calls out:
 //   1. timebase extension on/off for the classic configuration (plain TL2
 //      vs LSA-style reads);

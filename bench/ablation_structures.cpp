@@ -1,3 +1,4 @@
+// demotx:expert-file: benchmark: measures every semantics tier and config ablation by design
 // Ablation — mixed semantics across data structures: the flat list the
 // paper benchmarks, the hash set (short chains + per-bucket counters:
 // size becomes O(buckets)), and the skip list (logarithmic parses).

@@ -1,3 +1,4 @@
+// demotx:expert-file: benchmark: measures every semantics tier and config ablation by design
 // The bank benchmark (paper Sec. 4.3 invokes its "balance operations" as
 // the canonical toxic transaction; citation [40] is the testbed it comes
 // from): transfer transactions move money between two random accounts

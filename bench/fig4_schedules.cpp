@@ -1,3 +1,4 @@
+// demotx:expert-file: benchmark: measures every semantics tier and config ablation by design
 // Figure 4 + Sections 3.1/3.2/4.2 — the expressiveness analysis.
 //
 // Part 1 (Fig. 4): enumerate all interleavings of

@@ -1,3 +1,4 @@
+// demotx:expert-file: benchmark: measures every semantics tier and config ablation by design
 // Figure 7 — "Throughput (normalized over the sequential one) of elastic
 // and classic transactions, the classic transactions alone and the
 // existing concurrent collection."

@@ -1,3 +1,4 @@
+// demotx:expert-file: benchmark: measures every semantics tier and config ablation by design
 // Figure 9 — "Throughput (normalized over the sequential one) of the
 // mixed transactions, the classic transaction and the collection
 // package."

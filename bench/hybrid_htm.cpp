@@ -1,3 +1,4 @@
+// demotx:expert-file: benchmark: measures every semantics tier and config ablation by design
 // Hybrid HTM/STM (paper Sec. 1: "a best-effort hardware component that
 // needs to be complemented by software transactions" [10-13], and the
 // BlueGene/Q remark — highly tuned hardware transactions serve only

@@ -1,3 +1,4 @@
+// demotx:expert-file: benchmark: measures every semantics tier and config ablation by design
 // Commit-path scalability sweep: tiny update transactions, 1..64
 // threads, A/B-ing the four commit-path configurations
 //

@@ -1,3 +1,4 @@
+// demotx:expert-file: benchmark: measures every semantics tier and config ablation by design
 // Snapshot-path scalability sweep: long read-only snapshot scans under
 // update churn, 1..64 reader threads, A/B-ing the per-cell version ring
 // depth

@@ -1,3 +1,4 @@
+// demotx:expert-file: benchmark: measures every semantics tier and config ablation by design
 // Microbenchmarks (google-benchmark, real time): the raw cost of the STM
 // primitives on this machine — transaction begin/commit, reads and writes
 // under each semantics, contention-manager-free single-thread paths, and

@@ -1,3 +1,4 @@
+// demotx:expert-file: benchmark: measures every semantics tier and config ablation by design
 // Validation-path scalability sweep: long readers, 1..64 reader threads,
 // A/B-ing the two validation schemes
 //

@@ -63,7 +63,7 @@ int main() {
   }
   sched.spawn([&](int) {  // the auditor
     for (int i = 0; i < 100; ++i) {
-      const long sum = audit(stm::Semantics::kSnapshot);
+      const long sum = audit(stm::Semantics::kSnapshot);  // demotx:expert: teaching the expert tier (snapshot audit, Fig. 5)
       if (sum == kTotal) {
         ++audits_ok;
       } else {

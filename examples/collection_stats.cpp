@@ -16,8 +16,8 @@ using namespace demotx;
 
 int main() {
   // The Fig. 9 configuration: elastic updates, snapshot reads.
-  ds::TxList set(ds::TxList::Options{stm::Semantics::kElastic,
-                                     stm::Semantics::kSnapshot});
+  ds::TxList set(ds::TxList::Options{stm::Semantics::kElastic,   // demotx:expert: teaching the expert tier (Fig. 9 elastic updates)
+                                     stm::Semantics::kSnapshot});  // demotx:expert: teaching the expert tier (Fig. 9 snapshot reads)
   for (long k = 0; k < 100; k += 2) set.add(k);  // 50 even keys
 
   stm::Runtime::instance().reset_stats();

@@ -28,8 +28,8 @@ class Directory {
   // Alice picked elastic internally: parses of the name index cut instead
   // of conflicting.  Her choice is invisible to callers.
   Directory()
-      : names_(ds::TxList::Options{stm::Semantics::kElastic,
-                                   stm::Semantics::kSnapshot}) {}
+      : names_(ds::TxList::Options{stm::Semantics::kElastic,   // demotx:expert: the expert choice is hidden inside this class
+                                   stm::Semantics::kSnapshot}) {}  // demotx:expert: the expert choice is hidden inside this class
 
   bool create(long name) { return names_.add(name); }
   bool remove(long name) { return names_.remove(name); }

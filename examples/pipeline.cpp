@@ -64,7 +64,7 @@ int main() {
         return q_done.dequeue_or_retry(tx);
       });
       // Side-effecting commit: guaranteed to run exactly once.
-      stm::atomically_irrevocable([&](stm::Tx&) {
+      stm::atomically_irrevocable([&](stm::Tx&) {  // demotx:expert: teaching the expert tier (irrevocable side-effecting commit)
         shipped_sum += got;
         ++shipped;
       });

@@ -28,7 +28,7 @@ int main() {
 
   // --- 2. Snapshot semantics: consistent read-only views ---------------
   const long sum = stm::atomically(
-      stm::Semantics::kSnapshot,
+      stm::Semantics::kSnapshot,  // demotx:expert: teaching the expert tier (consistent read-only snapshot)
       [&](stm::Tx& tx) { return x.get(tx) + y.get(tx); });
   std::cout << "snapshot sum = " << sum << " (never blocks updaters)\n";
 
@@ -48,8 +48,8 @@ int main() {
   // --- 4. A transactional set with per-operation semantics -------------
   // parse ops (contains/add/remove) elastic, size snapshot: the paper's
   // Fig. 9 configuration.
-  ds::TxList set(ds::TxList::Options{stm::Semantics::kElastic,
-                                     stm::Semantics::kSnapshot});
+  ds::TxList set(ds::TxList::Options{stm::Semantics::kElastic,   // demotx:expert: teaching the expert tier (elastic parse)
+                                     stm::Semantics::kSnapshot});  // demotx:expert: teaching the expert tier (snapshot size)
   for (long k : {3L, 1L, 4L, 1L, 5L}) set.add(k);
   std::cout << "set size = " << set.size() << " (1 deduplicated)\n";
 

@@ -1,3 +1,4 @@
+// demotx:expert-file: systematic-exploration infrastructure: drives and certifies every semantics tier
 #include "check/recorder.hpp"
 
 #include "stm/cell.hpp"

@@ -1,3 +1,4 @@
+// demotx:expert-file: transactional collection library: the per-operation semantics choice (paper Figs. 5/7/9) is this library's expert implementation; novices consume the typed set API
 // Transactional external (leaf-oriented) binary search tree.
 //
 // Internal nodes route (left if key < node.key, right otherwise); leaves

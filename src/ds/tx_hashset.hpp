@@ -1,3 +1,4 @@
+// demotx:expert-file: transactional collection library: the per-operation semantics choice (paper Figs. 5/7/9) is this library's expert implementation; novices consume the typed set API
 // Transactional hash set: fixed bucket array of transactional sorted
 // lists plus per-bucket element counters.
 //

@@ -1,3 +1,4 @@
+// demotx:expert-file: transactional collection library: the per-operation semantics choice (paper Figs. 5/7/9) is this library's expert implementation; novices consume the typed set API
 // Transactional sorted linked-list set — the paper's running example.
 //
 // The implementation *is* the sequential algorithm: the parse loop below

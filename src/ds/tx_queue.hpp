@@ -1,3 +1,4 @@
+// demotx:expert-file: transactional collection library: the per-operation semantics choice (paper Figs. 5/7/9) is this library's expert implementation; novices consume the typed set API
 // Transactional FIFO queue (dummy-node linked queue, classic semantics).
 //
 // Queues are inherently contention hotspots — head and tail are written by

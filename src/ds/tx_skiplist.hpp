@@ -1,3 +1,4 @@
+// demotx:expert-file: transactional collection library: the per-operation semantics choice (paper Figs. 5/7/9) is this library's expert implementation; novices consume the typed set API
 // Transactional skip-list set.
 //
 // Shows how the elastic/classic composition rule carries past flat lists:
@@ -94,7 +95,7 @@ class TxSkipList final : public ISet {
             ctx.abort_self();  // linked above but not at level 0: stale view
           }
           if (node == nullptr) node = ctx.alloc<Node>(key, top);
-          node->next[i].unsafe_store(succ);  // private until we commit
+          node->next[i].unsafe_store(succ);  // demotx:expert: node is tx-private until the pred->next set() below publishes it
           pred->next[i].set(ctx, node);
         }
         return true;

@@ -1,3 +1,4 @@
+// demotx:expert-file: schedule/atomicity checkers: validate executions of every semantics tier
 #include "sched/checkers.hpp"
 
 #include <algorithm>

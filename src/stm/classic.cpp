@@ -1,3 +1,4 @@
+// demotx:expert-file: STM runtime implementation: this code defines the expert tier
 // Classic (opaque) read path — TL2-style timestamp validation.
 //
 // Invariant: every value returned to the transaction body belongs to the

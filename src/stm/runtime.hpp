@@ -1,3 +1,4 @@
+// demotx:expert-file: STM runtime implementation: this code defines the expert tier
 // The mixed-semantics STM runtime: global version clock, per-thread
 // descriptor slots, configuration, and the atomically() entry point.
 //
@@ -24,6 +25,7 @@
 #include <utility>
 
 #include "stm/cm/manager.hpp"
+#include "sync/annotations.hpp"
 #include "stm/semantics.hpp"
 #include "stm/stats.hpp"
 #include "stm/txdesc.hpp"
@@ -336,7 +338,8 @@ class Runtime {
   // seq_cst pairs with the committer's publish (exchange / fetch_add):
   // either the committer sees the closed gate, or the drain scan sees
   // the committer's publication — the classic Dekker guarantee.
-  void acquire_irrevocability(int slot) {
+  void acquire_irrevocability(int slot)
+      DEMOTX_ACQUIRE(commit_permission_) {
     int expected = -1;
     while (!irrevocable_owner_.compare_exchange_weak(
         expected, slot, std::memory_order_seq_cst)) {
@@ -355,7 +358,8 @@ class Runtime {
     vt::access();  // the scan itself is one pass over the slot array
   }
 
-  void release_irrevocability(int slot) {
+  void release_irrevocability(int slot)
+      DEMOTX_RELEASE(commit_permission_) {
     int expected = slot;
     irrevocable_owner_.compare_exchange_strong(expected, -1,
                                                std::memory_order_acq_rel);
@@ -369,7 +373,8 @@ class Runtime {
   // line — the uncontended commit touches no shared gate line; the
   // exchange is a full fence on x86 and seq_cst in the C++ model, which
   // the Dekker race with acquire_irrevocability requires.
-  void enter_commit_gate(int slot, TxStats* st = nullptr) {
+  void enter_commit_gate(int slot, TxStats* st = nullptr)
+      DEMOTX_ACQUIRE_SHARED(commit_permission_) {
     if (config.gate_scheme == GateScheme::kCounter) {
       for (;;) {
         charge_hot_line_rmw(gate_line_);
@@ -399,7 +404,8 @@ class Runtime {
     }
   }
 
-  void leave_commit_gate(int slot) {
+  void leave_commit_gate(int slot)
+      DEMOTX_RELEASE_SHARED(commit_permission_) {
     if (config.gate_scheme == GateScheme::kCounter) {
       charge_hot_line_rmw(gate_line_);
       committers_.fetch_sub(1, std::memory_order_acq_rel);
@@ -496,6 +502,10 @@ class Runtime {
 
   std::atomic<std::uint64_t> clock_{0};
   std::atomic<std::uint64_t> cm_ticket_{0};
+  // TSA name for the commit-permission protocol these atomics
+  // implement: update committers hold it shared (enter/leave gate),
+  // an irrevocable transaction exclusive (acquire/release token).
+  sync::LogicalCapability commit_permission_;
   std::atomic<int> irrevocable_owner_{-1};
   std::atomic<int> committers_{0};
   HotLine clock_line_;

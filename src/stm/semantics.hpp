@@ -1,3 +1,4 @@
+// demotx:expert-file: STM runtime implementation: this code defines the expert tier
 // Transaction semantics and abort machinery.
 //
 // The paper's central thesis ("democratization") is that one application

@@ -1,3 +1,4 @@
+// demotx:expert-file: STM runtime implementation: this code defines the expert tier
 #include "stm/txdesc.hpp"
 
 #include <algorithm>

@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "stm/cell.hpp"
+#include "sync/annotations.hpp"
 #include "stm/readset.hpp"
 #include "stm/semantics.hpp"
 #include "stm/stats.hpp"
@@ -50,7 +51,11 @@ class Tx {
   // ---- word-level transactional API ----------------------------------
 
   std::uint64_t read_word(Cell& c);
-  void write_word(Cell& c, std::uint64_t v);
+  // NO_TSA: the first eager write enters the commit gate (a shared
+  // acquire of Runtime::commit_permission_) that commit()/rollback()
+  // later release — conditional cross-function ownership tracked by
+  // in_commit_gate_, which thread-safety analysis cannot follow.
+  void write_word(Cell& c, std::uint64_t v) DEMOTX_NO_TSA;
 
   // Early release (paper Sec. 4.1): forget this transaction's reads of
   // `c`; later conflicts on it no longer abort us.  Expert-only — breaks
@@ -96,7 +101,11 @@ class Tx {
   // (in a production split these would be module-private; they are public
   // here because runtime.hpp's atomically() template drives them.)
 
-  void begin(Semantics sem, unsigned attempt, bool irrevocable = false);
+  // NO_TSA: conditionally acquires the irrevocability token (exclusive
+  // commit_permission_) that commit()/rollback() release; see
+  // write_word() for why TSA cannot track this hand-off.
+  void begin(Semantics sem, unsigned attempt, bool irrevocable = false)
+      DEMOTX_NO_TSA;
 
   // Modeled best-effort HTM (see runtime.hpp atomically_hybrid): reads and
   // writes are hardware-instrumented (no software surcharge) but the
@@ -107,8 +116,11 @@ class Tx {
     if (on) eager_ = false;  // hardware attempts buffer in cache
   }
   [[nodiscard]] bool htm_mode() const { return htm_; }
-  void commit();
-  void rollback(AbortReason why);
+  // NO_TSA (both): release the gate/token acquired in begin() or at
+  // the first eager write, guarded by the in_commit_gate_ and
+  // irrevocable_ flags; see write_word().
+  void commit() DEMOTX_NO_TSA;
+  void rollback(AbortReason why) DEMOTX_NO_TSA;
 
   // True while this transaction holds the global irrevocability token:
   // no other update transaction can commit, so this one can never be
@@ -191,7 +203,9 @@ class Tx {
 
   // `crit` is armed at the decision-point CAS: from there the commit is
   // irreversible and must not be torn by the simulator's cycle brake.
-  void commit_update(vt::ScopedCritical& crit);
+  // NO_TSA: enters the commit gate, released by commit()/rollback();
+  // see write_word().
+  void commit_update(vt::ScopedCritical& crit) DEMOTX_NO_TSA;
   void eager_acquire_and_store(Cell& c, std::uint64_t v);
   void acquire_write_locks();
   void release_write_locks_aborting();

@@ -1,0 +1,81 @@
+// Clang Thread Safety Analysis (TSA) capability annotations.
+//
+// These macros expand to clang's `__attribute__((capability(...)))`
+// family when compiling with clang and thread-safety analysis available,
+// and to nothing elsewhere (GCC, MSVC), so annotated headers stay
+// portable.  The ctest row `tsa.build` configures the tree with
+// `clang++ -Wthread-safety -Werror` when a clang is present and proves
+// the annotated lock discipline; see DESIGN.md "Static analysis" for the
+// capability map (which lock guards which data).
+//
+// Naming: every macro is DEMOTX_-prefixed so the expansion never
+// collides with other TSA macro sets (abseil's, LLVM's own) if a
+// downstream embeds these headers.
+#pragma once
+
+#if defined(__clang__) && defined(__has_attribute)
+#if __has_attribute(capability)
+// NOLINTNEXTLINE(bugprone-macro-parentheses): x is an attribute name
+// with arguments, not an expression — parenthesizing it breaks the
+// __attribute__ grammar.
+#define DEMOTX_TSA(x) __attribute__((x))
+#endif
+#endif
+#ifndef DEMOTX_TSA
+#define DEMOTX_TSA(x)  // no-op outside clang
+#endif
+
+// A type that is a lockable capability (e.g. a spin lock).
+#define DEMOTX_CAPABILITY(name) DEMOTX_TSA(capability(name))
+
+// A RAII type that acquires a capability in its constructor and releases
+// it in its destructor (std::lock_guard itself carries no annotations in
+// libstdc++, so demotx code uses the annotated vt::SpinGuard instead).
+#define DEMOTX_SCOPED_CAPABILITY DEMOTX_TSA(scoped_lockable)
+
+// Data members: which capability guards this field / the data behind
+// this pointer.
+#define DEMOTX_GUARDED_BY(x) DEMOTX_TSA(guarded_by(x))
+#define DEMOTX_PT_GUARDED_BY(x) DEMOTX_TSA(pt_guarded_by(x))
+
+// Function contracts: the caller must hold / must not hold the
+// capability when calling.
+#define DEMOTX_REQUIRES(...) \
+  DEMOTX_TSA(requires_capability(__VA_ARGS__))
+#define DEMOTX_REQUIRES_SHARED(...) \
+  DEMOTX_TSA(requires_shared_capability(__VA_ARGS__))
+#define DEMOTX_EXCLUDES(...) DEMOTX_TSA(locks_excluded(__VA_ARGS__))
+
+// Function effects: the call acquires / releases the capability.
+#define DEMOTX_ACQUIRE(...) DEMOTX_TSA(acquire_capability(__VA_ARGS__))
+#define DEMOTX_ACQUIRE_SHARED(...) \
+  DEMOTX_TSA(acquire_shared_capability(__VA_ARGS__))
+#define DEMOTX_RELEASE(...) DEMOTX_TSA(release_capability(__VA_ARGS__))
+#define DEMOTX_RELEASE_SHARED(...) \
+  DEMOTX_TSA(release_shared_capability(__VA_ARGS__))
+#define DEMOTX_TRY_ACQUIRE(...) \
+  DEMOTX_TSA(try_acquire_capability(__VA_ARGS__))
+
+// Returns a reference to the capability guarding the returned data.
+#define DEMOTX_RETURN_CAPABILITY(x) DEMOTX_TSA(lock_returned(x))
+
+// Opt-out for functions whose locking discipline is real but beyond
+// TSA's lexical scope analysis (lock ownership transferred through
+// return values, conditionally held capabilities).  Every use in this
+// tree carries a written justification comment at the use site.
+#define DEMOTX_NO_TSA DEMOTX_TSA(no_thread_safety_analysis)
+
+// A zero-size tag used to NAME a logical capability that is not a
+// literal lock object — e.g. the STM's commit permission, which update
+// committers hold shared (the gate) and an irrevocable transaction
+// holds exclusive (the token).  Outside clang it is an empty struct.
+namespace demotx::sync {
+class DEMOTX_CAPABILITY("role") LogicalCapability {};
+}  // namespace demotx::sync
+
+// Marks code as expert-tier for demotx-lint (check
+// demotx-expert-api-tier).  Expands to nothing: the lint's token
+// frontend recognizes the identifier; the comment-marker form
+// `// demotx:expert: <why>` is equivalent and preferred because it
+// forces a justification.
+#define DEMOTX_EXPERT

@@ -4,8 +4,8 @@
 #pragma once
 
 #include <climits>
-#include <mutex>
 
+#include "sync/annotations.hpp"
 #include "sync/set_interface.hpp"
 #include "vt/context.hpp"
 #include "vt/sync.hpp"
@@ -32,14 +32,14 @@ class CoarseList final : public ISet {
   CoarseList& operator=(const CoarseList&) = delete;
 
   bool contains(long key) override {
-    std::lock_guard<vt::SpinLock> g(lock_);
+    vt::SpinGuard g(lock_);
     Node* curr = visit(head_);
     while (curr->key < key) curr = visit(curr);
     return curr->key == key;
   }
 
   bool add(long key) override {
-    std::lock_guard<vt::SpinLock> g(lock_);
+    vt::SpinGuard g(lock_);
     auto [prev, curr] = locate(key);
     if (curr->key == key) return false;
     prev->next = new Node{key, curr};
@@ -49,7 +49,7 @@ class CoarseList final : public ISet {
   }
 
   bool remove(long key) override {
-    std::lock_guard<vt::SpinLock> g(lock_);
+    vt::SpinGuard g(lock_);
     auto [prev, curr] = locate(key);
     if (curr->key != key) return false;
     prev->next = curr->next;
@@ -60,12 +60,14 @@ class CoarseList final : public ISet {
   }
 
   long size() override {  // atomic: O(1) under the lock
-    std::lock_guard<vt::SpinLock> g(lock_);
+    vt::SpinGuard g(lock_);
     vt::access();
     return count_;
   }
 
-  long unsafe_size() override { return count_; }
+  // Quiescent-only debug read; deliberately reads count_ without the
+  // lock, which is exactly what the NO_TSA documents.
+  long unsafe_size() override DEMOTX_NO_TSA { return count_; }
 
   [[nodiscard]] const char* name() const override { return "coarse-lock"; }
 
@@ -80,7 +82,7 @@ class CoarseList final : public ISet {
     return n->next;
   }
 
-  std::pair<Node*, Node*> locate(long key) {
+  std::pair<Node*, Node*> locate(long key) DEMOTX_REQUIRES(lock_) {
     Node* prev = head_;
     Node* curr = visit(prev);
     while (curr->key < key) {
@@ -91,9 +93,11 @@ class CoarseList final : public ISet {
   }
 
   vt::SpinLock lock_;
-  Node* head_;
-  Node* tail_;
-  long count_ = 0;
+  // head_/tail_ and every Node reached from them are written only under
+  // lock_; TSA can only express that for the direct members.
+  Node* head_ DEMOTX_GUARDED_BY(lock_);
+  Node* tail_ DEMOTX_GUARDED_BY(lock_);
+  long count_ DEMOTX_GUARDED_BY(lock_) = 0;
 };
 
 }  // namespace demotx::sync

@@ -25,6 +25,7 @@
 #include <memory>
 #include <vector>
 
+#include "sync/annotations.hpp"
 #include "sync/set_interface.hpp"
 #include "vt/context.hpp"
 #include "vt/sync.hpp"
@@ -52,7 +53,7 @@ class CowArraySet final : public ISet {
           snapshot_.load(std::memory_order_acquire);
       if (scan(*snap, key)) return false;
     }
-    std::lock_guard<vt::SpinLock> g(write_lock_);
+    vt::SpinGuard g(write_lock_);
     vt::access();
     const std::shared_ptr<const Array> curr =
         snapshot_.load(std::memory_order_acquire);
@@ -73,7 +74,7 @@ class CowArraySet final : public ISet {
           snapshot_.load(std::memory_order_acquire);
       if (!scan(*snap, key)) return false;
     }
-    std::lock_guard<vt::SpinLock> g(write_lock_);
+    vt::SpinGuard g(write_lock_);
     vt::access();
     const std::shared_ptr<const Array> curr =
         snapshot_.load(std::memory_order_acquire);
@@ -124,6 +125,8 @@ class CowArraySet final : public ISet {
     if (batch != 0) vt::access();
   }
 
+  // snapshot_ is deliberately NOT guarded: reads are lock-free on the
+  // immutable array; write_lock_ only serializes the copy-and-publish.
   std::atomic<std::shared_ptr<const Array>> snapshot_;
   vt::SpinLock write_lock_;
 };

@@ -10,6 +10,7 @@
 #include <climits>
 
 #include "mem/epoch.hpp"
+#include "sync/annotations.hpp"
 #include "sync/set_interface.hpp"
 #include "vt/context.hpp"
 #include "vt/sync.hpp"
@@ -47,8 +48,8 @@ class LazyList final : public ISet {
     mem::EpochManager::Guard g;
     for (;;) {
       auto [prev, curr] = locate(key);
-      std::lock_guard<vt::SpinLock> lp(prev->lock);
-      std::lock_guard<vt::SpinLock> lc(curr->lock);
+      vt::SpinGuard lp(prev->lock);
+      vt::SpinGuard lc(curr->lock);
       if (!validate(prev, curr)) continue;
       if (curr->key == key) return false;
       auto* n = new Node(key, curr);
@@ -62,8 +63,8 @@ class LazyList final : public ISet {
     mem::EpochManager::Guard g;
     for (;;) {
       auto [prev, curr] = locate(key);
-      std::lock_guard<vt::SpinLock> lp(prev->lock);
-      std::lock_guard<vt::SpinLock> lc(curr->lock);
+      vt::SpinGuard lp(prev->lock);
+      vt::SpinGuard lc(curr->lock);
       if (!validate(prev, curr)) continue;
       if (curr->key != key) return false;
       vt::access();
@@ -121,7 +122,10 @@ class LazyList final : public ISet {
     return {prev, curr};
   }
 
-  static bool validate(Node* prev, Node* curr) {
+  // The post-lock validation phase: only meaningful with both node
+  // locks held (that is what makes the re-check stable).
+  static bool validate(Node* prev, Node* curr)
+      DEMOTX_REQUIRES(prev->lock, curr->lock) {
     vt::access();
     return !prev->marked.load(std::memory_order_acquire) &&
            !curr->marked.load(std::memory_order_acquire) &&

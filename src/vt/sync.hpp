@@ -10,14 +10,15 @@
 #include <atomic>
 #include <cstdint>
 
+#include "sync/annotations.hpp"
 #include "vt/context.hpp"
 
 namespace demotx::vt {
 
 // Test-and-set spin lock; one access-cycle per attempt, one per unlock.
-class SpinLock {
+class DEMOTX_CAPABILITY("mutex") SpinLock {
  public:
-  void lock() {
+  void lock() DEMOTX_ACQUIRE() {
     for (;;) {
       access();
       if (!flag_.exchange(true, std::memory_order_acquire)) return;
@@ -25,18 +26,35 @@ class SpinLock {
     }
   }
 
-  bool try_lock() {
+  bool try_lock() DEMOTX_TRY_ACQUIRE(true) {
     access();
     return !flag_.exchange(true, std::memory_order_acquire);
   }
 
-  void unlock() {
+  void unlock() DEMOTX_RELEASE() {
     access();
     flag_.store(false, std::memory_order_release);
   }
 
  private:
   std::atomic<bool> flag_{false};
+};
+
+// RAII guard over SpinLock that thread-safety analysis can see.
+// libstdc++'s std::lock_guard carries no TSA attributes, so annotated
+// code uses this instead; it is otherwise a drop-in replacement.
+class DEMOTX_SCOPED_CAPABILITY SpinGuard {
+ public:
+  explicit SpinGuard(SpinLock& lock) DEMOTX_ACQUIRE(lock) : lock_(lock) {
+    lock_.lock();
+  }
+  ~SpinGuard() DEMOTX_RELEASE() { lock_.unlock(); }
+
+  SpinGuard(const SpinGuard&) = delete;
+  SpinGuard& operator=(const SpinGuard&) = delete;
+
+ private:
+  SpinLock& lock_;
 };
 
 // Exponential backoff.  In simulation a backoff step charges virtual

@@ -1,3 +1,4 @@
+// demotx:expert-file: test suite: exercises the expert tier (semantics choices, config overrides, irrevocability) by design
 // Elastic cut points under forced preemption (paper Fig. 5, the
 // false-conflict argument): a writer commit is forced between EVERY pair
 // of adjacent parse reads of a traversal — i.e. at every cut boundary —

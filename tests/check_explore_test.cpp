@@ -1,3 +1,4 @@
+// demotx:expert-file: test suite: exercises the expert tier (semantics choices, config overrides, irrevocability) by design
 // The exploration subsystem itself: PCT/Choice scheduler policies,
 // decision logs and preemption-trace replay, the live recorder, the
 // per-semantics oracles (including hand-built violating histories), the

@@ -1,3 +1,4 @@
+// demotx:expert-file: test suite: exercises the expert tier (semantics choices, config overrides, irrevocability) by design
 // Quiescent-teardown regression tests.
 //
 // Two related bugs are pinned here:

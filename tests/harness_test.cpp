@@ -1,3 +1,4 @@
+// demotx:expert-file: test suite: exercises the expert tier (semantics choices, config overrides, irrevocability) by design
 // Harness: workload generation (mix, determinism), prefill, and the
 // simulated/real drivers, including the consistency of reported results.
 #include <gtest/gtest.h>

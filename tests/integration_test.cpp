@@ -1,3 +1,4 @@
+// demotx:expert-file: test suite: exercises the expert tier (semantics choices, config overrides, irrevocability) by design
 // End-to-end integration: the paper's Collection benchmark run across all
 // competitors under the simulator with full consistency checking — the
 // same pipeline the figure benches use, at a smaller scale — plus shape

@@ -1,0 +1,43 @@
+// Corpus: expert-tier APIs reached from unmarked (novice) code.  Every
+// construct here is legal C++ and a supported demotx feature — the
+// check enforces the paper's social contract, not the type system:
+// relaxed semantics, early release and runtime tuning belong behind an
+// explicit opt-in.
+#include "stm/runtime.hpp"
+#include "stm/tvar.hpp"
+
+namespace {
+
+long snapshot_sum(demotx::stm::TVar<long>* accts, int n) {
+  return demotx::stm::atomically(
+      [&](demotx::stm::Tx& tx) {
+        long s = 0;
+        for (int i = 0; i < n; ++i) s += accts[i].get(tx);
+        return s;
+      },
+      demotx::stm::Semantics::kSnapshot);  // demotx-expect: demotx-expert-api-tier
+}
+
+long hand_over_hand_release(demotx::stm::TVar<long>& a,
+                            demotx::stm::TVar<long>& b) {
+  return demotx::stm::atomically([&](demotx::stm::Tx& tx) {
+    const long x = a.get(tx);
+    a.release(tx);  // demotx-expect: demotx-expert-api-tier
+    return x + b.get(tx);
+  });
+}
+
+void log_once(long v) {
+  demotx::stm::atomically_irrevocable([&](demotx::stm::Tx&) {  // demotx-expect: demotx-expert-api-tier
+    (void)v;
+  });
+}
+
+void tune_runtime() {
+  demotx::stm::Config cfg;  // demotx-expect: demotx-expert-api-tier
+  auto& rt = demotx::stm::Runtime::instance();
+  rt.config.eager_writes = true;  // demotx-expect: demotx-expert-api-tier
+  (void)cfg;
+}
+
+}  // namespace

@@ -1,0 +1,16 @@
+// Corpus: a reasonless expert marker.  The marker grammar REQUIRES a
+// one-line justification; a bare marker diagnoses itself and suppresses
+// nothing, so the unsafe call it was meant to cover still fires too.
+#include "stm/runtime.hpp"
+#include "stm/tvar.hpp"
+
+namespace {
+
+long peek_mid_tx(demotx::stm::TVar<long>& v) {
+  return demotx::stm::atomically([&](demotx::stm::Tx& tx) {
+    (void)tx;
+    /* demotx:expert */ return v.unsafe_load();  // demotx-expect: demotx-expert-marker, demotx-unsafe-in-tx
+  });
+}
+
+}  // namespace

@@ -1,0 +1,31 @@
+// Corpus: irreversible side effects inside a re-executable body.  Every
+// line here runs once per ATTEMPT, not once per transaction: leaks,
+// double-frees, duplicated I/O and lock-coupled deadlock on retry.
+#include <cstdio>
+#include <iostream>
+#include <mutex>
+
+#include "stm/runtime.hpp"
+#include "stm/tvar.hpp"
+
+namespace {
+
+struct Node {
+  long key;
+};
+
+std::mutex g_mu;
+
+void all_the_sins(demotx::stm::TVar<long>& v) {
+  demotx::stm::atomically([&](demotx::stm::Tx& tx) {
+    Node* n = new Node{v.get(tx)};  // demotx-expect: demotx-side-effect-in-tx
+    std::printf("attempt!\n");  // demotx-expect: demotx-side-effect-in-tx
+    std::cout << n->key;  // demotx-expect: demotx-side-effect-in-tx
+    g_mu.lock();  // demotx-expect: demotx-side-effect-in-tx
+    std::lock_guard<std::mutex> g(g_mu);  // demotx-expect: demotx-side-effect-in-tx
+    delete n;  // demotx-expect: demotx-side-effect-in-tx
+    return 0L;
+  });
+}
+
+}  // namespace

@@ -1,0 +1,38 @@
+// Corpus: the Tx& handle escaping its transaction.  The descriptor is
+// re-armed on every retry and recycled across transactions, so any
+// reference that outlives the lambda dangles semantically even when the
+// storage stays valid.
+#include <functional>
+
+#include "stm/runtime.hpp"
+#include "stm/tvar.hpp"
+
+namespace {
+
+demotx::stm::Tx* g_leaked = nullptr;
+
+void leak_through_global(demotx::stm::TVar<long>& v) {
+  demotx::stm::atomically([&](demotx::stm::Tx& tx) {
+    g_leaked = &tx;  // demotx-expect: demotx-tx-escape
+    return v.get(tx);
+  });
+}
+
+void leak_through_static(demotx::stm::TVar<long>& v) {
+  demotx::stm::atomically([&](demotx::stm::Tx& tx) {
+    static demotx::stm::Tx* cached = &tx;  // demotx-expect: demotx-tx-escape
+    (void)cached;
+    return v.get(tx);
+  });
+}
+
+std::function<long()> leak_through_closure(demotx::stm::TVar<long>& v) {
+  std::function<long()> reader;
+  demotx::stm::atomically([&](demotx::stm::Tx& tx) {
+    reader = [&tx, &v] { return v.get(tx); };  // demotx-expect: demotx-tx-escape
+    return 0L;
+  });
+  return reader;
+}
+
+}  // namespace

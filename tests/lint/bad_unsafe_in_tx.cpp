@@ -1,0 +1,25 @@
+// Corpus: unsafe_* accessors called inside a transactional context.
+// These bypass the versioned read/write protocol and see (or publish)
+// uninstrumented state while the transaction may yet abort.
+#include "stm/runtime.hpp"
+#include "stm/tvar.hpp"
+
+namespace {
+
+long double_then_peek(demotx::stm::TVar<long>& v) {
+  return demotx::stm::atomically([&](demotx::stm::Tx& tx) {
+    const long cur = v.get(tx);
+    v.set(tx, cur * 2);
+    long peek = v.unsafe_load();  // demotx-expect: demotx-unsafe-in-tx
+    return peek;
+  });
+}
+
+void sneak_store(demotx::stm::TVar<long>& v, long x) {
+  demotx::stm::atomically([&](demotx::stm::Tx& tx) {
+    v.unsafe_store(x);  // demotx-expect: demotx-unsafe-in-tx
+    (void)tx;
+  });
+}
+
+}  // namespace

@@ -1,0 +1,43 @@
+// Corpus twin: the same expert APIs behind explicit opt-ins.  Each
+// marker names WHY the relaxation is sound here, which is the contract
+// the check enforces; unmarked novice code in the same file stays on
+// the opaque default and diagnoses nothing.
+#include "stm/runtime.hpp"
+#include "stm/tvar.hpp"
+
+namespace {
+
+// Novice tier: opaque default, nothing to justify.
+long opaque_sum(demotx::stm::TVar<long>* accts, int n) {
+  return demotx::stm::atomically([&](demotx::stm::Tx& tx) {
+    long s = 0;
+    for (int i = 0; i < n; ++i) s += accts[i].get(tx);
+    return s;
+  });
+}
+
+long snapshot_sum(demotx::stm::TVar<long>* accts, int n) {
+  return demotx::stm::atomically(
+      [&](demotx::stm::Tx& tx) {
+        long s = 0;
+        for (int i = 0; i < n; ++i) s += accts[i].get(tx);
+        return s;
+      },
+      demotx::stm::Semantics::kSnapshot);  // demotx:expert: read-only audit; a consistent snapshot is all it needs
+}
+
+void log_once(long v) {
+  // demotx:expert-fn: the body performs I/O and must run exactly once
+  demotx::stm::atomically_irrevocable([&](demotx::stm::Tx&) {
+    (void)v;
+  });
+}
+
+void tune_runtime() {
+  demotx::stm::Config cfg;  // demotx:expert: A/B harness comparing gate layouts
+  auto& rt = demotx::stm::Runtime::instance();
+  rt.config.eager_writes = true;  // demotx:expert: A/B harness comparing write policies
+  (void)cfg;
+}
+
+}  // namespace

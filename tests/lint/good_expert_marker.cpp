@@ -1,0 +1,21 @@
+// Corpus twin: a justified marker suppresses exactly the line it
+// covers and records why the relaxation is sound.
+#include "stm/runtime.hpp"
+#include "stm/tvar.hpp"
+
+namespace {
+
+struct Node {
+  demotx::stm::TVar<long> key;
+};
+
+long init_private_node(demotx::stm::TVar<Node*>& head) {
+  return demotx::stm::atomically([&](demotx::stm::Tx& tx) {
+    Node* n = tx.alloc<Node>();
+    n->key.unsafe_store(7);  // demotx:expert: n is tx-private until head.set() below publishes it
+    head.set(tx, n);
+    return n->key.unsafe_load();  // demotx:expert: still tx-private; the set() above is buffered until commit
+  });
+}
+
+}  // namespace

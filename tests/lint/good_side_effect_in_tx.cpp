@@ -1,0 +1,38 @@
+// Corpus twin: the sanctioned ways to get the same effects.  Allocation
+// through tx.alloc (freed on abort), reclamation through tx.retire
+// (epoch-deferred at commit), I/O hoisted out of the body or run under
+// an irrevocable transaction, which executes exactly once.
+#include <cstdio>
+
+#include "stm/runtime.hpp"
+#include "stm/tvar.hpp"
+
+namespace {
+
+struct Node {
+  long key;
+};
+
+long insert_and_report(demotx::stm::TVar<Node*>& head) {
+  const long key = demotx::stm::atomically([&](demotx::stm::Tx& tx) {
+    Node* n = tx.alloc<Node>();  // abort-safe allocation
+    Node* old = head.get(tx);
+    head.set(tx, n);
+    tx.retire(old);  // epoch-deferred free at commit
+    return n->key;
+  });
+  std::printf("inserted %ld\n", key);  // after commit: runs once
+  return key;
+}
+
+long drain_counter(demotx::stm::TVar<long>& v) {
+  // demotx:expert-next: the drain must print exactly once, so it runs irrevocably
+  return demotx::stm::atomically_irrevocable([&](demotx::stm::Tx& tx) {
+    const long got = v.get(tx);
+    v.set(tx, 0);
+    std::printf("drained %ld\n", got);  // irrevocable: cannot re-execute
+    return got;
+  });
+}
+
+}  // namespace

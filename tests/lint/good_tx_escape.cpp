@@ -1,0 +1,30 @@
+// Corpus twin: passing the Tx& around legally.  Composition — handing
+// the live reference down to helpers or directly into combinators — is
+// the whole point of the API; only storage that outlives the lambda is
+// an escape.
+#include "stm/runtime.hpp"
+#include "stm/tvar.hpp"
+
+namespace {
+
+// A helper taking Tx& is itself a transactional context, not an escape.
+long read_both(demotx::stm::Tx& tx, demotx::stm::TVar<long>& a,
+               demotx::stm::TVar<long>& b) {
+  return a.get(tx) + b.get(tx);
+}
+
+long sum(demotx::stm::TVar<long>& a, demotx::stm::TVar<long>& b) {
+  return demotx::stm::atomically([&](demotx::stm::Tx& tx) {
+    return read_both(tx, a, b);
+  });
+}
+
+long first_nonzero(demotx::stm::TVar<long>& a, demotx::stm::TVar<long>& b) {
+  return demotx::stm::atomically([&](demotx::stm::Tx& tx) {
+    // A lambda over tx passed DIRECTLY to a combinator runs inside the
+    // same transaction attempt: legal composition, not an escape.
+    return tx.or_else([&] { return a.get(tx); }, [&] { return b.get(tx); });
+  });
+}
+
+}  // namespace

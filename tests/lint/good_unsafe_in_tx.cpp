@@ -1,0 +1,26 @@
+// Corpus twin: the same accessors used legally — instrumented get/set
+// inside the transaction, unsafe_* only from quiescent code (no
+// transaction can be live), plus a justified tx-private use.
+#include "stm/runtime.hpp"
+#include "stm/tvar.hpp"
+
+namespace {
+
+long double_and_return(demotx::stm::TVar<long>& v) {
+  return demotx::stm::atomically([&](demotx::stm::Tx& tx) {
+    const long cur = v.get(tx);
+    v.set(tx, cur * 2);
+    return cur * 2;
+  });
+}
+
+// Quiescent: called after every worker joined, so no transaction is
+// live and the unsynchronized view is exact.
+long quiescent_total(demotx::stm::TVar<long>& a,
+                     demotx::stm::TVar<long>& b) {
+  return a.unsafe_load() + b.unsafe_load();
+}
+
+void seed(demotx::stm::TVar<long>& v, long x) { v.unsafe_store(x); }
+
+}  // namespace

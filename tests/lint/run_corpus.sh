@@ -1,0 +1,50 @@
+#!/bin/sh
+# Corpus driver for the lint.corpus ctest row.
+#
+#   run_corpus.sh <demotx-lint-binary> <corpus-dir>
+#
+# Asserts, in order:
+#   1. every bad_*.cpp declares at least one demotx-expect expectation
+#      (an expectation-free bad TU would verify vacuously);
+#   2. `demotx-lint --verify <corpus-dir>` passes: each file's emitted
+#      diagnostics match its expectations EXACTLY — good twins clean,
+#      bad TUs hitting every expected (line, check-id) pair and nothing
+#      else;
+#   3. the --stats JSON is well-formed enough to track suppression
+#      creep: it reports the corpus TU count and a nonzero diagnostic
+#      total.
+LINT="$1"
+DIR="$2"
+if [ -z "$LINT" ] || [ -z "$DIR" ]; then
+  echo "usage: run_corpus.sh <demotx-lint-binary> <corpus-dir>" >&2
+  exit 2
+fi
+
+fail=0
+
+for f in "$DIR"/bad_*.cpp; do
+  if ! grep -q "demotx-expect:" "$f"; then
+    echo "FAIL: $f carries no demotx-expect expectations" >&2
+    fail=1
+  fi
+done
+
+if ! "$LINT" --verify "$DIR"; then
+  echo "FAIL: --verify mismatch (see VERIFY-* lines above)" >&2
+  fail=1
+fi
+
+ntu=$(ls "$DIR"/*.cpp | wc -l | tr -d ' ')
+stats=$("$LINT" --stats "$DIR" 2>/dev/null)
+echo "$stats"
+if ! echo "$stats" | grep -q "\"files_scanned\": $ntu"; then
+  echo "FAIL: --stats files_scanned != $ntu" >&2
+  fail=1
+fi
+if echo "$stats" | grep -q '"diagnostics_total": 0'; then
+  echo "FAIL: --stats reports zero diagnostics over a corpus with bad TUs" >&2
+  fail=1
+fi
+
+[ "$fail" -eq 0 ] && echo "lint corpus OK ($ntu TUs)"
+exit "$fail"

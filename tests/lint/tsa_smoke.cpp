@@ -1,0 +1,67 @@
+// Thread-safety-analysis smoke TU: pulls every annotated header into
+// one translation unit and exercises the capability types, so
+//
+//   clang++ -std=c++20 -fsyntax-only -Wthread-safety -Werror -Isrc \
+//       tests/lint/tsa_smoke.cpp
+//
+// (the ctest row `tsa.build`) proves the annotated lock discipline
+// type-checks.  Under GCC the attributes expand to nothing and this TU
+// is an ordinary syntax check.
+#include "sync/annotations.hpp"
+#include "sync/coarse_list.hpp"
+#include "sync/cow_array_set.hpp"
+#include "sync/hoh_list.hpp"
+#include "sync/lazy_list.hpp"
+#include "vt/sync.hpp"
+
+namespace {
+
+// Minimal direct use of the capability machinery: a guarded counter
+// accessed only through the scoped guard.  If SpinGuard lost its
+// SCOPED_CAPABILITY (or SpinLock its CAPABILITY) this stops compiling
+// under -Wthread-safety -Werror.
+class GuardedCounter {
+ public:
+  void bump() {
+    demotx::vt::SpinGuard g(lock_);
+    ++n_;
+  }
+
+  long read() {
+    demotx::vt::SpinGuard g(lock_);
+    return n_;
+  }
+
+  // Manual lock/unlock balanced in one scope is also TSA-visible.
+  void bump_manual() {
+    lock_.lock();
+    ++n_;
+    lock_.unlock();
+  }
+
+ private:
+  demotx::vt::SpinLock lock_;
+  long n_ DEMOTX_GUARDED_BY(lock_) = 0;
+};
+
+void touch_everything() {
+  GuardedCounter c;
+  c.bump();
+  c.bump_manual();
+  (void)c.read();
+  demotx::sync::CoarseList coarse;
+  demotx::sync::HohList hoh;
+  demotx::sync::LazyList lazy;
+  demotx::sync::CowArraySet cow;
+  coarse.add(1);
+  hoh.add(2);
+  lazy.add(3);
+  cow.add(4);
+}
+
+}  // namespace
+
+int main() {
+  touch_everything();
+  return 0;
+}

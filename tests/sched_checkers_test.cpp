@@ -1,3 +1,4 @@
+// demotx:expert-file: test suite: exercises the expert tier (semantics choices, config overrides, irrevocability) by design
 // Schedule theory: the Fig. 4 counts (20 schedules; 3 precluded by
 // opacity — see the note on the paper's "four"), the Sec. 4.2 history H
 // verdicts, and cross-validation of the semantic checkers against the

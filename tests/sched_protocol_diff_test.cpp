@@ -1,3 +1,4 @@
+// demotx:expert-file: test suite: exercises the expert tier (semantics choices, config overrides, irrevocability) by design
 // Differential and soundness testing on random histories:
 //
 //  1. model vs implementation — drive the REAL transaction descriptors

@@ -1,3 +1,4 @@
+// demotx:expert-file: test suite: exercises the expert tier (semantics choices, config overrides, irrevocability) by design
 // Basic STM behaviour: typed TVars, read-own-write, retry loop,
 // transactional allocation/retirement, usage errors, statistics.
 #include <gtest/gtest.h>
@@ -52,7 +53,7 @@ TEST(StmBasic, WritesInvisibleUntilCommit) {
     x.set(tx, 2);
     // Direct (unsynchronized) inspection still sees the old value: writes
     // are buffered until commit (lazy versioning).
-    EXPECT_EQ(x.unsafe_load(), 1);
+    EXPECT_EQ(x.unsafe_load(), 1);  // demotx:expert: asserts write-buffering — the unsynchronized view must still see the pre-tx value
   });
   EXPECT_EQ(x.unsafe_load(), 2);
 }
@@ -163,7 +164,7 @@ TEST(StmBasic, NestedTransactionIsFlat) {
     x.set(outer, 1);
     stm::atomically([&](stm::Tx& inner) {
       // Same descriptor: flat nesting.
-      EXPECT_EQ(&inner, &outer);
+      EXPECT_EQ(&inner, &outer);  // demotx:expert: asserts flat nesting by descriptor identity; the address does not escape the tx
       EXPECT_EQ(x.get(inner), 1);  // sees the outer buffered write
       x.set(inner, 2);
     });

@@ -1,3 +1,4 @@
+// demotx:expert-file: test suite: exercises the expert tier (semantics choices, config overrides, irrevocability) by design
 // Classic (opaque) semantics: conflict detection, commit validation,
 // timebase extension, and opacity/atomicity properties under adversarial
 // simulated interleavings.

@@ -1,3 +1,4 @@
+// demotx:expert-file: test suite: exercises the expert tier (semantics choices, config overrides, irrevocability) by design
 // Contention managers: all policies guarantee progress on contended
 // workloads; Greedy resolves conflicts by killing the younger transaction.
 #include <gtest/gtest.h>

@@ -1,3 +1,4 @@
+// demotx:expert-file: test suite: exercises the expert tier (semantics choices, config overrides, irrevocability) by design
 // Eager (encounter-time locking / write-through) mode: isolation of
 // in-place writes, undo on abort, early write-write conflict detection,
 // snapshot backups stashed at acquire time, and the orElse limitation.

@@ -1,3 +1,4 @@
+// demotx:expert-file: test suite: exercises the expert tier (semantics choices, config overrides, irrevocability) by design
 // Elastic semantics (E-STM): the sliding window, cuts, the paper's
 // history H, the transition to classic mode on first write, and
 // correctness of elastic data-structure operations under adversarial

@@ -1,3 +1,4 @@
+// demotx:expert-file: test suite: exercises the expert tier (semantics choices, config overrides, irrevocability) by design
 // Irrevocability-gate stress, run against BOTH gate layouts (legacy
 // shared counter and the distributed per-slot array): irrevocable
 // transactions interleave with eager and lazy updaters across >= 8

@@ -1,3 +1,4 @@
+// demotx:expert-file: test suite: exercises the expert tier (semantics choices, config overrides, irrevocability) by design
 // GV4 ("pass on failure") commit-clock properties.
 //
 // Under GV4 a committer that loses the clock CAS adopts the winner's

@@ -1,3 +1,4 @@
+// demotx:expert-file: test suite: exercises the expert tier (semantics choices, config overrides, irrevocability) by design
 // Modeled best-effort HTM + software fallback (atomically_hybrid):
 // capacity aborts, fallback accounting, zero-overhead hardware reads,
 // and correctness under contention.

@@ -1,3 +1,4 @@
+// demotx:expert-file: test suite: exercises the expert tier (semantics choices, config overrides, irrevocability) by design
 // Irrevocable (inevitable) transactions: guaranteed single-attempt
 // commit, serialization against other updaters, token hygiene, and the
 // usage-error surface.

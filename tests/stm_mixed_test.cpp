@@ -1,3 +1,4 @@
+// demotx:expert-file: test suite: exercises the expert tier (semantics choices, config overrides, irrevocability) by design
 // Mixing semantics (paper Sec. 5): transactions of different semantics
 // run concurrently over the same data without breaking each other;
 // composition via nesting; the early-release composition bug the paper
@@ -243,7 +244,7 @@ TEST(StmMixed, ElasticNestedInClassicRunsClassically) {
   stm::atomically([&](stm::Tx& outer) {
     EXPECT_EQ(outer.semantics(), Semantics::kClassic);
     stm::atomically(Semantics::kElastic, [&](stm::Tx& inner) {
-      EXPECT_EQ(&inner, &outer);
+      EXPECT_EQ(&inner, &outer);  // demotx:expert: asserts flat nesting by descriptor identity; the address does not escape the tx
       EXPECT_EQ(inner.semantics(), Semantics::kClassic);
       x.set(inner, 2);
     });

@@ -1,3 +1,4 @@
+// demotx:expert-file: test suite: exercises the expert tier (semantics choices, config overrides, irrevocability) by design
 // Composable blocking: stm::retry() and stm::or_else() (Harris et al.,
 // the paper's citation [30]) — condition synchronization without
 // condition variables, with branch rollback and union-of-reads wake-up.

@@ -1,3 +1,4 @@
+// demotx:expert-file: test suite: exercises the expert tier (semantics choices, config overrides, irrevocability) by design
 // Snapshot semantics: multiversion reads, the two-version depth limit,
 // consistency of whole-structure snapshots against concurrent updates.
 #include <gtest/gtest.h>

@@ -1,3 +1,4 @@
+// demotx:expert-file: test suite: exercises the expert tier (semantics choices, config overrides, irrevocability) by design
 // Validation fast-path properties: the commit write-summary ring, the
 // batched read-set scan, timebase extension, and read-set dedup.
 //

@@ -1,0 +1,476 @@
+// The demotx-lint checks: a single scope-aware walk over the token
+// stream.  Transactional contexts are lambda bodies / function bodies
+// whose parameter list declares a `Tx&` (however qualified); the four
+// checks fire inside (or, for the tier check, around) those contexts.
+#include "lint.hpp"
+
+#include <array>
+#include <utility>
+
+namespace demotx::lint {
+
+namespace {
+
+const char* kUnsafe = "demotx-unsafe-in-tx";
+const char* kEscape = "demotx-tx-escape";
+const char* kSideEffect = "demotx-side-effect-in-tx";
+const char* kTier = "demotx-expert-api-tier";
+const char* kMarker = "demotx-expert-marker";
+
+bool in_set(const std::set<std::string>& s, const std::string& v) {
+  return s.find(v) != s.end();
+}
+
+// Calls that perform irreversible side effects when the body re-executes.
+const std::set<std::string>& side_effect_calls() {
+  static const std::set<std::string> s = {
+      "malloc", "calloc", "realloc", "free",    "fopen",  "fclose",
+      "fread",  "fwrite", "fflush",  "printf",  "fprintf", "puts",
+      "fputs",  "putchar", "getchar", "fgets",  "scanf",  "system",
+      "setenv", "putenv",
+  };
+  return s;
+}
+
+// Lock types whose mere construction inside a transaction couples the
+// abort/retry loop to blocking synchronization.
+const std::set<std::string>& lock_types() {
+  static const std::set<std::string> s = {
+      "mutex",       "timed_mutex", "recursive_mutex",    "shared_mutex",
+      "lock_guard",  "unique_lock", "scoped_lock",        "shared_lock",
+      "condition_variable", "SpinLock", "SpinGuard",
+  };
+  return s;
+}
+
+struct Analyzer {
+  const std::string& path;
+  const LexedFile& in;
+  FileResult out;
+
+  // Suppression state derived from the markers.
+  std::set<int> expert_lines;
+  std::vector<std::pair<int, int>> fn_regions;  // [from_line, to_line]
+  bool file_expert = false;
+
+  std::set<std::pair<int, std::string>> emitted;
+
+  explicit Analyzer(const std::string& p, const LexedFile& lexed)
+      : path(p), in(lexed) {
+    out.expects = lexed.expects;
+    // The DEMOTX_EXPERT annotation macro (sync/annotations.hpp) is the
+    // in-code equivalent of a line marker; the macro name itself is the
+    // greppable justification.
+    for (const Token& t : lexed.tokens) {
+      if (t.kind == TokKind::kIdent && t.text == "DEMOTX_EXPERT") {
+        expert_lines.insert(t.line);
+        ++out.markers_line;
+      }
+    }
+    for (const Marker& m : lexed.markers) {
+      if (!m.has_reason) {
+        out.diags.push_back(
+            {path, m.line, kMarker,
+             "expert marker without a justification suppresses nothing; "
+             "write `demotx:expert...: <one-line reason>`"});
+        continue;
+      }
+      switch (m.kind) {
+        case Marker::Kind::kLine:
+          expert_lines.insert(m.line);
+          ++out.markers_line;
+          break;
+        case Marker::Kind::kNext:
+          expert_lines.insert(m.line + 1);
+          ++out.markers_next;
+          break;
+        case Marker::Kind::kFn:
+          fn_regions.push_back({m.line, find_fn_region_end(m.line)});
+          ++out.markers_fn;
+          break;
+        case Marker::Kind::kFile:
+          file_expert = true;
+          ++out.markers_file;
+          break;
+      }
+    }
+  }
+
+  // The expert-fn marker covers everything from the marker to the close
+  // of the first brace block opening at or after it (the annotated
+  // function's body).
+  int find_fn_region_end(int marker_line) const {
+    std::size_t i = 0;
+    const std::size_t n = in.tokens.size();
+    while (i < n && !(in.tokens[i].text == "{" &&
+                      in.tokens[i].line >= marker_line))
+      ++i;
+    if (i == n) return marker_line;  // no body follows: cover the line
+    int depth = 0;
+    for (; i < n; ++i) {
+      if (in.tokens[i].text == "{") ++depth;
+      if (in.tokens[i].text == "}" && --depth == 0) return in.tokens[i].line;
+    }
+    return in.tokens.empty() ? marker_line : in.tokens.back().line;
+  }
+
+  bool in_fn_region(int line) const {
+    for (const auto& [from, to] : fn_regions)
+      if (line >= from && line <= to) return true;
+    return false;
+  }
+
+  void emit(const char* check, int line, std::string msg) {
+    if (!emitted.insert({line, check}).second) return;
+    if (expert_lines.count(line) != 0 || in_fn_region(line)) {
+      ++out.suppressed[check];
+      return;
+    }
+    if (check == std::string(kTier) && file_expert) {
+      ++out.suppressed[check];
+      return;
+    }
+    out.diags.push_back({path, line, check, std::move(msg)});
+  }
+
+  // ---- the walk ------------------------------------------------------
+
+  struct ParenFrame {
+    std::string callee;                  // identifier before the '('
+    std::vector<std::string> tx_params;  // names of `Tx&` params inside
+  };
+  struct TxCtx {
+    std::set<std::string> params;
+    int entry_depth;  // brace depth of the context body
+    bool irrevocable;
+  };
+
+  std::vector<ParenFrame> parens;
+  std::vector<TxCtx> txs;
+  int brace_depth = 0;
+
+  // Pending transactional-context opener: a param list declaring Tx&
+  // just closed; we skip specifier/return-type tokens until its body's
+  // `{` (or a terminator proving it was a mere declaration).
+  bool pending = false;
+  std::vector<std::string> pending_params;
+  bool pending_irrevocable = false;
+  int pending_angle = 0;
+  int pending_paren = 0;
+
+  const Token* tok(std::size_t i) const {
+    return i < in.tokens.size() ? &in.tokens[i] : nullptr;
+  }
+
+  std::set<std::string> active_params() const {
+    std::set<std::string> s;
+    for (const TxCtx& c : txs) s.insert(c.params.begin(), c.params.end());
+    return s;
+  }
+  bool irrevocable_now() const {
+    for (const TxCtx& c : txs)
+      if (c.irrevocable) return true;
+    return false;
+  }
+
+  void run() {
+    const std::size_t n = in.tokens.size();
+    for (std::size_t i = 0; i < n; ++i) {
+      const Token& t = in.tokens[i];
+
+      if (pending && step_pending(t)) continue;
+
+      if (t.text == "{") {
+        ++brace_depth;
+        continue;
+      }
+      if (t.text == "}") {
+        --brace_depth;
+        while (!txs.empty() && brace_depth < txs.back().entry_depth)
+          txs.pop_back();
+        continue;
+      }
+      if (t.text == "(") {
+        ParenFrame f;
+        if (i > 0 && in.tokens[i - 1].kind == TokKind::kIdent)
+          f.callee = in.tokens[i - 1].text;
+        parens.push_back(std::move(f));
+        continue;
+      }
+      if (t.text == ")") {
+        if (!parens.empty()) {
+          ParenFrame f = std::move(parens.back());
+          parens.pop_back();
+          if (!f.tx_params.empty()) arm_pending(std::move(f.tx_params));
+        }
+        continue;
+      }
+
+      // `Tx & name` inside a parameter list -> context candidate.
+      if (t.kind == TokKind::kIdent && t.text == "Tx" && !parens.empty()) {
+        const Token* amp = tok(i + 1);
+        const Token* name = tok(i + 2);
+        if (amp != nullptr && amp->text == "&" && name != nullptr &&
+            name->kind == TokKind::kIdent) {
+          parens.back().tx_params.push_back(name->text);
+        }
+      }
+
+      check_tier(i);
+      if (!txs.empty()) {
+        check_unsafe(i);
+        check_escape(i);
+        if (!irrevocable_now()) check_side_effect(i);
+      }
+    }
+  }
+
+  void arm_pending(std::vector<std::string> params) {
+    pending = true;
+    pending_params = std::move(params);
+    pending_irrevocable = false;
+    pending_angle = 0;
+    pending_paren = 0;
+    for (const ParenFrame& f : parens)
+      if (f.callee == "atomically_irrevocable") pending_irrevocable = true;
+  }
+
+  // Consumes one token while looking for the context body.  Returns true
+  // if the token was fully handled here.
+  bool step_pending(const Token& t) {
+    if (pending_paren > 0) {
+      if (t.text == "(") ++pending_paren;
+      if (t.text == ")") --pending_paren;
+      return true;
+    }
+    if (t.text == "(") {  // noexcept(...), attribute args
+      ++pending_paren;
+      return true;
+    }
+    if (t.text == "<") {
+      ++pending_angle;
+      return true;
+    }
+    if (t.text == ">") {
+      if (pending_angle > 0) --pending_angle;
+      return true;
+    }
+    if (t.text == "{" && pending_angle == 0) {
+      pending = false;
+      ++brace_depth;
+      TxCtx ctx;
+      ctx.params.insert(pending_params.begin(), pending_params.end());
+      ctx.entry_depth = brace_depth;
+      ctx.irrevocable = pending_irrevocable;
+      txs.push_back(std::move(ctx));
+      ++out.tx_contexts;
+      return true;
+    }
+    if (t.text == ";" || t.text == "=" || t.text == ")" || t.text == "}" ||
+        (t.text == "," && pending_angle == 0)) {
+      pending = false;  // declaration only / lambda passed as argument
+      return false;     // reprocess in the main walk
+    }
+    // const, noexcept, override, ->, ::, [, ], *, &, identifiers...
+    return true;
+  }
+
+  // ---- checks --------------------------------------------------------
+
+  void check_unsafe(std::size_t i) {
+    const Token& t = in.tokens[i];
+    const Token* nx = tok(i + 1);
+    if (t.kind == TokKind::kIdent && t.text.rfind("unsafe_", 0) == 0 &&
+        nx != nullptr && nx->text == "(") {
+      emit(kUnsafe, t.line,
+           t.text + "() bypasses versioning inside a transaction (breaks "
+                    "opacity); use get/set through the Tx, or mark the line "
+                    "`demotx:expert: <why tx-private or quiescent>`");
+    }
+  }
+
+  void check_escape(std::size_t i) {
+    const Token& t = in.tokens[i];
+    const std::set<std::string> params = active_params();
+
+    // Address-of the transaction handle.
+    if (t.text == "&" && t.kind == TokKind::kPunct) {
+      const Token* nx = tok(i + 1);
+      const Token* pv = i > 0 ? &in.tokens[i - 1] : nullptr;
+      const bool prev_is_value =
+          pv != nullptr && (pv->kind == TokKind::kIdent ||
+                            pv->kind == TokKind::kNumber || pv->text == ")" ||
+                            pv->text == "]");
+      if (nx != nullptr && in_set(params, nx->text) && !prev_is_value) {
+        emit(kEscape, t.line,
+             "taking the address of the Tx& lets it outlive its "
+             "transaction; pass the reference itself instead");
+      }
+    }
+
+    // static / thread_local storage initialized from the handle.
+    if (t.kind == TokKind::kIdent &&
+        (t.text == "static" || t.text == "thread_local")) {
+      for (std::size_t j = i + 1; j < in.tokens.size() && j < i + 200; ++j) {
+        if (in.tokens[j].text == ";") break;
+        if (in.tokens[j].kind == TokKind::kIdent &&
+            in_set(params, in.tokens[j].text)) {
+          emit(kEscape, t.line,
+               "storing the Tx& in static/thread_local state outlives the "
+               "transaction attempt (the descriptor is re-armed per retry)");
+          break;
+        }
+      }
+    }
+
+    // A lambda capturing the handle that is stored or returned (direct
+    // call arguments are composition and stay legal).
+    if (t.text == "[" && i > 0 &&
+        (in.tokens[i - 1].text == "=" || in.tokens[i - 1].text == "return")) {
+      std::size_t j = i + 1;
+      int bracket = 1;
+      bool captures = false;
+      for (; j < in.tokens.size() && bracket > 0; ++j) {
+        if (in.tokens[j].text == "[") ++bracket;
+        else if (in.tokens[j].text == "]") --bracket;
+        else if (in.tokens[j].text == "&" ||
+                 (in.tokens[j].kind == TokKind::kIdent &&
+                  in_set(params, in.tokens[j].text)))
+          captures = true;
+      }
+      if (!captures || j >= in.tokens.size()) return;
+      // Skip optional parameter list / specifiers to the body.
+      int par = 0;
+      while (j < in.tokens.size() && in.tokens[j].text != "{") {
+        if (in.tokens[j].text == "(") ++par;
+        if (in.tokens[j].text == ")" && par > 0) --par;
+        if (par == 0 && (in.tokens[j].text == ";")) return;
+        ++j;
+      }
+      int depth = 0;
+      for (; j < in.tokens.size(); ++j) {
+        if (in.tokens[j].text == "{") ++depth;
+        if (in.tokens[j].text == "}" && --depth == 0) break;
+        if (depth > 0 && in.tokens[j].kind == TokKind::kIdent &&
+            in_set(params, in.tokens[j].text)) {
+          emit(kEscape, t.line,
+               "a stored/returned lambda capturing the Tx& escapes the "
+               "transaction body; pass it directly to the combinator or "
+               "re-enter via stm::atomically");
+          return;
+        }
+      }
+    }
+  }
+
+  void check_side_effect(std::size_t i) {
+    const Token& t = in.tokens[i];
+    const Token* nx = tok(i + 1);
+    const Token* pv = i > 0 ? &in.tokens[i - 1] : nullptr;
+    if (t.kind != TokKind::kIdent) return;
+
+    if (t.text == "new") {
+      emit(kSideEffect, t.line,
+           "raw `new` inside a transaction leaks on abort; allocate with "
+           "tx.alloc<T>(...) (freed on abort, handed over on commit)");
+      return;
+    }
+    if (t.text == "delete") {
+      emit(kSideEffect, t.line,
+           "raw `delete` inside a transaction frees memory concurrent "
+           "optimistic readers may still dereference; use tx.retire(p) "
+           "(epoch-based reclamation at commit)");
+      return;
+    }
+    if (nx != nullptr && nx->text == "(" &&
+        in_set(side_effect_calls(), t.text)) {
+      emit(kSideEffect, t.line,
+           t.text + "() inside a transaction re-executes on abort; move it "
+                    "outside, or run the body under atomically_irrevocable");
+      return;
+    }
+    if (t.text == "cout" || t.text == "cerr" || t.text == "clog") {
+      emit(kSideEffect, t.line,
+           "stream I/O inside a transaction re-executes on abort; move it "
+           "outside, or run the body under atomically_irrevocable");
+      return;
+    }
+    if (pv != nullptr && (pv->text == "." || pv->text == "->") &&
+        nx != nullptr && nx->text == "(" &&
+        (t.text == "lock" || t.text == "unlock" || t.text == "try_lock")) {
+      emit(kSideEffect, t.line,
+           "explicit lock operations inside a transaction deadlock with "
+           "the abort/retry loop (an aborted attempt re-locks); use TVars "
+           "or an irrevocable transaction");
+      return;
+    }
+    if (in_set(lock_types(), t.text)) {
+      emit(kSideEffect, t.line,
+           "blocking synchronization (" + t.text +
+               ") inside a transaction couples retries to lock ownership; "
+               "use TVars or an irrevocable transaction");
+    }
+  }
+
+  void check_tier(std::size_t i) {
+    const Token& t = in.tokens[i];
+    if (t.kind != TokKind::kIdent) return;
+    const Token* nx = tok(i + 1);
+    const Token* pv = i > 0 ? &in.tokens[i - 1] : nullptr;
+
+    if (t.text == "kElastic" || t.text == "kSnapshot") {
+      emit(kTier, t.line,
+           "relaxed semantics (" + t.text +
+               ") are the expert tier (paper Sec. 5); novice code keeps the "
+               "opaque default — opt in with a demotx:expert marker");
+      return;
+    }
+    if (t.text == "atomically_irrevocable" || t.text == "atomically_hybrid") {
+      emit(kTier, t.line,
+           t.text + " is the expert tier (serial irrevocability / HTM "
+                    "tuning); opt in with a demotx:expert marker");
+      return;
+    }
+    if (t.text == "release" && nx != nullptr && nx->text == "(") {
+      const Token* arg = tok(i + 2);
+      if (arg != nullptr && in_set(active_params(), arg->text)) {
+        emit(kTier, t.line,
+             "early release breaks composition (paper Sec. 4.1) and is the "
+             "expert tier; opt in with a demotx:expert marker");
+      }
+      return;
+    }
+    if (t.text == "config" && pv != nullptr &&
+        (pv->text == "." || pv->text == "->")) {
+      emit(kTier, t.line,
+           "overriding the runtime Config (clock/gate/validation schemes, "
+           "eager writes...) is the expert tier; opt in with a "
+           "demotx:expert marker");
+      return;
+    }
+    if (t.text == "Config" && nx != nullptr && nx->kind == TokKind::kIdent &&
+        (pv == nullptr || (pv->text != "struct" && pv->text != "class" &&
+                           pv->text != "enum"))) {
+      emit(kTier, t.line,
+           "constructing an stm::Config override is the expert tier; opt "
+           "in with a demotx:expert marker");
+    }
+  }
+};
+
+}  // namespace
+
+FileResult analyze(const std::string& path, const LexedFile& lexed) {
+  Analyzer a(path, lexed);
+  a.run();
+  return std::move(a.out);
+}
+
+const std::vector<std::string>& check_ids() {
+  static const std::vector<std::string> ids = {
+      kUnsafe, kEscape, kSideEffect, kTier, kMarker,
+  };
+  return ids;
+}
+
+}  // namespace demotx::lint

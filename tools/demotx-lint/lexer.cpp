@@ -1,0 +1,206 @@
+// Token frontend for demotx-lint: a small C++ lexer that understands
+// comments (where the markers live), string/char/raw-string literals
+// (so check keywords inside literals never fire), preprocessor lines
+// (skipped, with continuation handling) and multi-character punctuators
+// (so `->` and `::` arrive as single tokens).
+#include "lint.hpp"
+
+#include <cctype>
+
+namespace demotx::lint {
+
+namespace {
+
+bool ident_start(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+bool ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+std::string trim(const std::string& s) {
+  std::size_t b = 0, e = s.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(s[b]))) ++b;
+  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1]))) --e;
+  return s.substr(b, e - b);
+}
+
+// Parses one comment's text for markers and expectations.
+void scan_comment(const std::string& text, int line, LexedFile& out) {
+  struct Variant {
+    const char* tag;
+    Marker::Kind kind;
+  };
+  // Longest tags first so "demotx:expert" does not shadow its suffixes.
+  static const Variant kVariants[] = {
+      {"demotx:expert-file", Marker::Kind::kFile},
+      {"demotx:expert-next", Marker::Kind::kNext},
+      {"demotx:expert-fn", Marker::Kind::kFn},
+      {"demotx:expert", Marker::Kind::kLine},
+  };
+  for (const Variant& v : kVariants) {
+    const std::size_t pos = text.find(v.tag);
+    if (pos == std::string::npos) continue;
+    Marker m{v.kind, line, false, ""};
+    std::size_t after = pos + std::string(v.tag).size();
+    // A suffixed variant match ("demotx:expert" inside
+    // "demotx:expert-file") is not a kLine marker: require the tag to
+    // end at a non-ident, non-'-' boundary.
+    if (after < text.size() && (text[after] == '-')) continue;
+    if (after < text.size() && text[after] == ':') {
+      m.reason = trim(text.substr(after + 1));
+      m.has_reason = !m.reason.empty();
+    }
+    out.markers.push_back(m);
+    break;  // one marker per comment
+  }
+
+  const std::size_t epos = text.find("demotx-expect:");
+  if (epos != std::string::npos) {
+    std::string rest = text.substr(epos + std::string("demotx-expect:").size());
+    std::size_t start = 0;
+    while (start <= rest.size()) {
+      std::size_t comma = rest.find(',', start);
+      std::string id = trim(rest.substr(
+          start, comma == std::string::npos ? std::string::npos
+                                            : comma - start));
+      if (!id.empty()) out.expects[line].insert(id);
+      if (comma == std::string::npos) break;
+      start = comma + 1;
+    }
+  }
+}
+
+}  // namespace
+
+LexedFile lex(const std::string& src) {
+  LexedFile out;
+  int line = 1;
+  std::size_t i = 0;
+  const std::size_t n = src.size();
+  bool at_line_start = true;  // only whitespace so far on this line
+
+  auto push = [&](TokKind k, std::string text) {
+    out.tokens.push_back(Token{k, std::move(text), line});
+  };
+
+  while (i < n) {
+    const char c = src[i];
+    if (c == '\n') {
+      ++line;
+      ++i;
+      at_line_start = true;
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    // Preprocessor directive: skip to end of line, honouring \-splices.
+    if (c == '#' && at_line_start) {
+      while (i < n) {
+        if (src[i] == '\\' && i + 1 < n && src[i + 1] == '\n') {
+          ++line;
+          i += 2;
+          continue;
+        }
+        if (src[i] == '\n') break;
+        ++i;
+      }
+      continue;
+    }
+    at_line_start = false;
+    // Line comment.
+    if (c == '/' && i + 1 < n && src[i + 1] == '/') {
+      const int start_line = line;
+      std::size_t j = i + 2;
+      while (j < n && src[j] != '\n') ++j;
+      scan_comment(src.substr(i + 2, j - i - 2), start_line, out);
+      i = j;
+      continue;
+    }
+    // Block comment.
+    if (c == '/' && i + 1 < n && src[i + 1] == '*') {
+      const int start_line = line;
+      std::size_t j = i + 2;
+      while (j + 1 < n && !(src[j] == '*' && src[j + 1] == '/')) {
+        if (src[j] == '\n') ++line;
+        ++j;
+      }
+      scan_comment(src.substr(i + 2, j - i - 2), start_line, out);
+      i = (j + 1 < n) ? j + 2 : n;
+      continue;
+    }
+    // Raw string literal: R"delim( ... )delim"
+    if (c == 'R' && i + 1 < n && src[i + 1] == '"') {
+      std::size_t j = i + 2;
+      std::string delim;
+      while (j < n && src[j] != '(') delim += src[j++];
+      const std::string close = ")" + delim + "\"";
+      std::size_t end = src.find(close, j);
+      if (end == std::string::npos) end = n;
+      for (std::size_t k = i; k < end && k < n; ++k)
+        if (src[k] == '\n') ++line;
+      push(TokKind::kString, "<raw-string>");
+      i = (end == n) ? n : end + close.size();
+      continue;
+    }
+    // String / char literal.
+    if (c == '"' || c == '\'') {
+      const char q = c;
+      std::size_t j = i + 1;
+      while (j < n && src[j] != q) {
+        if (src[j] == '\\' && j + 1 < n) ++j;
+        if (src[j] == '\n') ++line;  // unterminated; keep line count sane
+        ++j;
+      }
+      push(q == '"' ? TokKind::kString : TokKind::kChar, "<literal>");
+      i = (j < n) ? j + 1 : n;
+      continue;
+    }
+    // Identifier / keyword.
+    if (ident_start(c)) {
+      std::size_t j = i + 1;
+      while (j < n && ident_char(src[j])) ++j;
+      push(TokKind::kIdent, src.substr(i, j - i));
+      i = j;
+      continue;
+    }
+    // Number (good enough: digits, dots, exponents, suffixes, 0x...).
+    if (std::isdigit(static_cast<unsigned char>(c)) ||
+        (c == '.' && i + 1 < n &&
+         std::isdigit(static_cast<unsigned char>(src[i + 1])))) {
+      std::size_t j = i + 1;
+      while (j < n && (ident_char(src[j]) || src[j] == '.' || src[j] == '\'' ||
+                       ((src[j] == '+' || src[j] == '-') &&
+                        (src[j - 1] == 'e' || src[j - 1] == 'E' ||
+                         src[j - 1] == 'p' || src[j - 1] == 'P'))))
+        ++j;
+      push(TokKind::kNumber, src.substr(i, j - i));
+      i = j;
+      continue;
+    }
+    // Multi-character punctuators we care about, longest first.
+    static const char* kPuncts[] = {
+        "<<=", ">>=", "->*", "...", "::", "->", "<<", ">>", "<=", ">=",
+        "==",  "!=",  "&&",  "||",  "+=", "-=", "*=", "/=", "%=", "&=",
+        "|=",  "^=",  "++",  "--",
+    };
+    bool matched = false;
+    for (const char* p : kPuncts) {
+      const std::size_t len = std::string(p).size();
+      if (src.compare(i, len, p) == 0) {
+        push(TokKind::kPunct, p);
+        i += len;
+        matched = true;
+        break;
+      }
+    }
+    if (matched) continue;
+    push(TokKind::kPunct, std::string(1, c));
+    ++i;
+  }
+  return out;
+}
+
+}  // namespace demotx::lint

@@ -1,0 +1,111 @@
+// demotx-lint: compile-time transactional-correctness checks for the
+// demotx STM (clang-tidy-style check ids, expected-diagnostic corpus
+// testing, NOLINT-like expert markers).
+//
+// The tool ships its own C++ token frontend so it builds and runs with
+// the repo's host toolchain alone; when LLVM/Clang dev packages are
+// present CMake reports them and additionally arms the clang-only rows
+// (tsa.build, clang-tidy in the `lint` target).  The analysis is lexical
+// and scope-aware (brace/paren tracking, transactional-context
+// detection), deliberately NOT a full parser: every check is defined in
+// terms the token stream can decide exactly, and the regression corpus
+// in tests/lint/ pins those definitions.
+//
+// Checks (see DESIGN.md "Static analysis" for the full contract):
+//
+//   demotx-unsafe-in-tx     unsafe_load/unsafe_store/unsafe_value/...
+//                           called inside a transactional context.
+//   demotx-tx-escape        the Tx& handle leaks out of its context:
+//                           address-of, static/thread_local storage, or
+//                           a stored/returned lambda capturing it.
+//   demotx-side-effect-in-tx raw new/delete/malloc/free, stdio/iostream,
+//                           or lock operations inside a body that can
+//                           re-execute on abort (irrevocable bodies are
+//                           exempt).
+//   demotx-expert-api-tier  expert APIs (elastic/snapshot semantics,
+//                           early release, irrevocability, hybrid HTM,
+//                           Config overrides) used outside code opted in
+//                           via a demotx:expert marker.
+//   demotx-expert-marker    an expert marker without the mandatory
+//                           one-line justification (and such a marker
+//                           suppresses nothing).
+//
+// Expert-tier markers (comment text, line- or block-comment):
+//
+//   // demotx:expert: <why>        this line is expert code
+//   // demotx:expert-next: <why>   the next line is
+//   // demotx:expert-fn: <why>     the next function/brace block is
+//   // demotx:expert-file: <why>   the whole file is expert TIER —
+//                                  only demotx-expert-api-tier is
+//                                  disabled; the safety checks stay on
+//
+// Corpus expectations (used by --verify):
+//
+//   ... // demotx-expect: demotx-unsafe-in-tx[, demotx-tx-escape...]
+#pragma once
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace demotx::lint {
+
+// ---- lexer -----------------------------------------------------------
+
+enum class TokKind { kIdent, kNumber, kString, kChar, kPunct };
+
+struct Token {
+  TokKind kind;
+  std::string text;
+  int line;
+};
+
+struct Marker {
+  enum class Kind { kLine, kNext, kFn, kFile };
+  Kind kind;
+  int line;             // line the marker comment starts on
+  bool has_reason;      // a non-empty justification followed the marker
+  std::string reason;
+};
+
+// One file's lexed form: the token stream plus everything the comments
+// said (markers and corpus expectations).
+struct LexedFile {
+  std::vector<Token> tokens;
+  std::vector<Marker> markers;
+  // line -> expected check ids on that line (corpus files only).
+  std::map<int, std::set<std::string>> expects;
+};
+
+// Tokenizes C++ source.  Comments and preprocessor directives do not
+// produce tokens; comments are scanned for markers/expectations.
+LexedFile lex(const std::string& source);
+
+// ---- analysis --------------------------------------------------------
+
+struct Diagnostic {
+  std::string file;
+  int line;
+  std::string check;
+  std::string message;
+};
+
+struct FileResult {
+  std::vector<Diagnostic> diags;
+  std::map<int, std::set<std::string>> expects;  // copied from the lex
+  int tx_contexts = 0;
+  std::map<std::string, int> suppressed;  // check id -> suppressed hits
+  int markers_line = 0;
+  int markers_next = 0;
+  int markers_fn = 0;
+  int markers_file = 0;
+};
+
+// Runs every check over one lexed file.
+FileResult analyze(const std::string& path, const LexedFile& lexed);
+
+// All check ids the tool can emit, for --list-checks and the stats JSON.
+const std::vector<std::string>& check_ids();
+
+}  // namespace demotx::lint

@@ -1,0 +1,211 @@
+// demotx-lint CLI.
+//
+//   demotx-lint [options] <file-or-dir>...
+//
+//   --verify         corpus mode: diagnostics must exactly match the
+//                    `// demotx-expect: <check-id>[, ...]` comments in
+//                    each file (good files carry none and must be clean)
+//   --stats          print per-check hit counts / suppression counts /
+//                    scanned-TU totals as JSON on stdout (diagnostics go
+//                    to stderr), so suppression creep is trackable
+//   --exclude P      skip files whose path starts with P (repeatable;
+//                    used to keep the known-bad corpus out of tree runs)
+//   --list-checks    print the check ids and exit
+//
+// Exit codes: 0 clean/verified, 1 diagnostics/mismatch, 2 usage or I/O.
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "lint.hpp"
+
+namespace fs = std::filesystem;
+using namespace demotx::lint;
+
+namespace {
+
+bool has_source_ext(const fs::path& p) {
+  const std::string e = p.extension().string();
+  return e == ".cpp" || e == ".hpp" || e == ".h" || e == ".cc" || e == ".cxx";
+}
+
+std::string normalize(const fs::path& p) {
+  std::error_code ec;
+  fs::path c = fs::weakly_canonical(p, ec);
+  return (ec ? p : c).generic_string();
+}
+
+bool excluded(const std::string& file,
+              const std::vector<std::string>& excludes) {
+  for (const std::string& e : excludes)
+    if (file.rfind(e, 0) == 0) return true;
+  return false;
+}
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  for (char c : s) {
+    if (c == '"' || c == '\\') out += '\\';
+    out += c;
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool verify = false;
+  bool stats = false;
+  std::vector<std::string> excludes;
+  std::vector<fs::path> roots;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--verify") {
+      verify = true;
+    } else if (arg == "--stats") {
+      stats = true;
+    } else if (arg == "--exclude") {
+      if (++i >= argc) {
+        std::cerr << "demotx-lint: --exclude needs a path prefix\n";
+        return 2;
+      }
+      excludes.push_back(normalize(argv[i]));
+    } else if (arg == "--list-checks") {
+      for (const std::string& id : check_ids()) std::cout << id << "\n";
+      return 0;
+    } else if (arg == "--version") {
+      std::cout << "demotx-lint 1.0 (token frontend"
+#ifdef DEMOTX_LINT_HAVE_CLANG
+                << ", LLVM/Clang dev present"
+#endif
+                << ")\n";
+      return 0;
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::cerr << "demotx-lint: unknown option " << arg << "\n";
+      return 2;
+    } else {
+      roots.emplace_back(arg);
+    }
+  }
+  if (roots.empty()) {
+    std::cerr << "usage: demotx-lint [--verify] [--stats] [--exclude P]... "
+                 "<file-or-dir>...\n";
+    return 2;
+  }
+
+  std::vector<std::string> files;
+  for (const fs::path& root : roots) {
+    std::error_code ec;
+    if (fs::is_directory(root, ec)) {
+      for (auto it = fs::recursive_directory_iterator(root, ec);
+           !ec && it != fs::recursive_directory_iterator(); ++it) {
+        if (it->is_regular_file() && has_source_ext(it->path()))
+          files.push_back(normalize(it->path()));
+      }
+    } else if (fs::is_regular_file(root, ec)) {
+      files.push_back(normalize(root));
+    } else {
+      std::cerr << "demotx-lint: cannot read " << root << "\n";
+      return 2;
+    }
+  }
+  std::sort(files.begin(), files.end());
+  files.erase(std::unique(files.begin(), files.end()), files.end());
+
+  std::ostream& diag_out = stats ? std::cerr : std::cout;
+  int files_scanned = 0;
+  int tx_contexts = 0;
+  std::map<std::string, int> totals;
+  std::map<std::string, int> suppressed;
+  int m_line = 0, m_next = 0, m_fn = 0, m_file = 0;
+  bool any_diag = false;
+  bool verify_failed = false;
+
+  for (const std::string& file : files) {
+    if (excluded(file, excludes)) continue;
+    std::ifstream ifs(file, std::ios::binary);
+    if (!ifs) {
+      std::cerr << "demotx-lint: cannot open " << file << "\n";
+      return 2;
+    }
+    std::ostringstream buf;
+    buf << ifs.rdbuf();
+    const LexedFile lexed = lex(buf.str());
+    FileResult r = analyze(file, lexed);
+
+    ++files_scanned;
+    tx_contexts += r.tx_contexts;
+    m_line += r.markers_line;
+    m_next += r.markers_next;
+    m_fn += r.markers_fn;
+    m_file += r.markers_file;
+    for (const auto& [check, count] : r.suppressed) suppressed[check] += count;
+    for (const Diagnostic& d : r.diags) ++totals[d.check];
+
+    if (verify) {
+      // Exact match between emitted diagnostics and expect comments.
+      std::map<int, std::set<std::string>> got;
+      for (const Diagnostic& d : r.diags) got[d.line].insert(d.check);
+      for (const auto& [line, checks] : r.expects) {
+        for (const std::string& c : checks) {
+          if (got.count(line) == 0 || got[line].count(c) == 0) {
+            std::cout << "VERIFY-MISSING " << file << ":" << line << " " << c
+                      << "\n";
+            verify_failed = true;
+          }
+        }
+      }
+      for (const auto& [line, checks] : got) {
+        for (const std::string& c : checks) {
+          if (r.expects.count(line) == 0 || r.expects.at(line).count(c) == 0) {
+            std::cout << "VERIFY-UNEXPECTED " << file << ":" << line << " "
+                      << c << "\n";
+            verify_failed = true;
+          }
+        }
+      }
+    } else {
+      for (const Diagnostic& d : r.diags) {
+        diag_out << d.file << ":" << d.line << ": error: [" << d.check << "] "
+                 << d.message << "\n";
+        any_diag = true;
+      }
+    }
+  }
+
+  if (stats) {
+    int total = 0;
+    std::cout << "{\n  \"files_scanned\": " << files_scanned
+              << ",\n  \"tx_contexts\": " << tx_contexts
+              << ",\n  \"diagnostics\": {";
+    bool first = true;
+    for (const std::string& id : check_ids()) {
+      const int c = totals.count(id) ? totals.at(id) : 0;
+      total += c;
+      std::cout << (first ? "" : ",") << "\n    \"" << json_escape(id)
+                << "\": " << c;
+      first = false;
+    }
+    std::cout << "\n  },\n  \"diagnostics_total\": " << total
+              << ",\n  \"suppressed\": {";
+    first = true;
+    for (const std::string& id : check_ids()) {
+      const int c = suppressed.count(id) ? suppressed.at(id) : 0;
+      std::cout << (first ? "" : ",") << "\n    \"" << json_escape(id)
+                << "\": " << c;
+      first = false;
+    }
+    std::cout << "\n  },\n  \"markers\": { \"file\": " << m_file
+              << ", \"fn\": " << m_fn << ", \"line\": " << m_line
+              << ", \"next\": " << m_next << " }\n}\n";
+  }
+
+  if (verify) return verify_failed ? 1 : 0;
+  return any_diag ? 1 : 0;
+}
