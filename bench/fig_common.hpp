@@ -149,7 +149,8 @@ inline void print_validation_table(
     const std::vector<std::vector<CellResult>>& r) {
   harness::Table t({"series", "extensions", "summary_skips",
                     "summary_fallbacks", "ring_overflows", "readset_dedups",
-                    "clock_adopts", "gate_waits"});
+                    "clock_adopts", "gate_waits", "shard_conflicts",
+                    "epoch_bumps", "remote_line_hits", "desc_heap_bytes"});
   const std::size_t ti = cfg.threads.size() - 1;
   for (std::size_t s = 0; s < series.size(); ++s) {
     const auto& st = r[s][ti].raw.stm;
@@ -159,7 +160,11 @@ inline void print_validation_table(
                std::to_string(st.ring_overflows),
                std::to_string(st.readset_dedups),
                std::to_string(st.clock_adopts),
-               std::to_string(st.gate_waits)});
+               std::to_string(st.gate_waits),
+               std::to_string(st.shard_conflicts),
+               std::to_string(st.epoch_bumps),
+               std::to_string(st.remote_line_hits),
+               std::to_string(st.desc_heap_bytes)});
   }
   std::cout << "\ncommit/validation fast-path counters at "
             << cfg.threads[ti] << " threads (0 for non-STM):\n";

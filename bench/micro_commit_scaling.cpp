@@ -1,8 +1,9 @@
 // demotx:expert-file: benchmark: measures every semantics tier and config ablation by design
-// Commit-path scalability sweep: tiny update transactions, 1..64
-// threads, A/B-ing the four commit-path configurations
+// Commit-path scalability sweep: tiny update transactions, 1..256
+// threads, A/B-ing the commit-path configurations
 //
-//     {GV1, GV4} clock  x  {counter, distributed} irrevocability gate
+//     {GV1, GV4, sharded} clock  x  {counter, distributed} irrevocability
+//     gate                       x  {off, on} NUMA sim model
 //
 // over two workloads:
 //
@@ -10,10 +11,20 @@
 //              cells, so the ONLY shared state a commit touches is the
 //              commit-path globals.  This isolates clock/gate ping-pong,
 //              which is exactly what the distributed gate + GV4 clock
-//              remove.
+//              reduce and the sharded epoch/slice clock removes: with
+//              the sharded scheme, disjoint committers RMW their own
+//              shard word's line instead of one global clock line.
 //   shared   — all threads update a handful of common cells (real data
 //              conflicts, CM involvement) and one thread periodically
 //              runs an irrevocable transaction, closing the gate.
+//
+// The NUMA axis (DEMOTX_NUMA_DOMAINS homes, remote RMWs cost
+// DEMOTX_NUMA_COST service cycles) runs for the disjoint workload only:
+// it models the cross-socket cost of the commit-path globals, which the
+// shared workload's data conflicts would drown.  Slot s's own clock
+// shard is domain-local by construction (both map through the same
+// residue), so NUMA-on widens the sharded scheme's edge — the global
+// clock line ping-pongs across sockets, shard words never leave home.
 //
 // By default the sweep runs under the virtual-time simulator — this
 // container has one core, so wall-clock scalability is unmeasurable
@@ -27,15 +38,27 @@
 //   { "bench": "micro_commit_scaling", "mode": "sim"|"real",
 //     "threads": [...], "cycles_per_point": N,
 //     "results": [ { "workload": ..., "clock": ..., "gate": ...,
+//                    "numa": "off"|"on",
 //                    "points": [ { "threads": T, "commits": C,
 //                                  "aborts": A, "duration": D,
 //                                  "throughput": X, "clock_adopts": N,
 //                                  "gate_waits": N, "wfilter_hits": N,
-//                                  "wfilter_skips": N }, ... ] }, ... ],
-//     "summary": { "disjoint_gv4_distributed_over_gv1_counter_at_max": R } }
+//                                  "wfilter_skips": N,
+//                                  "shard_conflicts": N, "epoch_bumps": N,
+//                                  "remote_line_hits": N,
+//                                  "desc_heap_bytes": N,
+//                                  "shard_grants_max": N,
+//                                  "shard_skew": S }, ... ] }, ... ],
+//     "summary": {
+//       "disjoint_gv4_distributed_over_gv1_counter_at_max": R,
+//       "disjoint_sharded_distributed_over_gv1_distributed_at_128_numa_on":
+//           R } }
 //
+// shard_skew is max-over-mean of per-shard grants during the point (1.0
+// = perfectly balanced; only meaningful for the sharded clock).
 // duration/throughput are virtual cycles and commits per kilocycle in
 // sim mode, nanoseconds and commits per microsecond in real mode.
+#include <array>
 #include <atomic>
 #include <chrono>
 #include <cstdio>
@@ -74,15 +97,48 @@ constexpr CommitConfig kConfigs[] = {
     {"gv1", "distributed", ClockScheme::kGv1, GateScheme::kDistributed},
     {"gv4", "counter", ClockScheme::kGv4, GateScheme::kCounter},
     {"gv4", "distributed", ClockScheme::kGv4, GateScheme::kDistributed},
+    {"sharded", "counter", ClockScheme::kSharded, GateScheme::kCounter},
+    {"sharded", "distributed", ClockScheme::kSharded,
+     GateScheme::kDistributed},
 };
+constexpr std::size_t kNumConfigs = sizeof(kConfigs) / sizeof(kConfigs[0]);
 
 struct Point {
   int threads = 0;
   std::uint64_t commits = 0;
   std::uint64_t duration = 0;  // virtual cycles (sim) / nanoseconds (real)
   double throughput = 0.0;     // commits/kcycle (sim) / commits/us (real)
+  std::uint64_t shard_grants_max = 0;
+  double shard_skew = 0.0;  // max/mean per-shard grants (1.0 = balanced)
   stm::TxStats stats;
 };
+
+using ShardSnapshot = std::array<std::uint64_t, stm::kClockShards>;
+
+ShardSnapshot shard_snapshot() {
+  auto& rt = stm::Runtime::instance();
+  ShardSnapshot g{};
+  for (std::size_t s = 0; s < stm::kClockShards; ++s)
+    g[s] = rt.shard_grants(s);
+  return g;
+}
+
+// Per-point shard-skew stats from the lifetime grant counters: delta the
+// snapshot taken before the point, then max-over-mean of the deltas.
+void fill_shard_stats(Point& p, const ShardSnapshot& before) {
+  const ShardSnapshot after = shard_snapshot();
+  std::uint64_t total = 0;
+  for (std::size_t s = 0; s < stm::kClockShards; ++s) {
+    const std::uint64_t d = after[s] - before[s];
+    total += d;
+    if (d > p.shard_grants_max) p.shard_grants_max = d;
+  }
+  p.shard_skew =
+      total == 0 ? 0.0
+                 : static_cast<double>(p.shard_grants_max) *
+                       static_cast<double>(stm::kClockShards) /
+                       static_cast<double>(total);
+}
 
 // One transaction of the disjoint workload: increment this thread's own
 // kCellsPerThread cells (each TVar's Cell is alignas(64), so threads
@@ -135,6 +191,7 @@ class Workload {
 Point run_sim_point(bool disjoint, int threads, std::uint64_t cycles) {
   auto& rt = stm::Runtime::instance();
   rt.reset_stats();
+  const ShardSnapshot before = shard_snapshot();
   Workload w(disjoint, threads);
   std::vector<std::uint64_t> commits(static_cast<std::size_t>(threads), 0);
 
@@ -161,6 +218,7 @@ Point run_sim_point(bool disjoint, int threads, std::uint64_t cycles) {
                                  : static_cast<double>(p.commits) * 1000.0 /
                                        static_cast<double>(p.duration);
   p.stats = rt.aggregate_stats();
+  fill_shard_stats(p, before);
   mem::EpochManager::instance().drain();
   return p;
 }
@@ -168,6 +226,7 @@ Point run_sim_point(bool disjoint, int threads, std::uint64_t cycles) {
 Point run_real_point(bool disjoint, int threads, std::uint64_t ms) {
   auto& rt = stm::Runtime::instance();
   rt.reset_stats();
+  const ShardSnapshot before = shard_snapshot();
   Workload w(disjoint, threads);
   std::vector<std::uint64_t> commits(static_cast<std::size_t>(threads), 0);
   std::atomic<bool> stop{false};
@@ -199,6 +258,7 @@ Point run_real_point(bool disjoint, int threads, std::uint64_t ms) {
                                  : static_cast<double>(p.commits) * 1000.0 /
                                        static_cast<double>(p.duration);
   p.stats = rt.aggregate_stats();
+  fill_shard_stats(p, before);
   mem::EpochManager::instance().drain();
   return p;
 }
@@ -210,7 +270,13 @@ void json_point(std::ostream& os, const Point& p) {
      << ", \"clock_adopts\": " << p.stats.clock_adopts
      << ", \"gate_waits\": " << p.stats.gate_waits
      << ", \"wfilter_hits\": " << p.stats.wfilter_hits
-     << ", \"wfilter_skips\": " << p.stats.wfilter_skips << "}";
+     << ", \"wfilter_skips\": " << p.stats.wfilter_skips
+     << ", \"shard_conflicts\": " << p.stats.shard_conflicts
+     << ", \"epoch_bumps\": " << p.stats.epoch_bumps
+     << ", \"remote_line_hits\": " << p.stats.remote_line_hits
+     << ", \"desc_heap_bytes\": " << p.stats.desc_heap_bytes
+     << ", \"shard_grants_max\": " << p.shard_grants_max
+     << ", \"shard_skew\": " << p.shard_skew << "}";
 }
 
 }  // namespace
@@ -220,9 +286,11 @@ int main(int argc, char** argv) {
   const auto cycles =
       static_cast<std::uint64_t>(env_long("DEMOTX_CYCLES", 150'000));
   const auto ms = static_cast<std::uint64_t>(env_long("DEMOTX_MS", 50));
-  const long max_threads = env_long("DEMOTX_MAX_THREADS", 64);
+  const long max_threads = env_long("DEMOTX_MAX_THREADS", 256);
+  const int numa_domains =
+      static_cast<int>(env_long("DEMOTX_NUMA_DOMAINS", 4));
   std::vector<int> threads;
-  for (int t : {1, 2, 4, 8, 16, 32, 64})
+  for (int t : {1, 2, 4, 8, 16, 32, 64, 128, 256})
     if (t <= max_threads) threads.push_back(t);
 
   auto& rt = stm::Runtime::instance();
@@ -234,43 +302,69 @@ int main(int argc, char** argv) {
   for (std::size_t i = 0; i < threads.size(); ++i)
     out << (i != 0 ? ", " : "") << threads[i];
   out << "],\n  \"" << (real ? "ms_per_point" : "cycles_per_point")
-      << "\": " << (real ? ms : cycles) << ",\n  \"results\": [\n";
+      << "\": " << (real ? ms : cycles)
+      << ",\n  \"numa_domains\": " << numa_domains << ",\n  \"results\": [\n";
 
-  // summary input: disjoint throughput at max threads per config
-  double at_max[4] = {0, 0, 0, 0};
+  // summary inputs: disjoint throughput per config — at the sweep's max
+  // (NUMA off, the legacy headline) and at 128 threads with NUMA on (the
+  // sharded clock's headline; falls back to the highest swept count when
+  // the sweep stops short of 128).
+  double at_max_off[kNumConfigs] = {};
+  double at_128_on[kNumConfigs] = {};
 
   bool first_series = true;
-  for (const bool disjoint : {true, false}) {
-    for (std::size_t c = 0; c < 4; ++c) {
-      const CommitConfig& cc = kConfigs[c];
-      rt.config.clock_scheme = cc.clock;
-      rt.config.gate_scheme = cc.gate;
-      if (!first_series) out << ",\n";
-      first_series = false;
-      out << "    {\"workload\": \"" << (disjoint ? "disjoint" : "shared")
-          << "\", \"clock\": \"" << cc.clock_name << "\", \"gate\": \""
-          << cc.gate_name << "\", \"points\": [\n";
-      for (std::size_t t = 0; t < threads.size(); ++t) {
-        std::cerr << (disjoint ? "disjoint" : "shared") << " "
-                  << cc.clock_name << "+" << cc.gate_name << " @"
-                  << threads[t] << " threads...\n";
-        const Point p = real ? run_real_point(disjoint, threads[t], ms)
-                             : run_sim_point(disjoint, threads[t], cycles);
-        if (t != 0) out << ",\n";
-        json_point(out, p);
-        if (disjoint && t + 1 == threads.size()) at_max[c] = p.throughput;
+  for (const bool numa : {false, true}) {
+    rt.config.numa_domains = numa ? numa_domains : 1;
+    for (const bool disjoint : {true, false}) {
+      // The NUMA axis models the cross-socket cost of the commit-path
+      // globals; the shared workload's data conflicts would drown it.
+      if (numa && !disjoint) continue;
+      for (std::size_t c = 0; c < kNumConfigs; ++c) {
+        const CommitConfig& cc = kConfigs[c];
+        rt.config.clock_scheme = cc.clock;
+        rt.config.gate_scheme = cc.gate;
+        if (!first_series) out << ",\n";
+        first_series = false;
+        out << "    {\"workload\": \"" << (disjoint ? "disjoint" : "shared")
+            << "\", \"clock\": \"" << cc.clock_name << "\", \"gate\": \""
+            << cc.gate_name << "\", \"numa\": \"" << (numa ? "on" : "off")
+            << "\", \"points\": [\n";
+        for (std::size_t t = 0; t < threads.size(); ++t) {
+          std::cerr << (disjoint ? "disjoint" : "shared") << " "
+                    << cc.clock_name << "+" << cc.gate_name << " numa="
+                    << (numa ? "on" : "off") << " @" << threads[t]
+                    << " threads...\n";
+          const Point p = real ? run_real_point(disjoint, threads[t], ms)
+                               : run_sim_point(disjoint, threads[t], cycles);
+          if (t != 0) out << ",\n";
+          json_point(out, p);
+          if (disjoint && !numa && t + 1 == threads.size())
+            at_max_off[c] = p.throughput;
+          if (disjoint && numa &&
+              (threads[t] == 128 || (threads[t] < 128 &&
+                                     t + 1 == threads.size())))
+            at_128_on[c] = p.throughput;
+        }
+        out << "\n    ]}";
       }
-      out << "\n    ]}";
     }
   }
   rt.config = saved;
 
-  // gv4+distributed (index 3) over gv1+counter (index 0), disjoint
-  // workload, highest thread count: the headline commit-path ratio.
-  const double ratio = at_max[0] > 0 ? at_max[3] / at_max[0] : 0.0;
+  // Legacy headline: gv4+distributed (index 3) over gv1+counter (index
+  // 0), disjoint workload, highest thread count, NUMA off.
+  const double ratio =
+      at_max_off[0] > 0 ? at_max_off[3] / at_max_off[0] : 0.0;
+  // PR 6 headline: sharded+distributed (index 5) over gv1+distributed
+  // (index 1), disjoint workload, 128 threads, NUMA on — the acceptance
+  // bar is >= 1.5x.
+  const double sharded_ratio =
+      at_128_on[1] > 0 ? at_128_on[5] / at_128_on[1] : 0.0;
   out << "\n  ],\n  \"summary\": "
       << "{\"disjoint_gv4_distributed_over_gv1_counter_at_max\": " << ratio
-      << "}\n}\n";
+      << ",\n              "
+      << "\"disjoint_sharded_distributed_over_gv1_distributed_at_128_numa_on"
+      << "\": " << sharded_ratio << "}\n}\n";
 
   std::cout << out.str();
   if (argc > 1) {
@@ -279,6 +373,10 @@ int main(int argc, char** argv) {
     std::cerr << "wrote " << argv[1] << "\n";
   }
   std::cerr << "disjoint @" << threads.back()
-            << " threads: gv4+distributed / gv1+counter = " << ratio << "\n";
+            << " threads (numa off): gv4+distributed / gv1+counter = "
+            << ratio << "\n"
+            << "disjoint @128 threads (numa on): sharded+distributed / "
+               "gv1+distributed = "
+            << sharded_ratio << "\n";
   return 0;
 }

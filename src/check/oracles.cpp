@@ -8,6 +8,7 @@
 #include <map>
 #include <unordered_map>
 
+#include "stm/runtime.hpp"
 #include "stm/semantics.hpp"
 
 namespace demotx::check {
@@ -123,11 +124,19 @@ OracleResult certify(const std::vector<Attempt>& attempts) {
     }
   }
 
-  // Serialization constraints among commits SHARING a write timestamp
-  // (GV4 adoption): edge (x, y) = "x must serialize before y".
+  // Serialization constraints among commits whose timestamps carry no
+  // mutual order: edge (x, y) = "x must serialize before y".  The group
+  // of a timestamp is scheme-defined (stm::Runtime::timestamp_group):
+  // GV1/GV4 groups are single timestamps — only GV4 adopters ever share
+  // one — while the sharded clock orders only across EPOCHS, so a whole
+  // epoch slice (every shard's grants) is one group and the GV4 adoption
+  // rules apply to it wholesale.
+  const auto group = [](std::uint64_t t) {
+    return stm::Runtime::instance().timestamp_group(t);
+  };
   std::unordered_map<std::uint64_t,
                      std::vector<std::pair<std::size_t, std::size_t>>>
-      same_wv_edges;
+      same_group_edges;
 
   for (std::size_t i = 0; i < attempts.size(); ++i) {
     const Attempt& a = attempts[i];
@@ -139,13 +148,19 @@ OracleResult certify(const std::vector<Attempt>& attempts) {
         if (!r.in_read_set) continue;
         const auto cit = chain.find(r.loc);
         if (cit == chain.end()) continue;
+        // group() is monotone in the timestamp (identity, or the epoch
+        // prefix), so the version-ordered walk may stop at the first
+        // version past our group.
         for (auto it = cit->second.upper_bound(r.version);
-             it != cit->second.end() && it->first <= a.wv; ++it) {
+             it != cit->second.end() && group(it->first) <= group(a.wv);
+             ++it) {
           if (it->second.writer == i) continue;
-          if (it->first < a.wv) {
-            // Strictly inside (observed, wv): impossible under sound TL2
-            // validation for ANY clock scheme — the invalidating writer
-            // held the lock or bumped the version past rv.
+          if (group(it->first) < group(a.wv)) {
+            // Strictly inside (observed, wv) in GROUP order: impossible
+            // under sound TL2 validation for ANY clock scheme — the
+            // invalidating writer held the lock or bumped the version
+            // past rv (sharded: its whole epoch closed before our grant's
+            // epoch was current, so validation must have seen it).
             fail("update-certification violation: " + describe(a, i) +
                  " committed at wv=" + std::to_string(a.wv) +
                  " while holding a read of " + loc_ver(r.loc, r.version) +
@@ -155,16 +170,16 @@ OracleResult certify(const std::vector<Attempt>& attempts) {
                  " — commit-time validation was skipped or unsound");
             return res;
           }
-          // Equal timestamps (GV4 adoption): legal iff this commit can
-          // serialize BEFORE the same-wv writer.  Record the constraint;
-          // cycles are rejected below.
-          same_wv_edges[a.wv].push_back({i, it->second.writer});
+          // Same group (GV4 shared wv / sharded same epoch): legal iff
+          // this commit can serialize BEFORE that writer.  Record the
+          // constraint; cycles are rejected below.
+          same_group_edges[group(a.wv)].push_back({i, it->second.writer});
         }
-        // Reading the same-wv writer's OWN version orders it before us.
+        // Reading a same-group writer's OWN version orders it before us.
         const auto vit = cit->second.find(r.version);
-        if (r.version == a.wv && vit != cit->second.end() &&
-            vit->second.writer != i) {
-          same_wv_edges[a.wv].push_back({vit->second.writer, i});
+        if (vit != cit->second.end() && vit->second.writer != i &&
+            group(r.version) == group(a.wv)) {
+          same_group_edges[group(a.wv)].push_back({vit->second.writer, i});
         }
       }
     }
@@ -253,13 +268,14 @@ OracleResult certify(const std::vector<Attempt>& attempts) {
     }
   }
 
-  // ---- same-timestamp serializability (GV4 shared wv) -----------------
-  // Within one wv the write sets are disjoint (version-chain check), so
-  // the only hazard is a read-write cycle: every reader can go before the
-  // writer that invalidated it unless those constraints loop — the GV4
-  // write-skew shape, where two commits each hold a read the other
-  // invalidated at their shared timestamp.
-  for (const auto& [wv, edges] : same_wv_edges) {
+  // ---- same-group serializability (GV4 shared wv / sharded epoch) -----
+  // Within one wv the write sets are disjoint (version-chain check; a
+  // sharded epoch additionally orders per-location by the sequence bits),
+  // so the only hazard is a read-write cycle: every reader can go before
+  // the writer that invalidated it unless those constraints loop — the
+  // GV4 write-skew shape, where two commits each hold a read the other
+  // invalidated at their shared timestamp (or, sharded, inside one epoch).
+  for (const auto& [wv, edges] : same_group_edges) {
     std::unordered_map<std::size_t, std::vector<std::size_t>> adj;
     std::unordered_map<std::size_t, int> state;  // 0 new, 1 open, 2 done
     for (const auto& [x, y] : edges) adj[x].push_back(y);
@@ -276,10 +292,11 @@ OracleResult certify(const std::vector<Attempt>& attempts) {
     for (const auto& [x, y] : edges) {
       (void)y;
       if (state[x] == 0 && has_cycle(x)) {
-        fail("update-certification violation: commits sharing wv=" +
+        fail("update-certification violation: commits sharing timestamp "
+             "group " +
              std::to_string(wv) + " (incl. " + describe(attempts[x], x) +
              ") have cyclic read-write conflicts — no serialization order "
-             "exists at the shared GV4 timestamp");
+             "exists within the shared timestamp/epoch");
         return res;
       }
     }

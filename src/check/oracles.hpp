@@ -12,11 +12,14 @@
 //  * update certification (classic, and elastic after strengthening) —
 //    no OTHER transaction committed a write to a read-set location at a
 //    version strictly inside (observed, wv): commit-time validation must
-//    have caught it.  At the upper end, commits SHARING a wv (legal under
-//    GV4 adoption) are ordered by their read-write conflicts and the
-//    constraint graph must be acyclic — a cycle is the GV4 write-skew
-//    shape, where each commit holds a read the other invalidated at the
-//    shared timestamp;
+//    have caught it.  "Inside" is measured in TIMESTAMP GROUPS
+//    (stm::Runtime::timestamp_group): single timestamps under GV1/GV4,
+//    whole epochs under the sharded clock, whose per-shard grants carry
+//    no cross-shard order within an epoch.  At the upper end, commits
+//    sharing a group (GV4 adoption; any same-epoch sharded commits) are
+//    ordered by their read-write conflicts and the constraint graph must
+//    be acyclic — a cycle is the GV4 write-skew shape, where each commit
+//    holds a read the other invalidated at the shared timestamp;
 //  * snapshot / read-only consistency — the reads admit a single
 //    serialization point S: each (loc, version) read is the latest
 //    committed version at S;

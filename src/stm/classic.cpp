@@ -35,14 +35,30 @@ std::uint64_t Tx::read_classic(Cell& c) {
       continue;  // the committer released (or we were told to retry)
     }
     const std::uint64_t ver = lockword::version_of(s.word);
-    if (ver > rv_) {
+    // Own-grant fast path (sharded clock): a version we published
+    // ourselves is accepted above the floor without extension — see
+    // Tx::own_recent_version for the uniqueness argument.  Evaluated
+    // only when the version actually trails rv, so the common path
+    // (ver <= rv_) never touches the runtime config.
+    const bool own_grant =
+        ver > rv_ &&
+        Runtime::instance().config.clock_scheme == ClockScheme::kSharded &&
+        own_recent_version(ver);
+    if (ver > rv_ && !own_grant) {
       // The location changed after our snapshot point.  Either slide the
       // snapshot forward (timebase extension, revalidating everything
       // read so far) or abort.  An irrevocable transaction always
       // extends: nothing can commit while it holds the token, so
-      // revalidation cannot fail.
+      // revalidation cannot fail.  Under the sharded clock, too-new reads
+      // are the EXPECTED path (the epoch floor trails same-epoch grants,
+      // including our own earlier commits): extension is part of the
+      // scheme, and the reader first volunteers the epoch past the
+      // version it trailed so the extension's fresh floor covers it.
+      Runtime& rt = Runtime::instance();
+      const bool sharded = rt.config.clock_scheme == ClockScheme::kSharded;
+      if (sharded) rt.sharded_catchup(ver, &stats_);
       const bool may_extend =
-          irrevocable() || Runtime::instance().config.enable_extension;
+          irrevocable() || sharded || rt.config.enable_extension;
       if (!may_extend || !try_extend())
         throw_abort(AbortReason::kReadValidation);
       continue;  // re-read under the extended rv

@@ -1,5 +1,6 @@
 #include "stm/runtime.hpp"
 
+#include <cstddef>
 #include <cstdlib>
 #include <cstring>
 
@@ -13,11 +14,13 @@ Runtime& Runtime::instance() {
 // Process-wide scheme overrides, so the whole test suite and every bench
 // can run under either commit-clock / gate layout without recompiling
 // (ctest registers the stm suites a second time with DEMOTX_CLOCK=gv4
-// DEMOTX_GATE=counter).
+// DEMOTX_GATE=counter, and a third with DEMOTX_CLOCK=sharded).
 Runtime::Runtime() {
   if (const char* c = std::getenv("DEMOTX_CLOCK")) {
     if (std::strcmp(c, "gv4") == 0) config.clock_scheme = ClockScheme::kGv4;
     if (std::strcmp(c, "gv1") == 0) config.clock_scheme = ClockScheme::kGv1;
+    if (std::strcmp(c, "sharded") == 0)
+      config.clock_scheme = ClockScheme::kSharded;
   }
   if (const char* g = std::getenv("DEMOTX_GATE")) {
     if (std::strcmp(g, "counter") == 0)
@@ -39,6 +42,23 @@ Runtime::Runtime() {
     if (std::strcmp(v, "scan") == 0)
       config.validation_scheme = ValidationScheme::kScan;
   }
+  if (const char* q = std::getenv("DEMOTX_EPOCH_QUOTA")) {
+    const long n = std::atol(q);
+    config.clock_epoch_quota = static_cast<std::uint64_t>(
+        n < 1 ? 1
+              : (n > static_cast<long>(kClockSeqCapacity - 1)
+                     ? static_cast<long>(kClockSeqCapacity - 1)
+                     : n));
+  }
+  if (const char* nd = std::getenv("DEMOTX_NUMA_DOMAINS")) {
+    const long n = std::atol(nd);
+    config.numa_domains = static_cast<int>(
+        n < 1 ? 1 : (n > vt::kMaxThreads ? vt::kMaxThreads : n));
+  }
+  if (const char* nc = std::getenv("DEMOTX_NUMA_COST")) {
+    const long n = std::atol(nc);
+    config.numa_remote_cost = static_cast<unsigned>(n < 1 ? 1 : n);
+  }
   // Mutation self-test (check/ explorer): plant a known soundness bug so
   // ctest can assert the exploration actually finds it.  Never set this
   // outside the check_inject tests.
@@ -46,12 +66,50 @@ Runtime::Runtime() {
     if (std::strcmp(m, "gv4-skip") == 0) config.inject_gv4_skip = true;
     if (std::strcmp(m, "late-summary") == 0)
       config.inject_late_summary = true;
+    if (std::strcmp(m, "stale-shard") == 0) config.inject_stale_shard = true;
   }
+
+  // Stable line colors for the NUMA sim model.  The always-global words
+  // (clock, gate, epoch) stay color 0 — every scheme pays the remote
+  // surcharge for them from other domains, which is the point.  Ring
+  // lines and clock shards cycle through colors so their home domains
+  // spread evenly; shard s is home to domain s % numa_domains, matching
+  // the slot→shard residue, so a committer's own shard is domain-local.
+  for (std::size_t i = 0; i < kSummaryRingLines; ++i)
+    ring_lines_[i].color = static_cast<unsigned>(i);
+  for (std::size_t i = 0; i < kClockShards; ++i)
+    shards_[i].line.color = static_cast<unsigned>(i);
+
+  // ---- false-sharing audit (PR 6) ----
+  // Pin the layout the alignas annotations promise: every commit-path
+  // word a committer RMWs or spin-polls starts its own cache line.
+  // offsetof on a non-standard-layout class is conditionally-supported;
+  // GCC and Clang both implement it for this shape and only warn.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Winvalid-offsetof"
+  static_assert(offsetof(Runtime, clock_) % 64 == 0);
+  static_assert(offsetof(Runtime, epoch_) % 64 == 0);
+  static_assert(offsetof(Runtime, epoch_) - offsetof(Runtime, clock_) >= 64,
+                "version clock and sharded epoch must not share a line");
+  static_assert(offsetof(Runtime, cm_ticket_) % 64 == 0);
+  static_assert(offsetof(Runtime, irrevocable_owner_) % 64 == 0);
+  static_assert(offsetof(Runtime, committers_) % 64 == 0);
+  static_assert(offsetof(Runtime, committers_) -
+                        offsetof(Runtime, irrevocable_owner_) >=
+                    64,
+                "gate counter must not share the polled owner word's line");
+  static_assert(offsetof(Runtime, summary_ring_) % 64 == 0);
+  static_assert(offsetof(Runtime, shards_) % 64 == 0);
+  static_assert(offsetof(Runtime, commit_slots_) % 64 == 0);
+  static_assert(offsetof(Runtime, slots_) % 64 == 0);
+#pragma GCC diagnostic pop
 }
 
 Runtime::~Runtime() {
   for (Slot& s : slots_) {
-    delete s.tx.load(std::memory_order_relaxed);
+    // Descriptors are placement-allocated from the slot's heap: destroy
+    // explicitly, then the heap member releases the storage wholesale.
+    if (Tx* t = s.tx.load(std::memory_order_relaxed)) t->~Tx();
     s.tx.store(nullptr, std::memory_order_relaxed);
   }
 }
@@ -60,7 +118,10 @@ Tx& Runtime::tx_for_slot(int slot) {
   Slot& s = slots_[slot];
   Tx* t = s.tx.load(std::memory_order_acquire);
   if (t == nullptr) {
-    t = new Tx(slot);
+    // CaSTM idiom: the descriptor lives in this thread's own staggered
+    // line-aligned arena, never on a line (or L1 set) another thread's
+    // descriptor hot words occupy.
+    t = new (s.heap.allocate(sizeof(Tx), slot)) Tx(slot);
     s.tx.store(t, std::memory_order_release);
   }
   return *t;
@@ -76,10 +137,129 @@ ContentionManager& Runtime::cm_for_slot(int slot) {
   return *s.cm;
 }
 
+// ---- sharded clock (ClockScheme::kSharded) -------------------------------
+
+// Begin-time bound that dominates every grant existing at call time: bump
+// the epoch once, pass-on-failure (a concurrent winner's bump serves the
+// same purpose — the failed CAS reloads an epoch that is already newer
+// than the one every existing grant was issued under).
+std::uint64_t Runtime::clock_read_fresh(TxStats* st) {
+  if (config.clock_scheme != ClockScheme::kSharded) return clock_read();
+  vt::access();
+  std::uint64_t e = epoch_.load(std::memory_order_seq_cst);
+  charge_hot_line_rmw(epoch_line_, st);
+  if (epoch_.compare_exchange_strong(e, e + 1, std::memory_order_seq_cst)) {
+    if (st != nullptr) ++st->epoch_bumps;
+    return clock_epoch_floor(e + 1);
+  }
+  // Lost: `e` reloaded to the winner's value, itself a fresh floor.
+  return clock_epoch_floor(e);
+}
+
+// Too-new read path: volunteer the epoch up to version's epoch + 1 so the
+// caller's extension resamples a floor strictly above `version`.
+void Runtime::sharded_catchup(std::uint64_t version, TxStats* st) {
+  const std::uint64_t target = clock_epoch_of(version) + 1;
+  std::uint64_t e = epoch_.load(std::memory_order_seq_cst);
+  // Herd-breaker: when many readers trail the same epoch, all of them
+  // arrive here together — spin a few plain loads first (a mostly-read
+  // line replicates in every cache, so loads carry no hot-line charge)
+  // so ONE winner pays the epoch RMW and the rest just observe it.
+  // Without this the epoch line ate one RMW per trailing reader, turning
+  // it back into the global clock the sharding exists to remove.
+  constexpr int kCatchupSpins = 3;
+  for (int spin = 0; e < target && spin < kCatchupSpins; ++spin) {
+    vt::access();
+    e = epoch_.load(std::memory_order_seq_cst);
+  }
+  while (e < target) {
+    charge_hot_line_rmw(epoch_line_, st);
+    if (epoch_.compare_exchange_weak(e, target, std::memory_order_seq_cst)) {
+      if (st != nullptr) ++st->epoch_bumps;
+      return;
+    }
+  }
+}
+
+// Grant one commit timestamp from the caller's own shard.  The timestamp
+// is (epoch | seq | shard) with seq private to the shard word, so fully
+// disjoint committers RMW kClockShards different lines instead of one.
+//
+// Soundness anchors: the grant must exceed `min_exclusive` — cross-shard
+// sequence words are mutually blind, so per-location version order is
+// enforced HERE, not by the shard word alone; adopting the own shard's
+// stale word instead (an overwrite publishing a LOWER timestamp than the
+// version it replaces) is exactly the DEMOTX_CHECK_INJECT=stale-shard
+// planted bug.  And after winning the shard CAS the granter re-checks the
+// epoch (seq_cst on both sides) and discards the grant if it moved: a
+// surviving grant carries the epoch that was CURRENT at its linearization
+// point, so readers can trust the epoch floor (clock_read) as a lower
+// bound on all future grants and the history oracle can treat distinct
+// epochs as serialization order.
+std::uint64_t Runtime::sharded_grant(TxStats* st, std::uint64_t min_exclusive,
+                                     int slot) {
+  ClockShard& cs = shards_[static_cast<std::size_t>(slot) % kClockShards];
+  const std::uint64_t shard =
+      static_cast<std::uint64_t>(slot) % kClockShards;
+  if (config.inject_stale_shard) min_exclusive = 0;
+  for (;;) {
+    vt::access();
+    const std::uint64_t e = epoch_.load(std::memory_order_seq_cst);
+    if (clock_epoch_of(min_exclusive) > e) {
+      // A version we must exceed was granted under a later epoch (the
+      // caller read or overwrote it cross-shard): move up first.
+      sharded_catchup(min_exclusive, st);
+      continue;
+    }
+    const std::uint64_t cur = cs.last.load(std::memory_order_relaxed);
+    std::uint64_t k = clock_epoch_of(cur) == e ? clock_seq_of(cur) : 0;
+    if (clock_epoch_of(min_exclusive) == e &&
+        clock_seq_of(min_exclusive) > k)
+      k = clock_seq_of(min_exclusive);
+    ++k;
+    if (k > config.clock_epoch_quota || k >= kClockSeqCapacity) {
+      // Shard slice exhausted for this epoch: roll the epoch and retry
+      // with a zeroed sequence.  Pass-on-failure — any winner's bump
+      // opens a fresh slice for us too.
+      std::uint64_t ee = e;
+      charge_hot_line_rmw(epoch_line_, st);
+      if (epoch_.compare_exchange_strong(ee, e + 1,
+                                         std::memory_order_seq_cst) &&
+          st != nullptr)
+        ++st->epoch_bumps;
+      continue;
+    }
+    const std::uint64_t cand =
+        clock_epoch_floor(e) | (k << kClockShardBits) | shard;
+    charge_hot_line_rmw(cs.line, st);
+    std::uint64_t expected = cur;
+    if (!cs.last.compare_exchange_strong(expected, cand,
+                                         std::memory_order_acq_rel)) {
+      // Same-shard neighbour (slots kClockShards apart) won; retry.
+      if (st != nullptr) ++st->shard_conflicts;
+      continue;
+    }
+    vt::access();
+    if (epoch_.load(std::memory_order_seq_cst) != e) {
+      // Epoch moved between the epoch read and the shard CAS: `cand`
+      // could sit below a floor some reader already sampled.  Discard —
+      // the grant was never visible to validators (cs.last only grows
+      // within an epoch, and the next grant re-reads the epoch).
+      if (st != nullptr) ++st->shard_conflicts;
+      continue;
+    }
+    cs.grants.fetch_add(1, std::memory_order_relaxed);
+    return cand;
+  }
+}
+
 TxStats Runtime::aggregate_stats() {
   TxStats total;
   for (Slot& s : slots_) {
-    if (Tx* t = s.tx.load(std::memory_order_acquire)) total.merge(t->stats());
+    if (Tx* t = s.tx.load(std::memory_order_acquire)) {
+      total.merge(t->stats());
+      total.desc_heap_bytes += s.heap.bytes_reserved();
+    }
   }
   return total;
 }

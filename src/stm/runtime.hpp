@@ -25,6 +25,7 @@
 #include <utility>
 
 #include "stm/cm/manager.hpp"
+#include "stm/descheap.hpp"
 #include "sync/annotations.hpp"
 #include "stm/semantics.hpp"
 #include "stm/stats.hpp"
@@ -46,7 +47,62 @@ namespace demotx::stm {
 //          same wv; per-location version order stays strict (the loser's
 //          clock access happens after the winner's bump, so an adopted
 //          wv is always newer than any version the adopter overwrites).
-enum class ClockScheme : std::uint8_t { kGv1 = 0, kGv4 = 1 };
+//   kSharded — epoch/slice hybrid: the timestamp authority is split into
+//          kClockShards per-shard sequence words (one cache line each,
+//          selected by committer slot) combined with one coarse, slowly
+//          moving global EPOCH word.  A commit timestamp is
+//          (epoch << kClockEpochShift) | (seq << kClockShardBits) | shard,
+//          so grants from different shards never touch a common line and
+//          disjoint committers stop queuing on the clock entirely.  A
+//          reader's start bound is the current epoch's FLOOR
+//          (epoch << kClockEpochShift): every grant carries seq >= 1, so
+//          all future grants are strictly above the floor — the TL2 rv
+//          guarantee.  Versions granted earlier in the SAME epoch also sit
+//          above the floor, which makes too-new reads the expected path.
+//          Two reliefs keep that path off the epoch line: a version
+//          matching one of the reader's OWN recent grants is accepted
+//          outright (sharded timestamps are globally unique, so it was
+//          published by this slot's earlier commit — see
+//          Tx::own_recent_version), and otherwise the reader nudges the
+//          epoch forward (sharded_catchup, spin-first so one winner pays
+//          the RMW) and extends its timebase — extension is part of this
+//          scheme, not the LSA ablation.  Soundness anchors: a grant must exceed the
+//          committer's rv AND every version it overwrites (cross-shard
+//          sequence words are mutually blind, so per-location order is
+//          enforced at the grant — adopting the own shard's stale word
+//          instead is exactly the planted DEMOTX_CHECK_INJECT=stale-shard
+//          bug), and after winning its shard CAS a granter re-checks the
+//          epoch and DISCARDS the grant if the epoch moved, so no commit
+//          ever publishes a timestamp below a floor a reader could have
+//          sampled meanwhile.  Timestamps from the same
+//          epoch but different shards carry no serialization order, so the
+//          history oracle treats the EPOCH as the constraint-graph group
+//          (the GV4 shared-wv rule, generalized; see timestamp_group()).
+enum class ClockScheme : std::uint8_t { kGv1 = 0, kGv4 = 1, kSharded = 2 };
+
+// Sharded-clock timestamp geometry.  256 shards give every committer of
+// the 256-way scaling sweeps its own shard line (slots map to shards by
+// residue, so the first kClockShards slots never share); 16 bits of
+// per-shard sequence still bound an epoch slice far above any sane quota.
+inline constexpr unsigned kClockShardBits = 8;
+inline constexpr std::size_t kClockShards = std::size_t{1} << kClockShardBits;
+inline constexpr unsigned kClockEpochShift = 24;
+inline constexpr std::uint64_t kClockSeqCapacity =
+    std::uint64_t{1} << (kClockEpochShift - kClockShardBits);
+
+[[nodiscard]] inline constexpr std::uint64_t clock_epoch_of(std::uint64_t t) {
+  return t >> kClockEpochShift;
+}
+[[nodiscard]] inline constexpr std::uint64_t clock_epoch_floor(
+    std::uint64_t epoch) {
+  return epoch << kClockEpochShift;
+}
+[[nodiscard]] inline constexpr std::uint64_t clock_seq_of(std::uint64_t t) {
+  return (t & (clock_epoch_floor(1) - 1)) >> kClockShardBits;
+}
+[[nodiscard]] inline constexpr std::uint64_t clock_shard_of(std::uint64_t t) {
+  return t & (kClockShards - 1);
+}
 
 // Irrevocability-gate layout.
 //
@@ -123,11 +179,25 @@ struct Config {
   // default for figure fidelity; the distributed gate is behaviourally
   // identical to the counter gate, so the faster layout is the default.
   // Both are overridable at process start via the DEMOTX_CLOCK
-  // (gv1|gv4) and DEMOTX_GATE (counter|distributed) environment
+  // (gv1|gv4|sharded) and DEMOTX_GATE (counter|distributed) environment
   // variables, which lets every bench and the whole test suite A/B the
   // schemes without recompiling.
   ClockScheme clock_scheme = ClockScheme::kGv1;
   GateScheme gate_scheme = GateScheme::kDistributed;
+  // Sharded clock only: grants one shard hands out within one epoch before
+  // the granter volunteers a global epoch bump.  Small quotas keep reader
+  // floors fresh (fewer too-new extensions); large quotas amortize the
+  // epoch line further.  DEMOTX_EPOCH_QUOTA overrides at process start.
+  std::uint64_t clock_epoch_quota = 256;
+  // NUMA extension of the HotLine sim model: logical thread `slot` lives
+  // in domain (slot % numa_domains); an RMW on a hot line whose home
+  // domain differs costs numa_remote_cost service cycles instead of 1
+  // (the cross-socket line transfer).  Plain loads stay one cycle: a
+  // mostly-read line replicates in every domain's caches.  1 = flat
+  // machine (the default; all PR <= 5 figures).  DEMOTX_NUMA_DOMAINS and
+  // DEMOTX_NUMA_COST override at process start.
+  int numa_domains = 1;
+  unsigned numa_remote_cost = 3;
   // Validation-path ablations.  kScan stays the default for figure
   // fidelity (see enum comment); DEMOTX_VALIDATION (scan|summary)
   // overrides at process start, and ctest runs the stm suites under both.
@@ -142,13 +212,17 @@ struct Config {
   // workloads, so the scan read path stays byte-for-byte the old one.
   bool readset_dedup = true;
   // Planted soundness bugs for the check/ explorer's mutation self-test
-  // (DEMOTX_CHECK_INJECT=gv4-skip|late-summary).  Each resurrects a bug
-  // class the commit path specifically defends against — the GV4-adopter
-  // validation skip and the torn summary-ring publish — so ctest can
-  // assert the exploration finds both within a fixed budget.  Always off
+  // (DEMOTX_CHECK_INJECT=gv4-skip|late-summary|stale-shard).  Each
+  // resurrects a bug class the commit path specifically defends against —
+  // the GV4-adopter validation skip, the torn summary-ring publish, and
+  // the sharded granter adopting its own shard's stale sequence word
+  // (ignoring the cross-shard minimum, so an overwrite can publish a
+  // LOWER timestamp than the version it replaces) — so ctest can assert
+  // the exploration finds each within a fixed budget.  Always off
   // outside those tests.
   bool inject_gv4_skip = false;
   bool inject_late_summary = false;
+  bool inject_stale_shard = false;
 };
 
 class Runtime {
@@ -162,10 +236,43 @@ class Runtime {
 
   Config config;  // adjust only while no transaction runs
 
-  // ---- global version clock (GV1 / GV4) ----
+  // ---- global version clock (GV1 / GV4 / sharded) ----
   std::uint64_t clock_read() {
     vt::access();
+    if (config.clock_scheme == ClockScheme::kSharded) {
+      // The current epoch's floor: every grant carries seq >= 1, so all
+      // future grants are strictly above it — the TL2 rv guarantee.
+      return clock_epoch_floor(epoch_.load(std::memory_order_seq_cst));
+    }
     return clock_.load(std::memory_order_acquire);
+  }
+  // Sharded clock: a begin bound that also dominates every grant that
+  // EXISTED when the call started (the plain floor can trail same-epoch
+  // grants that are already committed and quiescent).  Bumps the epoch
+  // once, pass-on-failure — any concurrent winner's bump serves equally —
+  // and returns the resulting floor.  Snapshot begins need this (no
+  // extension can rescue a bound that starts stale) and so do irrevocable
+  // begins (the token holder must never need to abort on a too-new read).
+  // Falls back to clock_read() for the flat schemes.
+  std::uint64_t clock_read_fresh(TxStats* st = nullptr);
+  // Sharded clock, too-new read path: volunteers the epoch forward until
+  // the floor exceeds `version`, so the caller's timebase extension can
+  // land past the writer it trailed.  Pass-on-failure on the epoch line.
+  void sharded_catchup(std::uint64_t version, TxStats* st = nullptr);
+  // Constraint-graph group of a commit timestamp for the history oracles:
+  // two distinct committed timestamps witness serialization order iff
+  // their groups differ.  GV1/GV4 order everything (group = timestamp;
+  // GV4's shared wv IS one timestamp); sharded shards are mutually
+  // unordered within an epoch, so the group is the epoch — the oracle's
+  // GV4 shared-wv adoption rules apply to whole epoch slices.
+  [[nodiscard]] std::uint64_t timestamp_group(std::uint64_t t) const {
+    return config.clock_scheme == ClockScheme::kSharded ? clock_epoch_of(t)
+                                                        : t;
+  }
+  // Lifetime grant count of one clock shard (bench shard-skew stats).
+  [[nodiscard]] std::uint64_t shard_grants(std::size_t shard) const {
+    return shards_[shard & (kClockShards - 1)].grants.load(
+        std::memory_order_relaxed);
   }
   // Advances the clock and returns this commit's write version.  GV1
   // always bumps; GV4 adopts the winner's value when its CAS loses
@@ -175,15 +282,25 @@ class Runtime {
   // (GV1 always does): an adopted timestamp is NOT unique to us, so the
   // caller must not use the "wv == rv+1 ⇒ nothing committed in between"
   // shortcut — two adopters with disjoint write sets could both see it.
-  std::uint64_t clock_advance(TxStats* st = nullptr,
-                              bool* advanced = nullptr) {
+  // Sharded: the grant comes from the caller's own shard word
+  // (slot-selected) and must exceed `min_exclusive` — the caller's rv AND
+  // every version it overwrites, because cross-shard sequence words are
+  // mutually independent and per-location version order must stay strict.
+  // `advanced` is always false: a sharded timestamp is never evidence
+  // that nothing else committed, so the rv+1 shortcut must never fire.
+  std::uint64_t clock_advance(TxStats* st = nullptr, bool* advanced = nullptr,
+                              std::uint64_t min_exclusive = 0, int slot = 0) {
     if (advanced != nullptr) *advanced = true;
+    if (config.clock_scheme == ClockScheme::kSharded) {
+      if (advanced != nullptr) *advanced = false;
+      return sharded_grant(st, min_exclusive, slot);
+    }
     if (config.clock_scheme == ClockScheme::kGv1) {
-      charge_hot_line_rmw(clock_line_);
+      charge_hot_line_rmw(clock_line_, st);
       return clock_.fetch_add(1, std::memory_order_acq_rel) + 1;
     }
     std::uint64_t cur = clock_.load(std::memory_order_relaxed);
-    charge_hot_line_rmw(clock_line_);
+    charge_hot_line_rmw(clock_line_, st);
     if (clock_.compare_exchange_strong(cur, cur + 1,
                                        std::memory_order_acq_rel)) {
       return cur + 1;
@@ -194,6 +311,8 @@ class Runtime {
     return cur;
   }
   [[nodiscard]] std::uint64_t clock_peek() const {
+    if (config.clock_scheme == ClockScheme::kSharded)
+      return clock_epoch_floor(epoch_.load(std::memory_order_relaxed));
     return clock_.load(std::memory_order_relaxed);
   }
 
@@ -205,7 +324,7 @@ class Runtime {
   // ---- commit write-summary ring (ValidationScheme::kSummary) ----------
   //
   // A fixed ring of (stamp, summary) pairs keyed by commit timestamp:
-  // slot[wv & mask] holds the 64-bit write-set address summary of the
+  // slot[ring_index(wv)] holds the 64-bit write-set address summary of the
   // commit that published wv, or an abort marker (summary 0) when the
   // committer died after taking its timestamp.  Validators only ever
   // TRUST a slot whose stamp equals the exact timestamp they are asking
@@ -216,6 +335,22 @@ class Runtime {
   // ever costs performance, never correctness.
 
   static constexpr std::size_t kSummaryRingSize = 1024;  // power of two
+  // Four 16-byte slots per 64-byte line.
+  static constexpr std::size_t kSummaryRingLines = kSummaryRingSize / 4;
+
+  // Address-interleaved ring layout: timestamp t's slot lives at physical
+  // index ((t mod lines) * 4) | (t / lines), so CONSECUTIVE timestamps —
+  // the common publish/validate pattern — land on kSummaryRingLines
+  // DIFFERENT cache lines instead of packing four neighbours onto one.
+  // Under the queued-line cost model (and its NUMA extension) that turns
+  // the back-to-back publisher stalls of a busy commit ring into
+  // uncontended single-transfer RMWs.  Pure permutation: publishers and
+  // validators agree on it, so soundness is untouched.
+  [[nodiscard]] static constexpr std::size_t ring_index(std::uint64_t wv) {
+    const std::size_t i =
+        static_cast<std::size_t>(wv) & (kSummaryRingSize - 1);
+    return ((i & (kSummaryRingLines - 1)) << 2) | (i >> 8);
+  }
 
   enum class SummaryCheck : std::uint8_t { kClean, kDirty, kUnknown };
 
@@ -236,11 +371,13 @@ class Runtime {
   // it cannot permanently poison validator ranges.
   void publish_commit_summary(std::uint64_t wv, std::uint64_t summary,
                               TxStats* st = nullptr) {
-    SummarySlot& s = summary_ring_[wv & (kSummaryRingSize - 1)];
+    SummarySlot& s = summary_ring_[ring_index(wv)];
     // Sim cost model: four 16-byte slots share one 64-byte line, and the
     // claim CAS is an RMW on a line other committers also hit — charge it
-    // like the other commit-path globals (queued resource).
-    charge_hot_line_rmw(ring_lines_[(wv & (kSummaryRingSize - 1)) / 4]);
+    // like the other commit-path globals (queued resource).  The physical
+    // index's low two bits select within the line, so line = index >> 2 —
+    // which, by the interleave, is (wv mod kSummaryRingLines).
+    charge_hot_line_rmw(ring_lines_[ring_index(wv) >> 2], st);
     std::uint64_t cur = s.stamp.load(std::memory_order_relaxed);
     for (;;) {
       if (cur == kStampBusy) {
@@ -309,7 +446,7 @@ class Runtime {
     std::uint64_t agg = 0;
     for (std::uint64_t t = lo + 1; t <= hi; ++t) {
       vt::access();  // one shared ring-slot load per timestamp
-      const SummarySlot& s = summary_ring_[t & (kSummaryRingSize - 1)];
+      const SummarySlot& s = summary_ring_[ring_index(t)];
       if (s.stamp.load(std::memory_order_acquire) != t)
         return SummaryCheck::kUnknown;
       const std::uint64_t sum = s.summary.load(std::memory_order_acquire);
@@ -377,11 +514,11 @@ class Runtime {
       DEMOTX_ACQUIRE_SHARED(commit_permission_) {
     if (config.gate_scheme == GateScheme::kCounter) {
       for (;;) {
-        charge_hot_line_rmw(gate_line_);
+        charge_hot_line_rmw(gate_line_, st);
         committers_.fetch_add(1, std::memory_order_seq_cst);
         const int owner = irrevocable_owner_.load(std::memory_order_seq_cst);
         if (owner == -1 || owner == slot) return;
-        charge_hot_line_rmw(gate_line_);
+        charge_hot_line_rmw(gate_line_, st);
         committers_.fetch_sub(1, std::memory_order_acq_rel);
         if (st != nullptr) ++st->gate_waits;
         while (irrevocable_owner_.load(std::memory_order_acquire) != -1) {
@@ -455,6 +592,12 @@ class Runtime {
     std::unique_ptr<ContentionManager> cm;
     CmPolicy cm_policy = CmPolicy::kSuicide;
     bool cm_built = false;
+    // Per-thread descriptor heap (CaSTM idiom): the Tx descriptor is
+    // placement-allocated from here, line-rounded and set-staggered, so
+    // no two threads' descriptor hot words share a cache line or an L1
+    // set.  Owned by the slot; released wholesale at Runtime teardown
+    // (after the explicit Tx destructor call).
+    DescHeap heap;
   };
 
   // One committer-publication word per logical thread, each on its own
@@ -479,43 +622,96 @@ class Runtime {
   // hides the defining cost of a single hot line that EVERY committer
   // RMWs — on hardware those RMWs serialize through one line transfer at
   // a time, which is exactly the clock/gate ping-pong this commit path
-  // is built to avoid.  So the two commit-path globals (version clock,
-  // gate counter) are modelled as a queued resource: an RMW issued while
-  // the line is busy waits for its turn.  Uncontended behaviour is
-  // unchanged (one cycle, as before), so single-thread figures do not
-  // move.  State is plain (not atomic): the simulator runs all fibers on
-  // one OS thread, and real mode never touches it.
+  // is built to avoid.  So the commit-path globals (version clock, epoch
+  // word, shard words, gate counter, summary ring) are modelled as queued
+  // resources: an RMW issued while the line is busy waits for its turn.
+  // Uncontended behaviour is unchanged (one cycle, as before), so
+  // single-thread figures do not move.  NUMA extension: each line carries
+  // a stable `color`; its home domain is color % Config::numa_domains,
+  // a committer in another domain pays numa_remote_cost service cycles
+  // per RMW (the cross-socket exclusive-line transfer).  Plain LOADS are
+  // deliberately NOT surcharged: a mostly-read line replicates in every
+  // domain's caches, which is exactly why the sharded scheme reads the
+  // epoch but RMWs only its domain-local shard.  State is plain (not
+  // atomic): the simulator runs all fibers on one OS thread, and real
+  // mode never touches it.
   struct HotLine {
     std::uint64_t free_at = 0;  // virtual time the line next becomes free
+    unsigned color = 0;         // stable line id; home = color % domains
   };
 
-  void charge_hot_line_rmw(HotLine& line) {
+  void charge_hot_line_rmw(HotLine& line, TxStats* st = nullptr) {
     if (!vt::in_sim()) return;
+    unsigned service = 1;
+    const int domains = config.numa_domains;
+    const unsigned remote =
+        config.numa_remote_cost < 1 ? 1 : config.numa_remote_cost;
+    if (domains > 1 && static_cast<int>(line.color % static_cast<unsigned>(
+                           domains)) != vt::thread_id() % domains) {
+      service = remote;
+      if (st != nullptr) ++st->remote_line_hits;
+    }
     const std::uint64_t now = vt::sim_now();
     // Self-heal across simulator runs (virtual time restarts at 0): a
     // legitimate queue can never exceed one service per logical thread.
-    if (line.free_at > now + vt::kMaxThreads) line.free_at = now;
-    const std::uint64_t done = (line.free_at > now ? line.free_at : now) + 1;
+    if (line.free_at >
+        now + static_cast<std::uint64_t>(vt::kMaxThreads) * remote)
+      line.free_at = now;
+    const std::uint64_t done =
+        (line.free_at > now ? line.free_at : now) + service;
     line.free_at = done;
     vt::access(static_cast<unsigned>(done - now));
   }
 
-  std::atomic<std::uint64_t> clock_{0};
-  std::atomic<std::uint64_t> cm_ticket_{0};
+  // One clock shard: the sequence word, its lifetime grant counter (bench
+  // shard-skew stats; same line, so it rides the grant's transfer), and
+  // the line's sim coherence state.  Shard s is home to domain
+  // s % numa_domains — committer slots map to shards by the same residue,
+  // so with domains dividing kClockShards every grant RMW is domain-local.
+  // No TSA capability applies here (same as clock_/epoch_): the shard is
+  // lock-free atomics plus HotLine, which is sim-only single-OS-thread
+  // state — the only annotated protocol stays commit_permission_ above.
+  struct alignas(64) ClockShard {
+    std::atomic<std::uint64_t> last{0};    // newest grant from this shard
+    std::atomic<std::uint64_t> grants{0};  // lifetime grants (skew stats)
+    HotLine line;
+  };
+  static_assert(sizeof(ClockShard) == 64,
+                "one clock shard must occupy exactly one cache line");
+
+  // The sharded grant (see ClockScheme::kSharded); out of line, it is
+  // scheme-gated off the default path.
+  std::uint64_t sharded_grant(TxStats* st, std::uint64_t min_exclusive,
+                              int slot);
+
+  // ---- hot globals, false-sharing audit (PR 6) -----------------------
+  // Every word a committer RMWs or spin-polls sits on its own line:
+  // clock_ (GV1/GV4 RMW), epoch_ (sharded RMW + every begin's load),
+  // cm_ticket_ (per-first-attempt RMW), irrevocable_owner_ (polled by
+  // every gate entry), committers_ (counter-gate RMW).  Offsets are
+  // static_asserted in runtime.cpp; the alignas pads each to 64.
+  alignas(64) std::atomic<std::uint64_t> clock_{0};
+  // Sharded coarse epoch.  Starts at 1 so every grant (epoch >= 1)
+  // outranks the pre-existing version-0 state, mirroring GV1's wv >= 1.
+  alignas(64) std::atomic<std::uint64_t> epoch_{1};
+  alignas(64) std::atomic<std::uint64_t> cm_ticket_{0};
   // TSA name for the commit-permission protocol these atomics
   // implement: update committers hold it shared (enter/leave gate),
   // an irrevocable transaction exclusive (acquire/release token).
   sync::LogicalCapability commit_permission_;
-  std::atomic<int> irrevocable_owner_{-1};
-  std::atomic<int> committers_{0};
-  HotLine clock_line_;
+  alignas(64) std::atomic<int> irrevocable_owner_{-1};
+  alignas(64) std::atomic<int> committers_{0};
+  alignas(64) HotLine clock_line_;
   HotLine gate_line_;
+  HotLine epoch_line_;
   // Summary-ring coherence model: like the clock, the ring is a shared
   // structure every committer RMWs — but writes spread over
-  // kSummaryRingSize/4 lines instead of one, so consecutive timestamps
-  // (the common case) land on different lines and barely queue.
-  HotLine ring_lines_[kSummaryRingSize / 4];
-  SummarySlot summary_ring_[kSummaryRingSize];
+  // kSummaryRingLines lines instead of one, and ring_index() interleaves
+  // consecutive timestamps across them, so the common publish pattern
+  // barely queues.  Colors (home domains) are assigned in the ctor.
+  HotLine ring_lines_[kSummaryRingLines];
+  alignas(64) SummarySlot summary_ring_[kSummaryRingSize];
+  ClockShard shards_[kClockShards];
   CommitSlot commit_slots_[vt::kMaxThreads];
   Slot slots_[vt::kMaxThreads];
 };

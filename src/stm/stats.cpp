@@ -68,6 +68,17 @@ std::string TxStats::summary() const {
                   static_cast<unsigned long long>(readset_dedups));
     out += buf;
   }
+  if (shard_conflicts != 0 || epoch_bumps != 0 || remote_line_hits != 0 ||
+      desc_heap_bytes != 0) {
+    std::snprintf(buf, sizeof buf,
+                  "  sharded/NUMA: %llu shard conflicts, %llu epoch bumps, "
+                  "%llu remote-line hits, %llu desc-heap bytes\n",
+                  static_cast<unsigned long long>(shard_conflicts),
+                  static_cast<unsigned long long>(epoch_bumps),
+                  static_cast<unsigned long long>(remote_line_hits),
+                  static_cast<unsigned long long>(desc_heap_bytes));
+    out += buf;
+  }
   return out;
 }
 

@@ -45,6 +45,11 @@ struct TxStats {
   std::uint64_t summary_fallbacks = 0;  // intersection/stale slot: full scan
   std::uint64_t ring_overflows = 0;     // range outran the ring: full scan
   std::uint64_t readset_dedups = 0;     // duplicate read suppressed
+  // Sharded clock + NUMA sim model (PR 6).
+  std::uint64_t shard_conflicts = 0;  // lost a shard CAS / stale-epoch retry
+  std::uint64_t epoch_bumps = 0;      // won an epoch advance CAS
+  std::uint64_t remote_line_hits = 0;  // sim: RMW on a remote-domain line
+  std::uint64_t desc_heap_bytes = 0;   // gauge: per-thread heap reservation
 
   void merge(const TxStats& o) {
     starts += o.starts;
@@ -75,6 +80,10 @@ struct TxStats {
     summary_fallbacks += o.summary_fallbacks;
     ring_overflows += o.ring_overflows;
     readset_dedups += o.readset_dedups;
+    shard_conflicts += o.shard_conflicts;
+    epoch_bumps += o.epoch_bumps;
+    remote_line_hits += o.remote_line_hits;
+    desc_heap_bytes += o.desc_heap_bytes;
   }
 
   [[nodiscard]] double abort_ratio() const {

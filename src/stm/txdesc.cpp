@@ -3,6 +3,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cstddef>
 
 #include "mem/epoch.hpp"
 #include "stm/cm/manager.hpp"
@@ -12,7 +13,22 @@
 
 namespace demotx::stm {
 
-Tx::Tx(int slot) : slot_(slot) {}
+Tx::Tx(int slot) : slot_(slot) {
+  // False-sharing audit (PR 6): the enemy-CAS line (irrevocable_ starts
+  // it; status_ and killed_poll_ ride along) must not share a line with
+  // either the hot per-attempt header before it or the read/write-set
+  // group after it.  offsetof on this non-standard-layout class is
+  // conditionally-supported; GCC/Clang implement it and only warn.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Winvalid-offsetof"
+  static_assert(offsetof(Tx, irrevocable_) % 64 == 0,
+                "enemy-CAS words must start their own cache line");
+  static_assert(offsetof(Tx, reads_) % 64 == 0,
+                "read/write-set group must start its own cache line");
+  static_assert(offsetof(Tx, reads_) - offsetof(Tx, irrevocable_) >= 64,
+                "kill CASes must not steal the read-set header's line");
+#pragma GCC diagnostic pop
+}
 
 // ---------------------------------------------------------------------
 // Lifecycle
@@ -72,7 +88,14 @@ void Tx::begin(Semantics sem, unsigned attempt, bool irrevocable) {
     rt.acquire_irrevocability(slot_);
   }
 
-  rv_ = rt.clock_read();
+  // Sharded clock: the plain epoch floor can trail same-epoch grants that
+  // already committed.  Classic/elastic recover via catchup+extension, but
+  // a snapshot bound is fixed at begin and the irrevocable token holder
+  // must never need to abort — both sample a FRESH floor instead.
+  const bool fresh_floor =
+      rt.config.clock_scheme == ClockScheme::kSharded &&
+      (irrevocable || sem_ == Semantics::kSnapshot);
+  rv_ = fresh_floor ? rt.clock_read_fresh(&stats_) : rt.clock_read();
   ++stats_.starts;
   if (TxObserver* o = tx_observer()) o->on_begin(slot_, serial_, sem_, rv_);
 }
@@ -599,7 +622,18 @@ void Tx::commit_update(vt::ScopedCritical& crit) {
   }
   acquire_write_locks();
   bool clock_advanced = false;
-  const std::uint64_t wv = rt.clock_advance(&stats_, &clock_advanced);
+  // Sharded clock: grants from different shards are mutually independent,
+  // so per-location version monotonicity is enforced at the grant — wv
+  // must exceed our rv AND every version we overwrite (saved under the
+  // locks just acquired), not just our own shard's last word.
+  std::uint64_t min_exclusive = 0;
+  if (rt.config.clock_scheme == ClockScheme::kSharded) {
+    min_exclusive = rv_;
+    for (const WriteEntry& e : writes_)
+      if (e.saved_version > min_exclusive) min_exclusive = e.saved_version;
+  }
+  const std::uint64_t wv =
+      rt.clock_advance(&stats_, &clock_advanced, min_exclusive, slot_);
   // If nobody committed since we started, our reads cannot have changed.
   // The shortcut is only sound when we bumped the clock ourselves: a GV4
   // adopter shares its wv with the winner, so wv == rv+1 does not prove
@@ -671,6 +705,13 @@ void Tx::commit_update(vt::ScopedCritical& crit) {
     rt.publish_commit_summary(wv, writes_.summary(), &stats_);
   }
   last_wv_ = wv;
+  if (rt.config.clock_scheme == ClockScheme::kSharded) {
+    // Feed the own-grant read fast path (own_recent_version); sharded
+    // only — a GV4 wv can be shared with an adopter, so version equality
+    // would not prove the write was ours.
+    own_wvs_[own_wvs_next_] = wv;
+    own_wvs_next_ = (own_wvs_next_ + 1) % kOwnWvRing;
+  }
   // Ring maintenance rides the held lock: every write-back pushes the
   // superseded (version, value) pair — the value readers saw at
   // saved_version — before installing the new value, and the versioned

@@ -94,6 +94,22 @@ class Tx {
   // commit; 0 before the first one.  Under GV4 two commits with disjoint
   // write sets may report the same value (see ClockScheme).
   [[nodiscard]] std::uint64_t last_commit_version() const { return last_wv_; }
+  // Sharded-clock read fast path: true iff `v` is a write version this
+  // descriptor itself published recently.  Sharded timestamps are
+  // globally unique (each shard word's grants strictly increase in full
+  // timestamp value and distinct shards differ in the shard field), so a
+  // matching cell version was written by OUR OWN earlier commit — its
+  // write-back completed before this transaction began, the value was
+  // current at our begin, and commit-time equality validation covers the
+  // rest.  Accepting it needs no extension and no epoch traffic, which
+  // keeps re-read-after-update loops off the epoch line.  Only consulted
+  // under ClockScheme::kSharded (GV4 wvs are shared across adopters, so
+  // the uniqueness argument would not hold there).
+  [[nodiscard]] bool own_recent_version(std::uint64_t v) const {
+    for (std::uint64_t w : own_wvs_)
+      if (w == v) return true;
+    return false;
+  }
   [[nodiscard]] bool active() const { return depth_ > 0; }
   [[nodiscard]] TxStats& stats() { return stats_; }
 
@@ -242,20 +258,30 @@ class Tx {
   std::uint64_t rv_ = 0;  // start timestamp (classic) / bound ub (snapshot)
   std::uint64_t serial_ = 0;
   std::uint64_t last_wv_ = 0;
-  // The words other threads CAS or poll (enemy kills, the irrevocability
-  // check) deliberately stay PACKED among the hot per-attempt header
-  // words.  Two "contention-aware" alternatives were measured on this
-  // machine and rejected: a private alignas(64) line for the status word
-  // adds one cache line to every begin/commit (+5-8% on the single-thread
-  // read-only paths), and alignas(64) on the whole descriptor costs
-  // +7-9% across read paths (every hot object mapping to the same L1 set
-  // offsets).  The sharing costs nothing our testbed observes: kill
-  // CASes are rare, and the simulator charges per access, not per line.
-  std::atomic<bool> irrevocable_{false};
+  // Own recently published wvs (see own_recent_version).  Pushed only
+  // under the sharded clock; 8 entries cover re-read-after-update loops
+  // with small working sets, a miss just takes the extension path.
+  static constexpr std::size_t kOwnWvRing = 8;
+  std::uint64_t own_wvs_[kOwnWvRing] = {};
+  std::size_t own_wvs_next_ = 0;
+  // Layout history.  The words other threads CAS or poll (enemy kills,
+  // the irrevocability check) used to stay PACKED among the hot header
+  // words because both padded alternatives measured WORSE on this
+  // machine: a private alignas(64) status line cost +5-8% on the
+  // single-thread read-only paths and alignas(64) on malloc'd descriptors
+  // cost +7-9% — every descriptor's hot words mapped to the same L1 set.
+  // PR 6 removed the objection, not the padding's benefit: descriptors
+  // now come from per-thread SET-STAGGERED arenas (stm/descheap.hpp), so
+  // equal intra-descriptor offsets land in different L1 sets per thread.
+  // With aliasing gone, the enemy-CAS words (irrevocable_, status_,
+  // killed_poll_) get their own line — a kill CAS no longer steals the
+  // line carrying rv_/serial_ mid-run — and the read/write-set group
+  // starts the next line.  Offsets are static_asserted in Tx::Tx().
+  alignas(64) std::atomic<bool> irrevocable_{false};
   std::atomic<std::uint64_t> status_{kStatusCommitted};
   unsigned killed_poll_ = 0;
 
-  ReadSet reads_;
+  alignas(64) ReadSet reads_;
   WriteSet writes_;
   ElasticWindow window_;
   std::vector<Owned> allocs_;

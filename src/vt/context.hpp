@@ -18,8 +18,8 @@ class Scheduler;
 class Fiber;
 
 // Upper bound on concurrently registered logical threads; sized for the
-// paper's 64-way testbed with headroom.
-inline constexpr int kMaxThreads = 192;
+// 256-way commit-scaling sweeps (PR 6) with headroom.
+inline constexpr int kMaxThreads = 320;
 
 struct Context {
   int id = -1;                  // logical thread id, 0-based
