@@ -137,6 +137,29 @@ inline void print_abort_table(const FigureConfig& cfg,
   }
   std::cout << "\nSTM abort ratio (aborts / attempts; 0 for non-STM):\n";
   t.print(std::cout);
+
+  // Certification-abort breakdown at the top of the sweep: the
+  // object-ops tier trades kCommitValidation (structural cell conflicts)
+  // for the rarer kObjectConflict (semantic key conflicts) — the gap
+  // between the two columns is the figure's mechanism.
+  harness::Table reasons({"series", "commit-validation", "object-conflict",
+                          "read-validation", "locked"});
+  const std::size_t ti = cfg.threads.size() - 1;
+  for (std::size_t s = 0; s < series.size(); ++s) {
+    const auto& st = r[s][ti].raw.stm;
+    const auto reason = [&st](stm::AbortReason why) {
+      return std::to_string(
+          st.aborts_by_reason[static_cast<int>(why)]);
+    };
+    reasons.add_row({series[s].name,
+                     reason(stm::AbortReason::kCommitValidation),
+                     reason(stm::AbortReason::kObjectConflict),
+                     reason(stm::AbortReason::kReadValidation),
+                     reason(stm::AbortReason::kLockedByOther)});
+  }
+  std::cout << "\nabort reasons at " << cfg.threads[ti]
+            << " threads (0 for non-STM):\n";
+  reasons.print(std::cout);
 }
 
 // Commit/validation fast-path counters per series at the highest thread
@@ -150,7 +173,8 @@ inline void print_validation_table(
   harness::Table t({"series", "extensions", "summary_skips",
                     "summary_fallbacks", "ring_overflows", "readset_dedups",
                     "clock_adopts", "gate_waits", "shard_conflicts",
-                    "epoch_bumps", "remote_line_hits", "desc_heap_bytes"});
+                    "epoch_bumps", "remote_line_hits", "desc_heap_bytes",
+                    "obj_commutes", "obj_key_conflicts", "obj_ring_hits"});
   const std::size_t ti = cfg.threads.size() - 1;
   for (std::size_t s = 0; s < series.size(); ++s) {
     const auto& st = r[s][ti].raw.stm;
@@ -164,7 +188,10 @@ inline void print_validation_table(
                std::to_string(st.shard_conflicts),
                std::to_string(st.epoch_bumps),
                std::to_string(st.remote_line_hits),
-               std::to_string(st.desc_heap_bytes)});
+               std::to_string(st.desc_heap_bytes),
+               std::to_string(st.obj_commutes),
+               std::to_string(st.obj_key_conflicts),
+               std::to_string(st.obj_ring_hits)});
   }
   std::cout << "\ncommit/validation fast-path counters at "
             << cfg.threads[ti] << " threads (0 for non-STM):\n";

@@ -26,6 +26,20 @@ struct ChainEntry {
 // lookups are one upper_bound.
 using Chain = std::unordered_map<int, std::map<std::uint64_t, ChainEntry>>;
 
+// Object-ops tier: (object id, key) -> version -> (value, writer).  One
+// chain per container key (sentinels included), mirroring the per-key
+// version rings the real implementation scans.
+using ObjChain =
+    std::map<std::pair<int, std::uint64_t>, std::map<std::uint64_t, ChainEntry>>;
+
+std::string obj_key_ver(int obj, std::uint64_t key, std::uint64_t v) {
+  char buf[96];
+  std::snprintf(buf, sizeof(buf), "obj=%d key=%llu v=%llu", obj,
+                static_cast<unsigned long long>(key),
+                static_cast<unsigned long long>(v));
+  return buf;
+}
+
 std::string describe(const Attempt& a, std::size_t idx) {
   char buf[96];
   std::snprintf(buf, sizeof(buf), "attempt#%zu slot=%d serial=%llu sem=%d",
@@ -91,6 +105,28 @@ OracleResult certify(const std::vector<Attempt>& attempts) {
     }
   }
 
+  // ---- object version-chain integrity (object-ops tier) ---------------
+  // Net object commit writes build per-(object, key) chains exactly like
+  // cell writes: two commits publishing the same (object, key, wv) means
+  // the object lock admitted two owners.
+  ObjChain ochain;
+  for (std::size_t i = 0; i < attempts.size(); ++i) {
+    const Attempt& a = attempts[i];
+    if (!a.committed()) continue;
+    for (const ObjWriteRec& w : a.obj_commit_writes) {
+      auto [it, inserted] =
+          ochain[{w.obj, w.key}].try_emplace(a.wv, ChainEntry{w.value, i});
+      if (!inserted) {
+        fail("object version-chain violation: two commits published " +
+             obj_key_ver(w.obj, w.key, a.wv) + " (" +
+             describe(attempts[it->second.writer], it->second.writer) +
+             " and " + describe(a, i) +
+             ") — the object lock admitted two owners");
+        return res;
+      }
+    }
+  }
+
   // ---- read-value certification --------------------------------------
   // Versions not in the chain are pre-existing state: the first read of
   // (loc, version) defines its value, later reads must agree.
@@ -119,6 +155,44 @@ OracleResult certify(const std::vector<Attempt>& attempts) {
              loc_ver(r.loc, r.version) + " as " + std::to_string(r.value) +
              " but an earlier observation of the same version saw " +
              std::to_string(bit->second) + " — a torn or uncommitted value");
+        return res;
+      }
+    }
+  }
+
+  // ---- object read-value certification (object-ops tier) --------------
+  // An object read at a chain version must report that entry's value; a
+  // read at an off-chain version (0 = the key's pre-history baseline, or
+  // state committed before the recorder attached) is first-observation-
+  // defines, like cell baselines.
+  std::map<std::pair<std::pair<int, std::uint64_t>, std::uint64_t>,
+           std::uint64_t>
+      obaseline;
+  for (std::size_t i = 0; i < attempts.size(); ++i) {
+    const Attempt& a = attempts[i];
+    for (const ObjReadRec& r : a.obj_reads) {
+      const auto cit = ochain.find({r.obj, r.key});
+      if (cit != ochain.end()) {
+        const auto vit = cit->second.find(r.version);
+        if (vit != cit->second.end()) {
+          if (vit->second.value != r.value) {
+            fail("object read-value violation: " + describe(a, i) + " read " +
+                 obj_key_ver(r.obj, r.key, r.version) + " as " +
+                 std::to_string(r.value) + " but the committed chain holds " +
+                 std::to_string(vit->second.value));
+            return res;
+          }
+          continue;
+        }
+      }
+      auto [bit, inserted] =
+          obaseline.try_emplace({{r.obj, r.key}, r.version}, r.value);
+      if (!inserted && bit->second != r.value) {
+        fail("object read-value violation: " + describe(a, i) + " read " +
+             obj_key_ver(r.obj, r.key, r.version) + " as " +
+             std::to_string(r.value) +
+             " but an earlier observation of the same version saw " +
+             std::to_string(bit->second) + " — a torn seqlock bracket");
         return res;
       }
     }
@@ -176,6 +250,72 @@ OracleResult certify(const std::vector<Attempt>& attempts) {
           same_group_edges[group(a.wv)].push_back({i, it->second.writer});
         }
         // Reading a same-group writer's OWN version orders it before us.
+        const auto vit = cit->second.find(r.version);
+        if (vit != cit->second.end() && vit->second.writer != i &&
+            group(r.version) == group(a.wv)) {
+          same_group_edges[group(a.wv)].push_back({vit->second.writer, i});
+        }
+      }
+
+      // ---- object update certification (value-based) ------------------
+      // The object-ops tier certifies by VALUE, not version: a commit may
+      // overtake foreign commits on the same key as long as the key's
+      // state when we serialize equals what we read (commuting ops — the
+      // insert/insert-of-different-keys and flip-flop cases).  So the
+      // version-interval rule above is deliberately NOT applied to object
+      // reads; instead, replay the per-key chain.  Entries in groups
+      // strictly before ours definitively serialize before us; the value
+      // they leave behind must match our read unless a same-group entry
+      // restores it — otherwise certification passed on a stale value (a
+      // lost update; exactly what the obj-commute injection plants by
+      // skipping the value re-check).
+      for (const ObjReadRec& r : a.obj_reads) {
+        const auto cit = ochain.find({r.obj, r.key});
+        if (cit == ochain.end()) continue;
+        std::uint64_t entering = r.value;  // value when our group starts
+        bool before_seen = false;
+        std::vector<const ChainEntry*> sg;  // same-group entries, ver order
+        for (auto it = cit->second.upper_bound(r.version);
+             it != cit->second.end() && group(it->first) <= group(a.wv);
+             ++it) {
+          if (it->second.writer == i) continue;
+          if (group(it->first) < group(a.wv)) {
+            entering = it->second.value;
+            before_seen = true;
+          } else {
+            sg.push_back(&it->second);
+          }
+        }
+        // The latest feasible serialization point inside our group: after
+        // the last same-group entry whose value matches our read (that is
+        // what commit-time certification actually compared against), else
+        // at the group start.
+        std::ptrdiff_t anchor = -1;
+        for (std::size_t k = 0; k < sg.size(); ++k)
+          if (sg[k]->value == r.value)
+            anchor = static_cast<std::ptrdiff_t>(k);
+        if (anchor < 0 && before_seen && entering != r.value) {
+          fail("object update-certification violation: " + describe(a, i) +
+               " committed at wv=" + std::to_string(a.wv) +
+               " holding a semantic read of " +
+               obj_key_ver(r.obj, r.key, r.version) + " = " +
+               std::to_string(r.value) +
+               " but prior commits left the key at value " +
+               std::to_string(entering) +
+               " — value-based certification passed on stale state (lost "
+               "update)");
+          return res;
+        }
+        for (std::ptrdiff_t k = 0;
+             k < static_cast<std::ptrdiff_t>(sg.size()); ++k) {
+          if (k <= anchor)
+            same_group_edges[group(a.wv)].push_back(
+                {sg[static_cast<std::size_t>(k)]->writer, i});
+          else
+            same_group_edges[group(a.wv)].push_back(
+                {i, sg[static_cast<std::size_t>(k)]->writer});
+        }
+        // Reading a same-group writer's own version orders it before us.
         const auto vit = cit->second.find(r.version);
         if (vit != cit->second.end() && vit->second.writer != i &&
             group(r.version) == group(a.wv)) {
@@ -262,6 +402,32 @@ OracleResult certify(const std::vector<Attempt>& attempts) {
                std::to_string(iv.lo) + ", " +
                (iv.hi == kInf ? std::string("inf") : std::to_string(iv.hi)) +
                "] — the ring served a version not current at the bound");
+          return res;
+        }
+      }
+      // Object reads under snapshot pin to rv the same way, against the
+      // per-key chain.  (They are excluded from the common-point interval
+      // machinery above on purpose: value-based semantics admit commuting
+      // interleavings — e.g. a key flipping absent->present->absent around
+      // the read — that version-interval analysis would falsely reject.)
+      for (const ObjReadRec& r : a.obj_reads) {
+        if (r.version > a.rv) {
+          fail("object snapshot rv-pinning violation: " + describe(a, i) +
+               " (rv=" + std::to_string(a.rv) + ") read " +
+               obj_key_ver(r.obj, r.key, r.version) +
+               " — a version past its start bound");
+          return res;
+        }
+        const auto cit = ochain.find({r.obj, r.key});
+        if (cit == ochain.end()) continue;
+        const auto it = cit->second.upper_bound(r.version);
+        if (it != cit->second.end() && it->first <= a.rv) {
+          fail("object snapshot rv-pinning violation: " + describe(a, i) +
+               " (rv=" + std::to_string(a.rv) + ") read " +
+               obj_key_ver(r.obj, r.key, r.version) + " but " +
+               describe(attempts[it->second.writer], it->second.writer) +
+               " published v=" + std::to_string(it->first) +
+               " at or before the bound — the ring served a stale entry");
           return res;
         }
       }

@@ -38,7 +38,9 @@ void Recorder::reset() {
   attempts_.clear();
   open_.clear();
   locs_.clear();
+  objs_.clear();
   next_loc_ = 0;
+  next_obj_ = 0;
   seq_ = 0;
 }
 
@@ -50,6 +52,12 @@ Recorder::Open* Recorder::open_for(int slot) {
 int Recorder::loc_of(const stm::Cell* c) {
   auto [it, inserted] = locs_.try_emplace(c, next_loc_);
   if (inserted) ++next_loc_;
+  return it->second;
+}
+
+int Recorder::obj_of(const void* obj) {
+  auto [it, inserted] = objs_.try_emplace(obj, next_obj_);
+  if (inserted) ++next_obj_;
   return it->second;
 }
 
@@ -172,6 +180,27 @@ void Recorder::on_commit(int slot, std::uint64_t wv) {
 void Recorder::on_abort(int slot, stm::AbortReason why) {
   ++seq_;
   finish(slot, Attempt::Outcome::kAborted, why);
+}
+
+void Recorder::on_obj_read(int slot, const void* obj, std::uint64_t key,
+                           std::uint64_t version, std::uint64_t value) {
+  ++seq_;
+  Open* o = open_for(slot);
+  if (o == nullptr) return;
+  ObjReadRec r;
+  r.obj = obj_of(obj);
+  r.key = key;
+  r.version = version;
+  r.value = value;
+  r.seq = seq_;
+  o->att.obj_reads.push_back(r);
+}
+
+void Recorder::on_obj_commit_write(int slot, const void* obj,
+                                   std::uint64_t key, std::uint64_t value) {
+  ++seq_;
+  if (Open* o = open_for(slot))
+    o->att.obj_commit_writes.push_back({obj_of(obj), key, value});
 }
 
 }  // namespace demotx::check

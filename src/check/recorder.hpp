@@ -37,6 +37,25 @@ struct WriteRec {
   std::uint64_t value;
 };
 
+// Object-ops tier (PR 7): semantic observations and net commit writes
+// against participating containers.  `obj` is a dense object id; `key`
+// a container key or an objops.hpp sentinel (size/head/tail).  Both
+// sides are uniform (key, version, value) records, so the object-level
+// oracle shares one value-based rule across sets and queues.
+struct ObjReadRec {
+  int obj;
+  std::uint64_t key;
+  std::uint64_t version;  // per-key ring version observed (0 = baseline)
+  std::uint64_t value;    // observed presence / size / index
+  std::uint64_t seq = 0;
+};
+
+struct ObjWriteRec {
+  int obj;
+  std::uint64_t key;
+  std::uint64_t value;
+};
+
 struct Attempt {
   int slot = -1;
   std::uint64_t serial = 0;
@@ -57,9 +76,13 @@ struct Attempt {
 
   std::vector<ReadRec> reads;          // program order
   std::vector<WriteRec> commit_writes; // final write set (committed updates)
+  std::vector<ObjReadRec> obj_reads;   // semantic reads, program order
+  std::vector<ObjWriteRec> obj_commit_writes;  // net object changes
 
   [[nodiscard]] bool committed() const { return outcome == Outcome::kCommitted; }
-  [[nodiscard]] bool update() const { return !commit_writes.empty(); }
+  [[nodiscard]] bool update() const {
+    return !commit_writes.empty() || !obj_commit_writes.empty();
+  }
 };
 
 class Recorder final : public stm::TxObserver {
@@ -98,6 +121,10 @@ class Recorder final : public stm::TxObserver {
                        std::uint64_t value) override;
   void on_commit(int slot, std::uint64_t wv) override;
   void on_abort(int slot, stm::AbortReason why) override;
+  void on_obj_read(int slot, const void* obj, std::uint64_t key,
+                   std::uint64_t version, std::uint64_t value) override;
+  void on_obj_commit_write(int slot, const void* obj, std::uint64_t key,
+                           std::uint64_t value) override;
 
  private:
   struct Open {
@@ -109,12 +136,18 @@ class Recorder final : public stm::TxObserver {
 
   Open* open_for(int slot);
   int loc_of(const stm::Cell* c);
+  int obj_of(const void* obj);
   void finish(int slot, Attempt::Outcome outcome, stm::AbortReason why);
 
   std::vector<Attempt> attempts_;
   std::unordered_map<int, Open> open_;
   std::unordered_map<const stm::Cell*, int> locs_;
+  // Object descriptors are workload-lifetime (containers outlive the
+  // run), so unlike cells they need no destruction hook to avoid
+  // address-reuse aliasing.
+  std::unordered_map<const void*, int> objs_;
   int next_loc_ = 0;
+  int next_obj_ = 0;
   std::uint64_t seq_ = 0;
   bool attached_ = false;
 

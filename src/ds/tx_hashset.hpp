@@ -17,10 +17,20 @@
 
 #include "ds/tx_counter.hpp"
 #include "mem/epoch.hpp"
+#include "stm/objstm.hpp"
 #include "stm/stm.hpp"
 #include "sync/set_interface.hpp"
 
 namespace demotx::ds {
+
+// Object-ops key mapping (objstm.hpp): a bias bijection that keeps the
+// signed key range clear of the sentinel keys near ~0 (a raw cast would
+// alias key -1 with kObjSizeKey).  The list containers already reserve
+// LONG_MIN/LONG_MAX as chain sentinels, so no real key lands near the
+// top of the mapped range either.
+[[nodiscard]] inline std::uint64_t obj_key_of(long key) {
+  return static_cast<std::uint64_t>(key) + (std::uint64_t{1} << 63);
+}
 
 class TxHashSet final : public ISet {
  public:
@@ -56,6 +66,14 @@ class TxHashSet final : public ISet {
   TxHashSet& operator=(const TxHashSet&) = delete;
 
   bool contains(long key) override {
+    if (obj_mode_) {
+      // Object-ops tier: one semantic membership read instead of a chain
+      // parse — no structural read set, so a commit elsewhere in the
+      // bucket cannot conflict with this lookup.
+      return stm::atomically(opts_.parse, [&](stm::Tx& tx) {
+        return tx.obj_contains(obj_, obj_key_of(key));
+      });
+    }
     Bucket& b = bucket_for(key);
     return stm::atomically(opts_.parse, [&](stm::Tx& tx) {
       return parse(tx, b, key).curr->key == key;
@@ -63,6 +81,11 @@ class TxHashSet final : public ISet {
   }
 
   bool add(long key) override {
+    if (obj_mode_) {
+      return stm::atomically(opts_.parse, [&](stm::Tx& tx) {
+        return tx.obj_insert(obj_, obj_key_of(key));
+      });
+    }
     Bucket& b = bucket_for(key);
     return stm::atomically(opts_.parse, [&](stm::Tx& tx) {
       const Position p = parse(tx, b, key);
@@ -74,6 +97,11 @@ class TxHashSet final : public ISet {
   }
 
   bool remove(long key) override {
+    if (obj_mode_) {
+      return stm::atomically(opts_.parse, [&](stm::Tx& tx) {
+        return tx.obj_erase(obj_, obj_key_of(key));
+      });
+    }
     Bucket& b = bucket_for(key);
     return stm::atomically(opts_.parse, [&](stm::Tx& tx) {
       const Position p = parse(tx, b, key);
@@ -90,6 +118,13 @@ class TxHashSet final : public ISet {
   }
 
   long size() override {
+    if (obj_mode_) {
+      // The size ring makes this a single semantic read under either
+      // tier; snapshot keeps it abort-free against concurrent updates.
+      return stm::atomically(opts_.size_sem, [&](stm::Tx& tx) {
+        return static_cast<long>(tx.obj_size(obj_));
+      });
+    }
     return stm::atomically(opts_.size_sem, [&](stm::Tx& tx) {
       long n = 0;
       for (Bucket& b : buckets_) n += b.count.get(tx);
@@ -98,6 +133,7 @@ class TxHashSet final : public ISet {
   }
 
   long unsafe_size() override {
+    if (obj_mode_) return static_cast<long>(obj_.unsafe_size());
     long n = 0;
     for (Bucket& b : buckets_) n += b.count.unsafe_get();
     return n;
@@ -140,6 +176,12 @@ class TxHashSet final : public ISet {
 
   Options opts_;
   std::vector<Bucket> buckets_;
+  // Object-ops opt-in is latched at construction (Config::object_ops /
+  // DEMOTX_OBJECT_OPS): a per-op config read could flip the
+  // representation mid-lifetime.  Off-path behaviour is bit-identical to
+  // the cell tier — obj_ then never sees a transaction.
+  const bool obj_mode_ = stm::Runtime::instance().config.object_ops;
+  stm::ObjSet obj_;
 };
 
 }  // namespace demotx::ds

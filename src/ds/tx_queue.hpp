@@ -10,6 +10,7 @@
 #include <optional>
 
 #include "mem/epoch.hpp"
+#include "stm/objstm.hpp"
 #include "stm/stm.hpp"
 
 namespace demotx::ds {
@@ -39,6 +40,13 @@ class TxQueue {
 
   // Composable pieces (call within an enclosing transaction)...
   void enqueue(stm::Tx& tx, long v) {
+    if (obj_mode_) {
+      // Object-ops tier: an enqueue logs no read at all, so enqueue-only
+      // transactions ALWAYS commute — the head/tail hotspot that makes
+      // the linked queue a serialization point disappears for producers.
+      tx.obj_enqueue(obj_, static_cast<std::uint64_t>(v));
+      return;
+    }
     Node* n = tx.alloc<Node>(v, nullptr);
     Node* t = tail_.get(tx);
     t->next.set(tx, n);
@@ -46,6 +54,11 @@ class TxQueue {
   }
 
   std::optional<long> dequeue(stm::Tx& tx) {
+    if (obj_mode_) {
+      std::uint64_t out = 0;
+      if (!tx.obj_dequeue(obj_, &out)) return std::nullopt;
+      return static_cast<long>(out);
+    }
     Node* h = head_.get(tx);
     Node* first = h->next.get(tx);
     if (first == nullptr) return std::nullopt;
@@ -72,6 +85,7 @@ class TxQueue {
   }
 
   [[nodiscard]] long size(stm::Tx& tx) const {
+    if (obj_mode_) return static_cast<long>(tx.obj_queue_size(obj_));
     long n = 0;
     for (Node* c = head_.get(tx)->next.get(tx); c != nullptr;
          c = c->next.get(tx))
@@ -87,6 +101,7 @@ class TxQueue {
   }
 
   [[nodiscard]] long unsafe_size() const {
+    if (obj_mode_) return static_cast<long>(obj_.unsafe_size());
     long n = 0;
     for (Node* c = head_.unsafe_load()->next.unsafe_load(); c != nullptr;
          c = c->next.unsafe_load())
@@ -103,6 +118,11 @@ class TxQueue {
 
   stm::TVar<Node*> head_;
   stm::TVar<Node*> tail_;
+  // Latched at construction; see TxHashSet::obj_mode_.  size(tx) is
+  // const, so the object descriptor is mutable — semantic ops mutate it
+  // only through the Tx commit path anyway.
+  const bool obj_mode_ = stm::Runtime::instance().config.object_ops;
+  mutable stm::ObjQueue obj_;
 };
 
 }  // namespace demotx::ds

@@ -13,7 +13,9 @@
 #include <climits>
 #include <cstdint>
 
+#include "ds/tx_hashset.hpp"  // obj_key_of
 #include "mem/epoch.hpp"
+#include "stm/objstm.hpp"
 #include "stm/stm.hpp"
 #include "sync/set_interface.hpp"
 
@@ -51,6 +53,15 @@ class TxSkipList final : public ISet {
   TxSkipList& operator=(const TxSkipList&) = delete;
 
   bool contains(long key) override {
+    if (obj_mode_) {
+      // Object-ops tier: the multi-level descent (and every false
+      // conflict on its tower links) disappears behind one semantic
+      // membership read; ordered iteration is not part of ISet, so the
+      // set representation carries the full contract.
+      return stm::atomically(opts_.parse, [&](stm::Tx& tx) {
+        return tx.obj_contains(obj_, obj_key_of(key));
+      });
+    }
     return stm::atomically(opts_.parse, [&](stm::Tx& tx) {
       Node* pred = head_;
       for (int i = kMaxLevel - 1; i >= 0; --i) {
@@ -66,6 +77,11 @@ class TxSkipList final : public ISet {
   }
 
   bool add(long key) override {
+    if (obj_mode_) {
+      return stm::atomically(opts_.parse, [&](stm::Tx& tx) {
+        return tx.obj_insert(obj_, obj_key_of(key));
+      });
+    }
     const int top = random_level();
     return stm::atomically(opts_.parse, [&](stm::Tx& tx) {
       Node* preds[kMaxLevel];
@@ -104,6 +120,11 @@ class TxSkipList final : public ISet {
   }
 
   bool remove(long key) override {
+    if (obj_mode_) {
+      return stm::atomically(opts_.parse, [&](stm::Tx& tx) {
+        return tx.obj_erase(obj_, obj_key_of(key));
+      });
+    }
     return stm::atomically(opts_.parse, [&](stm::Tx& tx) {
       Node* preds[kMaxLevel];
       if (!descend(tx, key, preds)) return false;  // absent (hint)
@@ -137,6 +158,11 @@ class TxSkipList final : public ISet {
   }
 
   long size() override {
+    if (obj_mode_) {
+      return stm::atomically(opts_.size_sem, [&](stm::Tx& tx) {
+        return static_cast<long>(tx.obj_size(obj_));
+      });
+    }
     return stm::atomically(opts_.size_sem, [&](stm::Tx& tx) {
       long n = 0;
       for (Node* c = head_->next[0].get(tx); c != tail_;
@@ -147,6 +173,7 @@ class TxSkipList final : public ISet {
   }
 
   long unsafe_size() override {
+    if (obj_mode_) return static_cast<long>(obj_.unsafe_size());
     long n = 0;
     for (Node* c = head_->next[0].unsafe_load(); c != tail_;
          c = c->next[0].unsafe_load())
@@ -199,6 +226,9 @@ class TxSkipList final : public ISet {
   Options opts_;
   Node* head_;
   Node* tail_;
+  // Latched at construction; see TxHashSet::obj_mode_.
+  const bool obj_mode_ = stm::Runtime::instance().config.object_ops;
+  stm::ObjSet obj_;
 };
 
 }  // namespace demotx::ds

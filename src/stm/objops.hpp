@@ -1,0 +1,184 @@
+// demotx:expert-file: object-ops tier internals: op logs for semantic conflict detection
+// Plain-data op-log records for the object-ops tier (objstm.hpp).
+//
+// Transactions on participating containers log SEMANTIC operations —
+// key-level contains/insert/erase, size observations, queue head/tail
+// movement — instead of raw cell footprints.  txdesc.hpp embeds vectors
+// of these records; all behaviour lives in objstm.cpp, and the container
+// descriptors themselves stay in objstm.hpp (txdesc.hpp must not pull
+// them in).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+#include "stm/cell.hpp"
+
+namespace demotx::stm {
+
+struct ObjDesc;
+
+// One concurrency-control stripe of an object (objstm.hpp keeps an array
+// of these per descriptor).  Serializing every commit on one per-object
+// lock collapses under contention — at 64 threads nearly every reader
+// bracket meets a held lock and loses the CM arbitration — so the lock,
+// the apply seqlock and the overwritten-version bookkeeping are striped
+// by key hash: a single-key commit holds exactly one stripe, and a
+// reader only ever waits on commits that touch its own key's stripe.
+struct ObjStripe {
+  std::atomic<std::uint64_t> lock{0};  // 0 = free, else committer lockword
+  std::atomic<std::uint64_t> seq{0};   // odd while apply mutates the rings
+  std::atomic<std::uint64_t> version{0};  // last wv applied to this stripe
+};
+
+// A ring of (version, value) pairs, newest-wins — the per-object
+// generalization of the per-cell history ring (cell.hpp).  Pushed only
+// under the owning object's lock (apply), scanned by readers under the
+// object's seq bracket.  version 0 = empty slot; pushes carry strictly
+// increasing versions, so the max-version slot is the newest entry.
+struct ObjRing {
+  struct Slot {
+    std::atomic<std::uint64_t> ver{0};
+    std::atomic<std::uint64_t> val{0};
+  };
+  Slot slot[kMaxSnapshotDepth];
+  std::uint32_t head = 0;  // next slot to overwrite; mutated under lock
+
+  // Newest entry overall; {0, 0} (the baseline) when never pushed.
+  struct Entry {
+    std::uint64_t ver;
+    std::uint64_t val;
+  };
+  [[nodiscard]] Entry newest() const {
+    Entry e{0, 0};
+    for (const Slot& s : slot) {
+      const std::uint64_t v = s.ver.load(std::memory_order_acquire);
+      if (v > e.ver) {
+        e.ver = v;
+        e.val = s.val.load(std::memory_order_relaxed);
+      }
+    }
+    return e;
+  }
+  // Newest entry with ver <= bound.  `*exhausted` is set when the ring
+  // holds no such entry AND has wrapped (every slot occupied, all newer
+  // than the bound): the state at `bound` was overwritten and the caller
+  // must abort rather than adopt the baseline.  An unwrapped ring with no
+  // entry <= bound legitimately reports the baseline {0, 0}: the oldest
+  // push is the key's first state change ever.  `depth` must be the same
+  // effective depth push() uses — wrap detection scans exactly the slots
+  // push cycles through, because the tail slots beyond a shallow depth
+  // stay empty forever and would otherwise mask exhaustion as a
+  // legitimate baseline.
+  [[nodiscard]] Entry newest_leq(std::uint64_t bound, std::size_t depth,
+                                 bool* exhausted) const {
+    Entry e{0, 0};
+    bool full = true;
+    if (depth < 1) depth = 1;
+    if (depth > kMaxSnapshotDepth) depth = kMaxSnapshotDepth;
+    for (std::size_t i = 0; i < depth; ++i) {
+      const std::uint64_t v = slot[i].ver.load(std::memory_order_acquire);
+      if (v == 0) {
+        full = false;
+        continue;
+      }
+      if (v <= bound && v > e.ver) {
+        e.ver = v;
+        e.val = slot[i].val.load(std::memory_order_relaxed);
+      }
+    }
+    *exhausted = full && e.ver == 0;
+    return e;
+  }
+  // Push under the owning object's lock, inside its seq bracket.
+  void push(std::uint64_t ver, std::uint64_t val, std::size_t depth) {
+    Slot& s = slot[head % (depth < 1 ? 1 : depth)];
+    s.val.store(val, std::memory_order_relaxed);
+    s.ver.store(ver, std::memory_order_release);
+    ++head;
+  }
+};
+
+// Sentinel keys for non-key observations, sharing the per-(object, key)
+// machinery of the certification and the history oracle.  The set size
+// observation is STRIPED along with the locks: stripe s's element count
+// lives at obj_size_key(s), so a size read conflicts with any commit
+// whose net delta touches stripe s exactly because that commit publishes
+// a write of obj_size_key(s) — and commits to other stripes stay
+// invisible to it.  The sentinel band sits at the very top of the key
+// space, which the containers' key mapping keeps clear (tx_hashset.hpp).
+inline constexpr std::uint64_t kObjHeadKey = ~std::uint64_t{0} - 1;
+inline constexpr std::uint64_t kObjTailKey = ~std::uint64_t{0} - 2;
+inline constexpr std::uint64_t kObjSizeKeyBase = ~std::uint64_t{0} - 8;
+[[nodiscard]] inline constexpr std::uint64_t obj_size_key(
+    std::size_t stripe) {
+  return kObjSizeKeyBase - stripe;
+}
+[[nodiscard]] inline constexpr std::size_t obj_size_stripe_of(
+    std::uint64_t size_key) {
+  return static_cast<std::size_t>(kObjSizeKeyBase - size_key);
+}
+
+// Every semantic read — including "queue looked empty", which logs a
+// head AND a tail observation — is a uniform (key, version, value)
+// triple, so certification, extension revalidation and the object-level
+// oracle all share one value-based rule.
+enum class ObjReadKind : std::uint8_t {
+  kContains = 0,  // key: observed membership (value 0/1)
+  kSize = 1,      // kObjSizeKey: observed element count
+  kHead = 2,      // kObjHeadKey: observed dequeue index
+  kTail = 3,      // kObjTailKey: observed enqueue index
+};
+
+enum class ObjWriteKind : std::uint8_t {
+  kInsert = 0,
+  kErase = 1,
+  kEnqueue = 2,
+  kDequeue = 3,  // of a COMMITTED item (own-enqueue consumption never logs)
+};
+
+// One logged semantic read.  `version` is the per-key ring entry version
+// observed (0 = the key's pre-history baseline); `value` the observed
+// result (presence / size / index); `notify_version` the object's notify
+// cell version at read time, which is what retry() parks on.
+struct ObjRead {
+  ObjDesc* obj;
+  ObjReadKind kind;
+  std::uint64_t key;
+  std::uint64_t version;
+  std::uint64_t value;
+  std::uint64_t notify_version;
+};
+
+// One logged semantic write (deferred; applied at commit).  `key` is the
+// set key or the enqueued value; `consumed` marks an enqueue eaten by a
+// later same-transaction dequeue (pure tx-local traffic: neither op
+// reaches certification or apply).
+struct ObjWrite {
+  ObjDesc* obj;
+  ObjWriteKind kind;
+  std::uint64_t key;
+  bool consumed;
+};
+
+// One NET state change this commit will apply, computed under the object
+// locks (obj_prepare): the per-key membership flips, the size/head/tail
+// sentinel updates.  Drives the observer records, the published key-hash
+// filter, and write-back — certification-failure paths never build it.
+struct ObjNetWrite {
+  ObjDesc* obj;
+  std::uint64_t key;    // real key or a sentinel
+  std::uint64_t value;  // new presence (0/1) / new size / new index
+};
+
+// Per-stripe lock bookkeeping for the commit path; mirrors WriteEntry's
+// locked flag so rollback() has a single cleanup path even when
+// commit_update throws between acquisition and apply.
+struct ObjLockEntry {
+  ObjDesc* obj;
+  std::uint32_t stripe;
+  std::uint64_t saved_version;  // stripe version overwritten (sharded floor)
+  bool locked;
+};
+
+}  // namespace demotx::stm

@@ -1,0 +1,786 @@
+// demotx:expert-file: object-ops tier implementation: semantic reads, commit-time certification, apply
+// Object-ops tier (objstm.hpp): the Tx methods that log semantic
+// operations against participating containers and the commit-path helpers
+// that certify and apply them.
+//
+// The tier layers on the cell STM's timestamp discipline unchanged: a
+// semantic read is pinned to rv exactly like a word read (too-new entries
+// trigger sharded catchup / timebase extension), and the commit path
+// interleaves with cell commit_update at fixed points — object locks
+// right after cell locks, certification right after read-set validation,
+// apply right after cell write-back.  What CHANGES is the conflict
+// predicate: instead of cell-version overlap, commit-time certification
+// re-reads each logged observation and accepts any interleaving that
+// left its VALUE intact (insert(k1) past a contains(k2) reader, two
+// disjoint inserts, enqueue past a dequeuer), counting it as a commute.
+// Only a changed value — the observation would come out differently if
+// re-executed now — is a real key conflict (kObjectConflict).
+#include <cstdint>
+
+#include "stm/cm/manager.hpp"
+#include "stm/objstm.hpp"
+#include "stm/observer.hpp"
+#include "stm/runtime.hpp"
+#include "stm/txdesc.hpp"
+#include "vt/context.hpp"
+
+namespace demotx::stm {
+
+namespace {
+
+// Spin budget for the bounded seqlock bracket (certification and snapshot
+// reads).  Mirrors the cell snapshot path's bound: a committer's apply is
+// short, so exhaustion means pathological contention — the caller bails
+// (kSnapshotRace / certification failure) rather than deadlocking against
+// another certifier that holds its own object locks.
+constexpr unsigned kObjSpinBound = 1024;
+
+// Politeness budget the update-tier bracket burns on a foreign lock
+// holder BEFORE consulting the CM.  A stripe's critical section is short
+// (clock grant, validation, a few ring pushes), so waiting it out almost
+// always beats aborting: under abort-on-conflict policies (suicide,
+// backoff) every locked encounter would otherwise cost a whole attempt,
+// and at 64 threads those encounters dominate the object tier's abort
+// budget.  The CM still arbitrates pathological holders after the spin.
+constexpr unsigned kObjPoliteBound = 128;
+
+// Ring depth actually maintained for object rings: the same clamped
+// Config::snapshot_depth the cell rings use; the old-version ablation
+// (maintain_old_versions=false) degenerates to newest-only.
+std::size_t obj_ring_depth(const Config& config) {
+  if (!config.maintain_old_versions) return 1;
+  return config.snapshot_backups() + 1;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------
+// Observation brackets
+// ---------------------------------------------------------------------
+
+// Update-tier consistent scan: wait out foreign committers (CM-arbitrated,
+// like a locked cell), then run `scan` inside the stripe's seq bracket so
+// the rings and notify version it reads belong to one quiescent state.
+// A scan under our OWN commit-time stripe lock is stable by construction.
+template <typename Scan>
+void Tx::obj_update_bracket(ObjStripe& sp, Scan&& scan) {
+  unsigned polite = 0;
+  for (;;) {
+    check_killed();
+    vt::access();
+    const std::uint64_t lw = sp.lock.load(std::memory_order_acquire);
+    if (lockword::locked(lw)) {
+      if (lockword::owner_of(lw) == slot_) {
+        scan();
+        return;
+      }
+      if (irrevocable()) continue;  // the holder drains; we cannot abort
+      if (polite < kObjPoliteBound) {
+        ++polite;
+        vt::cpu_relax();
+        continue;
+      }
+      if (!cm_->on_conflict(*this, lockword::owner_of(lw),
+                            /*writing=*/false))
+        throw_abort(AbortReason::kLockedByOther);
+      check_killed();
+      continue;
+    }
+    const std::uint64_t s1 = sp.seq.load(std::memory_order_acquire);
+    if ((s1 & 1) != 0) continue;  // apply in progress
+    scan();
+    std::atomic_thread_fence(std::memory_order_acquire);
+    if (sp.seq.load(std::memory_order_relaxed) == s1) return;
+  }
+}
+
+// Bounded variant: spins through foreign lock holders instead of invoking
+// the CM, and gives up after the budget.  Certification runs this while
+// we hold our own stripe locks, so an unbounded wait on another
+// certifier's lock could deadlock; bounded failure is always safe (the
+// caller treats it as a conflict / snapshot race).
+template <typename Scan>
+bool Tx::obj_try_bracket(ObjStripe& sp, Scan&& scan) {
+  for (unsigned spin = 0; spin < kObjSpinBound; ++spin) {
+    vt::access();
+    const std::uint64_t lw = sp.lock.load(std::memory_order_acquire);
+    if (lockword::locked(lw)) {
+      if (lockword::owner_of(lw) == slot_) {
+        scan();
+        return true;
+      }
+      if ((spin & 7u) == 0) check_killed();
+      vt::cpu_relax();
+      continue;
+    }
+    const std::uint64_t s1 = sp.seq.load(std::memory_order_acquire);
+    if ((s1 & 1) != 0) {
+      vt::cpu_relax();
+      continue;
+    }
+    scan();
+    std::atomic_thread_fence(std::memory_order_acquire);
+    if (sp.seq.load(std::memory_order_relaxed) == s1) return true;
+  }
+  return false;
+}
+
+// Too-new ring entry on the update tier: identical discipline to
+// read_classic's too-new arm.  Returns true when the timebase moved and
+// the caller must re-scan; false when the version is acceptable as an
+// own grant; throws kReadValidation when extension is unavailable.
+bool Tx::obj_too_new(std::uint64_t ver) {
+  Runtime& rt = Runtime::instance();
+  const bool sharded = rt.config.clock_scheme == ClockScheme::kSharded;
+  if (sharded && own_recent_version(ver)) return false;
+  if (sharded) rt.sharded_catchup(ver, &stats_);
+  const bool may_extend =
+      irrevocable() || sharded || rt.config.enable_extension;
+  if (!may_extend || !try_extend())
+    throw_abort(AbortReason::kReadValidation);
+  return true;  // re-scan under the extended rv
+}
+
+// ---------------------------------------------------------------------
+// Op prologue / logging
+// ---------------------------------------------------------------------
+
+void Tx::obj_op_precheck(bool writing) {
+  check_killed();
+  if (writing && sem_ == Semantics::kSnapshot) {
+    throw TxUsageError(
+        "demotx: snapshot transactions are read-only; use classic or "
+        "elastic semantics for object updates");
+  }
+  // The modeled HTM tracks cell footprints only; a semantic op cannot be
+  // expressed in its capacity model, so a hardware attempt falls back to
+  // the software path immediately.
+  if (htm_) throw_abort(AbortReason::kHtmCapacity);
+  if (writing && sem_ == Semantics::kElastic && elastic_phase_) {
+    // First (object) write ends the elastic phase, exactly as write_word:
+    // the window joins the read set and the rest runs classically.
+    strengthen_to_classic();
+  }
+  vt::access(2);  // op-log append / scan overhead
+}
+
+void Tx::obj_log_read(ObjDesc& obj, ObjReadKind kind, std::uint64_t key,
+                      std::uint64_t version, std::uint64_t value,
+                      std::uint64_t notify_version) {
+  // Suppress exact duplicates: a re-observation at the same version is
+  // the identical certification obligation (cf. read-set dedup).
+  for (const ObjRead& r : obj_reads_) {
+    if (r.obj == &obj && r.kind == kind && r.key == key &&
+        r.version == version) {
+      if (TxObserver* o = tx_observer())
+        o->on_obj_read(slot_, &obj, key, version, value);
+      return;
+    }
+  }
+  obj_reads_.push_back({&obj, kind, key, version, value, notify_version});
+  obj_read_filter_ |= obj_key_filter_bit(&obj, key);
+  if (TxObserver* o = tx_observer())
+    o->on_obj_read(slot_, &obj, key, version, value);
+}
+
+bool Tx::obj_own_set_state(ObjSet& s, std::uint64_t key,
+                           bool* present) const {
+  for (std::size_t i = obj_writes_.size(); i-- > 0;) {
+    const ObjWrite& w = obj_writes_[i];
+    if (w.obj != &s || w.key != key) continue;
+    if (w.kind == ObjWriteKind::kInsert) {
+      *present = true;
+      return true;
+    }
+    if (w.kind == ObjWriteKind::kErase) {
+      *present = false;
+      return true;
+    }
+  }
+  return false;
+}
+
+// ---------------------------------------------------------------------
+// Set operations
+// ---------------------------------------------------------------------
+
+bool Tx::obj_committed_contains(ObjSet& s, std::uint64_t key) {
+  for (;;) {
+    ObjRing::Entry e{0, 0};
+    std::uint64_t nv = 0;
+    obj_update_bracket(s.stripe_for(key), [&] {
+      ObjSet::KeyRecord* r = s.find(key);
+      e = r != nullptr ? r->ring.newest() : ObjRing::Entry{0, 0};
+      nv = lockword::version_of(s.notify.vlock.load(std::memory_order_acquire));
+    });
+    if (e.ver > rv_ && obj_too_new(e.ver)) continue;
+    obj_log_read(s, ObjReadKind::kContains, key, e.ver, e.val, nv);
+    return e.val != 0;
+  }
+}
+
+bool Tx::obj_contains(ObjSet& s, std::uint64_t key) {
+  obj_op_precheck(/*writing=*/false);
+  ++stats_.reads;
+  bool own;
+  if (obj_own_set_state(s, key, &own)) return own;
+  if (sem_ == Semantics::kSnapshot) {
+    const std::size_t depth = obj_ring_depth(Runtime::instance().config);
+    ObjRing::Entry e{0, 0};
+    ObjRing::Entry newest{0, 0};
+    bool exhausted = false;
+    if (!obj_try_bracket(s.stripe_for(key), [&] {
+          exhausted = false;
+          newest = ObjRing::Entry{0, 0};
+          e = ObjRing::Entry{0, 0};
+          if (ObjSet::KeyRecord* r = s.find(key)) {
+            newest = r->ring.newest();
+            e = r->ring.newest_leq(rv_, depth, &exhausted);
+          }
+        })) {
+      throw_abort(AbortReason::kSnapshotRace);
+    }
+    if (exhausted) {
+      ++stats_.snapshot_too_recent;
+      throw_abort(AbortReason::kSnapshotTooOld);
+    }
+    if (e.ver != newest.ver) {
+      ++stats_.obj_ring_hits;
+      ++stats_.snapshot_old_reads;
+    }
+    if (TxObserver* o = tx_observer())
+      o->on_obj_read(slot_, &s, key, e.ver, e.val);
+    return e.val != 0;
+  }
+  return obj_committed_contains(s, key);
+}
+
+bool Tx::obj_insert(ObjSet& s, std::uint64_t key) {
+  obj_op_precheck(/*writing=*/true);
+  // The return value ("was it absent?") is a semantic READ: resolve it
+  // from our own pending ops if any, else from a logged-and-certified
+  // committed observation.
+  bool prior;
+  if (!obj_own_set_state(s, key, &prior)) {
+    ++stats_.reads;
+    prior = obj_committed_contains(s, key);
+  }
+  obj_writes_.push_back({&s, ObjWriteKind::kInsert, key, false});
+  ++stats_.writes;
+  return !prior;
+}
+
+bool Tx::obj_erase(ObjSet& s, std::uint64_t key) {
+  obj_op_precheck(/*writing=*/true);
+  bool prior;
+  if (!obj_own_set_state(s, key, &prior)) {
+    ++stats_.reads;
+    prior = obj_committed_contains(s, key);
+  }
+  obj_writes_.push_back({&s, ObjWriteKind::kErase, key, false});
+  ++stats_.writes;
+  return prior;
+}
+
+std::uint64_t Tx::obj_size(ObjSet& s) {
+  obj_op_precheck(/*writing=*/false);
+  ++stats_.reads;
+  if (sem_ == Semantics::kSnapshot) {
+    // Striped size at rv: each stripe's ring is pinned to the SAME bound,
+    // so the per-stripe values are one consistent cut and their sum is
+    // the set's size at rv — no stripe has to be read "at the same time"
+    // as another, the timestamps do the aligning.
+    const std::size_t depth = obj_ring_depth(Runtime::instance().config);
+    std::uint64_t sum = 0;
+    bool any_old = false;
+    for (std::size_t st = 0; st < ObjDesc::kStripes; ++st) {
+      ObjRing::Entry e{0, 0};
+      ObjRing::Entry newest{0, 0};
+      bool exhausted = false;
+      if (!obj_try_bracket(s.stripes[st], [&] {
+            newest = s.size_ring[st].newest();
+            e = s.size_ring[st].newest_leq(rv_, depth, &exhausted);
+          })) {
+        throw_abort(AbortReason::kSnapshotRace);
+      }
+      if (exhausted) {
+        ++stats_.snapshot_too_recent;
+        throw_abort(AbortReason::kSnapshotTooOld);
+      }
+      if (e.ver != newest.ver) any_old = true;
+      if (TxObserver* o = tx_observer())
+        o->on_obj_read(slot_, &s, obj_size_key(st), e.ver, e.val);
+      sum += e.val;
+    }
+    if (any_old) {
+      ++stats_.obj_ring_hits;
+      ++stats_.snapshot_old_reads;
+    }
+    return sum;
+  }
+  // Update tier: committed size (certified via the striped size
+  // sentinels — any commit whose net delta touches stripe s conflicts
+  // with the stripe-s observation) plus our own pending delta.  The
+  // delta needs each own-written key's COMMITTED presence, which is
+  // itself a certified observation.
+  std::uint64_t committed = 0;
+  for (std::size_t st = 0; st < ObjDesc::kStripes; ++st) {
+    for (;;) {
+      ObjRing::Entry e{0, 0};
+      std::uint64_t nv = 0;
+      obj_update_bracket(s.stripes[st], [&] {
+        e = s.size_ring[st].newest();
+        nv =
+            lockword::version_of(s.notify.vlock.load(std::memory_order_acquire));
+      });
+      if (e.ver > rv_ && obj_too_new(e.ver)) continue;
+      obj_log_read(s, ObjReadKind::kSize, obj_size_key(st), e.ver, e.val, nv);
+      committed += e.val;
+      break;
+    }
+  }
+  std::int64_t delta = 0;
+  for (std::size_t i = 0; i < obj_writes_.size(); ++i) {
+    const ObjWrite& w = obj_writes_[i];
+    if (w.obj != &s) continue;
+    bool first = true;
+    for (std::size_t j = 0; j < i; ++j) {
+      if (obj_writes_[j].obj == &s && obj_writes_[j].key == w.key) {
+        first = false;
+        break;
+      }
+    }
+    if (!first) continue;
+    bool target = w.kind == ObjWriteKind::kInsert;
+    for (std::size_t j = i + 1; j < obj_writes_.size(); ++j) {
+      if (obj_writes_[j].obj == &s && obj_writes_[j].key == w.key)
+        target = obj_writes_[j].kind == ObjWriteKind::kInsert;
+    }
+    ++stats_.reads;
+    const bool prior = obj_committed_contains(s, w.key);
+    if (prior != target) delta += target ? 1 : -1;
+  }
+  return static_cast<std::uint64_t>(static_cast<std::int64_t>(committed) +
+                                    delta);
+}
+
+// ---------------------------------------------------------------------
+// Queue operations
+// ---------------------------------------------------------------------
+
+void Tx::obj_enqueue(ObjQueue& q, std::uint64_t v) {
+  obj_op_precheck(/*writing=*/true);
+  // Lifetime-capacity guard at op time: apply must never throw.  The
+  // unbracketed tail peek is approximate but monotonic, so the guard can
+  // only fire early, never late past capacity.
+  std::uint64_t own = 0;
+  for (const ObjWrite& w : obj_writes_)
+    if (w.obj == &q && w.kind == ObjWriteKind::kEnqueue && !w.consumed) ++own;
+  if (q.tail_ring.newest().val + own >= ObjQueue::capacity()) {
+    throw TxUsageError(
+        "demotx: ObjQueue lifetime item capacity exhausted (indices are "
+        "monotonic; construct a fresh queue)");
+  }
+  obj_writes_.push_back({&q, ObjWriteKind::kEnqueue, v, false});
+  ++stats_.writes;
+}
+
+bool Tx::obj_dequeue(ObjQueue& q, std::uint64_t* out) {
+  obj_op_precheck(/*writing=*/true);
+  ++stats_.reads;
+  std::uint64_t own_deq = 0;
+  for (const ObjWrite& w : obj_writes_)
+    if (w.obj == &q && w.kind == ObjWriteKind::kDequeue) ++own_deq;
+  // Head and tail live on separate sentinel stripes, so an enqueuer's
+  // commit never blocks a dequeuer's read.  The two brackets are NOT one
+  // atomic scan; each value is individually rv-certified, and the logged
+  // value-based reads below catch any index movement between them.
+  ObjRing::Entry h{0, 0};
+  ObjRing::Entry t{0, 0};
+  std::uint64_t nv = 0;
+  for (;;) {
+    obj_update_bracket(q.stripe_for(kObjHeadKey), [&] {
+      h = q.head_ring.newest();
+      nv = lockword::version_of(q.notify.vlock.load(std::memory_order_acquire));
+    });
+    if (h.ver > rv_ && obj_too_new(h.ver)) continue;
+    break;
+  }
+  for (;;) {
+    obj_update_bracket(q.stripe_for(kObjTailKey),
+                       [&] { t = q.tail_ring.newest(); });
+    if (t.ver > rv_ && obj_too_new(t.ver)) continue;
+    break;
+  }
+  const std::uint64_t idx = h.val + own_deq;
+  if (idx < t.val) {
+    // A committed item is available.  Certify "head unchanged": two
+    // dequeuers racing for the same item is the one real queue conflict.
+    // Item idx is immutable once covered by the observed tail, so the
+    // payload read needs no further validation.
+    obj_log_read(q, ObjReadKind::kHead, kObjHeadKey, h.ver, h.val, nv);
+    *out = q.item_at(idx);
+    obj_writes_.push_back({&q, ObjWriteKind::kDequeue, 0, false});
+    ++stats_.writes;
+    return true;
+  }
+  // Committed items exhausted: consume our own oldest pending enqueue.
+  // The pair becomes pure transaction-local traffic — neither op is
+  // certified or applied (FIFO order preserved: own enqueues only ever
+  // follow all committed items we could still dequeue).
+  for (std::size_t i = 0; i < obj_writes_.size(); ++i) {
+    ObjWrite& w = obj_writes_[i];
+    if (w.obj != &q || w.kind != ObjWriteKind::kEnqueue || w.consumed)
+      continue;
+    w.consumed = true;
+    if (checkpoint_depth_ > 0) obj_consume_undo_.push_back(i);
+    *out = w.key;
+    return true;
+  }
+  // Genuinely empty.  Pin BOTH indices: a foreign enqueue (tail moves) or
+  // dequeue (head moves) in between invalidates the answer, and both are
+  // plain value-certified reads — no special empty-queue machinery.
+  obj_log_read(q, ObjReadKind::kHead, kObjHeadKey, h.ver, h.val, nv);
+  obj_log_read(q, ObjReadKind::kTail, kObjTailKey, t.ver, t.val, nv);
+  return false;
+}
+
+std::uint64_t Tx::obj_queue_size(ObjQueue& q) {
+  obj_op_precheck(/*writing=*/false);
+  ++stats_.reads;
+  if (sem_ == Semantics::kSnapshot) {
+    const std::size_t depth = obj_ring_depth(Runtime::instance().config);
+    ObjRing::Entry h{0, 0};
+    ObjRing::Entry t{0, 0};
+    ObjRing::Entry hn{0, 0};
+    ObjRing::Entry tn{0, 0};
+    bool h_exhausted = false;
+    bool t_exhausted = false;
+    // Separate stripe brackets; both rings are pinned to the same rv, so
+    // the pair is the queue's state at rv regardless of scan order.
+    if (!obj_try_bracket(q.stripe_for(kObjHeadKey), [&] {
+          hn = q.head_ring.newest();
+          h = q.head_ring.newest_leq(rv_, depth, &h_exhausted);
+        }) ||
+        !obj_try_bracket(q.stripe_for(kObjTailKey), [&] {
+          tn = q.tail_ring.newest();
+          t = q.tail_ring.newest_leq(rv_, depth, &t_exhausted);
+        })) {
+      throw_abort(AbortReason::kSnapshotRace);
+    }
+    if (h_exhausted || t_exhausted) {
+      ++stats_.snapshot_too_recent;
+      throw_abort(AbortReason::kSnapshotTooOld);
+    }
+    if (h.ver != hn.ver || t.ver != tn.ver) {
+      ++stats_.obj_ring_hits;
+      ++stats_.snapshot_old_reads;
+    }
+    if (TxObserver* o = tx_observer()) {
+      o->on_obj_read(slot_, &q, kObjHeadKey, h.ver, h.val);
+      o->on_obj_read(slot_, &q, kObjTailKey, t.ver, t.val);
+    }
+    return t.val - h.val;
+  }
+  ObjRing::Entry h{0, 0};
+  ObjRing::Entry t{0, 0};
+  std::uint64_t nv = 0;
+  for (;;) {
+    obj_update_bracket(q.stripe_for(kObjHeadKey), [&] {
+      h = q.head_ring.newest();
+      nv = lockword::version_of(q.notify.vlock.load(std::memory_order_acquire));
+    });
+    if (h.ver > rv_ && obj_too_new(h.ver)) continue;
+    break;
+  }
+  for (;;) {
+    obj_update_bracket(q.stripe_for(kObjTailKey),
+                       [&] { t = q.tail_ring.newest(); });
+    if (t.ver > rv_ && obj_too_new(t.ver)) continue;
+    break;
+  }
+  // A size observation pins BOTH indices: it conflicts with any head or
+  // tail movement (the inherent size()-vs-delta conflict of the paper's
+  // op-commutativity table).
+  obj_log_read(q, ObjReadKind::kHead, kObjHeadKey, h.ver, h.val, nv);
+  obj_log_read(q, ObjReadKind::kTail, kObjTailKey, t.ver, t.val, nv);
+  std::uint64_t own_deq = 0;
+  std::uint64_t own_enq = 0;
+  for (const ObjWrite& w : obj_writes_) {
+    if (w.obj != &q) continue;
+    if (w.kind == ObjWriteKind::kDequeue) ++own_deq;
+    if (w.kind == ObjWriteKind::kEnqueue && !w.consumed) ++own_enq;
+  }
+  return t.val - h.val - own_deq + own_enq;
+}
+
+// ---------------------------------------------------------------------
+// Commit path
+// ---------------------------------------------------------------------
+
+void Tx::obj_acquire_locks() {
+  // Distinct (object, stripe) pairs with unconsumed writes, in
+  // first-write order (a deterministic order per transaction;
+  // cross-transaction deadlock is impossible because lock waits arbitrate
+  // through the CM, which kills one side of any cycle).  A set write
+  // needs exactly its key's stripe — the size delta it may cause lands in
+  // the SAME stripe's size ring; queue writes need the moved index's
+  // sentinel stripe.
+  for (const ObjWrite& w : obj_writes_) {
+    if (w.consumed) continue;
+    std::uint32_t st;
+    if (w.obj->kind == ObjDesc::Kind::kSet) {
+      st = static_cast<std::uint32_t>(ObjDesc::stripe_of(w.key));
+    } else {
+      st = static_cast<std::uint32_t>(ObjDesc::stripe_of(
+          w.kind == ObjWriteKind::kDequeue ? kObjHeadKey : kObjTailKey));
+    }
+    bool seen = false;
+    for (const ObjLockEntry& l : obj_locks_) {
+      if (l.obj == w.obj && l.stripe == st) {
+        seen = true;
+        break;
+      }
+    }
+    if (!seen) obj_locks_.push_back({w.obj, st, 0, false});
+  }
+  for (ObjLockEntry& l : obj_locks_) {
+    ObjStripe& sp = l.obj->stripes[l.stripe];
+    for (;;) {
+      check_killed();
+      vt::access();
+      const std::uint64_t lw = sp.lock.load(std::memory_order_acquire);
+      if (lockword::locked(lw)) {
+        if (!cm_->on_conflict(*this, lockword::owner_of(lw),
+                              /*writing=*/true))
+          throw_abort(AbortReason::kWriteLockTimeout);
+        continue;
+      }
+      std::uint64_t expected = 0;
+      if (sp.lock.compare_exchange_strong(expected,
+                                          lockword::make_locked(slot_),
+                                          std::memory_order_acq_rel)) {
+        l.saved_version = sp.version.load(std::memory_order_relaxed);
+        l.locked = true;
+        break;
+      }
+    }
+  }
+}
+
+void Tx::obj_prepare() {
+  // Under the stripe locks the committed state of every touched stripe is
+  // stable: fold the op log into NET (object, key) changes.  Ops that net
+  // out (insert of a present key, insert+erase pairs) vanish here — they
+  // commute with everything and publish nothing.  The walk is per locked
+  // (object, stripe) pair, so each fold reads only state its own lock
+  // pins.
+  obj_net_.clear();
+  obj_write_filter_ = 0;
+  for (const ObjLockEntry& l : obj_locks_) {
+    ObjDesc* obj = l.obj;
+    vt::access();
+    if (obj->kind == ObjDesc::Kind::kSet) {
+      auto& s = static_cast<ObjSet&>(*obj);
+      std::int64_t delta = 0;
+      for (std::size_t i = 0; i < obj_writes_.size(); ++i) {
+        const ObjWrite& w = obj_writes_[i];
+        if (w.obj != obj || ObjDesc::stripe_of(w.key) != l.stripe) continue;
+        bool first = true;
+        for (std::size_t j = 0; j < i; ++j) {
+          if (obj_writes_[j].obj == obj && obj_writes_[j].key == w.key) {
+            first = false;
+            break;
+          }
+        }
+        if (!first) continue;  // the key's first op drives the fold
+        bool target = w.kind == ObjWriteKind::kInsert;
+        for (std::size_t j = i + 1; j < obj_writes_.size(); ++j) {
+          if (obj_writes_[j].obj == obj && obj_writes_[j].key == w.key)
+            target = obj_writes_[j].kind == ObjWriteKind::kInsert;
+        }
+        const ObjSet::KeyRecord* r = s.find(w.key);
+        const bool prior = r != nullptr && r->ring.newest().val != 0;
+        if (prior == target) continue;  // no membership flip: nets out
+        obj_net_.push_back({obj, w.key, target ? std::uint64_t{1} : 0});
+        obj_write_filter_ |= obj_key_filter_bit(obj, w.key);
+        delta += target ? 1 : -1;
+      }
+      if (delta != 0) {
+        obj_net_.push_back(
+            {obj, obj_size_key(l.stripe),
+             static_cast<std::uint64_t>(
+                 static_cast<std::int64_t>(s.size_[l.stripe]) + delta)});
+        obj_write_filter_ |= obj_key_filter_bit(obj, obj_size_key(l.stripe));
+      }
+    } else {
+      auto& q = static_cast<ObjQueue&>(*obj);
+      // Head and tail may hash to the same stripe; each index is folded
+      // by the lock entry owning its sentinel's stripe.
+      if (l.stripe == ObjDesc::stripe_of(kObjHeadKey)) {
+        std::uint64_t deq = 0;
+        for (const ObjWrite& w : obj_writes_)
+          if (w.obj == obj && w.kind == ObjWriteKind::kDequeue) ++deq;
+        if (deq != 0) {
+          obj_net_.push_back({obj, kObjHeadKey, q.head_ + deq});
+          obj_write_filter_ |= obj_key_filter_bit(obj, kObjHeadKey);
+        }
+      }
+      if (l.stripe == ObjDesc::stripe_of(kObjTailKey)) {
+        std::uint64_t enq = 0;
+        for (const ObjWrite& w : obj_writes_)
+          if (w.obj == obj && w.kind == ObjWriteKind::kEnqueue &&
+              !w.consumed)
+            ++enq;
+        if (enq != 0) {
+          obj_net_.push_back({obj, kObjTailKey, q.tail_ + enq});
+          obj_write_filter_ |= obj_key_filter_bit(obj, kObjTailKey);
+        }
+      }
+    }
+  }
+}
+
+bool Tx::obj_revalidate(std::uint64_t dirty) {
+  // Value-based re-validation of every logged semantic read whose filter
+  // bits intersect `dirty` (~0 = probe everything; every bit is nonzero,
+  // so ~0 intersects every read).  Serves both commit-time certification
+  // (dirty = ~0 or the summary aggregate) and timebase extension.
+  Runtime& rt = Runtime::instance();
+  for (const ObjRead& r : obj_reads_) {
+    if ((obj_key_filter_bit(r.obj, r.key) & dirty) == 0) continue;
+    vt::access();
+    ObjRing::Entry cur{0, 0};
+    bool ok = true;
+    switch (r.kind) {
+      case ObjReadKind::kContains:
+        ok = obj_try_bracket(r.obj->stripe_for(r.key), [&] {
+          const ObjSet::KeyRecord* rec =
+              static_cast<ObjSet*>(r.obj)->find(r.key);
+          cur = rec != nullptr ? rec->ring.newest() : ObjRing::Entry{0, 0};
+        });
+        break;
+      case ObjReadKind::kSize: {
+        // The size sentinel key encodes its stripe (objops.hpp).
+        const std::size_t st = obj_size_stripe_of(r.key);
+        ok = obj_try_bracket(r.obj->stripes[st], [&] {
+          cur = static_cast<ObjSet*>(r.obj)->size_ring[st].newest();
+        });
+        break;
+      }
+      case ObjReadKind::kHead:
+        ok = obj_try_bracket(r.obj->stripe_for(kObjHeadKey), [&] {
+          cur = static_cast<ObjQueue*>(r.obj)->head_ring.newest();
+        });
+        break;
+      case ObjReadKind::kTail:
+        ok = obj_try_bracket(r.obj->stripe_for(kObjTailKey), [&] {
+          cur = static_cast<ObjQueue*>(r.obj)->tail_ring.newest();
+        });
+        break;
+    }
+    if (!ok) {
+      ++stats_.obj_key_conflicts;
+      return false;
+    }
+    if (cur.ver == r.version) continue;  // untouched since the read
+    if (rt.config.inject_obj_commute) {
+      // Planted bug (DEMOTX_CHECK_INJECT=obj-commute): declare any
+      // version change a commute, skipping the value re-check that
+      // certification exists to perform.  The object-level oracle must
+      // flag the resulting lost updates.
+      ++stats_.obj_commutes;
+      continue;
+    }
+    if (cur.val == r.value) {
+      // The key changed hands but our observation still holds: the
+      // interleaved commits commute with this transaction.
+      ++stats_.obj_commutes;
+      continue;
+    }
+    ++stats_.obj_key_conflicts;
+    return false;
+  }
+  return true;
+}
+
+bool Tx::obj_certify() { return obj_revalidate(~std::uint64_t{0}); }
+
+// The stripe a net (object, key) change lands in: a set key's own
+// stripe, the encoding stripe of a size sentinel, the sentinel's stripe
+// for queue indices.
+static std::size_t obj_net_stripe(const ObjNetWrite& n) {
+  if (n.obj->kind == ObjDesc::Kind::kSet) {
+    if (n.key > kObjSizeKeyBase - ObjDesc::kStripes)
+      return obj_size_stripe_of(n.key);
+    return ObjDesc::stripe_of(n.key);
+  }
+  return ObjDesc::stripe_of(n.key);  // kObjHeadKey / kObjTailKey
+}
+
+void Tx::obj_apply(std::uint64_t wv) {
+  Runtime& rt = Runtime::instance();
+  const std::size_t depth = obj_ring_depth(rt.config);
+  for (ObjLockEntry& l : obj_locks_) {
+    if (!l.locked) continue;
+    ObjDesc* obj = l.obj;
+    ObjStripe& sp = obj->stripes[l.stripe];
+    vt::access();
+    const std::uint64_t s1 = sp.seq.load(std::memory_order_relaxed);
+    sp.seq.store(s1 + 1, std::memory_order_relaxed);  // odd: apply open
+    for (const ObjNetWrite& n : obj_net_) {
+      if (n.obj != obj || obj_net_stripe(n) != l.stripe) continue;
+      vt::access();
+      if (obj->kind == ObjDesc::Kind::kSet) {
+        auto& s = static_cast<ObjSet&>(*obj);
+        if (n.key > kObjSizeKeyBase - ObjDesc::kStripes) {
+          s.size_ring[l.stripe].push(wv, n.value, depth);
+          s.size_[l.stripe] = n.value;
+        } else {
+          s.find_or_create(n.key)->ring.push(wv, n.value, depth);
+        }
+      } else {
+        auto& q = static_cast<ObjQueue&>(*obj);
+        if (n.key == kObjHeadKey) {
+          q.head_ring.push(wv, n.value, depth);
+          q.head_ = n.value;
+        } else {
+          // Publish the item payloads BEFORE the tail ring entry that
+          // covers them: any reader observing the new tail reads
+          // complete items.
+          std::uint64_t idx = q.tail_;
+          for (const ObjWrite& w : obj_writes_) {
+            if (w.obj == obj && w.kind == ObjWriteKind::kEnqueue &&
+                !w.consumed)
+              q.store_item(idx++, w.key);
+          }
+          q.tail_ring.push(wv, n.value, depth);
+          q.tail_ = n.value;
+        }
+      }
+    }
+    sp.version.store(wv, std::memory_order_relaxed);
+    // Wake retry() waiters parked on this object (dequeue-empty parks on
+    // the notify cell through the ordinary watch machinery).  Per-object,
+    // so a multi-stripe commit bumps it once per stripe — idempotent, the
+    // stored version is the same wv.
+    obj->notify.vlock.store(lockword::make_version(wv),
+                            std::memory_order_release);
+    sp.seq.store(s1 + 2, std::memory_order_release);  // even: apply done
+    sp.lock.store(0, std::memory_order_release);
+    l.locked = false;
+  }
+}
+
+void Tx::obj_release_locks_aborting() {
+  // All object state changes are deferred to obj_apply, so an aborting
+  // release has nothing to undo: drop the locks.
+  for (ObjLockEntry& l : obj_locks_) {
+    if (!l.locked) continue;
+    vt::access();
+    l.obj->stripes[l.stripe].lock.store(0, std::memory_order_release);
+    l.locked = false;
+  }
+}
+
+}  // namespace demotx::stm

@@ -1,0 +1,208 @@
+// demotx:expert-file: object-ops tier: per-object multi-version descriptors over the cell STM
+// Object-ops tier (MVOSTM-style: arXiv 1712.09803, 1905.01200; Proust,
+// arXiv 1702.04866): per-object descriptors that participating containers
+// register with instead of exposing raw cell footprints.
+//
+// A transaction on an object-ops container records what it MEANT
+// (contains(k) -> true, insert(k), size() -> 7) rather than which words
+// it touched.  Commit-time certification then checks key-set intersection
+// and commutativity — insert(k1) and insert(k2) with k1 != k2 commute,
+// size() conflicts with any net delta — instead of cell-version overlap,
+// which removes the structural false conflicts (chain links, bucket
+// counters, adjacent nodes) that dominate container aborts at high thread
+// counts.  Each object keeps per-key VERSION RINGS generalizing the
+// per-cell rings of cell.hpp, so snapshot-tier scans read a consistent
+// object state at their start bound without aborting writers.
+//
+// Concurrency protocol (one object, STRIPED by key hash — objops.hpp
+// motivates the striping; a single per-object lock serializes every
+// update commit and starves readers at high thread counts):
+//   stripes[s].lock     0 = free, (slot<<1)|1 = held by a committer.
+//            Held from commit lock acquisition through apply, like cell
+//            locks.  A commit holds exactly the stripes its net changes
+//            touch: stripe_of(key) per set key (whose size delta lands in
+//            the same stripe's size ring), the head/tail sentinel
+//            stripes per queue index.
+//   stripes[s].seq      per-stripe seqlock: odd while apply mutates the
+//            stripe's rings.  Readers bracket their ring scans with it;
+//            apply is the only writer and runs under the stripe lock.
+//   stripes[s].version  write version of the last commit applied to the
+//            stripe; strictly increasing (the sharded clock's
+//            min_exclusive covers it).
+//   notify   an embedded Cell (per OBJECT, not per stripe) whose vlock is
+//            bumped to make_version(wv) at the end of apply: retry()
+//            parks on it via the ordinary watch machinery, unchanged.
+//
+// The TL2 pre-rv-visibility argument survives striping per stripe: a
+// commit acquires ALL its stripe locks before taking wv, so a reader
+// whose rv >= wv finds each touched stripe either still locked (the
+// bracket waits it out) or fully applied — and a multi-stripe commit is
+// all-or-nothing at any rv because every stripe enforces this
+// individually against the same globally ordered timestamps.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+#include "stm/cell.hpp"
+#include "stm/objops.hpp"
+
+namespace demotx::stm {
+
+// Base descriptor shared by all participating objects.  ObjRing — the
+// per-object generalization of the per-cell ring — lives in objops.hpp
+// so the Tx descriptor can name its Entry type without this header.
+struct ObjDesc {
+  enum class Kind : std::uint8_t { kSet = 0, kQueue = 1 };
+  static constexpr std::size_t kStripes = 64;
+
+  explicit ObjDesc(Kind k) : kind(k) {}
+  ObjDesc(const ObjDesc&) = delete;
+  ObjDesc& operator=(const ObjDesc&) = delete;
+
+  [[nodiscard]] static std::size_t stripe_of(std::uint64_t key) {
+    return static_cast<std::size_t>((key * 0x9e3779b97f4a7c15ULL) >> 58);
+  }
+  [[nodiscard]] ObjStripe& stripe_for(std::uint64_t key) {
+    return stripes[stripe_of(key)];
+  }
+
+  Kind kind;
+  ObjStripe stripes[kStripes];
+  Cell notify;
+};
+
+// The key-hash filter bit an object commit publishes into the summary
+// ring for each net (object, key) change — the same 64-bit bit language
+// as addr_filter_bit, so word-level and object-level readers share one
+// union: a summary-ring kClean is conclusive for BOTH kinds of reads.
+[[nodiscard]] inline std::uint64_t obj_key_filter_bit(const ObjDesc* obj,
+                                                      std::uint64_t key) {
+  std::uint64_t h = (reinterpret_cast<std::uintptr_t>(obj) >> 6) *
+                    0x9e3779b97f4a7c15ULL;
+  h ^= (key + 0x9e3779b97f4a7c15ULL) * 0x2545f4914f6cdd1dULL;
+  return std::uint64_t{1} << ((h >> 32 ^ h) & 63u);
+}
+
+// An unordered set of 64-bit keys with per-key version rings and striped
+// size rings.  KeyRecords are created lazily at apply time, prepended to
+// their bucket chain under the key's stripe lock, and never unlinked (a
+// removed key keeps its ring as a tombstone history); the destructor
+// frees the chains, which is safe once no transaction can touch the set.
+class ObjSet : public ObjDesc {
+ public:
+  static constexpr std::size_t kBuckets = 256;
+
+  struct KeyRecord {
+    explicit KeyRecord(std::uint64_t k) : key(k) {}
+    std::uint64_t key;
+    std::atomic<KeyRecord*> next{nullptr};
+    ObjRing ring;  // (wv, present 0/1)
+  };
+
+  ObjSet() : ObjDesc(Kind::kSet) {}
+  ~ObjSet() {
+    for (std::atomic<KeyRecord*>& b : buckets_) {
+      KeyRecord* r = b.load(std::memory_order_relaxed);
+      while (r != nullptr) {
+        KeyRecord* next = r->next.load(std::memory_order_relaxed);
+        delete r;
+        r = next;
+      }
+    }
+  }
+
+  // The top 8 hash bits, so each bucket belongs to exactly one stripe
+  // (stripe_of is the top 6 bits of the same hash): only commits holding
+  // stripe b>>2's lock ever prepend to bucket b, which is what makes
+  // find_or_create safe under a single stripe lock.
+  [[nodiscard]] static std::size_t bucket_of(std::uint64_t key) {
+    static_assert(kBuckets == 256 && kStripes == 64,
+                  "bucket_of/stripe_of bit alignment");
+    return static_cast<std::size_t>((key * 0x9e3779b97f4a7c15ULL) >> 56);
+  }
+  // Lock-free lookup; nullptr = the key was never inserted.
+  [[nodiscard]] KeyRecord* find(std::uint64_t key) const {
+    KeyRecord* r =
+        buckets_[bucket_of(key)].load(std::memory_order_acquire);
+    while (r != nullptr && r->key != key)
+      r = r->next.load(std::memory_order_acquire);
+    return r;
+  }
+  // Under the owning stripe lock only (apply path).
+  KeyRecord* find_or_create(std::uint64_t key) {
+    if (KeyRecord* r = find(key)) return r;
+    auto* r = new KeyRecord(key);
+    std::atomic<KeyRecord*>& b = buckets_[bucket_of(key)];
+    r->next.store(b.load(std::memory_order_relaxed),
+                  std::memory_order_relaxed);
+    b.store(r, std::memory_order_release);
+    return r;
+  }
+
+  // Not linearized against in-flight commits; for quiescent checks only.
+  [[nodiscard]] std::uint64_t unsafe_size() const {
+    std::uint64_t n = 0;
+    for (std::uint64_t s : size_) n += s;
+    return n;
+  }
+
+  // Striped size: stripe s counts the keys hashing to stripe s, so a
+  // key's membership flip updates its OWN stripe's count under the one
+  // stripe lock the commit already holds.  size() sums the stripes (each
+  // ring pinned to the same bound, so the sum is the size at that bound).
+  ObjRing size_ring[kStripes];  // (wv, stripe count); pushed on net delta
+  std::uint64_t size_[kStripes] = {};  // mutated under the stripe lock
+
+ private:
+  std::atomic<KeyRecord*> buckets_[kBuckets] = {};
+};
+
+// A FIFO queue over monotonic item indices: item i lives at a fixed,
+// immutable storage slot, head/tail indices carry version rings.  An
+// enqueue-only transaction reads nothing and therefore always commutes;
+// dequeues certify "head unchanged" (two dequeuers race for one item —
+// a real conflict); enqueues and dequeues of a non-empty queue commute.
+class ObjQueue : public ObjDesc {
+ public:
+  static constexpr std::size_t kChunkItems = 256;
+  static constexpr std::size_t kChunks = 4096;  // ~1M lifetime items
+
+  ObjQueue() : ObjDesc(Kind::kQueue) {}
+  ~ObjQueue() {
+    for (std::atomic<std::uint64_t*>& c : chunks_)
+      delete[] c.load(std::memory_order_relaxed);
+  }
+
+  [[nodiscard]] static constexpr std::uint64_t capacity() {
+    return kChunkItems * kChunks;
+  }
+  // Items are published at apply time before the tail ring entry that
+  // covers them, so any index below an observed tail reads complete data.
+  [[nodiscard]] std::uint64_t item_at(std::uint64_t idx) const {
+    return chunks_[idx / kChunkItems].load(std::memory_order_acquire)
+        [idx % kChunkItems];
+  }
+  // Under the owning stripe lock only (apply path).
+  void store_item(std::uint64_t idx, std::uint64_t v) {
+    std::atomic<std::uint64_t*>& c = chunks_[idx / kChunkItems];
+    std::uint64_t* p = c.load(std::memory_order_relaxed);
+    if (p == nullptr) {
+      p = new std::uint64_t[kChunkItems];
+      c.store(p, std::memory_order_release);
+    }
+    p[idx % kChunkItems] = v;
+  }
+
+  [[nodiscard]] std::uint64_t unsafe_size() const { return tail_ - head_; }
+
+  ObjRing head_ring;  // (wv, first live index)
+  ObjRing tail_ring;  // (wv, first free index)
+  std::uint64_t head_ = 0;  // mutated under the head sentinel stripe lock
+  std::uint64_t tail_ = 0;  // mutated under the tail sentinel stripe lock
+
+ private:
+  std::atomic<std::uint64_t*> chunks_[kChunks] = {};
+};
+
+}  // namespace demotx::stm

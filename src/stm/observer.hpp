@@ -55,6 +55,32 @@ class TxObserver {
   // their rv / snapshot bound).
   virtual void on_commit(int slot, std::uint64_t wv) = 0;
   virtual void on_abort(int slot, AbortReason why) = 0;
+
+  // ---- object-ops tier (objstm.hpp; PR 7) ----------------------------
+  // Default-bodied: observers that predate the tier keep compiling and
+  // simply ignore object traffic.  `obj` is the ObjDesc*, opaque here;
+  // `key` is a container key or one of the objops.hpp sentinels
+  // (kObjSizeKey / kObjHeadKey / kObjTailKey); `value` the observed or
+  // published semantic value (presence 0/1, size, index).
+
+  // A semantic read observed `value` at per-key ring version `version`.
+  virtual void on_obj_read(int slot, const void* obj, std::uint64_t key,
+                           std::uint64_t version, std::uint64_t value) {
+    (void)slot;
+    (void)obj;
+    (void)key;
+    (void)version;
+    (void)value;
+  }
+  // One NET (object, key) state change of a committing transaction; a
+  // burst of these precedes on_commit, mirroring on_commit_write.
+  virtual void on_obj_commit_write(int slot, const void* obj,
+                                   std::uint64_t key, std::uint64_t value) {
+    (void)slot;
+    (void)obj;
+    (void)key;
+    (void)value;
+  }
 };
 
 // Single-threaded attach/detach (the explorer sets it around run_sim; no

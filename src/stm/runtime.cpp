@@ -1,3 +1,4 @@
+// demotx:expert-file: STM runtime implementation: this code defines the expert tier
 #include "stm/runtime.hpp"
 
 #include <cstddef>
@@ -59,6 +60,9 @@ Runtime::Runtime() {
     const long n = std::atol(nc);
     config.numa_remote_cost = static_cast<unsigned>(n < 1 ? 1 : n);
   }
+  if (const char* oo = std::getenv("DEMOTX_OBJECT_OPS")) {
+    config.object_ops = std::strcmp(oo, "0") != 0 && oo[0] != '\0';
+  }
   // Mutation self-test (check/ explorer): plant a known soundness bug so
   // ctest can assert the exploration actually finds it.  Never set this
   // outside the check_inject tests.
@@ -67,6 +71,7 @@ Runtime::Runtime() {
     if (std::strcmp(m, "late-summary") == 0)
       config.inject_late_summary = true;
     if (std::strcmp(m, "stale-shard") == 0) config.inject_stale_shard = true;
+    if (std::strcmp(m, "obj-commute") == 0) config.inject_obj_commute = true;
   }
 
   // Stable line colors for the NUMA sim model.  The always-global words

@@ -211,6 +211,15 @@ struct Config {
   // the per-read cache probe would be dead weight on re-read-free
   // workloads, so the scan read path stays byte-for-byte the old one.
   bool readset_dedup = true;
+  // Object-ops tier (PR 7, expert opt-in): participating containers log
+  // SEMANTIC operations (key-level contains/insert/remove, size deltas)
+  // against per-object descriptors instead of raw cell footprints, and
+  // commit-time certification checks key-set conflicts and commutativity
+  // (insert(k1)/insert(k2), k1 != k2, commute; size() conflicts with any
+  // net delta) rather than cell-version overlap.  Off by default: the
+  // cell paths stay bit-identical.  DEMOTX_OBJECT_OPS overrides at
+  // process start so benches and ctest can A/B the tier.
+  bool object_ops = false;
   // Planted soundness bugs for the check/ explorer's mutation self-test
   // (DEMOTX_CHECK_INJECT=gv4-skip|late-summary|stale-shard).  Each
   // resurrects a bug class the commit path specifically defends against —
@@ -223,6 +232,11 @@ struct Config {
   bool inject_gv4_skip = false;
   bool inject_late_summary = false;
   bool inject_stale_shard = false;
+  // Planted object-ops bug (DEMOTX_CHECK_INJECT=obj-commute): certification
+  // treats ANY version change on a read key as commuting, skipping the
+  // presence re-check — the "commutativity without value equivalence"
+  // bug class the object tier specifically defends against.
+  bool inject_obj_commute = false;
 };
 
 class Runtime {

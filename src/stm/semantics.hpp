@@ -54,7 +54,8 @@ enum class AbortReason : std::uint8_t {
   kRetry = 9,             // stm::retry(): block until a read location changes
   kHtmCapacity = 10,      // modeled HTM: transactional footprint overflowed
   kSnapshotRace = 11,     // snapshot read: retry budget burnt by committers
-  kCount = 12
+  kObjectConflict = 12,   // object-ops certification: key sets conflict
+  kCount = 13
 };
 
 inline constexpr int kNumAbortReasons = static_cast<int>(AbortReason::kCount);
@@ -85,6 +86,8 @@ constexpr const char* to_string(AbortReason r) {
       return "htm-capacity";
     case AbortReason::kSnapshotRace:
       return "snapshot-race";
+    case AbortReason::kObjectConflict:
+      return "object-conflict";
     case AbortReason::kCount:
       break;
   }

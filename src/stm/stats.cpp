@@ -79,6 +79,15 @@ std::string TxStats::summary() const {
                   static_cast<unsigned long long>(desc_heap_bytes));
     out += buf;
   }
+  if (obj_commutes != 0 || obj_key_conflicts != 0 || obj_ring_hits != 0) {
+    std::snprintf(buf, sizeof buf,
+                  "  object ops: %llu commutes, %llu key conflicts, "
+                  "%llu ring hits\n",
+                  static_cast<unsigned long long>(obj_commutes),
+                  static_cast<unsigned long long>(obj_key_conflicts),
+                  static_cast<unsigned long long>(obj_ring_hits));
+    out += buf;
+  }
   return out;
 }
 

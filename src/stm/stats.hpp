@@ -50,6 +50,10 @@ struct TxStats {
   std::uint64_t epoch_bumps = 0;      // won an epoch advance CAS
   std::uint64_t remote_line_hits = 0;  // sim: RMW on a remote-domain line
   std::uint64_t desc_heap_bytes = 0;   // gauge: per-thread heap reservation
+  // Object-ops tier (PR 7): semantic certification over container ops.
+  std::uint64_t obj_commutes = 0;       // key changed version but commuted
+  std::uint64_t obj_key_conflicts = 0;  // certification found a real conflict
+  std::uint64_t obj_ring_hits = 0;      // snapshot read served by an old entry
 
   void merge(const TxStats& o) {
     starts += o.starts;
@@ -84,6 +88,9 @@ struct TxStats {
     epoch_bumps += o.epoch_bumps;
     remote_line_hits += o.remote_line_hits;
     desc_heap_bytes += o.desc_heap_bytes;
+    obj_commutes += o.obj_commutes;
+    obj_key_conflicts += o.obj_key_conflicts;
+    obj_ring_hits += o.obj_ring_hits;
   }
 
   [[nodiscard]] double abort_ratio() const {

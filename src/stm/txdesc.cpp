@@ -7,6 +7,7 @@
 
 #include "mem/epoch.hpp"
 #include "stm/cm/manager.hpp"
+#include "stm/objstm.hpp"
 #include "stm/observer.hpp"
 #include "stm/runtime.hpp"
 #include "vt/context.hpp"
@@ -57,6 +58,13 @@ void Tx::begin(Semantics sem, unsigned attempt, bool irrevocable) {
   checkpoint_depth_ = 0;
   retry_watch_.clear();
   killed_poll_ = 0;
+  obj_reads_.clear();
+  obj_writes_.clear();
+  obj_locks_.clear();
+  obj_net_.clear();
+  obj_consume_undo_.clear();
+  obj_read_filter_ = 0;
+  obj_write_filter_ = 0;
 
   ++serial_;
   status_.store((serial_ << 2) | kStatusActive, std::memory_order_release);
@@ -109,7 +117,7 @@ void Tx::commit() {
   // before the CAS and pins the fiber until commit bookkeeping is done;
   // everything in the pinned region is wait-free.
   vt::ScopedCritical crit;
-  if (!writes_.empty()) {
+  if (!writes_.empty() || !obj_writes_.empty()) {
     commit_update(crit);
   } else {
     crit.arm();
@@ -154,6 +162,7 @@ void Tx::rollback(AbortReason why) {
   // Every step below is wait-free.
   vt::ScopedCritical crit(/*arm_now=*/true);
   release_write_locks_aborting();
+  obj_release_locks_aborting();
   if (in_commit_gate_) {
     Runtime::instance().leave_commit_gate(slot_);
     in_commit_gate_ = false;
@@ -511,6 +520,7 @@ bool Tx::try_extend() {
         // complete: probe only the entries whose bits it covers.
         ++stats_.summary_fallbacks;
         if (!validate_read_set_filtered(agg)) return false;
+        if (!obj_revalidate(agg)) return false;
         rv_ = new_rv;
         ++stats_.extensions;
         return true;
@@ -520,6 +530,8 @@ bool Tx::try_extend() {
     }
   }
   if (!validate_read_set()) return false;
+  if (!obj_reads_.empty() && !obj_revalidate(~std::uint64_t{0}))
+    return false;
   rv_ = new_rv;
   ++stats_.extensions;
   return true;
@@ -540,6 +552,9 @@ Tx::Checkpoint Tx::checkpoint() {
   cp.window = window_;
   cp.elastic_phase = elastic_phase_;
   cp.rv = rv_;
+  cp.obj_reads_n = obj_reads_.size();
+  cp.obj_writes_n = obj_writes_.size();
+  cp.obj_consume_base = obj_consume_undo_.size();
   ++checkpoint_depth_;
   return cp;
 }
@@ -568,22 +583,44 @@ void Tx::restore(const Checkpoint& cp) {
   window_ = cp.window;
   elastic_phase_ = cp.elastic_phase;
   rv_ = cp.rv;
+  // Dropped semantic reads keep their retry obligation through the
+  // object's notify cell; un-consume pre-branch enqueues the rolled-back
+  // branch dequeued before truncating its ops away.
+  for (std::size_t i = cp.obj_reads_n; i < obj_reads_.size(); ++i)
+    retry_watch_.push_back(
+        {&obj_reads_[i].obj->notify, obj_reads_[i].notify_version});
+  obj_reads_.resize(cp.obj_reads_n);
+  while (obj_consume_undo_.size() > cp.obj_consume_base) {
+    obj_writes_[obj_consume_undo_.back()].consumed = false;
+    obj_consume_undo_.pop_back();
+  }
+  obj_writes_.resize(cp.obj_writes_n);
   --checkpoint_depth_;
-  if (checkpoint_depth_ == 0) overwrite_undo_.clear();
+  if (checkpoint_depth_ == 0) {
+    overwrite_undo_.clear();
+    obj_consume_undo_.clear();
+  }
   if (TxObserver* o = tx_observer()) o->on_branch_rollback(slot_);
 }
 
 void Tx::commit_checkpoint(const Checkpoint&) {
   // Branch kept: its undo entries stay (an enclosing checkpoint may still
-  // need them); the log dies with the last scope or at begin().
+  // need them); the logs die with the last scope or at begin().
   --checkpoint_depth_;
-  if (checkpoint_depth_ == 0) overwrite_undo_.clear();
+  if (checkpoint_depth_ == 0) {
+    overwrite_undo_.clear();
+    obj_consume_undo_.clear();
+  }
 }
 
 std::vector<ReadEntry> Tx::watch_set() const {
   std::vector<ReadEntry> watch(reads_.begin(), reads_.end());
   for (std::size_t i = 0; i < window_.size(); ++i)
     watch.push_back(window_.at(i));
+  // Semantic reads park on their object's notify cell, bumped at the end
+  // of every apply that touched the object.
+  for (const ObjRead& r : obj_reads_)
+    watch.push_back({&r.obj->notify, r.notify_version});
   watch.insert(watch.end(), retry_watch_.begin(), retry_watch_.end());
   return watch;
 }
@@ -621,6 +658,14 @@ void Tx::commit_update(vt::ScopedCritical& crit) {
     in_commit_gate_ = true;
   }
   acquire_write_locks();
+  // Object locks ride right behind the cell locks (so a reader whose rv
+  // a pending object commit precedes always finds the lock held — the
+  // same pre-rv-visibility argument as the cell seqlock), and the op log
+  // folds into net changes while the committed state is pinned.
+  if (!obj_writes_.empty()) {
+    obj_acquire_locks();
+    obj_prepare();
+  }
   bool clock_advanced = false;
   // Sharded clock: grants from different shards are mutually independent,
   // so per-location version monotonicity is enforced at the grant — wv
@@ -631,6 +676,10 @@ void Tx::commit_update(vt::ScopedCritical& crit) {
     min_exclusive = rv_;
     for (const WriteEntry& e : writes_)
       if (e.saved_version > min_exclusive) min_exclusive = e.saved_version;
+    // Object rings must stay strictly increasing too: grant past every
+    // object version this commit overwrites.
+    for (const ObjLockEntry& l : obj_locks_)
+      if (l.saved_version > min_exclusive) min_exclusive = l.saved_version;
   }
   const std::uint64_t wv =
       rt.clock_advance(&stats_, &clock_advanced, min_exclusive, slot_);
@@ -645,17 +694,21 @@ void Tx::commit_update(vt::ScopedCritical& crit) {
   const bool exclusive_wv = clock_advanced || rt.config.inject_gv4_skip;
   if (!exclusive_wv || rv_ + 1 != wv) {
     bool valid;
-    if (summary_mode_ && !reads_.empty()) {
+    bool obj_valid = true;
+    if (summary_mode_ && (!reads_.empty() || !obj_reads_.empty())) {
       // Ring fast path over (rv_, wv-1]: wv is exclusively ours (GV1),
       // and any commit that could have invalidated a read both happened
       // after the read (else we'd have logged its version) and acquired
       // its timestamp before our bump (it held the cell's lock and
       // finished write-back before we read or locked the cell) — so it
       // lies inside the range.  A clean union proves the read set intact
-      // with zero cell-line touches.
+      // with zero cell-line touches.  Semantic reads share the union:
+      // object commits publish their key-hash bits into the same
+      // summaries, so a clean range certifies them for free.
       std::uint64_t agg = 0;
-      switch (
-          rt.check_summaries(rv_, wv - 1, reads_.summary(), &stats_, &agg)) {
+      switch (rt.check_summaries(rv_, wv - 1,
+                                 reads_.summary() | obj_read_filter_,
+                                 &stats_, &agg)) {
         case Runtime::SummaryCheck::kClean:
           ++stats_.summary_skips;
           valid = true;
@@ -665,21 +718,25 @@ void Tx::commit_update(vt::ScopedCritical& crit) {
           // the entries whose bits the range's commits may have written.
           ++stats_.summary_fallbacks;
           valid = validate_read_set_filtered(agg);
+          if (valid) obj_valid = obj_revalidate(agg);
           break;
         case Runtime::SummaryCheck::kUnknown:
         default:
           ++stats_.summary_fallbacks;
           valid = validate_read_set();
+          if (valid) obj_valid = obj_certify();
           break;
       }
     } else {
       valid = validate_read_set();
+      if (valid) obj_valid = obj_certify();
     }
-    if (!valid) {
+    if (!valid || !obj_valid) {
       // The timestamp is burnt either way: publish an empty summary so
       // validators spanning wv are not stuck falling back forever.
       if (summary_mode_) rt.publish_commit_summary(wv, 0, &stats_);
-      throw_abort(AbortReason::kCommitValidation);
+      throw_abort(valid ? AbortReason::kObjectConflict
+                        : AbortReason::kCommitValidation);
     }
   }
   // Decision point: after this CAS nothing can abort us — pin the fiber
@@ -694,6 +751,8 @@ void Tx::commit_update(vt::ScopedCritical& crit) {
   }
   if (TxObserver* o = tx_observer()) {
     for (const WriteEntry& e : writes_) o->on_commit_write(slot_, e.cell, e.value);
+    for (const ObjNetWrite& n : obj_net_)
+      o->on_obj_commit_write(slot_, n.obj, n.key, n.value);
     o->on_commit(slot_, wv);
   }
   // Publish the write summary BEFORE write-back: a validator that trusts
@@ -702,7 +761,8 @@ void Tx::commit_update(vt::ScopedCritical& crit) {
   // (In-place eager values stay invisible behind their locks until the
   // versioned unlocks below.)
   if (summary_mode_) {
-    rt.publish_commit_summary(wv, writes_.summary(), &stats_);
+    rt.publish_commit_summary(wv, writes_.summary() | obj_write_filter_,
+                              &stats_);
   }
   last_wv_ = wv;
   if (rt.config.clock_scheme == ClockScheme::kSharded) {
@@ -745,6 +805,9 @@ void Tx::commit_update(vt::ScopedCritical& crit) {
     c.vlock.store(lockword::make_version(wv), std::memory_order_release);
     e.locked = false;
   }
+  // Object apply last, mirroring cell write-back: ring pushes, index and
+  // size updates, notify bumps, then the versioned object unlocks.
+  if (!obj_locks_.empty()) obj_apply(wv);
 }
 
 }  // namespace demotx::stm

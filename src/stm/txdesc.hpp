@@ -1,3 +1,4 @@
+// demotx:expert-file: STM runtime implementation: this code defines the expert tier
 // The transaction descriptor: one long-lived object per logical thread,
 // re-armed by begin() for every attempt.  It implements the word-level
 // transactional API; the three semantics share the descriptor and differ
@@ -20,6 +21,7 @@
 
 #include "stm/cell.hpp"
 #include "sync/annotations.hpp"
+#include "stm/objops.hpp"
 #include "stm/readset.hpp"
 #include "stm/semantics.hpp"
 #include "stm/stats.hpp"
@@ -32,6 +34,8 @@ class ScopedCritical;
 namespace demotx::stm {
 
 class ContentionManager;
+class ObjSet;
+class ObjQueue;
 
 // Status-word states; the word is (serial << 2) | state, where the serial
 // increments every begin() so an enemy's kill CAS cannot touch a later
@@ -64,6 +68,23 @@ class Tx {
 
   // User-requested abort: the transaction retries from scratch.
   [[noreturn]] void abort_self() { throw_abort(AbortReason::kExplicit); }
+
+  // ---- object-ops API (objstm.hpp; expert tier, Config::object_ops) ---
+  //
+  // Semantic operations against participating containers: the transaction
+  // logs what it meant (key-level reads, deferred inserts/erases, queue
+  // moves) and commit-time certification checks key-set conflicts and
+  // commutativity instead of cell-version overlap.  Defined in
+  // objstm.cpp; declared here so containers can compose them with the
+  // word-level API inside one transaction.
+
+  bool obj_contains(ObjSet& s, std::uint64_t key);
+  bool obj_insert(ObjSet& s, std::uint64_t key);   // true = was absent
+  bool obj_erase(ObjSet& s, std::uint64_t key);    // true = was present
+  std::uint64_t obj_size(ObjSet& s);
+  void obj_enqueue(ObjQueue& q, std::uint64_t v);
+  bool obj_dequeue(ObjQueue& q, std::uint64_t* out);  // false = empty
+  std::uint64_t obj_queue_size(ObjQueue& q);
 
   // ---- transactional lifetime management ------------------------------
 
@@ -160,6 +181,9 @@ class Tx {
     std::size_t allocs_n;
     std::size_t retires_n;
     std::size_t undo_base;
+    std::size_t obj_reads_n;
+    std::size_t obj_writes_n;
+    std::size_t obj_consume_base;
     ElasticWindow window;
     bool elastic_phase;
     std::uint64_t rv;
@@ -243,6 +267,47 @@ class Tx {
   void validate_window_or_abort();
   void check_killed();
 
+  // ---- object-ops internals (objstm.cpp) -----------------------------
+  // Common op prologue: kill poll, snapshot read-only enforcement for
+  // writing ops, HTM fallback, elastic strengthening, cost charge.
+  void obj_op_precheck(bool writing);
+  // Consistent scan of one stripe's rings for the update tier: seqlock
+  // bracket, with lock conflicts arbitrated through the CM (defined and
+  // instantiated only in objstm.cpp).
+  template <typename Scan>
+  void obj_update_bracket(ObjStripe& sp, Scan&& scan);
+  // Bounded-spin variant for certification and snapshot reads (deadlock-
+  // free while holding our own stripe locks); false = budget burnt.
+  template <typename Scan>
+  bool obj_try_bracket(ObjStripe& sp, Scan&& scan);
+  // Too-new object entry: own-grant acceptance, sharded catchup, timebase
+  // extension or abort.  Returns true when the caller must re-scan.
+  bool obj_too_new(std::uint64_t ver);
+  // Committed-state membership read (logged and certified); obj_contains
+  // layers the read-own-writes lookup on top.
+  bool obj_committed_contains(ObjSet& s, std::uint64_t key);
+  // Pending effect of this transaction's own ops on a set key
+  // (read-own-writes).  Returns false when no own op applies and the
+  // committed state decides.
+  bool obj_own_set_state(ObjSet& s, std::uint64_t key, bool* present) const;
+  void obj_log_read(ObjDesc& obj, ObjReadKind kind, std::uint64_t key,
+                    std::uint64_t version, std::uint64_t value,
+                    std::uint64_t notify_version);
+  void obj_acquire_locks();
+  // Computes the net state changes this commit applies (per-key flips,
+  // size/head/tail sentinel updates) and the key-hash filter to publish.
+  void obj_prepare();
+  // Semantic certification of every logged object read against current
+  // state: version-unchanged fast path, value-equality commute path
+  // (counted as obj_commutes), else a real key conflict.
+  [[nodiscard]] bool obj_certify();
+  void obj_apply(std::uint64_t wv);
+  void obj_release_locks_aborting();
+  // try_extend support: semantic revalidation of the logged object reads
+  // (values still current), optionally filtered by a trusted summary
+  // union `dirty` (0 = probe everything).
+  [[nodiscard]] bool obj_revalidate(std::uint64_t dirty);
+
   int slot_;
   Semantics sem_ = Semantics::kClassic;
   bool elastic_phase_ = false;
@@ -295,6 +360,18 @@ class Tx {
   std::vector<ReadEntry> retry_watch_;
 
   TxStats stats_;
+
+  // ---- object-ops logs (after stats_: the static_asserted offsets of
+  // the enemy-CAS line and the read-set group above must not move) ------
+  std::vector<ObjRead> obj_reads_;
+  std::vector<ObjWrite> obj_writes_;
+  std::vector<ObjLockEntry> obj_locks_;   // built by obj_acquire_locks
+  std::vector<ObjNetWrite> obj_net_;      // built by obj_prepare
+  // Indices of own enqueues consumed by branch-local dequeues, so
+  // restore() can un-consume them (mirrors overwrite_undo_).
+  std::vector<std::size_t> obj_consume_undo_;
+  std::uint64_t obj_read_filter_ = 0;   // key-hash bits of logged reads
+  std::uint64_t obj_write_filter_ = 0;  // key-hash bits of net changes
 };
 
 }  // namespace demotx::stm

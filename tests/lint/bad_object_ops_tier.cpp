@@ -1,0 +1,29 @@
+// Corpus: object-ops tier opt-ins reached from unmarked (novice) code.
+// The raw object descriptors and Tx semantic-op methods bypass the typed
+// containers' key mapping and latched representation choice, and
+// Config::object_ops flips the representation process-wide — all of it
+// legal, supported, and expert-tier.
+#include "stm/objstm.hpp"
+#include "stm/runtime.hpp"
+#include "stm/stm.hpp"
+
+namespace {
+
+bool reserve(demotx::stm::ObjSet& set) {  // demotx-expect: demotx-expert-api-tier
+  return demotx::stm::atomically([&](demotx::stm::Tx& tx) {
+    if (tx.obj_contains(set, 1)) return false;  // demotx-expect: demotx-expert-api-tier
+    return tx.obj_insert(set, 1);  // demotx-expect: demotx-expert-api-tier
+  });
+}
+
+long raw_queue_len(demotx::stm::ObjQueue& q) {  // demotx-expect: demotx-expert-api-tier
+  return demotx::stm::atomically([&](demotx::stm::Tx& tx) {
+    return static_cast<long>(tx.obj_queue_size(q));  // demotx-expect: demotx-expert-api-tier
+  });
+}
+
+void opt_in_globally(demotx::stm::Config* cfg) {
+  cfg->object_ops = true;  // demotx-expect: demotx-expert-api-tier
+}
+
+}  // namespace

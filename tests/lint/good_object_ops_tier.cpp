@@ -1,0 +1,27 @@
+// Corpus twin: the object-ops tier behind explicit opt-ins, plus the
+// novice path that never names it.  The typed containers read the
+// DEMOTX_OBJECT_OPS opt-in themselves, so novice code keeps the exact
+// same call sites under either representation and diagnoses nothing.
+#include "ds/tx_hashset.hpp"
+#include "stm/objstm.hpp"
+#include "stm/runtime.hpp"
+#include "stm/stm.hpp"
+
+namespace {
+
+// Novice tier: representation is the container's concern.
+bool member(demotx::ds::TxHashSet& s, long k) { return s.contains(k); }
+
+// demotx:expert-fn: certification-contract test drives the raw ObjSet so the guard read and insert land in one op log
+bool reserve(demotx::stm::ObjSet& set) {
+  return demotx::stm::atomically([&](demotx::stm::Tx& tx) {
+    if (tx.obj_contains(set, 1)) return false;
+    return tx.obj_insert(set, 1);
+  });
+}
+
+void opt_in_globally(demotx::stm::Config* cfg) {
+  cfg->object_ops = true;  // demotx:expert: A/B harness comparing cell vs semantic conflict detection
+}
+
+}  // namespace

@@ -454,6 +454,37 @@ struct Analyzer {
       emit(kTier, t.line,
            "constructing an stm::Config override is the expert tier; opt "
            "in with a demotx:expert marker");
+      return;
+    }
+    // Object-ops tier opt-ins: the raw object descriptors and the
+    // semantic-op methods on Tx bypass the typed containers' invariants
+    // (key mapping, latched representation choice), and Config::object_ops
+    // flips the representation process-wide.  Novice code opts in through
+    // DEMOTX_OBJECT_OPS and the ds:: containers instead.
+    if ((t.text == "ObjDesc" || t.text == "ObjSet" || t.text == "ObjQueue") &&
+        (pv == nullptr || (pv->text != "struct" && pv->text != "class"))) {
+      emit(kTier, t.line,
+           "the raw object-ops descriptor " + t.text +
+               " is the expert tier (semantic certification contract); use "
+               "the ds:: containers with DEMOTX_OBJECT_OPS, or opt in with "
+               "a demotx:expert marker");
+      return;
+    }
+    if (t.text == "object_ops") {
+      emit(kTier, t.line,
+           "Config::object_ops switches every participating container to "
+           "semantic conflict detection process-wide — the expert tier; "
+           "opt in with a demotx:expert marker");
+      return;
+    }
+    if (t.text.rfind("obj_", 0) == 0 && pv != nullptr &&
+        (pv->text == "." || pv->text == "->") && nx != nullptr &&
+        nx->text == "(") {
+      emit(kTier, t.line,
+           "raw semantic operations (Tx::" + t.text +
+               ") bypass the containers' key mapping and latched "
+               "representation — the expert tier; opt in with a "
+               "demotx:expert marker");
     }
   }
 };
