@@ -1,0 +1,213 @@
+// demotx:expert-file: benchmark: measures every semantics tier and config ablation by design
+// Group-commit ablation: goodput vs. acknowledgment latency as the
+// flush batch grows.
+//
+//     {1, 2, 4, 8, 16, 32} batch  x  {gv1, sharded} clock
+//
+// Committers run disjoint tiny updates over WAL-registered cells with
+// the durable logger attached, so every commit appends a redo record
+// and blocks in await_durable until a flush leader forces its batch.
+// batch=1 is the DEMOTX_GROUP_COMMIT=1 control — a synchronous flush
+// per commit, the no-group-commit baseline the batched columns are read
+// against.  The clock axis matters because the leader stamps its group
+// with ONE clock grant: under gv1 that grant contends with every
+// committer's RMW on the global clock line, under the sharded scheme it
+// lands on the leader's own shard word.
+//
+// The interval knob (Config::group_commit_interval) is held fixed: the
+// leader's deadline only bounds tail latency when the batch never
+// fills, and sweeping both axes would conflate the two effects.
+// Checkpointing is off (checkpoint_every=0) so ack latency measures the
+// log path alone, not folding.
+//
+// Runs under the virtual-time simulator (one-core container; DESIGN.md,
+// Substitutions).  Output is JSON (stdout, and argv[1] if given):
+//
+//   { "bench": "micro_group_commit", "mode": "sim",
+//     "threads": T, "cycles_per_point": N, "interval": I,
+//     "results": [ { "clock": ..., "points": [
+//         { "batch": B, "commits": C, "duration": D, "goodput": G,
+//           "records": N, "flushes": N, "group_grants": N,
+//           "acks": N, "ack_lat_mean": M, "ack_lat_max": X }, ... ] } ],
+//     "summary": { "gv1_goodput_batch8_over_batch1": R,
+//                  "sharded_goodput_batch8_over_batch1": R,
+//                  "gv1_ack_lat_mean_batch8_over_batch1": R,
+//                  "sharded_ack_lat_mean_batch8_over_batch1": R } }
+//
+// goodput is commits per kilocycle; ack_lat_* are virtual cycles from
+// record append to acknowledgment (the durability wait a caller of
+// atomically() actually experiences).
+#include <array>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "dur/wal.hpp"
+#include "mem/epoch.hpp"
+#include "stm/durability.hpp"
+#include "stm/objstm.hpp"
+#include "stm/stm.hpp"
+#include "vt/scheduler.hpp"
+
+using namespace demotx;
+
+namespace {
+
+long env_long(const char* name, long fallback) {
+  const char* v = std::getenv(name);
+  return v != nullptr ? std::atol(v) : fallback;
+}
+
+constexpr std::uint64_t kBatches[] = {1, 2, 4, 8, 16, 32};
+constexpr int kCellsPerThread = 2;
+
+struct Point {
+  std::uint64_t batch = 0;
+  std::uint64_t commits = 0;
+  std::uint64_t duration = 0;  // virtual cycles
+  double goodput = 0.0;        // commits per kilocycle
+  double ack_lat_mean = 0.0;
+  dur::WalStats wal;
+};
+
+// One sim run: `threads` committers increment their own registered
+// cells until the cycle budget, every commit logged and awaited.
+Point run_point(std::uint64_t batch, int threads, std::uint64_t cycles) {
+  auto& rt = stm::Runtime::instance();
+  rt.reset_stats();
+  stm::cell_uid_reset();
+  stm::obj_uid_reset();
+
+  dur::WalManager& wal = dur::WalManager::instance();
+  wal.reset();
+  std::vector<std::unique_ptr<stm::Cell>> cells;
+  for (int i = 0; i < threads * kCellsPerThread; ++i) {
+    cells.push_back(std::make_unique<stm::Cell>());
+    wal.register_cell(cells.back().get());
+  }
+  stm::set_commit_logger(&wal);
+
+  std::vector<std::uint64_t> commits(static_cast<std::size_t>(threads), 0);
+  vt::Scheduler::Options opts;
+  opts.policy = vt::Scheduler::Policy::kRoundRobin;
+  opts.max_cycles = cycles * 64 + 4'000'000;  // deadlock brake only
+  vt::Scheduler sched(opts);
+  for (int t = 0; t < threads; ++t) {
+    sched.spawn([&cells, &commits, cycles](int id) {
+      auto* mine = &cells[static_cast<std::size_t>(id) * kCellsPerThread];
+      while (vt::sim_now() < cycles) {
+        stm::atomically([&](stm::Tx& tx) {
+          for (int k = 0; k < kCellsPerThread; ++k)
+            tx.write_word(*mine[k], tx.read_word(*mine[k]) + 1);
+        });
+        ++commits[static_cast<std::size_t>(id)];
+      }
+    });
+  }
+  sched.run();
+  stm::set_commit_logger(nullptr);
+
+  Point p;
+  p.batch = batch;
+  for (std::uint64_t c : commits) p.commits += c;
+  p.duration = sched.cycles();
+  p.goodput = p.duration == 0 ? 0.0
+                              : static_cast<double>(p.commits) * 1000.0 /
+                                    static_cast<double>(p.duration);
+  p.wal = wal.stats();
+  p.ack_lat_mean = p.wal.acks == 0
+                       ? 0.0
+                       : static_cast<double>(p.wal.ack_lat_sum) /
+                             static_cast<double>(p.wal.acks);
+  wal.reset();
+  mem::EpochManager::instance().drain();
+  return p;
+}
+
+void json_point(std::ostream& os, const Point& p) {
+  os << "      {\"batch\": " << p.batch << ", \"commits\": " << p.commits
+     << ", \"duration\": " << p.duration << ", \"goodput\": " << p.goodput
+     << ", \"records\": " << p.wal.records
+     << ", \"flushes\": " << p.wal.flushes
+     << ", \"group_grants\": " << p.wal.group_grants
+     << ", \"acks\": " << p.wal.acks
+     << ", \"ack_lat_mean\": " << p.ack_lat_mean
+     << ", \"ack_lat_max\": " << p.wal.ack_lat_max << "}";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto cycles =
+      static_cast<std::uint64_t>(env_long("DEMOTX_CYCLES", 60'000));
+  // 8 committers by default so the batch=8 column can actually fill; a
+  // batch larger than the committer count is deadline-bound by
+  // construction (the tail of the sweep shows exactly that collapse).
+  const int threads = static_cast<int>(
+      std::min<long>(env_long("DEMOTX_MAX_THREADS", 8), 64));
+  constexpr std::uint64_t kInterval = 128;
+
+  auto& rt = stm::Runtime::instance();
+  const stm::Config saved = rt.config;
+  rt.config.group_commit_interval = kInterval;
+  rt.config.checkpoint_every = 0;
+
+  std::ostringstream out;
+  out << "{\n  \"bench\": \"micro_group_commit\",\n  \"mode\": \"sim\",\n"
+      << "  \"threads\": " << threads
+      << ",\n  \"cycles_per_point\": " << cycles
+      << ",\n  \"interval\": " << kInterval << ",\n  \"results\": [\n";
+
+  struct Series {
+    const char* name;
+    stm::ClockScheme clock;
+  };
+  constexpr Series kSeries[] = {
+      {"gv1", stm::ClockScheme::kGv1},
+      {"sharded", stm::ClockScheme::kSharded},
+  };
+
+  double goodput_b1[2] = {}, goodput_b8[2] = {};
+  double lat_b1[2] = {}, lat_b8[2] = {};
+  for (std::size_t s = 0; s < 2; ++s) {
+    rt.config.clock_scheme = kSeries[s].clock;
+    if (s != 0) out << ",\n";
+    out << "    {\"clock\": \"" << kSeries[s].name << "\", \"points\": [\n";
+    bool first = true;
+    for (const std::uint64_t batch : kBatches) {
+      std::cerr << kSeries[s].name << " batch=" << batch << "...\n";
+      rt.config.group_commit_batch = batch;
+      const Point p = run_point(batch, threads, cycles);
+      if (batch == 1) { goodput_b1[s] = p.goodput; lat_b1[s] = p.ack_lat_mean; }
+      if (batch == 8) { goodput_b8[s] = p.goodput; lat_b8[s] = p.ack_lat_mean; }
+      if (!first) out << ",\n";
+      first = false;
+      json_point(out, p);
+    }
+    out << "\n    ]}";
+  }
+
+  const auto ratio = [](double a, double b) { return b == 0.0 ? 0.0 : a / b; };
+  out << "\n  ],\n  \"summary\": {\n"
+      << "    \"gv1_goodput_batch8_over_batch1\": "
+      << ratio(goodput_b8[0], goodput_b1[0]) << ",\n"
+      << "    \"sharded_goodput_batch8_over_batch1\": "
+      << ratio(goodput_b8[1], goodput_b1[1]) << ",\n"
+      << "    \"gv1_ack_lat_mean_batch8_over_batch1\": "
+      << ratio(lat_b8[0], lat_b1[0]) << ",\n"
+      << "    \"sharded_ack_lat_mean_batch8_over_batch1\": "
+      << ratio(lat_b8[1], lat_b1[1]) << "\n  }\n}\n";
+
+  rt.config = saved;
+  std::cout << out.str();
+  if (argc > 1) {
+    std::ofstream f(argv[1]);
+    f << out.str();
+  }
+  return 0;
+}

@@ -1,0 +1,33 @@
+// Durability oracle over a captured crash (or quiescent) image.
+//
+// verify_durability() certifies the write-ahead log's contract from the
+// Capture the scheduler's crash hook froze (dur/wal.hpp):
+//
+//  * ack containment — every transaction whose await_durable returned
+//    acknowledged is inside the durable log prefix: an acknowledged
+//    commit survives ANY crash after the acknowledgment;
+//  * structural recovery — replaying the durable image parses cleanly
+//    (no unsealed or overrunning record, no torn commit record, only
+//    registered ids) and per-location versions strictly increase in log
+//    order under every clock scheme (per-cell log order equals version
+//    order by construction: the logger runs with the write locks held);
+//  * byte-identical state — the recovered image equals the fold of the
+//    side-recorded TRUE payloads of every durable commit onto the
+//    initial image, word for word.  The side records never pass through
+//    the log encoding, so any partial write-back, torn record the
+//    structural pass missed, or checkpoint-fold divergence shows up as
+//    the first differing word.
+//
+// Returns true when no logger was active (the capture is invalid) —
+// non-durable workloads are vacuously durable.  Violation messages are
+// deterministic (ids, versions, offsets — no pointers), so a replayed
+// schedule fails with a byte-identical message.
+#pragma once
+
+#include <string>
+
+namespace demotx::check {
+
+bool verify_durability(std::string* why);
+
+}  // namespace demotx::check

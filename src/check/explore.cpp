@@ -4,10 +4,16 @@
 #include <cstdlib>
 #include <utility>
 
+#include "check/durability.hpp"
 #include "check/oracles.hpp"
 #include "check/recorder.hpp"
 #include "check/workloads.hpp"
+#include "dur/wal.hpp"
 #include "mem/epoch.hpp"
+#include "stm/cell.hpp"
+#include "stm/durability.hpp"
+#include "stm/objstm.hpp"
+#include "stm/runtime.hpp"
 
 namespace demotx::check {
 
@@ -48,21 +54,25 @@ std::vector<Preemption> trace_from_log(
 }
 
 std::string make_token(const std::string& workload,
-                       const std::vector<Preemption>& trace) {
+                       const std::vector<Preemption>& trace,
+                       std::uint64_t crash_at) {
   std::string s = "demotx:v1:" + workload + ":";
   if (trace.empty()) {
     s += "-";
-    return s;
+  } else {
+    for (std::size_t i = 0; i < trace.size(); ++i) {
+      if (i != 0) s += ",";
+      s += std::to_string(trace[i].index) + "@" +
+           std::to_string(trace[i].task);
+    }
   }
-  for (std::size_t i = 0; i < trace.size(); ++i) {
-    if (i != 0) s += ",";
-    s += std::to_string(trace[i].index) + "@" + std::to_string(trace[i].task);
-  }
+  if (crash_at != UINT64_MAX) s += ":crash=" + std::to_string(crash_at);
   return s;
 }
 
 bool parse_token(const std::string& token, std::string* workload,
-                 std::vector<Preemption>* trace) {
+                 std::vector<Preemption>* trace, std::uint64_t* crash_at) {
+  if (crash_at != nullptr) *crash_at = UINT64_MAX;
   const std::string prefix = "demotx:v1:";
   if (token.rfind(prefix, 0) != 0) return false;
   const std::size_t wend = token.find(':', prefix.size());
@@ -70,6 +80,18 @@ bool parse_token(const std::string& token, std::string* workload,
   *workload = token.substr(prefix.size(), wend - prefix.size());
   trace->clear();
   std::string rest = token.substr(wend + 1);
+  // Split the crash suffix before trace parsing: the crash cycle is
+  // part of the schedule, not a preemption.
+  const std::string ctag = ":crash=";
+  if (const std::size_t cpos = rest.find(ctag); cpos != std::string::npos) {
+    char* end = nullptr;
+    const std::uint64_t cycle =
+        std::strtoull(rest.c_str() + cpos + ctag.size(), &end, 10);
+    if (*end != '\0' || end == rest.c_str() + cpos + ctag.size())
+      return false;
+    if (crash_at != nullptr) *crash_at = cycle;
+    rest.resize(cpos);
+  }
   if (rest == "-" || rest.empty()) return true;
   std::size_t pos = 0;
   while (pos < rest.size()) {
@@ -94,6 +116,18 @@ ScheduleOutcome run_schedule(const std::string& workload,
                              vt::Scheduler::Options sopts,
                              bool check_oracles) {
   ScheduleOutcome out;
+  // Fresh durable world per schedule: detach any previous logger, clear
+  // the WAL, and restart the uid allocators so filter bits and log ids
+  // are allocation-order determined — identical across replays no matter
+  // what the heap hands out (durable workloads re-attach in setup()).
+  stm::set_commit_logger(nullptr);
+  dur::WalManager::instance().reset();
+  stm::cell_uid_reset();
+  stm::obj_uid_reset();
+  // Idle simulated hardware per schedule: a coherence queue carried over
+  // from the previous run would shift every early crash window and let
+  // a replay diverge from the recorded schedule.
+  stm::Runtime::instance().sim_lines_reset();
   std::unique_ptr<Workload> w = make_workload(workload);
   if (w == nullptr) {
     out.violation = true;
@@ -108,6 +142,7 @@ ScheduleOutcome run_schedule(const std::string& workload,
   rec.attach();
   {
     sopts.decision_log = &out.log;
+    sopts.on_crash = [] { dur::WalManager::instance().capture_crash_image(); };
     vt::Scheduler sched(std::move(sopts));
     Workload* wp = w.get();
     for (int t = 0; t < w->threads(); ++t)
@@ -115,6 +150,7 @@ ScheduleOutcome run_schedule(const std::string& workload,
     sched.run();
     out.cycles = sched.cycles();
     out.hung = sched.hit_cycle_limit();
+    out.crashed = sched.crashed();
   }
   rec.detach();
 
@@ -129,8 +165,20 @@ ScheduleOutcome run_schedule(const std::string& workload,
       out.what = r.what;
     }
   }
-  // The quiescent invariant only means something if every body finished.
-  if (!out.violation && !out.hung) {
+  // Durability oracle: at a crash the capture is the frozen image the
+  // on_crash hook grabbed; at quiescence verify the same rules against
+  // the final durable state (every commit acked, replay reproduces it).
+  if (!out.violation && dur::WalManager::instance().active()) {
+    if (!out.crashed) dur::WalManager::instance().capture_quiescent_image();
+    std::string why;
+    if (!verify_durability(&why)) {
+      out.violation = true;
+      out.what = why;
+    }
+  }
+  // The quiescent invariant only means something if every body finished
+  // (a crashed schedule deliberately didn't).
+  if (!out.violation && !out.hung && !out.crashed) {
     std::string why;
     if (!w->invariant(&why)) {
       out.violation = true;
@@ -138,6 +186,7 @@ ScheduleOutcome run_schedule(const std::string& workload,
     }
   }
 
+  stm::set_commit_logger(nullptr);     // before the registered cells die
   w.reset();                           // quiescent teardown
   mem::EpochManager::instance().drain();  // free retired nodes eagerly
   return out;
@@ -145,10 +194,12 @@ ScheduleOutcome run_schedule(const std::string& workload,
 
 ScheduleOutcome run_trace(const std::string& workload,
                           const std::vector<Preemption>& trace,
-                          std::uint64_t max_cycles, bool check_oracles) {
+                          std::uint64_t max_cycles, bool check_oracles,
+                          std::uint64_t crash_at) {
   vt::Scheduler::Options sopts;
   sopts.policy = vt::Scheduler::Policy::kChoice;
   sopts.max_cycles = max_cycles;
+  sopts.crash_at_cycle = crash_at;
   sopts.choice_fn = [trace](const vt::Scheduler::ChoicePoint& cp) {
     for (const Preemption& p : trace) {
       if (p.index != cp.index) continue;
@@ -184,7 +235,8 @@ std::vector<Preemption> minimize_trace(const ExploreOptions& opts,
       cand.erase(cand.begin() + static_cast<std::ptrdiff_t>(i));
       const ScheduleOutcome out = run_trace(opts.workload, cand,
                                             opts.max_cycles,
-                                            opts.check_oracles);
+                                            opts.check_oracles,
+                                            opts.crash_at);
       tally(res, out);
       if (out.violation) {
         trace = std::move(cand);
@@ -200,13 +252,16 @@ std::vector<Preemption> minimize_trace(const ExploreOptions& opts,
 
 // A failing schedule was found: turn its decision log into a trace,
 // verify the trace reproduces the failure, minimize, emit the token.
+// opts.crash_at carries the schedule's crash cycle (if any) so the
+// trace replays — and minimizes — under the identical crash point.
 void report_failure(const ExploreOptions& opts, const ScheduleOutcome& out,
                     ExploreResult& res) {
   res.found_violation = true;
   res.what = out.what;
   std::vector<Preemption> trace = trace_from_log(out.log);
   const ScheduleOutcome rep =
-      run_trace(opts.workload, trace, opts.max_cycles, opts.check_oracles);
+      run_trace(opts.workload, trace, opts.max_cycles, opts.check_oracles,
+                opts.crash_at);
   tally(res, rep);
   if (rep.violation) {
     res.replay_verified = true;
@@ -214,16 +269,17 @@ void report_failure(const ExploreOptions& opts, const ScheduleOutcome& out,
     if (opts.minimize)
       trace = minimize_trace(opts, std::move(trace), &res.what, res);
   }
-  res.token = make_token(opts.workload, trace);
+  res.token = make_token(opts.workload, trace, opts.crash_at);
 }
 
 ExploreResult explore_seeded(const ExploreOptions& opts, bool pct) {
   ExploreResult res;
   // Horizon auto-measure: one baseline schedule tells us how long (in
   // scheduling steps ~ cycles) a run of this workload is, so the PCT
-  // change points are sampled inside the execution rather than past it.
+  // change points — and the hunted crash cycles — are sampled inside
+  // the execution rather than past it.
   std::uint64_t horizon = 2048;
-  if (pct) {
+  if (pct || opts.crash_hunt) {
     const ScheduleOutcome base =
         run_trace(opts.workload, {}, opts.max_cycles, /*check_oracles=*/false);
     horizon = std::max<std::uint64_t>(64, base.cycles);
@@ -236,11 +292,20 @@ ExploreResult explore_seeded(const ExploreOptions& opts, bool pct) {
     sopts.max_cycles = opts.max_cycles;
     sopts.pct_change_points = opts.pct_change_points;
     sopts.pct_horizon = horizon;
+    // The crash cycle is drawn from its own stream (decorrelated from
+    // the schedule seed) so the hunt covers the (schedule, crash-point)
+    // product, not a diagonal of it.
+    std::uint64_t crash_at = opts.crash_at;
+    if (opts.crash_hunt)
+      crash_at = 1 + mix(opts.seed ^ 0x6372617368ULL, i) % horizon;
+    sopts.crash_at_cycle = crash_at;
     const ScheduleOutcome out =
         run_schedule(opts.workload, std::move(sopts), opts.check_oracles);
     tally(res, out);
     if (out.violation) {
-      report_failure(opts, out, res);
+      ExploreOptions eff = opts;
+      eff.crash_at = crash_at;
+      report_failure(eff, out, res);
       return res;
     }
   }
@@ -266,7 +331,8 @@ ExploreResult explore_dfs(const ExploreOptions& opts) {
     std::vector<Preemption> trace = std::move(frontier.back());
     frontier.pop_back();
     const ScheduleOutcome out =
-        run_trace(opts.workload, trace, brake, opts.check_oracles);
+        run_trace(opts.workload, trace, brake, opts.check_oracles,
+                  opts.crash_at);
     tally(res, out);
     if (out.violation) {
       res.found_violation = true;
@@ -279,10 +345,11 @@ ExploreResult explore_dfs(const ExploreOptions& opts) {
       // determinism of the (possibly minimized) token.
       const ScheduleOutcome rep = run_trace(opts.workload, final_trace,
                                             opts.max_cycles,
-                                            opts.check_oracles);
+                                            opts.check_oracles,
+                                            opts.crash_at);
       tally(res, rep);
       res.replay_verified = rep.violation;
-      res.token = make_token(opts.workload, final_trace);
+      res.token = make_token(opts.workload, final_trace, opts.crash_at);
       return res;
     }
     if (trace.size() >= bound) continue;
@@ -309,20 +376,22 @@ ExploreResult explore_replay(const ExploreOptions& opts) {
   ExploreResult res;
   std::string workload;
   std::vector<Preemption> trace;
-  if (!parse_token(opts.replay_token, &workload, &trace)) {
+  std::uint64_t crash_at = UINT64_MAX;
+  if (!parse_token(opts.replay_token, &workload, &trace, &crash_at)) {
     res.ok = false;
     res.error = "malformed replay token: " + opts.replay_token;
     return res;
   }
   res.workload = workload;
   const ScheduleOutcome out =
-      run_trace(workload, trace, opts.max_cycles, opts.check_oracles);
+      run_trace(workload, trace, opts.max_cycles, opts.check_oracles,
+                crash_at);
   tally(res, out);
   if (out.violation) {
     res.found_violation = true;
     res.replay_verified = true;
     res.what = out.what;
-    res.token = make_token(workload, trace);
+    res.token = make_token(workload, trace, crash_at);
   }
   return res;
 }

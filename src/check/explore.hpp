@@ -27,9 +27,19 @@
 //
 //   demotx:v1:<workload>:<idx>@<task>,<idx>@<task>,...      (or ":-")
 //
+// with an optional ":crash=<cycle>" suffix when the schedule ran under
+// the crash injector (the cycle is part of the schedule's identity: the
+// same trace with a different crash point is a different schedule).
+//
 // A token replays deterministically in a fresh process: the sim is
-// single-threaded, the workload fixes its own initial state, and the
-// baseline rule pins every non-preempted decision.
+// single-threaded, the workload fixes its own initial state, the
+// baseline rule pins every non-preempted decision, and every schedule
+// starts from idle simulated hardware (Runtime::sim_lines_reset) so its
+// timing never depends on which runs preceded it.  Durable workloads
+// additionally reset the WAL and the uid allocators before every
+// schedule, so filter bits, log ids and failure messages are
+// allocation-order (not allocator-address) determined and a replayed
+// violation message is byte-identical.
 #pragma once
 
 #include <cstdint>
@@ -62,16 +72,20 @@ std::vector<Preemption> trace_from_log(
     const std::vector<vt::Scheduler::Decision>& log);
 
 std::string make_token(const std::string& workload,
-                       const std::vector<Preemption>& trace);
-// False on malformed input.
+                       const std::vector<Preemption>& trace,
+                       std::uint64_t crash_at = UINT64_MAX);
+// False on malformed input.  `crash_at` (may be null) receives the
+// ":crash=" suffix cycle, or UINT64_MAX when the token has none.
 bool parse_token(const std::string& token, std::string* workload,
-                 std::vector<Preemption>* trace);
+                 std::vector<Preemption>* trace,
+                 std::uint64_t* crash_at = nullptr);
 
 // ---- one schedule ----------------------------------------------------
 
 struct ScheduleOutcome {
   bool violation = false;  // oracle or invariant failure
   bool hung = false;       // hit the max_cycles brake
+  bool crashed = false;    // the crash injector fired
   std::string what;        // first failure message
   std::uint64_t cycles = 0;
   std::uint64_t attempts = 0;  // transaction attempts observed
@@ -87,11 +101,13 @@ ScheduleOutcome run_schedule(const std::string& workload,
                              vt::Scheduler::Options sopts,
                              bool check_oracles = true);
 
-// Convenience: one schedule driven by a preemption trace.
+// Convenience: one schedule driven by a preemption trace, optionally
+// crashing at virtual cycle `crash_at`.
 ScheduleOutcome run_trace(const std::string& workload,
                           const std::vector<Preemption>& trace,
                           std::uint64_t max_cycles,
-                          bool check_oracles = true);
+                          bool check_oracles = true,
+                          std::uint64_t crash_at = UINT64_MAX);
 
 // ---- the exploration loop --------------------------------------------
 
@@ -107,6 +123,12 @@ struct ExploreOptions {
   std::string replay_token;     // for strategy == "replay"
   bool minimize = true;
   bool check_oracles = true;
+  // Crash injection: a fixed crash cycle for every schedule, or a
+  // per-schedule random crash cycle (crash_hunt) drawn from
+  // (seed, iteration) inside the auto-measured horizon — the random
+  // crash-schedule hunt the durability oracle certifies.
+  std::uint64_t crash_at = UINT64_MAX;
+  bool crash_hunt = false;
 };
 
 struct ExploreResult {

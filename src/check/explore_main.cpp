@@ -36,6 +36,9 @@ void usage(const char* argv0) {
       "  --preemptions N     DFS preemption bound          [2]\n"
       "  --depth N           DFS choice-depth cap          [48]\n"
       "  --max-cycles N      per-schedule deadlock brake   [1048576]\n"
+      "  --crash-at N        inject a crash at virtual cycle N (or env\n"
+      "                      DEMOTX_CRASH_AT)\n"
+      "  --crash-hunt        pct/random: random crash cycle per schedule\n"
       "  --replay TOKEN      re-execute one schedule (sets --strategy)\n"
       "  --expect-violation  exit 0 iff a violation IS found\n"
       "  --no-minimize       keep the raw failing trace\n"
@@ -55,6 +58,10 @@ bool parse_u64(const char* s, std::uint64_t* out) {
 int main(int argc, char** argv) {
   demotx::check::ExploreOptions opts;
   bool expect_violation = false;
+  if (const char* e = std::getenv("DEMOTX_CRASH_AT")) {
+    std::uint64_t n = 0;
+    if (parse_u64(e, &n)) opts.crash_at = n;
+  }
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     auto value = [&]() -> const char* {
@@ -86,6 +93,10 @@ int main(int argc, char** argv) {
       opts.dfs_depth = n;
     } else if (arg == "--max-cycles" && parse_u64(value(), &n)) {
       opts.max_cycles = n;
+    } else if (arg == "--crash-at" && parse_u64(value(), &n)) {
+      opts.crash_at = n;
+    } else if (arg == "--crash-hunt") {
+      opts.crash_hunt = true;
     } else if (arg == "--replay") {
       opts.replay_token = value();
       opts.strategy = "replay";

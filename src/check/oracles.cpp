@@ -289,11 +289,17 @@ OracleResult certify(const std::vector<Attempt>& attempts) {
         // The latest feasible serialization point inside our group: after
         // the last same-group entry whose value matches our read (that is
         // what commit-time certification actually compared against), else
-        // at the group start.
+        // at the group start.  An entry our own slot wrote LATER in
+        // program order can never be that point — even when its flip-flop
+        // value matches our read — and the per-key chain is written in
+        // real order, so everything past it is after us too.
         std::ptrdiff_t anchor = -1;
-        for (std::size_t k = 0; k < sg.size(); ++k)
+        for (std::size_t k = 0; k < sg.size(); ++k) {
+          const Attempt& w = attempts[sg[k]->writer];
+          if (w.slot == a.slot && w.serial > a.serial) break;
           if (sg[k]->value == r.value)
             anchor = static_cast<std::ptrdiff_t>(k);
+        }
         if (anchor < 0 && before_seen && entering != r.value) {
           fail("object update-certification violation: " + describe(a, i) +
                " committed at wv=" + std::to_string(a.wv) +

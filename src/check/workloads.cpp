@@ -11,6 +11,8 @@
 #include "ds/tx_list.hpp"
 #include "ds/tx_queue.hpp"
 #include "ds/tx_skiplist.hpp"
+#include "dur/wal.hpp"
+#include "stm/durability.hpp"
 #include "stm/objstm.hpp"
 #include "stm/stm.hpp"
 
@@ -407,9 +409,196 @@ class ObjReserve final : public Workload {
   stm::ObjSet set_;
 };
 
+// Durable transfers over raw registered cells: every commit appends a
+// redo record and blocks in await_durable until the group flush reaches
+// it.  The quiescent invariant (total conserved) holds on non-crashed
+// schedules; under crash injection the durability oracle takes over —
+// acknowledged transfers survive, the recovered image is byte-identical
+// to the acknowledged history.  One unregistered scratch cell checks the
+// logger's registry filter: its writes must never reach the log.
+class BankDurable final : public Workload {
+ public:
+  [[nodiscard]] int threads() const override { return 3; }
+
+  void setup() override {
+    for (auto& a : acct_) a.unsafe_store(100);
+    dur::WalManager& wal = dur::WalManager::instance();
+    for (auto& a : acct_) wal.register_cell(&a);
+    stm::set_commit_logger(&wal);
+  }
+
+  void body(int tid) override {
+    auto transfer = [&](std::size_t from, std::size_t to, std::uint64_t amt) {
+      stm::atomically([&](stm::Tx& tx) {
+        const std::uint64_t f = tx.read_word(acct_[from]);
+        if (f < amt) return;
+        tx.write_word(acct_[from], f - amt);
+        tx.write_word(acct_[to], tx.read_word(acct_[to]) + amt);
+        tx.write_word(scratch_, f);  // volatile: must not be logged
+      });
+    };
+    switch (tid) {
+      case 0:
+        transfer(0, 1, 10);
+        transfer(1, 2, 5);
+        break;
+      case 1:
+        transfer(2, 3, 7);
+        transfer(3, 0, 3);
+        break;
+      case 2:
+        transfer(0, 2, 1);
+        break;
+      default:
+        break;
+    }
+  }
+
+  bool invariant(std::string* why) override {
+    std::uint64_t total = 0;
+    for (auto& a : acct_) total += a.unsafe_value();
+    if (total != 400) {
+      *why = "bank-dur: quiescent total " + std::to_string(total) +
+             " != 400 (transfer atomicity broken)";
+      return false;
+    }
+    return true;
+  }
+
+ private:
+  std::array<stm::Cell, 4> acct_{};
+  stm::Cell scratch_{};
+};
+
+// Durable object-tier churn: the set registers EMPTY, then even its
+// pre-population runs transactionally AFTER the logger attaches — the
+// setup commits exercise the non-sim synchronous flush path, and the
+// in-sim bodies exercise object net-op records under group commit.
+class ObjsetDurable final : public Workload {
+ public:
+  [[nodiscard]] int threads() const override { return 3; }
+
+  void setup() override {
+    dur::WalManager& wal = dur::WalManager::instance();
+    wal.register_obj(&set_);
+    stm::set_commit_logger(&wal);
+    for (const std::uint64_t k : {1u, 2u, 3u})
+      stm::atomically([&](stm::Tx& tx) { (void)tx.obj_insert(set_, k); });
+  }
+
+  void body(int tid) override {
+    switch (tid) {
+      case 0:
+        stm::atomically([&](stm::Tx& tx) { (void)tx.obj_insert(set_, 10); });
+        stm::atomically([&](stm::Tx& tx) { (void)tx.obj_erase(set_, 1); });
+        break;
+      case 1:
+        stm::atomically([&](stm::Tx& tx) { (void)tx.obj_erase(set_, 2); });
+        stm::atomically([&](stm::Tx& tx) { (void)tx.obj_insert(set_, 20); });
+        break;
+      case 2:
+        stm::atomically([&](stm::Tx& tx) {
+          (void)tx.obj_contains(set_, 3);
+          (void)tx.obj_insert(set_, 30);
+        });
+        break;
+      default:
+        break;
+    }
+  }
+
+  bool invariant(std::string* why) override {
+    for (const std::uint64_t k : {3u, 10u, 20u, 30u}) {
+      const bool in = stm::atomically(
+          [&](stm::Tx& tx) { return tx.obj_contains(set_, k); });
+      if (!in) {
+        *why = "objset-dur: missing key " + std::to_string(k);
+        return false;
+      }
+    }
+    if (set_.unsafe_size() != 4) {
+      *why = "objset-dur: quiescent size " +
+             std::to_string(set_.unsafe_size()) + " != 4";
+      return false;
+    }
+    return true;
+  }
+
+ private:
+  stm::ObjSet set_;
+};
+
+// ObjRing wrap-exhaustion (non-durable): a snapshot reader pins its rv
+// on a dummy cell read, then walks the set's striped size rings; the
+// writer meanwhile flips ONE key snapshot_depth + 2 times, so a schedule
+// that packs every flip into the pin-to-walk window wraps that stripe's
+// ring past the reader's bound.  The only legal outcome is a
+// kSnapshotRace abort and retry — never a stale size — which the
+// history oracle certifies on every interleaving; the driving test
+// additionally asserts the race path actually fired.
+class ObjRingWrap final : public Workload {
+ public:
+  [[nodiscard]] int threads() const override { return 2; }
+
+  void setup() override {
+    for (const std::uint64_t k : {1u, 2u, 3u})
+      stm::atomically([&](stm::Tx& tx) { (void)tx.obj_insert(set_, k); });
+  }
+
+  void body(int tid) override {
+    if (tid == 0) {
+      const std::size_t depth = std::min(
+          std::max<std::size_t>(
+              stm::Runtime::instance().config.snapshot_depth, 1),
+          stm::kMaxSnapshotDepth);
+      for (std::size_t i = 0; i < depth + 2; ++i) {
+        stm::atomically([&](stm::Tx& tx) {
+          if (i % 2 == 0) {
+            (void)tx.obj_insert(set_, kFlipKey);
+          } else {
+            (void)tx.obj_erase(set_, kFlipKey);
+          }
+        });
+      }
+      flips_ = depth + 2;
+    } else {
+      const std::uint64_t n = stm::atomically(
+          stm::Semantics::kSnapshot, [&](stm::Tx& tx) {
+            (void)dummy_.get(tx);  // pins rv before the ring walk
+            return tx.obj_size(set_);
+          });
+      seen_ = n;
+    }
+  }
+
+  bool invariant(std::string* why) override {
+    if (seen_ != 3 && seen_ != 4) {
+      *why = "objring-wrap: snapshot size read " + std::to_string(seen_) +
+             " is neither 3 nor 4 (stale ring entry served)";
+      return false;
+    }
+    const bool in = stm::atomically(
+        [&](stm::Tx& tx) { return tx.obj_contains(set_, kFlipKey); });
+    if (in != (flips_ % 2 == 1)) {
+      *why = "objring-wrap: flip key parity wrong after " +
+             std::to_string(flips_) + " flips";
+      return false;
+    }
+    return true;
+  }
+
+ private:
+  static constexpr std::uint64_t kFlipKey = 40;
+  stm::ObjSet set_;
+  stm::TVar<long> dummy_{0};
+  std::uint64_t seen_ = 3;
+  std::size_t flips_ = 0;
+};
+
 const std::vector<std::string> kNames = {
     "list-mixed",     "bank-skew",      "summary-race", "queue",
-    "skiplist-mixed", "snapshot-churn", "objset-churn", "obj-reserve"};
+    "skiplist-mixed", "snapshot-churn", "objset-churn", "obj-reserve",
+    "bank-dur",       "objset-dur",     "objring-wrap"};
 
 }  // namespace
 
@@ -422,6 +611,9 @@ std::unique_ptr<Workload> make_workload(const std::string& name) {
   if (name == "snapshot-churn") return std::make_unique<SnapshotChurn>();
   if (name == "objset-churn") return std::make_unique<ObjsetChurn>();
   if (name == "obj-reserve") return std::make_unique<ObjReserve>();
+  if (name == "bank-dur") return std::make_unique<BankDurable>();
+  if (name == "objset-dur") return std::make_unique<ObjsetDurable>();
+  if (name == "objring-wrap") return std::make_unique<ObjRingWrap>();
   return nullptr;
 }
 

@@ -1,0 +1,449 @@
+// demotx:expert-file: durability tier implementation: WAL append from the pinned commit section, group-commit leader election, crash capture/recovery drive Config and raw object descriptors by design
+#include "dur/wal.hpp"
+
+#include <algorithm>
+
+#include "stm/cell.hpp"
+#include "stm/objops.hpp"
+#include "stm/objstm.hpp"
+#include "stm/runtime.hpp"
+#include "stm/writeset.hpp"
+#include "vt/context.hpp"
+
+namespace demotx::dur {
+
+namespace {
+
+// Folds one record at `pos` into `img`; returns the position one past
+// it.  Total on any input (garbage folds deterministically — that is
+// what lets the oracle catch a torn record as a byte divergence), with
+// structural and version-order validation reported through `chk` when
+// present.  `maxv` accumulates the clock watermark.
+struct FoldCheck {
+  bool ok = true;
+  std::string what;
+};
+
+void fold_fail(FoldCheck* chk, std::string what) {
+  if (chk != nullptr && chk->ok) {
+    chk->ok = false;
+    chk->what = std::move(what);
+  }
+}
+
+std::uint64_t fold_one(Image& img, const std::vector<std::uint64_t>& log,
+                       std::uint64_t pos, std::uint64_t* maxv,
+                       FoldCheck* chk) {
+  const std::uint64_t h = log[pos];
+  if (h == 0) {
+    fold_fail(chk, "zero header word in durable log at offset " +
+                       std::to_string(pos));
+    return log.size();
+  }
+  const std::uint64_t len = rec::len_of(h);
+  const std::uint64_t kind = rec::kind_of(h);
+  if (len < 2 || pos + len > log.size()) {
+    fold_fail(chk, "record overruns durable log at offset " +
+                       std::to_string(pos));
+    return log.size();
+  }
+  if (kind == rec::kGroupStamp) {
+    if (len != 2) {
+      fold_fail(chk, "malformed group stamp at offset " + std::to_string(pos));
+      return pos + len;
+    }
+    if (maxv != nullptr) *maxv = std::max(*maxv, log[pos + 1]);
+    return pos + len;
+  }
+  if (kind != rec::kCommit) {
+    fold_fail(chk, "unknown record kind " + std::to_string(kind) +
+                       " at offset " + std::to_string(pos));
+    return pos + len;
+  }
+  const std::uint64_t wv = log[pos + 1];
+  const std::uint64_t nc = log[pos + 2];
+  const std::uint64_t no = log[pos + 3];
+  if (4 + 2 * nc + 3 * no != len) {
+    fold_fail(chk, "torn commit record (length/count mismatch) at offset " +
+                       std::to_string(pos));
+    return pos + len;
+  }
+  if (maxv != nullptr) *maxv = std::max(*maxv, wv);
+  std::uint64_t p = pos + 4;
+  for (std::uint64_t i = 0; i < nc; ++i, p += 2) {
+    const std::uint64_t id = log[p];
+    const std::uint64_t value = log[p + 1];
+    auto it = img.cells.find(id);
+    if (it == img.cells.end()) {
+      fold_fail(chk, "commit record names unregistered cell id " +
+                         std::to_string(id) + " at offset " +
+                         std::to_string(pos));
+      img.cells[id] = {wv, value};
+      continue;
+    }
+    if (chk != nullptr && wv <= it->second.first) {
+      fold_fail(chk, "version order regression at cell id " +
+                         std::to_string(id) + ": wv " + std::to_string(wv) +
+                         " after " + std::to_string(it->second.first));
+    }
+    it->second = {wv, value};
+  }
+  for (std::uint64_t i = 0; i < no; ++i, p += 3) {
+    const auto key = std::make_pair(log[p], log[p + 1]);
+    const std::uint64_t value = log[p + 2];
+    auto it = img.objs.find(key);
+    if (it != img.objs.end() && chk != nullptr && wv <= it->second.first) {
+      fold_fail(chk, "version order regression at object " +
+                         std::to_string(key.first) + " key " +
+                         std::to_string(key.second) + ": wv " +
+                         std::to_string(wv) + " after " +
+                         std::to_string(it->second.first));
+    }
+    img.objs[key] = {wv, value};
+  }
+  return pos + len;
+}
+
+}  // namespace
+
+std::vector<std::uint64_t> Image::serialize() const {
+  std::vector<std::uint64_t> out;
+  out.reserve(2 + 3 * cells.size() + 4 * objs.size());
+  out.push_back(cells.size());
+  for (const auto& [id, vv] : cells) {
+    out.push_back(id);
+    out.push_back(vv.first);
+    out.push_back(vv.second);
+  }
+  out.push_back(objs.size());
+  for (const auto& [ok, vv] : objs) {
+    out.push_back(ok.first);
+    out.push_back(ok.second);
+    out.push_back(vv.first);
+    out.push_back(vv.second);
+  }
+  return out;
+}
+
+WalManager& WalManager::instance() {
+  static WalManager wal;
+  return wal;
+}
+
+void WalManager::reset() {
+  active_ = false;
+  crashed_ = false;
+  cell_ids_.clear();
+  obj_ids_.clear();
+  cells_by_id_.clear();
+  init_ = Image{};
+  vol_.clear();
+  resv_end_ = 0;
+  sealed_end_ = 0;
+  max_logged_wv_ = 0;
+  dur_.clear();
+  durable_lsn_ = 0;
+  base_ = Image{};
+  folded_words_ = 0;
+  flush_leader_ = -1;
+  unflushed_commits_ = 0;
+  side_.clear();
+  lsn_to_side_.clear();
+  capture_ = Capture{};
+  stats_ = WalStats{};
+}
+
+std::uint64_t WalManager::register_cell(stm::Cell* c) {
+  active_ = true;
+  const std::uint64_t id = cells_by_id_.size() + 1;
+  cell_ids_[c] = id;
+  cells_by_id_.push_back(c);
+  init_.cells[id] = {c->unsafe_version(), c->unsafe_value()};
+  base_.cells[id] = init_.cells[id];
+  return id;
+}
+
+std::uint64_t WalManager::register_obj(stm::ObjDesc* o) {
+  active_ = true;
+  const std::uint64_t id = obj_ids_.size() + 1;
+  obj_ids_[o] = id;
+  return id;
+}
+
+void WalManager::advance_sealed() {
+  while (sealed_end_ < vol_.size() && vol_[sealed_end_] != 0) {
+    const std::uint64_t len = rec::len_of(vol_[sealed_end_]);
+    if (len < 2 || sealed_end_ + len > vol_.size()) break;
+    sealed_end_ += len;
+  }
+}
+
+std::uint64_t WalManager::on_commit_log(int slot, std::uint64_t wv,
+                                        const stm::WriteEntry* wb,
+                                        std::size_t nw,
+                                        const stm::ObjNetWrite* ob,
+                                        std::size_t no) {
+  if (!active_) return 0;
+  // Net values of the registered durable state only; anything else this
+  // commit wrote is volatile by contract.  Locals, not members: the
+  // yields below let other committers re-enter this function.
+  std::vector<std::uint64_t> cells;
+  std::vector<std::uint64_t> objs;
+  for (std::size_t i = 0; i < nw; ++i) {
+    auto it = cell_ids_.find(wb[i].cell);
+    if (it == cell_ids_.end()) continue;
+    cells.push_back(it->second);
+    cells.push_back(wb[i].value);
+  }
+  for (std::size_t i = 0; i < no; ++i) {
+    auto it = obj_ids_.find(ob[i].obj);
+    if (it == obj_ids_.end()) continue;
+    objs.push_back(it->second);
+    objs.push_back(ob[i].key);
+    objs.push_back(ob[i].value);
+  }
+  if (cells.empty() && objs.empty()) return 0;
+
+  const std::uint64_t nc = cells.size() / 2;
+  const std::uint64_t nob = objs.size() / 3;
+  const std::uint64_t len = 4 + 2 * nc + 3 * nob;
+  const bool torn = stm::Runtime::instance().config.inject_torn_write;
+
+  // Reserve the span in one indivisible step so concurrent appends
+  // never interleave words; then fill it with yields in between — the
+  // windows a group flush (and a crash) can land in.
+  const std::uint64_t start = resv_end_;
+  resv_end_ += len;
+  vol_.resize(resv_end_, 0);
+
+  if (torn) {
+    // PLANTED BUG (inject_torn_write): publish the record as flushable
+    // before its payload exists.  A flush overlapping the append now
+    // forces garbage; the durability oracle must catch the divergence.
+    vol_[start] = rec::header(len, rec::kCommit);
+    advance_sealed();
+  }
+  vol_[start + 1] = wv;
+  vol_[start + 2] = nc;
+  vol_[start + 3] = nob;
+  std::uint64_t p = start + 4;
+  for (const std::uint64_t w : cells) {
+    vt::access();
+    vol_[p++] = w;
+  }
+  for (const std::uint64_t w : objs) {
+    vt::access();
+    vol_[p++] = w;
+  }
+  vt::access();
+  if (!torn) {
+    vol_[start] = rec::header(len, rec::kCommit);
+    advance_sealed();
+  }
+  max_logged_wv_ = std::max(max_logged_wv_, wv);
+  ++unflushed_commits_;
+  ++stats_.records;
+
+  SideRec s;
+  s.lsn_end = start + len;
+  s.wv = wv;
+  s.slot = slot;
+  s.t_logged = vt::sim_now();
+  s.cells = std::move(cells);
+  s.objs = std::move(objs);
+  lsn_to_side_[s.lsn_end] = side_.size();
+  side_.push_back(std::move(s));
+  return start + len;
+}
+
+void WalManager::mark_acked(std::uint64_t lsn) {
+  auto it = lsn_to_side_.find(lsn);
+  if (it == lsn_to_side_.end()) return;
+  SideRec& s = side_[it->second];
+  if (s.acked) return;
+  s.acked = true;
+  ++stats_.acks;
+  const std::uint64_t lat = vt::sim_now() - s.t_logged;
+  stats_.ack_lat_sum += lat;
+  stats_.ack_lat_max = std::max(stats_.ack_lat_max, lat);
+}
+
+std::uint64_t WalManager::drain(int slot, unsigned cost) {
+  (void)slot;
+  std::uint64_t copied = 0;
+  while (durable_lsn_ < sealed_end_) {
+    // One whole record per modeled device barrier: forces are
+    // record-atomic, crash windows live BETWEEN records — which is what
+    // makes a mid-group crash durably keep the group's prefix.
+    const std::uint64_t h = vol_[durable_lsn_];
+    const std::uint64_t len = rec::len_of(h);
+    dur_.insert(dur_.end(), vol_.begin() + static_cast<std::ptrdiff_t>(durable_lsn_),
+                vol_.begin() + static_cast<std::ptrdiff_t>(durable_lsn_ + len));
+    if (rec::kind_of(h) == rec::kCommit && unflushed_commits_ > 0)
+      --unflushed_commits_;
+    durable_lsn_ += len;
+    ++copied;
+    ++stats_.records_forced;
+    vt::access(cost);
+  }
+  return copied;
+}
+
+void WalManager::flush(int slot) {
+  const stm::Config& cfg = stm::Runtime::instance().config;
+  const std::uint64_t copied = drain(slot, cfg.log_flush_cost);
+  if (copied == 0) return;
+  ++stats_.flushes;
+  // One clock grant stamps the whole group: the leader pays a single
+  // commit-clock (sharded: own-shard) RMW for the batch and logs the
+  // granted timestamp as the group's durable clock watermark.
+  // min_exclusive = the highest write version logged so far, so the
+  // stamp dominates every record it follows; recovery still maxes over
+  // record wvs, so a lost or trailing stamp costs nothing.
+  const std::uint64_t stamp = stm::Runtime::instance().clock_advance(
+      nullptr, nullptr, max_logged_wv_, slot);
+  ++stats_.group_grants;
+  const std::uint64_t s = resv_end_;
+  resv_end_ += 2;
+  vol_.resize(resv_end_, 0);
+  vol_[s + 1] = stamp;
+  vol_[s] = rec::header(2, rec::kGroupStamp);
+  advance_sealed();
+  // Pick the stamp up now if the log is contiguous to it (an in-flight
+  // append before it defers both to the next flush — harmless).
+  drain(slot, cfg.log_flush_cost);
+  maybe_checkpoint();
+}
+
+void WalManager::lead(int slot) {
+  const stm::Config& cfg = stm::Runtime::instance().config;
+  // Wait for the batch to fill, bounded by the flush interval so a lone
+  // committer is never stranded; a crash ends the wait (the flush that
+  // follows only mutates post-crash volatile state — the captured image
+  // is already frozen).
+  const std::uint64_t deadline = vt::sim_now() + cfg.group_commit_interval;
+  while (!crashed_ && !vt::stop_requested() &&
+         unflushed_commits_ < cfg.group_commit_batch &&
+         vt::sim_now() < deadline) {
+    vt::access();
+  }
+  flush(slot);
+}
+
+void WalManager::await_durable(int slot, std::uint64_t lsn) {
+  if (!active_ || lsn == 0) return;
+  if (!vt::in_sim()) {
+    // Setup/teardown transactions run without the scheduler: durability
+    // is synchronous (flush per commit), so the sim always starts from
+    // a fully durable base.
+    flush(slot);
+    mark_acked(lsn);
+    return;
+  }
+  // Pinned: this wait yields but must never unwind (see the ack-point
+  // comment in txdesc.cpp).  Unlike every other pinned region it is NOT
+  // wait-free — it blocks on the flush leader's progress — so it must
+  // bail out (unacknowledged) the moment the simulation stops: after
+  // the brake or a crash the scheduler's baseline policies may never
+  // again resume the fiber this wait depends on.
+  vt::ScopedCritical crit(/*arm_now=*/true);
+  while (durable_lsn_ < lsn) {
+    if (crashed_ || vt::stop_requested()) return;  // never acknowledged
+    if (flush_leader_ < 0) {
+      flush_leader_ = slot;
+      lead(slot);
+      flush_leader_ = -1;
+    } else {
+      vt::access();
+    }
+  }
+  if (!crashed_) mark_acked(lsn);
+}
+
+void WalManager::maybe_checkpoint() {
+  const stm::Config& cfg = stm::Runtime::instance().config;
+  if (cfg.checkpoint_every == 0) return;
+  if (stats_.flushes % cfg.checkpoint_every != 0) return;
+  if (crashed_ || !vt::in_sim()) {
+    // Post-crash state is volatile noise; non-sim checkpointing would
+    // run with no crash windows, so do it (setup-time logs stay small
+    // enough without).
+    return;
+  }
+  // Step 1: build the staging image — base + every durable record not
+  // yet folded.  Indivisible; the fold is the same total fold recovery
+  // uses, so recovered state is independent of checkpoint timing.
+  Image staging = base_;
+  std::uint64_t pos = folded_words_;
+  while (pos < dur_.size()) pos = fold_one(staging, dur_, pos, nullptr, nullptr);
+  const std::uint64_t staged = dur_.size();
+  vt::access();  // crash window: staging built, nothing installed yet
+  // Step 2: install the checkpoint.
+  base_ = std::move(staging);
+  folded_words_ = staged;
+  ++stats_.checkpoints;
+  vt::access();  // crash window: installed but NOT truncated — recovery
+                 // must skip the already-folded prefix (folded_words_)
+  // Step 3: truncate the folded prefix.
+  stats_.truncated_words += folded_words_;
+  dur_.erase(dur_.begin(), dur_.begin() + static_cast<std::ptrdiff_t>(folded_words_));
+  folded_words_ = 0;
+}
+
+void WalManager::capture_crash_image() {
+  crashed_ = true;
+  if (!active_) return;
+  capture_.valid = true;
+  capture_.crashed = true;
+  capture_.base = base_;
+  capture_.log = dur_;
+  capture_.folded_words = folded_words_;
+  capture_.durable_lsn = durable_lsn_;
+  capture_.side = side_;
+}
+
+void WalManager::capture_quiescent_image() {
+  if (!active_) return;
+  capture_.valid = true;
+  capture_.crashed = false;
+  capture_.base = base_;
+  capture_.log = dur_;
+  capture_.folded_words = folded_words_;
+  capture_.durable_lsn = durable_lsn_;
+  capture_.side = side_;
+}
+
+RecoveryResult WalManager::replay(const Capture& cap) {
+  RecoveryResult r;
+  if (!cap.valid) {
+    r.what = "no captured durable image";
+    return r;
+  }
+  r.state = cap.base;
+  FoldCheck chk;
+  std::uint64_t pos = cap.folded_words;
+  while (pos < cap.log.size() && chk.ok)
+    pos = fold_one(r.state, cap.log, pos, &r.clock_floor, &chk);
+  for (const auto& [id, vv] : r.state.cells)
+    r.clock_floor = std::max(r.clock_floor, vv.first);
+  for (const auto& [ok, vv] : r.state.objs)
+    r.clock_floor = std::max(r.clock_floor, vv.first);
+  r.ok = chk.ok;
+  r.what = chk.what;
+  r.image = r.state.serialize();
+  return r;
+}
+
+void WalManager::recover_apply(const RecoveryResult& r) {
+  for (const auto& [id, vv] : r.state.cells) {
+    if (id == 0 || id > cells_by_id_.size()) continue;
+    stm::Cell* c = cells_by_id_[id - 1];
+    c->vlock.store(stm::lockword::make_version(vv.first),
+                   std::memory_order_relaxed);
+    c->value.store(vv.second, std::memory_order_relaxed);
+    c->clear_history();
+  }
+  stm::Runtime::instance().clock_restore_at_least(r.clock_floor);
+}
+
+}  // namespace demotx::dur

@@ -1,0 +1,238 @@
+// demotx:expert-file: durability tier interface: redo-log manager over the expert commit-logger hook; registry speaks raw Cell/ObjDesc by design
+// Write-ahead redo log with batched group commit, checkpoint truncation
+// and a deterministic crash/recovery path (ROADMAP item 3).
+//
+// The log is modeled entirely in memory as TWO word arrays, which is
+// what makes crash injection exact under the vt simulator:
+//
+//   vol_  the volatile log tail.  Committers append here from inside
+//         their pinned commit section (durability.hpp): reserve the
+//         record's span in one indivisible step, write the payload
+//         (yielding virtual cycles between words — these yields are the
+//         schedulable windows every torn-write and mid-append
+//         interleaving lives in), then SEAL the record by writing its
+//         header word last and advancing the contiguous sealed
+//         watermark.  The planted DEMOTX_CHECK_INJECT=torn-write bug
+//         inverts exactly this order — seal first, payload after — so a
+//         concurrent flush can force a garbage record.
+//
+//   dur_  the durable image: what survives a crash.  Only the group
+//         flush appends here, one whole record per modeled device
+//         barrier (records are force-atomic, like a sector append), with
+//         a yield between records — so an injected crash mid-flush
+//         durably keeps a PREFIX of the group: the crash-mid-group case.
+//
+// Group commit: the first committer to wait on an undurable record
+// becomes the flush LEADER; it waits until Config::group_commit_batch
+// commits are pending or Config::group_commit_interval cycles pass,
+// drains every sealed record to dur_, then takes ONE clock grant
+// (min_exclusive = the highest write version logged so far) and appends
+// it as a group-stamp record — one sharded-clock grant stamps the whole
+// group, amortizing the commit-clock line across the batch.  The stamp
+// is a durable clock watermark, not an ordering bound: recovery restores
+// the clock from max(stamps, record wvs), so a stamp lost to a crash
+// costs nothing.
+//
+// Checkpoints: every Config::checkpoint_every flushes the leader folds
+// the durable log into the base image and truncates the folded prefix in
+// three separately-crashable steps (build staging / install / truncate);
+// a crash between install and truncate leaves already-folded records in
+// the log, which recovery must skip via the folded-words watermark —
+// the crash-during-truncation edge case.
+//
+// Recovery (replay) is a pure function of a Capture — the frozen durable
+// state the scheduler's on_crash hook grabbed — onto a canonical Image
+// whose serialization is byte-comparable with the oracle's expectation
+// (check/durability.cpp folds the side-recorded TRUE payloads instead).
+//
+// Concurrency: every member is plain (non-atomic) state.  All mutation
+// happens either under the vt simulator (fibers share one OS thread; code
+// between vt::access calls is indivisible) or single-threaded (setup /
+// teardown / tests).  The manager is NOT usable from real concurrent
+// OS threads, and nothing in the repo does so.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "stm/durability.hpp"
+
+namespace demotx::stm {
+struct Cell;
+struct ObjDesc;
+}  // namespace demotx::stm
+
+namespace demotx::dur {
+
+// Record geometry.  A record is header + payload words; the header packs
+// (length << 8 | kind) and doubles as the seal (0 = not yet sealed).
+//   kCommit     [hdr, wv, ncells, nobjs, (cell_id, value) * ncells,
+//                (obj_id, key, value) * nobjs]
+//   kGroupStamp [hdr, stamp]
+namespace rec {
+inline constexpr std::uint64_t kCommit = 1;
+inline constexpr std::uint64_t kGroupStamp = 2;
+inline constexpr std::uint64_t header(std::uint64_t len, std::uint64_t kind) {
+  return (len << 8) | kind;
+}
+inline constexpr std::uint64_t len_of(std::uint64_t h) { return h >> 8; }
+inline constexpr std::uint64_t kind_of(std::uint64_t h) { return h & 0xffu; }
+}  // namespace rec
+
+// Canonical recoverable state: registered cells by id -> (version,
+// value) and object entries by (object id, key) -> (version, value).
+// Ordered maps so serialize() is sorted and two images are equal iff
+// their serializations match word for word.
+struct Image {
+  std::map<std::uint64_t, std::pair<std::uint64_t, std::uint64_t>> cells;
+  std::map<std::pair<std::uint64_t, std::uint64_t>,
+           std::pair<std::uint64_t, std::uint64_t>>
+      objs;
+  [[nodiscard]] std::vector<std::uint64_t> serialize() const;
+};
+
+// Ground truth for the durability oracle: the TRUE payload of every
+// logged commit (immune to the torn-write inject, which only corrupts
+// the log words), its position in the log, and whether the committer's
+// ack wait returned before the crash.
+struct SideRec {
+  std::uint64_t lsn_end = 0;  // volatile-log offset one past the record
+  std::uint64_t wv = 0;
+  int slot = -1;
+  bool acked = false;
+  std::uint64_t t_logged = 0;        // append cycle (ack-latency base)
+  std::vector<std::uint64_t> cells;  // (id, value) pairs, flattened
+  std::vector<std::uint64_t> objs;   // (obj_id, key, value) triples
+};
+
+// The durable machine state frozen at the crash instant (or at
+// quiescence, for non-crash verification): everything recovery may use,
+// plus the side records only the ORACLE may use.
+struct Capture {
+  bool valid = false;
+  bool crashed = false;
+  Image base;                       // checkpoint base image
+  std::vector<std::uint64_t> log;   // durable log (dur_) at capture
+  std::uint64_t folded_words = 0;   // log prefix already folded into base
+  std::uint64_t durable_lsn = 0;    // volatile-log durability watermark
+  std::vector<SideRec> side;        // oracle ground truth
+};
+
+struct RecoveryResult {
+  bool ok = false;
+  std::string what;               // first structural/order violation
+  std::uint64_t clock_floor = 0;  // max version/stamp replayed
+  Image state;
+  std::vector<std::uint64_t> image;  // state.serialize()
+};
+
+struct WalStats {
+  std::uint64_t records = 0;         // commit records appended
+  std::uint64_t records_forced = 0;  // records made durable
+  std::uint64_t flushes = 0;
+  std::uint64_t group_grants = 0;
+  std::uint64_t checkpoints = 0;
+  std::uint64_t truncated_words = 0;
+  std::uint64_t acks = 0;
+  std::uint64_t ack_lat_sum = 0;  // cycles from append to acknowledgment
+  std::uint64_t ack_lat_max = 0;
+};
+
+class WalManager final : public stm::CommitLogger {
+ public:
+  static WalManager& instance();
+
+  // Re-arms the log for a fresh run: clears both images, the registry,
+  // side records, stats and any capture.  Single-threaded (pre-sim).
+  void reset();
+  [[nodiscard]] bool active() const { return active_; }
+
+  // Registry: the durable state is exactly the registered cells and
+  // objects; unregistered writes are volatile by contract.  Cells carry
+  // their current (version, value) into the initial image, so they may
+  // be pre-populated before registration.  Objects must be registered
+  // EMPTY — their durable content is built entirely from logged
+  // commits, which is what keeps object replay canonical.
+  std::uint64_t register_cell(stm::Cell* c);
+  std::uint64_t register_obj(stm::ObjDesc* o);
+
+  // stm::CommitLogger
+  std::uint64_t on_commit_log(int slot, std::uint64_t wv,
+                              const stm::WriteEntry* wb, std::size_t nw,
+                              const stm::ObjNetWrite* ob,
+                              std::size_t no) override;
+  void await_durable(int slot, std::uint64_t lsn) override;
+
+  // Scheduler on_crash hook: freezes the durable image at this exact
+  // virtual instant.  Runs on the scheduler stack, between fiber steps.
+  void capture_crash_image();
+  // Non-crash counterpart for end-of-run verification.
+  void capture_quiescent_image();
+  [[nodiscard]] const Capture& capture() const { return capture_; }
+  [[nodiscard]] const Image& initial_image() const { return init_; }
+
+  // Pure recovery: replays a captured durable image (base + log suffix)
+  // into a fresh canonical state.  Never touches live cells; calling it
+  // twice on the same capture returns identical results (idempotence).
+  [[nodiscard]] static RecoveryResult replay(const Capture& cap);
+  [[nodiscard]] RecoveryResult recover() const { return replay(capture_); }
+
+  // Applies a recovered image onto the registered cells (version +
+  // value + cleared rings) and restores the runtime clock past every
+  // replayed version — the "fresh runtime" half of recovery.  Object
+  // state stays canonical (rebuilding a container is its owner's job).
+  void recover_apply(const RecoveryResult& r);
+
+  [[nodiscard]] const WalStats& stats() const { return stats_; }
+  [[nodiscard]] std::uint64_t durable_lsn() const { return durable_lsn_; }
+  [[nodiscard]] bool crash_seen() const { return crashed_; }
+
+ private:
+  WalManager() = default;
+
+  void advance_sealed();
+  std::uint64_t drain(int slot, unsigned cost);
+  void flush(int slot);
+  void lead(int slot);
+  void maybe_checkpoint();
+  void mark_acked(std::uint64_t lsn);
+
+  bool active_ = false;
+  bool crashed_ = false;
+
+  // Registry.
+  std::unordered_map<const stm::Cell*, std::uint64_t> cell_ids_;
+  std::unordered_map<const stm::ObjDesc*, std::uint64_t> obj_ids_;
+  std::vector<stm::Cell*> cells_by_id_;
+  Image init_;  // state at registration time (oracle's fold base)
+
+  // Volatile log.
+  std::vector<std::uint64_t> vol_;
+  std::uint64_t resv_end_ = 0;    // reserved words (appends in flight)
+  std::uint64_t sealed_end_ = 0;  // contiguous fully-sealed prefix
+  std::uint64_t max_logged_wv_ = 0;
+
+  // Durable state.
+  std::vector<std::uint64_t> dur_;
+  std::uint64_t durable_lsn_ = 0;   // vol_ offset the flush has reached
+  Image base_;                      // checkpoint base
+  std::uint64_t folded_words_ = 0;  // dur_ prefix already inside base_
+
+  // Group commit.
+  int flush_leader_ = -1;
+  std::uint64_t unflushed_commits_ = 0;
+
+  // Oracle ground truth.
+  std::vector<SideRec> side_;
+  std::unordered_map<std::uint64_t, std::size_t> lsn_to_side_;
+
+  Capture capture_;
+  WalStats stats_;
+};
+
+}  // namespace demotx::dur

@@ -14,15 +14,19 @@
 #include <cstddef>
 #include <cstdint>
 
+#include "stm/cell.hpp"
+
 namespace demotx::stm {
 
-struct Cell;
-
-// Cells are 64-byte aligned, so the low 6 bits carry no information;
-// Fibonacci hashing (golden-ratio multiply) then spreads consecutive
-// heap addresses across the bit range.
+// The hashed identity is the cell's allocation-order uid, NOT its heap
+// address: addresses vary between a recorded exploration and its replay
+// (allocator state differs), and a filter bit that moves between runs
+// makes summary-ring verdicts — and therefore replay tokens —
+// non-reproducible.  uids are a pure function of allocation order, which
+// the deterministic scheduler replays exactly.  Fibonacci hashing
+// (golden-ratio multiply) spreads consecutive uids across the bit range.
 inline std::size_t addr_hash(const Cell* c) {
-  auto x = reinterpret_cast<std::uintptr_t>(c) >> 6;
+  std::uint64_t x = c->uid;
   x *= 0x9e3779b97f4a7c15ULL;
   return static_cast<std::size_t>(x >> 32 ^ x);
 }

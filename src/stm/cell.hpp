@@ -83,6 +83,20 @@ struct Cell;
 // per destruction) outside explorations; written single-threadedly.
 inline void (*g_cell_destroy_hook)(const Cell*) = nullptr;
 
+// Allocation-order cell ids.  Summary-filter bits hash this uid, not the
+// heap address: two runs of the same deterministic schedule allocate
+// cells in the same ORDER but not at the same ADDRESSES, so an
+// address-derived bit can differ between a PCT hunt and its replay and
+// flip a summary-ring verdict.  The explorer resets the counter before
+// constructing each workload, making the whole filter language a pure
+// function of the schedule.  Uniqueness, not density, is the contract:
+// duplicate uids across unrelated live cells would only add "maybe" bits
+// (false conflicts), never clear a bit that should be set.
+inline std::atomic<std::uint64_t> g_cell_uid_next{1};
+inline void cell_uid_reset(std::uint64_t next = 1) {
+  g_cell_uid_next.store(next, std::memory_order_relaxed);
+}
+
 struct alignas(64) Cell {
   std::atomic<std::uint64_t> vlock{lockword::make_version(0)};
   std::atomic<std::uint64_t> value{0};
@@ -93,6 +107,11 @@ struct alignas(64) Cell {
     std::atomic<std::uint64_t> val{0};
   };
   HistSlot hist[kMaxSnapshotBackups];
+
+  // Immutable, allocation-ordered; the identity the filter-bit language
+  // hashes (addrfilter.hpp).  See g_cell_uid_next above.
+  const std::uint64_t uid =
+      g_cell_uid_next.fetch_add(1, std::memory_order_relaxed);
 
   Cell() = default;
   explicit Cell(std::uint64_t v) : value(v) {}

@@ -1,0 +1,63 @@
+// Durability hook: the commit path's one-way door into the redo log.
+//
+// Mirrors observer.hpp's passive-hook shape (one global load and a
+// predictable branch when detached), but unlike the observer the logger
+// is load-bearing: on_commit_log is called INSIDE the pinned commit
+// section — after the commit-point CAS, the summary publish and the
+// last_wv bookkeeping, with every cell and stripe lock still held — so
+// the log records a commit's write-set exactly at its serialization
+// point, and per-cell log order equals per-cell version order by
+// construction (a later writer of the same cell must first take the lock
+// this commit still holds).  await_durable is the ACK POINT: it runs as
+// the last step of commit(), after the commit gate is left, and waits
+// (yielding virtual cycles, still pinned — it must never unwind out of
+// a committed commit()) until the group-commit flusher has made the
+// record durable.  A transaction counts as acknowledged only once the
+// wait observes its record durable; when a crash fires mid-wait the
+// wait returns WITHOUT acknowledging, losing the acknowledgment but
+// never the atomicity of the already-applied commit — exactly the
+// window the durability oracle reasons about.
+//
+// The concrete logger is dur::WalManager (dur/wal.hpp); tests, durable
+// workloads and the group-commit bench attach it explicitly.  With no
+// logger attached the STM is exactly as before: volatile, ack-free.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace demotx::stm {
+
+struct WriteEntry;   // writeset.hpp
+struct ObjNetWrite;  // objops.hpp
+
+class CommitLogger {
+ public:
+  virtual ~CommitLogger() = default;
+
+  // Appends one redo record for a committing update transaction: the
+  // write version plus the net cell values (`wb[0..nw)`) and object
+  // net-ops (`ob[0..no)`).  Called with all write locks held; must not
+  // block on other committers (it may yield virtual cycles).  Returns
+  // the record's LSN for await_durable, or 0 if nothing durable was
+  // logged (e.g. no registered state touched).
+  virtual std::uint64_t on_commit_log(int slot, std::uint64_t wv,
+                                      const WriteEntry* wb, std::size_t nw,
+                                      const ObjNetWrite* ob,
+                                      std::size_t no) = 0;
+
+  // Waits until the record at `lsn` is durable (group flush reached
+  // it).  Called after the commit gate is released; must yield without
+  // unwinding (the caller is a successfully committed transaction) and
+  // must return promptly — unacknowledged — once a crash has been
+  // injected.
+  virtual void await_durable(int slot, std::uint64_t lsn) = 0;
+};
+
+// Single-threaded attach/detach, same contract as g_tx_observer.
+inline CommitLogger* g_commit_logger = nullptr;
+
+inline CommitLogger* commit_logger() { return g_commit_logger; }
+inline void set_commit_logger(CommitLogger* l) { g_commit_logger = l; }
+
+}  // namespace demotx::stm

@@ -49,6 +49,14 @@
 
 namespace demotx::stm {
 
+// Allocation-order object ids, mirroring g_cell_uid_next: object filter
+// bits hash this uid so summary verdicts replay identically across runs.
+// Reset alongside the cell counter by the explorer.
+inline std::atomic<std::uint64_t> g_obj_uid_next{1};
+inline void obj_uid_reset(std::uint64_t next = 1) {
+  g_obj_uid_next.store(next, std::memory_order_relaxed);
+}
+
 // Base descriptor shared by all participating objects.  ObjRing — the
 // per-object generalization of the per-cell ring — lives in objops.hpp
 // so the Tx descriptor can name its Entry type without this header.
@@ -68,6 +76,10 @@ struct ObjDesc {
   }
 
   Kind kind;
+  // Immutable, allocation-ordered identity for the filter-bit language
+  // (obj_key_filter_bit) and the durability registry (dur/wal.hpp).
+  const std::uint64_t uid =
+      g_obj_uid_next.fetch_add(1, std::memory_order_relaxed);
   ObjStripe stripes[kStripes];
   Cell notify;
 };
@@ -76,10 +88,12 @@ struct ObjDesc {
 // ring for each net (object, key) change — the same 64-bit bit language
 // as addr_filter_bit, so word-level and object-level readers share one
 // union: a summary-ring kClean is conclusive for BOTH kinds of reads.
+// Hashes the object's allocation-order uid, not its address, for the
+// same reason addr_hash does: replayed schedules re-create objects at
+// different addresses but in identical order.
 [[nodiscard]] inline std::uint64_t obj_key_filter_bit(const ObjDesc* obj,
                                                       std::uint64_t key) {
-  std::uint64_t h = (reinterpret_cast<std::uintptr_t>(obj) >> 6) *
-                    0x9e3779b97f4a7c15ULL;
+  std::uint64_t h = obj->uid * 0x9e3779b97f4a7c15ULL;
   h ^= (key + 0x9e3779b97f4a7c15ULL) * 0x2545f4914f6cdd1dULL;
   return std::uint64_t{1} << ((h >> 32 ^ h) & 63u);
 }

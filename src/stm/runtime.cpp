@@ -63,6 +63,14 @@ Runtime::Runtime() {
   if (const char* oo = std::getenv("DEMOTX_OBJECT_OPS")) {
     config.object_ops = std::strcmp(oo, "0") != 0 && oo[0] != '\0';
   }
+  if (const char* gc = std::getenv("DEMOTX_GROUP_COMMIT")) {
+    const long n = std::atol(gc);
+    config.group_commit_batch = static_cast<std::size_t>(n < 1 ? 1 : n);
+  }
+  if (const char* gi = std::getenv("DEMOTX_GROUP_INTERVAL")) {
+    const long n = std::atol(gi);
+    config.group_commit_interval = static_cast<std::uint64_t>(n < 1 ? 1 : n);
+  }
   // Mutation self-test (check/ explorer): plant a known soundness bug so
   // ctest can assert the exploration actually finds it.  Never set this
   // outside the check_inject tests.
@@ -72,6 +80,7 @@ Runtime::Runtime() {
       config.inject_late_summary = true;
     if (std::strcmp(m, "stale-shard") == 0) config.inject_stale_shard = true;
     if (std::strcmp(m, "obj-commute") == 0) config.inject_obj_commute = true;
+    if (std::strcmp(m, "torn-write") == 0) config.inject_torn_write = true;
   }
 
   // Stable line colors for the NUMA sim model.  The always-global words
@@ -273,6 +282,14 @@ void Runtime::reset_stats() {
   for (Slot& s : slots_) {
     if (Tx* t = s.tx.load(std::memory_order_acquire)) t->stats() = TxStats{};
   }
+}
+
+void Runtime::sim_lines_reset() {
+  clock_line_.free_at = 0;
+  gate_line_.free_at = 0;
+  epoch_line_.free_at = 0;
+  for (HotLine& l : ring_lines_) l.free_at = 0;
+  for (ClockShard& s : shards_) s.line.free_at = 0;
 }
 
 }  // namespace demotx::stm

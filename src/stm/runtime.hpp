@@ -237,6 +237,28 @@ struct Config {
   // presence re-check — the "commutativity without value equivalence"
   // bug class the object tier specifically defends against.
   bool inject_obj_commute = false;
+  // Durability tier (dur/wal.hpp; only consulted while a CommitLogger is
+  // attached).  group_commit_batch: commits the flush leader waits to
+  // accumulate before forcing the log — 1 is the no-batching control
+  // (every commit pays a full force).  group_commit_interval: virtual
+  // cycles the leader waits for the batch to fill before flushing short,
+  // so a lone committer is never stranded.  checkpoint_every: forces
+  // between checkpoints (0 disables checkpointing and the log grows
+  // unbounded).  log_flush_cost: modeled device cycles charged per
+  // record forced — the "write barrier" the batching amortizes.
+  // DEMOTX_GROUP_COMMIT / DEMOTX_GROUP_INTERVAL override the first two
+  // at process start so ctest and the bench can A/B them.
+  std::size_t group_commit_batch = 8;
+  std::uint64_t group_commit_interval = 128;
+  std::uint64_t checkpoint_every = 4;
+  unsigned log_flush_cost = 4;
+  // Planted durability bug (DEMOTX_CHECK_INJECT=torn-write): the WAL
+  // append publishes the record as flushable BEFORE its payload is
+  // written (header-seal-first instead of payload-first), so a group
+  // flush overlapping the append forces a garbage record — recovery
+  // then diverges from the acknowledged history, which the durability
+  // oracle must catch and replay byte-identically.
+  bool inject_torn_write = false;
 };
 
 class Runtime {
@@ -328,6 +350,23 @@ class Runtime {
     if (config.clock_scheme == ClockScheme::kSharded)
       return clock_epoch_floor(epoch_.load(std::memory_order_relaxed));
     return clock_.load(std::memory_order_relaxed);
+  }
+  // Recovery path (dur/wal.cpp): raises the clock so every FUTURE grant
+  // is strictly above `v`, the highest write version the redo log
+  // replayed — recovered cell versions must look like the past to every
+  // post-recovery transaction.  Quiescent use only.  GV1/GV4 lift the
+  // counter to v; sharded bumps the epoch past v's, because a same-epoch
+  // grant from another shard could otherwise slot below a replayed
+  // version (shard sequence words are mutually blind).
+  void clock_restore_at_least(std::uint64_t v) {
+    if (config.clock_scheme == ClockScheme::kSharded) {
+      const std::uint64_t want = clock_epoch_of(v) + 1;
+      if (epoch_.load(std::memory_order_relaxed) < want)
+        epoch_.store(want, std::memory_order_seq_cst);
+      return;
+    }
+    if (clock_.load(std::memory_order_relaxed) < v)
+      clock_.store(v, std::memory_order_seq_cst);
   }
 
   // Greedy-CM ticket source.
@@ -597,6 +636,16 @@ class Runtime {
   // ---- statistics ----
   TxStats aggregate_stats();
   void reset_stats();
+
+  // Forgets the simulated coherence-queue state (every HotLine's
+  // free_at): the next simulator run starts from idle hardware.  The
+  // self-heal in charge_hot_line_rmw only caps carryover at one service
+  // per logical thread, which back-to-back short runs never exceed — so
+  // the check/ explorer calls this before every schedule, where a queue
+  // inherited from the previous run would shift every early crash
+  // window and make a replayed schedule depend on which runs preceded
+  // the recording.
+  void sim_lines_reset();
 
  private:
   // Padded to a cache line: peek_slot kill-polling and descriptor lookup

@@ -7,6 +7,7 @@
 
 #include "mem/epoch.hpp"
 #include "stm/cm/manager.hpp"
+#include "stm/durability.hpp"
 #include "stm/objstm.hpp"
 #include "stm/observer.hpp"
 #include "stm/runtime.hpp"
@@ -57,6 +58,7 @@ void Tx::begin(Semantics sem, unsigned attempt, bool irrevocable) {
   overwrite_undo_.clear();
   checkpoint_depth_ = 0;
   retry_watch_.clear();
+  pending_lsn_ = 0;
   killed_poll_ = 0;
   obj_reads_.clear();
   obj_writes_.clear();
@@ -153,6 +155,23 @@ void Tx::commit() {
     Runtime::instance().release_irrevocability(slot_);
   }
   cm_->on_commit(*this);
+
+  // ACK POINT (durability.hpp): with a redo logger attached, the commit
+  // is not acknowledged until its record is durable.  Deliberately the
+  // LAST step — the commit is already applied and every gate/token
+  // released.  The wait must NOT unwind (a FiberStopped escaping
+  // commit() would roll back an already-committed transaction: double
+  // epoch exit, a phantom abort in the recorded history), so it runs
+  // under the still-armed pin, yields cycles, and returns WITHOUT the
+  // acknowledgment when a crash fires mid-wait.  A crash therefore
+  // loses only the acknowledgment, never the applied commit — the
+  // asymmetry (applied-but-unacked is legal, acked-but-lost is not) the
+  // durability oracle certifies.
+  if (pending_lsn_ != 0) {
+    const std::uint64_t lsn = pending_lsn_;
+    pending_lsn_ = 0;
+    if (CommitLogger* lg = commit_logger()) lg->await_durable(slot_, lsn);
+  }
 }
 
 void Tx::rollback(AbortReason why) {
@@ -771,6 +790,18 @@ void Tx::commit_update(vt::ScopedCritical& crit) {
     // would not prove the write was ours.
     own_wvs_[own_wvs_next_] = wv;
     own_wvs_next_ = (own_wvs_next_ + 1) % kOwnWvRing;
+  }
+  // Redo-log append rides the held locks (durability.hpp): appending
+  // while every touched cell and stripe is still exclusively ours makes
+  // per-location log order equal version order by construction — a
+  // later writer of any of these locations must first acquire a lock
+  // this commit has not yet released.  The append may yield cycles but
+  // never blocks on another committer; the durable ACK waits at the end
+  // of commit(), outside the pinned region.
+  if (CommitLogger* lg = commit_logger()) {
+    pending_lsn_ = lg->on_commit_log(slot_, wv, writes_.begin(),
+                                     writes_.size(), obj_net_.data(),
+                                     obj_net_.size());
   }
   // Ring maintenance rides the held lock: every write-back pushes the
   // superseded (version, value) pair — the value readers saw at

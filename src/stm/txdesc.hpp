@@ -372,6 +372,11 @@ class Tx {
   std::vector<std::size_t> obj_consume_undo_;
   std::uint64_t obj_read_filter_ = 0;   // key-hash bits of logged reads
   std::uint64_t obj_write_filter_ = 0;  // key-hash bits of net changes
+
+  // Durability (durability.hpp): LSN of this commit's redo record,
+  // written under the locks in commit_update and consumed by the ack
+  // point at the end of commit().  0 = nothing to wait for.
+  std::uint64_t pending_lsn_ = 0;
 };
 
 }  // namespace demotx::stm

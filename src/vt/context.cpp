@@ -35,6 +35,11 @@ std::uint64_t sim_now() {
   return (c != nullptr && c->sched != nullptr) ? c->sched->cycles() : 0;
 }
 
+bool stop_requested() {
+  Context* c = tls_current;
+  return c != nullptr && c->sched != nullptr && c->sched->stop_requested();
+}
+
 void set_current(Context* c) { tls_current = c; }
 
 ThreadRegistration::ThreadRegistration(int id) {

@@ -52,6 +52,14 @@ void access(unsigned weight = 1);
 // Virtual cycles elapsed in the current simulation; 0 in real mode.
 std::uint64_t sim_now();
 
+// True once the current simulation is stopping (cycle brake or injected
+// crash); false in real mode.  Pinned code that WAITS on another fiber's
+// progress (rather than doing wait-free work) must poll this and bail
+// out: after stop the scheduler only guarantees that fibers it happens
+// to resume run — a pinned spin that needs a specific other fiber can
+// otherwise live-lock the whole simulation.
+bool stop_requested();
+
 // RAII registration of a plain OS thread as a logical thread (real mode).
 // The simulator registers its fibers itself.
 class ThreadRegistration {

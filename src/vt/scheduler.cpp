@@ -217,6 +217,19 @@ void Scheduler::run() {
     die("demotx::vt::Scheduler: run() called from inside a fiber");
   running_ = true;
   while (live_ > 0) {
+    // Crash injector: fires once, on the scheduler's own stack between
+    // fiber steps, freezing whatever durable image exists at this exact
+    // virtual instant (a half-forced group commit stays half-forced).
+    // The fibers then unwind like a brake hit — except fibers pinned by
+    // ScopedCritical, which finish their wait-free commit bookkeeping;
+    // their post-crash stores are VOLATILE state only and never reach
+    // the image on_crash captured, which is what makes the injected
+    // crash point exact.
+    if (!stop_ && cycles_ >= opts_.crash_at_cycle) {
+      crashed_ = true;
+      stop_ = true;
+      if (opts_.on_crash) opts_.on_crash();
+    }
     if (!stop_ && cycles_ >= opts_.max_cycles) {
       hit_limit_ = true;
       stop_ = true;

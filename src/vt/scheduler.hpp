@@ -90,6 +90,16 @@ class Scheduler {
     // When non-null, every choice point is appended (all policies) —
     // the raw material for replay tokens and DFS frontier expansion.
     std::vector<Decision>* decision_log = nullptr;
+    // Crash injection (durability testing): at the first scheduling step
+    // whose virtual time reaches crash_at_cycle, on_crash fires ONCE —
+    // on the scheduler's own stack, between fiber steps, so it observes
+    // the exact machine state at that instant (a committer may be
+    // mid-flush, a group may be half forced: that is the point) — and
+    // then every fiber is unwound as if the machine lost power.  The
+    // durable image a WAL captured in on_crash is all recovery gets.
+    // Overridable per run; DEMOTX_CRASH_AT feeds it via the explorer.
+    std::uint64_t crash_at_cycle = UINT64_MAX;
+    std::function<void()> on_crash;
   };
 
   Scheduler() : Scheduler(Options{}) {}
@@ -113,6 +123,13 @@ class Scheduler {
 
   // True if run() hit max_cycles before all fibers finished.
   [[nodiscard]] bool hit_cycle_limit() const { return hit_limit_; }
+
+  // True if the crash injector fired (crash_at_cycle reached).
+  [[nodiscard]] bool crashed() const { return crashed_; }
+
+  // True once the simulation is stopping (brake, crash or stop()):
+  // pinned waits must observe this and stop blocking on other fibers.
+  [[nodiscard]] bool stop_requested() const { return stop_; }
 
   // Asks all fibers to unwind at their next access.  Callable from inside
   // a fiber.
@@ -147,6 +164,7 @@ class Scheduler {
   bool running_ = false;
   bool stop_ = false;
   bool hit_limit_ = false;
+  bool crashed_ = false;
   // kPct state: per-task priorities (larger runs first; signed so
   // spin-breaker demotions can always go below everything) and the
   // sorted step numbers at which the running task's priority is demoted.
