@@ -1,0 +1,218 @@
+// demotx:expert-file: benchmark: drives the svc tier-map scenario, whose request classes name every semantics tier by design
+// KV service scenario figure: append-to-reply latency percentiles and
+// goodput under an open-loop arrival sweep, mixed-tier vs. all-classic.
+//
+//     interarrival {96, 48, 24, 12, 6} cycles  x  {mixed, classic}
+//
+// Each point boots a fresh transactional KV service (src/svc/): worker
+// foms advance queued requests one transaction attempt per tick, an
+// injector fiber paces seeded-exponential arrivals over multiplexed
+// sessions — open loop, so tightening the interarrival gap pushes the
+// service into overload instead of slowing the clients down.  The
+// mixed series maps request classes onto the semantics tiers (elastic
+// point ops, snapshot scans, classic transfers, irrevocable admin);
+// the classic series forces every class onto kClassic — the A/B that
+// isolates what the tier map buys at saturation: snapshot scans stop
+// competing for certification against transfers, so fewer ticks are
+// wasted on aborts, the queue drains faster, and fewer requests are
+// shed by the deadline.
+//
+// Every point must pass the service reply oracle (monotone sessions,
+// conserved bank total, no acked-then-lost put, no shed effect) or the
+// benchmark exits nonzero — throughput of a wrong service is not a
+// result.
+//
+// Runs under the virtual-time simulator (one-core container; DESIGN.md,
+// Substitutions).  Output is JSON (stdout, and argv[1] if given):
+//
+//   { "bench": "fig_kvservice", "mode": "sim",
+//     "workers": W, "sessions": S, "queue_cap": Q, "deadline": D,
+//     "requests_per_point": "max(8, cycles/gap)",
+//     "results": [ { "series": "mixed"|"classic", "points": [
+//         { "interarrival": G, "requests": N, "acked": A, "shed": S,
+//           "duration": C, "goodput": R, "abort_ratio": X,
+//           "classes": [ { "class": "get", "acked": N, "attempts": N,
+//                          "aborts": N, "p50": L, "p95": L, "p99": L,
+//                          "max": L }, ... ] }, ... ] } ],
+//     "summary": { "mixed_goodput_overload": R,
+//                  "classic_goodput_overload": R,
+//                  "mixed_over_classic_goodput_overload": R,
+//                  "mixed_over_classic_acked_overload": R,
+//                  "classic_over_mixed_scan_p99_overload": R } }
+//
+// goodput is acked replies per kilocycle; latencies are virtual cycles
+// from arrival to acknowledgment (queueing + retries + commit).
+#include <algorithm>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "mem/epoch.hpp"
+#include "svc/kvservice.hpp"
+#include "svc/openloop.hpp"
+
+using namespace demotx;
+
+namespace {
+
+long env_long(const char* name, long fallback) {
+  const char* v = std::getenv(name);
+  return v != nullptr ? std::atol(v) : fallback;
+}
+
+constexpr std::uint64_t kGaps[] = {96, 48, 24, 12, 6};
+constexpr std::size_t kNumGaps = sizeof(kGaps) / sizeof(kGaps[0]);
+constexpr std::uint64_t kDeadline = 4096;
+constexpr std::uint64_t kQueueCap = 64;
+
+struct Point {
+  std::uint64_t gap = 0;
+  std::uint64_t requests = 0;
+  std::uint64_t acked = 0;
+  std::uint64_t shed = 0;
+  std::uint64_t duration = 0;
+  double goodput = 0.0;      // acked per kilocycle
+  double abort_ratio = 0.0;  // aborts / attempts, all classes
+  std::uint64_t cls_acked[svc::kNumReqClasses] = {};
+  std::uint64_t cls_attempts[svc::kNumReqClasses] = {};
+  std::uint64_t cls_aborts[svc::kNumReqClasses] = {};
+  std::uint64_t p50[svc::kNumReqClasses] = {};
+  std::uint64_t p95[svc::kNumReqClasses] = {};
+  std::uint64_t p99[svc::kNumReqClasses] = {};
+  std::uint64_t lat_max[svc::kNumReqClasses] = {};
+};
+
+Point run_point(std::uint64_t gap, bool all_classic, int workers,
+                std::uint64_t cycles, std::uint64_t seed) {
+  // DEMOTX_SVC_SESSIONS and DEMOTX_SVC_DURABLE pass through from the
+  // environment (a durable run A/Bs the tier map with acks gated on
+  // group-commit durability); the sweep axes and the figure's fixed
+  // shape override the rest.
+  svc::SvcConfig cfg = svc::SvcConfig::from_env();
+  cfg.workers = workers;
+  cfg.queue_cap = kQueueCap;
+  cfg.deadline_cycles = kDeadline;
+  cfg.mean_interarrival = gap;
+  cfg.total_requests = std::max<std::uint64_t>(8, cycles / gap);
+  cfg.bank_keys = 16;
+  cfg.keys_per_session = 2;
+  cfg.initial_balance = 100;
+  cfg.all_classic = all_classic;
+
+  svc::KvService s(cfg, seed);
+  const svc::OpenLoopResult r = svc::run_open_loop(s);
+  if (r.hit_limit) {
+    std::cerr << "CYCLE-LIMIT FAILURE: gap=" << gap
+              << (all_classic ? " classic" : " mixed") << " never drained\n";
+    std::exit(1);
+  }
+  std::string why;
+  if (!s.check_replies(&why)) {
+    std::cerr << "ORACLE FAILURE: gap=" << gap
+              << (all_classic ? " classic" : " mixed") << ": " << why << "\n";
+    std::exit(1);
+  }
+
+  svc::SvcStats& st = s.stats();
+  Point p;
+  p.gap = gap;
+  p.requests = st.arrived;
+  p.acked = st.acked_total();
+  p.shed = st.shed_total();
+  p.duration = r.cycles;
+  p.goodput = r.goodput;
+  std::uint64_t attempts = 0, aborts = 0;
+  for (int c = 0; c < svc::kNumReqClasses; ++c) {
+    p.cls_acked[c] = st.acked[c];
+    p.cls_attempts[c] = st.attempts[c];
+    p.cls_aborts[c] = st.aborts[c];
+    attempts += st.attempts[c];
+    aborts += st.aborts[c];
+    p.p50[c] = st.lat[c].p50();
+    p.p95[c] = st.lat[c].p95();
+    p.p99[c] = st.lat[c].p99();
+    p.lat_max[c] = st.lat[c].max();
+  }
+  p.abort_ratio = attempts == 0 ? 0.0
+                                : static_cast<double>(aborts) /
+                                      static_cast<double>(attempts);
+  mem::EpochManager::instance().drain();
+  return p;
+}
+
+void json_point(std::ostream& os, const Point& p) {
+  os << "      {\"interarrival\": " << p.gap << ", \"requests\": "
+     << p.requests << ", \"acked\": " << p.acked << ", \"shed\": " << p.shed
+     << ", \"duration\": " << p.duration << ", \"goodput\": " << p.goodput
+     << ", \"abort_ratio\": " << p.abort_ratio << ",\n       \"classes\": [";
+  for (int c = 0; c < svc::kNumReqClasses; ++c) {
+    if (c != 0) os << ",";
+    os << "\n        {\"class\": \""
+       << svc::to_string(static_cast<svc::ReqClass>(c))
+       << "\", \"acked\": " << p.cls_acked[c]
+       << ", \"attempts\": " << p.cls_attempts[c]
+       << ", \"aborts\": " << p.cls_aborts[c] << ", \"p50\": " << p.p50[c]
+       << ", \"p95\": " << p.p95[c] << ", \"p99\": " << p.p99[c]
+       << ", \"max\": " << p.lat_max[c] << "}";
+  }
+  os << "]}";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto cycles =
+      static_cast<std::uint64_t>(env_long("DEMOTX_CYCLES", 60'000));
+  const int workers = static_cast<int>(
+      std::min<long>(env_long("DEMOTX_MAX_THREADS", 4), 64));
+
+  std::ostringstream out;
+  out << "{\n  \"bench\": \"fig_kvservice\",\n  \"mode\": \"sim\",\n"
+      << "  \"workers\": " << workers << ",\n  \"sessions\": 16,\n"
+      << "  \"queue_cap\": " << kQueueCap << ",\n  \"deadline\": "
+      << kDeadline << ",\n  \"cycles_per_point\": " << cycles
+      << ",\n  \"results\": [\n";
+
+  // points[series][gap]; series 0 = mixed, 1 = classic.
+  Point pts[2][kNumGaps];
+  const char* names[2] = {"mixed", "classic"};
+  for (int s = 0; s < 2; ++s) {
+    if (s != 0) out << ",\n";
+    out << "    {\"series\": \"" << names[s] << "\", \"points\": [\n";
+    for (std::size_t g = 0; g < kNumGaps; ++g) {
+      std::cerr << names[s] << " interarrival=" << kGaps[g] << "...\n";
+      pts[s][g] = run_point(kGaps[g], /*all_classic=*/s == 1, workers, cycles,
+                            1000 + 10 * g);
+      if (g != 0) out << ",\n";
+      json_point(out, pts[s][g]);
+    }
+    out << "\n    ]}";
+  }
+
+  // Overload = the tightest interarrival of the sweep.
+  const Point& mo = pts[0][kNumGaps - 1];
+  const Point& co = pts[1][kNumGaps - 1];
+  const auto ratio = [](double a, double b) { return b == 0.0 ? 0.0 : a / b; };
+  const int scan = static_cast<int>(svc::ReqClass::kScan);
+  out << "\n  ],\n  \"summary\": {\n"
+      << "    \"mixed_goodput_overload\": " << mo.goodput << ",\n"
+      << "    \"classic_goodput_overload\": " << co.goodput << ",\n"
+      << "    \"mixed_over_classic_goodput_overload\": "
+      << ratio(mo.goodput, co.goodput) << ",\n"
+      << "    \"mixed_over_classic_acked_overload\": "
+      << ratio(static_cast<double>(mo.acked), static_cast<double>(co.acked))
+      << ",\n"
+      << "    \"classic_over_mixed_scan_p99_overload\": "
+      << ratio(static_cast<double>(co.p99[scan]),
+               static_cast<double>(mo.p99[scan]))
+      << "\n  }\n}\n";
+
+  std::cout << out.str();
+  if (argc > 1) {
+    std::ofstream f(argv[1]);
+    f << out.str();
+  }
+  return 0;
+}

@@ -15,6 +15,7 @@
 #include "stm/durability.hpp"
 #include "stm/objstm.hpp"
 #include "stm/stm.hpp"
+#include "svc/kvservice.hpp"
 
 namespace demotx::check {
 
@@ -528,6 +529,70 @@ class ObjsetDurable final : public Workload {
   stm::ObjSet set_;
 };
 
+// Durable churn under snapshot readers (the crash-in-spin workload):
+// writers overwrite every registered cell in one durable commit — each
+// holds its write locks through the WAL append and parks in the pinned
+// await_durable — while snapshot readers race those write-backs, so the
+// bounded reader spins (read_snapshot's locked/torn branches) are live
+// in almost every schedule.  An injected crash landing inside such a
+// spin window must not hang the capture: the spin polls observe
+// vt::stop_requested() (ISSUE 9 satellite).  Non-crashed schedules keep
+// SnapshotChurn's invariant (all cells equal); crashed ones are
+// certified by the durability oracle.
+class SnapshotDurable final : public Workload {
+ public:
+  [[nodiscard]] int threads() const override { return 4; }
+
+  void setup() override {
+    for (auto& c : cells_) c.unsafe_store(1);
+    dur::WalManager& wal = dur::WalManager::instance();
+    for (auto& c : cells_) wal.register_cell(&c);
+    stm::set_commit_logger(&wal);
+  }
+
+  void body(int tid) override {
+    if (tid < 2) {
+      for (std::uint64_t g = 1; g <= 4; ++g) {
+        const std::uint64_t v =
+            static_cast<std::uint64_t>(tid) * 100 + g;
+        stm::atomically([&](stm::Tx& tx) {
+          for (auto& c : cells_) tx.write_word(c, v);
+        });
+      }
+    } else {
+      for (int it = 0; it < 3; ++it) {
+        const bool equal = stm::atomically(
+            stm::Semantics::kSnapshot, [&](stm::Tx& tx) {
+              const std::uint64_t first = tx.read_word(cells_[0]);
+              for (auto& c : cells_)
+                if (tx.read_word(c) != first) return false;
+              return true;
+            });
+        if (!equal) torn_.store(true, std::memory_order_relaxed);
+      }
+    }
+  }
+
+  bool invariant(std::string* why) override {
+    if (torn_.load(std::memory_order_relaxed)) {
+      *why = "snapshot-dur: a snapshot observed unequal cells";
+      return false;
+    }
+    const std::uint64_t v0 = cells_[0].unsafe_value();
+    for (auto& c : cells_) {
+      if (c.unsafe_value() != v0) {
+        *why = "snapshot-dur: final cells unequal after quiescence";
+        return false;
+      }
+    }
+    return true;
+  }
+
+ private:
+  std::array<stm::Cell, 4> cells_{};
+  std::atomic<bool> torn_{false};
+};
+
 // ObjRing wrap-exhaustion (non-durable): a snapshot reader pins its rv
 // on a dummy cell read, then walks the set's striped size rings; the
 // writer meanwhile flips ONE key snapshot_depth + 2 times, so a schedule
@@ -595,10 +660,69 @@ class ObjRingWrap final : public Workload {
   std::size_t flips_ = 0;
 };
 
+// KV service scenario (src/svc/): a miniature open-loop run inside the
+// explorer.  Two worker fibers and the injector drive a mixed request
+// stream through the FOM tick loop, so every schedule exercises the
+// per-session in-flight guard, the one-attempt-per-tick re-parking and
+// all four semantics tiers at once; the recorded-history oracles certify
+// each attempt against its tier's rules, and the quiescent invariant is
+// the service's own reply oracle (monotone sessions, conserved scans,
+// no acked-then-lost, no shed effects).  The durable variant registers
+// the whole table with the WAL, so under --crash-at / --crash-hunt the
+// durability oracle additionally checks that acknowledged puts survive
+// the recovered image.
+class KvServiceCheck final : public Workload {
+ public:
+  explicit KvServiceCheck(bool durable) {
+    svc::SvcConfig cfg;
+    cfg.workers = 2;
+    cfg.sessions = 3;
+    cfg.queue_cap = 16;   // roomy: admission shedding is the tests' job
+    cfg.deadline_cycles = 0;
+    cfg.mean_interarrival = 6;
+    cfg.total_requests = 12;
+    cfg.bank_keys = 4;
+    cfg.keys_per_session = 2;
+    cfg.initial_balance = 20;
+    // Flat-ish mix so a dozen arrivals usually cover all five classes.
+    cfg.get_pct = 25;
+    cfg.put_pct = 25;
+    cfg.scan_pct = 20;
+    cfg.transfer_pct = 20;  // remaining 10% admin
+    cfg.durable = durable;
+    svc_ = std::make_unique<svc::KvService>(cfg, /*seed=*/4242);
+  }
+
+  [[nodiscard]] int threads() const override { return 3; }
+
+  void setup() override { svc_->setup(); }
+
+  void body(int tid) override {
+    if (tid == 2) {
+      svc_->injector_body();
+    } else {
+      svc_->worker_body(tid);
+    }
+  }
+
+  bool invariant(std::string* why) override {
+    std::string w;
+    if (!svc_->check_replies(&w)) {
+      *why = w;
+      return false;
+    }
+    return true;
+  }
+
+ private:
+  std::unique_ptr<svc::KvService> svc_;
+};
+
 const std::vector<std::string> kNames = {
     "list-mixed",     "bank-skew",      "summary-race", "queue",
     "skiplist-mixed", "snapshot-churn", "objset-churn", "obj-reserve",
-    "bank-dur",       "objset-dur",     "objring-wrap"};
+    "bank-dur",       "objset-dur",     "snapshot-dur", "objring-wrap",
+    "kv-service",     "kv-service-dur"};
 
 }  // namespace
 
@@ -613,7 +737,12 @@ std::unique_ptr<Workload> make_workload(const std::string& name) {
   if (name == "obj-reserve") return std::make_unique<ObjReserve>();
   if (name == "bank-dur") return std::make_unique<BankDurable>();
   if (name == "objset-dur") return std::make_unique<ObjsetDurable>();
+  if (name == "snapshot-dur") return std::make_unique<SnapshotDurable>();
   if (name == "objring-wrap") return std::make_unique<ObjRingWrap>();
+  if (name == "kv-service")
+    return std::make_unique<KvServiceCheck>(/*durable=*/false);
+  if (name == "kv-service-dur")
+    return std::make_unique<KvServiceCheck>(/*durable=*/true);
   return nullptr;
 }
 

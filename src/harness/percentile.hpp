@@ -1,0 +1,92 @@
+// Percentile capture for the open-loop service benches.
+//
+// Closed-loop figures report throughput; a service under an open-loop
+// arrival stream is judged by its append-to-reply LATENCY DISTRIBUTION
+// (p50/p95/p99) and its goodput under overload, so the harness needs a
+// sample sink that survives millions of requests without distorting the
+// tail.  This one keeps every sample up to a fixed cap and then switches
+// to deterministic reservoir sampling (Vitter's algorithm R with the
+// sink's own xorshift stream — no global RNG, so a seeded run replays
+// bit-identically); count / sum / max stay exact regardless.  Quantiles
+// come from nth_element over the retained samples at read time.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "stm/stats.hpp"
+
+namespace demotx::harness {
+
+class PercentileSink {
+ public:
+  // Default cap: plenty for exact sub-percent quantiles, small enough
+  // that a per-class sink costs well under a megabyte.
+  explicit PercentileSink(std::size_t cap = 65536, std::uint64_t seed = 1)
+      : cap_(cap == 0 ? 1 : cap), rng_(seed != 0 ? seed : 1) {}
+
+  void add(std::uint64_t sample) {
+    ++count_;
+    sum_ = stm::TxStats::sat_add(sum_, sample);
+    if (sample > max_) max_ = sample;
+    if (samples_.size() < cap_) {
+      samples_.push_back(sample);
+      return;
+    }
+    // Reservoir: keep each of the `count_` samples with equal
+    // probability cap_/count_.
+    const std::uint64_t j = next() % count_;
+    if (j < cap_) samples_[static_cast<std::size_t>(j)] = sample;
+  }
+
+  [[nodiscard]] std::uint64_t count() const { return count_; }
+  [[nodiscard]] std::uint64_t sum() const { return sum_; }
+  [[nodiscard]] std::uint64_t max() const { return max_; }
+  [[nodiscard]] double mean() const {
+    return count_ == 0 ? 0.0
+                       : static_cast<double>(sum_) /
+                             static_cast<double>(count_);
+  }
+
+  // Quantile in [0, 1]; nearest-rank over the retained samples.
+  // Non-const: partitions the retained buffer in place (cheap, and the
+  // sink keeps absorbing samples afterwards).
+  [[nodiscard]] std::uint64_t quantile(double q) {
+    if (samples_.empty()) return 0;
+    if (q < 0.0) q = 0.0;
+    if (q > 1.0) q = 1.0;
+    const auto rank = static_cast<std::size_t>(
+        q * static_cast<double>(samples_.size() - 1) + 0.5);
+    auto nth = samples_.begin() + static_cast<std::ptrdiff_t>(rank);
+    std::nth_element(samples_.begin(), nth, samples_.end());
+    return *nth;
+  }
+
+  [[nodiscard]] std::uint64_t p50() { return quantile(0.50); }
+  [[nodiscard]] std::uint64_t p95() { return quantile(0.95); }
+  [[nodiscard]] std::uint64_t p99() { return quantile(0.99); }
+
+  void reset() {
+    samples_.clear();
+    count_ = sum_ = max_ = 0;
+  }
+
+ private:
+  std::uint64_t next() {
+    rng_ ^= rng_ << 13;
+    rng_ ^= rng_ >> 7;
+    rng_ ^= rng_ << 17;
+    return rng_;
+  }
+
+  std::size_t cap_;
+  std::uint64_t rng_;
+  std::vector<std::uint64_t> samples_;
+  std::uint64_t count_ = 0;
+  std::uint64_t sum_ = 0;
+  std::uint64_t max_ = 0;
+};
+
+}  // namespace demotx::harness

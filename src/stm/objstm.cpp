@@ -23,6 +23,7 @@
 #include "stm/runtime.hpp"
 #include "stm/txdesc.hpp"
 #include "vt/context.hpp"
+#include "vt/fiber.hpp"
 
 namespace demotx::stm {
 
@@ -74,9 +75,19 @@ void Tx::obj_update_bracket(ObjStripe& sp, Scan&& scan) {
         scan();
         return;
       }
-      if (irrevocable()) continue;  // the holder drains; we cannot abort
+      if (irrevocable()) {
+        // The holder drains; we cannot abort.  But on scheduler stop /
+        // crash injection (DEMOTX_CRASH_AT) the holder never drains —
+        // this otherwise-unbounded wait must observe the stop and bail
+        // (context.hpp contract).  Unwind exactly the way vt::access
+        // does for unpinned fibers (an irrevocable tx must not see
+        // AbortTx): the run is over, only prompt exit matters.
+        if (vt::stop_requested()) throw vt::FiberStopped{};
+        continue;
+      }
       if (polite < kObjPoliteBound) {
         ++polite;
+        if (vt::stop_requested()) throw_abort(AbortReason::kLockedByOther);
         vt::cpu_relax();
         continue;
       }
@@ -109,7 +120,13 @@ bool Tx::obj_try_bracket(ObjStripe& sp, Scan&& scan) {
         scan();
         return true;
       }
-      if ((spin & 7u) == 0) check_killed();
+      if ((spin & 7u) == 0) {
+        check_killed();
+        // Crash/stop while the holder is parked: the budget would burn
+        // dead cycles (or hang a pinned certifier whose vt::access no
+        // longer unwinds) — fail the bracket promptly instead.
+        if (vt::stop_requested()) return false;
+      }
       vt::cpu_relax();
       continue;
     }

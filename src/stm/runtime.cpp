@@ -1,7 +1,9 @@
 // demotx:expert-file: STM runtime implementation: this code defines the expert tier
 #include "stm/runtime.hpp"
 
+#include <cerrno>
 #include <cstddef>
+#include <cstdio>
 #include <cstdlib>
 #include <cstring>
 
@@ -12,76 +14,146 @@ Runtime& Runtime::instance() {
   return rt;
 }
 
+namespace {
+
+// Strict full-string integer parse: "12x", "", and overflowing values
+// all fail, unlike atol (which silently returns 0 for garbage and made
+// e.g. DEMOTX_SNAPSHOT_DEPTH=abc clamp to depth 1 instead of keeping
+// the configured default).
+bool parse_long(const char* text, long& out) {
+  if (text == nullptr || *text == '\0') return false;
+  errno = 0;
+  char* end = nullptr;
+  const long v = std::strtol(text, &end, 10);
+  if (end == text || *end != '\0' || errno == ERANGE) return false;
+  out = v;
+  return true;
+}
+
+void unknown_choice(const char* name, const char* text, const char* valid) {
+  std::fprintf(stderr, "demotx: %s=\"%s\" unrecognized (valid: %s); ignored\n",
+               name, text, valid);
+}
+
+}  // namespace
+
+// One integer knob: garbage keeps `fallback` (the built-in default),
+// out-of-range clamps to [lo, hi]; both cases say so once on stderr so
+// a misconfigured run is never silent.  Public so other layers' env
+// knobs (svc/) validate the same way.
+long parse_env_knob(const char* name, const char* text, long lo, long hi,
+                    long fallback) {
+  long v = 0;
+  if (!parse_long(text, v)) {
+    std::fprintf(stderr,
+                 "demotx: %s=\"%s\" is not an integer; keeping %ld\n", name,
+                 text, fallback);
+    return fallback;
+  }
+  if (v < lo) {
+    std::fprintf(stderr, "demotx: %s=%ld below minimum %ld; clamping\n", name,
+                 v, lo);
+    return lo;
+  }
+  if (v > hi) {
+    std::fprintf(stderr, "demotx: %s=%ld above maximum %ld; clamping\n", name,
+                 v, hi);
+    return hi;
+  }
+  return v;
+}
+
 // Process-wide scheme overrides, so the whole test suite and every bench
 // can run under either commit-clock / gate layout without recompiling
 // (ctest registers the stm suites a second time with DEMOTX_CLOCK=gv4
-// DEMOTX_GATE=counter, and a third with DEMOTX_CLOCK=sharded).
-Runtime::Runtime() {
+// DEMOTX_GATE=counter, and a third with DEMOTX_CLOCK=sharded).  Factored
+// out of the Runtime constructor so the config-validation test can drive
+// it against a scratch Config (the Runtime itself is a process
+// singleton).  Every integer knob is validated: garbage keeps the
+// default, out-of-range clamps, and either case prints one stderr line.
+void apply_env_overrides(Config& config) {
   if (const char* c = std::getenv("DEMOTX_CLOCK")) {
-    if (std::strcmp(c, "gv4") == 0) config.clock_scheme = ClockScheme::kGv4;
-    if (std::strcmp(c, "gv1") == 0) config.clock_scheme = ClockScheme::kGv1;
-    if (std::strcmp(c, "sharded") == 0)
+    if (std::strcmp(c, "gv4") == 0)
+      config.clock_scheme = ClockScheme::kGv4;
+    else if (std::strcmp(c, "gv1") == 0)
+      config.clock_scheme = ClockScheme::kGv1;
+    else if (std::strcmp(c, "sharded") == 0)
       config.clock_scheme = ClockScheme::kSharded;
+    else
+      unknown_choice("DEMOTX_CLOCK", c, "gv1|gv4|sharded");
   }
   if (const char* g = std::getenv("DEMOTX_GATE")) {
     if (std::strcmp(g, "counter") == 0)
       config.gate_scheme = GateScheme::kCounter;
-    if (std::strcmp(g, "distributed") == 0)
+    else if (std::strcmp(g, "distributed") == 0)
       config.gate_scheme = GateScheme::kDistributed;
+    else
+      unknown_choice("DEMOTX_GATE", g, "counter|distributed");
   }
   if (const char* d = std::getenv("DEMOTX_SNAPSHOT_DEPTH")) {
-    const long n = std::atol(d);
-    config.snapshot_depth = static_cast<std::size_t>(
-        n < 1 ? 1
-              : (n > static_cast<long>(kMaxSnapshotDepth)
-                     ? static_cast<long>(kMaxSnapshotDepth)
-                     : n));
+    config.snapshot_depth = static_cast<std::size_t>(parse_env_knob(
+        "DEMOTX_SNAPSHOT_DEPTH", d, 1, static_cast<long>(kMaxSnapshotDepth),
+        static_cast<long>(config.snapshot_depth)));
   }
   if (const char* v = std::getenv("DEMOTX_VALIDATION")) {
     if (std::strcmp(v, "summary") == 0)
       config.validation_scheme = ValidationScheme::kSummary;
-    if (std::strcmp(v, "scan") == 0)
+    else if (std::strcmp(v, "scan") == 0)
       config.validation_scheme = ValidationScheme::kScan;
+    else
+      unknown_choice("DEMOTX_VALIDATION", v, "scan|summary");
   }
   if (const char* q = std::getenv("DEMOTX_EPOCH_QUOTA")) {
-    const long n = std::atol(q);
-    config.clock_epoch_quota = static_cast<std::uint64_t>(
-        n < 1 ? 1
-              : (n > static_cast<long>(kClockSeqCapacity - 1)
-                     ? static_cast<long>(kClockSeqCapacity - 1)
-                     : n));
+    config.clock_epoch_quota = static_cast<std::uint64_t>(parse_env_knob(
+        "DEMOTX_EPOCH_QUOTA", q, 1, static_cast<long>(kClockSeqCapacity - 1),
+        static_cast<long>(config.clock_epoch_quota)));
   }
   if (const char* nd = std::getenv("DEMOTX_NUMA_DOMAINS")) {
-    const long n = std::atol(nd);
     config.numa_domains = static_cast<int>(
-        n < 1 ? 1 : (n > vt::kMaxThreads ? vt::kMaxThreads : n));
+        parse_env_knob("DEMOTX_NUMA_DOMAINS", nd, 1, vt::kMaxThreads,
+                       config.numa_domains));
   }
   if (const char* nc = std::getenv("DEMOTX_NUMA_COST")) {
-    const long n = std::atol(nc);
-    config.numa_remote_cost = static_cast<unsigned>(n < 1 ? 1 : n);
+    config.numa_remote_cost = static_cast<unsigned>(parse_env_knob(
+        "DEMOTX_NUMA_COST", nc, 1, 1L << 20,
+        static_cast<long>(config.numa_remote_cost)));
   }
   if (const char* oo = std::getenv("DEMOTX_OBJECT_OPS")) {
     config.object_ops = std::strcmp(oo, "0") != 0 && oo[0] != '\0';
   }
   if (const char* gc = std::getenv("DEMOTX_GROUP_COMMIT")) {
-    const long n = std::atol(gc);
-    config.group_commit_batch = static_cast<std::size_t>(n < 1 ? 1 : n);
+    config.group_commit_batch = static_cast<std::size_t>(parse_env_knob(
+        "DEMOTX_GROUP_COMMIT", gc, 1, 1L << 20,
+        static_cast<long>(config.group_commit_batch)));
   }
   if (const char* gi = std::getenv("DEMOTX_GROUP_INTERVAL")) {
-    const long n = std::atol(gi);
-    config.group_commit_interval = static_cast<std::uint64_t>(n < 1 ? 1 : n);
+    config.group_commit_interval = static_cast<std::uint64_t>(parse_env_knob(
+        "DEMOTX_GROUP_INTERVAL", gi, 1, 1L << 40,
+        static_cast<long>(config.group_commit_interval)));
   }
   // Mutation self-test (check/ explorer): plant a known soundness bug so
   // ctest can assert the exploration actually finds it.  Never set this
   // outside the check_inject tests.
   if (const char* m = std::getenv("DEMOTX_CHECK_INJECT")) {
-    if (std::strcmp(m, "gv4-skip") == 0) config.inject_gv4_skip = true;
-    if (std::strcmp(m, "late-summary") == 0)
+    if (std::strcmp(m, "gv4-skip") == 0)
+      config.inject_gv4_skip = true;
+    else if (std::strcmp(m, "late-summary") == 0)
       config.inject_late_summary = true;
-    if (std::strcmp(m, "stale-shard") == 0) config.inject_stale_shard = true;
-    if (std::strcmp(m, "obj-commute") == 0) config.inject_obj_commute = true;
-    if (std::strcmp(m, "torn-write") == 0) config.inject_torn_write = true;
+    else if (std::strcmp(m, "stale-shard") == 0)
+      config.inject_stale_shard = true;
+    else if (std::strcmp(m, "obj-commute") == 0)
+      config.inject_obj_commute = true;
+    else if (std::strcmp(m, "torn-write") == 0)
+      config.inject_torn_write = true;
+    else
+      unknown_choice("DEMOTX_CHECK_INJECT", m,
+                     "gv4-skip|late-summary|stale-shard|obj-commute|"
+                     "torn-write");
   }
+}
+
+Runtime::Runtime() {
+  apply_env_overrides(config);
 
   // Stable line colors for the NUMA sim model.  The always-global words
   // (clock, gate, epoch) stay color 0 — every scheme pays the remote
@@ -272,7 +344,11 @@ TxStats Runtime::aggregate_stats() {
   for (Slot& s : slots_) {
     if (Tx* t = s.tx.load(std::memory_order_acquire)) {
       total.merge(t->stats());
-      total.desc_heap_bytes += s.heap.bytes_reserved();
+      // Across slots the gauge sums (each heap counted exactly once);
+      // TxStats::merge deliberately maxes it instead, so that merging
+      // two AGGREGATES (harness folds) can't double-count a heap.
+      total.desc_heap_bytes =
+          TxStats::sat_add(total.desc_heap_bytes, s.heap.bytes_reserved());
     }
   }
   return total;

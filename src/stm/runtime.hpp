@@ -261,6 +261,22 @@ struct Config {
   bool inject_torn_write = false;
 };
 
+// Fold the DEMOTX_* environment overrides into `config` with validation:
+// integer knobs parse strictly (garbage keeps the built-in default,
+// out-of-range clamps to the knob's legal interval) and unknown enum
+// strings are ignored — each miss gets one stderr diagnostic line.  The
+// Runtime constructor calls this once at process start; it is a free
+// function so the config-validation test can drive it against a scratch
+// Config without touching the process singleton.
+void apply_env_overrides(Config& config);
+
+// Strict single-knob helper behind apply_env_overrides, public so other
+// layers' env knobs (svc/) validate and diagnose the same way: parses
+// `text` as a full-string integer, returns `fallback` on garbage (with
+// a stderr line) and clamps to [lo, hi] on range misses (ditto).
+long parse_env_knob(const char* name, const char* text, long lo, long hi,
+                    long fallback);
+
 class Runtime {
  public:
   static Runtime& instance();

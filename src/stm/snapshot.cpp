@@ -47,6 +47,13 @@ std::uint64_t Tx::read_snapshot(Cell& c) {
       const std::uint64_t sw = status_.load(std::memory_order_acquire);
       if ((sw & 3u) == kStatusAborted && (sw >> 2) == serial_)
         throw_abort(AbortReason::kKilled);
+      // Scheduler stop / crash injection (DEMOTX_CRASH_AT): the lock
+      // holder we are waiting on is never scheduled again, so the spin
+      // budget is pure dead time — and for a PINNED caller (no_unwind
+      // set) the vt::access at the loop top does NOT unwind, turning
+      // the window into a hang.  The context.hpp contract requires any
+      // pinned wait on another fiber's progress to poll this and bail.
+      if (vt::stop_requested()) throw_abort(AbortReason::kKilled);
       if (spins >= kSpinBound) throw_abort(bound_hit);
     }
     vt::cpu_relax();

@@ -55,42 +55,58 @@ struct TxStats {
   std::uint64_t obj_key_conflicts = 0;  // certification found a real conflict
   std::uint64_t obj_ring_hits = 0;      // snapshot read served by an old entry
 
+  // Overflow-safe add for the aggregation paths: a long open-loop run
+  // (hours of simulated cycles) can push per-thread counters near the
+  // 64-bit edge, and a wrapped aggregate (UINT64_MAX-5 + 10 -> 4) reads
+  // as a near-idle run — strictly worse than pinning at the ceiling.
+  static std::uint64_t sat_add(std::uint64_t a, std::uint64_t b) {
+    const std::uint64_t s = a + b;
+    return s < a ? UINT64_MAX : s;
+  }
+
   void merge(const TxStats& o) {
-    starts += o.starts;
-    commits += o.commits;
-    aborts += o.aborts;
+    starts = sat_add(starts, o.starts);
+    commits = sat_add(commits, o.commits);
+    aborts = sat_add(aborts, o.aborts);
     for (int i = 0; i < kNumSemantics; ++i) {
-      commits_by_sem[i] += o.commits_by_sem[i];
-      aborts_by_sem[i] += o.aborts_by_sem[i];
+      commits_by_sem[i] = sat_add(commits_by_sem[i], o.commits_by_sem[i]);
+      aborts_by_sem[i] = sat_add(aborts_by_sem[i], o.aborts_by_sem[i]);
     }
     for (int i = 0; i < kNumAbortReasons; ++i)
-      aborts_by_reason[i] += o.aborts_by_reason[i];
-    reads += o.reads;
-    writes += o.writes;
-    elastic_cuts += o.elastic_cuts;
-    snapshot_old_reads += o.snapshot_old_reads;
-    snapshot_ring_hits += o.snapshot_ring_hits;
-    snapshot_too_recent += o.snapshot_too_recent;
-    extensions += o.extensions;
-    kills_issued += o.kills_issued;
-    early_releases += o.early_releases;
-    htm_commits += o.htm_commits;
-    htm_fallbacks += o.htm_fallbacks;
-    clock_adopts += o.clock_adopts;
-    gate_waits += o.gate_waits;
-    wfilter_hits += o.wfilter_hits;
-    wfilter_skips += o.wfilter_skips;
-    summary_skips += o.summary_skips;
-    summary_fallbacks += o.summary_fallbacks;
-    ring_overflows += o.ring_overflows;
-    readset_dedups += o.readset_dedups;
-    shard_conflicts += o.shard_conflicts;
-    epoch_bumps += o.epoch_bumps;
-    remote_line_hits += o.remote_line_hits;
-    desc_heap_bytes += o.desc_heap_bytes;
-    obj_commutes += o.obj_commutes;
-    obj_key_conflicts += o.obj_key_conflicts;
-    obj_ring_hits += o.obj_ring_hits;
+      aborts_by_reason[i] = sat_add(aborts_by_reason[i], o.aborts_by_reason[i]);
+    reads = sat_add(reads, o.reads);
+    writes = sat_add(writes, o.writes);
+    elastic_cuts = sat_add(elastic_cuts, o.elastic_cuts);
+    snapshot_old_reads = sat_add(snapshot_old_reads, o.snapshot_old_reads);
+    snapshot_ring_hits = sat_add(snapshot_ring_hits, o.snapshot_ring_hits);
+    snapshot_too_recent = sat_add(snapshot_too_recent, o.snapshot_too_recent);
+    extensions = sat_add(extensions, o.extensions);
+    kills_issued = sat_add(kills_issued, o.kills_issued);
+    early_releases = sat_add(early_releases, o.early_releases);
+    htm_commits = sat_add(htm_commits, o.htm_commits);
+    htm_fallbacks = sat_add(htm_fallbacks, o.htm_fallbacks);
+    clock_adopts = sat_add(clock_adopts, o.clock_adopts);
+    gate_waits = sat_add(gate_waits, o.gate_waits);
+    wfilter_hits = sat_add(wfilter_hits, o.wfilter_hits);
+    wfilter_skips = sat_add(wfilter_skips, o.wfilter_skips);
+    summary_skips = sat_add(summary_skips, o.summary_skips);
+    summary_fallbacks = sat_add(summary_fallbacks, o.summary_fallbacks);
+    ring_overflows = sat_add(ring_overflows, o.ring_overflows);
+    readset_dedups = sat_add(readset_dedups, o.readset_dedups);
+    shard_conflicts = sat_add(shard_conflicts, o.shard_conflicts);
+    epoch_bumps = sat_add(epoch_bumps, o.epoch_bumps);
+    remote_line_hits = sat_add(remote_line_hits, o.remote_line_hits);
+    // Gauge, not a counter: merging two aggregates that both already
+    // include a thread's heap reservation must not double it.  Summing
+    // ACROSS threads is the aggregation site's job (each slot is merged
+    // exactly once there); between aggregates the max is the honest
+    // combination.
+    desc_heap_bytes =
+        desc_heap_bytes < o.desc_heap_bytes ? o.desc_heap_bytes
+                                            : desc_heap_bytes;
+    obj_commutes = sat_add(obj_commutes, o.obj_commutes);
+    obj_key_conflicts = sat_add(obj_key_conflicts, o.obj_key_conflicts);
+    obj_ring_hits = sat_add(obj_ring_hits, o.obj_ring_hits);
   }
 
   [[nodiscard]] double abort_ratio() const {

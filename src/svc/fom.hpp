@@ -1,0 +1,73 @@
+// FOM-style request state machines for the transactional KV service.
+//
+// The service scenario (DESIGN.md, "svc") models a storage frontend the
+// way Motr structures its request path: every request is a *fom* — a
+// non-blocking state machine owned by a locality (here: a worker fiber)
+// that advances in discrete ticks and never blocks the thread it runs
+// on.  A tick is ONE transaction attempt against the STM: the worker
+// begins a transaction in the request's mapped semantics tier, runs the
+// body, and tries to commit.  On a certification abort the fom parks
+// (state stays kExecuting, the request re-enters the run queue) and the
+// worker picks another runnable fom — exactly the "park and wake, never
+// spin" contract a fom scheduler enforces.
+//
+// States:
+//
+//   kQueued ──► kExecuting ──► kCommitting ──► kReplied
+//      │             │  ▲            │
+//      ▼             ▼  └────────────┘  (certification abort: re-park)
+//    kShed ◄─────────┘
+//
+//   kQueued     admitted to the run queue, no attempt started yet
+//   kExecuting  at least one attempt ran (or is running) and aborted
+//   kCommitting the attempt's body finished; commit certification runs
+//   kReplied    committed and acknowledged (reply_at stamped)
+//   kShed       dropped by admission control (queue overflow) or by the
+//               deadline check — always BEFORE any attempt committed, so
+//               a shed request never has server-visible effects
+//
+// Shedding discipline: a request may be shed at arrival (bounded
+// admission queue) or at the top of a tick (deadline passed), but never
+// after tx.commit() returned — "committed but unacknowledged" can happen
+// under a crash (and the durability oracle allows it); "acknowledged
+// then lost" can not.
+#pragma once
+
+#include <cstdint>
+
+namespace demotx::svc {
+
+// Request classes and the semantics tier each one maps to (the paper's
+// Sec. 5 tiers applied per request class rather than per programmer):
+//
+//   kGet / kPut   point ops       -> elastic (single-location window)
+//   kScan         range analytics -> snapshot (read-only, old versions)
+//   kTransfer     cross-key move  -> classic (opaque default)
+//   kAdmin        epoch bump      -> irrevocable classic (runs exactly
+//                                    once; the one tick that commits by
+//                                    construction)
+enum class ReqClass : int { kGet = 0, kPut, kScan, kTransfer, kAdmin };
+inline constexpr int kNumReqClasses = 5;
+const char* to_string(ReqClass c);
+
+enum class FomState : int { kQueued = 0, kExecuting, kCommitting, kReplied, kShed };
+const char* to_string(FomState s);
+
+// One request fom.  Owned by the service's arena (stable address); the
+// run queue and the per-session in-flight guard hold pointers into it.
+struct Request {
+  ReqClass cls = ReqClass::kGet;
+  FomState state = FomState::kQueued;
+  std::uint32_t session = 0;  // issuing client session
+  std::uint32_t seq = 0;      // per-session sequence number, from 1
+  std::uint64_t key = 0;      // absolute cell index (get/put/transfer src)
+  std::uint64_t key2 = 0;     // transfer destination
+  std::uint64_t value = 0;    // put payload / transfer amount
+  std::uint64_t arrive_at = 0;
+  std::uint64_t deadline = UINT64_MAX;  // absolute virtual time
+  std::uint64_t reply_at = 0;
+  std::uint64_t result = 0;   // get value / scan sum / transfer ok
+  unsigned attempt = 0;       // transaction attempts consumed
+};
+
+}  // namespace demotx::svc

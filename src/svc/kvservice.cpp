@@ -1,0 +1,428 @@
+// demotx:expert-file: service layer — the request-class -> semantics-tier
+// map and the irrevocable admin path are the scenario under test.
+#include "svc/kvservice.hpp"
+
+#include <cmath>
+#include <cstdlib>
+
+#include "dur/wal.hpp"
+#include "stm/durability.hpp"
+#include "vt/context.hpp"
+
+namespace demotx::svc {
+
+namespace {
+
+// Point-op payloads encode their key and sequence number so the reply
+// oracle can decode any value it finds: payload = key<<24 | seq.  Keys
+// stay far below 2^24 sessions*keys and seq below 2^24 per session at
+// every configuration the knobs admit.
+constexpr unsigned kPayloadSeqBits = 24;
+
+// Idle workers re-arm a polling timer instead of busy-spinning: an idle
+// service must not burn virtual cycles (open-loop latency would absorb
+// the spin), and under the heap policies the whole machine sleeps
+// straight to the next arrival.
+constexpr std::uint64_t kIdlePollCycles = 64;
+
+}  // namespace
+
+const char* to_string(ReqClass c) {
+  switch (c) {
+    case ReqClass::kGet: return "get";
+    case ReqClass::kPut: return "put";
+    case ReqClass::kScan: return "scan";
+    case ReqClass::kTransfer: return "transfer";
+    case ReqClass::kAdmin: return "admin";
+  }
+  return "?";
+}
+
+const char* to_string(FomState s) {
+  switch (s) {
+    case FomState::kQueued: return "queued";
+    case FomState::kExecuting: return "executing";
+    case FomState::kCommitting: return "committing";
+    case FomState::kReplied: return "replied";
+    case FomState::kShed: return "shed";
+  }
+  return "?";
+}
+
+SvcConfig SvcConfig::from_env() {
+  SvcConfig cfg;
+  const auto knob = [](const char* name, long lo, long hi, long fallback) {
+    const char* v = std::getenv(name);
+    return v == nullptr ? fallback
+                        : stm::parse_env_knob(name, v, lo, hi, fallback);
+  };
+  cfg.workers = static_cast<int>(
+      knob("DEMOTX_SVC_WORKERS", 1, 64, cfg.workers));
+  cfg.sessions = static_cast<std::uint64_t>(knob(
+      "DEMOTX_SVC_SESSIONS", 1, 1L << 16,
+      static_cast<long>(cfg.sessions)));
+  cfg.queue_cap = static_cast<std::uint64_t>(knob(
+      "DEMOTX_SVC_QUEUE", 1, 1L << 20, static_cast<long>(cfg.queue_cap)));
+  cfg.deadline_cycles = static_cast<std::uint64_t>(knob(
+      "DEMOTX_SVC_DEADLINE", 0, 1L << 40,
+      static_cast<long>(cfg.deadline_cycles)));
+  cfg.mean_interarrival = static_cast<std::uint64_t>(knob(
+      "DEMOTX_SVC_RATE", 1, 1L << 20,
+      static_cast<long>(cfg.mean_interarrival)));
+  cfg.total_requests = static_cast<std::uint64_t>(knob(
+      "DEMOTX_SVC_REQUESTS", 1, 1L << 30,
+      static_cast<long>(cfg.total_requests)));
+  cfg.durable = knob("DEMOTX_SVC_DURABLE", 0, 1, cfg.durable ? 1 : 0) != 0;
+  return cfg;
+}
+
+KvService::KvService(const SvcConfig& cfg, std::uint64_t seed)
+    : cfg_(cfg), seed_(seed != 0 ? seed : 1) {
+  session_owner_.assign(static_cast<std::size_t>(cfg_.sessions), nullptr);
+  issued_seq_.assign(static_cast<std::size_t>(cfg_.sessions), 0);
+  replied_seq_.assign(static_cast<std::size_t>(cfg_.sessions), 0);
+  acked_put_max_.assign(kv_cells(), 0);
+}
+
+void KvService::setup() {
+  const std::size_t n = epoch_index() + 1;
+  cells_.clear();
+  cells_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i)
+    cells_.push_back(std::make_unique<stm::Cell>());
+  for (std::uint64_t i = 0; i < cfg_.bank_keys; ++i)
+    cells_[static_cast<std::size_t>(i)]->unsafe_store(cfg_.initial_balance);
+  if (cfg_.durable) {
+    dur::WalManager& wal = dur::WalManager::instance();
+    for (auto& c : cells_) wal.register_cell(c.get());
+    stm::set_commit_logger(&wal);
+    logger_attached_ = true;
+  }
+}
+
+void KvService::teardown() {
+  if (logger_attached_) {
+    stm::set_commit_logger(nullptr);
+    logger_attached_ = false;
+  }
+}
+
+stm::Semantics KvService::tier_for(ReqClass c) const {
+  if (cfg_.all_classic) return stm::Semantics::kClassic;
+  switch (c) {
+    case ReqClass::kGet:
+    case ReqClass::kPut:
+      return stm::Semantics::kElastic;
+    case ReqClass::kScan:
+      return stm::Semantics::kSnapshot;
+    case ReqClass::kTransfer:
+    case ReqClass::kAdmin:  // irrevocable classic (tick() special-cases it)
+      return stm::Semantics::kClassic;
+  }
+  return stm::Semantics::kClassic;
+}
+
+std::uint64_t KvService::next(std::uint64_t& rng) const {
+  rng ^= rng << 13;
+  rng ^= rng >> 7;
+  rng ^= rng << 17;
+  return rng;
+}
+
+std::uint64_t KvService::gap(std::uint64_t& rng) const {
+  // Exponential interarrival via inverse transform over the seeded
+  // stream — an open-loop Poisson-ish arrival process whose bursts do
+  // not thin out when the service lags.  Deterministic per seed.
+  const double u =
+      (static_cast<double>(next(rng) >> 11) + 1.0) / 9007199254740993.0;
+  const double g = -static_cast<double>(cfg_.mean_interarrival) * std::log(u);
+  if (g < 1.0) return 1;
+  return static_cast<std::uint64_t>(g);
+}
+
+Request KvService::synthesize(std::uint64_t& rng) {
+  Request r;
+  const auto p = static_cast<int>(next(rng) % 100);
+  if (p < cfg_.get_pct) {
+    r.cls = ReqClass::kGet;
+  } else if (p < cfg_.get_pct + cfg_.put_pct) {
+    r.cls = ReqClass::kPut;
+  } else if (p < cfg_.get_pct + cfg_.put_pct + cfg_.scan_pct) {
+    r.cls = ReqClass::kScan;
+  } else if (p <
+             cfg_.get_pct + cfg_.put_pct + cfg_.scan_pct + cfg_.transfer_pct) {
+    r.cls = ReqClass::kTransfer;
+  } else {
+    r.cls = ReqClass::kAdmin;
+  }
+  r.session = static_cast<std::uint32_t>(next(rng) % cfg_.sessions);
+  r.seq = ++issued_seq_[r.session];
+  switch (r.cls) {
+    case ReqClass::kGet:
+    case ReqClass::kPut:
+      // Session-owned key: one writer per key, so acked-put dominance is
+      // checkable per cell.
+      r.key = cfg_.bank_keys + r.session * cfg_.keys_per_session +
+              next(rng) % cfg_.keys_per_session;
+      if (r.cls == ReqClass::kPut)
+        r.value = (r.key << kPayloadSeqBits) |
+                  (r.seq & ((1u << kPayloadSeqBits) - 1));
+      break;
+    case ReqClass::kTransfer:
+      r.key = next(rng) % cfg_.bank_keys;
+      r.key2 = next(rng) % cfg_.bank_keys;
+      if (r.key2 == r.key) r.key2 = (r.key2 + 1) % cfg_.bank_keys;
+      r.value = 1 + next(rng) % 8;
+      break;
+    case ReqClass::kScan:
+    case ReqClass::kAdmin:
+      break;
+  }
+  return r;
+}
+
+void KvService::injector_body() {
+  std::uint64_t rng = seed_;
+  std::uint64_t t = vt::sim_now();
+  for (std::uint64_t i = 0; i < cfg_.total_requests; ++i) {
+    t += gap(rng);
+    vt::sleep_until(t);
+    requests_.push_back(synthesize(rng));
+    Request& r = requests_.back();
+    r.arrive_at = vt::sim_now();
+    r.deadline = cfg_.deadline_cycles == 0 ? UINT64_MAX
+                                           : r.arrive_at + cfg_.deadline_cycles;
+    ++stats_.arrived;
+    vt::access();  // the queue append is a shared access
+    if (queue_.size() >= cfg_.queue_cap) {
+      shed(r, /*deadline=*/false);
+    } else {
+      queue_.push_back(&r);
+      ++stats_.admitted;
+    }
+  }
+  closed_ = true;
+}
+
+Request* KvService::pop_ready() {
+  for (auto it = queue_.begin(); it != queue_.end(); ++it) {
+    Request* r = *it;
+    Request* owner = session_owner_[r->session];
+    // The in-flight guard: while a session has a fom in execution, its
+    // later requests stay parked — this is what makes per-session
+    // replies monotone regardless of abort/retry interleaving.
+    if (owner != nullptr && owner != r) continue;
+    queue_.erase(it);
+    session_owner_[r->session] = r;
+    ++active_;
+    return r;
+  }
+  return nullptr;
+}
+
+void KvService::worker_body(int wid) {
+  (void)wid;  // the fiber id doubles as the STM slot via thread_id()
+  for (;;) {
+    vt::access();  // scanning the run queue reads shared state
+    Request* r = pop_ready();
+    if (r == nullptr) {
+      if (closed_ && queue_.empty() && active_ == 0) return;
+      vt::sleep_until(vt::sim_now() + kIdlePollCycles);
+      continue;
+    }
+    tick(*r);
+    --active_;
+  }
+}
+
+void KvService::tick(Request& r) {
+  if (r.state == FomState::kQueued) r.state = FomState::kExecuting;
+  // Deadline shedding happens strictly BEFORE an attempt can commit:
+  // once certification succeeds the reply is owed (acked-then-lost is
+  // the one illegal outcome; committed-but-unacked is crash-legal).
+  if (vt::sim_now() > r.deadline) {
+    shed(r, /*deadline=*/true);
+    return;
+  }
+  const int c = idx(r.cls);
+  ++stats_.attempts[c];
+  if (r.cls == ReqClass::kAdmin && !cfg_.all_classic) {
+    // The documented one-tick exception: the irrevocable token
+    // serializes the admin op against every updater, so this single
+    // tick commits by construction — there is no abort edge to re-park
+    // on, and the body never re-executes.
+    stm::atomically_irrevocable(
+        [&](stm::Tx& tx) { r.result = admin_body(tx); });
+    reply(r);
+    return;
+  }
+  stm::Tx& tx = stm::Runtime::instance().tx_for_current_thread();
+  tx.begin(tier_for(r.cls), r.attempt);
+  try {
+    run_body(tx, r);
+    r.state = FomState::kCommitting;
+    tx.commit();
+  } catch (const stm::AbortTx& a) {
+    tx.rollback(a.reason);
+    ++stats_.aborts[c];
+    ++r.attempt;
+    // Certification lost: re-park at the FRONT (per-session order is
+    // already guarded; front re-parking keeps the fom warm without
+    // letting younger same-session requests starve it).
+    r.state = FomState::kExecuting;
+    queue_.push_front(&r);
+    return;
+  } catch (...) {
+    // Simulator unwind (FiberStopped) or a usage error mid-attempt:
+    // release the descriptor before propagating, as atomically() does.
+    tx.rollback(stm::AbortReason::kUserException);
+    throw;
+  }
+  reply(r);
+}
+
+void KvService::run_body(stm::Tx& tx, Request& r) {
+  switch (r.cls) {
+    case ReqClass::kGet:
+      r.result = tx.read_word(*cells_[static_cast<std::size_t>(r.key)]);
+      break;
+    case ReqClass::kPut:
+      tx.write_word(*cells_[static_cast<std::size_t>(r.key)], r.value);
+      break;
+    case ReqClass::kScan: {
+      std::uint64_t sum = 0;
+      for (std::uint64_t i = 0; i < cfg_.bank_keys; ++i)
+        sum += tx.read_word(*cells_[static_cast<std::size_t>(i)]);
+      r.result = sum;
+      break;
+    }
+    case ReqClass::kTransfer: {
+      stm::Cell& from = *cells_[static_cast<std::size_t>(r.key)];
+      stm::Cell& to = *cells_[static_cast<std::size_t>(r.key2)];
+      const std::uint64_t f = tx.read_word(from);
+      if (f >= r.value) {
+        tx.write_word(from, f - r.value);
+        tx.write_word(to, tx.read_word(to) + r.value);
+        r.result = 1;
+      } else {
+        r.result = 0;  // insufficient funds: acked as a no-op
+      }
+      break;
+    }
+    case ReqClass::kAdmin:
+      r.result = admin_body(tx);  // all_classic A/B arm only
+      break;
+  }
+}
+
+std::uint64_t KvService::admin_body(stm::Tx& tx) {
+  std::uint64_t sum = 0;
+  for (std::uint64_t i = 0; i < cfg_.bank_keys; ++i)
+    sum += tx.read_word(*cells_[static_cast<std::size_t>(i)]);
+  stm::Cell& epoch = *cells_[epoch_index()];
+  tx.write_word(epoch, tx.read_word(epoch) + 1);
+  return sum;
+}
+
+void KvService::reply(Request& r) {
+  r.reply_at = vt::sim_now();
+  r.state = FomState::kReplied;
+  const int c = idx(r.cls);
+  ++stats_.acked[c];
+  stats_.lat[c].add(r.reply_at - r.arrive_at);
+  if (replied_seq_[r.session] >= r.seq && !mono_violation_) {
+    mono_violation_ = true;
+    mono_why_ = "session " + std::to_string(r.session) + " acked seq " +
+                std::to_string(r.seq) + " after seq " +
+                std::to_string(replied_seq_[r.session]);
+  }
+  replied_seq_[r.session] = r.seq;
+  switch (r.cls) {
+    case ReqClass::kScan:
+      if (r.result != expected_bank_total()) ++stats_.scan_inconsistent;
+      break;
+    case ReqClass::kAdmin:
+      if (r.result != expected_bank_total()) ++stats_.admin_inconsistent;
+      break;
+    case ReqClass::kGet:
+      if (r.result != 0 && (r.result >> kPayloadSeqBits) != r.key)
+        ++stats_.get_inconsistent;
+      break;
+    case ReqClass::kPut: {
+      const std::size_t slot = static_cast<std::size_t>(r.key - cfg_.bank_keys);
+      if (r.value > acked_put_max_[slot]) acked_put_max_[slot] = r.value;
+      break;
+    }
+    case ReqClass::kTransfer:
+      break;
+  }
+  session_owner_[r.session] = nullptr;
+}
+
+void KvService::shed(Request& r, bool deadline) {
+  r.state = FomState::kShed;
+  if (deadline) {
+    ++stats_.shed_deadline;
+  } else {
+    ++stats_.shed_queue;
+  }
+  if (r.cls == ReqClass::kPut) shed_puts_.push_back({r.key, r.value});
+  if (session_owner_[r.session] == &r) session_owner_[r.session] = nullptr;
+}
+
+std::uint64_t KvService::unsafe_bank_total() const {
+  std::uint64_t total = 0;
+  for (std::uint64_t i = 0; i < cfg_.bank_keys; ++i)
+    total += cells_[static_cast<std::size_t>(i)]->unsafe_value();
+  return total;
+}
+
+bool KvService::check_replies(std::string* why) const {
+  const auto fail = [why](std::string msg) {
+    if (why != nullptr) *why = "kv-service: " + std::move(msg);
+    return false;
+  };
+  if (mono_violation_) return fail("non-monotone replies: " + mono_why_);
+  if (stats_.scan_inconsistent != 0)
+    return fail(std::to_string(stats_.scan_inconsistent) +
+                " scans saw a torn bank total (snapshot tier broken)");
+  if (stats_.admin_inconsistent != 0)
+    return fail(std::to_string(stats_.admin_inconsistent) +
+                " admin ops saw a torn bank total");
+  if (stats_.get_inconsistent != 0)
+    return fail(std::to_string(stats_.get_inconsistent) +
+                " gets returned another key's payload");
+  if (stats_.arrived != stats_.acked_total() + stats_.shed_total())
+    return fail("unresolved arrivals: " + std::to_string(stats_.arrived) +
+                " arrived, " + std::to_string(stats_.acked_total()) +
+                " acked + " + std::to_string(stats_.shed_total()) + " shed");
+  const std::uint64_t total = unsafe_bank_total();
+  if (total != expected_bank_total())
+    return fail("bank total " + std::to_string(total) + " != " +
+                std::to_string(expected_bank_total()) +
+                " (transfer atomicity broken)");
+  for (std::size_t s = 0; s < kv_cells(); ++s) {
+    const std::uint64_t v = cells_[cfg_.bank_keys + s]->unsafe_value();
+    const std::uint64_t key = cfg_.bank_keys + s;
+    if (v != 0 && (v >> kPayloadSeqBits) != key)
+      return fail("key " + std::to_string(key) +
+                  " holds another key's payload " + std::to_string(v));
+    // Puts per key come from one session in seq order, so the final
+    // payload must dominate every acknowledged one — an acked put whose
+    // payload exceeds the final value was acked and then lost.
+    if (v < acked_put_max_[s])
+      return fail("key " + std::to_string(key) + " final payload " +
+                  std::to_string(v) + " < acked payload " +
+                  std::to_string(acked_put_max_[s]) + " (acked-then-lost)");
+  }
+  // A shed request was dropped before any attempt committed: its unique
+  // payload must never be server-visible.
+  for (const auto& [key, value] : shed_puts_) {
+    if (cells_[static_cast<std::size_t>(key)]->unsafe_value() == value)
+      return fail("key " + std::to_string(key) + " holds shed payload " +
+                  std::to_string(value) + " (shed put committed)");
+  }
+  return true;
+}
+
+}  // namespace demotx::svc

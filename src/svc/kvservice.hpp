@@ -1,0 +1,178 @@
+// demotx:expert-file: service layer — maps request classes onto the
+// semantics tiers (elastic point ops, snapshot scans, classic transfers,
+// irrevocable admin) by design; the tier choices ARE the scenario.
+//
+// Transactional KV index service over the STM (DESIGN.md, "svc").
+//
+// The store is one flat cell table in three regions:
+//
+//   [0, bank_keys)                      "bank": transfer/scan/admin region,
+//                                       every cell starts at initial_balance
+//   [bank_keys, bank_keys + S*K)        point-op region: session s owns the
+//                                       K keys [bank_keys + s*K, ...+K), so
+//                                       each key has exactly one writer and
+//                                       the reply oracle can reason about
+//                                       last-acked values
+//   [last]                              admin epoch counter
+//
+// Request foms (svc/fom.hpp) arrive from an open-loop injector fiber —
+// arrivals are paced by vt::sleep_until with seeded exponential
+// interarrival gaps and multiplexed over `sessions` client sessions, so
+// load does not slow down when the service does (the overload regime the
+// latency percentiles are about).  Worker fibers pop runnable foms under
+// a per-session in-flight guard (at most one request per session in
+// execution => replies are monotone in per-session sequence number) and
+// advance each by one-transaction-attempt ticks.
+//
+// Admission control sheds at arrival when the run queue is full; the
+// deadline check sheds at the top of a tick.  Both happen strictly
+// before a commit, so a shed request never has server-visible effects —
+// the check_replies() oracle verifies exactly that, plus reply
+// consistency per tier (scans/admin sum to the conserved bank total,
+// gets decode to their own key, acked puts survive in per-key order).
+//
+// With SvcConfig::durable set, every cell registers with the WAL and the
+// commit logger attaches, so update commits append redo records and
+// await group-commit durability before the fom acknowledges — an acked
+// put then survives crash injection (the kv-service-dur check workload).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "harness/percentile.hpp"
+#include "stm/runtime.hpp"
+#include "svc/fom.hpp"
+
+namespace demotx::svc {
+
+struct SvcConfig {
+  int workers = 4;                      // worker fibers (STM slots 0..W-1)
+  std::uint64_t sessions = 16;          // multiplexed client sessions
+  std::uint64_t queue_cap = 64;         // admission bound on the run queue
+  std::uint64_t deadline_cycles = 0;    // per-request budget; 0 = none
+  std::uint64_t mean_interarrival = 64; // open-loop mean gap (cycles)
+  std::uint64_t total_requests = 256;   // injector stops after this many
+  std::uint64_t bank_keys = 16;         // transfer/scan region size
+  std::uint64_t keys_per_session = 2;   // point-op keys owned per session
+  std::uint64_t initial_balance = 100;  // bank cell starting value
+  bool durable = false;                 // WAL-backed update commits
+  bool all_classic = false;             // A/B control: every class classic
+  // Request mix in percent of arrivals; the remainder after the first
+  // four is admin.  Defaults skew toward point ops with a meaningful
+  // scan share — the regime where the tier map pays.
+  int get_pct = 30;
+  int put_pct = 25;
+  int scan_pct = 25;
+  int transfer_pct = 18;
+
+  // DEMOTX_SVC_* environment overrides, validated through
+  // stm::parse_env_knob (same strict-parse / clamp / diagnose contract
+  // as the runtime's own knobs).  See README for the knob table.
+  static SvcConfig from_env();
+};
+
+struct SvcStats {
+  std::uint64_t arrived = 0;
+  std::uint64_t admitted = 0;
+  std::uint64_t shed_queue = 0;     // dropped at arrival (queue full)
+  std::uint64_t shed_deadline = 0;  // dropped at a tick (deadline passed)
+  std::uint64_t acked[kNumReqClasses] = {};
+  std::uint64_t attempts[kNumReqClasses] = {};
+  std::uint64_t aborts[kNumReqClasses] = {};
+  // Reply-consistency violations observed at acknowledgment time; the
+  // oracle requires all three to stay zero.
+  std::uint64_t scan_inconsistent = 0;
+  std::uint64_t get_inconsistent = 0;
+  std::uint64_t admin_inconsistent = 0;
+  harness::PercentileSink lat[kNumReqClasses];  // append-to-reply cycles
+
+  [[nodiscard]] std::uint64_t acked_total() const {
+    std::uint64_t t = 0;
+    for (const std::uint64_t a : acked) t += a;
+    return t;
+  }
+  [[nodiscard]] std::uint64_t shed_total() const {
+    return shed_queue + shed_deadline;
+  }
+};
+
+class KvService {
+ public:
+  KvService(const SvcConfig& cfg, std::uint64_t seed);
+
+  // Builds the cell table and (durable mode) registers it with the WAL
+  // and attaches the commit logger.  Call on the driver thread before
+  // the simulation runs; in the check/ workloads this is Workload::setup.
+  void setup();
+  // Detaches the commit logger (durable mode).  Idempotent.
+  void teardown();
+
+  // Fiber bodies.  Spawn `workers` worker fibers with ids 0..W-1 (they
+  // double as STM slots) and ONE injector fiber (any id).
+  void injector_body();
+  void worker_body(int wid);
+
+  [[nodiscard]] stm::Semantics tier_for(ReqClass c) const;
+  [[nodiscard]] const SvcConfig& service_config() const { return cfg_; }
+  [[nodiscard]] SvcStats& stats() { return stats_; }
+  [[nodiscard]] const SvcStats& stats() const { return stats_; }
+
+  // Service-level reply oracle (quiescent, after the simulation ends):
+  //   - per-session replies acknowledged in sequence order;
+  //   - every acked scan/admin saw the conserved bank total;
+  //   - every acked get decodes to its own key;
+  //   - bank total conserved in the final image;
+  //   - final per-key values dominate the last acked put (no
+  //     acked-then-lost) and never carry a shed put's payload;
+  //   - arrivals fully resolved: arrived == acked + shed.
+  bool check_replies(std::string* why) const;
+
+  [[nodiscard]] std::uint64_t unsafe_bank_total() const;
+  [[nodiscard]] std::uint64_t expected_bank_total() const {
+    return cfg_.bank_keys * cfg_.initial_balance;
+  }
+
+ private:
+  [[nodiscard]] static int idx(ReqClass c) { return static_cast<int>(c); }
+  [[nodiscard]] std::size_t kv_cells() const {
+    return static_cast<std::size_t>(cfg_.sessions * cfg_.keys_per_session);
+  }
+  [[nodiscard]] std::size_t epoch_index() const {
+    return static_cast<std::size_t>(cfg_.bank_keys) + kv_cells();
+  }
+
+  std::uint64_t next(std::uint64_t& rng) const;
+  std::uint64_t gap(std::uint64_t& rng) const;
+  Request synthesize(std::uint64_t& rng);
+
+  Request* pop_ready();
+  void tick(Request& r);
+  void run_body(stm::Tx& tx, Request& r);
+  std::uint64_t admin_body(stm::Tx& tx);
+  void reply(Request& r);
+  void shed(Request& r, bool deadline);
+
+  SvcConfig cfg_;
+  std::uint64_t seed_;
+  std::vector<std::unique_ptr<stm::Cell>> cells_;
+  std::deque<Request> requests_;   // arena: stable addresses
+  std::deque<Request*> queue_;     // run queue (FIFO; retries re-park at front)
+  std::vector<Request*> session_owner_;      // per-session in-flight guard
+  std::vector<std::uint32_t> issued_seq_;    // per-session last issued seq
+  std::vector<std::uint32_t> replied_seq_;   // per-session last acked seq
+  std::vector<std::uint64_t> acked_put_max_; // per kv cell: max acked payload
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> shed_puts_;
+  bool closed_ = false;   // injector done: no more arrivals
+  int active_ = 0;        // foms popped but not yet re-parked/resolved
+  bool logger_attached_ = false;
+  bool mono_violation_ = false;
+  std::string mono_why_;
+  SvcStats stats_;
+};
+
+}  // namespace demotx::svc

@@ -1,0 +1,46 @@
+#include "svc/openloop.hpp"
+
+#include "dur/wal.hpp"
+#include "mem/epoch.hpp"
+#include "stm/objstm.hpp"
+#include "stm/runtime.hpp"
+
+namespace demotx::svc {
+
+OpenLoopResult run_open_loop(KvService& svc, const OpenLoopOptions& opts) {
+  stm::Runtime& rt = stm::Runtime::instance();
+  rt.reset_stats();
+  if (svc.service_config().durable) {
+    // Fresh durable world: clear any previous registry and restart the
+    // uid allocators BEFORE setup() constructs the cells, so log ids and
+    // filter bits are allocation-order determined (replay-stable).
+    dur::WalManager::instance().reset();
+    stm::cell_uid_reset();
+    stm::obj_uid_reset();
+  }
+  svc.setup();
+
+  vt::Scheduler::Options sopts;
+  sopts.policy = opts.policy;
+  sopts.seed = opts.sched_seed;
+  sopts.max_cycles = opts.max_cycles;
+  vt::Scheduler sched(sopts);
+  KvService* s = &svc;
+  for (int w = 0; w < svc.service_config().workers; ++w)
+    sched.spawn([s](int id) { s->worker_body(id); });
+  sched.spawn([s](int) { s->injector_body(); });
+  sched.run();
+
+  OpenLoopResult r;
+  r.cycles = sched.cycles();
+  r.hit_limit = sched.hit_cycle_limit();
+  r.goodput = r.cycles == 0
+                  ? 0.0
+                  : static_cast<double>(svc.stats().acked_total()) * 1000.0 /
+                        static_cast<double>(r.cycles);
+  svc.teardown();
+  mem::EpochManager::instance().drain();
+  return r;
+}
+
+}  // namespace demotx::svc

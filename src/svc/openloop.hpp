@@ -1,0 +1,32 @@
+// Open-loop driver for the KV service: builds a virtual-time scheduler,
+// spawns the worker fibers plus the arrival injector, runs the stream to
+// completion and reports goodput.  The svc tests and bench/fig_kvservice
+// run every data point through here; the check/ workloads instead spawn
+// the fiber bodies themselves so the explorer owns the scheduler.
+#pragma once
+
+#include <cstdint>
+
+#include "svc/kvservice.hpp"
+#include "vt/scheduler.hpp"
+
+namespace demotx::svc {
+
+struct OpenLoopOptions {
+  vt::Scheduler::Policy policy = vt::Scheduler::Policy::kRoundRobin;
+  std::uint64_t sched_seed = 1;           // for the exploration policies
+  std::uint64_t max_cycles = 50'000'000;  // deadlock brake only
+};
+
+struct OpenLoopResult {
+  std::uint64_t cycles = 0;
+  bool hit_limit = false;
+  double goodput = 0.0;  // acked replies per kilocycle
+};
+
+// Resets runtime stats (and, in durable mode, the WAL world and uid
+// allocators), calls svc.setup(), runs the simulation, detaches the
+// logger.  The service object carries the per-class stats afterwards.
+OpenLoopResult run_open_loop(KvService& svc, const OpenLoopOptions& opts = {});
+
+}  // namespace demotx::svc

@@ -30,6 +30,11 @@ void access(unsigned weight) {
   if (c != nullptr && c->sched != nullptr) c->sched->on_access(*c, weight);
 }
 
+void sleep_until(std::uint64_t wake_at) {
+  Context* c = tls_current;
+  if (c != nullptr && c->sched != nullptr) c->sched->on_sleep(*c, wake_at);
+}
+
 std::uint64_t sim_now() {
   Context* c = tls_current;
   return (c != nullptr && c->sched != nullptr) ? c->sched->cycles() : 0;

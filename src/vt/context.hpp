@@ -49,6 +49,17 @@ bool in_sim();
 // passes through here — this is what makes simulated contention faithful.
 void access(unsigned weight = 1);
 
+// Timer facility: parks the calling fiber until virtual time `wake_at`
+// (svc open-loop arrival pacing, per-request deadlines).  Under the
+// virtual-time policies that honor due times (RoundRobin / Scripted)
+// the fiber next runs at exactly max(now, wake_at); under the
+// exploration policies (Random / Pct / Choice) it degenerates to one
+// yield — schedule exploration deliberately owns the interleaving, so
+// callers that need the deadline to have PASSED must loop on sim_now().
+// No-op in real mode.  Unwinds via FiberStopped on a stopping
+// simulation exactly like vt::access.
+void sleep_until(std::uint64_t wake_at);
+
 // Virtual cycles elapsed in the current simulation; 0 in real mode.
 std::uint64_t sim_now();
 

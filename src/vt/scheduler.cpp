@@ -62,6 +62,31 @@ void Scheduler::on_access(Context& c, unsigned weight) {
   c.fiber->yield();
 }
 
+void Scheduler::on_sleep(Context& c, std::uint64_t wake_at) {
+  if (c.stopping) return;
+  if (stop_ && c.no_unwind == 0) {
+    c.stopping = true;
+    throw FiberStopped{};
+  }
+  Task& t = *tasks_[static_cast<std::size_t>(c.id)];
+  if (opts_.policy == Policy::kRoundRobin ||
+      opts_.policy == Policy::kScripted) {
+    // Heap policies resume by earliest due, and resume_task advances the
+    // virtual clock to the resumed task's due — so pushing the due to
+    // wake_at IS the timer: every other runnable fiber drains its cycles
+    // first, then time jumps straight to the wake point (an idle machine
+    // sleeps for free).  Always charge at least one cycle so a
+    // past-deadline sleep still makes progress.
+    t.due = std::max(t.due + 1, wake_at);
+  } else {
+    // Exploration policies ignore due times by design (the schedule IS
+    // the subject under test): a sleep is one schedulable yield, and
+    // callers loop on sim_now() when the deadline must have passed.
+    t.due += 1;
+  }
+  c.fiber->yield();
+}
+
 int Scheduler::pick_next() {
   switch (opts_.policy) {
     case Policy::kScripted:

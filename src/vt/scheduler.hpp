@@ -138,6 +138,11 @@ class Scheduler {
   // Called by vt::access() from fibers; charges virtual time and yields.
   void on_access(Context& c, unsigned weight);
 
+  // Called by vt::sleep_until() from fibers; parks the fiber until
+  // virtual time wake_at under the due-honoring policies (RoundRobin /
+  // Scripted), else yields once (exploration owns the interleaving).
+  void on_sleep(Context& c, std::uint64_t wake_at);
+
  private:
   struct Task {
     std::unique_ptr<Fiber> fiber;

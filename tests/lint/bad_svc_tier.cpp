@@ -1,0 +1,49 @@
+// Corpus: tier-annotation misuse inside service request bodies.  A
+// request handler that quietly picks a relaxed tier per request class —
+// exactly what src/svc/ does deliberately — is the highest-leverage
+// place to forget the opt-in: the tier choice IS the service's
+// correctness argument (snapshot scans are only sound because they are
+// read-only; elastic point ops because they touch one key), and an
+// unmarked choice hides that argument from review.
+#include "stm/runtime.hpp"
+#include "stm/tvar.hpp"
+
+namespace {
+
+struct Req {
+  int cls = 0;        // 0 get, 1 put, 2 scan, 3 admin
+  long key = 0;
+  long value = 0;
+  long result = 0;
+};
+
+long handle_get(demotx::stm::TVar<long>* table, Req& r) {
+  return demotx::stm::atomically(
+      [&](demotx::stm::Tx& tx) { return table[r.key].get(tx); },
+      demotx::stm::Semantics::kElastic);  // demotx-expect: demotx-expert-api-tier
+}
+
+void handle_put(demotx::stm::TVar<long>* table, Req& r) {
+  demotx::stm::atomically(
+      [&](demotx::stm::Tx& tx) { table[r.key].set(tx, r.value); },
+      demotx::stm::Semantics::kElastic);  // demotx-expect: demotx-expert-api-tier
+}
+
+long handle_scan(demotx::stm::TVar<long>* table, int n) {
+  return demotx::stm::atomically(
+      [&](demotx::stm::Tx& tx) {
+        long s = 0;
+        for (int i = 0; i < n; ++i) s += table[i].get(tx);
+        return s;
+      },
+      demotx::stm::Semantics::kSnapshot);  // demotx-expect: demotx-expert-api-tier
+}
+
+void handle_admin(demotx::stm::TVar<long>& epoch, Req& r) {
+  demotx::stm::atomically_irrevocable([&](demotx::stm::Tx& tx) {  // demotx-expect: demotx-expert-api-tier
+    r.result = epoch.get(tx);
+    epoch.set(tx, r.result + 1);
+  });
+}
+
+}  // namespace

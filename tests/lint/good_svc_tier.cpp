@@ -1,0 +1,59 @@
+// Corpus twin: the same per-request-class tier map behind explicit
+// markers, each naming the soundness argument the tier choice rests on
+// (the src/svc/ discipline).  The transfer handler stays on the opaque
+// default — cross-key read-modify-write needs full opacity, and novice
+// code diagnoses nothing.
+#include "stm/runtime.hpp"
+#include "stm/tvar.hpp"
+
+namespace {
+
+struct Req {
+  int cls = 0;        // 0 get, 1 put, 2 scan, 3 admin
+  long key = 0;
+  long value = 0;
+  long result = 0;
+};
+
+// Novice tier: a cross-key transfer needs full opacity — no marker.
+bool handle_transfer(demotx::stm::TVar<long>* table, long from, long to) {
+  return demotx::stm::atomically([&](demotx::stm::Tx& tx) {
+    const long f = table[from].get(tx);
+    if (f <= 0) return false;
+    table[from].set(tx, f - 1);
+    table[to].set(tx, table[to].get(tx) + 1);
+    return true;
+  });
+}
+
+long handle_get(demotx::stm::TVar<long>* table, Req& r) {
+  return demotx::stm::atomically(
+      [&](demotx::stm::Tx& tx) { return table[r.key].get(tx); },
+      demotx::stm::Semantics::kElastic);  // demotx:expert: single-key point read; elastic cuts are sound
+}
+
+void handle_put(demotx::stm::TVar<long>* table, Req& r) {
+  demotx::stm::atomically(
+      [&](demotx::stm::Tx& tx) { table[r.key].set(tx, r.value); },
+      demotx::stm::Semantics::kElastic);  // demotx:expert: single-key overwrite, one writer per key by session ownership
+}
+
+long handle_scan(demotx::stm::TVar<long>* table, int n) {
+  return demotx::stm::atomically(
+      [&](demotx::stm::Tx& tx) {
+        long s = 0;
+        for (int i = 0; i < n; ++i) s += table[i].get(tx);
+        return s;
+      },
+      demotx::stm::Semantics::kSnapshot);  // demotx:expert: read-only scan; a consistent snapshot is the reply contract
+}
+
+void handle_admin(demotx::stm::TVar<long>& epoch, Req& r) {
+  // demotx:expert-fn: admin epoch bump must run exactly once, never abort
+  demotx::stm::atomically_irrevocable([&](demotx::stm::Tx& tx) {
+    r.result = epoch.get(tx);
+    epoch.set(tx, r.result + 1);
+  });
+}
+
+}  // namespace

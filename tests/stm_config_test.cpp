@@ -1,0 +1,192 @@
+// demotx:expert-file: test suite: exercises the expert tier (semantics choices, config overrides, irrevocability) by design
+// Config-validation regression tests (ISSUE 9 satellite): the DEMOTX_*
+// env knobs must parse strictly — garbage keeps the built-in default,
+// out-of-range values clamp to the knob's legal interval, and unknown
+// enum strings are ignored.  The pre-fix parser used bare atol, so
+// DEMOTX_SNAPSHOT_DEPTH=abc silently became depth 1 (atol -> 0 ->
+// clamp) instead of keeping the configured default of 2 — the exact
+// silent-misconfiguration this suite pins down.
+//
+// Drives stm::apply_env_overrides against a scratch Config (the Runtime
+// itself is a once-per-process singleton that read the environment long
+// before this test runs).  Every test restores the touched variables so
+// the suite composes with the ctest env-matrix rows (.alt_commit_path /
+// .sharded_clock set DEMOTX_CLOCK for the whole process).
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "stm/runtime.hpp"
+
+using namespace demotx;
+
+namespace {
+
+// Scoped setenv: remembers and restores the previous value (or absence)
+// of every variable it touches.
+class EnvGuard {
+ public:
+  ~EnvGuard() {
+    for (const auto& [name, old] : saved_) {
+      if (old.has_value())
+        ::setenv(name.c_str(), old->c_str(), 1);
+      else
+        ::unsetenv(name.c_str());
+    }
+  }
+  void set(const char* name, const char* value) {
+    save(name);
+    ::setenv(name, value, 1);
+  }
+  void unset(const char* name) {
+    save(name);
+    ::unsetenv(name);
+  }
+
+ private:
+  void save(const char* name) {
+    for (const auto& [n, v] : saved_)
+      if (n == name) return;
+    const char* cur = std::getenv(name);
+    saved_.emplace_back(name, cur != nullptr
+                                  ? std::optional<std::string>(cur)
+                                  : std::nullopt);
+  }
+  std::vector<std::pair<std::string, std::optional<std::string>>> saved_;
+};
+
+// A scratch config with the env knobs this suite exercises cleared, so
+// the ambient ctest row environment (DEMOTX_CLOCK etc.) can't leak in.
+stm::Config parse_with(EnvGuard& env, const char* name, const char* value) {
+  for (const char* n :
+       {"DEMOTX_CLOCK", "DEMOTX_GATE", "DEMOTX_SNAPSHOT_DEPTH",
+        "DEMOTX_VALIDATION", "DEMOTX_EPOCH_QUOTA", "DEMOTX_NUMA_DOMAINS",
+        "DEMOTX_NUMA_COST", "DEMOTX_OBJECT_OPS", "DEMOTX_GROUP_COMMIT",
+        "DEMOTX_GROUP_INTERVAL", "DEMOTX_CHECK_INJECT"})
+    env.unset(n);
+  env.set(name, value);
+  stm::Config c;
+  stm::apply_env_overrides(c);
+  return c;
+}
+
+}  // namespace
+
+TEST(StmConfig, GarbageSnapshotDepthKeepsDefault) {
+  EnvGuard env;
+  // Pre-fix: atol("abc") == 0, clamped to depth 1 — silently switching
+  // the run into the 1-version starvation ablation.  Must keep the
+  // built-in default instead.
+  const stm::Config c = parse_with(env, "DEMOTX_SNAPSHOT_DEPTH", "abc");
+  EXPECT_EQ(c.snapshot_depth, stm::Config{}.snapshot_depth);
+}
+
+TEST(StmConfig, TrailingGarbageRejected) {
+  EnvGuard env;
+  // "4x" must not half-parse to 4.
+  const stm::Config c = parse_with(env, "DEMOTX_SNAPSHOT_DEPTH", "4x");
+  EXPECT_EQ(c.snapshot_depth, stm::Config{}.snapshot_depth);
+}
+
+TEST(StmConfig, SnapshotDepthClampsBothEnds) {
+  EnvGuard env;
+  EXPECT_EQ(parse_with(env, "DEMOTX_SNAPSHOT_DEPTH", "0").snapshot_depth, 1u);
+  EXPECT_EQ(parse_with(env, "DEMOTX_SNAPSHOT_DEPTH", "-3").snapshot_depth,
+            1u);
+  EXPECT_EQ(parse_with(env, "DEMOTX_SNAPSHOT_DEPTH", "99").snapshot_depth,
+            stm::kMaxSnapshotDepth);
+  EXPECT_EQ(parse_with(env, "DEMOTX_SNAPSHOT_DEPTH", "4").snapshot_depth, 4u);
+}
+
+TEST(StmConfig, ZeroGroupCommitClampsToOne) {
+  EnvGuard env;
+  // A zero batch would mean "flush after zero commits": the leader's
+  // wait predicate could never arm.  Clamp to the no-batching control.
+  EXPECT_EQ(parse_with(env, "DEMOTX_GROUP_COMMIT", "0").group_commit_batch,
+            1u);
+}
+
+TEST(StmConfig, GarbageGroupCommitKeepsDefault) {
+  EnvGuard env;
+  // Pre-fix: atol garbage -> 0 -> clamp to 1, silently disabling group
+  // commit.  Must keep the built-in default batch instead.
+  EXPECT_EQ(parse_with(env, "DEMOTX_GROUP_COMMIT", "batchy")
+                .group_commit_batch,
+            stm::Config{}.group_commit_batch);
+}
+
+TEST(StmConfig, GroupIntervalValidated) {
+  EnvGuard env;
+  EXPECT_EQ(
+      parse_with(env, "DEMOTX_GROUP_INTERVAL", "0").group_commit_interval,
+      1u);
+  EXPECT_EQ(
+      parse_with(env, "DEMOTX_GROUP_INTERVAL", "256").group_commit_interval,
+      256u);
+  EXPECT_EQ(parse_with(env, "DEMOTX_GROUP_INTERVAL", "")
+                .group_commit_interval,
+            stm::Config{}.group_commit_interval);
+}
+
+TEST(StmConfig, EpochQuotaClampsToSeqCapacity) {
+  EnvGuard env;
+  // The sequence field holds kClockSeqCapacity values; a quota at or
+  // above it would make every grant roll the epoch.
+  EXPECT_EQ(parse_with(env, "DEMOTX_EPOCH_QUOTA", "999999999")
+                .clock_epoch_quota,
+            stm::kClockSeqCapacity - 1);
+  EXPECT_EQ(parse_with(env, "DEMOTX_EPOCH_QUOTA", "junk").clock_epoch_quota,
+            stm::Config{}.clock_epoch_quota);
+}
+
+TEST(StmConfig, NumaKnobsValidated) {
+  EnvGuard env;
+  EXPECT_EQ(parse_with(env, "DEMOTX_NUMA_DOMAINS", "0").numa_domains, 1);
+  EXPECT_EQ(parse_with(env, "DEMOTX_NUMA_DOMAINS", "100000").numa_domains,
+            vt::kMaxThreads);
+  EXPECT_EQ(parse_with(env, "DEMOTX_NUMA_COST", "nope").numa_remote_cost,
+            stm::Config{}.numa_remote_cost);
+}
+
+TEST(StmConfig, UnknownEnumStringsIgnored) {
+  EnvGuard env;
+  EXPECT_EQ(parse_with(env, "DEMOTX_CLOCK", "gv9").clock_scheme,
+            stm::Config{}.clock_scheme);
+  EXPECT_EQ(parse_with(env, "DEMOTX_GATE", "turnstile").gate_scheme,
+            stm::Config{}.gate_scheme);
+  EXPECT_EQ(parse_with(env, "DEMOTX_VALIDATION", "vibes").validation_scheme,
+            stm::Config{}.validation_scheme);
+  const stm::Config c = parse_with(env, "DEMOTX_CHECK_INJECT", "no-such-bug");
+  EXPECT_FALSE(c.inject_gv4_skip || c.inject_late_summary ||
+               c.inject_stale_shard || c.inject_obj_commute ||
+               c.inject_torn_write);
+}
+
+TEST(StmConfig, ValidValuesStillApply) {
+  EnvGuard env;
+  EXPECT_EQ(parse_with(env, "DEMOTX_CLOCK", "sharded").clock_scheme,
+            stm::ClockScheme::kSharded);
+  EXPECT_EQ(parse_with(env, "DEMOTX_GATE", "counter").gate_scheme,
+            stm::GateScheme::kCounter);
+  EXPECT_EQ(parse_with(env, "DEMOTX_VALIDATION", "summary")
+                .validation_scheme,
+            stm::ValidationScheme::kSummary);
+  EXPECT_TRUE(parse_with(env, "DEMOTX_OBJECT_OPS", "1").object_ops);
+  EXPECT_FALSE(parse_with(env, "DEMOTX_OBJECT_OPS", "0").object_ops);
+  EXPECT_TRUE(
+      parse_with(env, "DEMOTX_CHECK_INJECT", "torn-write").inject_torn_write);
+}
+
+TEST(StmConfig, ParseEnvKnobContract) {
+  // The shared helper other layers (svc/) reuse: strict parse, clamp,
+  // fallback.
+  EXPECT_EQ(stm::parse_env_knob("K", "17", 1, 100, 5), 17);
+  EXPECT_EQ(stm::parse_env_knob("K", "0", 1, 100, 5), 1);
+  EXPECT_EQ(stm::parse_env_knob("K", "1000", 1, 100, 5), 100);
+  EXPECT_EQ(stm::parse_env_knob("K", "x17", 1, 100, 5), 5);
+  EXPECT_EQ(stm::parse_env_knob("K", "", 1, 100, 5), 5);
+  EXPECT_EQ(stm::parse_env_knob("K", "99999999999999999999", 1, 100, 5), 5);
+}

@@ -1,0 +1,145 @@
+// demotx:expert-file: test suite: exercises the expert tier (semantics choices, config overrides, irrevocability) by design
+// Bounded-spin stop-observation regressions (ISSUE 9 satellite): the
+// snapshot and object-stripe reader spins wait on another fiber's lock
+// release, so per the vt contract (context.hpp) they must poll
+// vt::stop_requested() — after a scheduler stop or injected crash
+// (DEMOTX_CRASH_AT) the lock holder may never be scheduled again.  An
+// UNPINNED spinner was rescued incidentally by the FiberStopped unwind
+// inside vt::access; a PINNED spinner (ScopedCritical armed, as in the
+// commit path these brackets also serve) kept burning its full spin
+// budget against a dead holder.  Pre-fix, each test below burns the
+// whole budget (>= 128 or >= 1024 virtual cycles) and the snapshot read
+// aborts kLockedByOther; post-fix every spin observes the stop within a
+// few polls.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "stm/objstm.hpp"
+#include "stm/stm.hpp"
+#include "vt/scheduler.hpp"
+
+using namespace demotx;
+using stm::AbortReason;
+using stm::AbortTx;
+using stm::Semantics;
+
+namespace {
+
+// Upper bound on "prompt": the stop polls run every 8 spins, so a fixed
+// handful of cycles covers them; the pre-fix budgets (128 polite / 1024
+// bounded spins, one virtual cycle each) sail far past it.
+constexpr std::uint64_t kPromptCycles = 100;
+
+// Fiber 0 body: grab the given lock word as a foreign committer (slot 0)
+// would, then park until the stop unwinds us — the "holder that never
+// drains" every crash-in-spin schedule contains.
+void park_holding(std::atomic<std::uint64_t>& lock) {
+  lock.store(stm::lockword::make_locked(0), std::memory_order_release);
+  for (;;) vt::access();  // FiberStopped unwinds us after the stop
+}
+
+}  // namespace
+
+TEST(StmSpinStop, PinnedSnapshotCellSpinObservesStop) {
+  auto& rt = stm::Runtime::instance();
+  stm::TVar<long> x{1};
+  bool aborted = false;
+  AbortReason reason = AbortReason::kExplicit;
+  std::uint64_t spin_cycles = 0;
+
+  vt::Scheduler sched;
+  sched.spawn([&](int) { park_holding(x.cell().vlock); });
+  sched.spawn([&](int) {
+    vt::access();  // let the holder take the lock first (round-robin)
+    stm::Tx& tx = rt.tx_for_slot(1);
+    tx.begin(Semantics::kSnapshot, 0);
+    vt::ScopedCritical pin(true);
+    sched.request_stop();
+    const std::uint64_t t0 = vt::sim_now();
+    try {
+      (void)x.get(tx);
+      ADD_FAILURE() << "snapshot read of a dead holder's lock returned";
+    } catch (const AbortTx& a) {
+      aborted = true;
+      reason = a.reason;
+      spin_cycles = vt::sim_now() - t0;
+      tx.rollback(a.reason);
+    }
+    pin.disarm();
+  });
+  sched.run();
+
+  EXPECT_TRUE(aborted);
+  // Pre-fix: 1024 spins then kLockedByOther.  The stop poll must fire
+  // first and surface as a kill.
+  EXPECT_EQ(reason, AbortReason::kKilled);
+  EXPECT_LT(spin_cycles, kPromptCycles);
+}
+
+TEST(StmSpinStop, PinnedObjUpdateSpinObservesStop) {
+  auto& rt = stm::Runtime::instance();
+  stm::ObjSet set;
+  const std::uint64_t key = 5;
+  bool aborted = false;
+  std::uint64_t spin_cycles = 0;
+
+  vt::Scheduler sched;
+  sched.spawn([&](int) { park_holding(set.stripe_for(key).lock); });
+  sched.spawn([&](int) {
+    vt::access();
+    stm::Tx& tx = rt.tx_for_slot(1);
+    tx.begin(Semantics::kClassic, 0);
+    vt::ScopedCritical pin(true);
+    sched.request_stop();
+    const std::uint64_t t0 = vt::sim_now();
+    try {
+      (void)tx.obj_contains(set, key);
+      ADD_FAILURE() << "update-tier scan of a dead holder's stripe returned";
+    } catch (const AbortTx& a) {
+      aborted = true;
+      spin_cycles = vt::sim_now() - t0;
+      tx.rollback(a.reason);
+    }
+    pin.disarm();
+  });
+  sched.run();
+
+  EXPECT_TRUE(aborted);
+  // Pre-fix: the full 128-spin politeness budget burns before the CM
+  // arbitrates — well past the prompt bound.
+  EXPECT_LT(spin_cycles, kPromptCycles);
+}
+
+TEST(StmSpinStop, PinnedSnapshotObjSpinObservesStop) {
+  auto& rt = stm::Runtime::instance();
+  stm::ObjSet set;
+  const std::uint64_t key = 9;
+  bool aborted = false;
+  std::uint64_t spin_cycles = 0;
+
+  vt::Scheduler sched;
+  sched.spawn([&](int) { park_holding(set.stripe_for(key).lock); });
+  sched.spawn([&](int) {
+    vt::access();
+    stm::Tx& tx = rt.tx_for_slot(1);
+    tx.begin(Semantics::kSnapshot, 0);
+    vt::ScopedCritical pin(true);
+    sched.request_stop();
+    const std::uint64_t t0 = vt::sim_now();
+    try {
+      (void)tx.obj_contains(set, key);
+      ADD_FAILURE() << "snapshot scan of a dead holder's stripe returned";
+    } catch (const AbortTx& a) {
+      aborted = true;
+      spin_cycles = vt::sim_now() - t0;
+      tx.rollback(a.reason);
+    }
+    pin.disarm();
+  });
+  sched.run();
+
+  EXPECT_TRUE(aborted);
+  // Pre-fix: the full 1024-spin bounded bracket burns before failing.
+  EXPECT_LT(spin_cycles, kPromptCycles);
+}

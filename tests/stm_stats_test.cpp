@@ -1,0 +1,80 @@
+// Stats-aggregation regression tests (ISSUE 9 satellite): TxStats::merge
+// must saturate instead of wrapping (long open-loop service runs push
+// per-thread counters toward the 64-bit edge, and a wrapped aggregate
+// reads as a near-idle run), and the desc_heap_bytes GAUGE must not be
+// summed when two aggregates merge — pre-fix, folding two harness
+// aggregates double-counted every descriptor heap.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "stm/stats.hpp"
+
+using demotx::stm::TxStats;
+
+TEST(StmStats, MergeSaturatesScalars) {
+  TxStats a;
+  TxStats b;
+  a.starts = UINT64_MAX - 5;
+  b.starts = 10;
+  a.reads = UINT64_MAX;
+  b.reads = 1;
+  b.writes = 3;
+  a.merge(b);
+  // Pre-fix: UINT64_MAX-5 + 10 wraps to 4.
+  EXPECT_EQ(a.starts, UINT64_MAX);
+  EXPECT_EQ(a.reads, UINT64_MAX);
+  EXPECT_EQ(a.writes, 3u);
+}
+
+TEST(StmStats, MergeSaturatesArrays) {
+  TxStats a;
+  TxStats b;
+  a.commits_by_sem[1] = UINT64_MAX - 1;
+  b.commits_by_sem[1] = 7;
+  a.aborts_by_sem[2] = UINT64_MAX;
+  b.aborts_by_sem[2] = UINT64_MAX;
+  a.aborts_by_reason[0] = UINT64_MAX - 2;
+  b.aborts_by_reason[0] = 2;  // exact ceiling, no wrap
+  a.merge(b);
+  EXPECT_EQ(a.commits_by_sem[1], UINT64_MAX);
+  EXPECT_EQ(a.aborts_by_sem[2], UINT64_MAX);
+  EXPECT_EQ(a.aborts_by_reason[0], UINT64_MAX);
+}
+
+TEST(StmStats, MergePreservesExactSums) {
+  TxStats a;
+  TxStats b;
+  a.commits = 40;
+  b.commits = 2;
+  a.aborts_by_reason[3] = 5;
+  b.aborts_by_reason[3] = 6;
+  a.merge(b);
+  EXPECT_EQ(a.commits, 42u);
+  EXPECT_EQ(a.aborts_by_reason[3], 11u);
+}
+
+TEST(StmStats, HeapGaugeNotDoubledAcrossAggregates) {
+  // Two aggregates that each already include the same thread's heap
+  // reservation: the pre-fix += doubled the gauge on every fold.
+  TxStats agg1;
+  TxStats agg2;
+  agg1.desc_heap_bytes = 4096;
+  agg2.desc_heap_bytes = 4096;
+  agg1.merge(agg2);
+  EXPECT_EQ(agg1.desc_heap_bytes, 4096u);
+
+  // And a larger gauge wins — merging never shrinks the reservation.
+  TxStats agg3;
+  agg3.desc_heap_bytes = 8192;
+  agg1.merge(agg3);
+  EXPECT_EQ(agg1.desc_heap_bytes, 8192u);
+}
+
+TEST(StmStats, SatAddContract) {
+  EXPECT_EQ(TxStats::sat_add(0, 0), 0u);
+  EXPECT_EQ(TxStats::sat_add(1, 2), 3u);
+  EXPECT_EQ(TxStats::sat_add(UINT64_MAX, 0), UINT64_MAX);
+  EXPECT_EQ(TxStats::sat_add(UINT64_MAX, UINT64_MAX), UINT64_MAX);
+  EXPECT_EQ(TxStats::sat_add(UINT64_MAX - 1, 1), UINT64_MAX);
+}

@@ -1,0 +1,223 @@
+// demotx:expert-file: svc scenario test — asserts the request-class ->
+// semantics-tier map itself, so it names the expert tiers by design.
+//
+// Transactional KV service (src/svc/): tier mapping honored per request
+// class, per-session replies monotone, overload sheds without
+// acked-then-lost, latency percentiles populated, durable puts logged.
+// Registered via demotx_stm_test, so every test here also runs under
+// the GV4+counter, summary-validation and sharded-clock environments.
+#include "svc/openloop.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdlib>
+#include <string>
+
+#include "dur/wal.hpp"
+#include "harness/percentile.hpp"
+#include "stm/runtime.hpp"
+#include "svc/kvservice.hpp"
+
+using namespace demotx;
+
+namespace {
+
+svc::SvcConfig small_config() {
+  svc::SvcConfig cfg;
+  cfg.workers = 2;
+  cfg.sessions = 4;
+  cfg.queue_cap = 128;
+  cfg.deadline_cycles = 0;
+  cfg.mean_interarrival = 8;
+  cfg.total_requests = 96;
+  cfg.bank_keys = 8;
+  cfg.keys_per_session = 2;
+  cfg.initial_balance = 50;
+  return cfg;
+}
+
+std::uint64_t commits_for(stm::Semantics sem) {
+  return stm::Runtime::instance().aggregate_stats().commits_by_sem[static_cast<
+      int>(sem)];
+}
+
+}  // namespace
+
+TEST(SvcKv, TierMapIsTheScenarioContract) {
+  svc::KvService mixed(small_config(), 11);
+  EXPECT_EQ(mixed.tier_for(svc::ReqClass::kGet), stm::Semantics::kElastic);
+  EXPECT_EQ(mixed.tier_for(svc::ReqClass::kPut), stm::Semantics::kElastic);
+  EXPECT_EQ(mixed.tier_for(svc::ReqClass::kScan), stm::Semantics::kSnapshot);
+  EXPECT_EQ(mixed.tier_for(svc::ReqClass::kTransfer),
+            stm::Semantics::kClassic);
+  EXPECT_EQ(mixed.tier_for(svc::ReqClass::kAdmin), stm::Semantics::kClassic);
+
+  svc::SvcConfig classic_cfg = small_config();
+  classic_cfg.all_classic = true;
+  svc::KvService classic(classic_cfg, 11);
+  for (const auto c :
+       {svc::ReqClass::kGet, svc::ReqClass::kPut, svc::ReqClass::kScan,
+        svc::ReqClass::kTransfer, svc::ReqClass::kAdmin})
+    EXPECT_EQ(classic.tier_for(c), stm::Semantics::kClassic);
+}
+
+TEST(SvcKv, TierMappingHonoredAtRuntime) {
+  svc::KvService s(small_config(), 17);
+  const svc::OpenLoopResult r = svc::run_open_loop(s);
+  ASSERT_FALSE(r.hit_limit);
+  std::string why;
+  EXPECT_TRUE(s.check_replies(&why)) << why;
+  // Every class must have been acked at this request count, and each
+  // tier's commits must show up in the runtime's per-semantics counters.
+  const svc::SvcStats& st = s.stats();
+  for (int c = 0; c < svc::kNumReqClasses; ++c)
+    EXPECT_GT(st.acked[c], 0u) << "class " << c << " never acked";
+  EXPECT_GT(commits_for(stm::Semantics::kElastic), 0u);
+  EXPECT_GT(commits_for(stm::Semantics::kSnapshot), 0u);
+  EXPECT_GT(commits_for(stm::Semantics::kClassic), 0u);
+}
+
+TEST(SvcKv, AllClassicControlNeverLeavesTheDefaultTier) {
+  svc::SvcConfig cfg = small_config();
+  cfg.all_classic = true;
+  svc::KvService s(cfg, 17);
+  const svc::OpenLoopResult r = svc::run_open_loop(s);
+  ASSERT_FALSE(r.hit_limit);
+  std::string why;
+  EXPECT_TRUE(s.check_replies(&why)) << why;
+  EXPECT_EQ(commits_for(stm::Semantics::kElastic), 0u);
+  EXPECT_EQ(commits_for(stm::Semantics::kSnapshot), 0u);
+  EXPECT_GT(commits_for(stm::Semantics::kClassic), 0u);
+}
+
+TEST(SvcKv, RepliesMonotonePerSession) {
+  // High contention (few sessions, tight arrivals) maximizes abort/retry
+  // re-parking — the path that could reorder same-session replies if the
+  // in-flight guard broke.
+  svc::SvcConfig cfg = small_config();
+  cfg.sessions = 2;
+  cfg.mean_interarrival = 2;
+  cfg.total_requests = 128;
+  svc::KvService s(cfg, 23);
+  const svc::OpenLoopResult r = svc::run_open_loop(s);
+  ASSERT_FALSE(r.hit_limit);
+  std::string why;
+  EXPECT_TRUE(s.check_replies(&why)) << why;
+  EXPECT_GT(s.stats().acked_total(), 0u);
+  EXPECT_GT(r.goodput, 0.0);
+}
+
+TEST(SvcKv, OverloadShedsWithoutAckedThenLost) {
+  svc::SvcConfig cfg = small_config();
+  cfg.workers = 2;
+  cfg.queue_cap = 4;          // tiny admission queue
+  cfg.deadline_cycles = 256;  // and a tight deadline
+  cfg.mean_interarrival = 1;  // arrivals far beyond capacity
+  cfg.total_requests = 256;
+  svc::KvService s(cfg, 29);
+  const svc::OpenLoopResult r = svc::run_open_loop(s);
+  ASSERT_FALSE(r.hit_limit);
+  const svc::SvcStats& st = s.stats();
+  EXPECT_GT(st.shed_total(), 0u) << "overload never shed";
+  // Every arrival resolves exactly once, and no acked effect was lost,
+  // no shed put leaked — all folded into the reply oracle.
+  std::string why;
+  EXPECT_TRUE(s.check_replies(&why)) << why;
+  EXPECT_EQ(st.arrived, st.acked_total() + st.shed_total());
+}
+
+TEST(SvcKv, LatencyPercentilesPopulated) {
+  svc::KvService s(small_config(), 31);
+  const svc::OpenLoopResult r = svc::run_open_loop(s);
+  ASSERT_FALSE(r.hit_limit);
+  svc::SvcStats& st = s.stats();
+  for (int c = 0; c < svc::kNumReqClasses; ++c) {
+    ASSERT_GT(st.acked[c], 0u);
+    EXPECT_EQ(st.lat[c].count(), st.acked[c]);
+    const std::uint64_t p50 = st.lat[c].p50();
+    const std::uint64_t p95 = st.lat[c].p95();
+    const std::uint64_t p99 = st.lat[c].p99();
+    EXPECT_LE(p50, p95);
+    EXPECT_LE(p95, p99);
+    EXPECT_LE(p99, st.lat[c].max());
+    EXPECT_GT(st.lat[c].max(), 0u);
+  }
+}
+
+TEST(SvcKv, DurablePutsAppendRedoRecords) {
+  svc::SvcConfig cfg = small_config();
+  cfg.durable = true;
+  svc::KvService s(cfg, 37);
+  const svc::OpenLoopResult r = svc::run_open_loop(s);
+  ASSERT_FALSE(r.hit_limit);
+  std::string why;
+  EXPECT_TRUE(s.check_replies(&why)) << why;
+  const dur::WalStats w = dur::WalManager::instance().stats();
+  EXPECT_GT(w.records, 0u);
+  EXPECT_GT(w.acks, 0u);
+}
+
+TEST(SvcKv, ExplorationPolicyDegeneratesTimersSafely) {
+  // Under kRandom the sleep calls become single yields (the schedule is
+  // the adversary); the service must still drain and stay consistent.
+  svc::SvcConfig cfg = small_config();
+  cfg.total_requests = 48;
+  svc::KvService s(cfg, 41);
+  svc::OpenLoopOptions opts;
+  opts.policy = vt::Scheduler::Policy::kRandom;
+  opts.sched_seed = 97;
+  const svc::OpenLoopResult r = svc::run_open_loop(s, opts);
+  ASSERT_FALSE(r.hit_limit);
+  std::string why;
+  EXPECT_TRUE(s.check_replies(&why)) << why;
+  EXPECT_EQ(s.stats().arrived, 48u);
+}
+
+TEST(SvcKv, FromEnvKnobsParseStrictlyAndClamp) {
+  // The DEMOTX_SVC_* knobs ride the parse_env_knob contract (ISSUE 9
+  // satellite): strict parse with garbage falling back to the default,
+  // out-of-range clamping to the bound.
+  ::setenv("DEMOTX_SVC_WORKERS", "7", 1);
+  ::setenv("DEMOTX_SVC_SESSIONS", "garbage", 1);  // -> default 16
+  ::setenv("DEMOTX_SVC_QUEUE", "99999999", 1);    // clamps to 1<<20
+  ::setenv("DEMOTX_SVC_RATE", "12", 1);
+  ::setenv("DEMOTX_SVC_DURABLE", "1", 1);
+  const svc::SvcConfig cfg = svc::SvcConfig::from_env();
+  ::unsetenv("DEMOTX_SVC_WORKERS");
+  ::unsetenv("DEMOTX_SVC_SESSIONS");
+  ::unsetenv("DEMOTX_SVC_QUEUE");
+  ::unsetenv("DEMOTX_SVC_RATE");
+  ::unsetenv("DEMOTX_SVC_DURABLE");
+  EXPECT_EQ(cfg.workers, 7);
+  EXPECT_EQ(cfg.sessions, 16u);
+  EXPECT_EQ(cfg.queue_cap, std::uint64_t{1} << 20);
+  EXPECT_EQ(cfg.mean_interarrival, 12u);
+  EXPECT_TRUE(cfg.durable);
+  // Unset environment: pure defaults.
+  const svc::SvcConfig defaults = svc::SvcConfig::from_env();
+  EXPECT_EQ(defaults.workers, 4);
+  EXPECT_FALSE(defaults.durable);
+}
+
+TEST(SvcKv, PercentileSinkReservoirIsDeterministicAndOrdered) {
+  harness::PercentileSink sink(256, 5);
+  for (std::uint64_t v = 1; v <= 10'000; ++v) sink.add(v);
+  EXPECT_EQ(sink.count(), 10'000u);
+  EXPECT_EQ(sink.max(), 10'000u);
+  EXPECT_EQ(sink.sum(), 10'000ull * 10'001ull / 2);
+  const std::uint64_t p50 = sink.p50();
+  const std::uint64_t p99 = sink.p99();
+  EXPECT_LE(p50, p99);
+  // Uniform 1..10000: the sampled median lands well inside the middle
+  // half, the p99 in the top quarter — loose bounds that hold for any
+  // honest uniform reservoir, tight enough to catch a broken one.
+  EXPECT_GT(p50, 2'500u);
+  EXPECT_LT(p50, 7'500u);
+  EXPECT_GT(p99, 7'500u);
+  // Determinism: same cap/seed/stream -> identical quantiles.
+  harness::PercentileSink again(256, 5);
+  for (std::uint64_t v = 1; v <= 10'000; ++v) again.add(v);
+  EXPECT_EQ(again.p50(), p50);
+  EXPECT_EQ(again.p99(), p99);
+}

@@ -185,3 +185,55 @@ TEST(Scheduler, RealThreadsRegisterContexts) {
   vt::run_threads(4, [&](int id) { ids[static_cast<std::size_t>(id)] = vt::thread_id(); });
   EXPECT_EQ(ids, (std::vector<int>{0, 1, 2, 3}));
 }
+
+TEST(Scheduler, SleepUntilIsAnExactTimerUnderRoundRobin) {
+  // A sleeping fiber resumes at exactly its wake time, and an otherwise
+  // idle machine jumps the clock there for free (no spin cycles burned).
+  std::uint64_t woke_at = 0;
+  vt::Scheduler sched;
+  sched.spawn([&](int) {
+    vt::sleep_until(10'000);
+    woke_at = vt::sim_now();
+  });
+  sched.run();
+  EXPECT_EQ(woke_at, 10'000u);
+  EXPECT_EQ(sched.cycles(), 10'000u);
+}
+
+TEST(Scheduler, SleepUntilLetsRunnableFibersDrainFirst) {
+  // A busy fiber's accesses all land before the sleeper's wake time, so
+  // the heap runs the busy fiber to completion before time jumps.
+  std::uint64_t busy_done_at = 0;
+  std::uint64_t woke_at = 0;
+  vt::Scheduler sched;
+  sched.spawn([&](int) {
+    vt::sleep_until(5'000);
+    woke_at = vt::sim_now();
+  });
+  sched.spawn([&](int) {
+    for (int i = 0; i < 100; ++i) vt::access();
+    busy_done_at = vt::sim_now();
+  });
+  sched.run();
+  EXPECT_LE(busy_done_at, 5'000u);
+  EXPECT_EQ(woke_at, 5'000u);
+}
+
+TEST(Scheduler, SleepUntilDegeneratesToAYieldUnderExploration) {
+  // Exploration policies own the interleaving: a sleep is one
+  // schedulable step, not a time warp — callers loop on sim_now().
+  vt::Scheduler::Options opts;
+  opts.policy = vt::Scheduler::Policy::kRandom;
+  opts.seed = 5;
+  std::uint64_t after = 0;
+  vt::Scheduler sched(opts);
+  sched.spawn([&](int) {
+    vt::sleep_until(1'000'000'000);
+    after = vt::sim_now();
+  });
+  sched.spawn([](int) {
+    for (int i = 0; i < 10; ++i) vt::access();
+  });
+  sched.run();
+  EXPECT_LT(after, 1'000u);  // returned after one yield, no warp
+}
