@@ -180,11 +180,11 @@ class TxBst final : public ISet {
     Node(long k, Node* l, Node* r) : key(k), left(l), right(r) {}
   };
 
-  static bool is_leaf(stm::Tx& tx, Node* n) {
+  static bool is_leaf(stm::Tx& tx, Node* n) DEMOTX_TX_TRAVERSAL {
     return n->left.get(tx) == nullptr;
   }
 
-  static Node* child_for(stm::Tx& tx, Node* n, long key) {
+  static Node* child_for(stm::Tx& tx, Node* n, long key) DEMOTX_TX_TRAVERSAL {
     return key < n->key ? n->left.get(tx) : n->right.get(tx);
   }
 

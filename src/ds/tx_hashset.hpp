@@ -164,7 +164,7 @@ class TxHashSet final : public ISet {
     return buckets_[static_cast<std::size_t>(h >> 32) % buckets_.size()];
   }
 
-  static Position parse(stm::Tx& tx, Bucket& b, long key) {
+  static Position parse(stm::Tx& tx, Bucket& b, long key) DEMOTX_TX_TRAVERSAL {
     Node* prev = b.head;
     Node* curr = prev->next.get(tx);
     while (curr->key < key) {

@@ -135,7 +135,7 @@ class TxList final : public ISet {
   // The sequential search loop, unchanged (sentinels make it branch-free
   // on nullptr).  Under elastic semantics the two live links (prev->next,
   // curr->next) are exactly the sliding window.
-  Position parse(stm::Tx& tx, long key) const {
+  Position parse(stm::Tx& tx, long key) const DEMOTX_TX_TRAVERSAL {
     Node* prev = head_;
     Node* curr = prev->next.get(tx);
     while (curr->key < key) {

@@ -194,7 +194,7 @@ class TxSkipList final : public ISet {
 
   // Elastic descent; fills preds[] with per-level predecessor hints and
   // reports whether the key was seen.
-  bool descend(stm::Tx& tx, long key, Node** preds) const {
+  bool descend(stm::Tx& tx, long key, Node** preds) const DEMOTX_TX_TRAVERSAL {
     bool found = false;
     Node* pred = head_;
     for (int i = kMaxLevel - 1; i >= 0; --i) {

@@ -1,0 +1,48 @@
+// Effect-tag annotations for the static analyses (tools/demotx-advise).
+//
+// Each macro expands to nothing: the tags exist so per-function effect
+// summaries are grounded in declarations instead of pattern-matching on
+// accessor NAMES.  A tag written between a function's parameter list
+// and its body declares the transactional effect of calling it; the
+// analyzer treats tagged functions as effect LEAVES (their bodies are
+// runtime internals, below the abstraction line the summaries model)
+// and never descends into them.
+//
+//   DEMOTX_TX_READ         a raw versioned cell read (tx.read_word)
+//   DEMOTX_TX_WRITE        a raw versioned cell write (tx.write_word)
+//   DEMOTX_TX_TRAVERSAL    a search-structure traversal: a sequence of
+//                          cell reads whose sole purpose is locating a
+//                          node, safe to forget under elastic cuts
+//                          (paper Sec. 3: the elastic tier's defining
+//                          shape) — an EXPERT assertion about the loop,
+//                          exactly like the containers' expert markers
+//   DEMOTX_TX_SEARCH_READ  a semantic read against a participating
+//                          container (obj_contains/obj_size/...):
+//                          key-level certification, no raw cells
+//   DEMOTX_TX_SEARCH_WRITE a semantic update (obj_insert/obj_erase/
+//                          obj_enqueue/obj_dequeue): deferred to commit,
+//                          certified by key, still a write for tier
+//                          eligibility (snapshot bodies must not)
+//   DEMOTX_TX_RELEASE      early release (tx.release): expert-only,
+//                          composition-breaking, pins the classic tier
+//   DEMOTX_TX_IRREVOCABLE  the call makes the transaction irrevocable
+//                          (may not retry): classic-only
+//   DEMOTX_TX_SAFE         abort-safe by construction, contributes no
+//                          transactional effect (tx.alloc/tx.retire:
+//                          the raw new/delete inside is compensated on
+//                          abort, unlike user-code new/delete)
+//
+// The tags are macros (not attributes) so they vanish under every
+// compiler and cost nothing; the token frontend (tools/frontend)
+// collects any DEMOTX_TX_* identifier in the declarator into
+// FunctionDef::tags.
+#pragma once
+
+#define DEMOTX_TX_READ
+#define DEMOTX_TX_WRITE
+#define DEMOTX_TX_TRAVERSAL
+#define DEMOTX_TX_SEARCH_READ
+#define DEMOTX_TX_SEARCH_WRITE
+#define DEMOTX_TX_RELEASE
+#define DEMOTX_TX_IRREVOCABLE
+#define DEMOTX_TX_SAFE

@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "stm/cell.hpp"
+#include "stm/effects.hpp"
 #include "sync/annotations.hpp"
 #include "stm/objops.hpp"
 #include "stm/readset.hpp"
@@ -54,17 +55,17 @@ class Tx {
 
   // ---- word-level transactional API ----------------------------------
 
-  std::uint64_t read_word(Cell& c);
+  std::uint64_t read_word(Cell& c) DEMOTX_TX_READ;
   // NO_TSA: the first eager write enters the commit gate (a shared
   // acquire of Runtime::commit_permission_) that commit()/rollback()
   // later release — conditional cross-function ownership tracked by
   // in_commit_gate_, which thread-safety analysis cannot follow.
-  void write_word(Cell& c, std::uint64_t v) DEMOTX_NO_TSA;
+  void write_word(Cell& c, std::uint64_t v) DEMOTX_NO_TSA DEMOTX_TX_WRITE;
 
   // Early release (paper Sec. 4.1): forget this transaction's reads of
   // `c`; later conflicts on it no longer abort us.  Expert-only — breaks
   // composition, as tests/examples demonstrate.
-  void release(Cell& c);
+  void release(Cell& c) DEMOTX_TX_RELEASE;
 
   // User-requested abort: the transaction retries from scratch.
   [[noreturn]] void abort_self() { throw_abort(AbortReason::kExplicit); }
@@ -78,20 +79,23 @@ class Tx {
   // objstm.cpp; declared here so containers can compose them with the
   // word-level API inside one transaction.
 
-  bool obj_contains(ObjSet& s, std::uint64_t key);
-  bool obj_insert(ObjSet& s, std::uint64_t key);   // true = was absent
-  bool obj_erase(ObjSet& s, std::uint64_t key);    // true = was present
-  std::uint64_t obj_size(ObjSet& s);
-  void obj_enqueue(ObjQueue& q, std::uint64_t v);
-  bool obj_dequeue(ObjQueue& q, std::uint64_t* out);  // false = empty
-  std::uint64_t obj_queue_size(ObjQueue& q);
+  bool obj_contains(ObjSet& s, std::uint64_t key) DEMOTX_TX_SEARCH_READ;
+  bool obj_insert(ObjSet& s, std::uint64_t key)    // true = was absent
+      DEMOTX_TX_SEARCH_WRITE;
+  bool obj_erase(ObjSet& s, std::uint64_t key)     // true = was present
+      DEMOTX_TX_SEARCH_WRITE;
+  std::uint64_t obj_size(ObjSet& s) DEMOTX_TX_SEARCH_READ;
+  void obj_enqueue(ObjQueue& q, std::uint64_t v) DEMOTX_TX_SEARCH_WRITE;
+  bool obj_dequeue(ObjQueue& q, std::uint64_t* out)  // false = empty
+      DEMOTX_TX_SEARCH_WRITE;
+  std::uint64_t obj_queue_size(ObjQueue& q) DEMOTX_TX_SEARCH_READ;
 
   // ---- transactional lifetime management ------------------------------
 
   // Allocates an object owned by the transaction: deleted if the
   // transaction aborts, handed to the caller on commit.
   template <typename T, typename... Args>
-  T* alloc(Args&&... args) {
+  T* alloc(Args&&... args) DEMOTX_TX_SAFE {
     T* p = new T(static_cast<Args&&>(args)...);
     allocs_.push_back({p, [](void* q) { delete static_cast<T*>(q); }});
     return p;
@@ -101,7 +105,7 @@ class Tx {
   // reclamation (concurrent optimistic readers stay safe).  No-op if the
   // transaction aborts.
   template <typename T>
-  void retire(T* p) {
+  void retire(T* p) DEMOTX_TX_SAFE {
     retires_.push_back({p, [](void* q) { delete static_cast<T*>(q); }});
   }
 

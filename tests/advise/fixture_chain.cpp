@@ -1,0 +1,76 @@
+// advise.verify fixture: the helper-chain TU the golden JSON pins.
+//
+// Exercises, per Issue 10's checklist: a helper chain (one and two
+// levels deep), a call-graph cycle (collapses to ⊤/classic), a tagged
+// irrevocable leaf declaration (bodiless), and a read-only leaf.  Each
+// atomically site carries an advise expectation comment stating the
+// inferred tier (and soundness) demotx-advise must report for it.
+//
+// Scanned only — never compiled into the test binaries.
+#include "stm/stm.hpp"
+
+namespace demotx {
+
+// The corpus is scanned stand-alone, so the fixtures carry their own
+// tagged accessor leaves (the real tree resolves these from
+// src/stm/txdesc.hpp).
+std::uint64_t read_word(stm::Cell& c) DEMOTX_TX_READ;
+void write_word(stm::Cell& c, std::uint64_t v) DEMOTX_TX_WRITE;
+
+// Read-only leaf: a single raw read.
+long read_leaf(stm::Tx& tx, stm::Cell& c) {
+  return static_cast<long>(tx.read_word(c));
+}
+
+// Writing leaf.
+void write_leaf(stm::Tx& tx, stm::Cell& c) { tx.write_word(c, 1); }
+
+// Helper chain: the write is two calls away from the site.
+void chain_mid(stm::Tx& tx, stm::Cell& c) { write_leaf(tx, c); }
+
+// Mutual recursion: the SCC {ping, pong} must collapse to ⊤.
+long ping(stm::Tx& tx, stm::Cell& c);
+long pong(stm::Tx& tx, stm::Cell& c) { return ping(tx, c); }
+long ping(stm::Tx& tx, stm::Cell& c) { return pong(tx, c) / 2 + read_leaf(tx, c); }
+
+// Irrevocable leaf: a tagged declaration with no body — the tag alone
+// carries the effect.
+void log_commit(stm::Tx& tx) DEMOTX_TX_IRREVOCABLE;
+
+long sums(stm::Cell& a) {
+  return stm::atomically(stm::Semantics::kSnapshot, [&](stm::Tx& tx) {  // demotx-advise-expect: snapshot
+    return read_leaf(tx, a);
+  });
+}
+
+bool touch(stm::Cell& a) {
+  return stm::atomically([&](stm::Tx& tx) {  // demotx-advise-expect: elastic
+    chain_mid(tx, a);
+    return true;
+  });
+}
+
+long spin(stm::Cell& a) {
+  return stm::atomically([&](stm::Tx& tx) {  // demotx-advise-expect: classic
+    return ping(tx, a);
+  });
+}
+
+void audit() {
+  stm::atomically_irrevocable([&](stm::Tx& tx) {  // demotx-advise-expect: classic
+    log_commit(tx);
+  });
+}
+
+long total(stm::Cell* cells, int n) {
+  // demotx:expert-next: the loop sum is read-only by construction; snapshot keeps it abort-free
+  return stm::atomically(stm::Semantics::kSnapshot, [&](stm::Tx& tx) {  // demotx-advise-expect: snapshot
+    long s = 0;
+    // A loop of raw reads is snapshot-eligible but NOT elastic-eligible:
+    // a cut between two iterations could tear the sum.
+    for (int i = 0; i < n; ++i) s += read_leaf(tx, cells[i]);
+    return s;
+  });
+}
+
+}  // namespace demotx

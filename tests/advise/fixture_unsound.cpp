@@ -1,0 +1,37 @@
+// advise.verify fixture: the planted-unsound TU.
+//
+// A snapshot annotation sits on a body whose write is TWO calls deep
+// (bump_mid -> bump_leaf -> tx.write_word): the consistency gate must
+// catch it through the summary chain, and the evidence must name the
+// chain.  The second site carries the same defect with a reasoned
+// `demotx:advise:` justification, which flips `justified` in the JSON
+// but never the verdict.
+//
+// Scanned only — never compiled into the test binaries.
+#include "stm/stm.hpp"
+
+namespace demotx {
+
+// Stand-alone tagged accessor leaf (see fixture_chain.cpp).
+void write_word(stm::Cell& c, std::uint64_t v) DEMOTX_TX_WRITE;
+
+void bump_leaf(stm::Tx& tx, stm::Cell& c) { tx.write_word(c, 7); }
+
+void bump_mid(stm::Tx& tx, stm::Cell& c) { bump_leaf(tx, c); }
+
+long refresh(stm::Cell& c) {
+  return stm::atomically(stm::Semantics::kSnapshot, [&](stm::Tx& tx) {  // demotx-advise-expect: elastic unsound
+    bump_mid(tx, c);
+    return 0L;
+  });
+}
+
+long probe(stm::Cell& c) {
+  // demotx:advise: deliberate write under snapshot — the probe pins the runtime's write-abort contract
+  return stm::atomically(stm::Semantics::kSnapshot, [&](stm::Tx& tx) {  // demotx-advise-expect: elastic unsound
+    bump_leaf(tx, c);
+    return 1L;
+  });
+}
+
+}  // namespace demotx

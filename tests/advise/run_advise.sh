@@ -1,0 +1,50 @@
+#!/bin/sh
+# Corpus driver for the advise.verify ctest row.
+#
+#   run_advise.sh <demotx-advise-binary> <corpus-dir>
+#
+# Asserts, in order:
+#   1. every fixture TU declares at least one demotx-advise-expect
+#      expectation (an expectation-free fixture would verify vacuously);
+#   2. `demotx-advise --verify` passes: every atomically site's inferred
+#      tier and soundness verdict matches its expectation comment,
+#      and every expectation has a site;
+#   3. the JSON report matches the committed golden byte-for-byte
+#      (expected_advise.json pins site order, eligibility sets, evidence
+#      chains, marker accounting, and the justified flag).
+ADVISE="$1"
+DIR="$2"
+if [ -z "$ADVISE" ] || [ -z "$DIR" ]; then
+  echo "usage: run_advise.sh <demotx-advise-binary> <corpus-dir>" >&2
+  exit 2
+fi
+
+fail=0
+
+for f in "$DIR"/fixture_*.cpp; do
+  if ! grep -q "demotx-advise-expect:" "$f"; then
+    echo "FAIL: $f carries no demotx-advise-expect expectations" >&2
+    fail=1
+  fi
+done
+
+out="${TMPDIR:-/tmp}/advise_report.$$.json"
+if ! "$ADVISE" --verify --json "$out" --relative-to "$DIR" "$DIR"; then
+  echo "FAIL: --verify mismatch (see VERIFY-* lines above)" >&2
+  fail=1
+fi
+
+if [ -f "$out" ]; then
+  if ! diff -u "$DIR/expected_advise.json" "$out"; then
+    echo "FAIL: JSON report diverges from the committed golden" >&2
+    echo "      (cp $out $DIR/expected_advise.json after reviewing)" >&2
+    fail=1
+  fi
+  rm -f "$out"
+else
+  echo "FAIL: no JSON report produced" >&2
+  fail=1
+fi
+
+[ "$fail" -eq 0 ] && echo "advise corpus OK"
+exit "$fail"

@@ -78,6 +78,7 @@ TEST(DsTeardown, WindowClampKeepsUnlinkSound) {
   RNode* head = new RNode(LONG_MIN, a);
 
   auto remove = [&](long key, const std::function<void()>& after_parse) {
+    // demotx:advise: the loop is a hand-over-hand list parse inlined for the teardown race; each read depends on the previous one, which is exactly the elastic cut contract
     return stm::atomically(Semantics::kElastic, [&](stm::Tx& tx) {
       RNode* prev = head;
       RNode* curr = prev->next.get(tx);

@@ -1,0 +1,46 @@
+// Corpus: raw cell writes inside bodies annotated Semantics::kSnapshot.
+// The snapshot tier is read-only by contract — its runtime aborts the
+// attempt on the first write — so a write under a kSnapshot annotation
+// can only ever waste work.  (The kSnapshot annotations themselves also
+// trip the tier check: this file deliberately carries no expert
+// markers, pinning that the two checks fire independently.)
+#include "stm/runtime.hpp"
+#include "stm/tvar.hpp"
+
+namespace {
+
+long snapshot_that_writes_raw(demotx::stm::Cell& c) {
+  return demotx::stm::atomically(
+      demotx::stm::Semantics::kSnapshot,  // demotx-expect: demotx-expert-api-tier
+      [&](demotx::stm::Tx& tx) {
+        const auto v = tx.read_word(c);
+        tx.write_word(c, v + 1);  // demotx-expect: demotx-snapshot-write
+        return static_cast<long>(v);
+      });
+}
+
+long snapshot_that_sets_tvar(demotx::stm::TVar<long>& v) {
+  return demotx::stm::atomically(
+      demotx::stm::Semantics::kSnapshot,  // demotx-expect: demotx-expert-api-tier
+      [&](demotx::stm::Tx& tx) {
+        const long cur = v.get(tx);
+        v.set(tx, cur + 1);  // demotx-expect: demotx-snapshot-write
+        return cur;
+      });
+}
+
+// Flat nesting folds the inner classic body into the enclosing snapshot
+// transaction: the write still hits the snapshot runtime and aborts.
+long nested_classic_inside_snapshot(demotx::stm::TVar<long>& v) {
+  return demotx::stm::atomically(
+      demotx::stm::Semantics::kSnapshot,  // demotx-expect: demotx-expert-api-tier
+      [&](demotx::stm::Tx& tx) {
+        const long cur = v.get(tx);
+        demotx::stm::atomically([&](demotx::stm::Tx& inner) {
+          v.set(inner, cur + 1);  // demotx-expect: demotx-snapshot-write
+        });
+        return cur;
+      });
+}
+
+}  // namespace

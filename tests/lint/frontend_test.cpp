@@ -1,0 +1,284 @@
+// Unit tests for the shared token frontend (tools/frontend).
+//
+// The lexer half pins the two bug classes Issue 10 called out — raw
+// string literals and digit separators — plus the encoding-prefixed
+// spellings (u8R"( )", LR"( )") that the pre-frontend lexer genuinely
+// mis-scanned: the prefix was consumed as an identifier, the regular
+// string scanner then terminated at the first embedded quote, and every
+// line up to the next stray quote was swallowed into a phantom literal,
+// misattributing (or suppressing) diagnostics after it.  The walker
+// half pins scope handling: member functions, out-of-class definitions,
+// constructor init lists, effect tags, and Tx-lambda registration.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "frontend.hpp"
+
+namespace ff = demotx::frontend;
+
+namespace {
+
+std::vector<std::string> texts(const ff::LexedFile& f) {
+  std::vector<std::string> out;
+  for (const ff::Token& t : f.tokens) out.push_back(t.text);
+  return out;
+}
+
+const ff::Token* find_tok(const ff::LexedFile& f, const std::string& text) {
+  for (const ff::Token& t : f.tokens)
+    if (t.text == text) return &t;
+  return nullptr;
+}
+
+const ff::FunctionDef* find_fn(const ff::FunctionIndex& idx,
+                               const std::string& qual) {
+  for (const ff::FunctionDef& d : idx.functions)
+    if (d.qual == qual) return &d;
+  return nullptr;
+}
+
+// ---- lexer: raw strings ----------------------------------------------
+
+TEST(Lexer, RawStringCollapsesToOneToken) {
+  const auto f = ff::lex("auto s = R\"(unsafe_load \" tx.write_word)\"; x();");
+  const auto t = texts(f);
+  // Nothing from the literal body leaks into the stream.
+  EXPECT_EQ(std::count(t.begin(), t.end(), "unsafe_load"), 0);
+  EXPECT_EQ(std::count(t.begin(), t.end(), "<raw-string>"), 1);
+  // The tokens after the literal survive.
+  EXPECT_NE(find_tok(f, "x"), nullptr);
+}
+
+TEST(Lexer, RawStringWithDelimiterAndNewlines) {
+  const std::string src =
+      "R\"delim(line one \")\" still inside\nline two)delim\"\nnext_ident";
+  const auto f = ff::lex(src);
+  ASSERT_NE(find_tok(f, "next_ident"), nullptr);
+  // Two newlines inside/after the literal: next_ident is on line 3.
+  EXPECT_EQ(find_tok(f, "next_ident")->line, 3);
+}
+
+TEST(Lexer, EncodingPrefixedRawStringsDoNotLeak) {
+  // The historical bug: u8R consumed as ident, `"(...` scanned as a
+  // regular string ending at the embedded quote, swallowing `after()`.
+  for (const char* prefix : {"R", "u8R", "uR", "UR", "LR"}) {
+    const std::string src =
+        std::string(prefix) + "\"(has \" quote)\"; after();";
+    const auto f = ff::lex(src);
+    EXPECT_NE(find_tok(f, "after"), nullptr) << "prefix " << prefix;
+    EXPECT_EQ(find_tok(f, "quote"), nullptr) << "prefix " << prefix;
+  }
+}
+
+TEST(Lexer, EncodingPrefixedPlainLiterals) {
+  const auto f = ff::lex("u8\"abc\" L\"def\" L'x' u'(' rest");
+  const auto t = texts(f);
+  EXPECT_EQ(std::count(t.begin(), t.end(), "<literal>"), 4);
+  // `u8`, `L`, `u` never appear as identifiers, and the `(` inside the
+  // char literal does not open a paren in the stream.
+  EXPECT_EQ(find_tok(f, "u8"), nullptr);
+  EXPECT_EQ(find_tok(f, "("), nullptr);
+  EXPECT_NE(find_tok(f, "rest"), nullptr);
+}
+
+// ---- lexer: digit separators -----------------------------------------
+
+TEST(Lexer, DigitSeparatorsStayInOneNumberToken) {
+  const auto f = ff::lex("x = 1'000'000; y = 0xF'8; z = 0x1'8p-3;");
+  EXPECT_NE(find_tok(f, "1'000'000"), nullptr);
+  EXPECT_NE(find_tok(f, "0xF'8"), nullptr);
+  EXPECT_NE(find_tok(f, "0x1'8p-3"), nullptr);
+}
+
+TEST(Lexer, NumberThenCharLiteralIsNotASeparator) {
+  // The quote after `1` starts a char literal; a greedy separator rule
+  // would swallow `'a'` into the number and derail everything after.
+  const auto f = ff::lex("f(1,'a'); g(2 ,'b');");
+  EXPECT_NE(find_tok(f, "g"), nullptr);
+  const auto t = texts(f);
+  EXPECT_EQ(std::count(t.begin(), t.end(), "<literal>"), 2);
+  EXPECT_NE(find_tok(f, "1"), nullptr);
+}
+
+// ---- lexer: comments, markers, expectations --------------------------
+
+TEST(Lexer, MarkersParsedWithReasons) {
+  const auto f = ff::lex(
+      "// demotx:expert-file: whole file\n"
+      "int a; // demotx:expert: read-only probe\n"
+      "// demotx:advise: loop is bounded by construction\n"
+      "// demotx:expert-next\n");
+  ASSERT_EQ(f.markers.size(), 4u);
+  EXPECT_EQ(f.markers[0].kind, ff::Marker::Kind::kFile);
+  EXPECT_EQ(f.markers[1].kind, ff::Marker::Kind::kLine);
+  EXPECT_EQ(f.markers[1].line, 2);
+  EXPECT_TRUE(f.markers[1].has_reason);
+  EXPECT_EQ(f.markers[2].kind, ff::Marker::Kind::kAdvise);
+  EXPECT_EQ(f.markers[2].reason, "loop is bounded by construction");
+  EXPECT_EQ(f.markers[3].kind, ff::Marker::Kind::kNext);
+  EXPECT_FALSE(f.markers[3].has_reason);
+}
+
+TEST(Lexer, AdviseExpectationsParsed) {
+  const auto f = ff::lex(
+      "a(); // demotx-advise-expect: snapshot\n"
+      "b(); // demotx-advise-expect: classic unsound\n");
+  ASSERT_EQ(f.advise_expects.size(), 2u);
+  EXPECT_EQ(f.advise_expects.at(1), "snapshot");
+  EXPECT_EQ(f.advise_expects.at(2), "classic unsound");
+}
+
+TEST(Lexer, KeywordsInsideLiteralsAndCommentsDoNotTokenize) {
+  const auto f = ff::lex(
+      "// tx.write_word in a comment\n"
+      "log(\"tx.write_word in a string\");\n");
+  EXPECT_EQ(find_tok(f, "write_word"), nullptr);
+}
+
+TEST(Lexer, PreprocessorLinesSkippedWithContinuations) {
+  const auto f = ff::lex(
+      "#define M(x) \\\n  tx.write_word(x)\n"
+      "real_token\n");
+  EXPECT_EQ(find_tok(f, "write_word"), nullptr);
+  ASSERT_NE(find_tok(f, "real_token"), nullptr);
+  EXPECT_EQ(find_tok(f, "real_token")->line, 3);
+}
+
+// ---- walker ----------------------------------------------------------
+
+TEST(Walker, FreeAndMemberAndOutOfClassFunctions) {
+  const auto f = ff::lex(
+      "namespace demo {\n"
+      "long free_fn(stm::Tx& tx, long k) { return k; }\n"
+      "class Widget {\n"
+      " public:\n"
+      "  bool contains(stm::Tx& tx, long key) const { return key > 0; }\n"
+      "  void decl_only(stm::Tx& tx);\n"
+      "};\n"
+      "void Widget::decl_only(stm::Tx& tx) { (void)tx; }\n"
+      "}  // namespace demo\n");
+  const auto idx = ff::scan_functions(f);
+  const auto* free_fn = find_fn(idx, "demo::free_fn");
+  ASSERT_NE(free_fn, nullptr);
+  ASSERT_EQ(free_fn->params.size(), 2u);
+  EXPECT_TRUE(free_fn->params[0].is_tx);
+  EXPECT_EQ(free_fn->params[0].name, "tx");
+  EXPECT_FALSE(free_fn->params[1].is_tx);
+  EXPECT_EQ(free_fn->params[1].name, "k");
+  EXPECT_NE(find_fn(idx, "demo::Widget::contains"), nullptr);
+  // The in-class declaration has no body; only the out-of-class
+  // definition registers.
+  int decl_only_defs = 0;
+  for (const auto& d : idx.functions)
+    if (d.name == "decl_only") ++decl_only_defs;
+  EXPECT_EQ(decl_only_defs, 1);
+  EXPECT_NE(find_fn(idx, "demo::Widget::decl_only"), nullptr);
+}
+
+TEST(Walker, ConstructorInitListAndDestructor) {
+  const auto f = ff::lex(
+      "class TxList {\n"
+      " public:\n"
+      "  explicit TxList(long cap) : cap_{cap}, head_(nullptr) { setup(); }\n"
+      "  ~TxList() { drain(); }\n"
+      " private:\n"
+      "  long cap_; void* head_;\n"
+      "};\n");
+  const auto idx = ff::scan_functions(f);
+  const auto* ctor = find_fn(idx, "TxList::TxList");
+  ASSERT_NE(ctor, nullptr);
+  // The body is `{ setup(); }`, not the `cap_{cap}` initializer brace.
+  EXPECT_EQ(f.tokens[ctor->body_begin + 1].text, "setup");
+  EXPECT_NE(find_fn(idx, "TxList::~TxList"), nullptr);
+}
+
+TEST(Walker, EffectTagsCollected) {
+  const auto f = ff::lex(
+      "struct Tx {\n"
+      "  std::uint64_t read_word(Cell& c) DEMOTX_TX_READ { return 0; }\n"
+      "  void write_word(Cell& c, std::uint64_t v) DEMOTX_NO_TSA\n"
+      "      DEMOTX_TX_WRITE { (void)c; (void)v; }\n"
+      "};\n");
+  const auto idx = ff::scan_functions(f);
+  const auto* rd = find_fn(idx, "Tx::read_word");
+  ASSERT_NE(rd, nullptr);
+  ASSERT_EQ(rd->tags.size(), 1u);
+  EXPECT_EQ(rd->tags[0], "DEMOTX_TX_READ");
+  const auto* wr = find_fn(idx, "Tx::write_word");
+  ASSERT_NE(wr, nullptr);
+  // DEMOTX_NO_TSA is not a DEMOTX_TX_* tag and must not be collected.
+  ASSERT_EQ(wr->tags.size(), 1u);
+  EXPECT_EQ(wr->tags[0], "DEMOTX_TX_WRITE");
+}
+
+TEST(Walker, TaggedDeclarationRegistersAsBodilessLeaf) {
+  const auto f = ff::lex(
+      "class Tx {\n"
+      "  std::uint64_t read_word(Cell& c) DEMOTX_TX_READ;\n"
+      "  void release(Cell& c) DEMOTX_TX_RELEASE;\n"
+      "  void plain_decl(Cell& c);\n"
+      "};\n");
+  const auto idx = ff::scan_functions(f);
+  const auto* rd = find_fn(idx, "Tx::read_word");
+  ASSERT_NE(rd, nullptr);
+  EXPECT_FALSE(rd->has_body);
+  ASSERT_EQ(rd->tags.size(), 1u);
+  EXPECT_EQ(rd->tags[0], "DEMOTX_TX_READ");
+  EXPECT_NE(find_fn(idx, "Tx::release"), nullptr);
+  // Untagged declarations still do not register.
+  EXPECT_EQ(find_fn(idx, "Tx::plain_decl"), nullptr);
+}
+
+TEST(Walker, NamedTxLambdaRegisters) {
+  const auto f = ff::lex(
+      "void outer() {\n"
+      "  auto bump = [&](stm::Tx& tx) { tx.write_word(c, 1); };\n"
+      "  auto plain = [&](int x) { return x; };\n"
+      "  use(bump, plain);\n"
+      "}\n");
+  const auto idx = ff::scan_functions(f);
+  const auto* bump = find_fn(idx, "bump");
+  ASSERT_NE(bump, nullptr);
+  EXPECT_TRUE(bump->params[0].is_tx);
+  // Lambdas without a Tx parameter are not interesting to the analyses.
+  EXPECT_EQ(find_fn(idx, "plain"), nullptr);
+}
+
+TEST(Walker, TemplatesEnumsAndAttributeMacrosDoNotConfuse) {
+  const auto f = ff::lex(
+      "enum class Semantics { kClassic = 0, kElastic = 1 };\n"
+      "template <typename T, std::size_t N = sizeof(T)>\n"
+      "T decode(stm::Tx& tx) { return T{}; }\n"
+      "class SpinLock DEMOTX_CAPABILITY(\"mutex\") {\n"
+      "  void lock() { }\n"
+      "};\n");
+  const auto idx = ff::scan_functions(f);
+  EXPECT_NE(find_fn(idx, "decode"), nullptr);
+  EXPECT_NE(find_fn(idx, "SpinLock::lock"), nullptr);
+  // Enumerators never register as functions.
+  EXPECT_EQ(find_fn(idx, "kClassic"), nullptr);
+}
+
+TEST(Walker, BodyRangeCoversWholeFunction) {
+  const auto f = ff::lex(
+      "int f(stm::Tx& tx) {\n"
+      "  if (x) { g(tx); }\n"
+      "  return h(tx);\n"
+      "}\n"
+      "int tail() { return 0; }\n");
+  const auto idx = ff::scan_functions(f);
+  const auto* fn = find_fn(idx, "f");
+  ASSERT_NE(fn, nullptr);
+  EXPECT_EQ(f.tokens[fn->body_begin].text, "{");
+  EXPECT_EQ(f.tokens[fn->body_end].text, "}");
+  // The range covers the nested braces and stops before `tail`.
+  bool saw_h = false;
+  for (std::size_t i = fn->body_begin; i <= fn->body_end; ++i)
+    saw_h |= (f.tokens[i].text == "h");
+  EXPECT_TRUE(saw_h);
+  EXPECT_NE(find_fn(idx, "tail"), nullptr);
+}
+
+}  // namespace

@@ -1,0 +1,39 @@
+// Corpus (clean): the snapshot-write check stays quiet on read-only
+// snapshot bodies, on classic bodies that write, and on writes a
+// written expert justification explicitly owns.
+#include "stm/runtime.hpp"
+#include "stm/tvar.hpp"
+
+namespace {
+
+// Read-only snapshot body: the intended shape.
+long snapshot_read_only(demotx::stm::TVar<long>& a,
+                        demotx::stm::TVar<long>& b) {
+  return demotx::stm::atomically(
+      // demotx:expert-next: consistent read-only sum across cells
+      demotx::stm::Semantics::kSnapshot,
+      [&](demotx::stm::Tx& tx) { return a.get(tx) + b.get(tx); });
+}
+
+// Classic bodies write freely; the check is scoped to kSnapshot sites.
+void classic_writer(demotx::stm::TVar<long>& v) {
+  demotx::stm::atomically([&](demotx::stm::Tx& tx) {
+    v.set(tx, v.get(tx) + 1);
+  });
+}
+
+// A deliberate write under kSnapshot (e.g. a test that the snapshot
+// runtime aborts writers) opts in line-by-line, like every suppression.
+long snapshot_abort_probe(demotx::stm::TVar<long>& v) {
+  return demotx::stm::atomically(
+      // demotx:expert-next: exercising the snapshot tier's write-abort path
+      demotx::stm::Semantics::kSnapshot,
+      [&](demotx::stm::Tx& tx) {
+        const long cur = v.get(tx);
+        // demotx:expert-next: write must abort; this probes that path
+        v.set(tx, cur + 1);
+        return cur;
+      });
+}
+
+}  // namespace

@@ -89,7 +89,9 @@ TEST(StmBasic, UserExceptionAbortsAndPropagates) {
 
 TEST(StmBasic, SnapshotWriteIsAUsageError) {
   stm::TVar<long> x{1};
+  // demotx:advise: deliberate write under snapshot — the probe pins the runtime's write-abort contract
   EXPECT_THROW(stm::atomically(Semantics::kSnapshot,
+                               // demotx:expert-next: deliberately writes to pin the snapshot tier's write-abort contract
                                [&](stm::Tx& tx) { x.set(tx, 2); }),
                stm::TxUsageError);
   EXPECT_EQ(x.unsafe_load(), 1);

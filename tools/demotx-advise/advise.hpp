@@ -1,0 +1,131 @@
+// demotx-advise: interprocedural effect summaries and static
+// tier-placement inference over the shared token frontend.
+//
+// Pipeline (DESIGN.md §7 has the full contract):
+//
+//   1. per-function EFFECT SUMMARY — every function definition the
+//      walker finds is summarized into the effect lattice below; tagged
+//      accessors (src/stm/effects.hpp) are leaves whose tags replace
+//      body analysis;
+//   2. CALL-GRAPH FIXPOINT — tx-passing calls resolve by name across
+//      every scanned TU; Tarjan SCCs collapse cycles to ⊤ (classic);
+//      summaries propagate bottom-up in reverse-topological order;
+//   3. TIER CLASSIFIER — each atomically/atomically_irrevocable site's
+//      transitive effect set yields an ELIGIBILITY SET over
+//      {classic, elastic, snapshot} (eligibility is a set, not a line:
+//      a read-only loop is snapshot-eligible but NOT elastic-eligible,
+//      because elastic cuts can tear a multi-read result);
+//   4. CONSISTENCY GATE — a site whose annotated tier is outside its
+//      eligibility set is demotx-advise-unsound unless a reasoned
+//      `demotx:advise:` marker owns it; expert markers are confirmed
+//      when every literal-tier site they cover is sound; the svc/
+//      request-class map is cross-checked against arm summaries.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "frontend.hpp"
+
+namespace demotx::advise {
+
+namespace ff = demotx::frontend;
+
+// The summary lattice.  Bools are may-effects (monotone OR); raw_reads
+// saturates at 2 ("many"); ⊤ subsumes everything.
+struct Effects {
+  bool top = false;          // unresolved callee / call-graph cycle
+  bool side_effect = false;  // raw new/delete, IO, locks
+  bool irrevocable = false;  // atomically_irrevocable anywhere below
+  bool release_call = false; // early release anywhere below
+  bool raw_write = false;    // tx.write_word / TVar::set
+  bool search_write = false; // obj_insert/erase/enqueue/dequeue
+  bool has_search = false;   // any traversal / semantic container op
+  int raw_reads = 0;         // raw cell reads: 0, 1, 2 (= many)
+  bool loop_raw_read = false;      // a raw read under a loop
+  bool write_before_search = false;  // raw write, then a traversal
+  // effect name -> example call chain ("qual (file:line)" steps).
+  std::map<std::string, std::vector<std::string>> why;
+
+  bool any_write() const { return raw_write || search_write; }
+  bool classic_only() const {
+    return top || side_effect || irrevocable || release_call;
+  }
+};
+
+struct SourceFile {
+  std::string path;
+  ff::LexedFile lexed;
+  ff::FunctionIndex fns;
+};
+
+// One function definition bound to the file it came from.
+struct FuncDef {
+  const SourceFile* file;
+  const ff::FunctionDef* def;
+};
+
+struct Site {
+  const SourceFile* file = nullptr;
+  int line = 0;      // line of the atomically token
+  int ann_line = 0;  // line of the tier-literal token (else == line)
+  std::string enclosing;  // qual of the enclosing function, or "<file>"
+  std::string annotated;  // classic|elastic|snapshot|irrevocable|hybrid|dynamic
+  Effects eff;
+  bool elastic_ok = false;
+  bool snapshot_ok = false;
+  std::string inferred;  // strongest eligible: snapshot > elastic > classic
+  bool sound = true;     // literal annotation within the eligibility set
+  bool justified = false;  // a reasoned demotx:advise marker owns it
+};
+
+struct MarkerReport {
+  int total = 0;
+  int confirmed = 0;  // every covered literal-tier site is sound
+  int vacuous = 0;    // confirmed markers that covered no literal site
+  std::vector<std::string> unconfirmed;  // "file:line" of failures
+};
+
+struct SvcRow {
+  std::string req;     // request-class enumerator, e.g. "kGet"
+  std::string mapped;  // tier tier_for() maps it to
+  std::set<std::string> eligible;  // from the arm's summary
+  bool ok = false;
+};
+
+class Analyzer {
+ public:
+  // Registers one TU.  Call for every file, then run().
+  void add_file(std::string path, std::string source);
+  void run();
+
+  // ---- results ---------------------------------------------------------
+  std::vector<std::unique_ptr<SourceFile>> files;
+  std::vector<Site> sites;              // sorted by (file, line)
+  MarkerReport markers;
+  std::vector<SvcRow> svc;              // empty unless tier_for+run_body seen
+  bool svc_found = false;
+  int functions_total = 0;              // definitions across all TUs
+  // name -> resolved summary (after run()).
+  std::map<std::string, Effects> summary;
+  // name -> candidate definitions (tx-taking, tagged, or Tx members).
+  std::map<std::string, std::vector<FuncDef>> table;
+
+ private:
+  void build_table();
+  void build_callgraph_and_fixpoint();
+  void classify_sites();
+  void confirm_markers();
+  void cross_check_svc();
+
+  std::map<std::string, std::vector<std::string>> edges_;
+};
+
+// Eligibility predicates over a site-level (flattened) summary.
+bool elastic_eligible(const Effects& e);
+bool snapshot_eligible(const Effects& e);
+
+}  // namespace demotx::advise

@@ -1,0 +1,466 @@
+// Call-graph fixpoint, site classification, marker confirmation, and the
+// svc request-class cross-check.
+//
+// Resolution is NAME-level (the frontend has no types): every definition
+// that takes a `Tx&`, carries an effect tag, or is a Tx member is a
+// candidate, and same-name candidates JOIN (pointwise max) — an
+// over-approximation that can only make advice more conservative, never
+// unsound.  Tarjan SCCs are emitted successors-first, so processing them
+// in emission order guarantees every callee summary exists before its
+// callers are scanned; cycles (and self-recursion) collapse to ⊤.
+
+#include <algorithm>
+#include <cstddef>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "internal.hpp"
+
+namespace demotx::advise {
+
+namespace {
+
+using detail::Scanner;
+using ff::TokKind;
+using ff::Token;
+
+// Alternative-definition join: overloads of one name may differ, callers
+// cannot be told apart, so take the pointwise max.
+void join_alt(Effects& dst, const Effects& src) {
+  dst.top |= src.top;
+  dst.side_effect |= src.side_effect;
+  dst.irrevocable |= src.irrevocable;
+  dst.release_call |= src.release_call;
+  dst.raw_write |= src.raw_write;
+  dst.search_write |= src.search_write;
+  dst.has_search |= src.has_search;
+  dst.raw_reads = std::max(dst.raw_reads, src.raw_reads);
+  dst.loop_raw_read |= src.loop_raw_read;
+  dst.write_before_search |= src.write_before_search;
+  for (const auto& [k, v] : src.why)
+    if (dst.why.count(k) == 0) dst.why[k] = v;
+}
+
+bool same_effects(const Effects& a, const Effects& b) {
+  return a.top == b.top && a.side_effect == b.side_effect &&
+         a.irrevocable == b.irrevocable && a.release_call == b.release_call &&
+         a.raw_write == b.raw_write && a.search_write == b.search_write &&
+         a.has_search == b.has_search && a.raw_reads == b.raw_reads &&
+         a.loop_raw_read == b.loop_raw_read &&
+         a.write_before_search == b.write_before_search;
+}
+
+std::set<std::string> tx_handles(const ff::FunctionDef& def) {
+  std::set<std::string> h;
+  for (const auto& p : def.params)
+    if (p.is_tx && !p.name.empty()) h.insert(p.name);
+  return h;
+}
+
+bool is_atomically(const std::string& s) {
+  return s == "atomically" || s == "atomically_irrevocable" ||
+         s == "atomically_hybrid";
+}
+
+struct TarjanState {
+  const std::map<std::string, std::vector<std::string>>& edges;
+  const std::set<std::string>& nodes;
+  std::map<std::string, int> index, low;
+  std::set<std::string> on_stack;
+  std::vector<std::string> stack;
+  int next = 0;
+  std::vector<std::vector<std::string>> sccs;  // successors-first order
+
+  void dfs(const std::string& v) {
+    index[v] = low[v] = next++;
+    stack.push_back(v);
+    on_stack.insert(v);
+    auto it = edges.find(v);
+    if (it != edges.end()) {
+      for (const std::string& w : it->second) {
+        if (nodes.count(w) == 0) continue;
+        if (index.count(w) == 0) {
+          dfs(w);
+          low[v] = std::min(low[v], low[w]);
+        } else if (on_stack.count(w) != 0) {
+          low[v] = std::min(low[v], index[w]);
+        }
+      }
+    }
+    if (low[v] == index[v]) {
+      std::vector<std::string> scc;
+      while (true) {
+        std::string w = stack.back();
+        stack.pop_back();
+        on_stack.erase(w);
+        scc.push_back(w);
+        if (w == v) break;
+      }
+      sccs.push_back(std::move(scc));
+    }
+  }
+};
+
+}  // namespace
+
+bool elastic_eligible(const Effects& e) {
+  if (e.classic_only() || e.write_before_search) return false;
+  // One non-loop raw read (a root/head load) rides the window safely;
+  // loops of untagged raw reads cannot be proven hand-over-hand, and a
+  // cut between two of them can tear a multi-read result.  A tagged
+  // search shape vouches for its own reads.
+  if (e.raw_reads == 0) return true;
+  if (e.loop_raw_read) return false;
+  return e.raw_reads == 1 || e.has_search;
+}
+
+bool snapshot_eligible(const Effects& e) {
+  return !e.classic_only() && !e.any_write();
+}
+
+void Analyzer::add_file(std::string path, std::string source) {
+  auto sf = std::make_unique<SourceFile>();
+  sf->path = std::move(path);
+  sf->lexed = ff::lex(source);
+  sf->fns = ff::scan_functions(sf->lexed);
+  files.push_back(std::move(sf));
+}
+
+void Analyzer::run() {
+  build_table();
+  build_callgraph_and_fixpoint();
+  classify_sites();
+  confirm_markers();
+  cross_check_svc();
+}
+
+void Analyzer::build_table() {
+  for (const auto& sf : files) {
+    for (const auto& def : sf->fns.functions) {
+      ++functions_total;
+      if (is_atomically(def.name)) continue;  // the entry points themselves
+      bool any_tx = false;
+      for (const auto& p : def.params) any_tx |= p.is_tx;
+      const bool tx_member = def.qual.find("Tx::") != std::string::npos;
+      if (any_tx || !def.tags.empty() || tx_member)
+        table[def.name].push_back(FuncDef{sf.get(), &def});
+    }
+  }
+}
+
+void Analyzer::build_callgraph_and_fixpoint() {
+  std::set<std::string> nodes;
+  std::set<std::string> leaves;  // tagged-wins: tags replace body analysis
+  for (const auto& [name, defs] : table) {
+    nodes.insert(name);
+    for (const auto& fd : defs)
+      if (!fd.def->tags.empty()) leaves.insert(name);
+  }
+
+  for (const auto& [name, defs] : table) {
+    if (leaves.count(name) != 0) {
+      edges_[name];  // leaf: no out-edges
+      continue;
+    }
+    std::set<std::string> out;
+    for (const auto& fd : defs) {
+      if (!fd.def->has_body) continue;
+      std::vector<std::string> callees;
+      Scanner sc;
+      sc.sf = fd.file;
+      sc.callees = &callees;
+      sc.scan(fd.def->body_begin, fd.def->body_end, tx_handles(*fd.def),
+              fd.def->qual);
+      for (const auto& c : callees)
+        if (nodes.count(c) != 0) out.insert(c);
+    }
+    edges_[name].assign(out.begin(), out.end());
+  }
+
+  TarjanState tj{edges_, nodes, {}, {}, {}, {}, 0, {}};
+  for (const auto& n : nodes)
+    if (tj.index.count(n) == 0) tj.dfs(n);
+
+  auto scan_all_defs = [&](const std::string& name) {
+    Effects s;
+    bool any = false;
+    for (const auto& fd : table[name]) {
+      if (!fd.def->has_body) continue;
+      any = true;
+      Scanner sc;
+      sc.sf = fd.file;
+      sc.summaries = &summary;
+      join_alt(s, sc.scan(fd.def->body_begin, fd.def->body_end,
+                          tx_handles(*fd.def), fd.def->qual));
+    }
+    if (!any) {
+      s.top = true;
+      s.why["top"] = {"declaration without body or tags: " + name};
+    }
+    return s;
+  };
+
+  for (const auto& scc : tj.sccs) {
+    const auto& es = edges_[scc.front()];
+    const bool self_loop =
+        scc.size() == 1 &&
+        std::find(es.begin(), es.end(), scc.front()) != es.end();
+    for (const std::string& name : scc) {
+      Effects s;
+      if (leaves.count(name) != 0) {
+        for (const auto& fd : table[name])
+          if (!fd.def->tags.empty()) join_alt(s, detail::tag_effects(fd));
+      } else if (scc.size() > 1 ||
+                 (self_loop && table[name].size() <= 1)) {
+        // A multi-name cycle, or genuine self-recursion, collapses to ⊤.
+        s.top = true;
+        std::string cycle;
+        for (const auto& m : scc) cycle += (cycle.empty() ? "" : " <-> ") + m;
+        s.why["top"] = {"call-graph cycle: " + cycle};
+      } else if (self_loop) {
+        // A name-level self-edge over SEVERAL definitions is almost
+        // always cross-class delegation through a shared method name
+        // (TxCounter::get calling TVar::get), not recursion.  The
+        // lattice is finite, so a bounded Kleene iteration from ⊥
+        // resolves it exactly; if it has not stabilized, fall to ⊤.
+        summary[name] = Effects{};
+        bool stable = false;
+        for (int iter = 0; iter < 4 && !stable; ++iter) {
+          Effects next = scan_all_defs(name);
+          stable = same_effects(next, summary[name]);
+          summary[name] = std::move(next);
+        }
+        if (!stable) {
+          s.top = true;
+          s.why["top"] = {"unstable self-referential summary: " + name};
+          summary[name] = std::move(s);
+        }
+        continue;
+      } else {
+        s = scan_all_defs(name);
+      }
+      summary[name] = std::move(s);
+    }
+  }
+}
+
+void Analyzer::classify_sites() {
+  for (const auto& sf : files) {
+    const auto& toks = sf->lexed.tokens;
+    for (std::size_t i = 0; i + 1 < toks.size(); ++i) {
+      if (toks[i].kind != TokKind::kIdent || !is_atomically(toks[i].text))
+        continue;
+      if (toks[i + 1].text != "(") continue;
+      if (i > 0 && toks[i - 1].text == "auto") continue;  // a definition
+
+      Site s;
+      s.file = sf.get();
+      s.line = toks[i].line;
+      detail::ParsedSite ps;
+      if (!detail::parse_site(*sf, i, &ps)) {
+        s.ann_line = s.line;
+        s.annotated = "dynamic";
+        s.eff.top = true;
+        s.eff.why["top"] = {"unparsable atomically call"};
+      } else {
+        s.ann_line = ps.ann_line;
+        s.annotated =
+            ps.annotated == "classic_literal" ? "classic" : ps.annotated;
+        Scanner sc;
+        sc.sf = sf.get();
+        sc.summaries = &summary;
+        if (ps.has_lambda) {
+          s.eff = sc.scan(ps.body_begin, ps.body_end, ps.handles, "site");
+        } else if (!ps.body_fn.empty()) {
+          auto it = summary.find(ps.body_fn);
+          if (it != summary.end()) {
+            s.eff = it->second;
+          } else {
+            s.eff.top = true;
+            s.eff.why["top"] = {"unresolved tx body '" + ps.body_fn + "'"};
+          }
+        } else {
+          s.eff.top = true;
+          s.eff.why["top"] = {"opaque atomically argument"};
+        }
+      }
+
+      // Innermost enclosing function definition, for the report.
+      s.enclosing = "<toplevel>";
+      std::size_t best = 0;
+      bool have = false;
+      for (const auto& def : sf->fns.functions) {
+        if (!def.has_body || def.body_begin > i || def.body_end < i) continue;
+        if (!have || def.body_begin > best) {
+          best = def.body_begin;
+          have = true;
+          s.enclosing = def.qual;
+        }
+      }
+
+      s.elastic_ok = elastic_eligible(s.eff);
+      s.snapshot_ok = snapshot_eligible(s.eff);
+      s.inferred = s.snapshot_ok   ? "snapshot"
+                   : s.elastic_ok ? "elastic"
+                                  : "classic";
+      if (s.annotated == "elastic") s.sound = s.elastic_ok;
+      else if (s.annotated == "snapshot") s.sound = s.snapshot_ok;
+      else s.sound = true;  // classic/dynamic/irrevocable/hybrid
+
+      if (!s.sound) {
+        for (const auto& m : sf->lexed.markers) {
+          if (m.kind != ff::Marker::Kind::kAdvise || m.reason.empty())
+            continue;
+          if (m.line == s.ann_line || m.line + 1 == s.ann_line ||
+              m.line == s.line || m.line + 1 == s.line) {
+            s.justified = true;
+            break;
+          }
+        }
+      }
+      sites.push_back(std::move(s));
+    }
+  }
+  std::sort(sites.begin(), sites.end(), [](const Site& a, const Site& b) {
+    if (a.file->path != b.file->path) return a.file->path < b.file->path;
+    if (a.line != b.line) return a.line < b.line;
+    return a.ann_line < b.ann_line;
+  });
+}
+
+void Analyzer::confirm_markers() {
+  for (const auto& sf : files) {
+    const auto& toks = sf->lexed.tokens;
+    const int last_line = toks.empty() ? 0 : toks.back().line;
+    for (const auto& m : sf->lexed.markers) {
+      int lo = 0, hi = 0;
+      switch (m.kind) {
+        case ff::Marker::Kind::kLine: lo = hi = m.line; break;
+        case ff::Marker::Kind::kNext: lo = hi = m.line + 1; break;
+        case ff::Marker::Kind::kFile: lo = 1; hi = last_line; break;
+        case ff::Marker::Kind::kFn: {
+          lo = m.line;
+          hi = m.line;  // fall back to line form if no body follows
+          for (std::size_t i = 0; i < toks.size(); ++i) {
+            if (toks[i].line < m.line || toks[i].text != "{") continue;
+            hi = toks[detail::match_close(toks, i)].line;
+            break;
+          }
+          break;
+        }
+        case ff::Marker::Kind::kAdvise:
+          continue;  // advise justifications are not expert claims
+      }
+      ++markers.total;
+      bool any_covered = false;
+      bool all_sound = true;
+      for (const Site& s : sites) {
+        if (s.file != sf.get()) continue;
+        if (s.annotated != "elastic" && s.annotated != "snapshot") continue;
+        const bool in_range = (s.ann_line >= lo && s.ann_line <= hi) ||
+                              (s.line >= lo && s.line <= hi);
+        if (!in_range) continue;
+        any_covered = true;
+        all_sound &= s.sound;
+      }
+      if (!any_covered) {
+        // Vacuous for tier purposes (the marker vouches for something
+        // else, e.g. an unsafe_* access): counts as confirmed.
+        ++markers.vacuous;
+        ++markers.confirmed;
+      } else if (all_sound) {
+        ++markers.confirmed;
+      } else {
+        markers.unconfirmed.push_back(sf->path + ":" + std::to_string(m.line));
+      }
+    }
+  }
+}
+
+void Analyzer::cross_check_svc() {
+  const ff::FunctionDef* tier_for = nullptr;
+  const ff::FunctionDef* run_body = nullptr;
+  const SourceFile* tf_file = nullptr;
+  const SourceFile* rb_file = nullptr;
+  for (const auto& sf : files) {
+    for (const auto& def : sf->fns.functions) {
+      if (!def.has_body) continue;
+      if (def.name == "tier_for" && tier_for == nullptr) {
+        tier_for = &def;
+        tf_file = sf.get();
+      } else if (def.name == "run_body" && run_body == nullptr) {
+        run_body = &def;
+        rb_file = sf.get();
+      }
+    }
+  }
+  if (tier_for == nullptr || run_body == nullptr) return;
+  svc_found = true;
+
+  // Map request-class enumerators to tiers from tier_for's switch.
+  std::map<std::string, std::string> mapped;
+  {
+    const auto& toks = tf_file->lexed.tokens;
+    std::vector<std::string> pending;
+    for (std::size_t i = tier_for->body_begin; i <= tier_for->body_end; ++i) {
+      const Token& t = toks[i];
+      if (t.kind != TokKind::kIdent) continue;
+      if (t.text == "case") {
+        std::string last;
+        for (std::size_t j = i + 1;
+             j <= tier_for->body_end && toks[j].text != ":"; ++j)
+          if (toks[j].kind == TokKind::kIdent) last = toks[j].text;
+        if (!last.empty()) pending.push_back(last);
+      } else if (t.text == "return") {
+        std::string tier;
+        std::size_t j = i + 1;
+        for (; j <= tier_for->body_end && toks[j].text != ";"; ++j) {
+          const std::string& s = toks[j].text;
+          if (s == "kElastic" || s == "kSnapshot" || s == "kClassic") tier = s;
+        }
+        if (!tier.empty())
+          for (const auto& p : pending) mapped[p] = tier;
+        pending.clear();
+        i = j;
+      }
+    }
+  }
+
+  // Arm ranges of run_body's switch, one per case label.
+  const auto& toks = rb_file->lexed.tokens;
+  struct Arm { std::string req; std::size_t b, e; };
+  std::vector<Arm> arms;
+  for (std::size_t i = run_body->body_begin; i <= run_body->body_end; ++i) {
+    if (toks[i].kind != TokKind::kIdent) continue;
+    if (toks[i].text != "case" && toks[i].text != "default") continue;
+    if (!arms.empty()) arms.back().e = i - 1;
+    if (toks[i].text == "default") {
+      arms.push_back(Arm{"", i + 1, run_body->body_end - 1});
+      continue;
+    }
+    std::string last;
+    std::size_t j = i + 1;
+    for (; j <= run_body->body_end && toks[j].text != ":"; ++j)
+      if (toks[j].kind == TokKind::kIdent) last = toks[j].text;
+    arms.push_back(Arm{last, j + 1, run_body->body_end - 1});
+  }
+
+  for (const Arm& a : arms) {
+    if (a.req.empty() || mapped.count(a.req) == 0) continue;
+    Scanner sc;
+    sc.sf = rb_file;
+    sc.summaries = &summary;
+    const Effects eff = sc.scan(a.b, a.e, tx_handles(*run_body), "svc");
+    SvcRow row;
+    row.req = a.req;
+    row.mapped = mapped[a.req];
+    row.eligible.insert("kClassic");
+    if (elastic_eligible(eff)) row.eligible.insert("kElastic");
+    if (snapshot_eligible(eff)) row.eligible.insert("kSnapshot");
+    row.ok = row.eligible.count(row.mapped) != 0;
+    svc.push_back(std::move(row));
+  }
+}
+
+}  // namespace demotx::advise

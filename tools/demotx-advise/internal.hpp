@@ -1,0 +1,60 @@
+// Internal scanner API shared by summary.cpp / fixpoint.cpp.
+#pragma once
+
+#include <cstddef>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "advise.hpp"
+
+namespace demotx::advise::detail {
+
+// Index of the token matching the opener at `open` ("(", "[", "{").
+std::size_t match_close(const std::vector<ff::Token>& toks, std::size_t open);
+
+// Effects a tagged declaration asserts (replaces body analysis).
+Effects tag_effects(const FuncDef& fd);
+
+// Merges a callee summary (or nested-site summary) into a running body
+// summary at one call position.  `in_loop`: the position sits inside a
+// loop.  `suppress_shape`: drop the read-shape dimensions (used for
+// nested literal-classic bodies and post-strengthen positions — the
+// runtime validates those reads classically, so they cannot tear an
+// elastic window).  `step` prefixes the evidence chains.
+void merge_step(Effects& dst, const Effects& src, bool in_loop,
+                bool suppress_shape, const std::string& step);
+
+// One parsed atomically/atomically_irrevocable/atomically_hybrid call.
+struct ParsedSite {
+  std::size_t call_end = 0;  // index of the call's closing ')'
+  std::string annotated;     // classic|classic_literal|elastic|snapshot|
+                             // irrevocable|hybrid|dynamic
+  int ann_line = 0;          // tier-literal line (else the call line)
+  bool has_lambda = false;
+  std::size_t body_begin = 0, body_end = 0;  // lambda body braces
+  std::set<std::string> handles;             // lambda's Tx param names
+  std::string body_fn;  // named-callable arg when there is no lambda
+};
+
+// Parses the call whose `atomically*` ident sits at `idx`.  Returns
+// false if the shape is unrecognizable (caller treats the body as ⊤).
+bool parse_site(const SourceFile& sf, std::size_t idx, ParsedSite* out);
+
+// The body scanner.  One instance per analysis mode:
+//  - edge mode: `callees` non-null, `summaries` null — records the
+//    names of tx-passing calls, effects returned are meaningless;
+//  - resolve mode: `summaries` non-null — computes the flattened
+//    summary, treating unresolved tx-calls as ⊤.
+struct Scanner {
+  const SourceFile* sf = nullptr;
+  const std::map<std::string, Effects>* summaries = nullptr;
+  std::vector<std::string>* callees = nullptr;
+
+  // Scans tokens [b, e] with the given transaction-handle names.
+  // `where` labels evidence chains (usually the enclosing qual).
+  Effects scan(std::size_t b, std::size_t e, std::set<std::string> handles,
+               const std::string& where);
+};
+
+}  // namespace demotx::advise::detail

@@ -1,0 +1,380 @@
+// demotx-advise CLI.
+//
+//   demotx-advise [options] <file-or-dir>...
+//
+//   --json PATH        write the full advise report as JSON (- = stdout)
+//   --verify           corpus mode: every atomically site must match the
+//                      `// demotx-advise-expect: <tier>[ unsound]`
+//                      comment on its line (tier = inferred tier)
+//   --gate             CI mode: fail on any unjustified unsound site, on
+//                      an expert-marker confirmation ratio below 0.9, or
+//                      on a svc request-class mapping outside its arm's
+//                      eligibility set
+//   --exclude P        skip files whose path starts with P (repeatable)
+//   --relative-to DIR  report paths relative to DIR (stable goldens)
+//   --check-compile-commands PATH
+//                      freshness assertion: every "file" entry in the
+//                      compile database that falls under a scanned root
+//                      must still exist on disk (a stale database means
+//                      the lint/advise sweep and the build disagree on
+//                      what the tree is)
+//   --dump-summaries   print the resolved per-function summaries
+//
+// Exit codes: 0 clean/verified, 1 findings/mismatch, 2 usage or I/O.
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "advise.hpp"
+
+namespace fs = std::filesystem;
+using namespace demotx::advise;
+
+namespace {
+
+bool has_source_ext(const fs::path& p) {
+  const std::string e = p.extension().string();
+  return e == ".cpp" || e == ".hpp" || e == ".h" || e == ".cc" || e == ".cxx";
+}
+
+std::string normalize(const fs::path& p) {
+  std::error_code ec;
+  fs::path c = fs::weakly_canonical(p, ec);
+  return (ec ? p : c).generic_string();
+}
+
+bool excluded(const std::string& file,
+              const std::vector<std::string>& excludes) {
+  for (const std::string& e : excludes)
+    if (file.rfind(e, 0) == 0) return true;
+  return false;
+}
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  for (char c : s) {
+    if (c == '"' || c == '\\') out += '\\';
+    out += c;
+  }
+  return out;
+}
+
+std::string eligible_json(const Site& s) {
+  std::string out = "[\"classic\"";
+  if (s.elastic_ok) out += ", \"elastic\"";
+  if (s.snapshot_ok) out += ", \"snapshot\"";
+  return out + "]";
+}
+
+std::string eligible_human(const Site& s) {
+  std::string out = "{classic";
+  if (s.elastic_ok) out += ", elastic";
+  if (s.snapshot_ok) out += ", snapshot";
+  return out + "}";
+}
+
+std::vector<std::string> evidence_lines(const Effects& e) {
+  std::vector<std::string> out;
+  for (const auto& [key, chain] : e.why) {
+    std::string line = key + ": ";
+    for (std::size_t i = 0; i < chain.size(); ++i)
+      line += (i != 0 ? " -> " : "") + chain[i];
+    out.push_back(std::move(line));
+  }
+  return out;
+}
+
+// The verdict string a corpus expectation must match.
+std::string verdict_of(const Site& s) {
+  return s.inferred + (s.sound ? "" : " unsound");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool verify = false;
+  bool gate = false;
+  bool dump = false;
+  std::string json_path;
+  std::string rel_to;
+  std::string ccdb_path;
+  std::vector<std::string> excludes;
+  std::vector<fs::path> roots;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto need_val = [&](const char* what) -> const char* {
+      if (++i >= argc) {
+        std::cerr << "demotx-advise: " << arg << " needs " << what << "\n";
+        std::exit(2);
+      }
+      return argv[i];
+    };
+    if (arg == "--verify") verify = true;
+    else if (arg == "--gate") gate = true;
+    else if (arg == "--dump-summaries") dump = true;
+    else if (arg == "--json") json_path = need_val("a path");
+    else if (arg == "--relative-to") rel_to = normalize(need_val("a dir"));
+    else if (arg == "--check-compile-commands")
+      ccdb_path = need_val("a compile_commands.json path");
+    else if (arg == "--exclude") excludes.push_back(normalize(need_val("a prefix")));
+    else if (!arg.empty() && arg[0] == '-') {
+      std::cerr << "demotx-advise: unknown option " << arg << "\n";
+      return 2;
+    } else {
+      roots.emplace_back(arg);
+    }
+  }
+  if (roots.empty()) {
+    std::cerr << "usage: demotx-advise [--json PATH] [--verify] [--gate] "
+                 "[--exclude P]... [--relative-to DIR] "
+                 "[--check-compile-commands PATH] <file-or-dir>...\n";
+    return 2;
+  }
+
+  std::vector<std::string> paths;
+  for (const fs::path& root : roots) {
+    std::error_code ec;
+    if (fs::is_directory(root, ec)) {
+      for (auto it = fs::recursive_directory_iterator(root, ec);
+           !ec && it != fs::recursive_directory_iterator(); ++it) {
+        if (it->is_regular_file() && has_source_ext(it->path()))
+          paths.push_back(normalize(it->path()));
+      }
+    } else if (fs::is_regular_file(root, ec)) {
+      paths.push_back(normalize(root));
+    } else {
+      std::cerr << "demotx-advise: cannot read " << root << "\n";
+      return 2;
+    }
+  }
+  std::sort(paths.begin(), paths.end());
+  paths.erase(std::unique(paths.begin(), paths.end()), paths.end());
+
+  Analyzer az;
+  int files_scanned = 0;
+  for (const std::string& p : paths) {
+    if (excluded(p, excludes)) continue;
+    std::ifstream ifs(p, std::ios::binary);
+    if (!ifs) {
+      std::cerr << "demotx-advise: cannot open " << p << "\n";
+      return 2;
+    }
+    std::ostringstream buf;
+    buf << ifs.rdbuf();
+    std::string display = p;
+    if (!rel_to.empty() && display.rfind(rel_to + "/", 0) == 0)
+      display = display.substr(rel_to.size() + 1);
+    az.add_file(std::move(display), buf.str());
+    ++files_scanned;
+  }
+  az.run();
+
+  // ---- compile_commands freshness --------------------------------------
+  if (!ccdb_path.empty()) {
+    std::ifstream ifs(ccdb_path, std::ios::binary);
+    if (!ifs) {
+      std::cerr << "demotx-advise: cannot open compile database " << ccdb_path
+                << " (configure with CMAKE_EXPORT_COMPILE_COMMANDS)\n";
+      return 2;
+    }
+    std::ostringstream buf;
+    buf << ifs.rdbuf();
+    const std::string text = buf.str();
+    std::vector<std::string> root_prefixes;
+    for (const fs::path& r : roots) root_prefixes.push_back(normalize(r));
+    bool stale = false;
+    const std::string key = "\"file\"";
+    for (std::size_t pos = text.find(key); pos != std::string::npos;
+         pos = text.find(key, pos + key.size())) {
+      const std::size_t q1 = text.find('"', text.find(':', pos));
+      if (q1 == std::string::npos) break;
+      const std::size_t q2 = text.find('"', q1 + 1);
+      if (q2 == std::string::npos) break;
+      const std::string entry = text.substr(q1 + 1, q2 - q1 - 1);
+      bool under_root = false;
+      for (const std::string& r : root_prefixes)
+        under_root |= entry.rfind(r, 0) == 0;
+      if (under_root && !fs::exists(entry)) {
+        std::cerr << "STALE-COMPILE-COMMANDS " << entry
+                  << " is in " << ccdb_path
+                  << " but not on disk — re-run cmake before trusting this "
+                     "sweep\n";
+        stale = true;
+      }
+    }
+    if (stale) return 1;
+  }
+
+  if (dump) {
+    for (const auto& [name, eff] : az.summary) {
+      std::cout << name << ":";
+      if (eff.top) std::cout << " TOP";
+      if (eff.side_effect) std::cout << " side-effect";
+      if (eff.irrevocable) std::cout << " irrevocable";
+      if (eff.release_call) std::cout << " release";
+      if (eff.raw_write) std::cout << " write";
+      if (eff.search_write) std::cout << " search-write";
+      if (eff.has_search) std::cout << " search";
+      if (eff.raw_reads != 0) std::cout << " reads=" << eff.raw_reads;
+      if (eff.loop_raw_read) std::cout << " loop-read";
+      if (eff.write_before_search) std::cout << " write-before-search";
+      std::cout << "\n";
+      for (const std::string& ev : evidence_lines(eff))
+        std::cout << "    " << ev << "\n";
+    }
+  }
+
+  // ---- verify (corpus) mode --------------------------------------------
+  if (verify) {
+    bool failed = false;
+    for (const auto& sf : az.files) {
+      std::map<int, std::string> actual;
+      for (const Site& s : az.sites)
+        if (s.file == sf.get()) actual[s.line] = verdict_of(s);
+      for (const auto& [line, expect] : sf->lexed.advise_expects) {
+        auto it = actual.find(line);
+        if (it == actual.end()) {
+          std::cout << "VERIFY-MISSING " << sf->path << ":" << line
+                    << " expected '" << expect << "' but no site there\n";
+          failed = true;
+        } else if (it->second != expect) {
+          std::cout << "VERIFY-MISMATCH " << sf->path << ":" << line
+                    << " expected '" << expect << "' got '" << it->second
+                    << "'\n";
+          failed = true;
+        }
+      }
+      for (const auto& [line, got] : actual) {
+        if (sf->lexed.advise_expects.count(line) == 0) {
+          std::cout << "VERIFY-UNEXPECTED " << sf->path << ":" << line
+                    << " site inferred '" << got
+                    << "' has no demotx-advise-expect comment\n";
+          failed = true;
+        }
+      }
+    }
+    if (!json_path.empty()) {
+      // fall through so goldens can be diffed in the same run
+    } else {
+      return failed ? 1 : 0;
+    }
+    if (failed) return 1;
+  }
+
+  // ---- JSON report -----------------------------------------------------
+  int unsound_unjustified = 0;
+  for (const Site& s : az.sites)
+    if (!s.sound && !s.justified) ++unsound_unjustified;
+  const double ratio =
+      az.markers.total == 0
+          ? 1.0
+          : static_cast<double>(az.markers.confirmed) / az.markers.total;
+
+  if (!json_path.empty()) {
+    std::ostringstream js;
+    js << "{\n  \"files_scanned\": " << files_scanned
+       << ",\n  \"functions\": " << az.functions_total
+       << ",\n  \"sites\": [";
+    bool first = true;
+    for (const Site& s : az.sites) {
+      js << (first ? "" : ",") << "\n    {\"file\": \""
+         << json_escape(s.file->path) << "\", \"line\": " << s.line
+         << ", \"enclosing\": \"" << json_escape(s.enclosing)
+         << "\", \"annotated\": \"" << s.annotated << "\", \"inferred\": \""
+         << s.inferred << "\", \"eligible\": " << eligible_json(s)
+         << ", \"sound\": " << (s.sound ? "true" : "false")
+         << ", \"justified\": " << (s.justified ? "true" : "false")
+         << ", \"evidence\": [";
+      bool efirst = true;
+      for (const std::string& ev : evidence_lines(s.eff)) {
+        js << (efirst ? "" : ", ") << "\"" << json_escape(ev) << "\"";
+        efirst = false;
+      }
+      js << "]}";
+      first = false;
+    }
+    char ratio_buf[32];
+    std::snprintf(ratio_buf, sizeof ratio_buf, "%.2f", ratio);
+    js << "\n  ],\n  \"markers\": {\"total\": " << az.markers.total
+       << ", \"confirmed\": " << az.markers.confirmed
+       << ", \"vacuous\": " << az.markers.vacuous << ", \"ratio\": "
+       << ratio_buf << "},\n  \"svc\": [";
+    first = true;
+    for (const SvcRow& r : az.svc) {
+      js << (first ? "" : ",") << "\n    {\"req\": \"" << r.req
+         << "\", \"mapped\": \"" << r.mapped << "\", \"eligible\": [";
+      bool efirst = true;
+      for (const std::string& e : r.eligible) {
+        js << (efirst ? "" : ", ") << "\"" << e << "\"";
+        efirst = false;
+      }
+      js << "], \"ok\": " << (r.ok ? "true" : "false") << "}";
+      first = false;
+    }
+    js << "\n  ],\n  \"unsound_unjustified\": " << unsound_unjustified
+       << "\n}\n";
+    if (json_path == "-") {
+      std::cout << js.str();
+    } else {
+      std::ofstream ofs(json_path, std::ios::binary);
+      if (!ofs) {
+        std::cerr << "demotx-advise: cannot write " << json_path << "\n";
+        return 2;
+      }
+      ofs << js.str();
+    }
+  }
+  if (verify) return 0;
+
+  // ---- human report / gate ---------------------------------------------
+  bool fail = false;
+  for (const Site& s : az.sites) {
+    if (s.sound) continue;
+    if (s.justified) {
+      std::cerr << "note: " << s.file->path << ":" << s.ann_line
+                << ": annotated " << s.annotated << " outside eligibility "
+                << eligible_human(s) << " — justified by demotx:advise "
+                   "marker\n";
+      continue;
+    }
+    std::cout << s.file->path << ":" << s.ann_line
+              << ": error: [demotx-advise-unsound] annotated " << s.annotated
+              << " but the transitive effect set only allows "
+              << eligible_human(s) << " (in " << s.enclosing << ")\n";
+    for (const std::string& ev : evidence_lines(s.eff))
+      std::cout << "    " << ev << "\n";
+    fail = true;
+  }
+
+  if (gate) {
+    if (ratio < 0.9) {
+      std::cout << "MARKER-RATIO " << az.markers.confirmed << "/"
+                << az.markers.total
+                << " expert markers confirmed (< 0.9):";
+      for (const std::string& u : az.markers.unconfirmed)
+        std::cout << " " << u;
+      std::cout << "\n";
+      fail = true;
+    }
+    for (const SvcRow& r : az.svc) {
+      if (r.ok) continue;
+      std::cout << "SVC-MISMATCH " << r.req << " mapped to " << r.mapped
+                << " but the run_body arm only allows {";
+      bool first = true;
+      for (const std::string& e : r.eligible) {
+        std::cout << (first ? "" : ", ") << e;
+        first = false;
+      }
+      std::cout << "}\n";
+      fail = true;
+    }
+  }
+  return fail ? 1 : 0;
+}

@@ -1,0 +1,470 @@
+// Per-function effect summaries: the positional body scanner.
+//
+// The scanner walks a token range (a function body, a site lambda, or an
+// svc switch arm) and folds effects into the summary lattice.  It has two
+// modes (internal.hpp): edge mode records the names of tx-passing calls
+// for the call graph; resolve mode merges callee summaries positionally,
+// so loop placement and write-then-search ordering are observed at the
+// call site, not just in the callee.
+//
+// Precision boundary (documented in DESIGN.md §7): calls that do not
+// carry a transaction handle are invisible — they cannot touch the
+// transaction, so they cannot change tier eligibility.  Raw side effects
+// (new/delete, IO, locks) ARE visible wherever they textually occur,
+// because they escape any tier.
+
+#include <algorithm>
+#include <cstddef>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "internal.hpp"
+
+namespace demotx::advise::detail {
+
+namespace {
+
+using ff::TokKind;
+using ff::Token;
+
+bool is_atomically(const std::string& s) {
+  return s == "atomically" || s == "atomically_irrevocable" ||
+         s == "atomically_hybrid";
+}
+
+// Idents whose bare use (streams) or call (allocators, IO, process state)
+// is a side effect no tier can undo.  Kept in sync with demotx-lint's
+// side-effect check, minus anything the runtime wraps (tx.alloc/retire
+// are tagged DEMOTX_TX_SAFE and never reach this list).
+const std::set<std::string>& stream_idents() {
+  static const std::set<std::string> s{"cout", "cerr", "clog"};
+  return s;
+}
+const std::set<std::string>& sideeffect_calls() {
+  static const std::set<std::string> s{
+      "printf", "fprintf", "puts",    "putchar", "fwrite", "fputs",
+      "fopen",  "fclose",  "malloc",  "calloc",  "realloc", "free",
+      "exit",   "system",  "setenv",  "srand"};
+  return s;
+}
+const std::set<std::string>& lock_types() {
+  static const std::set<std::string> s{"lock_guard", "unique_lock",
+                                       "scoped_lock", "shared_lock"};
+  return s;
+}
+const std::set<std::string>& lock_methods() {
+  static const std::set<std::string> s{"lock", "unlock", "try_lock"};
+  return s;
+}
+
+struct LoopRegions {
+  std::vector<std::pair<std::size_t, std::size_t>> rs;
+  bool contains(std::size_t i) const {
+    for (const auto& r : rs)
+      if (i >= r.first && i <= r.second) return true;
+    return false;
+  }
+};
+
+LoopRegions find_loops(const std::vector<Token>& toks, std::size_t b,
+                       std::size_t e) {
+  LoopRegions out;
+  for (std::size_t i = b; i <= e && i < toks.size(); ++i) {
+    if (toks[i].kind != TokKind::kIdent) continue;
+    const std::string& t = toks[i].text;
+    if ((t == "for" || t == "while") && i + 1 < toks.size() &&
+        toks[i + 1].text == "(") {
+      std::size_t hc = match_close(toks, i + 1);
+      if (hc == 0 || hc >= toks.size()) continue;
+      std::size_t end = hc;
+      if (hc + 1 < toks.size() && toks[hc + 1].text == "{") {
+        end = match_close(toks, hc + 1);
+      } else {
+        // Single-statement body: run to the ';' at depth 0.
+        int depth = 0;
+        for (std::size_t j = hc + 1; j < toks.size() && j <= e; ++j) {
+          const std::string& s = toks[j].text;
+          if (s == "(" || s == "[" || s == "{") ++depth;
+          else if (s == ")" || s == "]" || s == "}") --depth;
+          else if (s == ";" && depth == 0) { end = j; break; }
+        }
+      }
+      out.rs.emplace_back(i, end);
+    } else if (t == "do" && i + 1 < toks.size() && toks[i + 1].text == "{") {
+      out.rs.emplace_back(i, match_close(toks, i + 1));
+    }
+  }
+  return out;
+}
+
+void set_why(Effects& dst, const Effects& src, const std::string& key,
+             const std::string& step) {
+  if (dst.why.count(key) != 0) return;
+  std::vector<std::string> c{step};
+  auto it = src.why.find(key);
+  if (it != src.why.end())
+    c.insert(c.end(), it->second.begin(), it->second.end());
+  dst.why[key] = std::move(c);
+}
+
+}  // namespace
+
+std::size_t match_close(const std::vector<Token>& toks, std::size_t open) {
+  const std::string& o = toks[open].text;
+  std::string c = o == "(" ? ")" : o == "[" ? "]" : "}";
+  int depth = 0;
+  for (std::size_t i = open; i < toks.size(); ++i) {
+    if (toks[i].text == o) ++depth;
+    else if (toks[i].text == c && --depth == 0) return i;
+  }
+  return toks.size() - 1;  // unbalanced file: clamp to the end
+}
+
+Effects tag_effects(const FuncDef& fd) {
+  Effects e;
+  const std::string at =
+      fd.def->qual + " (" + fd.file->path + ":" + std::to_string(fd.def->line) +
+      ")";
+  for (const std::string& tag : fd.def->tags) {
+    if (tag == "DEMOTX_TX_READ") {
+      e.raw_reads = std::max(e.raw_reads, 1);
+      e.why["read"] = {at + " [" + tag + "]"};
+    } else if (tag == "DEMOTX_TX_WRITE") {
+      e.raw_write = true;
+      e.why["write"] = {at + " [" + tag + "]"};
+    } else if (tag == "DEMOTX_TX_TRAVERSAL" || tag == "DEMOTX_TX_SEARCH_READ") {
+      e.has_search = true;
+      e.why["search"] = {at + " [" + tag + "]"};
+    } else if (tag == "DEMOTX_TX_SEARCH_WRITE") {
+      e.search_write = true;
+      e.has_search = true;
+      e.why["search-write"] = {at + " [" + tag + "]"};
+      if (e.why.count("search") == 0) e.why["search"] = {at + " [" + tag + "]"};
+    } else if (tag == "DEMOTX_TX_RELEASE") {
+      e.release_call = true;
+      e.why["release"] = {at + " [" + tag + "]"};
+    } else if (tag == "DEMOTX_TX_IRREVOCABLE") {
+      e.irrevocable = true;
+      e.why["irrevocable"] = {at + " [" + tag + "]"};
+    }
+    // DEMOTX_TX_SAFE: asserts bottom — nothing to add.
+  }
+  return e;
+}
+
+void merge_step(Effects& dst, const Effects& src, bool in_loop,
+                bool suppress_shape, const std::string& step) {
+  const bool had_write = dst.raw_write || dst.search_write;
+  // Global (tier-escaping) dimensions merge regardless of strengthening:
+  // a side effect or a write in a nested classic phase still rules out
+  // snapshot for the whole flat transaction.
+  if (src.top && !dst.top) { dst.top = true; set_why(dst, src, "top", step); }
+  if (src.side_effect && !dst.side_effect) {
+    dst.side_effect = true;
+    set_why(dst, src, "side-effect", step);
+  }
+  if (src.irrevocable && !dst.irrevocable) {
+    dst.irrevocable = true;
+    set_why(dst, src, "irrevocable", step);
+  }
+  if (src.release_call && !dst.release_call) {
+    dst.release_call = true;
+    set_why(dst, src, "release", step);
+  }
+  if (src.raw_write && !dst.raw_write) {
+    dst.raw_write = true;
+    set_why(dst, src, "write", step);
+  }
+  if (src.search_write && !dst.search_write) {
+    dst.search_write = true;
+    set_why(dst, src, "search-write", step);
+  }
+  if (suppress_shape) return;
+  // Read-shape dimensions: these only matter for the elastic window, so
+  // they are dropped once the transaction has been strengthened (the
+  // runtime validates every later read classically — no cut can tear it).
+  if (src.has_search && !dst.has_search) {
+    dst.has_search = true;
+    set_why(dst, src, "search", step);
+  }
+  if (src.write_before_search && !dst.write_before_search) {
+    dst.write_before_search = true;
+    set_why(dst, src, "write-before-search", step);
+  }
+  if (had_write && src.has_search && !dst.write_before_search) {
+    dst.write_before_search = true;
+    set_why(dst, src, "write-before-search", step);
+  }
+  if (src.raw_reads > 0) {
+    dst.raw_reads = std::min(2, dst.raw_reads + (in_loop ? 2 : src.raw_reads));
+    set_why(dst, src, "read", step);
+    if ((in_loop || src.loop_raw_read) && !dst.loop_raw_read) {
+      dst.loop_raw_read = true;
+      set_why(dst, src, "loop-read",
+              in_loop ? step + " [in loop]" : step);
+    }
+  }
+}
+
+bool parse_site(const SourceFile& sf, std::size_t idx, ParsedSite* out) {
+  const auto& toks = sf.lexed.tokens;
+  if (idx + 1 >= toks.size() || toks[idx + 1].text != "(") return false;
+  const std::size_t open = idx + 1;
+  const std::size_t close = match_close(toks, open);
+  out->call_end = close;
+  out->ann_line = toks[idx].line;
+
+  // Walk the depth-1 prefix of the argument list up to the lambda intro.
+  std::size_t lam = 0;
+  bool have_lam = false;
+  std::string tier;
+  bool expr_arg = false;     // a non-literal tier expression was seen
+  std::string last_ident;    // candidate named callable (no-lambda form)
+  static const std::set<std::string> allow{"stm", "demotx", "Semantics"};
+  int depth = 1;
+  std::size_t j = open + 1;
+  for (; j < close; ++j) {
+    const std::string& s = toks[j].text;
+    if (s == "(" || s == "{") { ++depth; continue; }
+    if (s == ")" || s == "}") { --depth; continue; }
+    if (s == "[") {
+      // Lambda intro iff it begins an argument; otherwise a subscript.
+      const std::string& prev = toks[j - 1].text;
+      if (depth == 1 && (prev == "(" || prev == ",")) {
+        lam = j;
+        have_lam = true;
+        break;
+      }
+      ++depth;
+      continue;
+    }
+    if (s == "]") { --depth; continue; }
+    if (depth != 1 || toks[j].kind != TokKind::kIdent) continue;
+    if (s == "kElastic" || s == "kSnapshot" || s == "kClassic") {
+      if (tier.empty()) {
+        tier = s;
+        out->ann_line = toks[j].line;
+      }
+    } else if (allow.count(s) == 0) {
+      last_ident = s;
+      // An ident before the body argument means the tier (or the body)
+      // is computed — e.g. atomically(opts_.parse, ...).
+      expr_arg = true;
+    }
+  }
+
+  const std::string& fam = toks[idx].text;
+  if (fam == "atomically_irrevocable") out->annotated = "irrevocable";
+  else if (fam == "atomically_hybrid") out->annotated = "hybrid";
+  else if (tier == "kClassic") out->annotated = "classic_literal";
+  else if (tier == "kElastic") out->annotated = "elastic";
+  else if (tier == "kSnapshot") out->annotated = "snapshot";
+  else if (expr_arg && !have_lam && !last_ident.empty())
+    out->annotated = "classic";  // atomically(named_fn): default tier
+  else if (expr_arg) out->annotated = "dynamic";
+  else out->annotated = "classic";
+
+  if (!have_lam) {
+    // atomically(fn) / atomically(sem, fn): the last depth-1 ident names
+    // the body.  (std::forward<F>(fn) also lands on `fn` — resolved if
+    // it is a known function, ⊤ otherwise.)
+    out->body_fn = last_ident;
+    // With a computed semantics argument we cannot tell tier from body
+    // expression idents apart; stay conservative.
+    if (tier.empty() && fam == "atomically" && expr_arg) {
+      // Heuristic above already chose; nothing further to refine.
+    }
+    return true;
+  }
+
+  out->has_lambda = true;
+  std::size_t cb = match_close(toks, lam);  // end of capture list
+  std::size_t cursor = cb + 1;
+  if (cursor < close && toks[cursor].text == "(") {
+    std::size_t pclose = match_close(toks, cursor);
+    for (std::size_t k = cursor + 1; k < pclose; ++k) {
+      if (toks[k].kind == TokKind::kIdent && toks[k].text == "Tx") {
+        std::size_t m = k + 1;
+        while (m < pclose && (toks[m].text == "&" || toks[m].text == "*" ||
+                              toks[m].text == "const"))
+          ++m;
+        if (m < pclose && toks[m].kind == TokKind::kIdent)
+          out->handles.insert(toks[m].text);
+      }
+    }
+    cursor = pclose + 1;
+  }
+  // Skip specifiers (mutable, noexcept, -> ret) to the body brace.
+  while (cursor < close && toks[cursor].text != "{") ++cursor;
+  if (cursor >= close) return false;
+  out->body_begin = cursor;
+  out->body_end = match_close(toks, cursor);
+  return true;
+}
+
+Effects Scanner::scan(std::size_t b, std::size_t e,
+                      std::set<std::string> handles,
+                      const std::string& where) {
+  Effects E;
+  const auto& toks = sf->lexed.tokens;
+  if (toks.empty()) return E;
+  e = std::min(e, toks.size() - 1);
+
+  // Function definitions nested strictly inside this range (named
+  // lambdas, local helpers) are separate summaries: skip their bodies.
+  std::vector<std::pair<std::size_t, std::size_t>> skips;
+  for (const auto& def : sf->fns.functions)
+    if (def.has_body && def.body_begin > b && def.body_end <= e)
+      skips.emplace_back(def.body_begin, def.body_end);
+  std::sort(skips.begin(), skips.end());
+
+  const LoopRegions loops = find_loops(toks, b, e);
+  bool strengthened = false;
+  std::size_t skip_at = 0;
+
+  for (std::size_t i = b; i <= e; ++i) {
+    while (skip_at < skips.size() && skips[skip_at].second < i) ++skip_at;
+    if (skip_at < skips.size() && i >= skips[skip_at].first &&
+        i <= skips[skip_at].second) {
+      i = skips[skip_at].second;
+      continue;
+    }
+    const Token& t = toks[i];
+    if (t.kind != TokKind::kIdent) continue;
+    const bool in_loop = loops.contains(i);
+    const std::string loc = sf->path + ":" + std::to_string(t.line);
+
+    // ---- nested atomically site -----------------------------------------
+    if (is_atomically(t.text) && i + 1 <= e && toks[i + 1].text == "(" &&
+        (i == b || toks[i - 1].text != "auto")) {
+      ParsedSite ps;
+      Effects ne;
+      if (!parse_site(*sf, i, &ps)) {
+        ne.top = true;
+        ne.why["top"] = {"unparsable atomically call (" + loc + ")"};
+        merge_step(E, ne, in_loop, strengthened, "nested tx (" + loc + ")");
+        continue;
+      }
+      if (ps.has_lambda) {
+        ne = scan(ps.body_begin, ps.body_end, ps.handles, where);
+      } else if (!ps.body_fn.empty()) {
+        if (callees != nullptr) callees->push_back(ps.body_fn);
+        if (summaries != nullptr) {
+          auto it = summaries->find(ps.body_fn);
+          if (it != summaries->end()) ne = it->second;
+          else {
+            ne.top = true;
+            ne.why["top"] = {"unresolved tx body '" + ps.body_fn + "' (" +
+                             loc + ")"};
+          }
+        }
+      } else {
+        ne.top = true;
+        ne.why["top"] = {"opaque atomically argument (" + loc + ")"};
+      }
+      if (t.text == "atomically_irrevocable") {
+        ne.irrevocable = true;
+        if (ne.why.count("irrevocable") == 0)
+          ne.why["irrevocable"] = {"atomically_irrevocable (" + loc + ")"};
+      }
+      // Flat nesting (runtime.hpp adapt_nested_semantics): an inner
+      // classic body strengthens the enclosing transaction — its reads,
+      // and everything after it, validate classically, so they cannot
+      // tear an elastic window.  Write/side-effect bits still merge.
+      const bool strengthens =
+          ps.annotated == "classic_literal" || ps.annotated == "classic";
+      merge_step(E, ne, in_loop, strengthens || strengthened,
+                 "nested tx (" + loc + ")");
+      if (strengthens) strengthened = true;
+      i = ps.call_end;
+      continue;
+    }
+
+    // ---- tx-passing call ------------------------------------------------
+    // ALL_CAPS names are macros (gtest EXPECT_*/ASSERT_*, wrappers):
+    // transparent — their argument expressions are scanned, the macro
+    // itself resolves to nothing.
+    const bool macro_like =
+        t.text.size() > 1 &&
+        t.text.find_first_not_of("ABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789_") ==
+            std::string::npos;
+    if (i + 1 <= e && toks[i + 1].text == "(" && !macro_like &&
+        !is_atomically(t.text)) {
+      bool tx_call = false;
+      if (i >= 2 && (toks[i - 1].text == "." || toks[i - 1].text == "->") &&
+          handles.count(toks[i - 2].text) != 0) {
+        tx_call = true;  // tx.method(...)
+      } else {
+        // fn(..., tx, ...): a handle at argument depth 1 followed by
+        // ',' or ')' — `decode(tx.read_word(c))` deliberately does NOT
+        // count (the handle is followed by '.').
+        const std::size_t open = i + 1;
+        const std::size_t close = match_close(toks, open);
+        int depth = 1;
+        for (std::size_t k = open + 1; k < close; ++k) {
+          const std::string& s = toks[k].text;
+          if (s == "(" || s == "[" || s == "{") { ++depth; continue; }
+          if (s == ")" || s == "]" || s == "}") { --depth; continue; }
+          if (depth == 1 && toks[k].kind == TokKind::kIdent &&
+              handles.count(s) != 0 && k + 1 < toks.size() &&
+              (toks[k + 1].text == "," || toks[k + 1].text == ")")) {
+            tx_call = true;
+            break;
+          }
+        }
+      }
+      if (tx_call) {
+        if (callees != nullptr) callees->push_back(t.text);
+        if (summaries != nullptr) {
+          auto it = summaries->find(t.text);
+          const std::string step = t.text + " (" + loc + ")";
+          if (it != summaries->end()) {
+            merge_step(E, it->second, in_loop, strengthened, step);
+          } else {
+            Effects u;
+            u.top = true;
+            merge_step(E, u, false, false, "unresolved tx call " + step);
+          }
+        }
+        // Keep scanning the argument tokens: they are separate
+        // expressions and may contain further tx calls.
+        continue;
+      }
+    }
+
+    // ---- raw side effects ----------------------------------------------
+    bool side = false;
+    std::string desc;
+    if ((t.text == "new" || t.text == "delete") && i > b &&
+        toks[i - 1].text != "=" && toks[i - 1].text != "operator") {
+      side = true;
+      desc = "operator " + t.text;
+    } else if (stream_idents().count(t.text) != 0) {
+      side = true;
+      desc = "std::" + t.text;
+    } else if (i + 1 <= e && toks[i + 1].text == "(" &&
+               sideeffect_calls().count(t.text) != 0) {
+      side = true;
+      desc = t.text + "()";
+    } else if (lock_types().count(t.text) != 0) {
+      side = true;
+      desc = t.text;
+    } else if (i >= 1 && (toks[i - 1].text == "." || toks[i - 1].text == "->") &&
+               i + 1 <= e && toks[i + 1].text == "(" &&
+               lock_methods().count(t.text) != 0 &&
+               handles.count(i >= 2 ? toks[i - 2].text : "") == 0) {
+      side = true;
+      desc = "." + t.text + "()";
+    }
+    if (side) {
+      Effects u;
+      u.side_effect = true;
+      merge_step(E, u, false, false, desc + " (" + loc + ")");
+    }
+  }
+  (void)where;
+  return E;
+}
+
+}  // namespace demotx::advise::detail

@@ -16,6 +16,7 @@ const char* kEscape = "demotx-tx-escape";
 const char* kSideEffect = "demotx-side-effect-in-tx";
 const char* kTier = "demotx-expert-api-tier";
 const char* kMarker = "demotx-expert-marker";
+const char* kSnapshotWrite = "demotx-snapshot-write";
 
 bool in_set(const std::set<std::string>& s, const std::string& v) {
   return s.find(v) != s.end();
@@ -92,6 +93,12 @@ struct Analyzer {
           file_expert = true;
           ++out.markers_file;
           break;
+        case Marker::Kind::kAdvise:
+          // demotx:advise markers justify demotx-advise findings (see
+          // tools/demotx-advise); they suppress nothing here.  The
+          // reason requirement above still applies — a reasonless one
+          // already emitted demotx-expert-marker.
+          break;
       }
     }
   }
@@ -138,11 +145,13 @@ struct Analyzer {
   struct ParenFrame {
     std::string callee;                  // identifier before the '('
     std::vector<std::string> tx_params;  // names of `Tx&` params inside
+    bool saw_snapshot = false;           // literal kSnapshot among the args
   };
   struct TxCtx {
     std::set<std::string> params;
     int entry_depth;  // brace depth of the context body
     bool irrevocable;
+    bool snapshot;    // body annotated Semantics::kSnapshot at the site
   };
 
   std::vector<ParenFrame> parens;
@@ -155,6 +164,7 @@ struct Analyzer {
   bool pending = false;
   std::vector<std::string> pending_params;
   bool pending_irrevocable = false;
+  bool pending_snapshot = false;
   int pending_angle = 0;
   int pending_paren = 0;
 
@@ -170,6 +180,14 @@ struct Analyzer {
   bool irrevocable_now() const {
     for (const TxCtx& c : txs)
       if (c.irrevocable) return true;
+    return false;
+  }
+  // Flat nesting folds inner bodies into the outer transaction, so a
+  // write anywhere under a snapshot-annotated context hits the
+  // snapshot runtime.
+  bool snapshot_now() const {
+    for (const TxCtx& c : txs)
+      if (c.snapshot) return true;
     return false;
   }
 
@@ -206,6 +224,13 @@ struct Analyzer {
         continue;
       }
 
+      // A literal kSnapshot argument marks the innermost call's frame so
+      // the context opened by its lambda knows its annotated tier.
+      if (t.kind == TokKind::kIdent && t.text == "kSnapshot" &&
+          !parens.empty()) {
+        parens.back().saw_snapshot = true;
+      }
+
       // `Tx & name` inside a parameter list -> context candidate.
       if (t.kind == TokKind::kIdent && t.text == "Tx" && !parens.empty()) {
         const Token* amp = tok(i + 1);
@@ -221,6 +246,7 @@ struct Analyzer {
         check_unsafe(i);
         check_escape(i);
         if (!irrevocable_now()) check_side_effect(i);
+        if (snapshot_now()) check_snapshot_write(i);
       }
     }
   }
@@ -229,10 +255,13 @@ struct Analyzer {
     pending = true;
     pending_params = std::move(params);
     pending_irrevocable = false;
+    pending_snapshot = false;
     pending_angle = 0;
     pending_paren = 0;
-    for (const ParenFrame& f : parens)
+    for (const ParenFrame& f : parens) {
       if (f.callee == "atomically_irrevocable") pending_irrevocable = true;
+      if (f.callee == "atomically" && f.saw_snapshot) pending_snapshot = true;
+    }
   }
 
   // Consumes one token while looking for the context body.  Returns true
@@ -262,6 +291,7 @@ struct Analyzer {
       ctx.params.insert(pending_params.begin(), pending_params.end());
       ctx.entry_depth = brace_depth;
       ctx.irrevocable = pending_irrevocable;
+      ctx.snapshot = pending_snapshot;
       txs.push_back(std::move(ctx));
       ++out.tx_contexts;
       return true;
@@ -412,6 +442,36 @@ struct Analyzer {
     }
   }
 
+  // Raw cell writes inside a body annotated Semantics::kSnapshot: the
+  // snapshot tier is read-only by contract (DESIGN.md §3) and aborts on
+  // its first write, so the write can only ever waste the attempt.
+  void check_snapshot_write(std::size_t i) {
+    const Token& t = in.tokens[i];
+    if (t.kind != TokKind::kIdent) return;
+    const Token* nx = tok(i + 1);
+    const Token* pv = i > 0 ? &in.tokens[i - 1] : nullptr;
+    const bool is_method_call =
+        pv != nullptr && (pv->text == "." || pv->text == "->") &&
+        nx != nullptr && nx->text == "(";
+    if (!is_method_call) return;
+    if (t.text == "write_word") {
+      emit(kSnapshotWrite, t.line,
+           "tx.write_word inside a Semantics::kSnapshot body always aborts "
+           "(the snapshot tier is read-only); use the classic default for "
+           "writers, or drop the write");
+      return;
+    }
+    if (t.text == "set") {
+      const Token* arg = tok(i + 2);
+      if (arg != nullptr && in_set(active_params(), arg->text)) {
+        emit(kSnapshotWrite, t.line,
+             "TVar::set inside a Semantics::kSnapshot body always aborts "
+             "(the snapshot tier is read-only); use the classic default "
+             "for writers, or drop the write");
+      }
+    }
+  }
+
   void check_tier(std::size_t i) {
     const Token& t = in.tokens[i];
     if (t.kind != TokKind::kIdent) return;
@@ -499,7 +559,7 @@ FileResult analyze(const std::string& path, const LexedFile& lexed) {
 
 const std::vector<std::string>& check_ids() {
   static const std::vector<std::string> ids = {
-      kUnsafe, kEscape, kSideEffect, kTier, kMarker,
+      kUnsafe, kEscape, kSideEffect, kTier, kMarker, kSnapshotWrite,
   };
   return ids;
 }

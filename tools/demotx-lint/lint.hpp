@@ -2,7 +2,9 @@
 // demotx STM (clang-tidy-style check ids, expected-diagnostic corpus
 // testing, NOLINT-like expert markers).
 //
-// The tool ships its own C++ token frontend so it builds and runs with
+// The lexer and scope walker live in tools/frontend (shared with
+// demotx-advise); this header aliases them into demotx::lint and adds
+// the lint-specific analysis layer.  Everything builds and runs with
 // the repo's host toolchain alone; when LLVM/Clang dev packages are
 // present CMake reports them and additionally arms the clang-only rows
 // (tsa.build, clang-tidy in the `lint` target).  The analysis is lexical
@@ -29,6 +31,10 @@
 //   demotx-expert-marker    an expert marker without the mandatory
 //                           one-line justification (and such a marker
 //                           suppresses nothing).
+//   demotx-snapshot-write   a raw cell write (tx.write_word / .set(tx,..))
+//                           inside a body annotated Semantics::kSnapshot —
+//                           snapshot transactions abort on their first
+//                           write, so the write can only ever waste work.
 //
 // Expert-tier markers (comment text, line- or block-comment):
 //
@@ -38,6 +44,10 @@
 //   // demotx:expert-file: <why>   the whole file is expert TIER —
 //                                  only demotx-expert-api-tier is
 //                                  disabled; the safety checks stay on
+//
+// demotx:advise markers (see tools/demotx-advise) are parsed by the
+// shared frontend but ignored here: they justify advise-unsound
+// findings and never suppress lint diagnostics.
 //
 // Corpus expectations (used by --verify):
 //
@@ -49,38 +59,16 @@
 #include <string>
 #include <vector>
 
+#include "frontend.hpp"
+
 namespace demotx::lint {
 
-// ---- lexer -----------------------------------------------------------
-
-enum class TokKind { kIdent, kNumber, kString, kChar, kPunct };
-
-struct Token {
-  TokKind kind;
-  std::string text;
-  int line;
-};
-
-struct Marker {
-  enum class Kind { kLine, kNext, kFn, kFile };
-  Kind kind;
-  int line;             // line the marker comment starts on
-  bool has_reason;      // a non-empty justification followed the marker
-  std::string reason;
-};
-
-// One file's lexed form: the token stream plus everything the comments
-// said (markers and corpus expectations).
-struct LexedFile {
-  std::vector<Token> tokens;
-  std::vector<Marker> markers;
-  // line -> expected check ids on that line (corpus files only).
-  std::map<int, std::set<std::string>> expects;
-};
-
-// Tokenizes C++ source.  Comments and preprocessor directives do not
-// produce tokens; comments are scanned for markers/expectations.
-LexedFile lex(const std::string& source);
+// The token/marker layer is the shared frontend's.
+using TokKind = demotx::frontend::TokKind;
+using Token = demotx::frontend::Token;
+using Marker = demotx::frontend::Marker;
+using LexedFile = demotx::frontend::LexedFile;
+using demotx::frontend::lex;
 
 // ---- analysis --------------------------------------------------------
 

@@ -10,10 +10,21 @@
 //                    to stderr), so suppression creep is trackable
 //   --exclude P      skip files whose path starts with P (repeatable;
 //                    used to keep the known-bad corpus out of tree runs)
+//   --budget FILE    suppression-creep gate: compare this run's per-check
+//                    suppression counts against the committed --stats
+//                    baseline (tests/lint/stats_baseline.json) and fail
+//                    if any count grew.  Every suppression already
+//                    requires a reasoned marker (reasonless markers
+//                    suppress nothing), so growth is legal only by
+//                    re-baselining in the same change — which puts the
+//                    new markers and the new baseline in front of review
+//                    together.
 //   --list-checks    print the check ids and exit
 //
-// Exit codes: 0 clean/verified, 1 diagnostics/mismatch, 2 usage or I/O.
+// Exit codes: 0 clean/verified, 1 diagnostics/mismatch/over budget,
+// 2 usage or I/O.
 #include <algorithm>
+#include <cstdlib>
 #include <filesystem>
 #include <fstream>
 #include <iostream>
@@ -56,11 +67,51 @@ std::string json_escape(const std::string& s) {
   return out;
 }
 
+// Minimal extraction of `"<key>": <int>` pairs under the "suppressed"
+// object of a --stats JSON file (we only ever read our own output).
+std::map<std::string, int> read_baseline_suppressed(const std::string& path,
+                                                    bool& ok) {
+  std::map<std::string, int> out;
+  std::ifstream ifs(path, std::ios::binary);
+  if (!ifs) {
+    ok = false;
+    return out;
+  }
+  std::ostringstream buf;
+  buf << ifs.rdbuf();
+  const std::string text = buf.str();
+  const std::size_t sec = text.find("\"suppressed\"");
+  if (sec == std::string::npos) {
+    ok = false;
+    return out;
+  }
+  const std::size_t open = text.find('{', sec);
+  const std::size_t close = text.find('}', open);
+  if (open == std::string::npos || close == std::string::npos) {
+    ok = false;
+    return out;
+  }
+  std::size_t i = open;
+  while (true) {
+    const std::size_t q1 = text.find('"', i);
+    if (q1 == std::string::npos || q1 > close) break;
+    const std::size_t q2 = text.find('"', q1 + 1);
+    const std::size_t colon = text.find(':', q2);
+    if (q2 == std::string::npos || colon == std::string::npos) break;
+    const std::string key = text.substr(q1 + 1, q2 - q1 - 1);
+    out[key] = std::atoi(text.c_str() + colon + 1);
+    i = colon + 1;
+  }
+  ok = true;
+  return out;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   bool verify = false;
   bool stats = false;
+  std::string budget_path;
   std::vector<std::string> excludes;
   std::vector<fs::path> roots;
 
@@ -76,6 +127,12 @@ int main(int argc, char** argv) {
         return 2;
       }
       excludes.push_back(normalize(argv[i]));
+    } else if (arg == "--budget") {
+      if (++i >= argc) {
+        std::cerr << "demotx-lint: --budget needs a baseline JSON path\n";
+        return 2;
+      }
+      budget_path = argv[i];
     } else if (arg == "--list-checks") {
       for (const std::string& id : check_ids()) std::cout << id << "\n";
       return 0;
@@ -204,6 +261,34 @@ int main(int argc, char** argv) {
     std::cout << "\n  },\n  \"markers\": { \"file\": " << m_file
               << ", \"fn\": " << m_fn << ", \"line\": " << m_line
               << ", \"next\": " << m_next << " }\n}\n";
+  }
+
+  if (!budget_path.empty()) {
+    bool ok = false;
+    const std::map<std::string, int> baseline =
+        read_baseline_suppressed(budget_path, ok);
+    if (!ok) {
+      std::cerr << "demotx-lint: cannot read baseline " << budget_path
+                << " (regenerate with --stats)\n";
+      return 2;
+    }
+    bool over = false;
+    for (const std::string& id : check_ids()) {
+      const int now = suppressed.count(id) ? suppressed.at(id) : 0;
+      const int base = baseline.count(id) ? baseline.at(id) : 0;
+      if (now > base) {
+        std::cerr << "BUDGET-EXCEEDED " << id << ": " << now
+                  << " suppressions (baseline " << base
+                  << "); justify the new markers and re-baseline "
+                  << budget_path << " in the same change\n";
+        over = true;
+      } else if (now < base) {
+        std::cerr << "budget-note " << id << ": " << now
+                  << " suppressions, below baseline " << base
+                  << " — consider re-baselining downward\n";
+      }
+    }
+    if (over) return 1;
   }
 
   if (verify) return verify_failed ? 1 : 0;

@@ -1,0 +1,109 @@
+// Shared C++ token frontend for the demotx static-analysis tools
+// (tools/demotx-lint, tools/demotx-advise).
+//
+// The frontend is a self-contained lexer plus a scope-aware function
+// walker: it builds and runs with the repo's host toolchain alone (no
+// LLVM), so every analysis row runs in CI everywhere.  The analysis
+// layer on top is lexical and scope-aware (brace/paren tracking,
+// declarator recognition), deliberately NOT a full parser: every
+// consumer defines its checks in terms the token stream can decide
+// exactly, and the regression corpora in tests/lint/ and tests/advise/
+// pin those definitions.
+//
+// Comment grammar understood here (consumers pick what they honour):
+//
+//   // demotx:expert: <why>         this line is expert code
+//   // demotx:expert-next: <why>    the next line is
+//   // demotx:expert-fn: <why>      the next function/brace block is
+//   // demotx:expert-file: <why>    the whole file is expert TIER
+//   // demotx:advise: <why>         justifies a demotx-advise-unsound
+//                                   finding on this or the next line
+//   // demotx-expect: <check-id>[, ...]          lint corpus expectation
+//   // demotx-advise-expect: <tier>[ unsound]    advise corpus expectation
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace demotx::frontend {
+
+// ---- lexer -----------------------------------------------------------
+
+enum class TokKind { kIdent, kNumber, kString, kChar, kPunct };
+
+struct Token {
+  TokKind kind;
+  std::string text;
+  int line;
+};
+
+struct Marker {
+  enum class Kind { kLine, kNext, kFn, kFile, kAdvise };
+  Kind kind;
+  int line;             // line the marker comment starts on
+  bool has_reason;      // a non-empty justification followed the marker
+  std::string reason;
+};
+
+// One file's lexed form: the token stream plus everything the comments
+// said (markers and corpus expectations).
+struct LexedFile {
+  std::vector<Token> tokens;
+  std::vector<Marker> markers;
+  // line -> expected lint check ids on that line (lint corpus files).
+  std::map<int, std::set<std::string>> expects;
+  // line -> expected advise verdict, e.g. "snapshot" or "classic unsound"
+  // (advise corpus files).
+  std::map<int, std::string> advise_expects;
+};
+
+// Tokenizes C++ source.  Comments and preprocessor directives do not
+// produce tokens; comments are scanned for markers/expectations.
+// String/char/raw-string literals (including u8R"( )" and friends) each
+// collapse to one placeholder token so keywords inside literals never
+// reach the analyses, and digit separators (1'000) stay inside one
+// number token.
+LexedFile lex(const std::string& source);
+
+// ---- function walker -------------------------------------------------
+
+struct ParamInfo {
+  std::string name;
+  bool is_tx = false;  // declared `Tx&` (however qualified)
+};
+
+// One function (or Tx-taking named lambda) definition with a body.
+struct FunctionDef {
+  std::string name;   // bare declarator name
+  std::string qual;   // Enclosing::scopes::name when derivable
+  int line = 0;       // line the declarator's name sits on
+  std::vector<ParamInfo> params;
+  // DEMOTX_TX_* effect tags written between the parameter list and the
+  // body (src/stm/effects.hpp) — an expert assertion that replaces body
+  // analysis for this function.
+  std::vector<std::string> tags;
+  // Token index range of the body: tokens[body_begin] == "{",
+  // tokens[body_end] == the matching "}".  Meaningful only when
+  // has_body; tagged declarations register without one (the tags make
+  // the body irrelevant to the analyses).
+  std::size_t body_begin = 0;
+  std::size_t body_end = 0;
+  bool has_body = false;
+};
+
+struct FunctionIndex {
+  std::vector<FunctionDef> functions;
+};
+
+// Scope-aware single pass over the token stream: finds every function
+// definition at namespace/class scope (free functions, member
+// functions, out-of-class `Cls::f` definitions, gtest TEST bodies) plus
+// named `auto f = [..](Tx& tx){...}` lambdas inside function bodies.
+// Declarations without bodies are skipped — unless they carry
+// DEMOTX_TX_* tags, which register as bodiless effect leaves.
+FunctionIndex scan_functions(const LexedFile& lexed);
+
+}  // namespace demotx::frontend

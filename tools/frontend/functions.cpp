@@ -1,0 +1,375 @@
+// Scope-aware function discovery over the token stream.
+//
+// A single pass tracks namespace/class/function brace scopes and
+// recognizes function DEFINITIONS (declarator + body): free functions,
+// member functions (in-class and out-of-class `Cls::f` spellings),
+// constructors with init lists, destructors, operator overloads, gtest
+// TEST(...) bodies (they register under the macro's name, which is
+// harmless: nothing calls them), and named `auto f = [..](Tx&){...}`
+// lambdas inside bodies.  Declarations without bodies are skipped.
+//
+// The walker also records the DEMOTX_TX_* effect tags written between a
+// declarator and its body (src/stm/effects.hpp): the tag set is what
+// lets demotx-advise treat an accessor as an effect leaf instead of
+// pattern-matching on its name.
+#include "frontend.hpp"
+
+namespace demotx::frontend {
+
+namespace {
+
+bool is_keyword_not_callee(const std::string& t) {
+  return t == "if" || t == "for" || t == "while" || t == "switch" ||
+         t == "catch" || t == "return" || t == "sizeof" || t == "alignof" ||
+         t == "alignas" || t == "decltype" || t == "static_assert" ||
+         t == "new" || t == "delete" || t == "throw" || t == "co_return" ||
+         t == "case" || t == "do" || t == "else" || t == "assert";
+}
+
+struct Walker {
+  const std::vector<Token>& toks;
+  FunctionIndex out;
+
+  struct Scope {
+    enum Kind { kNamespace, kClass, kFunction, kBlock } kind;
+    std::string name;  // class/namespace name ("" otherwise)
+  };
+  std::vector<Scope> scopes;
+
+  explicit Walker(const LexedFile& lexed) : toks(lexed.tokens) {}
+
+  const Token* tok(std::size_t i) const {
+    return i < toks.size() ? &toks[i] : nullptr;
+  }
+  bool is(std::size_t i, const char* t) const {
+    return i < toks.size() && toks[i].text == t;
+  }
+
+  // Index just past the matching closer for the opener at i.
+  std::size_t skip_balanced(std::size_t i, const char* open,
+                            const char* close) const {
+    int depth = 0;
+    for (; i < toks.size(); ++i) {
+      if (toks[i].text == open) ++depth;
+      else if (toks[i].text == close && --depth == 0) return i + 1;
+    }
+    return toks.size();
+  }
+
+  // Index just past the `>` matching the `<` at i (`>>` counts twice).
+  std::size_t skip_angles(std::size_t i) const {
+    int depth = 0;
+    for (; i < toks.size(); ++i) {
+      const std::string& t = toks[i].text;
+      if (t == "<" || t == "<<") depth += (t == "<<") ? 2 : 1;
+      else if (t == ">" || t == ">>") {
+        depth -= (t == ">>") ? 2 : 1;
+        if (depth <= 0) return i + 1;
+      } else if (t == ";" || t == "{") {
+        return i;  // not a template argument list after all
+      }
+    }
+    return toks.size();
+  }
+
+  bool inside_function() const {
+    for (auto it = scopes.rbegin(); it != scopes.rend(); ++it)
+      if (it->kind == Scope::kFunction || it->kind == Scope::kBlock)
+        return true;
+    return false;
+  }
+
+  std::string scope_prefix() const {
+    std::string p;
+    for (const Scope& s : scopes)
+      if (!s.name.empty()) p += s.name + "::";
+    return p;
+  }
+
+  std::vector<ParamInfo> parse_params(std::size_t open,
+                                      std::size_t close) const {
+    std::vector<ParamInfo> params;
+    std::size_t start = open + 1;
+    int paren = 0, angle = 0, brace = 0;
+    for (std::size_t i = open + 1; i <= close; ++i) {
+      const std::string& t = toks[i].text;
+      const bool at_end = (i == close);
+      if (!at_end) {
+        if (t == "(") ++paren;
+        else if (t == ")") --paren;
+        else if (t == "<") ++angle;
+        else if (t == ">" && angle > 0) --angle;
+        else if (t == "{") ++brace;
+        else if (t == "}") --brace;
+      }
+      if (at_end || (t == "," && paren == 0 && angle == 0 && brace == 0)) {
+        if (i > start) {
+          ParamInfo p;
+          bool past_default = false;
+          for (std::size_t j = start; j < i; ++j) {
+            if (toks[j].text == "=") past_default = true;
+            if (past_default) continue;
+            if (toks[j].kind == TokKind::kIdent) {
+              if (toks[j].text == "Tx") p.is_tx = true;
+              else p.name = toks[j].text;  // last ident wins
+            }
+          }
+          params.push_back(std::move(p));
+        }
+        start = i + 1;
+      }
+    }
+    return params;
+  }
+
+  // At toks[i] == the declarator name whose `(` is at i+1 (already
+  // checked).  Returns the index to resume at; registers a FunctionDef
+  // if a body follows.  `name` may differ from toks[i].text (operators,
+  // destructors).
+  std::size_t try_function(std::size_t i, std::string name,
+                           std::size_t paren_open) {
+    const std::size_t paren_close = skip_balanced(paren_open, "(", ")") - 1;
+    if (paren_close >= toks.size()) return toks.size();
+
+    // Walk the specifier region between `)` and the body.
+    std::vector<std::string> tags;
+    std::size_t j = paren_close + 1;
+    int angle = 0;
+    bool in_init_list = false;
+    while (j < toks.size()) {
+      const std::string& t = toks[j].text;
+      if (t == "(" || t == "[") {  // noexcept(...), attributes, init args
+        j = skip_balanced(j, t == "(" ? "(" : "[", t == "(" ? ")" : "]");
+        continue;
+      }
+      if (t == "<") { ++angle; ++j; continue; }
+      if (t == ">") { if (angle > 0) --angle; ++j; continue; }
+      if (t == ">>") { angle -= 2; if (angle < 0) angle = 0; ++j; continue; }
+      if (t == ":" && !in_init_list && angle == 0) {
+        in_init_list = true;  // constructor member-init list
+        ++j;
+        continue;
+      }
+      if (t == "{") {
+        if (in_init_list) {
+          // A brace in the init list is an initializer (`f_{x}`) when it
+          // directly follows an identifier or `>`; otherwise it is the
+          // body.
+          const Token* pv = j > 0 ? &toks[j - 1] : nullptr;
+          if (pv != nullptr && (pv->kind == TokKind::kIdent ||
+                                pv->text == ">" || pv->text == "::")) {
+            j = skip_balanced(j, "{", "}");
+            continue;
+          }
+        }
+        break;  // the body
+      }
+      if (angle == 0 && (t == ";" || t == "=" || t == ")" || t == "}" ||
+                         (t == "," && !in_init_list))) {
+        // Declaration only.  If it carried effect tags it still
+        // registers (as a bodiless leaf — the tags replace the body).
+        if (!tags.empty() && t == ";") {
+          FunctionDef def;
+          def.name = std::move(name);
+          def.line = toks[i].line;
+          def.params = parse_params(paren_open, paren_close);
+          def.tags = std::move(tags);
+          def.qual = scope_prefix() + def.name;
+          out.functions.push_back(std::move(def));
+        }
+        return j;  // resume at the terminator
+      }
+      if (toks[j].kind == TokKind::kIdent &&
+          toks[j].text.rfind("DEMOTX_TX_", 0) == 0)
+        tags.push_back(toks[j].text);
+      ++j;  // const, noexcept, override, ->, ::, *, &, idents, commas...
+    }
+    if (j >= toks.size() || toks[j].text != "{") return j;
+
+    FunctionDef def;
+    def.name = std::move(name);
+    def.line = toks[i].line;
+    def.params = parse_params(paren_open, paren_close);
+    def.tags = std::move(tags);
+    def.body_begin = j;
+    def.body_end = skip_balanced(j, "{", "}") - 1;
+    def.has_body = true;
+
+    // Out-of-class qualifier: `Cls::~Cls` / `ns::Cls::f`.
+    std::string back_qual;
+    {
+      std::size_t k = i;
+      if (k > 0 && toks[k - 1].text == "~") --k;
+      while (k >= 2 && toks[k - 1].text == "::" &&
+             toks[k - 2].kind == TokKind::kIdent) {
+        back_qual = toks[k - 2].text + "::" + back_qual;
+        k -= 2;
+      }
+    }
+    def.qual = scope_prefix() + back_qual + def.name;
+    out.functions.push_back(def);
+
+    scopes.push_back({Scope::kFunction, ""});
+    return j + 1;  // continue INTO the body (named lambdas, local defs)
+  }
+
+  void run() {
+    const std::size_t n = toks.size();
+    std::size_t i = 0;
+    // Scope names pending for the next `{`.
+    std::vector<std::pair<Scope::Kind, std::string>> pending;
+    while (i < n) {
+      const Token& t = toks[i];
+
+      if (t.text == "{") {
+        if (!pending.empty()) {
+          scopes.push_back({pending.back().first, pending.back().second});
+          pending.pop_back();
+        } else {
+          scopes.push_back({Scope::kBlock, ""});
+        }
+        ++i;
+        continue;
+      }
+      if (t.text == "}") {
+        if (!scopes.empty()) scopes.pop_back();
+        ++i;
+        continue;
+      }
+      if (t.text == ";") {
+        pending.clear();  // `class X;` forward declaration etc.
+        ++i;
+        continue;
+      }
+
+      if (t.kind == TokKind::kIdent) {
+        if (t.text == "namespace") {
+          std::string nsname;
+          std::size_t j = i + 1;
+          while (j < n && (toks[j].kind == TokKind::kIdent ||
+                           toks[j].text == "::")) {
+            if (toks[j].kind == TokKind::kIdent)
+              nsname += (nsname.empty() ? "" : "::") + toks[j].text;
+            ++j;
+          }
+          if (j < n && toks[j].text == "{")
+            pending.push_back({Scope::kNamespace, nsname});
+          i = j;
+          continue;
+        }
+        if (t.text == "class" || t.text == "struct" || t.text == "union") {
+          // Find the class name (first plain ident, skipping attribute
+          // macros with arguments) and whether a body follows.
+          std::string cname;
+          std::size_t j = i + 1;
+          while (j < n && toks[j].text != "{" && toks[j].text != ";" &&
+                 toks[j].text != "(") {
+            if (toks[j].kind == TokKind::kIdent && cname.empty() &&
+                toks[j].text != "final" && toks[j].text != "alignas")
+              cname = toks[j].text;
+            if (toks[j].text == ":") {  // base list: skip to `{`
+              while (j < n && toks[j].text != "{" && toks[j].text != ";") ++j;
+              break;
+            }
+            if (j + 1 < n && toks[j].kind == TokKind::kIdent &&
+                toks[j + 1].text == "(") {  // attribute macro(...)
+              j = skip_balanced(j + 1, "(", ")");
+              continue;
+            }
+            ++j;
+          }
+          if (j < n && toks[j].text == "{")
+            pending.push_back({Scope::kClass, cname});
+          i = j;
+          continue;
+        }
+        if (t.text == "enum") {
+          std::size_t j = i + 1;
+          while (j < n && toks[j].text != "{" && toks[j].text != ";") ++j;
+          if (j < n && toks[j].text == "{") j = skip_balanced(j, "{", "}");
+          i = j;
+          continue;
+        }
+        if (t.text == "template" && is(i + 1, "<")) {
+          i = skip_angles(i + 1);
+          continue;
+        }
+        if (t.text == "using" || t.text == "typedef") {
+          while (i < n && toks[i].text != ";") ++i;
+          continue;
+        }
+
+        if (!inside_function()) {
+          // operator overloads: name = "operator" + symbol tokens.
+          if (t.text == "operator") {
+            std::string name = "operator";
+            std::size_t j = i + 1;
+            while (j < n && toks[j].text != "(" &&
+                   toks[j].kind == TokKind::kPunct) {
+              name += toks[j].text;
+              ++j;
+            }
+            if (j < n && toks[j].text == "(") {
+              i = try_function(i, name, j);
+              continue;
+            }
+          }
+          if (is(i + 1, "(") && !is_keyword_not_callee(t.text) &&
+              !(i > 0 && (toks[i - 1].text == "." ||
+                          toks[i - 1].text == "->"))) {
+            std::string name = t.text;
+            if (i > 0 && toks[i - 1].text == "~") name = "~" + name;
+            i = try_function(i, std::move(name), i + 1);
+            continue;
+          }
+        } else {
+          // Inside a body: register `[auto] name = [cap](..Tx&..){...}`
+          // named lambdas so later `name(tx)` calls resolve.
+          if (is(i + 1, "=") && is(i + 2, "[")) {
+            const std::size_t cap_end = skip_balanced(i + 2, "[", "]");
+            if (cap_end < n && toks[cap_end].text == "(") {
+              const std::size_t close =
+                  skip_balanced(cap_end, "(", ")") - 1;
+              std::vector<ParamInfo> params = parse_params(cap_end, close);
+              bool has_tx = false;
+              for (const ParamInfo& p : params) has_tx |= p.is_tx;
+              if (has_tx) {
+                std::size_t j = close + 1;
+                while (j < n && toks[j].text != "{" && toks[j].text != ";") {
+                  if (toks[j].text == "(")
+                    j = skip_balanced(j, "(", ")");
+                  else
+                    ++j;
+                }
+                if (j < n && toks[j].text == "{") {
+                  FunctionDef def;
+                  def.name = t.text;
+                  def.qual = scope_prefix() + t.text;
+                  def.line = t.line;
+                  def.params = std::move(params);
+                  def.body_begin = j;
+                  def.body_end = skip_balanced(j, "{", "}") - 1;
+                  def.has_body = true;
+                  out.functions.push_back(std::move(def));
+                  // Do not descend specially: the body is scanned as
+                  // part of the enclosing walk.
+                }
+              }
+            }
+          }
+        }
+      }
+      ++i;
+    }
+  }
+};
+
+}  // namespace
+
+FunctionIndex scan_functions(const LexedFile& lexed) {
+  Walker w(lexed);
+  w.run();
+  return std::move(w.out);
+}
+
+}  // namespace demotx::frontend

@@ -1,13 +1,16 @@
-// Token frontend for demotx-lint: a small C++ lexer that understands
-// comments (where the markers live), string/char/raw-string literals
-// (so check keywords inside literals never fire), preprocessor lines
-// (skipped, with continuation handling) and multi-character punctuators
-// (so `->` and `::` arrive as single tokens).
-#include "lint.hpp"
+// Token frontend: a small C++ lexer that understands comments (where
+// the markers live), string/char/raw-string literals in every encoding
+// spelling (so check keywords inside literals never fire and a
+// u8R"( )" body cannot swallow the lines after it), preprocessor lines
+// (skipped, with continuation handling), digit separators (1'000 stays
+// one number token and a quote that is not a separator is left for the
+// char-literal scanner), and multi-character punctuators (so `->` and
+// `::` arrive as single tokens).
+#include "frontend.hpp"
 
 #include <cctype>
 
-namespace demotx::lint {
+namespace demotx::frontend {
 
 namespace {
 
@@ -37,6 +40,7 @@ void scan_comment(const std::string& text, int line, LexedFile& out) {
       {"demotx:expert-next", Marker::Kind::kNext},
       {"demotx:expert-fn", Marker::Kind::kFn},
       {"demotx:expert", Marker::Kind::kLine},
+      {"demotx:advise", Marker::Kind::kAdvise},
   };
   for (const Variant& v : kVariants) {
     const std::size_t pos = text.find(v.tag);
@@ -69,6 +73,22 @@ void scan_comment(const std::string& text, int line, LexedFile& out) {
       start = comma + 1;
     }
   }
+
+  const std::size_t apos = text.find("demotx-advise-expect:");
+  if (apos != std::string::npos) {
+    const std::string verdict = trim(
+        text.substr(apos + std::string("demotx-advise-expect:").size()));
+    if (!verdict.empty()) out.advise_expects[line] = verdict;
+  }
+}
+
+// Encoding prefixes that may precede a string/char literal.  A raw
+// string is any of these followed by R, then `"`.
+bool is_encoding_prefix(const std::string& s) {
+  return s == "u8" || s == "u" || s == "U" || s == "L";
+}
+bool is_raw_prefix(const std::string& s) {
+  return s == "R" || s == "u8R" || s == "uR" || s == "UR" || s == "LR";
 }
 
 }  // namespace
@@ -82,6 +102,34 @@ LexedFile lex(const std::string& src) {
 
   auto push = [&](TokKind k, std::string text) {
     out.tokens.push_back(Token{k, std::move(text), line});
+  };
+
+  // Consumes a raw string body starting at the `"` after the R prefix.
+  auto scan_raw_string = [&](std::size_t quote) {
+    std::size_t j = quote + 1;
+    std::string delim;
+    while (j < n && src[j] != '(' && src[j] != '\n' && delim.size() <= 16)
+      delim += src[j++];
+    const std::string close = ")" + delim + "\"";
+    std::size_t end = src.find(close, j);
+    if (end == std::string::npos) end = n;
+    for (std::size_t k = quote; k < end && k < n; ++k)
+      if (src[k] == '\n') ++line;
+    push(TokKind::kString, "<raw-string>");
+    i = (end == n) ? n : end + close.size();
+  };
+
+  // Consumes a plain string or char literal starting at its quote.
+  auto scan_quoted = [&](std::size_t quote) {
+    const char q = src[quote];
+    std::size_t j = quote + 1;
+    while (j < n && src[j] != q) {
+      if (src[j] == '\\' && j + 1 < n) ++j;
+      if (src[j] == '\n') ++line;  // unterminated; keep line count sane
+      ++j;
+    }
+    push(q == '"' ? TokKind::kString : TokKind::kChar, "<literal>");
+    i = (j < n) ? j + 1 : n;
   };
 
   while (i < n) {
@@ -131,47 +179,46 @@ LexedFile lex(const std::string& src) {
       i = (j + 1 < n) ? j + 2 : n;
       continue;
     }
-    // Raw string literal: R"delim( ... )delim"
-    if (c == 'R' && i + 1 < n && src[i + 1] == '"') {
-      std::size_t j = i + 2;
-      std::string delim;
-      while (j < n && src[j] != '(') delim += src[j++];
-      const std::string close = ")" + delim + "\"";
-      std::size_t end = src.find(close, j);
-      if (end == std::string::npos) end = n;
-      for (std::size_t k = i; k < end && k < n; ++k)
-        if (src[k] == '\n') ++line;
-      push(TokKind::kString, "<raw-string>");
-      i = (end == n) ? n : end + close.size();
-      continue;
-    }
-    // String / char literal.
-    if (c == '"' || c == '\'') {
-      const char q = c;
-      std::size_t j = i + 1;
-      while (j < n && src[j] != q) {
-        if (src[j] == '\\' && j + 1 < n) ++j;
-        if (src[j] == '\n') ++line;  // unterminated; keep line count sane
-        ++j;
-      }
-      push(q == '"' ? TokKind::kString : TokKind::kChar, "<literal>");
-      i = (j < n) ? j + 1 : n;
-      continue;
-    }
-    // Identifier / keyword.
+    // Identifier / keyword — and, by C++ max munch, the encoding
+    // prefixes of string/char literals: u8R"(...)", LR"(...)", L'x',
+    // u8"..." must each collapse into a single literal token, or the
+    // literal's body leaks into the token stream and every diagnostic
+    // after it is misattributed.
     if (ident_start(c)) {
       std::size_t j = i + 1;
       while (j < n && ident_char(src[j])) ++j;
-      push(TokKind::kIdent, src.substr(i, j - i));
+      const std::string text = src.substr(i, j - i);
+      if (j < n && src[j] == '"' && is_raw_prefix(text)) {
+        scan_raw_string(j);
+        continue;
+      }
+      if (j < n && src[j] == '"' && is_encoding_prefix(text)) {
+        scan_quoted(j);
+        continue;
+      }
+      if (j < n && src[j] == '\'' && is_encoding_prefix(text)) {
+        scan_quoted(j);
+        continue;
+      }
+      push(TokKind::kIdent, text);
       i = j;
       continue;
     }
-    // Number (good enough: digits, dots, exponents, suffixes, 0x...).
+    // String / char literal (unprefixed).
+    if (c == '"' || c == '\'') {
+      scan_quoted(i);
+      continue;
+    }
+    // Number (good enough: digits, dots, exponents, suffixes, 0x...,
+    // digit separators).  A separator quote is only consumed when an
+    // alphanumeric follows (1'000, 0xF'8); a bare trailing quote is
+    // left for the char-literal scanner rather than swallowed.
     if (std::isdigit(static_cast<unsigned char>(c)) ||
         (c == '.' && i + 1 < n &&
          std::isdigit(static_cast<unsigned char>(src[i + 1])))) {
       std::size_t j = i + 1;
-      while (j < n && (ident_char(src[j]) || src[j] == '.' || src[j] == '\'' ||
+      while (j < n && (ident_char(src[j]) || src[j] == '.' ||
+                       (src[j] == '\'' && j + 1 < n && ident_char(src[j + 1])) ||
                        ((src[j] == '+' || src[j] == '-') &&
                         (src[j - 1] == 'e' || src[j - 1] == 'E' ||
                          src[j - 1] == 'p' || src[j - 1] == 'P'))))
@@ -203,4 +250,4 @@ LexedFile lex(const std::string& src) {
   return out;
 }
 
-}  // namespace demotx::lint
+}  // namespace demotx::frontend
